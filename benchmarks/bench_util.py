@@ -1,0 +1,49 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates one experiment from DESIGN.md's per-experiment
+index: it computes the metric table, prints it (visible with ``pytest -s``),
+and appends it to ``benchmarks/out/<experiment>.txt`` so the numbers quoted
+in EXPERIMENTS.md can be re-derived at any time. The pytest-benchmark timer
+wraps one representative run so ``--benchmark-only`` also reports wall-clock
+cost.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    rendered: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title]
+    lines.append("  " + "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  " + "  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  " + "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def emit(experiment: str, title: str, headers: Sequence[str],
+         rows: Iterable[Sequence[object]]) -> str:
+    """Print the table and persist it under benchmarks/out/."""
+    table = format_table(title, headers, rows)
+    print("\n" + table)
+    os.makedirs(OUT_DIR, exist_ok=True)
+    path = os.path.join(OUT_DIR, f"{experiment}.txt")
+    with open(path, "w", encoding="utf-8") as fp:
+        fp.write(table + "\n")
+    return table
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Time one representative run without re-running an expensive sweep."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              iterations=1, rounds=3, warmup_rounds=0)

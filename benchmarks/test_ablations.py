@@ -1,0 +1,276 @@
+"""Ablations — break each load-bearing design choice and watch it matter.
+
+A1. *Markers on every outgoing channel* (the Halt Routine's "for each
+    channel c"): an ablated agent that sends markers on only the first
+    outgoing channel leaves processes unreached and channels unclosed —
+    S_h stops being a complete, determinable global state.
+
+A2. *halt_id freshness check* (the Marker-Receiving Rule's "if halt_id is
+    greater"): an ablated agent that halts on any marker gets re-frozen by
+    stale generation-1 markers after a resume.
+
+A3. *Control channels in both directions* (§2.2.3: "two control channels,
+    one to and one from the debugger process"): with only d→p channels the
+    debugger can still initiate halts, but a process-initiated halt (a
+    breakpoint firing) can never reach d — and on an acyclic user topology
+    it reaches nobody upstream either. The from-channel is what makes every
+    process a halting *initiator*.
+
+A4. *Reliable channels* (§2.1: "error-free"): each process sends its halt
+    marker exactly once per channel, so a single dropped marker silently
+    strands every process downstream of it. Sweeping a loss probability
+    quantifies how quickly the guarantee evaporates.
+
+All ablations are measured, not argued: the same scenarios that pass in
+E2/E12/E3 fail in quantified ways here.
+"""
+
+import pytest
+
+from bench_util import emit, once
+from repro.experiments import build_system, install_trigger
+from repro.halting import HaltingCoordinator
+from repro.halting.algorithm import HaltingAgent
+from repro.halting.markers import HaltMarker
+from repro.network.message import MessageKind
+from repro.workloads import chatter, token_ring
+
+
+class FirstChannelOnlyAgent(HaltingAgent):
+    """A1: violates the Halt Routine by marking only one outgoing channel."""
+
+    def _forward_markers(self, marker):
+        forwarded = marker.extended_by(self.controller.name)
+        channels = self.controller.outgoing_channels()
+        for channel_id in channels[:1]:
+            self.controller.send_control(
+                channel_id, MessageKind.HALT_MARKER, forwarded
+            )
+
+
+class NoFreshnessAgent(HaltingAgent):
+    """A2: violates the Marker-Receiving Rule by ignoring halt_id."""
+
+    def on_control(self, envelope):
+        marker = envelope.payload
+        self.last_halt_id = max(self.last_halt_id, marker.halt_id)
+        if not self.controller.halted and not self.controller.never_halts:
+            self._halt_routine(marker)
+
+
+class AblatedCoordinator(HaltingCoordinator):
+    def __init__(self, system, agent_cls):
+        self.system = system
+        self.halt_order = []
+        self.agents = {}
+        for name in system.topology.processes:
+            controller = system.controller(name)
+            agent = agent_cls(controller, self._agent_halted)
+            controller.install(agent)
+            self.agents[name] = agent
+
+
+def ablation_a1(seed=2):
+    """Dense chatter graph; count unreached processes and unclosed channels
+    for the faithful vs ablated agent."""
+    results = {}
+    for label, agent_cls in (("faithful", HaltingAgent),
+                             ("first-channel-only", FirstChannelOnlyAgent)):
+        system = build_system(lambda: chatter.build(n=6, budget=40, seed=7), seed)
+        coordinator = AblatedCoordinator(system, agent_cls)
+        install_trigger(system, "p0", 10, lambda c=coordinator: c.initiate(["p0"]))
+        system.run_to_quiescence()
+        unhalted = len(coordinator.unhalted())
+        open_channels = 0
+        for name in system.user_process_names:
+            controller = system.controller(name)
+            if not controller.halted:
+                continue
+            for channel_id, envelopes in controller.halt_buffers.items():
+                if envelopes and channel_id not in controller.closed_channels:
+                    open_channels += 1
+        results[label] = (unhalted, open_channels)
+    return results
+
+
+def ablation_a2(seed=5):
+    """Resume after a halt, re-deliver a stale generation-1 marker, count
+    spuriously re-halted processes."""
+    results = {}
+    for label, agent_cls in (("faithful", HaltingAgent),
+                             ("no-freshness", NoFreshnessAgent)):
+        system = build_system(lambda: token_ring.build(n=4, max_hops=300), seed)
+        coordinator = AblatedCoordinator(system, agent_cls)
+        install_trigger(system, "p1", 5, lambda c=coordinator: c.initiate(["p1"]))
+        system.run_to_quiescence()
+        assert coordinator.all_halted()
+        coordinator.resume_all()
+        stale = HaltMarker(halt_id=1, path=("ghost",))
+        controller = system.controller("p0")
+        controller.send_control(
+            controller.outgoing_channels()[0], MessageKind.HALT_MARKER, stale
+        )
+        system.run_to_quiescence()
+        spurious = sum(
+            1 for name in system.user_process_names
+            if system.controller(name).halted
+        )
+        results[label] = spurious
+    return results
+
+
+def test_ablation_marker_coverage(benchmark):
+    results = ablation_a1()
+    rows = [
+        (label, unhalted, open_channels)
+        for label, (unhalted, open_channels) in results.items()
+    ]
+    emit(
+        "ablation_a1_marker_coverage",
+        "A1 — halt markers on all vs one outgoing channel (6-process chatter)",
+        ["agent", "unhalted processes", "buffered channels w/o marker"],
+        rows,
+    )
+    faithful_unhalted, faithful_open = results["faithful"]
+    ablated_unhalted, ablated_open = results["first-channel-only"]
+    assert faithful_unhalted == 0 and faithful_open == 0
+    assert ablated_unhalted > 0 or ablated_open > 0
+    once(benchmark, ablation_a1)
+
+
+def _extended(user_topology, both_ways):
+    from repro.network.topology import Topology
+
+    topo = Topology()
+    for name in user_topology.processes:
+        topo.add_process(name)
+    topo.add_process("d")
+    for channel in user_topology.channels:
+        topo.add_channel(channel.src, channel.dst)
+    for name in user_topology.processes:
+        topo.add_channel("d", name)
+        if both_ways:
+            topo.add_channel(name, "d")
+    return topo
+
+
+def ablation_a3(seed=4):
+    """Pipeline under the extended model with both-ways vs to-only control
+    channels; halts initiated by the debugger and by the consumer."""
+    from repro.debugger.agent import DebuggerProcess
+    from repro.experiments import install_trigger
+    from repro.network.latency import UniformLatency
+    from repro.runtime.system import System
+    from repro.workloads import pipeline
+
+    results = {}
+    for both_ways in (True, False):
+        for initiator in ("d", "consumer"):
+            topo, processes = pipeline.build(stages=2, items=40)
+            extended = _extended(topo, both_ways)
+            staffed = dict(processes)
+            staffed["d"] = DebuggerProcess()
+            system = System(extended, staffed, seed=seed,
+                            latency=UniformLatency(0.4, 1.6),
+                            never_halt={"d"})
+            coordinator = AblatedCoordinator(system, HaltingAgent)
+            if initiator == "d":
+                install_trigger(
+                    system, "consumer", 5,
+                    lambda c=coordinator: c.agents["d"].initiate(),
+                )
+            else:
+                install_trigger(
+                    system, "consumer", 5,
+                    lambda c=coordinator: c.initiate(["consumer"]),
+                )
+            system.run_to_quiescence()
+            total = len(system.user_process_names)
+            halted = total - len(coordinator.unhalted())
+            config = "both-ways" if both_ways else "to-only"
+            results[(config, initiator)] = (halted, total)
+    return results
+
+
+def test_ablation_control_channel_directions(benchmark):
+    results = ablation_a3()
+    rows = [
+        (config, initiator, f"{halted}/{total}")
+        for (config, initiator), (halted, total) in sorted(results.items())
+    ]
+    emit(
+        "ablation_a3_control_directions",
+        "A3 — control channels both ways vs debugger->process only "
+        "(pipeline, stages=2)",
+        ["control channels", "halt initiator", "halted"],
+        rows,
+    )
+    # Both directions: everyone halts regardless of who initiates.
+    assert results[("both-ways", "d")][0] == results[("both-ways", "d")][1]
+    assert results[("both-ways", "consumer")][0] == results[("both-ways", "consumer")][1]
+    # To-only: the debugger can still halt everyone...
+    assert results[("to-only", "d")][0] == results[("to-only", "d")][1]
+    # ...but a process-initiated halt reaches nobody else on the acyclic pipe.
+    assert results[("to-only", "consumer")][0] == 1
+    once(benchmark, ablation_a3)
+
+
+def ablation_a4(loss_probabilities=(0.0, 0.05, 0.2, 0.5), seeds=range(6)):
+    """Ring halting under marker loss: fraction of processes halted."""
+    from repro.experiments import install_trigger
+    from repro.network.latency import UniformLatency
+    from repro.runtime.system import System
+    from repro.workloads import token_ring
+
+    rows = []
+    for loss in loss_probabilities:
+        fractions = []
+        complete = 0
+        for seed in seeds:
+            topo, processes = token_ring.build(n=6, max_hops=100)
+            system = System(topo, processes, seed=seed,
+                            latency=UniformLatency(0.4, 1.6),
+                            loss_probability=loss)
+            coordinator = AblatedCoordinator(system, HaltingAgent)
+            install_trigger(system, "p0", 5,
+                            lambda c=coordinator: c.initiate(["p0"]))
+            system.run_to_quiescence()
+            total = len(system.user_process_names)
+            halted = total - len(coordinator.unhalted())
+            fractions.append(halted / total)
+            complete += int(halted == total)
+        rows.append((
+            loss,
+            round(sum(fractions) / len(fractions), 2),
+            f"{complete}/{len(list(seeds))}",
+        ))
+    return rows
+
+
+def test_ablation_reliable_channels(benchmark):
+    rows = ablation_a4()
+    emit(
+        "ablation_a4_reliable_channels",
+        "A4 — halting under marker loss (6-station ring, halt at p0's 5th event)",
+        ["loss probability", "mean fraction halted", "runs fully halted"],
+        rows,
+    )
+    assert rows[0][1] == 1.0 and rows[0][2].startswith("6")
+    # Loss strictly degrades coverage.
+    fractions = [row[1] for row in rows]
+    assert fractions[0] >= fractions[1] >= fractions[-1]
+    assert fractions[-1] < 1.0
+    once(benchmark, ablation_a4, (0.2,), range(2))
+
+
+def test_ablation_halt_id_freshness(benchmark):
+    results = ablation_a2()
+    emit(
+        "ablation_a2_freshness",
+        "A2 — stale-marker immunity after resume (4-station ring)",
+        ["agent", "spuriously re-halted processes"],
+        [(label, count) for label, count in results.items()],
+    )
+    assert results["faithful"] == 0
+    assert results["no-freshness"] > 0
+    once(benchmark, ablation_a2)

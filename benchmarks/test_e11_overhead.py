@@ -1,0 +1,83 @@
+"""E11 — §5's "minimal change" claim, quantified.
+
+How much debugging-system traffic does each facility inject, relative to
+the program's own traffic?
+
+* halting: one marker per channel per halt generation — a one-shot cost
+  independent of run length;
+* LP detection: one predicate marker per stage transition (plus relays) —
+  proportional to breakpoint count, not traffic;
+* the full debug session: adds arming, notifications, and state reports.
+
+Expected shape: control/user ratios well below 1 for realistic run lengths
+and shrinking as the run grows (the costs are per-halt, not per-message).
+"""
+
+import pytest
+
+from bench_util import emit, once
+from repro.analysis import message_overhead
+from repro.breakpoints import BreakpointCoordinator
+from repro.debugger import DebugSession
+from repro.experiments import build_system, install_trigger
+from repro.halting import HaltingCoordinator
+from repro.network.latency import UniformLatency
+from repro.workloads import chatter
+
+
+def halting_only(budget, seed=4):
+    system = build_system(lambda: chatter.build(n=5, budget=budget, seed=seed), seed)
+    halting = HaltingCoordinator(system)
+    install_trigger(system, "p0", budget, lambda: halting.initiate(["p0"]))
+    system.run_to_quiescence()
+    return message_overhead(system)
+
+
+def breakpoint_run(budget, seed=4):
+    system = build_system(lambda: chatter.build(n=5, budget=budget, seed=seed), seed)
+    HaltingCoordinator(system)
+    breakpoints = BreakpointCoordinator(system)
+    breakpoints.set_breakpoint("send(chat)@p1 -> recv(chat)@p3 -> send(chat)@p2")
+    system.run_to_quiescence()
+    return message_overhead(system)
+
+
+def session_run(budget, seed=4):
+    topo, processes = chatter.build(n=5, budget=budget, seed=seed)
+    session = DebugSession(topo, processes, seed=seed,
+                           latency=UniformLatency(0.4, 1.6))
+    session.set_breakpoint(f"state(sent>={budget // 2})@p2")
+    session.run()
+    return message_overhead(session.system)
+
+
+def run_sweep(budgets=(10, 20, 40, 80)):
+    rows = []
+    for budget in budgets:
+        halt = halting_only(budget)
+        lp = breakpoint_run(budget)
+        sess = session_run(budget)
+        rows.append((
+            budget,
+            halt.user_messages, halt.control_messages,
+            round(halt.control_per_user, 3),
+            round(lp.control_per_user, 3),
+            round(sess.control_per_user, 3),
+        ))
+    return rows
+
+
+def test_e11_overhead(benchmark):
+    rows = run_sweep()
+    emit(
+        "e11_overhead",
+        "E11 — debugging-system messages per user message",
+        ["budget", "user msgs", "halt ctrl msgs",
+         "halt ctrl/user", "LP ctrl/user", "session ctrl/user"],
+        rows,
+    )
+    halt_ratios = [row[3] for row in rows]
+    # The per-halt cost amortizes: ratio strictly falls as runs grow.
+    assert halt_ratios == sorted(halt_ratios, reverse=True)
+    assert halt_ratios[-1] < 0.5
+    once(benchmark, halting_only, 20)

@@ -1,0 +1,65 @@
+"""E12 — halt_id discipline across repeated halt/resume cycles (§2.2.1).
+
+The paper claims: when all processes halt, every last_halt_id is equal
+(each gets incremented exactly once per halting), and old markers are
+distinguishable from new ones. We run k breakpoint→halt→inspect→resume
+cycles on one session and check, per cycle: all ids equal, ids strictly
+increasing across cycles, and a deliberately re-injected stale marker
+re-halts nobody.
+"""
+
+import pytest
+
+from bench_util import emit, once
+from repro.debugger import DebugSession
+from repro.halting import HaltMarker
+from repro.network.latency import UniformLatency
+from repro.network.message import MessageKind
+from repro.workloads import token_ring
+
+
+def run_cycles(cycles=4, seed=5):
+    topo, processes = token_ring.build(n=4, max_hops=500)
+    session = DebugSession(topo, processes, seed=seed,
+                           latency=UniformLatency(0.4, 1.6))
+    rows = []
+    for cycle in range(1, cycles + 1):
+        session.set_breakpoint(f"enter(receive_token)@p1 ^{cycle}")
+        outcome = session.run()
+        assert outcome.stopped, f"cycle {cycle} did not halt"
+        ids = {
+            session._halting_agents[name].last_halt_id
+            for name in session.system.user_process_names
+        }
+        tokens_seen = session.inspect("p1")["tokens_seen"]
+        rows.append((cycle, sorted(ids), tokens_seen))
+
+        # Stale-marker immunity: re-inject the *previous* generation's
+        # marker at a user process after resuming.
+        session.resume()
+        stale = HaltMarker(halt_id=max(ids) - 1, path=("ghost",))
+        controller = session.system.controller("p0")
+        controller.send_control(
+            controller.outgoing_channels()[0], MessageKind.HALT_MARKER, stale
+        )
+    return session, rows
+
+
+def test_e12_halt_generations(benchmark):
+    session, rows = run_cycles()
+    emit(
+        "e12_halt_id",
+        "E12 — halt_id generations over halt/resume cycles "
+        "(stale marker re-injected after each resume)",
+        ["cycle", "last_halt_ids (all agents)", "p1 tokens_seen"],
+        rows,
+    )
+    for cycle, ids, _ in rows:
+        assert len(ids) == 1, f"cycle {cycle}: ids diverged {ids}"
+    generations = [ids[0] for _, ids, _ in rows]
+    assert generations == sorted(set(generations)), "generations must increase"
+    # After the final resume + stale marker, nothing halted spuriously.
+    session.system.kernel.run(max_events=100_000,
+                              stop_when=session.system.all_user_processes_halted)
+    assert not session.system.all_user_processes_halted()
+    once(benchmark, run_cycles, 2)

@@ -1,0 +1,90 @@
+"""E13 (extension) — Possibly/Definitely over the cut lattice vs online detection.
+
+The paper stops at "unordered conjunctions need gathering and come late"
+(§3.5). The line of work it seeded (Cooper & Marzullo) made the offline
+semantics precise: ``Possibly(φ)`` (some consistent cut satisfies φ) and
+``Definitely(φ)`` (every observation must pass through φ). This experiment
+connects our online gather detector to those semantics:
+
+* whenever the online detector reports an unordered co-satisfaction, the
+  offline lattice confirms ``Possibly(φ)`` — the online detector is sound;
+* ``Definitely`` is strictly rarer than ``Possibly`` (transients are
+  usually avoidable);
+* lattice sizes show why online detection matters: even tiny runs have
+  thousands of consistent cuts.
+"""
+
+import pytest
+
+from bench_util import emit, once
+from repro.analysis import CutLattice, state_predicate
+from repro.debugger import DebugSession
+from repro.network.latency import UniformLatency
+from repro.workloads import bank
+
+LOW = 950
+HIGH = 1000
+
+
+def run_one(seed):
+    """phi: branch0 has dipped below LOW while branch1 still sits at or
+    above HIGH — a *transient* condition (branch1 usually dips too,
+    eventually), so Definitely can genuinely come out false."""
+    topo, processes = bank.build(n=3, transfers=4, tick=0.8)
+    session = DebugSession(topo, processes, seed=seed,
+                           latency=UniformLatency(0.4, 1.6))
+    watch_id = session.watch_conjunction(
+        f"state(balance<{LOW})@branch0 & state(balance>={HIGH})@branch1"
+    )
+    session.run()
+    online = len(session.agent.detections_for(watch_id))
+
+    lattice = CutLattice(
+        session.system.log,
+        processes=sorted(session.system.user_process_names),
+        max_cuts=400_000,
+    )
+    low = lambda v: v is not None and v < LOW
+    high = lambda v: v is None or v >= HIGH
+    phi = state_predicate(**{"branch0.balance": low, "branch1.balance": high})
+    cuts = lattice.count_cuts()
+    possibly = lattice.possibly(phi)
+    definitely = lattice.definitely(phi)
+    return cuts, possibly.holds, definitely.holds, online
+
+
+def run_sweep(seeds=(0, 1, 2, 3, 4, 5)):
+    rows = []
+    for seed in seeds:
+        cuts, possibly, definitely, online = run_one(seed)
+        rows.append((
+            seed, cuts,
+            "yes" if possibly else "no",
+            "yes" if definitely else "no",
+            online,
+        ))
+    return rows
+
+
+def test_e13_possibly_definitely(benchmark):
+    rows = run_sweep()
+    emit(
+        "e13_possibly_definitely",
+        f"E13 — Possibly/Definitely(branch0<{LOW} AND branch1>={HIGH}) "
+        "vs online gather detection (bank n=3, 4 transfers)",
+        ["seed", "consistent cuts", "Possibly", "Definitely", "online detections"],
+        rows,
+    )
+    for seed, cuts, possibly, definitely, online in rows:
+        # Online soundness: a gather detection implies Possibly.
+        if online > 0:
+            assert possibly == "yes", f"seed {seed}: online detected but not Possibly"
+        # Definitely implies Possibly.
+        if definitely == "yes":
+            assert possibly == "yes"
+        assert cuts > 100  # even these tiny runs have big lattices
+    assert any(row[2] == "yes" for row in rows), "transient never possible?"
+    assert any(row[3] == "no" for row in rows), (
+        "expected at least one avoidable (Possibly-but-not-Definitely) run"
+    )
+    once(benchmark, run_one, 0)

@@ -1,0 +1,69 @@
+"""E15 (extension) — scale: the algorithms at laptop-uncomfortable sizes.
+
+Not a paper claim, an adoption question: how do halt latency, marker
+counts, and wall-clock cost grow with system size? Marker count is exactly
+the channel count per generation (each process sends one marker per
+outgoing channel, once); halt span stays flat on constant-degree
+topologies and the whole 128-process ring halts in well under a second of
+wall clock on the DES backend.
+"""
+
+import time
+
+import pytest
+
+from bench_util import emit, once
+from repro.experiments import build_system, install_trigger
+from repro.halting import HaltingCoordinator
+from repro.network.topology import complete, ring
+from repro.workloads.chatter import ChatterProcess
+
+
+def run_one(kind, n, seed=1):
+    names = [f"p{i}" for i in range(n)]
+    topo = ring(names) if kind == "ring" else complete(names)
+    processes = {name: ChatterProcess(budget=10, tick=0.8) for name in names}
+    system = build_system(lambda: (topo, processes), seed)
+    coordinator = HaltingCoordinator(system)
+    install_trigger(system, "p0", 5, lambda: coordinator.initiate(["p0"]))
+    wall_start = time.perf_counter()
+    system.run_to_quiescence(max_events=5_000_000)
+    wall = time.perf_counter() - wall_start
+    assert coordinator.all_halted()
+    state = coordinator.collect()
+    times = [snap.time for snap in state.processes.values()]
+    markers = system.message_totals().get("halt_marker", 0)
+    return len(topo.channels), markers, max(times) - min(times), wall
+
+
+def run_sweep():
+    rows = []
+    for kind, sizes in (("ring", (8, 32, 128)), ("complete", (8, 16, 32))):
+        for n in sizes:
+            channels, markers, span, wall = run_one(kind, n)
+            rows.append((
+                kind, n, channels, markers, round(span, 2),
+                f"{wall * 1000:.0f}ms",
+            ))
+    return rows
+
+
+def test_e15_scale(benchmark):
+    rows = run_sweep()
+    emit(
+        "e15_scale",
+        "E15 — halting at scale (chatter, budget 10, halt at p0's 5th event)",
+        ["topology", "n", "channels", "halt markers", "halt span", "wall clock"],
+        rows,
+    )
+    for kind, n, channels, markers, span, wall in rows:
+        # The marker-count law: exactly one marker per channel per
+        # generation (the debugger-free basic model; one generation).
+        assert markers == channels, (kind, n)
+    ring_spans = [row[4] for row in rows if row[0] == "ring"]
+    # Ring span grows with n (markers travel hop by hop)...
+    assert ring_spans[0] < ring_spans[-1]
+    complete_spans = [row[4] for row in rows if row[0] == "complete"]
+    # ...while the complete graph's stays within a couple of hops.
+    assert max(complete_spans) < 6.0
+    once(benchmark, run_one, "ring", 32)

@@ -1,0 +1,56 @@
+"""E2 — Theorem 2: the halted state equals the recorded snapshot, exactly.
+
+Sweep: workload × seed × initiation point, including simultaneous
+multi-initiator cases. Expected shape: the `S_h == S_r` column is `exact`
+for every row — the headline result of the reproduction.
+"""
+
+import pytest
+
+from bench_util import emit, once
+from repro.analysis import states_equivalent
+from repro.experiments import run_halting, run_snapshot
+from repro.workloads import bank, chatter, token_ring
+
+SWEEP = [
+    ("token_ring", lambda: token_ring.build(n=4, max_hops=40), "p1", 8, ()),
+    ("token_ring", lambda: token_ring.build(n=4, max_hops=40), "p3", 20, ()),
+    ("bank", lambda: bank.build(n=4, transfers=25), "branch0", 12, ()),
+    ("bank 2-init", lambda: bank.build(n=4, transfers=25), "branch0", 12, ("branch3",)),
+    ("chatter", lambda: chatter.build(n=5, budget=25, seed=4), "p2", 10, ()),
+    ("chatter 3-init", lambda: chatter.build(n=5, budget=25, seed=4), "p2", 10, ("p0", "p4")),
+]
+
+
+def paired(builder, seed, trigger, nth, extras):
+    _, _, s_h = run_halting(builder, seed, trigger, nth, extra_initiators=extras)
+    _, _, s_r = run_snapshot(builder, seed, trigger, nth, extra_initiators=extras)
+    return s_h, s_r
+
+
+def run_sweep(seeds=(0, 1, 2)):
+    rows = []
+    for name, builder, trigger, nth, extras in SWEEP:
+        for seed in seeds:
+            s_h, s_r = paired(builder, seed, trigger, nth, extras)
+            report = states_equivalent(s_h, s_r)
+            rows.append((
+                name, seed, trigger,
+                len(s_h.processes),
+                s_h.total_pending_messages(),
+                "exact" if report.equivalent else report.differences[0],
+            ))
+    return rows
+
+
+def test_e2_halt_equals_snapshot(benchmark):
+    rows = run_sweep()
+    emit(
+        "e2_halt_equals_snapshot",
+        "E2 — S_h = S_r (Theorem 2), exact structural equality",
+        ["workload", "seed", "initiator", "procs", "pending msgs", "S_h == S_r"],
+        rows,
+    )
+    assert all(row[5] == "exact" for row in rows)
+    name, builder, trigger, nth, extras = SWEEP[0]
+    once(benchmark, paired, builder, 0, trigger, nth, extras)

@@ -1,0 +1,79 @@
+"""E3 — Fig. 2 vs Fig. 3: acyclic pipelines under basic vs extended model.
+
+Sweep: pipeline length. Basic algorithm, consumer-initiated: only the
+consumer halts (markers cannot travel upstream) — fraction halted is
+1/(stages+2) and the producer finishes all its items. Extended model: 100%
+halted, producer frozen far from completion.
+"""
+
+import pytest
+
+from bench_util import emit, once
+from repro.debugger import DebugSession
+from repro.experiments import build_system, install_trigger
+from repro.halting import HaltingCoordinator
+from repro.network.latency import UniformLatency
+from repro.workloads import pipeline
+
+ITEMS = 60
+
+
+def basic_run(stages, seed=1):
+    topo, processes = pipeline.build(stages=stages, items=ITEMS)
+    system = build_system(lambda: (topo, processes), seed)
+    halting = HaltingCoordinator(system)
+    install_trigger(system, "consumer", 5,
+                    lambda: halting.initiate(["consumer"]))
+    system.run_to_quiescence()
+    total = len(system.user_process_names)
+    halted = total - len(halting.unhalted())
+    return halted, total, system.state_of("producer")["produced"]
+
+
+def extended_run(stages, seed=1):
+    topo, processes = pipeline.build(stages=stages, items=ITEMS)
+    session = DebugSession(topo, processes, seed=seed,
+                           latency=UniformLatency(0.4, 1.6))
+    session.set_breakpoint("enter(consume)@consumer ^5")
+    outcome = session.run()
+    total = len(session.system.user_process_names)
+    halted = sum(
+        1 for name in session.system.user_process_names
+        if session.system.controller(name).halted
+    )
+    produced = (
+        session.inspect("producer")["produced"] if outcome.stopped else ITEMS
+    )
+    return halted, total, produced
+
+
+def run_sweep(lengths=(1, 2, 4, 8, 16)):
+    rows = []
+    for stages in lengths:
+        basic_halted, total, basic_produced = basic_run(stages)
+        ext_halted, _, ext_produced = extended_run(stages)
+        rows.append((
+            stages + 2,
+            f"{basic_halted}/{total}", basic_produced,
+            f"{ext_halted}/{total}", ext_produced,
+        ))
+    return rows
+
+
+def test_e3_acyclic_topology(benchmark):
+    rows = run_sweep()
+    emit(
+        "e3_acyclic_topology",
+        "E3 — consumer-initiated halt on acyclic pipelines "
+        f"(producer has {ITEMS} items)",
+        ["pipe len", "basic halted", "basic produced",
+         "extended halted", "extended produced"],
+        rows,
+    )
+    for row in rows:
+        total = row[0]
+        assert row[1] == f"1/{total}"          # only the consumer halts
+        assert row[2] == ITEMS                  # producer ran to exhaustion
+        assert row[3] == f"{total}/{total}"     # extended halts everyone
+        assert row[4] < ITEMS                   # producer frozen mid-stream
+    once(benchmark, extended_run, 2)

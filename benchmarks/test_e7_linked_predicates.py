@@ -1,0 +1,90 @@
+"""E7 — Linked Predicate detection: soundness against the causal oracle.
+
+For every completed LP the detector reports a trail of stage hits; the
+oracle (vector clocks over the ground-truth log) must confirm the trail is
+a happened-before chain whose events match the stage terms. Sweep:
+workload × predicate shape × seed. Also reported: detection latency (last
+stage event time → halt initiation) and predicate-marker message counts.
+Expected shape: 100% of trails oracle-confirmed; zero trails means the
+predicate legitimately never fired (reported, must stay rare).
+"""
+
+import pytest
+
+from bench_util import emit, once
+from repro.breakpoints import BreakpointCoordinator
+from repro.experiments import build_system
+from repro.halting import HaltingCoordinator
+from repro.workloads import bank, gossip, token_ring
+
+SWEEP = [
+    ("ring 2-stage", lambda: token_ring.build(n=4, max_hops=60),
+     "enter(receive_token)@p1 -> enter(receive_token)@p3"),
+    ("ring 3-stage", lambda: token_ring.build(n=4, max_hops=60),
+     "enter(receive_token)@p0 -> enter(receive_token)@p2 -> enter(receive_token)@p1"),
+    ("ring repeat", lambda: token_ring.build(n=4, max_hops=60),
+     "enter(receive_token)@p1^2 -> enter(receive_token)@p2"),
+    ("bank disjunct", lambda: bank.build(n=4, transfers=30),
+     "send(wire)@branch0 | send(wire)@branch1 -> recv(wire)@branch2"),
+    ("gossip chain", lambda: gossip.build(n=8, ttl=8, seed=5, delay=3.0),
+     "mark(rumor_started)@g0 -> recv(rumor)@g2"),
+]
+
+
+def oracle_check(system, trail):
+    """Trail events exist, match their terms, and form a h-b chain."""
+    events = []
+    by_eid = {e.eid: e for e in system.log}
+    for hit in trail:
+        event = by_eid.get(hit.eid)
+        if event is None or event.process != hit.process:
+            return False
+        events.append(event)
+    return all(a.happened_before(b) for a, b in zip(events, events[1:]))
+
+
+def run_one(builder, predicate, seed):
+    system = build_system(builder, seed)
+    halting = HaltingCoordinator(system)
+    breakpoints = BreakpointCoordinator(system)
+    lp_id = breakpoints.set_breakpoint(predicate)
+    system.run_to_quiescence()
+    hits = breakpoints.hits_for(lp_id)
+    if not hits:
+        return 0, 0, 0.0, system.message_totals().get("predicate_marker", 0)
+    confirmed = sum(1 for hit in hits if oracle_check(system, hit.trail))
+    # Detection latency: final stage event -> all halted.
+    state = halting.collect(require_all=False)
+    last_halt = max((s.time for s in state.processes.values()), default=0.0)
+    latency = last_halt - hits[0].trail[-1].time
+    markers = system.message_totals().get("predicate_marker", 0)
+    return len(hits), confirmed, latency, markers
+
+
+def run_sweep(seeds=(0, 1, 2)):
+    rows = []
+    for name, builder, predicate in SWEEP:
+        for seed in seeds:
+            fired, confirmed, latency, markers = run_one(builder, predicate, seed)
+            rows.append((
+                name, seed, fired, confirmed,
+                round(latency, 2), markers,
+            ))
+    return rows
+
+
+def test_e7_linked_predicates(benchmark):
+    rows = run_sweep()
+    emit(
+        "e7_linked_predicates",
+        "E7 — LP detection vs causal oracle",
+        ["scenario", "seed", "completions", "oracle-confirmed",
+         "halt latency", "marker msgs"],
+        rows,
+    )
+    for row in rows:
+        assert row[2] == row[3], f"unconfirmed trail in {row[0]} seed {row[1]}"
+    fired_total = sum(row[2] for row in rows)
+    assert fired_total >= len(rows) * 0.6, "too many predicates never fired"
+    name, builder, predicate = SWEEP[0]
+    once(benchmark, run_one, builder, predicate, 0)

@@ -1,0 +1,95 @@
+"""E9 — naive broadcast halting vs the marker algorithm (§4's IDD critique).
+
+The same interesting point triggers both mechanisms. Metrics:
+
+* **drift** — user events executed past the reference cut (the snapshot at
+  the trigger). Markers: exactly 0 (Theorem 2). Naive: grows with the
+  notify+broadcast round-trip × message rate, i.e. with control latency.
+* **indeterminable channels** — buffered channels without a closing marker.
+  Markers: 0. Naive: every non-empty channel.
+
+Expected shape: a monotone drift column for naive, a zero column for
+markers, mirroring the paper's argument that untimely halting destroys the
+evidence the programmer wanted to inspect.
+"""
+
+import pytest
+
+from bench_util import emit, once
+from repro.analysis import drift_between
+from repro.baselines.naive_halt import NaiveHaltCoordinator
+from repro.debugger.agent import DebuggerProcess
+from repro.experiments import install_trigger, run_halting, run_snapshot
+from repro.network.latency import FixedLatency, UniformLatency
+from repro.runtime.system import System
+from repro.workloads import chatter
+
+
+def fast_chatter():
+    return chatter.build(n=5, budget=80, tick=0.25, seed=3)
+
+
+def naive_run(control_latency, seed=3):
+    topo, processes = fast_chatter()
+    extended = topo.with_debugger("d")
+    staffed = dict(processes)
+    staffed["d"] = DebuggerProcess()
+    # Control (monitor) channels get the swept latency; user channels the
+    # standard one. This models a far-away central debugger console.
+    control_channels = {
+        channel: FixedLatency(control_latency)
+        for channel in extended.channels
+        if "d" in (channel.src, channel.dst)
+    }
+    system = System(extended, staffed, seed=seed,
+                    latency=UniformLatency(0.2, 0.8),
+                    channel_latencies=control_channels,
+                    never_halt={"d"})
+    coordinator = NaiveHaltCoordinator(system, monitor="d")
+    install_trigger(system, "p1", 10, lambda: coordinator.trip("p1"))
+    system.run_to_quiescence()
+    state = coordinator.collect()
+    indeterminable = sum(
+        1 for cs in state.channels.values() if cs.messages and not cs.complete
+    )
+    return state, indeterminable
+
+
+def run_sweep(latencies=(0.5, 2.0, 5.0, 10.0)):
+    reference_builder = fast_chatter
+    _, _, reference = run_snapshot(reference_builder, 3, "p1", 10,
+                                   latency=UniformLatency(0.2, 0.8))
+    _, _, marker_state = run_halting(reference_builder, 3, "p1", 10,
+                                     latency=UniformLatency(0.2, 0.8))
+    marker_drift = drift_between(reference, marker_state)
+
+    rows = []
+    for control_latency in latencies:
+        naive_state, indeterminable = naive_run(control_latency)
+        naive_drift = drift_between(reference, naive_state)
+        rows.append((
+            control_latency,
+            naive_drift.total, naive_drift.maximum, indeterminable,
+            marker_drift.total,
+            sum(1 for cs in marker_state.channels.values()
+                if cs.messages and not cs.complete),
+        ))
+    return rows
+
+
+def test_e9_naive_vs_marker(benchmark):
+    rows = run_sweep()
+    emit(
+        "e9_naive_vs_marker",
+        "E9 — state drift past the breakpoint: naive broadcast vs markers",
+        ["ctrl latency", "naive drift", "naive max drift",
+         "naive open chans", "marker drift", "marker open chans"],
+        rows,
+    )
+    drifts = [row[1] for row in rows]
+    assert all(row[4] == 0 for row in rows), "marker halting must have zero drift"
+    assert all(row[5] == 0 for row in rows), "marker channels must be closed"
+    assert all(d > 0 for d in drifts), "naive halting should drift"
+    assert drifts[-1] > drifts[0], "drift should grow with control latency"
+    assert all(row[3] > 0 for row in rows), "naive channels are indeterminable"
+    once(benchmark, naive_run, 2.0)

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Tutorial companion: write your own workload and debug it.
+
+This file is the runnable version of docs/TUTORIAL.md. It builds a tiny
+request/reply service from scratch — a load balancer fanning requests to
+two workers with an injected starvation bug — then uses the library to
+find the bug: a breakpoint on the symptom, a consistent halt, and a
+post-mortem of the frozen states.
+
+Run:  python examples/custom_workload_tutorial.py
+"""
+
+from repro.core.api import attach_debugger
+from repro.network.topology import Topology
+from repro.runtime.process import Process
+
+
+# -- 1. the program under debug ------------------------------------------------
+
+
+class LoadBalancer(Process):
+    """Fans incoming jobs to workers. Bug: the 'least-loaded' picker never
+    updates its load table, so every job goes to worker0."""
+
+    def __init__(self, jobs: int) -> None:
+        self.jobs = jobs
+
+    def on_start(self, ctx):
+        ctx.state["dispatched"] = 0
+        ctx.state["completed"] = 0
+        ctx.state["load"] = {"worker0": 0, "worker1": 0}
+        ctx.set_timer("dispatch", 0.5)
+
+    def on_timer(self, ctx, name, payload):
+        if ctx.state["dispatched"] >= self.jobs:
+            return
+        with ctx.procedure("dispatch"):
+            load = ctx.state["load"]
+            target = min(load, key=load.get)  # least loaded...
+            # BUG: forgot  load[target] += 1  (and to write it back),
+            # so min() always returns 'worker0'.
+            ctx.send(target, {"job": ctx.state["dispatched"]}, tag="job")
+            ctx.state["dispatched"] = ctx.state["dispatched"] + 1
+        ctx.set_timer("dispatch", 0.4)
+
+    def on_message(self, ctx, src, payload):
+        ctx.state["completed"] = ctx.state["completed"] + 1
+
+
+class Worker(Process):
+    def on_start(self, ctx):
+        ctx.state["queue"] = 0
+        ctx.state["done"] = 0
+
+    def on_message(self, ctx, src, payload):
+        ctx.state["queue"] = ctx.state["queue"] + 1
+        ctx.set_timer(f"work{payload['job']}", 1.2, payload=src)
+
+    def on_timer(self, ctx, name, payload):
+        with ctx.procedure("finish_job"):
+            ctx.state["queue"] = ctx.state["queue"] - 1
+            ctx.state["done"] = ctx.state["done"] + 1
+            ctx.send(payload, {"ack": name}, tag="ack")
+
+
+def build():
+    topo = Topology()
+    for name in ("lb", "worker0", "worker1"):
+        topo.add_process(name)
+    topo.add_bidirectional("lb", "worker0")
+    topo.add_bidirectional("lb", "worker1")
+    return topo, {"lb": LoadBalancer(jobs=12), "worker0": Worker(),
+                  "worker1": Worker()}
+
+
+# -- 2. debugging it ----------------------------------------------------------------
+
+
+def main() -> None:
+    topology, processes = build()
+    session = attach_debugger(topology, processes, seed=3)
+
+    # The symptom: one worker's queue keeps growing.
+    session.set_breakpoint("state(queue>=4)@worker0")
+
+    outcome = session.run()
+    assert outcome.stopped, "the symptom never appeared?"
+    print(f"symptom hit at t={outcome.time:.2f}; everything frozen "
+          "consistently:\n")
+    for name in ("lb", "worker0", "worker1"):
+        print(f"  {name:8s}: {session.inspect(name)}")
+
+    state = session.global_state()
+    in_flight = {
+        str(channel): len(cs.messages)
+        for channel, cs in state.channels.items() if cs.messages
+    }
+    print(f"\n  in flight: {in_flight}")
+
+    # The frozen picture is the diagnosis: worker1 idle, worker0 drowning,
+    # and the balancer's load table still all zeros — it never learned.
+    lb = session.inspect("lb")
+    assert lb["load"] == {"worker0": 0, "worker1": 0}
+    assert session.inspect("worker1")["done"] == 0
+    print("\ndiagnosis: lb.load never updated -> min() always picks "
+          "worker0; worker1 has done nothing.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Deadlock hunting: halt a quiet system and read the waits-for cycle.
+
+Five philosophers all grab their left fork first with identical think
+times — the textbook deadlock. No message ever errors, nothing crashes;
+the system simply goes quiet. This is the debugging scenario where a
+*consistent* freeze shines: halt everything, and the frozen states contain
+a coherent waits-for graph (every "I'm waiting for fork_i" is matched by
+that fork's "held by ph_j" from the same consistent cut).
+
+Run:  python examples/deadlock_hunt.py
+"""
+
+from repro.core.api import attach_debugger
+from repro.workloads import philosophers
+from repro.workloads.philosophers import waits_for_cycle
+
+
+def main() -> None:
+    topology, processes = philosophers.build(
+        n=5, meals=3, policy="left-first", think=1.0
+    )
+    session = attach_debugger(topology, processes, seed=0)
+
+    # Let the program run; it deadlocks quietly (the run() returns without
+    # a halt because no breakpoint fired — the program just stopped
+    # making progress).
+    outcome = session.run()
+    assert not outcome.stopped
+    print(f"program went quiet at t={outcome.time:.2f} with no one finished:")
+    for i in range(5):
+        print(f"  ph{i}: {session.inspect(f'ph{i}')}")
+
+    # Freeze it consistently and autopsy.
+    session.halt()
+    outcome = session.run()
+    assert outcome.stopped
+    print("\n" + session.describe_halt())
+
+    states = {
+        name: session.inspect(name)
+        for name in session.system.user_process_names
+    }
+    cycle = waits_for_cycle(states)
+    print("\nwaits-for analysis of the frozen states:")
+    if cycle is None:
+        print("  no cycle (not a deadlock)")
+        return
+    pretty = " -> ".join(
+        f"{p} (wants {states[p]['waiting_for']})" for p in cycle
+    )
+    print(f"  CYCLE: {pretty} -> {cycle[0]}")
+    print("\neach philosopher holds its left fork and waits for its right —")
+    print("the classic circular wait, extracted from one consistent cut.")
+
+    # Contrast: the ordered-acquisition policy finishes.
+    topology2, processes2 = philosophers.build(
+        n=5, meals=3, policy="ordered", think=1.0
+    )
+    session2 = attach_debugger(topology2, processes2, seed=0)
+    session2.run()
+    meals = [session2.inspect(f"ph{i}")["meals"] for i in range(5)]
+    print(f"\nsame run with ordered acquisition: meals = {meals} (no deadlock)")
+
+
+if __name__ == "__main__":
+    main()

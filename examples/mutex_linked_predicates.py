@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Linked Predicates and the SCP partition on a real protocol (§3, Fig. 4).
+
+Three processes run Ricart-Agrawala mutual exclusion. We:
+
+1. set a *Linked Predicate* breakpoint — "halt when m0 enters its critical
+   section and then, causally later, m2 enters its own" — and show the
+   satisfaction trail the detection algorithm (§3.6) produces;
+2. compute the SCP set of the conjunction ``cs_enter@m0 ∧ cs_enter@m1``
+   from the recorded execution and partition it into ordered pairs
+   (LP-detectable) and unordered pairs (only gather-detectable), the
+   distinction Figure 4 illustrates.
+
+Run:  python examples/mutex_linked_predicates.py
+"""
+
+from repro.breakpoints import SimplePredicate, compute_scp
+from repro.core.api import attach_debugger
+from repro.events.event import EventKind
+from repro.workloads import mutex
+
+
+def main() -> None:
+    topology, processes = mutex.build(n=3, entries=4)
+    session = attach_debugger(topology, processes, seed=11)
+
+    lp_text = "mark(cs_enter)@m0 -> mark(cs_enter)@m2"
+    print(f"breakpoint: {lp_text}")
+    session.set_breakpoint(lp_text)
+
+    outcome = session.run()
+    assert outcome.stopped, "breakpoint never fired"
+    hit = outcome.hits[0]
+    print("satisfaction trail (each stage causally after the previous):")
+    for stage_hit in hit.marker.trail:
+        print(f"  {stage_hit}")
+    print()
+    print(session.describe_halt())
+    print()
+
+    # Mutual exclusion held right up to the halt: check from the log that
+    # critical sections never overlapped causally.
+    log = session.system.log
+    sp0 = SimplePredicate(process="m0", kind=EventKind.STATE_CHANGE, detail="cs_enter")
+    sp1 = SimplePredicate(process="m1", kind=EventKind.STATE_CHANGE, detail="cs_enter")
+    scp = compute_scp(log, sp0, sp1)
+    print(f"SCP analysis of  cs_enter@m0 ∧ cs_enter@m1  over this run:")
+    print(f"  {scp.summary()}")
+    for pair in scp.ordered[:4]:
+        print(f"  ordered   : #{pair.first.eid} {pair.direction} #{pair.second.eid}")
+    for pair in scp.unordered[:4]:
+        print(f"  unordered : #{pair.first.eid} || #{pair.second.eid} "
+              "(no halting-in-time detection possible, §3.5)")
+    if not scp.unordered:
+        print("  (no unordered pairs in this run — mutual exclusion orders "
+              "most CS entries through the reply protocol)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: debug a distributed bank with a consistent breakpoint.
+
+Four branches wire money to each other. We attach the paper's debugger
+(extended model, §2.2.3), set a distributed breakpoint, and — when it fires
+— the Halting Algorithm (§2.2) freezes every branch in a *consistent*
+global state: the balances plus the wires caught in flight always sum to
+the initial total. Try doing that by stopping processes one at a time.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.api import attach_debugger
+from repro.workloads import bank
+
+
+def main() -> None:
+    topology, processes = bank.build(n=4, transfers=30)
+    session = attach_debugger(topology, processes, seed=42)
+
+    # Halt the whole computation the moment branch0's balance drops below
+    # 600 — a Simple Predicate on one process's state (§3.2).
+    session.set_breakpoint("state(balance<600)@branch0")
+
+    outcome = session.run()
+    if not outcome.stopped:
+        print("program finished before the breakpoint fired")
+        return
+
+    hit = outcome.hits[0]
+    print(f"breakpoint fired at {hit.process} (t={hit.time:.2f})")
+    print(session.describe_halt())
+    print()
+
+    state = session.global_state()
+    print(state.describe())
+    print()
+
+    balances = {
+        name: snap.state["balance"] for name, snap in state.processes.items()
+    }
+    in_flight = [
+        (str(channel), [m.payload for m in channel_state.messages])
+        for channel, channel_state in state.channels.items()
+        if channel_state.messages
+    ]
+    total = bank.total_money(state)
+    print(f"balances        : {balances}")
+    print(f"wires in flight : {in_flight}")
+    print(f"audit           : {total} == {4 * bank.INITIAL_BALANCE}  "
+          f"({'CONSISTENT' if total == 4 * bank.INITIAL_BALANCE else 'LOST MONEY!'})")
+
+    # The program is frozen, not dead: resume and let it finish.
+    session.resume()
+    final = session.run()
+    print(f"\nresumed; program finished at t={final.time:.2f} "
+          f"(stopped again: {final.stopped})")
+
+
+if __name__ == "__main__":
+    main()

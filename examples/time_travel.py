@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Time travel: halt at a breakpoint, save S_h, replay the suffix.
+
+Because the halted state S_h is a complete consistent global state
+(process states + every undelivered message — Theorem 2), it is also a
+*restart point*. We halt a bank at a breakpoint, serialize the state to
+JSON, then resurrect it twice under different seeds: two different — but
+both valid — futures of the same frozen moment, each conserving every
+dollar.
+
+Run:  python examples/time_travel.py
+"""
+
+import io
+
+from repro.core.api import attach_debugger
+from repro.halting import restore
+from repro.network.latency import UniformLatency
+from repro.trace import dump_state, load_state
+from repro.workloads import bank
+
+
+def main() -> None:
+    topology, processes = bank.build(n=4, transfers=30)
+    session = attach_debugger(topology, processes, seed=7)
+    session.set_breakpoint("state(transfers_made>=10)@branch2")
+    outcome = session.run()
+    assert outcome.stopped
+    state = session.global_state()
+    print(f"halted at t={outcome.time:.2f}; audit: "
+          f"{bank.total_money(state)} == {4 * bank.INITIAL_BALANCE}")
+    print(f"frozen progress: "
+          f"{[state.processes[f'branch{i}'].state['transfers_made'] for i in range(4)]}"
+          " transfers made")
+
+    # Persist the moment.
+    buffer = io.StringIO()
+    dump_state(state, buffer)
+    print(f"saved S_h: {len(buffer.getvalue())} bytes of JSON")
+
+    # Two alternate futures from the same instant.
+    for seed in (100, 200):
+        buffer.seek(0)
+        reloaded = load_state(buffer)
+        topo, fresh = bank.build(n=4, transfers=30)
+        system = restore(reloaded, topo, fresh, seed=seed,
+                         latency=UniformLatency(0.4, 1.6))
+        system.run_to_quiescence()
+        balances = {
+            name: system.state_of(name)["balance"]
+            for name in system.user_process_names
+        }
+        total = bank.total_money(balances)
+        print(f"\nfuture with seed {seed}:")
+        print(f"  final balances {balances}")
+        print(f"  audit: {total} == {4 * bank.INITIAL_BALANCE} "
+              f"({'OK' if total == 4 * bank.INITIAL_BALANCE else 'LOST MONEY'})")
+        print(f"  everyone finished: "
+              f"{[system.state_of(f'branch{i}')['transfers_made'] for i in range(4)]}")
+
+
+if __name__ == "__main__":
+    main()

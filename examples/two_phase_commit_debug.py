@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Debugging a wedged two-phase commit with the interactive CLI.
+
+A participant silently drops its vote in round 3 and the (buggy,
+timeout-less) coordinator waits forever. We drive the debugger's command
+shell exactly as a person would: run, notice the quiet, halt, inspect the
+coordinator, find the missing vote, check the culprit's event history.
+
+Run:  python examples/two_phase_commit_debug.py
+"""
+
+from repro.core.api import attach_debugger
+from repro.debugger.cli import PROMPT, DebuggerCLI
+from repro.workloads import two_phase_commit
+
+
+def main() -> None:
+    topology, processes = two_phase_commit.build(
+        n=3, rounds=5, silent_voter="part2", silent_round=3
+    )
+    session = attach_debugger(topology, processes, seed=1)
+    cli = DebuggerCLI(session)
+
+    script = [
+        "# the protocol should do 5 rounds; watch the decisions",
+        "break mark(decision)@coord ^5",
+        "run",
+        "# ...it never fired: the run went quiet. Freeze and autopsy.",
+        "halt",
+        "run",
+        "processes",
+        "inspect coord",
+        "# round 3, phase 'collecting', votes missing part2 -> the culprit:",
+        "inspect part2",
+        "events part2 6",
+        "order",
+        "quit",
+    ]
+    for line in script:
+        print(PROMPT + line)
+        output = cli.execute(line)
+        if output:
+            print(output)
+        print()
+
+    coord = session.inspect("coord")
+    missing = {f"part{i}" for i in range(3)} - set(coord["votes"])
+    print(f"diagnosis: round {coord['round']} wedged in phase "
+          f"{coord['phase']!r}; missing vote(s): {sorted(missing)} — and "
+          "part2's event log shows the 'vote_swallowed' mark where the "
+          "PREPARE was dropped.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""repro — reproduction of Miller & Choi, "Breakpoints and Halting in
+Distributed Programs" (ICDCS 1988).
+
+The library provides:
+
+* a deterministic message-passing runtime matching the paper's system model
+  (:mod:`repro.runtime`, :mod:`repro.network`, :mod:`repro.simulation`);
+* Chandy & Lamport's snapshot algorithm (:mod:`repro.snapshot`);
+* the paper's Halting Algorithm, basic and extended (:mod:`repro.halting`,
+  :mod:`repro.debugger`);
+* distributed breakpoints — simple / disjunctive / conjunctive / linked
+  predicates and their detection algorithm (:mod:`repro.breakpoints`);
+* analyses that verify the paper's theorems on recorded executions
+  (:mod:`repro.analysis`);
+* the §4 comparator baselines (:mod:`repro.baselines`) and a workload
+  library (:mod:`repro.workloads`).
+
+Most users want :mod:`repro.core.api`.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,84 @@
+"""``python -m repro`` — launch the interactive debugger on a workload.
+
+Usage::
+
+    python -m repro                       # bank, default parameters
+    python -m repro token_ring n=5 max_hops=100
+    python -m repro two_phase_commit n=3 rounds=5 silent_voter=part2 silent_round=3
+    python -m repro --list                # show available workloads
+
+Parameters are ``key=value`` pairs forwarded to the workload's ``build``;
+values are parsed as int → float → string. The session opens the
+:class:`~repro.debugger.cli.DebuggerCLI` REPL.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Dict, List
+
+from repro.core.api import WORKLOADS, attach_debugger, build_workload
+from repro.debugger.cli import DebuggerCLI
+
+
+def parse_value(text: str) -> Any:
+    for parser in (int, float):
+        try:
+            return parser(text)
+        except ValueError:
+            continue
+    if text in ("true", "True"):
+        return True
+    if text in ("false", "False"):
+        return False
+    return text
+
+
+def parse_args(argv: List[str]):
+    """Returns (workload_name, params, seed) or raises SystemExit."""
+    if "--list" in argv or "-l" in argv:
+        print("available workloads:")
+        for name in sorted(WORKLOADS):
+            print(f"  {name}")
+        raise SystemExit(0)
+    if "--help" in argv or "-h" in argv:
+        print(__doc__)
+        raise SystemExit(0)
+    name = argv[0] if argv else "bank"
+    if name not in WORKLOADS:
+        print(f"unknown workload {name!r}; try --list", file=sys.stderr)
+        raise SystemExit(2)
+    params: Dict[str, Any] = {}
+    seed = 0
+    for arg in argv[1:]:
+        key, sep, value = arg.partition("=")
+        if not sep:
+            print(f"arguments must be key=value, got {arg!r}", file=sys.stderr)
+            raise SystemExit(2)
+        if key == "seed":
+            seed = int(value)
+        else:
+            params[key] = parse_value(value)
+    return name, params, seed
+
+
+def main(argv: List[str] = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    name, params, seed = parse_args(argv)
+    built = build_workload(name, **params)
+    # Workloads returning (topo, processes, channel_latencies):
+    if len(built) == 3:
+        topology, processes, latencies = built
+        session = attach_debugger(topology, processes, seed=seed,
+                                  channel_latencies=latencies)
+    else:
+        topology, processes = built
+        session = attach_debugger(topology, processes, seed=seed)
+    print(f"workload: {name} {params or ''} seed={seed}")
+    print(f"processes: {', '.join(session.system.user_process_names)}")
+    DebuggerCLI(session).repl()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - console entry
+    raise SystemExit(main())

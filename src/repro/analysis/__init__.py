@@ -1,0 +1,50 @@
+"""Oracles and metrics: consistency, Theorem-2 equivalence, drift, overhead."""
+
+from repro.analysis.consistency import (
+    ConsistencyReport,
+    check_cut_consistency,
+    cut_of,
+    events_inside_cut,
+)
+from repro.analysis.equivalence import EquivalenceReport, states_equivalent
+from repro.analysis.diagram import render_spacetime, render_summary
+from repro.analysis.lattice import (
+    CutLattice,
+    DefinitelyResult,
+    PossiblyResult,
+    state_predicate,
+)
+from repro.analysis.order import OrderStats, compute_order_stats
+from repro.analysis.metrics import (
+    DriftReport,
+    HaltTimingReport,
+    OverheadReport,
+    drift_between,
+    halt_timing,
+    mean_user_latency,
+    message_overhead,
+)
+
+__all__ = [
+    "ConsistencyReport",
+    "CutLattice",
+    "DefinitelyResult",
+    "DriftReport",
+    "EquivalenceReport",
+    "HaltTimingReport",
+    "OrderStats",
+    "OverheadReport",
+    "PossiblyResult",
+    "check_cut_consistency",
+    "compute_order_stats",
+    "cut_of",
+    "drift_between",
+    "events_inside_cut",
+    "halt_timing",
+    "mean_user_latency",
+    "message_overhead",
+    "render_spacetime",
+    "render_summary",
+    "state_predicate",
+    "states_equivalent",
+]

@@ -1,0 +1,148 @@
+"""Cut-consistency checking (the property behind Theorem 1).
+
+A global state defines a *cut*: for every process, a prefix of its local
+event sequence (everything up to the captured ``local_seq``). The state is
+consistent when:
+
+1. **No orphan messages** — nothing is received inside the cut that was sent
+   outside it (a receive without its send would be an effect without cause).
+2. **Channel exactness** — each channel's recorded state is exactly the
+   messages sent inside the sender's cut but not yet received inside the
+   receiver's cut, in FIFO order.
+3. **Frontier knowledge** — the paper's §2 claim: "the halted state of a
+   process is not affected by the halted state of the other process". In
+   vector-clock terms: no captured state may know more about process p than
+   p's own captured state does (``V_q[p] <= V_p[p]`` for all p, q). Note
+   this is *weaker* than pairwise vector concurrency — a state may
+   legitimately sit causally after another's (receiving a message sent
+   before the sender's cut, inside the receiver's cut, is consistent).
+
+The checker works from the ground-truth event log, entirely outside the
+algorithms under test — it is the oracle, not the subject.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping
+
+from repro.events.event import EventKind
+from repro.events.log import EventLog
+from repro.snapshot.state import GlobalState
+from repro.util.ids import ChannelId, ProcessId
+
+
+@dataclass
+class ConsistencyReport:
+    """Outcome of checking one global state against the event log."""
+
+    consistent: bool
+    violations: List[str] = field(default_factory=list)
+    #: Messages in transit per channel according to the log (ground truth).
+    expected_in_transit: Dict[ChannelId, int] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.consistent
+
+
+def check_cut_consistency(log: EventLog, state: GlobalState) -> ConsistencyReport:
+    """Verify the three consistency clauses for ``state`` against ``log``."""
+    report = ConsistencyReport(consistent=True)
+    cut = {name: snap.local_seq for name, snap in state.processes.items()}
+
+    _check_channels(log, state, cut, report)
+    _check_frontier_concurrency(state, report)
+
+    report.consistent = not report.violations
+    return report
+
+
+def _check_channels(
+    log: EventLog,
+    state: GlobalState,
+    cut: Mapping[ProcessId, int],
+    report: ConsistencyReport,
+) -> None:
+    sends_by_channel: Dict[ChannelId, List] = {}
+    receives_by_channel: Dict[ChannelId, List] = {}
+    for event in log:
+        if event.kind is EventKind.SEND and event.channel is not None:
+            sends_by_channel.setdefault(event.channel, []).append(event)
+        elif event.kind is EventKind.RECEIVE and event.channel is not None:
+            receives_by_channel.setdefault(event.channel, []).append(event)
+
+    channels = set(sends_by_channel) | set(receives_by_channel) | set(state.channels)
+    for channel in sorted(channels):
+        src, dst = channel.src, channel.dst
+        if src not in cut or dst not in cut:
+            # Channel touches a process outside the captured population
+            # (e.g. debugger control channels) — not part of the state.
+            continue
+        sends = sends_by_channel.get(channel, [])
+        receives = receives_by_channel.get(channel, [])
+        cut_sends = [e for e in sends if e.local_seq <= cut[src]]
+        cut_receives = [e for e in receives if e.local_seq <= cut[dst]]
+
+        if len(cut_receives) > len(cut_sends):
+            report.violations.append(
+                f"{channel}: {len(cut_receives)} receives inside the cut but "
+                f"only {len(cut_sends)} sends — orphan message(s)"
+            )
+            continue
+
+        in_transit = cut_sends[len(cut_receives):]
+        report.expected_in_transit[channel] = len(in_transit)
+        recorded = state.pending_on(channel)
+        if len(recorded) != len(in_transit):
+            report.violations.append(
+                f"{channel}: recorded channel state has {len(recorded)} "
+                f"messages, log says {len(in_transit)} were in transit"
+            )
+            continue
+        for position, (send_event, message) in enumerate(zip(in_transit, recorded)):
+            if _payload_key(send_event.message) != _payload_key(message.payload):
+                report.violations.append(
+                    f"{channel}[{position}]: recorded {message.payload!r} but "
+                    f"log says {send_event.message!r} was in transit"
+                )
+
+
+def _check_frontier_concurrency(state: GlobalState, report: ConsistencyReport) -> None:
+    snaps = list(state.processes.values())
+    if not snaps or not snaps[0].vector:
+        return
+    for owner in snaps:
+        own_knowledge = owner.vector[owner.vector_index]
+        for other in snaps:
+            if other.process == owner.process:
+                continue
+            if other.vector[owner.vector_index] > own_knowledge:
+                report.violations.append(
+                    f"captured state of {other.process} knows "
+                    f"{other.vector[owner.vector_index]} events of "
+                    f"{owner.process}, but {owner.process}'s own captured "
+                    f"state has only {own_knowledge} — {other.process} saw "
+                    f"an effect whose cause is outside the cut"
+                )
+
+
+def _payload_key(value: object) -> object:
+    if isinstance(value, dict):
+        return tuple(sorted((k, _payload_key(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_payload_key(v) for v in value)
+    return value
+
+
+def cut_of(state: GlobalState) -> Dict[ProcessId, int]:
+    """The cut (per-process local_seq frontier) a global state defines."""
+    return {name: snap.local_seq for name, snap in state.processes.items()}
+
+
+def events_inside_cut(log: EventLog, state: GlobalState) -> List:
+    """All logged events inside the state's cut (user-population only)."""
+    cut = cut_of(state)
+    return [
+        e for e in log
+        if e.process in cut and e.local_seq <= cut[e.process]
+    ]

@@ -1,0 +1,161 @@
+"""ASCII space-time diagrams of recorded executions.
+
+The classic way to *see* a distributed execution (and the way Lamport's and
+this paper's figures draw them): one lane per process, time flowing down,
+message arrows between lanes. The renderer works from the ground-truth
+event log, marks halt points, and can restrict to a time window — the
+debugger CLI's ``diagram`` command uses it, and it makes worked examples
+legible.
+
+Output shape (lanes are fixed-width columns)::
+
+    t=6.17     p0 ●recv(token)
+    t=6.17     p0 ●state(tokens_seen)
+    t=7.02     p1 ●send(token)        ~~> p2
+    t=8.30     p2 ●recv(token)
+    ...
+
+plus, optionally, a per-process summary header.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.events.event import Event, EventKind
+from repro.events.log import EventLog
+from repro.snapshot.state import GlobalState
+from repro.util.ids import ProcessId
+
+_GLYPHS = {
+    EventKind.SEND: "↦",
+    EventKind.RECEIVE: "↤",
+    EventKind.PROCEDURE_ENTRY: "⟨",
+    EventKind.PROCEDURE_EXIT: "⟩",
+    EventKind.STATE_CHANGE: "•",
+    EventKind.TIMER: "◷",
+    EventKind.PROCESS_CREATED: "✚",
+    EventKind.PROCESS_TERMINATED: "✖",
+    EventKind.CHANNEL_CREATED: "⊕",
+    EventKind.CHANNEL_DESTROYED: "⊖",
+}
+
+_ASCII_GLYPHS = {
+    EventKind.SEND: ">",
+    EventKind.RECEIVE: "<",
+    EventKind.PROCEDURE_ENTRY: "(",
+    EventKind.PROCEDURE_EXIT: ")",
+    EventKind.STATE_CHANGE: "*",
+    EventKind.TIMER: "T",
+    EventKind.PROCESS_CREATED: "+",
+    EventKind.PROCESS_TERMINATED: "x",
+    EventKind.CHANNEL_CREATED: "{",
+    EventKind.CHANNEL_DESTROYED: "}",
+}
+
+
+def render_spacetime(
+    log: EventLog,
+    processes: Optional[Sequence[ProcessId]] = None,
+    start: float = 0.0,
+    end: Optional[float] = None,
+    max_rows: int = 200,
+    kinds: Optional[Iterable[EventKind]] = None,
+    halted_state: Optional[GlobalState] = None,
+    unicode_glyphs: bool = True,
+) -> str:
+    """Render the execution as one text block.
+
+    ``halted_state`` draws a ``━━ HALT ━━`` bar at each process's halt
+    point. ``kinds`` filters the event classes shown (state changes are
+    noisy; pass e.g. ``{SEND, RECEIVE, TIMER}`` for a traffic-only view).
+    """
+    lanes: Tuple[ProcessId, ...] = tuple(
+        processes if processes is not None else sorted(log.processes())
+    )
+    lane_index = {name: i for i, name in enumerate(lanes)}
+    glyphs = _GLYPHS if unicode_glyphs else _ASCII_GLYPHS
+    wanted = set(kinds) if kinds is not None else None
+
+    halt_seq: Dict[ProcessId, int] = {}
+    if halted_state is not None:
+        halt_seq = {
+            name: snap.local_seq
+            for name, snap in halted_state.processes.items()
+        }
+
+    width = max((len(name) for name in lanes), default=4) + 2
+    header = "time      " + "".join(name.ljust(width) for name in lanes)
+    rule = "-" * len(header)
+    rows: List[str] = [header, rule]
+
+    shown = 0
+    halted_drawn: Dict[ProcessId, bool] = {}
+    for event in log:
+        if event.process not in lane_index:
+            continue
+        if event.time < start or (end is not None and event.time > end):
+            continue
+        if wanted is not None and event.kind not in wanted:
+            continue
+        if shown >= max_rows:
+            rows.append(f"... ({len(log)} events total; truncated at {max_rows} rows)")
+            break
+        lane = lane_index[event.process]
+        label = _label(event, glyphs)
+        cells = ["".ljust(width)] * len(lanes)
+        cells[lane] = label.ljust(width)
+        arrow = ""
+        if event.kind is EventKind.SEND and event.channel is not None:
+            arrow = f"~~> {event.channel.dst}"
+        elif event.kind is EventKind.RECEIVE and event.channel is not None:
+            arrow = f"<~~ {event.channel.src}"
+        rows.append(f"t={event.time:7.2f}  " + "".join(cells) + arrow)
+        shown += 1
+        if (
+            event.process in halt_seq
+            and event.local_seq == halt_seq[event.process]
+            and not halted_drawn.get(event.process)
+        ):
+            halted_drawn[event.process] = True
+            cells = ["".ljust(width)] * len(lanes)
+            bar = "== HALT ==" if not unicode_glyphs else "━━ HALT ━━"
+            cells[lane] = bar.ljust(width)
+            rows.append(" " * 11 + "".join(cells))
+    return "\n".join(rows)
+
+
+_SHORT = {
+    EventKind.SEND: "send",
+    EventKind.RECEIVE: "recv",
+    EventKind.PROCEDURE_ENTRY: "enter",
+    EventKind.PROCEDURE_EXIT: "exit",
+    EventKind.STATE_CHANGE: "set",
+    EventKind.TIMER: "timer",
+    EventKind.PROCESS_CREATED: "start",
+    EventKind.PROCESS_TERMINATED: "term",
+    EventKind.CHANNEL_CREATED: "mkchan",
+    EventKind.CHANNEL_DESTROYED: "rmchan",
+}
+
+
+def _label(event: Event, glyphs: Dict[EventKind, str]) -> str:
+    glyph = glyphs.get(event.kind, "?")
+    short = _SHORT.get(event.kind, event.kind.value[:6])
+    detail = event.detail or ""
+    if detail:
+        return f"{glyph}{short}({detail[:10]})"
+    return f"{glyph}{short}"
+
+
+def render_summary(log: EventLog) -> str:
+    """Per-process one-line summaries: event counts by kind."""
+    lines = []
+    for process in sorted(log.processes()):
+        events = log.for_process(process)
+        by_kind: Dict[str, int] = {}
+        for event in events:
+            by_kind[event.kind.value] = by_kind.get(event.kind.value, 0) + 1
+        parts = ", ".join(f"{k}={v}" for k, v in sorted(by_kind.items()))
+        lines.append(f"{process:12s} {len(events):5d} events  ({parts})")
+    return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""Theorem 2 as an executable check: is ``S_h`` the same as ``S_r``?
+
+§2.2.1 claims equality in exactly two clauses:
+
+1. "the state of each process in S_h is the same as the recorded state of
+   the corresponding process in S_r" (Lemma 2.1), and
+2. "the undelivered messages in each channel in S_h are the same as the
+   recorded state of the corresponding channel in S_r" (Lemma 2.2).
+
+:func:`states_equivalent` checks both clauses structurally. It compares the
+application-visible content: state dicts, event counts, logical clocks, and
+per-channel message sequences (missing channel entries count as empty —
+an empty channel may simply not appear in one of the two maps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.snapshot.state import GlobalState
+
+
+@dataclass
+class EquivalenceReport:
+    """Outcome of comparing two global states clause by clause."""
+
+    equivalent: bool
+    differences: List[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.equivalent
+
+
+def states_equivalent(halted: GlobalState, recorded: GlobalState) -> EquivalenceReport:
+    """Compare per Theorem 2. Argument order is conventional, not enforced —
+    the relation is symmetric."""
+    report = EquivalenceReport(equivalent=True)
+
+    # Clause 0 (sanity): same process population.
+    halted_names = set(halted.processes)
+    recorded_names = set(recorded.processes)
+    if halted_names != recorded_names:
+        report.differences.append(
+            f"process populations differ: only-left={sorted(halted_names - recorded_names)}, "
+            f"only-right={sorted(recorded_names - halted_names)}"
+        )
+
+    # Clause 1: per-process states.
+    for name in sorted(halted_names & recorded_names):
+        left, right = halted.processes[name], recorded.processes[name]
+        if left.comparable() != right.comparable():
+            detail = []
+            if left.state != right.state:
+                detail.append(f"state {left.state!r} vs {right.state!r}")
+            if left.local_seq != right.local_seq:
+                detail.append(f"events {left.local_seq} vs {right.local_seq}")
+            if (left.lamport, left.vector) != (right.lamport, right.vector):
+                detail.append(
+                    f"clocks ({left.lamport},{left.vector}) vs "
+                    f"({right.lamport},{right.vector})"
+                )
+            report.differences.append(f"process {name}: " + "; ".join(detail))
+
+    # Clause 2: per-channel undelivered/recorded messages.
+    channels = set(halted.channels) | set(recorded.channels)
+    for channel in sorted(channels):
+        left_keys = (
+            halted.channels[channel].content_keys()
+            if channel in halted.channels else ()
+        )
+        right_keys = (
+            recorded.channels[channel].content_keys()
+            if channel in recorded.channels else ()
+        )
+        if left_keys != right_keys:
+            report.differences.append(
+                f"channel {channel}: {len(left_keys)} undelivered "
+                f"({left_keys!r}) vs {len(right_keys)} recorded ({right_keys!r})"
+            )
+
+    report.equivalent = not report.differences
+    return report

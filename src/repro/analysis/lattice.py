@@ -1,0 +1,287 @@
+"""The lattice of consistent cuts, with Possibly/Definitely detection.
+
+§3.5 ends with the observation that unordered conjunctive predicates can
+only be confirmed by gathering, after the fact. The literature that grew
+out of this paper (Cooper & Marzullo's global-predicate detection) made
+that precise: a recorded execution induces a *lattice* of consistent cuts,
+and an after-the-fact detector can ask
+
+* ``Possibly(φ)`` — some consistent cut satisfies φ (some observation of
+  the execution could have seen φ hold), and
+* ``Definitely(φ)`` — every observation passes through a cut satisfying φ.
+
+This module implements that machinery over the ground-truth event log: cut
+consistency from per-channel send/receive prefix counts, state
+reconstruction by replaying STATE_CHANGE events, breadth-first lattice
+enumeration, and the two detection modalities. It is the offline complement
+of the paper's online detectors: the gather detector of
+:mod:`repro.debugger.gather` approximates ``Possibly`` at run time, while a
+Linked Predicate witnesses a causal path — a strictly stronger fact than
+``Possibly`` and incomparable with ``Definitely``.
+
+Cut representation: a tuple ``c`` with one entry per process (in a fixed
+order), ``c[i]`` = how many of process i's events are inside the cut.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.events.event import EventKind
+from repro.events.log import EventLog
+from repro.snapshot.state import GlobalState
+from repro.util.errors import AnalysisError
+from repro.util.ids import ChannelId, ProcessId
+
+Cut = Tuple[int, ...]
+CutPredicate = Callable[[Mapping[ProcessId, Mapping[str, object]]], bool]
+
+
+@dataclass(frozen=True)
+class PossiblyResult:
+    """Outcome of a Possibly query."""
+
+    holds: bool
+    witness: Optional[Cut]
+    cuts_explored: int
+
+
+@dataclass(frozen=True)
+class DefinitelyResult:
+    """Outcome of a Definitely query."""
+
+    holds: bool
+    #: A φ-avoiding observation path (bottom→top), when one exists.
+    escape_path_length: Optional[int]
+    cuts_explored: int
+
+
+class CutLattice:
+    """All consistent cuts of one recorded execution."""
+
+    def __init__(self, log: EventLog, processes: Optional[Sequence[ProcessId]] = None,
+                 max_cuts: int = 250_000) -> None:
+        self.processes: Tuple[ProcessId, ...] = tuple(
+            processes if processes is not None else sorted(log.processes())
+        )
+        self._index = {name: i for i, name in enumerate(self.processes)}
+        self.max_cuts = max_cuts
+        self._events: List[List] = [list(log.for_process(p)) for p in self.processes]
+        self._lengths: Cut = tuple(len(evs) for evs in self._events)
+        self._send_prefix: Dict[ChannelId, List[int]] = {}
+        self._recv_prefix: Dict[ChannelId, List[int]] = {}
+        self._build_channel_prefixes()
+        self._state_prefixes: List[List[Dict[str, object]]] = [
+            self._replay_states(events) for events in self._events
+        ]
+
+    # -- construction helpers ------------------------------------------------
+
+    def _build_channel_prefixes(self) -> None:
+        for process_index, events in enumerate(self._events):
+            del process_index
+            for event in events:
+                if event.channel is None:
+                    continue
+                if event.kind is EventKind.SEND:
+                    self._ensure_channel(event.channel)
+                elif event.kind is EventKind.RECEIVE:
+                    self._ensure_channel(event.channel)
+        for channel in list(self._send_prefix):
+            src_events = self._events_of(channel.src)
+            dst_events = self._events_of(channel.dst)
+            self._send_prefix[channel] = _prefix_counts(
+                src_events, EventKind.SEND, channel
+            )
+            self._recv_prefix[channel] = _prefix_counts(
+                dst_events, EventKind.RECEIVE, channel
+            )
+
+    def _ensure_channel(self, channel: ChannelId) -> None:
+        if channel.src in self._index and channel.dst in self._index:
+            self._send_prefix.setdefault(channel, [])
+            self._recv_prefix.setdefault(channel, [])
+
+    def _events_of(self, process: ProcessId) -> List:
+        return self._events[self._index[process]]
+
+    @staticmethod
+    def _replay_states(events: List) -> List[Dict[str, object]]:
+        """State after each prefix length (index k = after k events)."""
+        states: List[Dict[str, object]] = [{}]
+        current: Dict[str, object] = {}
+        for event in events:
+            if event.kind is EventKind.STATE_CHANGE and "key" in event.attrs:
+                key = event.attrs["key"]
+                if event.attrs.get("deleted"):
+                    current.pop(key, None)
+                else:
+                    current[key] = event.attrs["value"]
+            states.append(dict(current))
+        return states
+
+    # -- cut queries --------------------------------------------------------------
+
+    @property
+    def bottom(self) -> Cut:
+        return tuple(0 for _ in self.processes)
+
+    @property
+    def top(self) -> Cut:
+        return self._lengths
+
+    def is_consistent(self, cut: Cut) -> bool:
+        """No channel has more receives than sends inside the cut."""
+        if len(cut) != len(self.processes):
+            raise AnalysisError("cut arity does not match the process set")
+        for i, k in enumerate(cut):
+            if not 0 <= k <= self._lengths[i]:
+                return False
+        for channel, send_prefix in self._send_prefix.items():
+            src = self._index[channel.src]
+            dst = self._index[channel.dst]
+            sends = send_prefix[cut[src]]
+            receives = self._recv_prefix[channel][cut[dst]]
+            if receives > sends:
+                return False
+        return True
+
+    def state_at(self, cut: Cut) -> Dict[ProcessId, Mapping[str, object]]:
+        """Per-process states at the cut (replayed from STATE_CHANGEs)."""
+        return {
+            name: self._state_prefixes[i][cut[i]]
+            for i, name in enumerate(self.processes)
+        }
+
+    def successors(self, cut: Cut) -> Iterator[Cut]:
+        """Consistent cuts one event above ``cut``."""
+        for i in range(len(cut)):
+            if cut[i] < self._lengths[i]:
+                candidate = cut[:i] + (cut[i] + 1,) + cut[i + 1:]
+                if self.is_consistent(candidate):
+                    yield candidate
+
+    def enumerate_cuts(self) -> Iterator[Cut]:
+        """All consistent cuts, breadth-first from the bottom."""
+        seen = {self.bottom}
+        frontier = [self.bottom]
+        yield self.bottom
+        while frontier:
+            next_frontier: List[Cut] = []
+            for cut in frontier:
+                for successor in self.successors(cut):
+                    if successor in seen:
+                        continue
+                    seen.add(successor)
+                    if len(seen) > self.max_cuts:
+                        raise AnalysisError(
+                            f"lattice exceeds max_cuts={self.max_cuts}; "
+                            "use a smaller run or raise the bound"
+                        )
+                    next_frontier.append(successor)
+                    yield successor
+            frontier = next_frontier
+
+    def count_cuts(self) -> int:
+        return sum(1 for _ in self.enumerate_cuts())
+
+    def cut_of_state(self, state: GlobalState) -> Cut:
+        """The lattice cut a captured global state corresponds to."""
+        cut = []
+        for name in self.processes:
+            snapshot = state.processes.get(name)
+            if snapshot is None:
+                raise AnalysisError(f"state lacks process {name}")
+            cut.append(snapshot.local_seq)
+        return tuple(cut)
+
+    # -- detection modalities ----------------------------------------------------------
+
+    def possibly(self, predicate: CutPredicate) -> PossiblyResult:
+        """Does φ hold at some consistent cut?"""
+        explored = 0
+        for cut in self.enumerate_cuts():
+            explored += 1
+            if predicate(self.state_at(cut)):
+                return PossiblyResult(holds=True, witness=cut, cuts_explored=explored)
+        return PossiblyResult(holds=False, witness=None, cuts_explored=explored)
+
+    def definitely(self, predicate: CutPredicate) -> DefinitelyResult:
+        """Does every observation pass through a φ-cut?
+
+        Equivalent formulation: there is *no* bottom→top path through
+        ¬φ-cuts only. We search for such an escape path.
+        """
+        explored = 0
+
+        def phi(cut: Cut) -> bool:
+            return predicate(self.state_at(cut))
+
+        if phi(self.bottom):
+            return DefinitelyResult(holds=True, escape_path_length=None,
+                                    cuts_explored=1)
+        if self.bottom == self.top:
+            # The empty execution's single observation never sees φ.
+            return DefinitelyResult(holds=False, escape_path_length=0,
+                                    cuts_explored=1)
+        seen = {self.bottom}
+        frontier = [self.bottom]
+        depth = 0
+        while frontier:
+            depth += 1
+            next_frontier: List[Cut] = []
+            for cut in frontier:
+                for successor in self.successors(cut):
+                    if successor in seen:
+                        continue
+                    seen.add(successor)
+                    explored += 1
+                    if explored > self.max_cuts:
+                        raise AnalysisError(
+                            f"lattice exceeds max_cuts={self.max_cuts}"
+                        )
+                    if phi(successor):
+                        continue  # observations through here hit φ... avoid
+                    if successor == self.top:
+                        return DefinitelyResult(
+                            holds=False, escape_path_length=depth,
+                            cuts_explored=explored,
+                        )
+                    next_frontier.append(successor)
+            frontier = next_frontier
+        return DefinitelyResult(holds=True, escape_path_length=None,
+                                cuts_explored=explored)
+
+
+def _prefix_counts(events: List, kind: EventKind, channel: ChannelId) -> List[int]:
+    counts = [0]
+    running = 0
+    for event in events:
+        if event.kind is kind and event.channel == channel:
+            running += 1
+        counts.append(running)
+    return counts
+
+
+def state_predicate(**conditions: Callable[[object], bool]) -> CutPredicate:
+    """Build a cut predicate from per-``process.key`` conditions, e.g.::
+
+        state_predicate(**{"branch0.balance": lambda v: v is not None and v < 500})
+    """
+    parsed = []
+    for dotted, condition in conditions.items():
+        process, _, key = dotted.partition(".")
+        if not key:
+            raise AnalysisError(f"condition key must be 'process.key', got {dotted!r}")
+        parsed.append((process, key, condition))
+
+    def predicate(states: Mapping[ProcessId, Mapping[str, object]]) -> bool:
+        for process, key, condition in parsed:
+            if process not in states:
+                return False
+            if not condition(states[process].get(key)):
+                return False
+        return True
+
+    return predicate

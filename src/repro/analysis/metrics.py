@@ -1,0 +1,121 @@
+"""Quantitative metrics for the experiment harnesses.
+
+These turn the paper's qualitative claims (§4's criticisms of naive halting
+and hub rerouting, §5's "minimal change" promise) into measured numbers:
+
+* **drift** — how far past a reference cut each process executed before it
+  actually stopped (0 everywhere for the Halting Algorithm vs the matching
+  snapshot, growing with latency x message-rate for the naive baseline);
+* **overhead** — debugging-system messages per user message;
+* **halt latency / span** — how long halting took and how skewed the halt
+  instants were.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.runtime.system import System
+from repro.snapshot.state import GlobalState
+from repro.util.ids import ProcessId
+
+
+@dataclass
+class DriftReport:
+    """Events executed past a reference cut, per process."""
+
+    per_process: Dict[ProcessId, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return sum(self.per_process.values())
+
+    @property
+    def maximum(self) -> int:
+        return max(self.per_process.values(), default=0)
+
+    @property
+    def processes_past_cut(self) -> int:
+        return sum(1 for drift in self.per_process.values() if drift > 0)
+
+
+def drift_between(reference: GlobalState, actual: GlobalState) -> DriftReport:
+    """How far each process in ``actual`` ran past the ``reference`` cut.
+
+    Negative drift (stopping *before* the reference) is reported as-is; for
+    the marker-based Halting Algorithm both directions are zero because
+    ``S_h`` equals ``S_r`` exactly.
+    """
+    report = DriftReport()
+    for name, ref_snap in reference.processes.items():
+        actual_snap = actual.processes.get(name)
+        if actual_snap is None:
+            continue
+        report.per_process[name] = actual_snap.local_seq - ref_snap.local_seq
+    return report
+
+
+@dataclass(frozen=True)
+class OverheadReport:
+    """Message accounting for one run."""
+
+    user_messages: int
+    control_messages: int
+    by_kind: Mapping[str, int]
+
+    @property
+    def control_per_user(self) -> float:
+        if self.user_messages == 0:
+            return float(self.control_messages)
+        return self.control_messages / self.user_messages
+
+
+def message_overhead(system: System) -> OverheadReport:
+    totals = system.message_totals()
+    user = totals.get("user", 0)
+    control = sum(count for kind, count in totals.items() if kind != "user")
+    return OverheadReport(
+        user_messages=user, control_messages=control, by_kind=dict(totals)
+    )
+
+
+@dataclass(frozen=True)
+class HaltTimingReport:
+    """When processes actually froze."""
+
+    initiated_at: float
+    first_halt: float
+    last_halt: float
+
+    @property
+    def latency(self) -> float:
+        """Initiation to full stop."""
+        return self.last_halt - self.initiated_at
+
+    @property
+    def span(self) -> float:
+        """Skew between the first and last process freezing — the physical
+        non-simultaneity the paper says we must tolerate (§1)."""
+        return self.last_halt - self.first_halt
+
+
+def halt_timing(state: GlobalState, initiated_at: float) -> Optional[HaltTimingReport]:
+    times = [snap.time for snap in state.processes.values()]
+    if not times:
+        return None
+    return HaltTimingReport(
+        initiated_at=initiated_at,
+        first_halt=min(times),
+        last_halt=max(times),
+    )
+
+
+def mean_user_latency(system: System) -> float:
+    """Average delivery latency of user messages (hub-perturbation metric)."""
+    total = 0.0
+    count = 0
+    for channel in system.channels():
+        total += channel.stats.total_latency
+        count += channel.stats.delivered
+    return total / count if count else 0.0

@@ -1,0 +1,124 @@
+"""Execution-order statistics: concurrency, critical path, message depth.
+
+Numbers that characterize *how distributed* a recorded execution was —
+useful in reports and in judging whether a workload actually exercises
+concurrency (a fully sequential "distributed" test proves little about the
+halting algorithm).
+
+* **concurrency ratio** — fraction of event pairs that are concurrent
+  (0 for a fully sequential execution, →1 for fully independent ones);
+* **critical path** — the longest happened-before chain; its length over
+  the total event count bounds the speedup any scheduler could get;
+* **message depth** — the longest chain counting only cross-process hops,
+  i.e. how many sequential network latencies the execution needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.events.event import Event, EventKind
+from repro.events.log import EventLog
+from repro.util.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class OrderStats:
+    """Summary statistics of one execution's causal structure."""
+
+    events: int
+    ordered_pairs: int
+    concurrent_pairs: int
+    critical_path_length: int
+    message_depth: int
+
+    @property
+    def concurrency_ratio(self) -> float:
+        total = self.ordered_pairs + self.concurrent_pairs
+        return self.concurrent_pairs / total if total else 0.0
+
+    @property
+    def parallelism(self) -> float:
+        """events / critical path — the average width of the execution."""
+        if self.critical_path_length == 0:
+            return 0.0
+        return self.events / self.critical_path_length
+
+
+def compute_order_stats(log: EventLog, max_events: int = 4000) -> OrderStats:
+    """O(n²) pairwise statistics plus DAG longest paths.
+
+    The happened-before DAG is reconstructed from program order plus
+    matched send/receive pairs (FIFO ordinal matching per channel).
+    """
+    events = list(log)
+    if len(events) > max_events:
+        raise AnalysisError(
+            f"log has {len(events)} events (> {max_events}); sample it first"
+        )
+
+    # Build successor lists: program order + message edges.
+    successors: Dict[int, List[int]] = {e.eid: [] for e in events}
+    by_process: Dict[str, List[Event]] = {}
+    for event in events:
+        by_process.setdefault(event.process, []).append(event)
+    for sequence in by_process.values():
+        for a, b in zip(sequence, sequence[1:]):
+            successors[a.eid].append(b.eid)
+
+    sends: Dict[Tuple[str, int], Event] = {}
+    counters: Dict[str, int] = {}
+    receives: Dict[Tuple[str, int], Event] = {}
+    recv_counters: Dict[str, int] = {}
+    message_edges = []
+    for event in events:
+        if event.channel is None:
+            continue
+        channel = str(event.channel)
+        if event.kind is EventKind.SEND:
+            ordinal = counters.get(channel, 0)
+            counters[channel] = ordinal + 1
+            sends[(channel, ordinal)] = event
+        elif event.kind is EventKind.RECEIVE:
+            ordinal = recv_counters.get(channel, 0)
+            recv_counters[channel] = ordinal + 1
+            receives[(channel, ordinal)] = event
+    for key, receive in receives.items():
+        send = sends.get(key)
+        if send is not None:
+            successors[send.eid].append(receive.eid)
+            message_edges.append((send.eid, receive.eid))
+
+    # Longest paths over the DAG (events are topologically ordered by eid:
+    # every edge goes from a lower eid to a higher one — program order and
+    # send-before-receive both guarantee it).
+    depth: Dict[int, int] = {}
+    message_hops: Dict[int, int] = {}
+    message_edge_set = set(message_edges)
+    for event in events:
+        depth.setdefault(event.eid, 1)
+        message_hops.setdefault(event.eid, 0)
+        for nxt in successors[event.eid]:
+            depth[nxt] = max(depth.get(nxt, 1), depth[event.eid] + 1)
+            hop = 1 if (event.eid, nxt) in message_edge_set else 0
+            message_hops[nxt] = max(
+                message_hops.get(nxt, 0), message_hops[event.eid] + hop
+            )
+
+    ordered = 0
+    concurrent = 0
+    for i, a in enumerate(events):
+        for b in events[i + 1:]:
+            if a.happened_before(b) or b.happened_before(a):
+                ordered += 1
+            else:
+                concurrent += 1
+
+    return OrderStats(
+        events=len(events),
+        ordered_pairs=ordered,
+        concurrent_pairs=concurrent,
+        critical_path_length=max(depth.values(), default=0),
+        message_depth=max(message_hops.values(), default=0),
+    )

@@ -1,0 +1,27 @@
+"""Comparator baselines from the paper's §4 survey."""
+
+from repro.baselines.central_hub import (
+    HUB_NAME,
+    HubProcess,
+    HubRecord,
+    build_hubbed_system,
+    hop_count,
+)
+from repro.baselines.naive_halt import (
+    NaiveHaltAgent,
+    NaiveHaltCoordinator,
+    NaiveStop,
+    NaiveTripwire,
+)
+
+__all__ = [
+    "HUB_NAME",
+    "HubProcess",
+    "HubRecord",
+    "NaiveHaltAgent",
+    "NaiveHaltCoordinator",
+    "NaiveStop",
+    "NaiveTripwire",
+    "build_hubbed_system",
+    "hop_count",
+]

@@ -1,0 +1,168 @@
+"""Baseline: the centralized-hub debugger (§4's BUGNET/Schiffenbaur model).
+
+"A variation on the second approach re-routes all normal communications
+through a centralized debugger process. While this simplifies the detection
+of distributed breakpoints by providing a single point of event ordering,
+it also has several disadvantages. First, there can be substantial
+communication overhead in re-routing the messages through a central hub.
+Second, the change in message flow could substantially change the execution
+of the program."
+
+This module builds exactly that system: user processes keep their *logical*
+topology (their code is unchanged), but every application message physically
+travels src→hub→dst. The hub observes a totally-ordered message stream and
+can detect message-sequence breakpoints trivially. Experiment E10 measures
+the costs the paper lists: 2× message hops, ~2× delivery latency, and the
+perturbation of the program's timing relative to a direct run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.network.latency import LatencyModel
+from repro.network.topology import Topology, star
+from repro.runtime.context import ProcessContext
+from repro.runtime.process import Process
+from repro.runtime.system import System
+from repro.util.errors import ConfigurationError
+from repro.util.ids import ProcessId
+
+HUB_NAME: ProcessId = "hub"
+
+
+@dataclass(frozen=True)
+class HubRecord:
+    """One message observed (and forwarded) by the hub."""
+
+    seq: int
+    src: ProcessId
+    dst: ProcessId
+    tag: Optional[str]
+    time: float
+
+
+class HubProcess(Process):
+    """The central relay: unwraps, records, re-sends."""
+
+    def __init__(self) -> None:
+        self.records: List[HubRecord] = []
+        self._seq = 0
+
+    def on_message(self, ctx: ProcessContext, src: ProcessId, payload: Any) -> None:
+        wrapper = dict(payload)
+        self._seq += 1
+        self.records.append(
+            HubRecord(
+                seq=self._seq,
+                src=wrapper["src"],
+                dst=wrapper["dst"],
+                tag=wrapper.get("tag"),
+                time=ctx.now,
+            )
+        )
+        ctx.send(wrapper["dst"], wrapper, tag="hubfwd")
+
+    # -- the "single point of event ordering" ---------------------------------
+
+    def detect_sequence(
+        self, pattern: Sequence[Tuple[Optional[ProcessId], Optional[ProcessId], Optional[str]]]
+    ) -> Optional[Tuple[HubRecord, ...]]:
+        """Find the pattern (src, dst, tag — None matches anything) as a
+        subsequence of the hub's totally-ordered message stream. This is the
+        detection simplicity the paper concedes the hub buys."""
+        found: List[HubRecord] = []
+        index = 0
+        for record in self.records:
+            want_src, want_dst, want_tag = pattern[index]
+            if (
+                (want_src is None or record.src == want_src)
+                and (want_dst is None or record.dst == want_dst)
+                and (want_tag is None or record.tag == want_tag)
+            ):
+                found.append(record)
+                index += 1
+                if index == len(pattern):
+                    return tuple(found)
+        return None
+
+
+class _HubContext:
+    """Context proxy handed to user code in a hubbed system: identical to
+    the real context except sends detour through the hub and neighbours
+    report the logical topology."""
+
+    def __init__(self, real: ProcessContext, logical: Topology) -> None:
+        self._real = real
+        self._logical = logical
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._real, name)
+
+    @property
+    def state(self):
+        return self._real.state
+
+    def send(self, dst: ProcessId, payload: Any, tag: Optional[str] = None) -> None:
+        if dst not in self.neighbors_out():
+            raise ConfigurationError(
+                f"{self._real.name!r} has no logical channel to {dst!r}"
+            )
+        wrapper = {"src": self._real.name, "dst": dst, "data": payload, "tag": tag}
+        self._real.send(HUB_NAME, wrapper, tag="hubbound")
+
+    def neighbors_out(self) -> Tuple[ProcessId, ...]:
+        return tuple(c.dst for c in self._logical.outgoing(self._real.name))
+
+    def neighbors_in(self) -> Tuple[ProcessId, ...]:
+        return tuple(c.src for c in self._logical.incoming(self._real.name))
+
+
+class _HubbedAdapter(Process):
+    """Wraps an unmodified user process for life behind the hub."""
+
+    def __init__(self, inner: Process, logical: Topology) -> None:
+        self.inner = inner
+        self.logical = logical
+
+    def _ctx(self, ctx: ProcessContext) -> _HubContext:
+        return _HubContext(ctx, self.logical)
+
+    def on_start(self, ctx: ProcessContext) -> None:
+        self.inner.on_start(self._ctx(ctx))
+
+    def on_message(self, ctx: ProcessContext, src: ProcessId, payload: Any) -> None:
+        wrapper = dict(payload)
+        self.inner.on_message(self._ctx(ctx), wrapper["src"], wrapper["data"])
+
+    def on_timer(self, ctx: ProcessContext, name: str, payload: Any) -> None:
+        self.inner.on_timer(self._ctx(ctx), name, payload)
+
+
+def build_hubbed_system(
+    logical_topology: Topology,
+    processes: Dict[ProcessId, Process],
+    seed: int = 0,
+    latency: Optional[LatencyModel] = None,
+) -> Tuple[System, HubProcess]:
+    """A system where the same (unmodified) processes communicate through a
+    central hub instead of their logical channels.
+
+    Returns ``(system, hub_process)`` — inspect ``hub_process.records`` for
+    the totally-ordered stream.
+    """
+    hub = HubProcess()
+    physical = star(HUB_NAME, logical_topology.processes)
+    staffed: Dict[ProcessId, Process] = {
+        name: _HubbedAdapter(process, logical_topology)
+        for name, process in processes.items()
+    }
+    staffed[HUB_NAME] = hub
+    system = System(physical, staffed, seed=seed, latency=latency)
+    return system, hub
+
+
+def hop_count(system: System) -> int:
+    """Total user-message hops in a run (hub runs pay two per message)."""
+    return system.message_totals().get("user", 0)

@@ -1,0 +1,166 @@
+"""Baseline: naive centralized halting (the IDD-style strategy of §4).
+
+The comparator model: a central monitor learns that something interesting
+happened (one notification latency), then broadcasts a STOP command to
+every process; each process halts the moment its STOP arrives. No markers,
+no channel discipline.
+
+What the paper predicts — and experiment E9 measures:
+
+* **Drift.** Every process keeps executing during the notify+broadcast
+  round-trip, so the states the programmer inspects lie *past* the
+  interesting point by (latency × event rate). The marker algorithm pins
+  the cut to the initiation instant exactly (Theorem 2), so its drift
+  against the reference snapshot is zero.
+* **Indeterminable channels.** Without markers there is no "last message"
+  delimiter: after the freeze the debugger cannot know whether a channel
+  is drained or a message is still crawling toward it. Every channel state
+  is reported ``complete=False``.
+
+The resulting cut is still *causally* consistent (halted processes send
+nothing), which is precisely why the interesting comparison is timeliness,
+not orphan messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.network.message import Envelope, MessageKind
+from repro.runtime.controller import ProcessController
+from repro.runtime.interfaces import ControlPlugin
+from repro.runtime.state_capture import ProcessStateSnapshot
+from repro.runtime.system import System
+from repro.snapshot.state import ChannelState, GlobalState
+from repro.util.errors import HaltingError
+from repro.util.ids import ChannelId, ProcessId
+
+
+@dataclass(frozen=True)
+class NaiveStop:
+    """The broadcast STOP command."""
+
+    stop_id: int
+
+
+@dataclass(frozen=True)
+class NaiveTripwire:
+    """Notification from the process that observed the interesting point."""
+
+    stop_id: int
+
+
+class NaiveHaltAgent(ControlPlugin):
+    """Halts the process the moment a STOP arrives. On the central monitor
+    (a never-halting process) a tripwire notification triggers the
+    broadcast instead."""
+
+    kinds = frozenset({MessageKind.DEBUG_CONTROL})
+
+    def __init__(self, controller: ProcessController) -> None:
+        self.attach(controller)
+        self.last_stop_id = 0
+
+    def on_control(self, envelope: Envelope) -> None:
+        command = envelope.payload
+        if isinstance(command, NaiveTripwire):
+            if not self.controller.never_halts:
+                raise HaltingError("tripwire sent to a non-monitor process")
+            if command.stop_id > self.last_stop_id:
+                self.last_stop_id = command.stop_id
+                self.broadcast(command.stop_id)
+        elif isinstance(command, NaiveStop):
+            if command.stop_id > self.last_stop_id:
+                self.last_stop_id = command.stop_id
+                if not self.controller.halted and not self.controller.never_halts:
+                    self.controller.halt(stop_id=command.stop_id, naive=True)
+        else:
+            raise HaltingError(f"naive baseline got unknown control {command!r}")
+
+    def broadcast(self, stop_id: int) -> None:
+        """Monitor side: one STOP per outgoing channel."""
+        for channel_id in self.controller.outgoing_channels():
+            self.controller.send_control(
+                channel_id, MessageKind.DEBUG_CONTROL, NaiveStop(stop_id=stop_id)
+            )
+
+    def report(self, stop_id: int, monitor: ProcessId) -> None:
+        """Process side: tell the monitor the interesting point was hit."""
+        self.controller.send_control(
+            ChannelId(self.controller.name, monitor),
+            MessageKind.DEBUG_CONTROL,
+            NaiveTripwire(stop_id=stop_id),
+        )
+
+
+class NaiveHaltCoordinator:
+    """Drives the naive baseline over an extended (monitor-bearing) topology.
+
+    Use :func:`repro.network.topology.Topology.with_debugger` to add the
+    central monitor and build the system with ``never_halt={monitor}`` —
+    the same physical set-up the real debugger gets, so the comparison in
+    E9 isolates the *algorithm*, not the wiring.
+    """
+
+    def __init__(self, system: System, monitor: ProcessId = "d") -> None:
+        if monitor not in system.controllers:
+            raise HaltingError(
+                f"monitor process {monitor!r} not in system — build the "
+                "topology with .with_debugger() first"
+            )
+        self.system = system
+        self.monitor = monitor
+        self._next_stop_id = 1
+        self.agents: Dict[ProcessId, NaiveHaltAgent] = {}
+        for name in system.topology.processes:
+            controller = system.controller(name)
+            agent = NaiveHaltAgent(controller)
+            controller.install(agent)
+            self.agents[name] = agent
+
+    def trip(self, at_process: ProcessId) -> int:
+        """The interesting point was observed at ``at_process``: it notifies
+        the monitor, which broadcasts STOP. Returns the stop generation."""
+        stop_id = self._next_stop_id
+        self._next_stop_id += 1
+        self.agents[at_process].report(stop_id, self.monitor)
+        return stop_id
+
+    def stop_now(self) -> int:
+        """Broadcast STOP directly from the monitor (no tripwire hop)."""
+        stop_id = self._next_stop_id
+        self._next_stop_id += 1
+        self.agents[self.monitor].last_stop_id = stop_id
+        self.agents[self.monitor].broadcast(stop_id)
+        return stop_id
+
+    def all_halted(self) -> bool:
+        return self.system.all_user_processes_halted()
+
+    def collect(self) -> GlobalState:
+        """Assemble the naively-halted state. Channel contents are whatever
+        happened to be buffered — with no marker behind them, none can be
+        declared complete."""
+        if not self.all_halted():
+            raise HaltingError("not all processes halted")
+        processes: Dict[ProcessId, ProcessStateSnapshot] = {}
+        channels: Dict[ChannelId, ChannelState] = {}
+        for name in self.system.user_process_names:
+            controller = self.system.controller(name)
+            assert controller.halted_snapshot is not None
+            processes[name] = controller.halted_snapshot
+            for channel_id, envelopes in controller.halt_buffers.items():
+                if channel_id.src == self.monitor:
+                    continue
+                channels[channel_id] = ChannelState(
+                    channel=channel_id,
+                    messages=tuple(env.payload for env in envelopes),
+                    complete=False,  # no marker: drained-ness is unknowable
+                )
+        return GlobalState(
+            origin="naive",
+            processes=processes,
+            channels=channels,
+            generation=self._next_stop_id - 1,
+        )

@@ -1,0 +1,55 @@
+"""Distributed breakpoints: predicates, the text DSL, and detection (§3)."""
+
+from repro.breakpoints.detector import (
+    BreakpointCoordinator,
+    PredicateAgent,
+    PredicateMarker,
+    StageHit,
+)
+from repro.breakpoints.parser import parse_conjunctive, parse_predicate
+from repro.breakpoints.pathexpr import arm_path_expression, compile_path_expression
+from repro.breakpoints.predicates import (
+    ConjunctivePredicate,
+    DisjunctivePredicate,
+    LinkedPredicate,
+    SimplePredicate,
+    StateQuery,
+    as_linked,
+    disjunctive_to_linked,
+    expand_repeats,
+    simple_to_linked,
+)
+from repro.breakpoints.scp import (
+    SCPPair,
+    SCPResult,
+    SCPTuple,
+    compute_scp,
+    compute_scp_k,
+    matching_events,
+)
+
+__all__ = [
+    "BreakpointCoordinator",
+    "ConjunctivePredicate",
+    "DisjunctivePredicate",
+    "LinkedPredicate",
+    "PredicateAgent",
+    "PredicateMarker",
+    "SCPPair",
+    "SCPResult",
+    "SCPTuple",
+    "SimplePredicate",
+    "StageHit",
+    "StateQuery",
+    "arm_path_expression",
+    "as_linked",
+    "compile_path_expression",
+    "compute_scp",
+    "compute_scp_k",
+    "disjunctive_to_linked",
+    "expand_repeats",
+    "matching_events",
+    "parse_conjunctive",
+    "parse_predicate",
+    "simple_to_linked",
+]

@@ -1,0 +1,335 @@
+"""The Linked Predicate Detection Algorithm (§3.6).
+
+Transcription of the paper's two rules:
+
+    Predicate-Marker-Sending Rule for a process p:
+        Send a predicate marker containing the Linked Predicate to each
+        process involved in the first Disjunctive Predicate of the LP.
+
+    Predicate-Marker-Receiving Rule for a process q, on receiving a marker:
+        Separate the first DP from the LP carried by the marker;
+        make a newLP by excluding the first DP.
+        When the extracted DP is met:
+            if the newLP is null: initiate the Halting Algorithm;
+            else: send a new predicate marker containing the newLP
+                  according to the Predicate-Marker-Sending Rule.
+
+The happened-before ordering of an LP's stages is enforced *structurally*:
+a stage only starts being watched when the marker announcing the previous
+stage's satisfaction arrives, and marker travel is itself a happened-before
+edge. Events matching stage i+1 that occur concurrently with (or before)
+stage i never count — they precede the arming.
+
+Marker routing: the paper's rule says "send to each process involved in
+DP2" without requiring a direct channel. Where a direct channel exists we
+use it; otherwise the marker is relayed through the debugger process
+(extended model §2.2.3 guarantees that path exists). Relaying preserves the
+happened-before edge, so detection soundness is unaffected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.breakpoints.parser import parse_predicate
+from repro.breakpoints.predicates import (
+    LinkedPredicate,
+    SimplePredicate,
+    as_linked,
+)
+from repro.events.event import Event
+from repro.halting.algorithm import HaltingAgent
+from repro.network.message import Envelope, MessageKind
+from repro.runtime.controller import ProcessController
+from repro.runtime.interfaces import ControlPlugin
+from repro.runtime.system import System
+from repro.util.errors import PredicateError
+from repro.util.ids import ChannelId, ProcessId
+
+
+@dataclass(frozen=True)
+class StageHit:
+    """Provenance of one satisfied stage: where, which event, which term."""
+
+    stage_index: int
+    process: ProcessId
+    eid: int
+    lamport: int
+    time: float
+    term: str  # stringified SimplePredicate
+
+    def __str__(self) -> str:
+        return f"[{self.stage_index}] {self.term} via event#{self.eid} t={self.time:.3f}"
+
+
+@dataclass(frozen=True)
+class PredicateMarker:
+    """A predicate marker: the residual LP plus satisfaction provenance."""
+
+    lp_id: int
+    residual: LinkedPredicate
+    stage_index: int
+    trail: Tuple[StageHit, ...] = ()
+    #: Remaining relay hops when the marker is being source-routed to a
+    #: process without a direct channel (the last hop is the destination).
+    #: Empty means "arm here".
+    route: Tuple[ProcessId, ...] = ()
+    #: Whether completing this predicate initiates the Halting Algorithm
+    #: (a breakpoint, the §3.6 default) or merely notifies (a monitoring
+    #: predicate, e.g. an EDL abstract event — §4).
+    halt: bool = True
+
+
+@dataclass
+class _ArmedStage:
+    """One stage instance being watched at one process."""
+
+    lp_id: int
+    stage_index: int
+    terms: Tuple[SimplePredicate, ...]
+    residual: Optional[LinkedPredicate]
+    trail: Tuple[StageHit, ...]
+    halt: bool = True
+    counts: Dict[int, int] = field(default_factory=dict)  # term index -> hits
+
+
+class PredicateAgent(ControlPlugin):
+    """Per-process side of the detection algorithm."""
+
+    kinds = frozenset({MessageKind.PREDICATE_MARKER})
+
+    def __init__(
+        self,
+        controller: ProcessController,
+        on_final: Optional[Callable[[PredicateMarker], None]] = None,
+        halt_on_final: bool = True,
+        cancelled: Optional[set] = None,
+    ) -> None:
+        self.attach(controller)
+        self.on_final = on_final
+        self.halt_on_final = halt_on_final
+        self.armed: List[_ArmedStage] = []
+        #: lp_ids withdrawn by the debugger. Shared across one system's
+        #: agents so a cancellation also kills markers still in flight
+        #: (they are dropped on arrival instead of arming).
+        self.cancelled: set = cancelled if cancelled is not None else set()
+
+    # -- Predicate-Marker-Receiving Rule --------------------------------------
+
+    def on_control(self, envelope: Envelope) -> None:
+        marker = envelope.payload
+        assert isinstance(marker, PredicateMarker)
+        if marker.route:
+            # We are a relay hop: pass the marker along its source route.
+            next_hop, rest = marker.route[0], marker.route[1:]
+            self._send_marker(next_hop, replace(marker, route=rest))
+            return
+        self.arm(marker)
+
+    def arm(self, marker: PredicateMarker) -> None:
+        """Start watching the first DP of the marker's LP at this process."""
+        if marker.lp_id in self.cancelled:
+            return  # withdrawn while the marker was in flight
+        stage = marker.residual.first
+        terms = stage.terms_at(self.controller.name)
+        if not terms:
+            raise PredicateError(
+                f"{self.controller.name} received a predicate marker whose "
+                f"first stage involves only {sorted(stage.processes())}"
+            )
+        self.armed.append(
+            _ArmedStage(
+                lp_id=marker.lp_id,
+                stage_index=marker.stage_index,
+                terms=terms,
+                residual=marker.residual.rest(),
+                trail=marker.trail,
+                halt=marker.halt,
+            )
+        )
+
+    # -- watching local events ---------------------------------------------------
+
+    def on_local_event(self, event: Event) -> None:
+        if not self.armed:
+            return
+        if self.cancelled:
+            self.armed = [s for s in self.armed if s.lp_id not in self.cancelled]
+        fired: List[Tuple[_ArmedStage, SimplePredicate]] = []
+        for stage in list(self.armed):
+            for term_index, term in enumerate(stage.terms):
+                if not term.matches(event):
+                    continue
+                count = stage.counts.get(term_index, 0) + 1
+                stage.counts[term_index] = count
+                if count >= term.repeat:
+                    fired.append((stage, term))
+                    break
+        for stage, term in fired:
+            if stage in self.armed:
+                self.armed.remove(stage)
+                self._stage_satisfied(stage, term, event)
+
+    # -- advancing the chain ---------------------------------------------------------
+
+    def _stage_satisfied(self, stage: _ArmedStage, term: SimplePredicate,
+                         event: Event) -> None:
+        hit = StageHit(
+            stage_index=stage.stage_index,
+            process=self.controller.name,
+            eid=event.eid,
+            lamport=event.lamport,
+            time=event.time,
+            term=str(term),
+        )
+        trail = stage.trail + (hit,)
+        if stage.residual is None:
+            # "...at which time a process knows that it should initiate the
+            # Halting Algorithm."
+            final = PredicateMarker(
+                lp_id=stage.lp_id,
+                residual=as_linked(term),  # for reporting: the closing term
+                stage_index=stage.stage_index,
+                trail=trail,
+                halt=stage.halt,
+            )
+            self._final(final)
+            return
+        next_marker = PredicateMarker(
+            lp_id=stage.lp_id,
+            residual=stage.residual,
+            stage_index=stage.stage_index + 1,
+            trail=trail,
+            halt=stage.halt,
+        )
+        for target in sorted(stage.residual.first.processes()):
+            if target == self.controller.name:
+                # Arming ourselves needs no marker; the satisfaction event
+                # itself is the causal anchor.
+                self.arm(next_marker)
+            else:
+                self._route_marker(target, next_marker)
+
+    def _final(self, marker: PredicateMarker) -> None:
+        if self.on_final is not None:
+            self.on_final(marker)
+        if self.halt_on_final and marker.halt:
+            self._initiate_halt()
+
+    def _initiate_halt(self) -> None:
+        halting = self.controller.plugin_of(HaltingAgent)
+        if halting is None:
+            raise PredicateError(
+                f"{self.controller.name}: breakpoint fired but no HaltingAgent "
+                "is installed (install a HaltingCoordinator or DebugSession)"
+            )
+
+        def initiate() -> None:
+            # A halt marker may have frozen us in the meantime (another
+            # breakpoint fired elsewhere) — then the halt is already under
+            # way and there is nothing to initiate.
+            if not self.controller.halted:
+                halting.initiate()
+
+        # Defer past the current handler so the halt point is a clean
+        # boundary between two atomic handler steps.
+        self.controller.defer(initiate, label="breakpoint")
+
+    # -- marker transport --------------------------------------------------------------
+
+    def _route_marker(self, target: ProcessId, marker: PredicateMarker) -> None:
+        direct = ChannelId(self.controller.name, target)
+        if self.controller.system.channel(direct) is not None:
+            self._send_marker(target, marker)
+            return
+        # No direct channel: source-route along the channel graph. In the
+        # extended model the debugger guarantees a 2-hop path exists; in the
+        # basic model any path in the (strongly-connected) graph serves.
+        # Every relay hop preserves the happened-before edge from the
+        # previous stage's satisfaction to the arming.
+        path = self.controller.system.find_path(self.controller.name, target)
+        if path is None or len(path) < 2:
+            raise PredicateError(
+                f"{self.controller.name} cannot route a predicate marker to "
+                f"{target}: no channel path exists (topology not strongly "
+                "connected — attach a debugger process, §2.2.3)"
+            )
+        self._send_marker(path[1], replace(marker, route=tuple(path[2:])))
+
+    def _send_marker(self, target: ProcessId, marker: PredicateMarker) -> None:
+        self.controller.send_control(
+            ChannelId(self.controller.name, target),
+            MessageKind.PREDICATE_MARKER,
+            marker,
+        )
+
+
+class BreakpointCoordinator:
+    """Harness-side driver for predicate detection without a full debugger.
+
+    Installs a :class:`PredicateAgent` everywhere; breakpoints set through
+    :meth:`set_breakpoint` arm the first stage directly (the harness stands
+    in for the debugger's Predicate-Marker-Sending Rule). Completions are
+    collected in :attr:`hits`. With ``halt=True`` a satisfied breakpoint
+    initiates the Halting Algorithm at the satisfying process, exactly as
+    §3.6 prescribes.
+    """
+
+    def __init__(self, system: System, halt: bool = True) -> None:
+        self.system = system
+        self.hits: List[PredicateMarker] = []
+        self._next_lp_id = 1
+        self._cancelled: set = set()
+        self.agents: Dict[ProcessId, PredicateAgent] = {}
+        for name in system.topology.processes:
+            controller = system.controller(name)
+            agent = PredicateAgent(
+                controller,
+                on_final=self.hits.append,
+                halt_on_final=halt and not controller.never_halts,
+                cancelled=self._cancelled,
+            )
+            controller.install(agent)
+            self.agents[name] = agent
+
+    def set_breakpoint(
+        self,
+        predicate: Union[str, LinkedPredicate, SimplePredicate],
+        halt: bool = True,
+    ) -> int:
+        """Arm a predicate (text DSL or predicate object). Returns lp_id.
+        With ``halt=False`` the predicate only notifies (monitoring mode)."""
+        if isinstance(predicate, str):
+            lp = parse_predicate(predicate)
+        else:
+            lp = as_linked(predicate)
+        unknown = lp.processes() - set(self.system.topology.processes)
+        if unknown:
+            raise PredicateError(f"predicate names unknown processes {sorted(unknown)}")
+        lp_id = self._next_lp_id
+        self._next_lp_id += 1
+        marker = PredicateMarker(lp_id=lp_id, residual=lp, stage_index=0, halt=halt)
+        for target in sorted(lp.first.processes()):
+            self.agents[target].arm(marker)
+        return lp_id
+
+    def set_path_breakpoint(self, text: str, halt: bool = True) -> List[int]:
+        """Arm a §4 path expression: every compiled alternative is armed;
+        whichever completes first is the match. Returns all lp_ids."""
+        from repro.breakpoints.pathexpr import compile_path_expression
+
+        return [
+            self.set_breakpoint(lp, halt=halt)
+            for lp in compile_path_expression(text)
+        ]
+
+    def cancel(self, lp_id: int) -> None:
+        """Disarm every stage instance of one predicate, including markers
+        still in flight (they die on arrival)."""
+        self._cancelled.add(lp_id)
+        for agent in self.agents.values():
+            agent.armed = [s for s in agent.armed if s.lp_id != lp_id]
+
+    def hits_for(self, lp_id: int) -> List[PredicateMarker]:
+        return [hit for hit in self.hits if hit.lp_id == lp_id]

@@ -1,0 +1,266 @@
+"""A small text DSL for breakpoint predicates.
+
+Grammar (whitespace-insensitive)::
+
+    linked      := disjunction ( '->' disjunction )*
+    disjunction := term ( '|' term )*
+    conjunction := term ( '&' term )*            # separate entry point
+    term        := body '@' PROCESS [ '^' INT ] | '(' disjunction ')'
+    body        := KIND [ '(' argument ')' ]
+    argument    := label                          # e.g. enter(handle_request)
+                 | KEY OP VALUE                   # only for state(...)
+    KIND        := enter | exit | send | recv | mark | timer | state
+                 | created | terminated | chan_created | chan_destroyed | any
+    OP          := == | != | < | <= | > | >=
+    VALUE       := INT | FLOAT | 'string' | "string" | bare_word | true | false
+
+Examples::
+
+    enter(receive_token)@p2
+    send(wire)@branch0 | recv(wire)@branch1
+    mark(cs_enter)@m0 -> mark(cs_enter)@m1 -> mark(cs_enter)@m2
+    state(balance<500)@branch3
+    (recv@p1 | recv@p2) -> send@p3 ^2
+
+The ``^ i`` repetition is the paper's ``(SP)^i`` shorthand (§3.5 footnote).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, List, NamedTuple, Optional, Tuple
+
+from repro.breakpoints.predicates import (
+    ConjunctivePredicate,
+    DisjunctivePredicate,
+    LinkedPredicate,
+    SimplePredicate,
+    StateQuery,
+)
+from repro.events.event import EventKind
+from repro.util.errors import PredicateSyntaxError
+
+_KINDS = {
+    "enter": EventKind.PROCEDURE_ENTRY,
+    "exit": EventKind.PROCEDURE_EXIT,
+    "send": EventKind.SEND,
+    "recv": EventKind.RECEIVE,
+    "receive": EventKind.RECEIVE,
+    "mark": EventKind.STATE_CHANGE,
+    "timer": EventKind.TIMER,
+    "created": EventKind.PROCESS_CREATED,
+    "terminated": EventKind.PROCESS_TERMINATED,
+    "chan_created": EventKind.CHANNEL_CREATED,
+    "chan_destroyed": EventKind.CHANNEL_DESTROYED,
+    "state": EventKind.STATE_CHANGE,
+    "any": None,
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<arrow>->)
+  | (?P<op>==|!=|<=|>=|<|>)
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9.]*)
+  | (?P<punct>[()@^|&])
+    """,
+    re.VERBOSE,
+)
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise PredicateSyntaxError(
+                f"unexpected character {text[position]!r}", text, position
+            )
+        group = match.lastgroup
+        assert group is not None
+        if group != "ws":
+            tokens.append(_Token(group, match.group(), position))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def _peek(self) -> Optional[_Token]:
+        return self.tokens[self.index] if self.index < len(self.tokens) else None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise PredicateSyntaxError("unexpected end of input", self.text, len(self.text))
+        self.index += 1
+        return token
+
+    def _expect(self, text: str) -> _Token:
+        token = self._next()
+        if token.text != text:
+            raise PredicateSyntaxError(
+                f"expected {text!r}, found {token.text!r}", self.text, token.position
+            )
+        return token
+
+    def _accept(self, text: str) -> bool:
+        token = self._peek()
+        if token is not None and token.text == text:
+            self.index += 1
+            return True
+        return False
+
+    def _done(self) -> None:
+        token = self._peek()
+        if token is not None:
+            raise PredicateSyntaxError(
+                f"trailing input {token.text!r}", self.text, token.position
+            )
+
+    # -- grammar --------------------------------------------------------------
+
+    def parse_linked(self) -> LinkedPredicate:
+        stages = [self._disjunction()]
+        while self._accept("->"):
+            stages.append(self._disjunction())
+        self._done()
+        return LinkedPredicate(stages=tuple(stages))
+
+    def parse_conjunctive(self) -> ConjunctivePredicate:
+        terms = [self._term_no_group()]
+        self._expect("&")
+        terms.append(self._term_no_group())
+        while self._accept("&"):
+            terms.append(self._term_no_group())
+        self._done()
+        return ConjunctivePredicate(terms=tuple(terms))
+
+    def _disjunction(self) -> DisjunctivePredicate:
+        terms = list(self._term())
+        while self._accept("|"):
+            terms.extend(self._term())
+        return DisjunctivePredicate(terms=tuple(terms))
+
+    def _term(self) -> Tuple[SimplePredicate, ...]:
+        if self._accept("("):
+            # Parenthesized disjunction group: flatten into the parent.
+            inner = [self._term_no_group()]
+            while self._accept("|"):
+                inner.append(self._term_no_group())
+            self._expect(")")
+            return tuple(inner)
+        return (self._term_no_group(),)
+
+    def _term_no_group(self) -> SimplePredicate:
+        token = self._next()
+        if token.kind != "ident":
+            raise PredicateSyntaxError(
+                f"expected a predicate kind, found {token.text!r}",
+                self.text, token.position,
+            )
+        kind_name = token.text
+        if kind_name not in _KINDS:
+            raise PredicateSyntaxError(
+                f"unknown predicate kind {kind_name!r} "
+                f"(known: {', '.join(sorted(_KINDS))})",
+                self.text, token.position,
+            )
+        detail: Optional[str] = None
+        state: Optional[StateQuery] = None
+        if self._accept("("):
+            if kind_name == "state":
+                state = self._state_query()
+            else:
+                detail = self._label()
+            self._expect(")")
+        self._expect("@")
+        process_token = self._next()
+        if process_token.kind != "ident":
+            raise PredicateSyntaxError(
+                f"expected a process name after '@', found {process_token.text!r}",
+                self.text, process_token.position,
+            )
+        repeat = 1
+        if self._accept("^"):
+            count_token = self._next()
+            if count_token.kind != "number" or "." in count_token.text:
+                raise PredicateSyntaxError(
+                    f"expected an integer repetition count, found {count_token.text!r}",
+                    self.text, count_token.position,
+                )
+            repeat = int(count_token.text)
+        return SimplePredicate(
+            process=process_token.text,
+            kind=_KINDS[kind_name],
+            detail=detail,
+            state=state,
+            repeat=repeat,
+        )
+
+    def _label(self) -> str:
+        token = self._next()
+        if token.kind == "string":
+            return token.text[1:-1]
+        if token.kind in ("ident", "number"):
+            return token.text
+        raise PredicateSyntaxError(
+            f"expected a label, found {token.text!r}", self.text, token.position
+        )
+
+    def _state_query(self) -> StateQuery:
+        key_token = self._next()
+        if key_token.kind != "ident":
+            raise PredicateSyntaxError(
+                f"expected a state key, found {key_token.text!r}",
+                self.text, key_token.position,
+            )
+        op_token = self._next()
+        if op_token.kind != "op":
+            raise PredicateSyntaxError(
+                f"expected a comparison operator, found {op_token.text!r}",
+                self.text, op_token.position,
+            )
+        value = self._value()
+        return StateQuery(key=key_token.text, op=op_token.text, value=value)
+
+    def _value(self) -> Any:
+        token = self._next()
+        if token.kind == "number":
+            return float(token.text) if "." in token.text else int(token.text)
+        if token.kind == "string":
+            return token.text[1:-1]
+        if token.kind == "ident":
+            if token.text == "true":
+                return True
+            if token.text == "false":
+                return False
+            return token.text
+        raise PredicateSyntaxError(
+            f"expected a value, found {token.text!r}", self.text, token.position
+        )
+
+
+def parse_predicate(text: str) -> LinkedPredicate:
+    """Parse SP / DP / LP text into a (possibly one-stage) LinkedPredicate."""
+    return _Parser(text).parse_linked()
+
+
+def parse_conjunctive(text: str) -> ConjunctivePredicate:
+    """Parse ``term & term [& term ...]`` conjunction text."""
+    return _Parser(text).parse_conjunctive()

@@ -1,0 +1,194 @@
+"""Path expressions compiled to Linked Predicates (§4).
+
+"The Linked Predicates are similar to Path Expressions [Bruegge &
+Hibbard]. Our distributed predicate detection algorithm provides a vehicle
+to implement Path Expressions in a distributed system." This module is that
+vehicle: a small path-expression language —
+
+    path  := seq
+    seq   := alt (';' alt)*          sequencing (happened-before)
+    alt   := factor ('|' factor)*    alternation over sub-paths
+    factor:= primary ['{' INT '}']   repetition (n >= 1)
+    primary := TERM | '(' seq ')'
+
+where TERM is any Simple-Predicate term of the breakpoint DSL
+(``enter(f)@p``, ``send(tag)@q``, ``state(k<5)@r``, …) — compiled into a
+set of alternative :class:`~repro.breakpoints.predicates.LinkedPredicate`
+chains. Arm all alternatives; whichever completes first is the match.
+
+Examples::
+
+    enter(req)@p1 ; (reply@p2 | reply@p3) ; exit(req)@p1
+    (mark(cs_enter)@m0 ; mark(cs_exit)@m0) {2}
+
+Alternation distributes over sequencing, so compilation can explode
+combinatorially; :data:`MAX_ALTERNATIVES` bounds it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from repro.breakpoints.parser import parse_predicate
+from repro.breakpoints.predicates import DisjunctivePredicate, LinkedPredicate
+from repro.util.errors import PredicateError, PredicateSyntaxError
+
+MAX_ALTERNATIVES = 64
+
+#: One alternative: a sequence of stages (each stage a DP).
+_Path = Tuple[DisjunctivePredicate, ...]
+
+
+def compile_path_expression(text: str) -> Tuple[LinkedPredicate, ...]:
+    """Compile path-expression text into alternative Linked Predicates."""
+    paths = _Compiler(text).compile()
+    return tuple(LinkedPredicate(stages=path) for path in paths)
+
+
+class _Compiler:
+    """Splits on the path operators, delegating terms to the DSL parser.
+
+    The path grammar's metacharacters (``;``, ``{}``, and *top-level*
+    ``|``/parens) never occur inside a DSL term except ``|`` and parens,
+    which the DSL itself uses for disjunction — so alternation of bare
+    terms falls through to the DSL's own DP handling naturally: we only
+    treat ``|`` as a path operator when an operand contains ``;`` or
+    ``{``.
+    """
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+
+    def compile(self) -> List[_Path]:
+        return self._seq(self.text)
+
+    # -- recursive splitting ------------------------------------------------
+
+    def _seq(self, text: str) -> List[_Path]:
+        segments = _split_top(text, ";")
+        if not segments or any(not s.strip() for s in segments):
+            raise PredicateSyntaxError("empty path segment", self.text,
+                                       self.text.find(text))
+        paths: List[_Path] = [()]
+        for segment in segments:
+            alternatives = self._alt(segment)
+            paths = [
+                left + right for left in paths for right in alternatives
+            ]
+            _check_budget(paths, self.text)
+        return paths
+
+    def _alt(self, text: str) -> List[_Path]:
+        operands = _split_top(text, "|")
+        if len(operands) == 1:
+            return self._factor(operands[0])
+        if all(not _is_structured(op) for op in operands):
+            # Pure term alternation == a DSL disjunction: one single-stage
+            # path whose DP has all the terms.
+            return self._factor(text, force_term=True)
+        paths: List[_Path] = []
+        for operand in operands:
+            paths.extend(self._factor(operand))
+            _check_budget(paths, self.text)
+        return paths
+
+    def _factor(self, text: str, force_term: bool = False) -> List[_Path]:
+        text = text.strip()
+        repeat = 1
+        if text.endswith("}"):
+            brace = text.rfind("{")
+            if brace == -1:
+                raise PredicateSyntaxError("unmatched '}'", self.text,
+                                           self.text.rfind("}"))
+            count_text = text[brace + 1:-1].strip()
+            if not count_text.isdigit() or int(count_text) < 1:
+                raise PredicateSyntaxError(
+                    f"repetition must be a positive integer, got {count_text!r}",
+                    self.text, self.text.rfind("{"),
+                )
+            repeat = int(count_text)
+            text = text[:brace].strip()
+        if not force_term and text.startswith("(") and text.endswith(")") \
+                and _matching_paren(text):
+            base = self._seq(text[1:-1])
+        else:
+            base = [self._term(text)]
+        result = base
+        for _ in range(repeat - 1):
+            result = [left + right for left in result for right in base]
+            _check_budget(result, self.text)
+        return result
+
+    def _term(self, text: str) -> _Path:
+        lp = parse_predicate(text)
+        return lp.stages
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_Compiler({self.text!r})"
+
+
+def _split_top(text: str, separator: str) -> List[str]:
+    """Split on ``separator`` outside parentheses/braces/quotes."""
+    parts: List[str] = []
+    depth = 0
+    quote = None
+    current: List[str] = []
+    for ch in text:
+        if quote:
+            if ch == quote:
+                quote = None
+            current.append(ch)
+            continue
+        if ch in "'\"":
+            quote = ch
+            current.append(ch)
+        elif ch in "({":
+            depth += 1
+            current.append(ch)
+        elif ch in ")}":
+            depth -= 1
+            if depth < 0:
+                raise PredicateSyntaxError("unbalanced parentheses", text, 0)
+            current.append(ch)
+        elif ch == separator and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if depth != 0:
+        raise PredicateSyntaxError("unbalanced parentheses", text, 0)
+    parts.append("".join(current))
+    return parts
+
+
+def _is_structured(text: str) -> bool:
+    """Does this operand contain path structure (sequencing/repetition)?"""
+    return ";" in text or "{" in text
+
+
+def _matching_paren(text: str) -> bool:
+    """Is the leading '(' matched by the trailing ')'?"""
+    depth = 0
+    for index, ch in enumerate(text):
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth == 0:
+                return index == len(text) - 1
+    return False
+
+
+def _check_budget(paths: Sequence[_Path], text: str) -> None:
+    if len(paths) > MAX_ALTERNATIVES:
+        raise PredicateError(
+            f"path expression {text!r} expands to more than "
+            f"{MAX_ALTERNATIVES} alternatives; simplify it"
+        )
+
+
+def arm_path_expression(
+    set_breakpoint: Callable[[LinkedPredicate], int], text: str
+) -> List[int]:
+    """Compile and arm every alternative; returns the lp_ids."""
+    return [set_breakpoint(lp) for lp in compile_path_expression(text)]

@@ -1,0 +1,286 @@
+"""Breakpoint predicates: Simple, Disjunctive, Conjunctive, Linked (§3).
+
+The paper's grammar::
+
+    DP ::= SP [ ∨ SP ]...          (§3.3)
+    CP ::= SP [ ∧ SP ]...          (§3.5)
+    LP ::= DP [ → DP ]...          (§3.4)
+
+with ``(SP)^i`` as shorthand for ``SP → SP → … → SP`` (i times). A Simple
+Predicate is local to one process and matches detectable occurrences: the
+sequential-debugger classics (procedure entry, state tests) plus the
+interprocess events of §3.2 (message sent/received, channel created/
+destroyed, process created/terminated).
+
+All predicate objects are immutable and hashable; they travel inside
+predicate markers.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Optional, Tuple
+
+from repro.events.event import Event, EventKind
+from repro.util.errors import PredicateError
+from repro.util.ids import ProcessId
+
+_OPS: dict = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+@dataclass(frozen=True)
+class StateQuery:
+    """A comparison against one key of the process state."""
+
+    key: str
+    op: str
+    value: Any
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise PredicateError(f"unknown comparison operator {self.op!r}")
+
+    def evaluate(self, observed: Any) -> bool:
+        try:
+            return bool(_OPS[self.op](observed, self.value))
+        except TypeError:
+            return False
+
+    def __str__(self) -> str:
+        if isinstance(self.value, bool):
+            value = "true" if self.value else "false"
+        elif isinstance(self.value, str):
+            value = f'"{self.value}"'
+        else:
+            value = str(self.value)
+        return f"{self.key}{self.op}{value}"
+
+
+@dataclass(frozen=True)
+class SimplePredicate:
+    """A predicate on the behaviour or state of a single process (§3.2).
+
+    ``kind=None`` matches any event kind (wildcard used by EDL-style
+    abstract events). ``detail`` filters on the event's detail field —
+    procedure name for enter/exit, message tag for send/recv, mark label,
+    timer name. ``state`` adds a state comparison, evaluated against the
+    mutated key's new value for STATE_CHANGE events.
+    ``repeat`` is the paper's ``(SP)^i`` — the predicate counts as satisfied
+    on its i-th match.
+    """
+
+    process: ProcessId
+    kind: Optional[EventKind] = None
+    detail: Optional[str] = None
+    state: Optional[StateQuery] = None
+    repeat: int = 1
+
+    def __post_init__(self) -> None:
+        if self.repeat < 1:
+            raise PredicateError(f"repeat must be >= 1, got {self.repeat}")
+        if self.state is not None and self.kind not in (None, EventKind.STATE_CHANGE):
+            raise PredicateError(
+                "state queries only apply to state-change events"
+            )
+
+    def matches(self, event: Event) -> bool:
+        """Does one event satisfy this predicate (ignoring ``repeat``)?"""
+        if event.process != self.process:
+            return False
+        if self.kind is not None and event.kind is not self.kind:
+            return False
+        if self.detail is not None and event.detail != self.detail:
+            return False
+        if self.state is not None:
+            if event.kind is not EventKind.STATE_CHANGE:
+                return False
+            if event.attrs.get("key", event.detail) != self.state.key:
+                return False
+            return self.state.evaluate(event.attrs.get("value"))
+        return True
+
+    def __str__(self) -> str:
+        if self.state is not None:
+            body = f"state({self.state})"
+        elif self.kind is None:
+            body = "any" + (f"({self.detail})" if self.detail else "")
+        else:
+            name = _KIND_NAMES[self.kind]
+            body = f"{name}({self.detail})" if self.detail else name
+        suffix = f"^{self.repeat}" if self.repeat > 1 else ""
+        return f"{body}@{self.process}{suffix}"
+
+
+_KIND_NAMES = {
+    EventKind.SEND: "send",
+    EventKind.RECEIVE: "recv",
+    EventKind.PROCEDURE_ENTRY: "enter",
+    EventKind.PROCEDURE_EXIT: "exit",
+    EventKind.STATE_CHANGE: "mark",
+    EventKind.TIMER: "timer",
+    EventKind.PROCESS_CREATED: "created",
+    EventKind.PROCESS_TERMINATED: "terminated",
+    EventKind.CHANNEL_CREATED: "chan_created",
+    EventKind.CHANNEL_DESTROYED: "chan_destroyed",
+}
+
+
+@dataclass(frozen=True)
+class DisjunctivePredicate:
+    """``SP ∨ SP ∨ …`` — satisfied when any term is satisfied (§3.3)."""
+
+    terms: Tuple[SimplePredicate, ...]
+
+    def __post_init__(self) -> None:
+        if not self.terms:
+            raise PredicateError("a disjunction needs at least one term")
+
+    def processes(self) -> FrozenSet[ProcessId]:
+        """The processes 'involved in' this DP — where the §3.6 algorithm
+        sends predicate markers."""
+        return frozenset(term.process for term in self.terms)
+
+    def terms_at(self, process: ProcessId) -> Tuple[SimplePredicate, ...]:
+        return tuple(t for t in self.terms if t.process == process)
+
+    def __str__(self) -> str:
+        return " | ".join(str(t) for t in self.terms)
+
+
+@dataclass(frozen=True)
+class LinkedPredicate:
+    """``DP → DP → …`` — a happened-before-ordered event sequence (§3.4).
+
+    Semantics (the paper's regular expression): after stage i is satisfied,
+    other events — including other stages' predicates — may freely occur;
+    the chain advances when stage i+1 is satisfied *causally after* stage i.
+    Causality is enforced structurally by the detection algorithm: stage
+    i+1 is only armed by a marker sent at the moment stage i fired.
+    """
+
+    stages: Tuple[DisjunctivePredicate, ...]
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise PredicateError("a linked predicate needs at least one stage")
+
+    @property
+    def first(self) -> DisjunctivePredicate:
+        return self.stages[0]
+
+    def rest(self) -> Optional["LinkedPredicate"]:
+        """The residual ``newLP`` after stripping the first stage (§3.6);
+        None when this was the last stage."""
+        if len(self.stages) == 1:
+            return None
+        return LinkedPredicate(stages=self.stages[1:])
+
+    def processes(self) -> FrozenSet[ProcessId]:
+        out: FrozenSet[ProcessId] = frozenset()
+        for stage in self.stages:
+            out |= stage.processes()
+        return out
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+    def __str__(self) -> str:
+        return " -> ".join(
+            f"({stage})" if len(stage.terms) > 1 else str(stage)
+            for stage in self.stages
+        )
+
+
+@dataclass(frozen=True)
+class ConjunctivePredicate:
+    """``SP ∧ SP ∧ …`` (§3.5) — simultaneity, which a distributed system
+    cannot observe directly.
+
+    The paper splits satisfaction into ``orderedSCP`` (there is a
+    happened-before ordering among the satisfactions — detectable by
+    compiling the conjunction into Linked Predicates, one per ordering) and
+    ``unorderedSCP`` (the satisfactions are concurrent — only detectable
+    after the fact by gathering, see
+    :mod:`repro.debugger.gather`).
+    """
+
+    terms: Tuple[SimplePredicate, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.terms) < 2:
+            raise PredicateError("a conjunction needs at least two terms")
+
+    def processes(self) -> FrozenSet[ProcessId]:
+        return frozenset(term.process for term in self.terms)
+
+    def to_linked_orderings(self) -> Tuple[LinkedPredicate, ...]:
+        """All serializations of the conjunction as Linked Predicates (§3.5:
+        detect ``(SP1)→(SP2)`` or ``(SP2)→(SP1)`` …). Factorial in the number
+        of terms — conjunctions are small in practice."""
+        import itertools
+
+        orderings = []
+        for permutation in itertools.permutations(self.terms):
+            stages = tuple(
+                DisjunctivePredicate(terms=(term,)) for term in permutation
+            )
+            orderings.append(LinkedPredicate(stages=stages))
+        return tuple(orderings)
+
+    def __str__(self) -> str:
+        return " & ".join(str(t) for t in self.terms)
+
+
+def simple_to_linked(predicate: SimplePredicate) -> LinkedPredicate:
+    """Lift an SP to a one-stage LP (§3.6: "the definition of the Linked
+    Predicate is general enough to comprise the Simple Predicate and the
+    Disjunctive Predicate")."""
+    return LinkedPredicate(stages=(DisjunctivePredicate(terms=(predicate,)),))
+
+
+def disjunctive_to_linked(predicate: DisjunctivePredicate) -> LinkedPredicate:
+    """Lift a DP to a one-stage LP."""
+    return LinkedPredicate(stages=(predicate,))
+
+
+def expand_repeats(lp: LinkedPredicate) -> LinkedPredicate:
+    """Rewrite ``(SP)^i`` terms into i explicit chained stages when the
+    stage is a single-term DP. Multi-term disjunctions keep their per-term
+    counters (handled by the detector) because expanding them would change
+    semantics (the disjunction must be re-won i times by *any* term,
+    whereas ``repeat`` counts per term)."""
+    stages = []
+    for stage in lp.stages:
+        if len(stage.terms) == 1 and stage.terms[0].repeat > 1:
+            term = stage.terms[0]
+            once = SimplePredicate(
+                process=term.process, kind=term.kind,
+                detail=term.detail, state=term.state, repeat=1,
+            )
+            for _ in range(term.repeat):
+                stages.append(DisjunctivePredicate(terms=(once,)))
+        else:
+            stages.append(stage)
+    return LinkedPredicate(stages=tuple(stages))
+
+
+PredicateLike = Any  # SimplePredicate | DisjunctivePredicate | LinkedPredicate
+
+
+def as_linked(predicate: PredicateLike) -> LinkedPredicate:
+    """Normalize any SP/DP/LP to a LinkedPredicate."""
+    if isinstance(predicate, LinkedPredicate):
+        return predicate
+    if isinstance(predicate, DisjunctivePredicate):
+        return disjunctive_to_linked(predicate)
+    if isinstance(predicate, SimplePredicate):
+        return simple_to_linked(predicate)
+    raise PredicateError(f"not a predicate: {predicate!r}")

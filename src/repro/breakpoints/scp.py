@@ -1,0 +1,126 @@
+"""SCP analysis: ordered vs unordered conjunctive satisfaction (§3.5, Fig. 4).
+
+For a Conjunctive Predicate ``SP1 ∧ SP2`` the paper defines the set of
+virtual-time pairs where both hold::
+
+    SCP = {(t1, t2) | SP1(t1) ∧ SP2(t2)}
+
+and partitions it into ``orderedSCP`` (the two satisfaction points are
+related by happened-before, detectable with Linked Predicates) and
+``unorderedSCP`` (concurrent — not detectable in time to halt).
+
+This module computes the partition *post hoc* from the ground-truth event
+log using vector clocks. It is the oracle for experiment E8: the LP-based
+detector must fire for ordered pairs and must not claim unordered ones.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.breakpoints.predicates import ConjunctivePredicate, SimplePredicate
+from repro.events.event import Event
+from repro.events.log import EventLog
+
+
+@dataclass(frozen=True)
+class SCPPair:
+    """One element of the SCP set for a two-term conjunction."""
+
+    first: Event   # satisfaction of term 1
+    second: Event  # satisfaction of term 2
+
+    @property
+    def ordered(self) -> bool:
+        return self.first.happened_before(self.second) or self.second.happened_before(self.first)
+
+    @property
+    def direction(self) -> str:
+        """``'1->2'``, ``'2->1'`` or ``'concurrent'``."""
+        if self.first.happened_before(self.second):
+            return "1->2"
+        if self.second.happened_before(self.first):
+            return "2->1"
+        return "concurrent"
+
+
+@dataclass(frozen=True)
+class SCPResult:
+    """The partitioned SCP set."""
+
+    ordered: Tuple[SCPPair, ...]
+    unordered: Tuple[SCPPair, ...]
+
+    @property
+    def total(self) -> int:
+        return len(self.ordered) + len(self.unordered)
+
+    def summary(self) -> str:
+        return (
+            f"SCP: {self.total} satisfaction pairs — "
+            f"{len(self.ordered)} ordered (LP-detectable), "
+            f"{len(self.unordered)} unordered (gather-only)"
+        )
+
+
+def matching_events(log: EventLog, term: SimplePredicate) -> List[Event]:
+    """All events satisfying one Simple Predicate (repeat is ignored —
+    every satisfaction instant is a virtual-time point on that process's
+    axis)."""
+    return [e for e in log if term.matches(e)]
+
+
+def compute_scp(log: EventLog, sp1: SimplePredicate, sp2: SimplePredicate) -> SCPResult:
+    """Partition the SCP set of a two-term conjunction (Fig. 4)."""
+    ordered: List[SCPPair] = []
+    unordered: List[SCPPair] = []
+    for e1 in matching_events(log, sp1):
+        for e2 in matching_events(log, sp2):
+            pair = SCPPair(first=e1, second=e2)
+            (ordered if pair.ordered else unordered).append(pair)
+    return SCPResult(ordered=tuple(ordered), unordered=tuple(unordered))
+
+
+@dataclass(frozen=True)
+class SCPTuple:
+    """One satisfaction tuple of a k-term conjunction."""
+
+    events: Tuple[Event, ...]
+
+    @property
+    def totally_ordered(self) -> bool:
+        """True iff some permutation forms a happened-before chain — the
+        k-term generalization of orderedSCP."""
+        for permutation in itertools.permutations(self.events):
+            if all(
+                a.happened_before(b)
+                for a, b in zip(permutation, permutation[1:])
+            ):
+                return True
+        return False
+
+
+def compute_scp_k(log: EventLog, conjunction: ConjunctivePredicate,
+                  limit: int = 10_000) -> Tuple[List[SCPTuple], List[SCPTuple]]:
+    """Partition the satisfaction tuples of a k-term conjunction into
+    (chain-ordered, not-chain-ordered). Guarded by ``limit`` because the
+    tuple space is a cartesian product."""
+    per_term: List[Sequence[Event]] = [
+        matching_events(log, term) for term in conjunction.terms
+    ]
+    size = 1
+    for events in per_term:
+        size *= max(1, len(events))
+    if size > limit:
+        raise ValueError(
+            f"SCP tuple space has {size} elements (> limit {limit}); "
+            "narrow the predicates"
+        )
+    ordered: List[SCPTuple] = []
+    unordered: List[SCPTuple] = []
+    for combo in itertools.product(*per_term):
+        entry = SCPTuple(events=tuple(combo))
+        (ordered if entry.totally_ordered else unordered).append(entry)
+    return ordered, unordered

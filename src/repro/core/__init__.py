@@ -1,0 +1,19 @@
+"""Public facade for the reproduction. See :mod:`repro.core.api`."""
+
+from repro.core.api import (
+    WORKLOADS,
+    attach_debugger,
+    build_system,
+    build_workload,
+    halt_with_breakpoint,
+    snapshot_now,
+)
+
+__all__ = [
+    "WORKLOADS",
+    "attach_debugger",
+    "build_system",
+    "build_workload",
+    "halt_with_breakpoint",
+    "snapshot_now",
+]

@@ -1,0 +1,148 @@
+"""High-level facade: the few calls most users need.
+
+    from repro.core.api import attach_debugger
+    from repro.workloads import bank
+
+    topology, processes = bank.build(n=4, transfers=25)
+    session = attach_debugger(topology, processes, seed=1)
+    session.set_breakpoint("state(balance<500)@branch0")
+    outcome = session.run()
+
+Everything here is a thin, documented veneer over the real packages —
+nothing happens in this module that you could not do directly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from repro.breakpoints.detector import BreakpointCoordinator
+from repro.debugger.session import DebugSession
+from repro.halting.algorithm import HaltingCoordinator
+from repro.network.latency import LatencyModel, UniformLatency
+from repro.network.topology import Topology
+from repro.runtime.process import Process
+from repro.runtime.system import System
+from repro.snapshot.chandy_lamport import SnapshotCoordinator
+from repro.snapshot.state import GlobalState
+from repro.util.ids import ChannelId, ProcessId
+
+__all__ = [
+    "attach_debugger",
+    "build_system",
+    "snapshot_now",
+    "halt_with_breakpoint",
+    "WORKLOADS",
+    "build_workload",
+]
+
+
+def build_system(
+    topology: Topology,
+    processes: Mapping[ProcessId, Process],
+    seed: int = 0,
+    latency: Optional[LatencyModel] = None,
+    channel_latencies: Optional[Mapping[ChannelId, LatencyModel]] = None,
+) -> System:
+    """A bare instrumented system (no debugging algorithms installed)."""
+    return System(
+        topology,
+        processes,
+        seed=seed,
+        latency=latency or UniformLatency(0.4, 1.6),
+        channel_latencies=channel_latencies,
+    )
+
+
+def attach_debugger(
+    topology: Topology,
+    processes: Mapping[ProcessId, Process],
+    seed: int = 0,
+    latency: Optional[LatencyModel] = None,
+    **kwargs: object,
+) -> DebugSession:
+    """The paper's full system: extended topology, debugger process,
+    halting + breakpoint machinery. Returns a ready session."""
+    return DebugSession(
+        topology,
+        processes,
+        seed=seed,
+        latency=latency or UniformLatency(0.4, 1.6),
+        **kwargs,  # type: ignore[arg-type]
+    )
+
+
+def snapshot_now(system: System, initiators: Optional[list] = None) -> GlobalState:
+    """One-shot Chandy-Lamport snapshot of a (freshly built) system: runs
+    the system until the snapshot completes, returns ``S_r``. The system
+    keeps its coordinator installed for further snapshots."""
+    coordinator = SnapshotCoordinator(system)
+    if not system.kernel.pending:
+        system.start()
+    coordinator.initiate(initiators)
+    system.kernel.run(stop_when=coordinator.is_complete)
+    return coordinator.collect()
+
+
+def halt_with_breakpoint(
+    topology: Topology,
+    processes: Mapping[ProcessId, Process],
+    predicate: str,
+    seed: int = 0,
+    latency: Optional[LatencyModel] = None,
+    max_events: int = 1_000_000,
+) -> Tuple[System, GlobalState]:
+    """Basic-model one-liner (no debugger process): arm one predicate, run
+    to quiescence, return the system and the halted state ``S_h``.
+
+    Only valid on strongly-connected topologies — on anything else use
+    :func:`attach_debugger` (that is the point of §2.2.3).
+    """
+    system = build_system(topology, processes, seed=seed, latency=latency)
+    halting = HaltingCoordinator(system)
+    breakpoints = BreakpointCoordinator(system)
+    breakpoints.set_breakpoint(predicate)
+    system.run_to_quiescence(max_events=max_events)
+    return system, halting.collect()
+
+
+# -- workload registry ----------------------------------------------------------
+
+from repro.workloads import (  # noqa: E402 — registry import at the bottom
+    bank,
+    chatter,
+    echo,
+    election,
+    gossip,
+    mutex,
+    philosophers,
+    pipeline,
+    token_ring,
+    two_phase_commit,
+)
+
+#: Name → build function returning ``(topology, processes)`` (or a 3-tuple
+#: with channel latencies for scenarios that need them).
+WORKLOADS: Dict[str, Callable] = {
+    "bank": bank.build,
+    "chatter": chatter.build,
+    "echo": echo.build,
+    "election": election.build,
+    "gossip": gossip.build,
+    "mutex": mutex.build,
+    "philosophers": philosophers.build,
+    "pipeline": pipeline.build,
+    "token_ring": token_ring.build,
+    "two_phase_commit": two_phase_commit.build,
+}
+
+
+def build_workload(name: str, **params: object):
+    """Build a named workload: ``build_workload("bank", n=4)``."""
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(WORKLOADS)}"
+        ) from None
+    return factory(**params)

@@ -1,0 +1,48 @@
+"""The extended debugging model (§2.2.3): debugger process, sessions, EDL."""
+
+from repro.debugger.agent import (
+    DEFAULT_DEBUGGER_NAME,
+    DebuggerAgent,
+    DebuggerProcess,
+)
+from repro.debugger.client import DebugClientAgent
+from repro.debugger.commands import (
+    BreakpointHit,
+    HaltNotification,
+    ResumeCommand,
+    SatisfactionNotice,
+    StateReport,
+    StateRequest,
+    UnwatchCommand,
+    WatchCommand,
+)
+from repro.debugger.cli import DebuggerCLI
+from repro.debugger.edl import AbstractEvent, EDLRecognizer
+from repro.debugger.gather import GatherDetector, UnorderedDetection
+from repro.debugger.report import post_mortem
+from repro.debugger.session import DebugSession, RunOutcome
+from repro.debugger.threaded_session import ThreadedDebugSession
+
+__all__ = [
+    "AbstractEvent",
+    "BreakpointHit",
+    "DEFAULT_DEBUGGER_NAME",
+    "DebugClientAgent",
+    "DebugSession",
+    "DebuggerAgent",
+    "DebuggerCLI",
+    "DebuggerProcess",
+    "EDLRecognizer",
+    "GatherDetector",
+    "HaltNotification",
+    "ResumeCommand",
+    "RunOutcome",
+    "SatisfactionNotice",
+    "StateReport",
+    "StateRequest",
+    "ThreadedDebugSession",
+    "UnorderedDetection",
+    "UnwatchCommand",
+    "WatchCommand",
+    "post_mortem",
+]

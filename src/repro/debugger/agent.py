@@ -1,0 +1,155 @@
+"""The debugger process ``d`` (extended model, §2.2.3).
+
+``d`` is an ordinary process of the system — it occupies a node, owns real
+channels to and from every user process, and its messages ride the same
+simulated network. What makes it special:
+
+* it never halts (its :class:`~repro.runtime.controller.ProcessController`
+  is built with ``never_halts=True``);
+* its :class:`~repro.halting.algorithm.HaltingAgent` relays halt markers
+  without halting, making the channel graph strongly connected for markers
+  (the fix for Fig. 2's acyclic topologies);
+* this plugin collects every notification the clients push and exposes the
+  "typical functions of a debugger" to the session layer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.breakpoints.detector import PredicateAgent, PredicateMarker
+from repro.breakpoints.predicates import ConjunctivePredicate, LinkedPredicate
+from repro.debugger.commands import (
+    BreakpointHit,
+    HaltNotification,
+    SatisfactionNotice,
+    StateReport,
+    StateRequest,
+    UnwatchCommand,
+    WatchCommand,
+)
+from repro.debugger.gather import GatherDetector, UnorderedDetection
+from repro.network.message import Envelope, MessageKind
+from repro.runtime.controller import ProcessController
+from repro.runtime.interfaces import ControlPlugin
+from repro.runtime.process import Process
+from repro.util.errors import ReproError
+from repro.util.ids import ChannelId, ProcessId
+
+DEFAULT_DEBUGGER_NAME: ProcessId = "d"
+
+
+class DebuggerProcess(Process):
+    """The debugger's user-code shell — intentionally empty; all debugger
+    behaviour lives in control plugins, because the debugger only ever
+    exchanges control traffic."""
+
+
+class DebuggerAgent(ControlPlugin):
+    """Collects notifications and issues commands — the hub side of the
+    protocol in :mod:`repro.debugger.commands`."""
+
+    kinds = frozenset({MessageKind.DEBUG_CONTROL})
+
+    def __init__(self, controller: ProcessController) -> None:
+        self.attach(controller)
+        self.halt_notifications: List[HaltNotification] = []
+        self.breakpoint_hits: List[BreakpointHit] = []
+        self.state_reports: Dict[int, StateReport] = {}
+        self.unordered_detections: List[UnorderedDetection] = []
+        self._gatherers: Dict[int, GatherDetector] = {}
+        self._next_request_id = 1
+        self._next_watch_id = 1
+
+    # -- notification intake -------------------------------------------------
+
+    def on_control(self, envelope: Envelope) -> None:
+        notice = envelope.payload
+        if isinstance(notice, HaltNotification):
+            self.halt_notifications.append(notice)
+        elif isinstance(notice, BreakpointHit):
+            self.breakpoint_hits.append(notice)
+        elif isinstance(notice, StateReport):
+            self.state_reports[notice.request_id] = notice
+        elif isinstance(notice, SatisfactionNotice):
+            gatherer = self._gatherers.get(notice.watch_id)
+            if gatherer is not None:
+                detection = gatherer.on_notice(notice, now=self.controller.now)
+                if detection is not None:
+                    self.unordered_detections.append(detection)
+        else:
+            raise ReproError(f"debugger received unknown notification {notice!r}")
+
+    # -- commands -----------------------------------------------------------------
+
+    def send_command(self, process: ProcessId, command: object) -> None:
+        self.controller.send_control(
+            ChannelId(self.controller.name, process),
+            MessageKind.DEBUG_CONTROL,
+            command,
+        )
+
+    def request_state(self, process: ProcessId, include_channels: bool = True) -> int:
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        self.send_command(
+            process, StateRequest(request_id=request_id, include_channels=include_channels)
+        )
+        return request_id
+
+    # -- breakpoints (Predicate-Marker-Sending Rule, §3.6) ----------------------------
+
+    def issue_predicate(self, lp: LinkedPredicate, lp_id: int, halt: bool = True) -> None:
+        """Send a predicate marker for ``lp`` to each process involved in
+        its first Disjunctive Predicate."""
+        agent = self.controller.plugin_of(PredicateAgent)
+        if agent is None:
+            raise ReproError("debugger has no PredicateAgent installed")
+        marker = PredicateMarker(lp_id=lp_id, residual=lp, stage_index=0, halt=halt)
+        for target in sorted(lp.first.processes()):
+            if target == self.controller.name:
+                raise ReproError("predicates cannot reference the debugger process")
+            agent._route_marker(target, marker)  # direct d->target channel exists
+
+    # -- conjunctive watches (gather detector, §3.5) -------------------------------------
+
+    def watch_conjunction(self, conjunction: ConjunctivePredicate,
+                          history: int = 32) -> int:
+        """Install continuous watches for every term of an (unordered)
+        conjunction; the debugger gathers notices and reports concurrent
+        co-satisfactions after the fact."""
+        watch_id = self._next_watch_id
+        self._next_watch_id += 1
+        self._gatherers[watch_id] = GatherDetector(watch_id, conjunction, history)
+        for term_index, term in enumerate(conjunction.terms):
+            self.send_command(
+                term.process,
+                WatchCommand(watch_id=watch_id, term_index=term_index, term=term),
+            )
+        return watch_id
+
+    def unwatch(self, watch_id: int) -> None:
+        gatherer = self._gatherers.pop(watch_id, None)
+        if gatherer is None:
+            return
+        for term in gatherer.conjunction.terms:
+            self.send_command(term.process, UnwatchCommand(watch_id=watch_id))
+
+    def detections_for(self, watch_id: int) -> List[UnorderedDetection]:
+        return [d for d in self.unordered_detections if d.watch_id == watch_id]
+
+    # -- views ---------------------------------------------------------------------------
+
+    def halted_processes(self) -> List[ProcessId]:
+        return [n.process for n in self.halt_notifications]
+
+    def halting_order(self) -> List[HaltNotification]:
+        """Halt notifications in arrival order. Each carries the §2.2.4
+        marker path — who had already halted when this process froze."""
+        return list(self.halt_notifications)
+
+    def latest_report(self, process: ProcessId) -> Optional[StateReport]:
+        for report in reversed(list(self.state_reports.values())):
+            if report.process == process:
+                return report
+        return None

@@ -1,0 +1,331 @@
+"""A command-line front end for :class:`~repro.debugger.session.DebugSession`.
+
+The paper's motivation is *interactive* debugging; this module is the
+interactive shell: gdb-flavoured commands over the debugger process.
+Everything is exposed through :meth:`DebuggerCLI.execute`, which takes one
+command line and returns the output string — so the shell is fully
+scriptable and testable; :meth:`DebuggerCLI.repl` wraps it in a stdin loop.
+
+    (rdb) break state(balance<600)@branch0
+    breakpoint 1 armed: state(balance<600)@branch0
+    (rdb) run
+    stopped at t=12.403 (generation 1); 1 breakpoint hit
+    (rdb) inspect branch0
+    branch0 (halted): {'balance': 581, 'transfers_made': 9}
+    (rdb) continue
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import Callable, Dict, List, Optional
+
+from repro.debugger.session import DebugSession
+from repro.util.errors import ReproError
+
+PROMPT = "(rdb) "
+
+
+class DebuggerCLI:
+    """Stateful command interpreter over one debug session."""
+
+    def __init__(self, session: DebugSession) -> None:
+        self.session = session
+        self.finished = False
+        self._commands: Dict[str, Callable[[List[str]], str]] = {
+            "help": self._cmd_help,
+            "break": self._cmd_break,
+            "pathbreak": self._cmd_pathbreak,
+            "breaks": self._cmd_breaks,
+            "clear": self._cmd_clear,
+            "watch": self._cmd_watch,
+            "run": self._cmd_run,
+            "halt": self._cmd_halt,
+            "continue": self._cmd_continue,
+            "resume": self._cmd_resume,
+            "inspect": self._cmd_inspect,
+            "processes": self._cmd_processes,
+            "order": self._cmd_order,
+            "paths": self._cmd_paths,
+            "state": self._cmd_state,
+            "events": self._cmd_events,
+            "hits": self._cmd_hits,
+            "diagram": self._cmd_diagram,
+            "stats": self._cmd_stats,
+            "report": self._cmd_report,
+            "save": self._cmd_save,
+            "quit": self._cmd_quit,
+        }
+
+    # -- driver -----------------------------------------------------------
+
+    def execute(self, line: str) -> str:
+        """Run one command line; returns the printable result."""
+        line = line.strip()
+        if not line or line.startswith("#"):
+            return ""
+        try:
+            parts = shlex.split(line)
+        except ValueError as exc:
+            return f"parse error: {exc}"
+        command, args = parts[0], parts[1:]
+        handler = self._commands.get(command)
+        if handler is None:
+            return f"unknown command {command!r} (try 'help')"
+        try:
+            return handler(args)
+        except ReproError as exc:
+            return f"error: {exc}"
+
+    def run_script(self, lines) -> List[str]:
+        """Execute a sequence of command lines; returns their outputs."""
+        outputs = []
+        for line in lines:
+            outputs.append(self.execute(line))
+            if self.finished:
+                break
+        return outputs
+
+    def repl(self, input_fn=input, print_fn=print) -> None:  # pragma: no cover
+        """Interactive loop (blocking on stdin)."""
+        print_fn("distributed debugger — 'help' for commands")
+        while not self.finished:
+            try:
+                line = input_fn(PROMPT)
+            except (EOFError, KeyboardInterrupt):
+                break
+            output = self.execute(line)
+            if output:
+                print_fn(output)
+
+    # -- commands -----------------------------------------------------------------
+
+    def _cmd_help(self, args: List[str]) -> str:
+        return "\n".join([
+            "break <predicate>   arm a breakpoint (DSL: enter(f)@p, send@q|recv@r, a -> b, ^n, state(k<5)@p)",
+            "pathbreak <expr>    arm a path expression (seq ';', alt '|', repeat '{n}')",
+            "breaks              list armed breakpoints",
+            "clear <id>          disarm a breakpoint",
+            "watch '<a & b>'     watch an unordered conjunction (gather detector)",
+            "run [t]             run until everything halts (or until time t)",
+            "halt                initiate the Halting Algorithm from the debugger",
+            "resume              un-freeze all halted processes",
+            "continue            resume, then run",
+            "inspect <proc>      fetch one process's state via the protocol",
+            "processes           status of every process",
+            "order / paths       halting order / §2.2.4 marker paths",
+            "state               assembled global state S_h (requires full halt)",
+            "events <proc> [n]   last n recorded events of a process",
+            "hits                breakpoint completions seen so far",
+            "diagram [t0 t1]     space-time diagram (message traffic view)",
+            "stats               causal statistics of the recorded execution",
+            "report              full post-mortem report (requires full halt)",
+            "save <path>         write the halted global state S_h to JSON",
+            "quit                leave the debugger",
+        ])
+
+    def _cmd_break(self, args: List[str]) -> str:
+        if not args:
+            return "usage: break <predicate>"
+        text = " ".join(args)
+        lp_id = self.session.set_breakpoint(text)
+        return f"breakpoint {lp_id} armed: {text}"
+
+    def _cmd_pathbreak(self, args: List[str]) -> str:
+        if not args:
+            return "usage: pathbreak <path-expression>"
+        text = " ".join(args)
+        lp_ids = self.session.set_path_breakpoint(text)
+        return (
+            f"path breakpoint armed as {len(lp_ids)} alternative(s): "
+            f"{', '.join(map(str, lp_ids))}"
+        )
+
+    def _cmd_breaks(self, args: List[str]) -> str:
+        if not self.session._breakpoints:
+            return "no breakpoints armed"
+        return "\n".join(
+            f"  {lp_id}: {lp}" for lp_id, lp in sorted(self.session._breakpoints.items())
+        )
+
+    def _cmd_clear(self, args: List[str]) -> str:
+        if len(args) != 1 or not args[0].isdigit():
+            return "usage: clear <breakpoint-id>"
+        lp_id = int(args[0])
+        if lp_id not in self.session._breakpoints:
+            return f"no breakpoint {lp_id}"
+        self.session.clear_breakpoint(lp_id)
+        return f"breakpoint {lp_id} cleared"
+
+    def _cmd_watch(self, args: List[str]) -> str:
+        if not args:
+            return "usage: watch <term & term [& term]>"
+        watch_id = self.session.watch_conjunction(" ".join(args))
+        return f"watch {watch_id} installed (gather detector)"
+
+    def _cmd_run(self, args: List[str]) -> str:
+        until: Optional[float] = None
+        if args:
+            try:
+                until = float(args[0])
+            except ValueError:
+                return "usage: run [until-time]"
+        outcome = self.session.run(until=until)
+        lines = []
+        if outcome.stopped:
+            lines.append(
+                f"stopped at t={outcome.time:.3f} "
+                f"(generation {self.session.current_generation()}); "
+                f"{len(outcome.hits)} breakpoint hit(s)"
+            )
+            for hit in outcome.hits:
+                trail = " -> ".join(str(s) for s in hit.marker.trail)
+                lines.append(f"  hit at {hit.process}: {trail}")
+        else:
+            lines.append(
+                f"program ran to t={outcome.time:.3f} without halting "
+                f"({outcome.events_executed} kernel events)"
+            )
+        for detection in outcome.unordered:
+            lines.append(
+                f"  unordered conjunction seen "
+                f"(lag {detection.detection_lag:.2f}): "
+                + ", ".join(h.process for h in detection.hits)
+            )
+        return "\n".join(lines)
+
+    def _cmd_halt(self, args: List[str]) -> str:
+        self.session.halt()
+        return "halt markers dispatched — 'run' to let them land"
+
+    def _cmd_resume(self, args: List[str]) -> str:
+        self.session.resume()
+        return "resumed"
+
+    def _cmd_continue(self, args: List[str]) -> str:
+        self.session.resume()
+        return self._cmd_run([])
+
+    def _cmd_inspect(self, args: List[str]) -> str:
+        if len(args) != 1:
+            return "usage: inspect <process>"
+        name = args[0]
+        if name not in self.session.system.controllers:
+            return f"unknown process {name!r}"
+        state = self.session.inspect(name)
+        status = "halted" if self.session.system.controller(name).halted else "running"
+        return f"{name} ({status}): {dict(sorted(state.items()))!r}"
+
+    def _cmd_processes(self, args: List[str]) -> str:
+        lines = []
+        for name in self.session.system.user_process_names:
+            controller = self.session.system.controller(name)
+            if controller.terminated:
+                status = "terminated"
+            elif controller.halted:
+                status = "halted"
+            else:
+                status = "running"
+            lines.append(f"  {name:12s} {status:10s} events={controller._local_seq}")
+        return "\n".join(lines)
+
+    def _cmd_order(self, args: List[str]) -> str:
+        order = self.session.halting_order()
+        if not order:
+            return "nothing has halted"
+        return "halting order: " + " -> ".join(order)
+
+    def _cmd_paths(self, args: List[str]) -> str:
+        paths = self.session.halt_paths()
+        if not paths:
+            return "nothing has halted"
+        return "\n".join(
+            f"  {process:12s} via {' -> '.join(path) or '(spontaneous)'}"
+            for process, path in sorted(paths.items())
+        )
+
+    def _cmd_state(self, args: List[str]) -> str:
+        state = self.session.global_state()
+        return state.describe()
+
+    def _cmd_events(self, args: List[str]) -> str:
+        if not args:
+            return "usage: events <process> [count]"
+        name = args[0]
+        count = int(args[1]) if len(args) > 1 and args[1].isdigit() else 10
+        events = self.session.system.log.for_process(name)
+        if not events:
+            return f"no events recorded for {name!r}"
+        return "\n".join(f"  {event!r}" for event in events[-count:])
+
+    def _cmd_hits(self, args: List[str]) -> str:
+        hits = self.session.agent.breakpoint_hits
+        if not hits:
+            return "no breakpoint completions yet"
+        return "\n".join(
+            f"  lp{hit.marker.lp_id} at {hit.process} t={hit.time:.3f}"
+            for hit in hits
+        )
+
+    def _cmd_diagram(self, args: List[str]) -> str:
+        from repro.analysis.diagram import render_spacetime
+        from repro.events.event import EventKind
+
+        start, end = 0.0, None
+        if len(args) >= 1:
+            try:
+                start = float(args[0])
+                end = float(args[1]) if len(args) > 1 else None
+            except ValueError:
+                return "usage: diagram [start-time [end-time]]"
+        return render_spacetime(
+            self.session.system.log,
+            processes=self.session.system.user_process_names,
+            start=start,
+            end=end,
+            kinds={EventKind.SEND, EventKind.RECEIVE, EventKind.TIMER,
+                   EventKind.PROCESS_TERMINATED},
+            max_rows=60,
+            unicode_glyphs=False,
+        )
+
+    def _cmd_stats(self, args: List[str]) -> str:
+        from repro.analysis.diagram import render_summary
+        from repro.analysis.order import compute_order_stats
+        from repro.util.errors import AnalysisError
+
+        summary = render_summary(self.session.system.log)
+        try:
+            stats = compute_order_stats(self.session.system.log)
+        except AnalysisError as exc:
+            return summary + f"\n(order stats skipped: {exc})"
+        return (
+            summary
+            + f"\nconcurrency ratio : {stats.concurrency_ratio:.2f}"
+            + f"\ncritical path     : {stats.critical_path_length} events"
+            + f"\nmessage depth     : {stats.message_depth} hops"
+            + f"\nmean parallelism  : {stats.parallelism:.2f}"
+        )
+
+    def _cmd_report(self, args: List[str]) -> str:
+        from repro.debugger.report import post_mortem
+
+        return post_mortem(self.session)
+
+    def _cmd_save(self, args: List[str]) -> str:
+        if len(args) != 1:
+            return "usage: save <path>"
+        from repro.trace import dump_state
+
+        state = self.session.global_state()
+        with open(args[0], "w", encoding="utf-8") as fp:
+            dump_state(state, fp)
+        return (
+            f"saved S_h (generation {state.generation}, "
+            f"{len(state.processes)} processes, "
+            f"{state.total_pending_messages()} pending messages) to {args[0]}"
+        )
+
+    def _cmd_quit(self, args: List[str]) -> str:
+        self.finished = True
+        return "bye"

@@ -1,0 +1,151 @@
+"""Process-side debugger client (extended model, §2.2.3).
+
+Every *user* process carries one :class:`DebugClientAgent`. It is the
+counterpart of the debugger process: it executes debugger commands (resume,
+state reports, watch installs) and pushes notifications (halts, breakpoint
+hits, watch satisfactions). Crucially it works while the process is halted
+— "user processes are always willing to accept a message from the debugger
+process" — because control envelopes bypass the halted check in the
+controller.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.breakpoints.detector import PredicateMarker, StageHit
+from repro.breakpoints.predicates import SimplePredicate
+from repro.debugger.commands import (
+    BreakpointHit,
+    HaltNotification,
+    ResumeCommand,
+    SatisfactionNotice,
+    StateReport,
+    StateRequest,
+    UnwatchCommand,
+    WatchCommand,
+)
+from repro.events.event import Event
+from repro.network.message import Envelope, MessageKind
+from repro.runtime.controller import ProcessController
+from repro.runtime.interfaces import ControlPlugin
+from repro.util.errors import ReproError
+from repro.util.ids import ChannelId, ProcessId
+
+
+class DebugClientAgent(ControlPlugin):
+    """Debugger-facing agent installed on every user process."""
+
+    kinds = frozenset({MessageKind.DEBUG_CONTROL})
+
+    def __init__(self, controller: ProcessController, debugger: ProcessId) -> None:
+        self.attach(controller)
+        self.debugger = debugger
+        #: Continuous watches: watch_id -> (term_index, predicate).
+        self.watches: Dict[int, List[Tuple[int, SimplePredicate]]] = {}
+
+    # -- command dispatch ------------------------------------------------------
+
+    def on_control(self, envelope: Envelope) -> None:
+        command = envelope.payload
+        if isinstance(command, ResumeCommand):
+            if self.controller.halted:
+                self.controller.resume()
+        elif isinstance(command, StateRequest):
+            self._report_state(command)
+        elif isinstance(command, WatchCommand):
+            term = command.term
+            if not isinstance(term, SimplePredicate):
+                raise ReproError(f"WatchCommand carries a non-predicate: {term!r}")
+            self.watches.setdefault(command.watch_id, []).append(
+                (command.term_index, term)
+            )
+        elif isinstance(command, UnwatchCommand):
+            self.watches.pop(command.watch_id, None)
+        else:
+            raise ReproError(
+                f"{self.controller.name}: unknown debugger command {command!r}"
+            )
+
+    def _report_state(self, request: StateRequest) -> None:
+        snapshot = (
+            self.controller.halted_snapshot
+            if self.controller.halted and self.controller.halted_snapshot is not None
+            else self.controller.capture_state()
+        )
+        pending: Dict[str, Tuple[object, ...]] = {}
+        if request.include_channels:
+            # Each entry is the full UserMessage wrapper, so the debugger's
+            # assembled view is comparable with coordinator-built states.
+            pending = {
+                str(channel): tuple(env.payload for env in envelopes)
+                for channel, envelopes in self.controller.halt_buffers.items()
+            }
+        report = StateReport(
+            request_id=request.request_id,
+            process=self.controller.name,
+            snapshot=snapshot,
+            halted=self.controller.halted,
+            pending=pending,
+            closed_channels=tuple(
+                str(c) for c in sorted(self.controller.closed_channels)
+            ),
+        )
+        self.notify(report)
+
+    # -- notifications ----------------------------------------------------------
+
+    def notify(self, payload: object) -> None:
+        """Send one notification to the debugger on the control channel."""
+        self.controller.send_control(
+            ChannelId(self.controller.name, self.debugger),
+            MessageKind.DEBUG_CONTROL,
+            payload,
+        )
+
+    def notify_breakpoint(self, marker: PredicateMarker) -> None:
+        self.notify(
+            BreakpointHit(
+                process=self.controller.name,
+                marker=marker,
+                time=self.controller.now,
+            )
+        )
+
+    # -- plugin hooks --------------------------------------------------------------
+
+    def on_halted(self) -> None:
+        snapshot = self.controller.halted_snapshot
+        assert snapshot is not None
+        self.notify(
+            HaltNotification(
+                process=self.controller.name,
+                halt_id=int(snapshot.meta.get("halt_id", 0)),
+                path=tuple(snapshot.meta.get("halt_path", ())),
+                time=self.controller.now,
+            )
+        )
+
+    def on_local_event(self, event: Event) -> None:
+        if not self.watches:
+            return
+        for watch_id, terms in self.watches.items():
+            for term_index, term in terms:
+                if term.matches(event):
+                    hit = StageHit(
+                        stage_index=0,
+                        process=self.controller.name,
+                        eid=event.eid,
+                        lamport=event.lamport,
+                        time=event.time,
+                        term=str(term),
+                    )
+                    self.notify(
+                        SatisfactionNotice(
+                            watch_id=watch_id,
+                            term_index=term_index,
+                            hit=hit,
+                            vector=event.vector,
+                            vector_index=event.vector_index,
+                        )
+                    )

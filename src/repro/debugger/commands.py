@@ -1,0 +1,102 @@
+"""The debugger control protocol: commands and notifications.
+
+All of these travel as ``DEBUG_CONTROL`` payloads on the extended model's
+control channels (§2.2.3). Commands flow debugger→process, notifications
+process→debugger. They are deliberately plain immutable dataclasses — the
+protocol is data, the behaviour lives in the agents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+from repro.breakpoints.detector import PredicateMarker, StageHit
+from repro.runtime.state_capture import ProcessStateSnapshot
+from repro.util.ids import ProcessId
+
+# -- commands (debugger -> process) -------------------------------------------
+
+
+@dataclass(frozen=True)
+class ResumeCommand:
+    """Un-freeze a halted process and continue execution."""
+
+    generation: int  # the halt_id being resumed from (sanity check)
+
+
+@dataclass(frozen=True)
+class StateRequest:
+    """Ask a process to report its current (possibly halted) state."""
+
+    request_id: int
+    #: Include the contents of its halt buffers (channel states of S_h).
+    include_channels: bool = True
+
+
+@dataclass(frozen=True)
+class WatchCommand:
+    """Install a continuous monitor for a Simple Predicate (used by the
+    gather-based conjunctive detector and the EDL recognizer)."""
+
+    watch_id: int
+    term_index: int
+    #: A SimplePredicate; typed as Any to keep the protocol module import-light.
+    term: Any
+
+
+@dataclass(frozen=True)
+class UnwatchCommand:
+    watch_id: int
+
+
+# -- notifications (process -> debugger) -----------------------------------------
+
+
+@dataclass(frozen=True)
+class StateReport:
+    """Reply to a :class:`StateRequest`."""
+
+    request_id: int
+    process: ProcessId
+    snapshot: ProcessStateSnapshot
+    halted: bool
+    #: Pending (buffered) user messages per incoming channel, by str(channel).
+    pending: Dict[str, Tuple[Any, ...]] = field(default_factory=dict)
+    #: Channels known complete (halt marker arrived behind their contents).
+    closed_channels: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class BreakpointHit:
+    """A Linked Predicate completed at some process (§3.6 final stage)."""
+
+    process: ProcessId
+    marker: PredicateMarker
+    #: Virtual time at the satisfying process when the final stage fired.
+    time: float
+
+
+@dataclass(frozen=True)
+class HaltNotification:
+    """A process halted (spontaneously or via a halt marker)."""
+
+    process: ProcessId
+    halt_id: int
+    #: §2.2.4 halting-order path carried by the marker that halted us,
+    #: ending with our own name.
+    path: Tuple[ProcessId, ...]
+    time: float
+
+
+@dataclass(frozen=True)
+class SatisfactionNotice:
+    """A watched Simple Predicate matched (continuous monitoring)."""
+
+    watch_id: int
+    term_index: int
+    hit: StageHit
+    #: Vector clock of the matching event — the debugger's gather detector
+    #: uses it to classify ordered vs unordered co-satisfaction (§3.5).
+    vector: Tuple[int, ...]
+    vector_index: int

@@ -1,0 +1,108 @@
+"""EDL-style abstract events on the LP detector (§4).
+
+Bates & Wileden's Event Description Language groups low-level events into
+high-level *abstract events* by recognizing patterns in event sequences.
+The paper observes: "Our algorithm for recognizing distributed predicates
+(Section 3.6) could be used to support an EDL abstract event recognizer."
+This module is that application: an abstract event is a named Linked
+Predicate run in monitoring mode (no halt); each completion is one
+*occurrence* of the abstract event, and the recognizer re-arms so
+occurrences repeat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.breakpoints.detector import StageHit
+from repro.breakpoints.parser import parse_predicate
+from repro.breakpoints.predicates import LinkedPredicate, as_linked
+from repro.debugger.session import DebugSession
+
+
+@dataclass(frozen=True)
+class AbstractEvent:
+    """One recognized occurrence of a named abstract event."""
+
+    name: str
+    occurrence: int
+    trail: Tuple[StageHit, ...]
+
+    @property
+    def completed_at(self) -> float:
+        return self.trail[-1].time if self.trail else 0.0
+
+    def __str__(self) -> str:
+        steps = " -> ".join(f"{hit.term}#{hit.eid}" for hit in self.trail)
+        return f"{self.name}[{self.occurrence}]: {steps}"
+
+
+class EDLRecognizer:
+    """Recognizes named abstract events over a live debug session.
+
+    Usage::
+
+        recognizer = EDLRecognizer(session)
+        recognizer.define("money_moved", "send(wire)@branch0 -> recv(wire)@branch1")
+        session.run(until=...)
+        recognizer.poll()          # collect completions, re-arm
+        recognizer.occurrences_of("money_moved")
+    """
+
+    def __init__(self, session: DebugSession) -> None:
+        self.session = session
+        self._definitions: Dict[str, LinkedPredicate] = {}
+        self._active_lp: Dict[int, str] = {}
+        self.occurrences: List[AbstractEvent] = []
+        self._counts: Dict[str, int] = {}
+        self._consumed_hits = 0
+
+    def define(self, name: str, pattern: Union[str, LinkedPredicate]) -> None:
+        """Define and arm an abstract event."""
+        if name in self._definitions:
+            raise ValueError(f"abstract event {name!r} already defined")
+        lp = parse_predicate(pattern) if isinstance(pattern, str) else as_linked(pattern)
+        self._definitions[name] = lp
+        self._counts[name] = 0
+        self._arm(name)
+
+    def _arm(self, name: str) -> None:
+        lp_id = self.session.set_breakpoint(self._definitions[name], halt=False)
+        self._active_lp[lp_id] = name
+
+    def poll(self, rearm: bool = True) -> List[AbstractEvent]:
+        """Collect newly completed occurrences from the debugger's inbox;
+        optionally re-arm each completed definition for its next occurrence."""
+        fresh: List[AbstractEvent] = []
+        hits = self.session.agent.breakpoint_hits
+        while self._consumed_hits < len(hits):
+            hit = hits[self._consumed_hits]
+            self._consumed_hits += 1
+            name = self._active_lp.pop(hit.marker.lp_id, None)
+            if name is None:
+                continue  # an ordinary breakpoint, not ours
+            self._counts[name] += 1
+            occurrence = AbstractEvent(
+                name=name,
+                occurrence=self._counts[name],
+                trail=hit.marker.trail,
+            )
+            self.occurrences.append(occurrence)
+            fresh.append(occurrence)
+            if rearm:
+                self._arm(name)
+        return fresh
+
+    def occurrences_of(self, name: str) -> List[AbstractEvent]:
+        return [o for o in self.occurrences if o.name == name]
+
+    def count(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def definitions(self) -> Dict[str, str]:
+        return {name: str(lp) for name, lp in self._definitions.items()}
+
+    def last_occurrence(self, name: str) -> Optional[AbstractEvent]:
+        found = self.occurrences_of(name)
+        return found[-1] if found else None

@@ -1,0 +1,107 @@
+"""Gather-based detector for *unordered* conjunctive predicates (§3.5).
+
+The paper: "Detecting events that occur at virtual times belonging to the
+unordered-SCP is more difficult. … it is necessary to have some process
+gather the information from the other process(es) before halting is to be
+initiated. We cannot decide until the last notification arrives at the
+information gathering process, and the inherent time delay in such
+information gathering makes it impossible for the processes to halt soon
+enough to preserve the meaningful states of the processes."
+
+We implement that gatherer anyway — as the paper's own argument predicts,
+it works but *late*: detection happens at the debugger, one notification
+latency after the fact. Experiment E8 measures exactly that lag and the
+state drift it causes, which is the paper's justification for declaring
+unordered conjunctions undesirable.
+
+Satisfaction notices carry the matching event's vector clock; two
+satisfactions are an unordered pair iff their vectors are concurrent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.breakpoints.detector import StageHit
+from repro.breakpoints.predicates import ConjunctivePredicate
+from repro.debugger.commands import SatisfactionNotice
+from repro.events.clocks import concurrent
+
+
+@dataclass(frozen=True)
+class UnorderedDetection:
+    """One detected unordered co-satisfaction of a conjunction."""
+
+    watch_id: int
+    hits: Tuple[StageHit, ...]
+    #: Virtual time at the debugger when the deciding notice arrived.
+    detected_at: float
+
+    @property
+    def last_event_time(self) -> float:
+        return max(hit.time for hit in self.hits)
+
+    @property
+    def detection_lag(self) -> float:
+        """How long after the fact the debugger learned about it — the
+        'inherent time delay' of §3.5."""
+        return self.detected_at - self.last_event_time
+
+
+class GatherDetector:
+    """Debugger-side state for one watched conjunction."""
+
+    def __init__(self, watch_id: int, conjunction: ConjunctivePredicate,
+                 history: int = 32) -> None:
+        self.watch_id = watch_id
+        self.conjunction = conjunction
+        self.history = history
+        self._seen: Dict[int, List[SatisfactionNotice]] = {
+            i: [] for i in range(len(conjunction.terms))
+        }
+        self.detections: List[UnorderedDetection] = []
+
+    def on_notice(self, notice: SatisfactionNotice, now: float) -> Optional[UnorderedDetection]:
+        """Feed one satisfaction notice; returns a detection if the notice
+        completes an unordered co-satisfaction."""
+        if notice.watch_id != self.watch_id:
+            return None
+        bucket = self._seen[notice.term_index]
+        bucket.append(notice)
+        if len(bucket) > self.history:
+            del bucket[0]
+        detection = self._search(notice, now)
+        if detection is not None:
+            self.detections.append(detection)
+        return detection
+
+    def _search(self, fresh: SatisfactionNotice, now: float) -> Optional[UnorderedDetection]:
+        """Find a combination (one satisfaction per term, including the
+        fresh one) that is pairwise concurrent."""
+        chosen: List[Optional[SatisfactionNotice]] = [None] * len(self._seen)
+        chosen[fresh.term_index] = fresh
+
+        def backtrack(term_index: int) -> bool:
+            if term_index == len(chosen):
+                return True
+            if chosen[term_index] is not None:
+                return backtrack(term_index + 1)
+            for candidate in reversed(self._seen[term_index]):
+                if all(
+                    other is None
+                    or concurrent(candidate.vector, other.vector)
+                    for other in chosen
+                ):
+                    chosen[term_index] = candidate
+                    if backtrack(term_index + 1):
+                        return True
+                    chosen[term_index] = None
+            return False
+
+        if not backtrack(0):
+            return None
+        hits = tuple(notice.hit for notice in chosen)  # type: ignore[union-attr]
+        return UnorderedDetection(
+            watch_id=self.watch_id, hits=hits, detected_at=now
+        )

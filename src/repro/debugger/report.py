@@ -1,0 +1,119 @@
+"""Post-mortem reports: everything a halted session knows, in one artifact.
+
+After a breakpoint freezes the system, a single text report answers the
+questions an engineer actually asks: *what fired, who stopped when, what
+was everyone's state, what was stuck in the pipes, and what did the
+execution look like?* The report is deterministic (same session → same
+text), so it can be archived next to the trace file and diffed between
+runs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.diagram import render_spacetime, render_summary
+from repro.analysis.metrics import message_overhead
+from repro.analysis.order import compute_order_stats
+from repro.debugger.session import DebugSession
+from repro.events.event import EventKind
+from repro.util.errors import AnalysisError, HaltingError
+
+
+def post_mortem(
+    session: DebugSession,
+    diagram_window: float = 12.0,
+    include_diagram: bool = True,
+    include_stats: bool = True,
+) -> str:
+    """Render the full halt report for a stopped session.
+
+    ``diagram_window`` selects how much virtual time before the halt the
+    space-time diagram covers.
+    """
+    if not session.system.all_user_processes_halted():
+        raise HaltingError("post_mortem requires a fully halted session")
+    sections: List[str] = []
+
+    sections.append(_rule("HALT"))
+    sections.append(session.describe_halt())
+
+    hits = session.agent.breakpoint_hits
+    if hits:
+        sections.append(_rule("BREAKPOINTS"))
+        for hit in hits:
+            sections.append(
+                f"lp{hit.marker.lp_id} completed at {hit.process} "
+                f"(t={hit.time:.3f}):"
+            )
+            for stage in hit.marker.trail:
+                sections.append(f"    {stage}")
+
+    state = session.global_state()
+    sections.append(_rule("GLOBAL STATE (S_h)"))
+    sections.append(state.describe())
+    pending = [
+        (channel, channel_state)
+        for channel, channel_state in sorted(state.channels.items())
+        if channel_state.messages
+    ]
+    if pending:
+        sections.append("\nundelivered messages:")
+        for channel, channel_state in pending:
+            payloads = [m.payload for m in channel_state.messages]
+            flag = "" if channel_state.complete else "  (INCOMPLETE)"
+            sections.append(f"    {channel}: {payloads!r}{flag}")
+
+    sections.append(_rule("MARKER PATHS (§2.2.4)"))
+    for process, path in sorted(session.halt_paths().items()):
+        sections.append(
+            f"    {process:12s} via {' -> '.join(path) or '(spontaneous)'}"
+        )
+
+    overhead = message_overhead(session.system)
+    sections.append(_rule("TRAFFIC"))
+    sections.append(
+        f"user messages: {overhead.user_messages}; control messages: "
+        f"{overhead.control_messages} "
+        f"({overhead.control_per_user:.2f} per user message)"
+    )
+    for kind, count in sorted(overhead.by_kind.items()):
+        if count:
+            sections.append(f"    {kind:18s} {count}")
+
+    if include_stats:
+        sections.append(_rule("EXECUTION SHAPE"))
+        sections.append(render_summary(session.system.log))
+        try:
+            stats = compute_order_stats(session.system.log)
+            sections.append(
+                f"concurrency ratio {stats.concurrency_ratio:.2f}; "
+                f"critical path {stats.critical_path_length}; "
+                f"message depth {stats.message_depth}; "
+                f"parallelism {stats.parallelism:.2f}"
+            )
+        except AnalysisError as exc:
+            sections.append(f"(order stats skipped: {exc})")
+
+    if include_diagram:
+        halt_time = session.system.kernel.now
+        sections.append(_rule("SPACE-TIME (traffic view, window before halt)"))
+        sections.append(
+            render_spacetime(
+                session.system.log,
+                processes=session.system.user_process_names,
+                start=max(0.0, halt_time - diagram_window),
+                kinds={EventKind.SEND, EventKind.RECEIVE,
+                       EventKind.PROCESS_TERMINATED},
+                halted_state=state,
+                max_rows=80,
+                unicode_glyphs=False,
+            )
+        )
+
+    return "\n".join(sections)
+
+
+def _rule(title: str) -> str:
+    bar = "=" * max(4, 66 - len(title))
+    return f"\n==== {title} {bar}"

@@ -1,0 +1,322 @@
+"""DebugSession: the paper's whole debugging system, assembled.
+
+This is the primary public API of the reproduction. Given a user topology
+and processes, a session:
+
+1. extends the topology with the debugger process ``d`` and its control
+   channels (§2.2.3, Fig. 3) — making the network strongly connected;
+2. installs, per process: a :class:`~repro.halting.algorithm.HaltingAgent`
+   (§2.2), a :class:`~repro.breakpoints.detector.PredicateAgent` (§3.6),
+   and a :class:`~repro.debugger.client.DebugClientAgent` (the command /
+   notification protocol);
+3. exposes breakpoints, halting, inspection, and resume as methods.
+
+Everything the session observes travels through the simulated network as
+real control messages — the session object itself is just the "terminal"
+attached to the debugger process.
+
+Typical use::
+
+    session = DebugSession(topology, processes, seed=1)
+    session.set_breakpoint("enter(receive_token)@p2 -> send(token)@p0")
+    outcome = session.run()
+    if outcome.stopped:
+        print(session.describe_halt())
+        state = session.global_state()
+        session.resume()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.breakpoints.detector import PredicateAgent
+from repro.breakpoints.parser import parse_conjunctive, parse_predicate
+from repro.breakpoints.predicates import (
+    ConjunctivePredicate,
+    LinkedPredicate,
+    SimplePredicate,
+    as_linked,
+)
+from repro.debugger.agent import (
+    DEFAULT_DEBUGGER_NAME,
+    DebuggerAgent,
+    DebuggerProcess,
+)
+from repro.debugger.client import DebugClientAgent
+from repro.debugger.commands import BreakpointHit, ResumeCommand
+from repro.debugger.gather import UnorderedDetection
+from repro.halting.algorithm import HaltingAgent
+from repro.network.latency import LatencyModel
+from repro.network.topology import Topology
+from repro.runtime.process import Process
+from repro.runtime.state_capture import ProcessStateSnapshot
+from repro.runtime.system import System
+from repro.snapshot.state import ChannelState, GlobalState
+from repro.util.errors import HaltingError, PredicateError, ReproError
+from repro.util.ids import ChannelId, ProcessId
+
+
+@dataclass
+class RunOutcome:
+    """What happened during one :meth:`DebugSession.run` call."""
+
+    #: True when every user process is halted (a breakpoint or explicit halt
+    #: completed); False when the program ran to completion / the bound.
+    stopped: bool
+    #: Breakpoint completions the debugger learned about during the run.
+    hits: List[BreakpointHit] = field(default_factory=list)
+    #: Unordered-conjunction detections during the run.
+    unordered: List[UnorderedDetection] = field(default_factory=list)
+    #: Virtual time when the run call returned.
+    time: float = 0.0
+    events_executed: int = 0
+
+
+class DebugSession:
+    """An interactive-style debugging session over one distributed program."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        processes: Mapping[ProcessId, Process],
+        seed: int = 0,
+        latency: Optional[LatencyModel] = None,
+        channel_latencies: Optional[Mapping[ChannelId, LatencyModel]] = None,
+        debugger_name: ProcessId = DEFAULT_DEBUGGER_NAME,
+        capture_states: bool = False,
+    ) -> None:
+        if debugger_name in topology.processes:
+            raise ReproError(
+                f"user topology already contains {debugger_name!r}; "
+                "pick another debugger_name"
+            )
+        self.debugger_name = debugger_name
+        extended = topology.with_debugger(debugger_name)
+        staffed: Dict[ProcessId, Process] = dict(processes)
+        staffed[debugger_name] = DebuggerProcess()
+        self.system = System(
+            extended,
+            staffed,
+            seed=seed,
+            latency=latency,
+            channel_latencies=channel_latencies,
+            capture_states=capture_states,
+            never_halt={debugger_name},
+        )
+
+        self._halting_agents: Dict[ProcessId, HaltingAgent] = {}
+        self._predicate_agents: Dict[ProcessId, PredicateAgent] = {}
+        self._clients: Dict[ProcessId, DebugClientAgent] = {}
+        self._cancelled_lp_ids: set = set()
+        for name in extended.processes:
+            controller = self.system.controller(name)
+            halting = HaltingAgent(controller)
+            controller.install(halting)
+            self._halting_agents[name] = halting
+            if name == debugger_name:
+                predicate = PredicateAgent(controller, halt_on_final=False,
+                                           cancelled=self._cancelled_lp_ids)
+                controller.install(predicate)
+                self._predicate_agents[name] = predicate
+                self.agent = DebuggerAgent(controller)
+                controller.install(self.agent)
+            else:
+                client = DebugClientAgent(controller, debugger_name)
+                predicate = PredicateAgent(
+                    controller,
+                    on_final=client.notify_breakpoint,
+                    halt_on_final=True,
+                    cancelled=self._cancelled_lp_ids,
+                )
+                controller.install(predicate)
+                controller.install(client)
+                self._predicate_agents[name] = predicate
+                self._clients[name] = client
+
+        self._breakpoints: Dict[int, LinkedPredicate] = {}
+        self._next_lp_id = 1
+        self._seen_hits = 0
+        self._seen_unordered = 0
+
+    # -- breakpoints ----------------------------------------------------------
+
+    def set_breakpoint(
+        self,
+        predicate: Union[str, LinkedPredicate, SimplePredicate],
+        halt: bool = True,
+    ) -> int:
+        """Arm a breakpoint: SP/DP/LP text or predicate object.
+
+        Predicate markers travel from the debugger to the first stage's
+        processes over real control channels, so arming takes one message
+        latency — run the system for the marker to land (exactly as a real
+        distributed debugger would). With ``halt=False`` the predicate only
+        reports (monitoring mode, used by the EDL recognizer).
+        """
+        lp = parse_predicate(predicate) if isinstance(predicate, str) else as_linked(predicate)
+        unknown = lp.processes() - set(self.system.topology.processes)
+        if unknown:
+            raise PredicateError(f"predicate names unknown processes {sorted(unknown)}")
+        if self.debugger_name in lp.processes():
+            raise PredicateError("predicates cannot reference the debugger process")
+        lp_id = self._next_lp_id
+        self._next_lp_id += 1
+        self._breakpoints[lp_id] = lp
+        self.agent.issue_predicate(lp, lp_id, halt=halt)
+        return lp_id
+
+    def set_path_breakpoint(self, text: str, halt: bool = True) -> List[int]:
+        """Arm a §4 path expression (see :mod:`repro.breakpoints.pathexpr`):
+        every compiled alternative is armed as its own Linked Predicate."""
+        from repro.breakpoints.pathexpr import compile_path_expression
+
+        return [self.set_breakpoint(lp, halt=halt)
+                for lp in compile_path_expression(text)]
+
+    def clear_breakpoint(self, lp_id: int) -> None:
+        """Disarm every pending stage of one breakpoint, including arming
+        markers still travelling toward their processes."""
+        self._breakpoints.pop(lp_id, None)
+        self._cancelled_lp_ids.add(lp_id)
+        for agent in self._predicate_agents.values():
+            agent.armed = [s for s in agent.armed if s.lp_id != lp_id]
+
+    def watch_conjunction(
+        self, conjunction: Union[str, ConjunctivePredicate], history: int = 32
+    ) -> int:
+        """Watch an unordered conjunction via the §3.5 gather detector."""
+        if isinstance(conjunction, str):
+            conjunction = parse_conjunctive(conjunction)
+        return self.agent.watch_conjunction(conjunction, history=history)
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: int = 2_000_000,
+    ) -> RunOutcome:
+        """Run until every user process halted, the program finished, or a
+        bound was reached. After a full halt the network is drained so all
+        channel states are final."""
+        executed = self.system.run(
+            until=until,
+            max_events=max_events,
+            stop_when=self.system.all_user_processes_halted,
+        )
+        if self.system.all_user_processes_halted():
+            # Drain in-flight traffic: pending user messages settle into the
+            # halt buffers, halt markers close channels, notifications and
+            # stage reports reach the debugger.
+            executed += self.system.kernel.run(max_events=max_events)
+        hits = self.agent.breakpoint_hits[self._seen_hits:]
+        self._seen_hits = len(self.agent.breakpoint_hits)
+        unordered = self.agent.unordered_detections[self._seen_unordered:]
+        self._seen_unordered = len(self.agent.unordered_detections)
+        return RunOutcome(
+            stopped=self.system.all_user_processes_halted(),
+            hits=list(hits),
+            unordered=list(unordered),
+            time=self.system.kernel.now,
+            events_executed=executed,
+        )
+
+    def halt(self) -> None:
+        """Explicit halt: the debugger initiates the Halting Algorithm by
+        sending halt markers on its control channel to every user process
+        (it increments its own halt generation and never halts itself)."""
+        self._halting_agents[self.debugger_name].initiate()
+
+    def resume(self) -> RunOutcome:
+        """Resume every halted process and return immediately (call
+        :meth:`run` to continue execution)."""
+        generation = self.current_generation()
+        for name in self.system.user_process_names:
+            if self.system.controller(name).halted:
+                self.agent.send_command(name, ResumeCommand(generation=generation))
+        # Deliver the resume commands (control-plane only; halted processes
+        # execute no user code until the command lands).
+        executed = self.system.kernel.run(
+            max_events=100_000,
+            stop_when=lambda: not any(
+                self.system.controller(n).halted
+                for n in self.system.user_process_names
+            ),
+        )
+        return RunOutcome(
+            stopped=False, time=self.system.kernel.now, events_executed=executed
+        )
+
+    def current_generation(self) -> int:
+        """The highest halt_id any process has seen."""
+        return max(agent.last_halt_id for agent in self._halting_agents.values())
+
+    # -- inspection (all via the control protocol) -----------------------------------
+
+    def inspect(self, process: ProcessId) -> Dict[str, object]:
+        """Fetch one process's state through the debugger protocol."""
+        report = self._fetch_report(process)
+        return dict(report.snapshot.state)
+
+    def _fetch_report(self, process: ProcessId):
+        request_id = self.agent.request_state(process)
+        self.system.kernel.run(
+            max_events=100_000,
+            stop_when=lambda: request_id in self.agent.state_reports,
+        )
+        if request_id not in self.agent.state_reports:
+            raise HaltingError(
+                f"no state report from {process} — is the system wedged?"
+            )
+        return self.agent.state_reports[request_id]
+
+    def global_state(self) -> GlobalState:
+        """Assemble the halted global state ``S_h`` as the debugger sees it:
+        one state report per process, pending channel contents included.
+        Requires every user process to be halted."""
+        if not self.system.all_user_processes_halted():
+            raise HaltingError("global_state() requires all processes halted")
+        processes: Dict[ProcessId, ProcessStateSnapshot] = {}
+        channels: Dict[ChannelId, ChannelState] = {}
+        for name in self.system.user_process_names:
+            report = self._fetch_report(name)
+            processes[name] = report.snapshot
+            closed = set(report.closed_channels)
+            for channel_text, messages in report.pending.items():
+                channel = ChannelId.parse(channel_text)
+                channels[channel] = ChannelState(
+                    channel=channel,
+                    messages=tuple(messages),
+                    complete=channel_text in closed,
+                )
+        return GlobalState(
+            origin="halting",
+            processes=processes,
+            channels=channels,
+            generation=self.current_generation(),
+            meta={
+                "halt_order": [n.process for n in self.agent.halting_order()],
+                "clock_frame": list(self.system.clock_frame.order),
+            },
+        )
+
+    def halting_order(self) -> List[ProcessId]:
+        """§2.2.4: the order in which processes reported halting."""
+        return [n.process for n in self.agent.halting_order()]
+
+    def halt_paths(self) -> Dict[ProcessId, Tuple[ProcessId, ...]]:
+        """Per process, the already-halted path its halt marker carried."""
+        return {n.process: n.path for n in self.agent.halting_order()}
+
+    def describe_halt(self) -> str:
+        """Human-readable halt report."""
+        lines = [f"halted at t={self.system.kernel.now:.3f} "
+                 f"(generation {self.current_generation()})"]
+        for notification in self.agent.halting_order():
+            via = " -> ".join(notification.path) or "spontaneous"
+            lines.append(
+                f"  {notification.process} halted at t={notification.time:.3f} via {via}"
+            )
+        return "\n".join(lines)

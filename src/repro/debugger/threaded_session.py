@@ -1,0 +1,198 @@
+"""The full debugger on the threaded backend.
+
+Everything :class:`~repro.debugger.session.DebugSession` offers — the
+extended topology with the debugger process, breakpoints over predicate
+markers, halting, protocol-based inspection, resume — running over OS
+threads instead of virtual time. The agents are the *same classes*; only
+the driving loop differs: where the DES session steps a kernel, this one
+waits on real conditions with timeouts.
+
+Thread-safety rule: controller state belongs to the controller's thread.
+Session methods therefore never touch a controller directly — they
+``defer`` closures into the debugger's mailbox (commands go out from the
+debugger's own thread) and read only append-only notification lists.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Mapping, Tuple, Union
+
+from repro.breakpoints.detector import PredicateAgent
+from repro.breakpoints.parser import parse_predicate
+from repro.breakpoints.predicates import LinkedPredicate, SimplePredicate, as_linked
+from repro.debugger.agent import (
+    DEFAULT_DEBUGGER_NAME,
+    DebuggerAgent,
+    DebuggerProcess,
+)
+from repro.debugger.client import DebugClientAgent
+from repro.debugger.commands import ResumeCommand
+from repro.halting.algorithm import HaltingAgent
+from repro.network.topology import Topology
+from repro.runtime.process import Process
+from repro.runtime.threaded import ThreadedSystem
+from repro.util.errors import HaltingError, PredicateError, ReproError
+from repro.util.ids import ProcessId
+
+
+class ThreadedDebugSession:
+    """Interactive debugging over a thread-per-process system."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        processes: Mapping[ProcessId, Process],
+        seed: int = 0,
+        time_scale: float = 0.02,
+        latency_range: Tuple[float, float] = (0.0005, 0.003),
+        debugger_name: ProcessId = DEFAULT_DEBUGGER_NAME,
+    ) -> None:
+        if debugger_name in topology.processes:
+            raise ReproError(f"user topology already contains {debugger_name!r}")
+        self.debugger_name = debugger_name
+        extended = topology.with_debugger(debugger_name)
+        staffed: Dict[ProcessId, Process] = dict(processes)
+        staffed[debugger_name] = DebuggerProcess()
+        self.system = ThreadedSystem(
+            extended, staffed, seed=seed,
+            time_scale=time_scale, latency_range=latency_range,
+            never_halt={debugger_name},
+        )
+        self._halting_agents: Dict[ProcessId, HaltingAgent] = {}
+        self._predicate_agents: Dict[ProcessId, PredicateAgent] = {}
+        self._cancelled: set = set()
+        for name in extended.processes:
+            controller = self.system.controller(name)
+            halting = HaltingAgent(controller)
+            controller.install(halting)
+            self._halting_agents[name] = halting
+            if name == debugger_name:
+                predicate = PredicateAgent(controller, halt_on_final=False,
+                                           cancelled=self._cancelled)
+                controller.install(predicate)
+                self._predicate_agents[name] = predicate
+                self.agent = DebuggerAgent(controller)
+                controller.install(self.agent)
+            else:
+                client = DebugClientAgent(controller, debugger_name)
+                predicate = PredicateAgent(
+                    controller,
+                    on_final=client.notify_breakpoint,
+                    halt_on_final=True,
+                    cancelled=self._cancelled,
+                )
+                controller.install(predicate)
+                controller.install(client)
+                self._predicate_agents[name] = predicate
+        self._next_lp_id = 1
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        if not self._started:
+            self._started = True
+            self.system.start()
+
+    def shutdown(self) -> None:
+        self.system.shutdown()
+
+    def __enter__(self) -> "ThreadedDebugSession":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    # -- breakpoints ------------------------------------------------------------
+
+    def set_breakpoint(
+        self, predicate: Union[str, LinkedPredicate, SimplePredicate],
+        halt: bool = True,
+    ) -> int:
+        lp = parse_predicate(predicate) if isinstance(predicate, str) else as_linked(predicate)
+        unknown = lp.processes() - set(self.system.topology.processes)
+        if unknown:
+            raise PredicateError(f"predicate names unknown processes {sorted(unknown)}")
+        lp_id = self._next_lp_id
+        self._next_lp_id += 1
+        debugger = self.system.controller(self.debugger_name)
+        debugger.defer(
+            lambda: self.agent.issue_predicate(lp, lp_id, halt=halt),
+            label="set_breakpoint",
+        )
+        return lp_id
+
+    def clear_breakpoint(self, lp_id: int) -> None:
+        self._cancelled.add(lp_id)
+
+    # -- execution control -----------------------------------------------------------
+
+    def run_until_stopped(self, timeout: float = 30.0) -> bool:
+        """Wait until every user process halted (and traffic settled)."""
+        self.start()
+        if not self.system.run_until(self.system.all_user_processes_halted,
+                                     timeout=timeout):
+            return False
+        return self.system.settle(timeout=timeout)
+
+    def wait_quiet(self, timeout: float = 30.0) -> bool:
+        """Wait for quiescence regardless of halting (program finished or
+        wedged)."""
+        self.start()
+        return self.system.settle(timeout=timeout)
+
+    def halt(self) -> None:
+        """Debugger-initiated halt (markers on its control channels)."""
+        debugger = self.system.controller(self.debugger_name)
+        agent = self._halting_agents[self.debugger_name]
+        debugger.defer(agent.initiate, label="halt")
+
+    def resume(self, timeout: float = 10.0) -> bool:
+        """Send resume commands; wait until nobody is halted."""
+        generation = max(a.last_halt_id for a in self._halting_agents.values())
+        debugger = self.system.controller(self.debugger_name)
+
+        def send_resumes() -> None:
+            for name in self.system.user_process_names:
+                if self.system.controller(name).halted:
+                    self.agent.send_command(name, ResumeCommand(generation=generation))
+
+        debugger.defer(send_resumes, label="resume")
+        return self.system.run_until(
+            lambda: not any(
+                self.system.controller(n).halted
+                for n in self.system.user_process_names
+            ),
+            timeout=timeout,
+        )
+
+    # -- inspection -------------------------------------------------------------------------
+
+    def inspect(self, process: ProcessId, timeout: float = 10.0) -> Dict[str, object]:
+        """Protocol-based state fetch (works live or halted)."""
+        holder: List[int] = []
+        debugger = self.system.controller(self.debugger_name)
+
+        def request() -> None:
+            holder.append(self.agent.request_state(process))
+
+        debugger.defer(request, label="inspect")
+        if not self.system.run_until(lambda: bool(holder), timeout=timeout):
+            raise HaltingError("debugger thread did not issue the request")
+        request_id = holder[0]
+        if not self.system.run_until(
+            lambda: request_id in self.agent.state_reports, timeout=timeout
+        ):
+            raise HaltingError(f"no state report from {process}")
+        return dict(self.agent.state_reports[request_id].snapshot.state)
+
+    def halting_order(self) -> List[ProcessId]:
+        return [n.process for n in self.agent.halting_order()]
+
+    def halt_paths(self) -> Dict[ProcessId, Tuple[ProcessId, ...]]:
+        return {n.process: n.path for n in self.agent.halting_order()}
+
+    def breakpoint_hits(self):
+        return list(self.agent.breakpoint_hits)

@@ -1,0 +1,22 @@
+"""Event model: the paper's 5-tuple events, logical clocks, event logs."""
+
+from repro.events.clocks import (
+    ClockFrame,
+    LamportClock,
+    VectorClock,
+    concurrent,
+    vector_less,
+)
+from repro.events.event import Event, EventKind
+from repro.events.log import EventLog
+
+__all__ = [
+    "ClockFrame",
+    "Event",
+    "EventKind",
+    "EventLog",
+    "LamportClock",
+    "VectorClock",
+    "concurrent",
+    "vector_less",
+]

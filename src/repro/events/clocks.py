@@ -1,0 +1,130 @@
+"""Logical clocks: Lamport scalar clocks and vector clocks.
+
+Lamport's happened-before relation (his 1978 paper, the paper's reference
+[2]) is the ordering that makes events "detectable" (§1, §3). The
+instrumentation layer stamps every event with both clock types:
+
+* the **Lamport clock** is cheap and gives a total order *consistent with*
+  happened-before (used for readable reports);
+* the **vector clock** decides happened-before *exactly* and powers the
+  oracles that validate the marker-based detectors (E7) and partition the
+  SCP set into ordered/unordered pairs (E8, Fig. 4).
+
+Clock metadata piggybacks on user messages the same way the paper suggests
+tagging messages (§3.6); the algorithms under test never read it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.util.ids import ProcessId
+
+
+class LamportClock:
+    """Scalar logical clock for one process."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def tick(self) -> int:
+        """Advance for a local or send event; returns the new timestamp."""
+        self._value += 1
+        return self._value
+
+    def merge(self, received: int) -> int:
+        """Advance for a receive event carrying ``received``."""
+        self._value = max(self._value, received) + 1
+        return self._value
+
+    def load(self, value: int) -> None:
+        """Restore a previously captured timestamp (state restoration)."""
+        if value < 0:
+            raise ValueError(f"lamport timestamp must be >= 0, got {value}")
+        self._value = value
+
+
+class VectorClock:
+    """Vector clock for one process over a fixed process population.
+
+    The component order is fixed at system build time; every clock in one
+    execution shares the same ``index_of`` mapping so vectors are comparable.
+    """
+
+    __slots__ = ("_index", "_components")
+
+    def __init__(self, owner_index: int, size: int) -> None:
+        if not 0 <= owner_index < size:
+            raise ValueError(f"owner index {owner_index} out of range for size {size}")
+        self._index = owner_index
+        self._components: List[int] = [0] * size
+
+    @property
+    def owner_index(self) -> int:
+        return self._index
+
+    def snapshot(self) -> Tuple[int, ...]:
+        return tuple(self._components)
+
+    def tick(self) -> Tuple[int, ...]:
+        """Advance own component (local/send event)."""
+        self._components[self._index] += 1
+        return self.snapshot()
+
+    def merge(self, received: Sequence[int]) -> Tuple[int, ...]:
+        """Component-wise max with ``received``, then advance own (receive)."""
+        if len(received) != len(self._components):
+            raise ValueError("vector clock arity mismatch")
+        self._components = [
+            max(mine, theirs) for mine, theirs in zip(self._components, received)
+        ]
+        self._components[self._index] += 1
+        return self.snapshot()
+
+    def load(self, values: Sequence[int]) -> None:
+        """Restore a previously captured vector (state restoration)."""
+        if len(values) != len(self._components):
+            raise ValueError("vector clock arity mismatch")
+        if any(v < 0 for v in values):
+            raise ValueError("vector components must be >= 0")
+        self._components = list(values)
+
+
+class ClockFrame:
+    """Shared component-order registry for one execution."""
+
+    def __init__(self, processes: Sequence[ProcessId]) -> None:
+        self._order: Tuple[ProcessId, ...] = tuple(processes)
+        self._index: Dict[ProcessId, int] = {
+            name: i for i, name in enumerate(self._order)
+        }
+        if len(self._index) != len(self._order):
+            raise ValueError("duplicate process names in clock frame")
+
+    @property
+    def order(self) -> Tuple[ProcessId, ...]:
+        return self._order
+
+    def index_of(self, process: ProcessId) -> int:
+        return self._index[process]
+
+    def clock_for(self, process: ProcessId) -> VectorClock:
+        return VectorClock(self._index[process], len(self._order))
+
+
+def vector_less(a: Sequence[int], b: Sequence[int]) -> bool:
+    """``a < b`` in the vector-clock partial order (strict)."""
+    if len(a) != len(b):
+        raise ValueError("vector clock arity mismatch")
+    return all(x <= y for x, y in zip(a, b)) and any(x < y for x, y in zip(a, b))
+
+
+def concurrent(a: Sequence[int], b: Sequence[int]) -> bool:
+    """Neither ``a < b`` nor ``b < a``."""
+    return not vector_less(a, b) and not vector_less(b, a)

@@ -1,0 +1,103 @@
+"""The event model: the paper's 5-tuple plus detectability metadata.
+
+§2.1 defines an event as a 5-tuple ``<p, s, ss, M, c>``: process, state
+before, state after, message, and channel (``M``/``c`` null when no message
+is involved). :class:`Event` is that tuple made concrete, extended with the
+bookkeeping needed by breakpoints and by our analyses:
+
+* ``kind`` — which of the detectable occurrences of §3.2 this is (message
+  sent/received, procedure entered, process created/terminated, …);
+* ``time`` — virtual occurrence time (for reporting only — the algorithms
+  never read it, since a real distributed system has no global clock);
+* ``lamport`` / ``vector`` — logical clocks maintained by the instrumentation
+  layer. The paper's algorithms do not need them; our *oracles* do (they
+  decide happened-before exactly, which is how experiments E7/E8 check the
+  detectors against ground truth).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Tuple
+
+from repro.util.ids import ChannelId, ProcessId
+
+
+class EventKind(enum.Enum):
+    """Detectable event classes (§3.2's Simple Predicate vocabulary)."""
+
+    SEND = "send"
+    RECEIVE = "receive"
+    PROCEDURE_ENTRY = "enter"
+    PROCEDURE_EXIT = "exit"
+    STATE_CHANGE = "state"
+    TIMER = "timer"
+    PROCESS_CREATED = "created"
+    PROCESS_TERMINATED = "terminated"
+    CHANNEL_CREATED = "chan_created"
+    CHANNEL_DESTROYED = "chan_destroyed"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One occurrence at one process. Immutable once recorded."""
+
+    #: Per-system unique, monotonically increasing id (total order of record).
+    eid: int
+    #: The process at which the event occurred (the paper's ``p``).
+    process: ProcessId
+    #: Event class.
+    kind: EventKind
+    #: Virtual time of occurrence.
+    time: float
+    #: Lamport logical timestamp.
+    lamport: int
+    #: Vector clock at (i.e. just after) the event.
+    vector: Tuple[int, ...]
+    #: Index of ``process`` within the vector-clock component order.
+    vector_index: int
+    #: The paper's ``s``: process state before the event (may be omitted).
+    state_before: Optional[Mapping[str, Any]] = None
+    #: The paper's ``ss``: process state after the event (may be omitted).
+    state_after: Optional[Mapping[str, Any]] = None
+    #: The paper's ``M``: message payload, or None.
+    message: Any = None
+    #: The paper's ``c``: channel, or None.
+    channel: Optional[ChannelId] = None
+    #: Kind-specific detail: procedure name, timer name, state key, tag.
+    detail: Optional[str] = None
+    #: Local (per-process) sequence number of this event.
+    local_seq: int = 0
+    #: Extra attributes for predicates (message tag, payload fields...).
+    attrs: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def five_tuple(self) -> Tuple[ProcessId, Any, Any, Any, Optional[ChannelId]]:
+        """The literal ``<p, s, ss, M, c>`` of the paper's Definition."""
+        return (self.process, self.state_before, self.state_after, self.message, self.channel)
+
+    def happened_before(self, other: "Event") -> bool:
+        """Exact Lamport happened-before, decided from vector clocks.
+
+        ``a → b`` iff ``V(a) < V(b)`` component-wise with strict inequality
+        somewhere. Requires both events to come from the same execution
+        (same vector arity).
+        """
+        if len(self.vector) != len(other.vector):
+            raise ValueError("events come from different executions")
+        return _vector_less(self.vector, other.vector)
+
+    def concurrent_with(self, other: "Event") -> bool:
+        """True iff neither event happened-before the other."""
+        return not self.happened_before(other) and not other.happened_before(self)
+
+    def __repr__(self) -> str:
+        where = f"@{self.process}"
+        what = self.detail or (str(self.channel) if self.channel else "")
+        return f"Event#{self.eid}({self.kind.value}{('/' + what) if what else ''}{where}, t={self.time:.4f})"
+
+
+def _vector_less(a: Tuple[int, ...], b: Tuple[int, ...]) -> bool:
+    le_everywhere = all(x <= y for x, y in zip(a, b))
+    return le_everywhere and any(x < y for x, y in zip(a, b))

@@ -1,0 +1,91 @@
+"""Event logs and happened-before queries over a recorded execution.
+
+The log is the ground truth the oracles work from: the marker-based
+detectors under test (halting, linked predicates) see only messages, while
+the analyses in :mod:`repro.analysis` replay questions against this log.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.events.event import Event, EventKind
+from repro.util.ids import ProcessId
+
+
+class EventLog:
+    """Append-only record of every instrumented event in one execution."""
+
+    def __init__(self) -> None:
+        self._events: List[Event] = []
+        self._by_process: Dict[ProcessId, List[Event]] = {}
+
+    def append(self, event: Event) -> None:
+        if self._events and event.eid <= self._events[-1].eid:
+            raise ValueError(
+                f"event ids must increase: got {event.eid} after {self._events[-1].eid}"
+            )
+        self._events.append(event)
+        self._by_process.setdefault(event.process, []).append(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __getitem__(self, index: int) -> Event:
+        return self._events[index]
+
+    @property
+    def events(self) -> Tuple[Event, ...]:
+        return tuple(self._events)
+
+    def for_process(self, process: ProcessId) -> Tuple[Event, ...]:
+        """Events at one process, in local (program) order."""
+        return tuple(self._by_process.get(process, ()))
+
+    def processes(self) -> Tuple[ProcessId, ...]:
+        return tuple(self._by_process)
+
+    def of_kind(self, kind: EventKind) -> Tuple[Event, ...]:
+        return tuple(e for e in self._events if e.kind is kind)
+
+    def where(self, predicate: Callable[[Event], bool]) -> Tuple[Event, ...]:
+        return tuple(e for e in self._events if predicate(e))
+
+    def find(
+        self,
+        kind: Optional[EventKind] = None,
+        process: Optional[ProcessId] = None,
+        detail: Optional[str] = None,
+    ) -> Tuple[Event, ...]:
+        """Convenience filter used heavily by tests."""
+        result: Sequence[Event] = self._events
+        if process is not None:
+            result = self._by_process.get(process, ())
+        if kind is not None:
+            result = [e for e in result if e.kind is kind]
+        if detail is not None:
+            result = [e for e in result if e.detail == detail]
+        return tuple(result)
+
+    # -- happened-before utilities -------------------------------------------
+
+    def happened_before(self, a: Event, b: Event) -> bool:
+        return a.happened_before(b)
+
+    def causal_past(self, event: Event) -> Tuple[Event, ...]:
+        """All logged events that happened-before ``event``."""
+        return tuple(e for e in self._events if e.happened_before(event))
+
+    def concurrent_pairs(self) -> Iterator[Tuple[Event, Event]]:
+        """All unordered (concurrent) event pairs — O(n²), test-sized logs."""
+        for i, a in enumerate(self._events):
+            for b in self._events[i + 1 :]:
+                if a.concurrent_with(b):
+                    yield (a, b)
+
+    def matches_in_order(self, events: Sequence[Event]) -> bool:
+        """True iff the given events form a happened-before chain."""
+        return all(x.happened_before(y) for x, y in zip(events, events[1:]))

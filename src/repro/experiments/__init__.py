@@ -1,0 +1,17 @@
+"""Experiment harnesses shared by tests and benchmarks."""
+
+from repro.experiments.harness import (
+    LocalTrigger,
+    build_system,
+    install_trigger,
+    run_halting,
+    run_snapshot,
+)
+
+__all__ = [
+    "LocalTrigger",
+    "build_system",
+    "install_trigger",
+    "run_halting",
+    "run_snapshot",
+]

@@ -1,0 +1,138 @@
+"""Shared experiment harness: paired runs with identical local triggers.
+
+Experiment E2 (Theorem 2) needs two executions of the *same* program that
+differ only in which debugging-system algorithm fires at the same execution
+point: one run halts, the twin run snapshots. "Same point" cannot be a
+wall-clock time (runs drift once control traffic differs) — it must be a
+*local* condition: "when process X has executed its N-th user event". The
+:class:`LocalTrigger` plugin implements that condition identically in both
+runs, because the user-level execution prefix is identical by the system's
+determinism contract.
+
+The trigger defers its action by one zero-delay kernel step so that an
+algorithm never fires in the middle of a user message handler — a process
+"instant" in the simulation is the boundary between two handler steps.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.events.event import Event
+from repro.halting.algorithm import HaltingCoordinator
+from repro.network.latency import LatencyModel, UniformLatency
+from repro.network.topology import Topology
+from repro.runtime.interfaces import ControlPlugin
+from repro.runtime.process import Process
+from repro.runtime.system import System
+from repro.simulation.kernel import PRIORITY_INTERNAL
+from repro.snapshot.chandy_lamport import SnapshotCoordinator
+from repro.snapshot.state import GlobalState
+from repro.util.ids import ChannelId, ProcessId
+
+
+class LocalTrigger(ControlPlugin):
+    """Fire ``action`` right after this process's ``nth`` user-level event."""
+
+    kinds = frozenset()
+
+    def __init__(self, nth_event: int, action: Callable[[], None]) -> None:
+        self.nth_event = nth_event
+        self.action = action
+        self.fired = False
+        self.fired_at: Optional[float] = None
+
+    def on_local_event(self, event: Event) -> None:
+        if self.fired or event.local_seq < self.nth_event:
+            return
+        self.fired = True
+        kernel = self.controller.system.kernel
+        self.fired_at = kernel.now
+        kernel.schedule(
+            0.0,
+            self.action,
+            priority=PRIORITY_INTERNAL,
+            tiebreak=("trigger", self.controller.name),
+        )
+
+
+BuildResult = Tuple[Topology, Dict[ProcessId, Process]]
+
+
+def build_system(
+    builder: Callable[[], BuildResult],
+    seed: int,
+    latency: Optional[LatencyModel] = None,
+    channel_latencies: Optional[Dict[ChannelId, LatencyModel]] = None,
+) -> System:
+    """One system instance with the harness's default latency model."""
+    topo, processes = builder()
+    return System(
+        topo,
+        processes,
+        seed=seed,
+        latency=latency or UniformLatency(0.4, 1.6),
+        channel_latencies=channel_latencies,
+    )
+
+
+def install_trigger(
+    system: System,
+    process: ProcessId,
+    nth_event: int,
+    action: Callable[[], None],
+) -> LocalTrigger:
+    trigger = LocalTrigger(nth_event, action)
+    system.controller(process).install(trigger)
+    return trigger
+
+
+def run_halting(
+    builder: Callable[[], BuildResult],
+    seed: int,
+    trigger_process: ProcessId,
+    trigger_event: int,
+    latency: Optional[LatencyModel] = None,
+    channel_latencies: Optional[Dict[ChannelId, LatencyModel]] = None,
+    extra_initiators: Tuple[ProcessId, ...] = (),
+    max_events: int = 1_000_000,
+) -> Tuple[System, HaltingCoordinator, GlobalState]:
+    """Run the workload, halting via the paper's algorithm at the trigger.
+
+    ``extra_initiators`` initiate simultaneously with the trigger process
+    (same halt_id), exercising the algorithm's multi-initiator tolerance.
+    Returns the quiesced system, the coordinator, and ``S_h``.
+    """
+    system = build_system(builder, seed, latency, channel_latencies)
+    coordinator = HaltingCoordinator(system)
+
+    def initiate() -> None:
+        coordinator.initiate([trigger_process, *extra_initiators])
+
+    install_trigger(system, trigger_process, trigger_event, initiate)
+    system.run_to_quiescence(max_events=max_events)
+    state = coordinator.collect()
+    return system, coordinator, state
+
+
+def run_snapshot(
+    builder: Callable[[], BuildResult],
+    seed: int,
+    trigger_process: ProcessId,
+    trigger_event: int,
+    latency: Optional[LatencyModel] = None,
+    channel_latencies: Optional[Dict[ChannelId, LatencyModel]] = None,
+    extra_initiators: Tuple[ProcessId, ...] = (),
+    max_events: int = 1_000_000,
+) -> Tuple[System, SnapshotCoordinator, GlobalState]:
+    """Twin of :func:`run_halting` that records a C&L snapshot instead."""
+    system = build_system(builder, seed, latency, channel_latencies)
+    coordinator = SnapshotCoordinator(system)
+
+    def initiate() -> None:
+        coordinator.initiate([trigger_process, *extra_initiators])
+
+    install_trigger(system, trigger_process, trigger_event, initiate)
+    system.run_to_quiescence(max_events=max_events)
+    state = coordinator.collect()
+    return system, coordinator, state

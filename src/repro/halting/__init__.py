@@ -1,0 +1,7 @@
+"""The paper's Halting Algorithm (§2.2): consistent distributed halt."""
+
+from repro.halting.algorithm import HaltingAgent, HaltingCoordinator
+from repro.halting.markers import HaltMarker
+from repro.halting.restore import restore
+
+__all__ = ["HaltMarker", "HaltingAgent", "HaltingCoordinator", "restore"]

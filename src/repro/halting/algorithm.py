@@ -1,0 +1,226 @@
+"""The paper's Halting Algorithm (§2.2.1), transcribed rule for rule.
+
+    Marker-Sending Rule for a Process p.
+        Increment last_halt_id;
+        Halt Routine (p)
+
+    Marker-Receiving Rule for a Process q.
+        On receiving a halt marker along a channel c:
+        Compare the halt_id with its last_halt_id;
+        if halt_id is greater than last_halt_id then
+            Update last_halt_id;
+            Halt Routine (q);
+        else
+            Ignore;
+
+    Halt Routine (x):
+        For each channel c, incident on and directed away from x, send a
+        halt marker with a halt_id equal to the last_halt_id along c;
+        Halt;
+
+The structure mirrors :mod:`repro.snapshot.chandy_lamport` deliberately —
+Lemma 2.1's proof is "the Halting Algorithm is structurally identical to the
+C&L Algorithm; each process halts at the instant it would record its state."
+
+Where C&L *records* incoming-channel contents after the record point, a
+halted process simply stops consuming them, so the same messages accumulate
+in the controller's halt buffers — that is Lemma 2.2 made mechanical.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.halting.markers import HaltMarker
+from repro.network.message import Envelope, MessageKind
+from repro.runtime.controller import ProcessController
+from repro.runtime.interfaces import ControlPlugin
+from repro.runtime.state_capture import ProcessStateSnapshot
+from repro.runtime.system import System
+from repro.snapshot.state import ChannelState, GlobalState
+from repro.util.errors import HaltingError
+from repro.util.ids import ChannelId, ProcessId
+
+
+class HaltingAgent(ControlPlugin):
+    """Per-process side of the Halting Algorithm."""
+
+    kinds = frozenset({MessageKind.HALT_MARKER})
+
+    def __init__(self, controller: ProcessController,
+                 on_halted: Optional[Callable[["HaltingAgent"], None]] = None) -> None:
+        self.attach(controller)
+        self._notify_halted = on_halted
+        #: "Each process also keeps track of the latest halt_id received as
+        #: last_halt_id whose value is initially set to zero."
+        self.last_halt_id = 0
+        #: The marker path as received when this process halted; our own
+        #: name appended = the path we forwarded (§2.2.4).
+        self.halted_via: Optional[HaltMarker] = None
+
+    # -- Marker-Sending Rule (spontaneous initiation) -------------------------
+
+    def initiate(self, halt_id: Optional[int] = None) -> None:
+        """Spontaneously decide to halt (e.g. a breakpoint fired here)."""
+        if self.controller.halted:
+            raise HaltingError(
+                f"{self.controller.name} cannot initiate a halt while halted"
+            )
+        if halt_id is None:
+            halt_id = self.last_halt_id + 1
+        if halt_id <= self.last_halt_id:
+            raise HaltingError(
+                f"halt_id must increase: {halt_id} <= {self.last_halt_id}"
+            )
+        self.last_halt_id = halt_id
+        self._halt_routine(HaltMarker(halt_id=halt_id))
+
+    # -- Marker-Receiving Rule --------------------------------------------------
+
+    def on_control(self, envelope: Envelope) -> None:
+        marker = envelope.payload
+        assert isinstance(marker, HaltMarker)
+        if marker.halt_id > self.last_halt_id:
+            self.last_halt_id = marker.halt_id
+            if self.controller.never_halts:
+                # §2.2.3: "the debugger process d never really halts" — it
+                # still relays markers so it cannot partition the marker
+                # flood (and it is how d's own initiation reaches everyone).
+                self._forward_markers(marker)
+                return
+            self._halt_routine(marker)
+        else:
+            # Ignore. But a same-generation marker arriving after we halted
+            # proves that channel is drained: its sender halted right after
+            # sending it, so nothing else can be in flight behind it.
+            if (
+                self.controller.halted
+                and marker.halt_id == self.last_halt_id
+            ):
+                self.controller.note_channel_closed(envelope.channel)
+
+    # -- Halt Routine ----------------------------------------------------------------
+
+    def _halt_routine(self, marker: HaltMarker) -> None:
+        self.halted_via = marker
+        self._forward_markers(marker)
+        if not self.controller.never_halts:
+            self.controller.halt(
+                halt_id=self.last_halt_id,
+                halt_path=list(marker.extended_by(self.controller.name).path),
+            )
+            if self._notify_halted is not None:
+                self._notify_halted(self)
+
+    def _forward_markers(self, marker: HaltMarker) -> None:
+        forwarded = marker.extended_by(self.controller.name)
+        for channel_id in self.controller.outgoing_channels():
+            self.controller.send_control(
+                channel_id, MessageKind.HALT_MARKER, forwarded
+            )
+
+
+class HaltingCoordinator:
+    """Harness-side driver for the *basic* algorithm (no debugger process).
+
+    Installs a :class:`HaltingAgent` on every process, lets any process(es)
+    initiate, and assembles the halted global state ``S_h`` after the system
+    quiesces. For the paper's full debugger model use
+    :class:`repro.debugger.session.DebugSession`, which layers commands,
+    breakpoints, and resume on top of these same agents.
+    """
+
+    def __init__(self, system: System) -> None:
+        self.system = system
+        self.halt_order: List[ProcessId] = []
+        self.agents: Dict[ProcessId, HaltingAgent] = {}
+        for name in system.topology.processes:
+            controller = system.controller(name)
+            agent = HaltingAgent(controller, self._agent_halted)
+            controller.install(agent)
+            self.agents[name] = agent
+
+    def _agent_halted(self, agent: HaltingAgent) -> None:
+        self.halt_order.append(agent.controller.name)
+
+    def initiate(self, processes: Optional[List[ProcessId]] = None,
+                 halt_id: Optional[int] = None) -> int:
+        """Spontaneous halt initiation at one or more processes."""
+        initiators = processes or [self.system.user_process_names[0]]
+        first_agent = self.agents[initiators[0]]
+        if halt_id is None:
+            halt_id = first_agent.last_halt_id + 1
+        for name in initiators:
+            agent = self.agents[name]
+            if not agent.controller.halted:
+                agent.initiate(halt_id)
+        return halt_id
+
+    def all_halted(self) -> bool:
+        return self.system.all_user_processes_halted()
+
+    def unhalted(self) -> Tuple[ProcessId, ...]:
+        """Processes still running — non-empty on non-strongly-connected
+        topologies, which is exactly the §2.2.2 failure (experiment E3)."""
+        return tuple(
+            name for name in self.system.user_process_names
+            if not self.system.controller(name).halted
+        )
+
+    def collect(self, require_all: bool = True) -> GlobalState:
+        """Assemble ``S_h`` from the frozen controllers.
+
+        Call after the kernel quiesced (all in-flight messages delivered or
+        buffered). With ``require_all=False`` a partial state is returned —
+        used to *show* the basic algorithm's failure on acyclic topologies.
+        """
+        if require_all and not self.all_halted():
+            raise HaltingError(
+                f"not all processes halted: {self.unhalted()} still running "
+                "(on a non-strongly-connected topology this is the paper's "
+                "§2.2.2 problem — use the extended debugger model)"
+            )
+        processes: Dict[ProcessId, ProcessStateSnapshot] = {}
+        channels: Dict[ChannelId, ChannelState] = {}
+        generation = 0
+        for name in self.system.user_process_names:
+            controller = self.system.controller(name)
+            if controller.halted_snapshot is None:
+                continue
+            processes[name] = controller.halted_snapshot
+            generation = max(generation, self.agents[name].last_halt_id)
+            for channel_id, envelopes in controller.halt_buffers.items():
+                channels[channel_id] = ChannelState(
+                    channel=channel_id,
+                    messages=tuple(env.payload for env in envelopes),
+                    complete=channel_id in controller.closed_channels,
+                )
+        return GlobalState(
+            origin="halting",
+            processes=processes,
+            channels=channels,
+            generation=generation,
+            meta={
+                "halt_order": list(self.halt_order),
+                # Component order of every vector in this state — lets
+                # restoration project clocks onto a differently-framed
+                # system (e.g. captured with a debugger process attached).
+                "clock_frame": list(self.system.clock_frame.order),
+            },
+        )
+
+    def halting_order_report(self) -> Dict[ProcessId, Tuple[ProcessId, ...]]:
+        """§2.2.4: per process, the already-halted path its marker carried."""
+        report = {}
+        for name, agent in self.agents.items():
+            if agent.halted_via is not None and not agent.controller.never_halts:
+                report[name] = agent.halted_via.path
+        return report
+
+    def resume_all(self) -> None:
+        """Un-freeze every halted process (deterministic name order)."""
+        for name in self.system.user_process_names:
+            controller = self.system.controller(name)
+            if controller.halted:
+                controller.resume()
+        self.halt_order = []

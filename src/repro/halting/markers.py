@@ -1,0 +1,34 @@
+"""Halt markers (§2.2.1) with the §2.2.4 halting-order extension.
+
+A halt marker carries:
+
+* ``halt_id`` — the sequence number that lets a process "distinguish an old
+  halt marker (to ignore) from a new halt marker";
+* ``path`` — §2.2.4: "each process will append its name to the halt marker
+  before sending the marker to the next process(es). The halt marker that a
+  process receives then describes which processes have already been halted."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.util.ids import ProcessId
+
+
+@dataclass(frozen=True)
+class HaltMarker:
+    """One halt marker in flight."""
+
+    halt_id: int
+    #: Names of the already-halted processes this marker travelled through,
+    #: in halting order. The initiator is path[0].
+    path: Tuple[ProcessId, ...] = ()
+
+    def extended_by(self, process: ProcessId) -> "HaltMarker":
+        """The marker this process forwards: same id, own name appended."""
+        return HaltMarker(halt_id=self.halt_id, path=self.path + (process,))
+
+    def __str__(self) -> str:
+        return f"halt#{self.halt_id}[{' -> '.join(self.path) or 'fresh'}]"

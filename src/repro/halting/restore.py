@@ -1,0 +1,143 @@
+"""Restoration: resurrect a system from a captured global state.
+
+A halted global state ``S_h`` (or a recorded snapshot ``S_r`` — they are
+the same thing, Theorem 2) contains everything a consistent restart needs:
+every process's state and every channel's undelivered messages. This module
+builds a *fresh* system whose execution continues from that cut — the
+debugging payoff usually called time travel: halt at a breakpoint, save the
+state, and re-run the suffix as many times as you like, under different
+seeds if you want different continuations.
+
+What restoration preserves exactly:
+
+* process states, logical clocks, event counters (the new incarnation's
+  events continue the old causal history);
+* channel contents: every undelivered message is re-injected into its
+  channel and will be delivered, FIFO, before anything the restored
+  processes send on that channel.
+
+What it cannot preserve, by the nature of a *global state*:
+
+* pending local timers — they are scheduler artifacts, not state. Processes
+  that rely on timers re-arm them in ``Process.on_restore`` from their own
+  state (see :class:`repro.workloads.bank.BankBranch` for the pattern);
+* the exact future interleaving — a restored run draws fresh latencies from
+  its own seed, so it is *a* valid continuation, not a replay. For replay,
+  re-run the original seed from the start (:mod:`repro.trace.replay`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping, Optional
+
+from repro.network.latency import LatencyModel
+from repro.network.message import MessageKind
+from repro.network.topology import Topology
+from repro.runtime.process import Process
+from repro.runtime.system import System
+from repro.snapshot.state import GlobalState
+from repro.util.errors import HaltingError
+from repro.util.ids import ChannelId, ProcessId
+
+
+def restore(
+    state: GlobalState,
+    topology: Topology,
+    processes: Mapping[ProcessId, Process],
+    seed: int = 0,
+    latency: Optional[LatencyModel] = None,
+    channel_latencies: Optional[Mapping[ChannelId, LatencyModel]] = None,
+) -> System:
+    """Build a new system continuing from ``state``.
+
+    ``topology`` and ``processes`` describe the same program shape the
+    state was captured from (fresh ``Process`` instances — behaviour lives
+    in code, state lives in the capture). The returned system is *not yet
+    started*; install whatever debugging machinery you want first, then
+    ``run()`` as usual.
+    """
+    missing = set(state.processes) - set(topology.processes)
+    if missing:
+        raise HaltingError(
+            f"state contains processes not in the topology: {sorted(missing)}"
+        )
+    incomplete = [
+        str(channel)
+        for channel, channel_state in state.channels.items()
+        if channel_state.messages and not channel_state.complete
+    ]
+    if incomplete:
+        raise HaltingError(
+            "cannot restore from indeterminable channel states "
+            f"({incomplete}); only marker-delimited captures (S_h/S_r) are "
+            "complete — this is E9's point about naive halting"
+        )
+
+    system = System(
+        topology,
+        processes,
+        seed=seed,
+        latency=latency,
+        channel_latencies=channel_latencies,
+    )
+
+    project = _frame_projection(state, system)
+    for name, snapshot in state.processes.items():
+        if project is not None:
+            snapshot = dataclasses.replace(
+                snapshot,
+                vector=project(snapshot.vector),
+                vector_index=system.clock_frame.index_of(name),
+            )
+        system.controller(name).preload(snapshot)
+
+    # Re-inject undelivered messages. They enter the channels before the
+    # system starts, so FIFO puts them ahead of anything the restored
+    # processes send — exactly the "pending messages" semantics of S_h.
+    for channel_id, channel_state in state.channels.items():
+        channel = system.channel(channel_id)
+        if channel is None:
+            raise HaltingError(f"state references unknown channel {channel_id}")
+        for message in channel_state.messages:
+            if project is not None and message.vector:
+                message = dataclasses.replace(
+                    message, vector=project(message.vector)
+                )
+            channel.send(MessageKind.USER, message)
+
+    return system
+
+
+def _frame_projection(state: GlobalState, system: System):
+    """Map captured vectors onto the new system's clock frame.
+
+    Captures taken with extra instrumentation processes attached (the
+    debugger ``d``) carry wider vectors; the capture records its component
+    order in ``meta["clock_frame"]``, letting us re-index by process name.
+    Components of processes absent from the new system are dropped — their
+    knowledge is control-plane history that no longer exists.
+    """
+    new_order = system.clock_frame.order
+    arities = {len(s.vector) for s in state.processes.values() if s.vector}
+    if not arities or arities == {len(new_order)}:
+        old_order = state.meta.get("clock_frame")
+        if old_order is None or tuple(old_order) == new_order:
+            return None  # frames already agree
+    old_order = state.meta.get("clock_frame")
+    if old_order is None:
+        raise HaltingError(
+            "state vectors do not match the new topology and the capture "
+            "carries no clock_frame metadata to project from"
+        )
+    old_index = {name: i for i, name in enumerate(old_order)}
+    missing = [name for name in new_order if name not in old_index]
+    if missing:
+        raise HaltingError(
+            f"capture's clock frame lacks processes {missing}; cannot project"
+        )
+
+    def project(vector):
+        return tuple(vector[old_index[name]] for name in new_order)
+
+    return project

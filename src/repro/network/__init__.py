@@ -1,0 +1,39 @@
+"""Network substrate: messages, latency models, channels, topologies."""
+
+from repro.network.channel import Channel, ChannelStats
+from repro.network.latency import (
+    ExponentialLatency,
+    FixedLatency,
+    LatencyModel,
+    SpikeLatency,
+    UniformLatency,
+)
+from repro.network.message import Envelope, MessageKind
+from repro.network.topology import (
+    Topology,
+    complete,
+    pipeline,
+    random_topology,
+    ring,
+    star,
+    two_clusters,
+)
+
+__all__ = [
+    "Channel",
+    "ChannelStats",
+    "Envelope",
+    "ExponentialLatency",
+    "FixedLatency",
+    "LatencyModel",
+    "MessageKind",
+    "SpikeLatency",
+    "Topology",
+    "UniformLatency",
+    "complete",
+    "pipeline",
+    "random_topology",
+    "ring",
+    "star",
+    "two_clusters",
+]

@@ -1,0 +1,147 @@
+"""Reliable, FIFO, infinite-buffer channels on the simulation kernel.
+
+§2.1: "Channels are assumed to have infinite buffers, to be error-free and
+to deliver messages in the order sent." Delay is otherwise arbitrary.
+
+FIFO is enforced even under random latency by clamping each delivery time to
+be no earlier than the previously scheduled delivery on the same channel —
+i.e. a fast message queues behind a slow one, exactly like a FIFO link.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional
+
+from repro.network.latency import FixedLatency, LatencyModel
+from repro.network.message import Envelope, MessageKind
+from repro.simulation.kernel import PRIORITY_DELIVERY, SimulationKernel
+from repro.util.ids import ChannelId, SequenceGenerator
+
+
+class ChannelStats:
+    """Per-channel traffic accounting used by the overhead experiments."""
+
+    __slots__ = ("sent", "delivered", "dropped", "sent_by_kind", "total_latency")
+
+    def __init__(self) -> None:
+        self.sent = 0
+        self.delivered = 0
+        self.dropped = 0
+        self.sent_by_kind = {kind: 0 for kind in MessageKind}
+        self.total_latency = 0.0
+
+    @property
+    def user_sent(self) -> int:
+        return self.sent_by_kind[MessageKind.USER]
+
+    @property
+    def control_sent(self) -> int:
+        return self.sent - self.user_sent
+
+
+class Channel:
+    """One directed FIFO link.
+
+    Deliveries are scheduled on the kernel; the receiving side is a callback
+    installed by the runtime (the process controller). The channel itself
+    never inspects payloads — markers and user messages share the link, as
+    the paper requires (markers must obey FIFO order relative to data for
+    Lemma 2.2 to hold).
+    """
+
+    def __init__(
+        self,
+        channel_id: ChannelId,
+        kernel: SimulationKernel,
+        user_rng: random.Random,
+        control_rng: random.Random,
+        sequences: SequenceGenerator,
+        latency: Optional[LatencyModel] = None,
+        loss_probability: float = 0.0,
+        loss_rng: Optional[random.Random] = None,
+    ) -> None:
+        # Two independent latency streams: control messages (markers) must
+        # not consume random draws that user messages would otherwise get,
+        # or injecting debugging traffic would perturb the user execution
+        # and break cross-run comparisons (experiment E2) — the simulation
+        # analogue of the paper's §5 requirement that the debugger impose
+        # only minimal change on the program.
+        self.id = channel_id
+        self._kernel = kernel
+        self._user_rng = user_rng
+        self._control_rng = control_rng
+        self._sequences = sequences
+        self._latency = latency or FixedLatency(1.0)
+        # The paper assumes error-free channels (§2.1); loss support exists
+        # only so the ablation benches can *measure* what that assumption
+        # buys. Losses draw from their own RNG stream so enabling them does
+        # not perturb latency draws.
+        self._loss_probability = loss_probability
+        self._loss_rng = loss_rng or random.Random(f"loss|{channel_id}")
+        self._deliver: Optional[Callable[[Envelope], None]] = None
+        self._last_delivery_time = 0.0
+        self._message_index = 0
+        self._in_flight: List[Envelope] = []
+        self.stats = ChannelStats()
+
+    def connect(self, deliver: Callable[[Envelope], None]) -> None:
+        """Install the receiver-side delivery callback (runtime wiring)."""
+        self._deliver = deliver
+
+    @property
+    def in_flight(self) -> List[Envelope]:
+        """Envelopes currently travelling on this channel (oldest first)."""
+        return list(self._in_flight)
+
+    def send(self, kind: MessageKind, payload: object, clock: object = None) -> Envelope:
+        """Emit one message from ``src`` toward ``dst``.
+
+        Returns the envelope so callers (event logging) can reference it.
+        ``clock`` piggybacks the sender's logical clocks on control traffic.
+        """
+        if self._deliver is None:
+            raise RuntimeError(f"channel {self.id} is not connected")
+        envelope = Envelope(
+            channel=self.id,
+            kind=kind,
+            payload=payload,
+            send_time=self._kernel.now,
+            seq=self._sequences.next(),
+            clock=clock,
+        )
+        self.stats.sent += 1
+        self.stats.sent_by_kind[kind] += 1
+        if (
+            self._loss_probability > 0.0
+            and self._loss_rng.random() < self._loss_probability
+        ):
+            self.stats.dropped += 1
+            return envelope
+        rng = self._user_rng if kind.is_user else self._control_rng
+        delay = self._latency.sample(rng)
+        # Strictly increasing per-channel delivery times keep the link FIFO
+        # and avoid same-channel ties in the kernel.
+        arrival = max(self._kernel.now + delay, self._last_delivery_time + 1e-9)
+        self._last_delivery_time = arrival
+        self._message_index += 1
+        self._in_flight.append(envelope)
+        self._kernel.schedule_at(
+            arrival,
+            lambda env=envelope: self._arrive(env),
+            priority=PRIORITY_DELIVERY,
+            tiebreak=(str(self.id), self._message_index),
+        )
+        return envelope
+
+    def _arrive(self, envelope: Envelope) -> None:
+        # FIFO clamping guarantees in-order arrival, so the head of
+        # _in_flight is always the arriving envelope.
+        assert self._in_flight and self._in_flight[0] is envelope, (
+            f"FIFO violation on {self.id}"
+        )
+        self._in_flight.pop(0)
+        self.stats.delivered += 1
+        self.stats.total_latency += self._kernel.now - envelope.send_time
+        assert self._deliver is not None
+        self._deliver(envelope)

@@ -1,0 +1,109 @@
+"""Channel latency models.
+
+The paper's algorithms must be correct under *any* finite, positive message
+delay ("we cannot instantly transmit a command to halt all processes", §1).
+Latency models turn that universal quantifier into something testable: the
+experiment harnesses sweep models and seeds to cover many interleavings.
+
+Each model is a callable ``(rng) -> delay``; channels draw one delay per
+message from their model using the system-wide seeded RNG, so identical
+seeds give identical delays — the backbone of the E2 exact-equality check.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+from repro.util.validation import require, require_non_negative, require_positive
+
+
+class LatencyModel(ABC):
+    """Distribution of per-message channel delay (virtual time units)."""
+
+    @abstractmethod
+    def sample(self, rng: random.Random) -> float:
+        """Draw one message delay. Must be > 0 (messages are never instant)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class FixedLatency(LatencyModel):
+    """Every message takes exactly ``delay``."""
+
+    def __init__(self, delay: float = 1.0) -> None:
+        self.delay = require_positive(delay, "delay")
+
+    def sample(self, rng: random.Random) -> float:
+        return self.delay
+
+    def __repr__(self) -> str:
+        return f"FixedLatency({self.delay})"
+
+
+class UniformLatency(LatencyModel):
+    """Delay drawn uniformly from ``[low, high]``."""
+
+    def __init__(self, low: float = 0.5, high: float = 1.5) -> None:
+        self.low = require_positive(low, "low")
+        self.high = require_positive(high, "high")
+        require(low <= high, f"low ({low}) must be <= high ({high})")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def __repr__(self) -> str:
+        return f"UniformLatency({self.low}, {self.high})"
+
+
+class ExponentialLatency(LatencyModel):
+    """Heavy-ish tail: ``floor + Exp(mean)``.
+
+    A positive ``floor`` keeps delays strictly positive and models the
+    irreducible propagation cost of a real link.
+    """
+
+    def __init__(self, mean: float = 1.0, floor: float = 0.01) -> None:
+        self.mean = require_positive(mean, "mean")
+        self.floor = require_positive(floor, "floor")
+
+    def sample(self, rng: random.Random) -> float:
+        return self.floor + rng.expovariate(1.0 / self.mean)
+
+    def __repr__(self) -> str:
+        return f"ExponentialLatency(mean={self.mean}, floor={self.floor})"
+
+
+class SpikeLatency(LatencyModel):
+    """Mostly-fast link with occasional large delay spikes.
+
+    With probability ``spike_probability`` the delay is ``spike`` instead of
+    ``base``. This model stresses the halting algorithm with markers that
+    badly trail user traffic on *other* channels — the situation that makes
+    naive broadcast halting drift (experiment E9).
+    """
+
+    def __init__(
+        self,
+        base: float = 0.5,
+        spike: float = 20.0,
+        spike_probability: float = 0.05,
+    ) -> None:
+        self.base = require_positive(base, "base")
+        self.spike = require_positive(spike, "spike")
+        self.spike_probability = require_non_negative(
+            spike_probability, "spike_probability"
+        )
+        require(spike_probability <= 1.0, "spike_probability must be <= 1")
+
+    def sample(self, rng: random.Random) -> float:
+        if rng.random() < self.spike_probability:
+            return self.spike
+        return self.base
+
+    def __repr__(self) -> str:
+        return (
+            f"SpikeLatency(base={self.base}, spike={self.spike}, "
+            f"p={self.spike_probability})"
+        )

@@ -1,0 +1,113 @@
+"""Message model: envelopes and message kinds.
+
+The paper (§3.6) notes that "we can append to every message originated by the
+program some kind of tag so that each process can distinguish the genuine
+messages from halt markers and predicate markers which are introduced by the
+debugging system." :class:`MessageKind` is exactly that tag. Every payload
+travels inside an :class:`Envelope` that records routing metadata; envelopes
+are immutable so recorded channel states cannot be mutated after the fact.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+from repro.util.ids import ChannelId
+
+
+class MessageKind(enum.Enum):
+    """Tag distinguishing program traffic from debugging-system traffic."""
+
+    #: A genuine message of the program under debug.
+    USER = "user"
+    #: Chandy & Lamport snapshot marker (§2.1).
+    SNAPSHOT_MARKER = "snapshot_marker"
+    #: Halt marker of the Halting Algorithm (§2.2.1), carries a halt_id.
+    HALT_MARKER = "halt_marker"
+    #: Predicate marker of the Linked Predicate Detection Algorithm (§3.6).
+    PREDICATE_MARKER = "predicate_marker"
+    #: Debugger-process control traffic (extended model, §2.2.3):
+    #: commands, notifications, resume orders.
+    DEBUG_CONTROL = "debug_control"
+
+    @property
+    def is_user(self) -> bool:
+        return self is MessageKind.USER
+
+    @property
+    def is_debug(self) -> bool:
+        """True for any message introduced by the debugging system."""
+        return self is not MessageKind.USER
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A message in flight on one directed channel.
+
+    ``send_time`` is the virtual time at which the sender emitted the
+    envelope; ``seq`` is a per-system unique, per-channel increasing sequence
+    number used to verify FIFO delivery and to compare recorded channel
+    states structurally.
+
+    ``clock`` piggybacks the sender's logical clocks on *control* messages
+    (user messages carry theirs inside :class:`~repro.runtime.payload.UserMessage`).
+    Lamport's happened-before is defined over every message of the system —
+    markers included — and the Linked Predicate guarantee ("stage i+1 is
+    causally after stage i") is established precisely through predicate
+    markers, so the instrumentation clocks must see them.
+    """
+
+    channel: ChannelId
+    kind: MessageKind
+    payload: Any
+    send_time: float
+    seq: int
+    #: ``(lamport, vector)`` of the sender at the send, for control traffic.
+    clock: Any = None
+
+    @property
+    def src(self) -> str:
+        return self.channel.src
+
+    @property
+    def dst(self) -> str:
+        return self.channel.dst
+
+    def __repr__(self) -> str:
+        return (
+            f"Envelope({self.channel}, {self.kind.value}, seq={self.seq}, "
+            f"t={self.send_time:.4f}, payload={self.payload!r})"
+        )
+
+    def content_key(self) -> tuple:
+        """Identity of the message for cross-run state comparison.
+
+        Experiment E2 compares the channel contents of a *halted* run with
+        the recorded channel state of a *snapshot* run. Sequence numbers are
+        allocated globally and the two runs inject different control traffic,
+        so ``seq`` differs; what must match is the channel, kind and payload
+        stream in order.
+        """
+        return (str(self.channel), self.kind.value, _freeze(self.payload))
+
+
+def _freeze(value: Any) -> Any:
+    """Best-effort conversion of a payload to a hashable comparison key."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return (
+            type(value).__name__,
+            tuple(
+                (f.name, _freeze(getattr(value, f.name)))
+                for f in dataclasses.fields(value)
+            ),
+        )
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, set):
+        return tuple(sorted(_freeze(v) for v in value))
+    return value

@@ -1,0 +1,253 @@
+"""Directed communication topologies.
+
+A distributed program in the paper's model (§2.1, Fig. 1) is a finite set of
+processes plus a finite set of *directed* channels. Topology matters to the
+reproduction because §2.2.2 shows the basic Halting Algorithm fails exactly
+when the channel graph is not strongly connected (Fig. 2's producer→consumer
+pipeline), and the extended model (§2.2.3) repairs that by adding a debugger
+process with channels both ways to every user process.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.util.errors import TopologyError
+from repro.util.ids import ChannelId, ProcessId
+from repro.util.validation import require_name, require_unique
+
+
+class Topology:
+    """An immutable-after-build directed graph of processes and channels."""
+
+    def __init__(self) -> None:
+        self._processes: List[ProcessId] = []
+        self._channels: List[ChannelId] = []
+        self._out: Dict[ProcessId, List[ChannelId]] = {}
+        self._in: Dict[ProcessId, List[ChannelId]] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_process(self, name: ProcessId) -> "Topology":
+        require_name(name, "process name")
+        if name in self._out:
+            raise TopologyError(f"process {name!r} already exists")
+        self._processes.append(name)
+        self._out[name] = []
+        self._in[name] = []
+        return self
+
+    def add_channel(self, src: ProcessId, dst: ProcessId) -> ChannelId:
+        if src not in self._out:
+            raise TopologyError(f"unknown process {src!r}")
+        if dst not in self._out:
+            raise TopologyError(f"unknown process {dst!r}")
+        if src == dst:
+            raise TopologyError(f"self-channel {src!r}->{dst!r} is not allowed")
+        channel = ChannelId(src, dst)
+        if channel in self._channels:
+            raise TopologyError(f"channel {channel} already exists")
+        self._channels.append(channel)
+        self._out[src].append(channel)
+        self._in[dst].append(channel)
+        return channel
+
+    def add_bidirectional(self, a: ProcessId, b: ProcessId) -> Tuple[ChannelId, ChannelId]:
+        """Add both directions between ``a`` and ``b``."""
+        return self.add_channel(a, b), self.add_channel(b, a)
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def processes(self) -> Tuple[ProcessId, ...]:
+        return tuple(self._processes)
+
+    @property
+    def channels(self) -> Tuple[ChannelId, ...]:
+        return tuple(self._channels)
+
+    def outgoing(self, process: ProcessId) -> Tuple[ChannelId, ...]:
+        """Channels incident on and directed away from ``process`` (§2.1)."""
+        self._require_process(process)
+        return tuple(self._out[process])
+
+    def incoming(self, process: ProcessId) -> Tuple[ChannelId, ...]:
+        self._require_process(process)
+        return tuple(self._in[process])
+
+    def neighbors_out(self, process: ProcessId) -> Tuple[ProcessId, ...]:
+        return tuple(c.dst for c in self.outgoing(process))
+
+    def neighbors_in(self, process: ProcessId) -> Tuple[ProcessId, ...]:
+        return tuple(c.src for c in self.incoming(process))
+
+    def has_channel(self, src: ProcessId, dst: ProcessId) -> bool:
+        return ChannelId(src, dst) in set(self._channels)
+
+    def _require_process(self, process: ProcessId) -> None:
+        if process not in self._out:
+            raise TopologyError(f"unknown process {process!r}")
+
+    # -- graph analyses -----------------------------------------------------
+
+    def reachable_from(self, start: ProcessId) -> Set[ProcessId]:
+        """Processes reachable from ``start`` along channel directions.
+
+        Marker-based algorithms can only halt/record the processes in this
+        set (markers travel along channels), which is precisely why the basic
+        algorithm fails on Fig. 2 when the consumer initiates.
+        """
+        self._require_process(start)
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for channel in self._out[node]:
+                if channel.dst not in seen:
+                    seen.add(channel.dst)
+                    frontier.append(channel.dst)
+        return seen
+
+    def is_strongly_connected(self) -> bool:
+        """True iff every process can reach every other (C&L's assumption)."""
+        if not self._processes:
+            return True
+        first = self._processes[0]
+        if self.reachable_from(first) != set(self._processes):
+            return False
+        reverse = Topology()
+        for process in self._processes:
+            reverse.add_process(process)
+        for channel in self._channels:
+            reverse.add_channel(channel.dst, channel.src)
+        return reverse.reachable_from(first) == set(reverse._processes)
+
+    def with_debugger(self, debugger: ProcessId = "d") -> "Topology":
+        """The extended model of §2.2.3: a new topology that adds a debugger
+        process with a control channel to and from every user process.
+
+        The result is always strongly connected (Fig. 3), which is the whole
+        point: "there always is a message path from a process to any other
+        process."
+        """
+        extended = Topology()
+        for process in self._processes:
+            extended.add_process(process)
+        extended.add_process(debugger)
+        for channel in self._channels:
+            extended.add_channel(channel.src, channel.dst)
+        for process in self._processes:
+            extended.add_bidirectional(debugger, process)
+        return extended
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Topology(processes={len(self._processes)}, "
+            f"channels={len(self._channels)})"
+        )
+
+
+# -- builders for the shapes the experiments sweep over ----------------------
+
+
+def ring(names: Sequence[ProcessId], bidirectional: bool = False) -> Topology:
+    """Unidirectional (or bidirectional) ring — cyclic, strongly connected."""
+    topo = Topology()
+    names = list(names)
+    require_unique(names, "process name")
+    for name in names:
+        topo.add_process(name)
+    for i, name in enumerate(names):
+        nxt = names[(i + 1) % len(names)]
+        if not topo.has_channel(name, nxt):
+            topo.add_channel(name, nxt)
+        if bidirectional and not topo.has_channel(nxt, name):
+            # A two-station "ring" already has both directions after the
+            # forward pass; skip duplicates.
+            topo.add_channel(nxt, name)
+    return topo
+
+
+def pipeline(names: Sequence[ProcessId]) -> Topology:
+    """Acyclic producer→…→consumer chain — Fig. 2's pathological shape."""
+    topo = Topology()
+    names = list(names)
+    require_unique(names, "process name")
+    for name in names:
+        topo.add_process(name)
+    for src, dst in zip(names, names[1:]):
+        topo.add_channel(src, dst)
+    return topo
+
+
+def star(center: ProcessId, leaves: Sequence[ProcessId]) -> Topology:
+    """Bidirectional star around ``center`` — strongly connected, sparse."""
+    topo = Topology()
+    topo.add_process(center)
+    for leaf in leaves:
+        topo.add_process(leaf)
+        topo.add_bidirectional(center, leaf)
+    return topo
+
+
+def complete(names: Sequence[ProcessId]) -> Topology:
+    """Fully connected digraph — every ordered pair gets a channel."""
+    topo = Topology()
+    names = list(names)
+    require_unique(names, "process name")
+    for name in names:
+        topo.add_process(name)
+    for src in names:
+        for dst in names:
+            if src != dst:
+                topo.add_channel(src, dst)
+    return topo
+
+
+def random_topology(
+    names: Sequence[ProcessId],
+    edge_probability: float,
+    seed: int,
+    ensure_strongly_connected: bool = True,
+) -> Topology:
+    """Random digraph; optionally overlaid on a ring to guarantee strong
+    connectivity (so the basic algorithm is applicable)."""
+    rng = random.Random(seed)
+    names = list(names)
+    topo = ring(names) if ensure_strongly_connected else Topology()
+    if not ensure_strongly_connected:
+        for name in names:
+            topo.add_process(name)
+    for src in names:
+        for dst in names:
+            if src == dst or topo.has_channel(src, dst):
+                continue
+            if rng.random() < edge_probability:
+                topo.add_channel(src, dst)
+    return topo
+
+
+def two_clusters(
+    left: Sequence[ProcessId],
+    right: Sequence[ProcessId],
+    bridges: Iterable[Tuple[ProcessId, ProcessId]] = (),
+) -> Topology:
+    """Two complete clusters joined by a few bidirectional bridge edges.
+
+    With sparse bridges and low cross-traffic this is the "infrequent
+    interactions" scenario of §2.2.2 problem 1 (experiment E4).
+    """
+    topo = Topology()
+    left, right = list(left), list(right)
+    require_unique(left + right, "process name")
+    for name in left + right:
+        topo.add_process(name)
+    for group in (left, right):
+        for src in group:
+            for dst in group:
+                if src != dst:
+                    topo.add_channel(src, dst)
+    for a, b in bridges:
+        topo.add_bidirectional(a, b)
+    return topo

@@ -1,0 +1,21 @@
+"""Runtime substrate: processes, controllers, and the DES system backend."""
+
+from repro.runtime.context import ProcessContext, TrackedState
+from repro.runtime.controller import ProcessController
+from repro.runtime.interfaces import ControlPlugin
+from repro.runtime.payload import UserMessage
+from repro.runtime.process import Process
+from repro.runtime.state_capture import ProcessStateSnapshot, capture
+from repro.runtime.system import System
+
+__all__ = [
+    "ControlPlugin",
+    "Process",
+    "ProcessContext",
+    "ProcessController",
+    "ProcessStateSnapshot",
+    "System",
+    "TrackedState",
+    "UserMessage",
+    "capture",
+]

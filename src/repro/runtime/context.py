@@ -1,0 +1,129 @@
+"""The API handed to user process code.
+
+User processes never see the controller, the kernel, or the debugging
+algorithms; everything they may do goes through :class:`ProcessContext`.
+Every action that the paper's §3.2 lists as a detectable occurrence
+(sending, receiving, entering a procedure, creating/destroying a channel,
+terminating) is funnelled through here so the instrumentation layer can
+record the corresponding event.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import TYPE_CHECKING, Any, Iterator, Optional, Tuple
+
+from repro.util.ids import ProcessId
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import random
+
+    from repro.runtime.controller import ProcessController
+
+
+class TrackedState(dict):
+    """The process's local state: a dict that reports mutations.
+
+    Assignments emit ``STATE_CHANGE`` events (the hook State Predicates
+    listen on). Reads are plain dict reads.
+    """
+
+    def __init__(self, controller: "ProcessController") -> None:
+        super().__init__()
+        self._controller = controller
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        super().__setitem__(key, value)
+        self._controller.note_state_change(key, value)
+
+    def __delitem__(self, key: str) -> None:
+        super().__delitem__(key)
+        self._controller.note_state_change(key, None, deleted=True)
+
+    def update(self, *args: Any, **kwargs: Any) -> None:  # type: ignore[override]
+        staged = dict(*args, **kwargs)
+        for key, value in staged.items():
+            self[key] = value
+
+
+class ProcessContext:
+    """Capability object for one user process."""
+
+    def __init__(self, controller: "ProcessController") -> None:
+        self._controller = controller
+        self.state: TrackedState = TrackedState(controller)
+
+    # -- identity and environment ------------------------------------------
+
+    @property
+    def name(self) -> ProcessId:
+        return self._controller.name
+
+    @property
+    def now(self) -> float:
+        """Current virtual time. Provided for workload logic (timeouts);
+        remember the paper's point that no *global* time exists — the
+        debugging algorithms never consult this."""
+        return self._controller.now
+
+    @property
+    def rng(self) -> "random.Random":
+        """Per-process deterministic random source."""
+        return self._controller.user_rng
+
+    def neighbors_out(self) -> Tuple[ProcessId, ...]:
+        """Processes this one currently has an outgoing channel to."""
+        return self._controller.neighbors_out()
+
+    def neighbors_in(self) -> Tuple[ProcessId, ...]:
+        return self._controller.neighbors_in()
+
+    # -- communication -------------------------------------------------------
+
+    def send(self, dst: ProcessId, payload: Any, tag: Optional[str] = None) -> None:
+        """Send a genuine program message on the channel to ``dst``.
+
+        Raises :class:`~repro.util.errors.TopologyError` if no such channel
+        exists — the paper's model has explicit directed channels, not
+        implicit any-to-any messaging.
+        """
+        self._controller.user_send(dst, payload, tag)
+
+    def create_channel(self, dst: ProcessId) -> None:
+        """Dynamically open a channel to ``dst`` (a §3.2 detectable event)."""
+        self._controller.user_create_channel(dst)
+
+    def destroy_channel(self, dst: ProcessId) -> None:
+        """Close the channel to ``dst``; in-flight messages still arrive."""
+        self._controller.user_destroy_channel(dst)
+
+    # -- timers ---------------------------------------------------------------
+
+    def set_timer(self, name: str, delay: float, payload: Any = None) -> None:
+        """Arm (or re-arm) a named one-shot timer."""
+        self._controller.user_set_timer(name, delay, payload)
+
+    def cancel_timer(self, name: str) -> bool:
+        return self._controller.user_cancel_timer(name)
+
+    # -- detectable occurrences ----------------------------------------------
+
+    @contextlib.contextmanager
+    def procedure(self, name: str) -> Iterator[None]:
+        """Record procedure entry/exit — the canonical Simple Predicate
+        ("stop when procedure X is entered", §1)."""
+        self._controller.note_procedure_entry(name)
+        try:
+            yield
+        finally:
+            self._controller.note_procedure_exit(name)
+
+    def mark(self, detail: str, **attrs: Any) -> None:
+        """Record an application-defined local event (a labelled point in
+        the execution that predicates can reference by name)."""
+        self._controller.note_mark(detail, attrs)
+
+    def terminate(self) -> None:
+        """Terminate this process: it stops receiving user messages and
+        timers. A §3.2 detectable event."""
+        self._controller.user_terminate()

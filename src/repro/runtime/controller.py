@@ -1,0 +1,490 @@
+"""The per-process instrumentation shim.
+
+Every user process is wrapped by one :class:`ProcessController`. The
+controller is "the debugging system" seen from that process's side of the
+fence:
+
+* it turns the process's actions into recorded :class:`~repro.events.Event`s
+  (the paper's 5-tuples) with logical-clock stamps;
+* it routes control messages (markers, debugger commands) to the installed
+  :class:`~repro.runtime.interfaces.ControlPlugin` agents;
+* it implements *halt* mechanically: a halted process executes no user code,
+  and user messages that keep arriving are buffered per incoming channel —
+  those buffers **are** the channel states of the halted global state
+  ``S_h`` (§2.2.1: "each outgoing channel contains undelivered messages with
+  a halt marker as the last one").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
+
+from repro.events.clocks import LamportClock, VectorClock
+from repro.events.event import Event, EventKind
+from repro.network.message import Envelope, MessageKind
+from repro.runtime.context import ProcessContext
+from repro.runtime.interfaces import ControlPlugin
+from repro.runtime.payload import UserMessage
+from repro.runtime.process import Process
+from repro.runtime.state_capture import ProcessStateSnapshot, capture
+from repro.simulation.kernel import PRIORITY_INTERNAL, PRIORITY_TIMER
+from repro.util.errors import RuntimeStateError, TopologyError
+from repro.util.ids import ChannelId, ProcessId
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.system import System
+
+
+class ProcessController:
+    """Instrumentation wrapper around one user process."""
+
+    def __init__(
+        self,
+        system: "System",
+        name: ProcessId,
+        process: Process,
+        vector_clock: VectorClock,
+        user_rng: random.Random,
+        never_halts: bool = False,
+    ) -> None:
+        self.system = system
+        self.name = name
+        self.process = process
+        self.never_halts = never_halts
+        self.user_rng = user_rng
+        self.lamport = LamportClock()
+        self.vector = vector_clock
+        self.ctx = ProcessContext(self)
+        self.halted = False
+        self.terminated = False
+        self.halted_snapshot: Optional[ProcessStateSnapshot] = None
+        #: User envelopes that arrived while halted, in arrival order,
+        #: grouped per incoming channel — the S_h channel states.
+        self.halt_buffers: Dict[ChannelId, List[Envelope]] = {}
+        #: Arrival order across all channels (used to replay on resume).
+        self._halt_buffer_order: List[Envelope] = []
+        #: Channels whose halt marker arrived after we halted: the channel
+        #: is known drained — nothing sent before the sender's halt is still
+        #: in flight (§2.2.1 Lemma 2.2; the determinability metric of E9).
+        self.closed_channels: set = set()
+        self._deferred_timers: List[Tuple[str, Any]] = []
+        self._timer_handles: Dict[str, object] = {}
+        self._timer_seq = 0
+        self._local_seq = 0
+        self._muted = False
+        self._restored = False
+        self._plugins: List[ControlPlugin] = []
+
+    # -- wiring ----------------------------------------------------------------
+
+    def install(self, plugin: ControlPlugin) -> None:
+        plugin.attach(self)
+        self._plugins.append(plugin)
+
+    def plugin_of(self, cls: type) -> Optional[ControlPlugin]:
+        for plugin in self._plugins:
+            if isinstance(plugin, cls):
+                return plugin
+        return None
+
+    # -- environment surface used by ProcessContext ----------------------------
+
+    @property
+    def now(self) -> float:
+        return self.system.kernel.now
+
+    def neighbors_out(self) -> Tuple[ProcessId, ...]:
+        """Application-visible out-neighbours. Debugger processes are
+        control-plane endpoints — their channels exist for markers and
+        commands, and must be invisible to the program under debug (or
+        attaching a debugger would change the program's behaviour)."""
+        return tuple(
+            c.dst for c in self.system.outgoing_channels(self.name)
+            if not self.system.controller(c.dst).never_halts
+        )
+
+    def neighbors_in(self) -> Tuple[ProcessId, ...]:
+        return tuple(
+            c.src for c in self.system.incoming_channels(self.name)
+            if not self.system.controller(c.src).never_halts
+        )
+
+    def outgoing_channels(self) -> Tuple[ChannelId, ...]:
+        """Channels incident on and directed away from this process — the
+        set every marker-sending rule iterates over."""
+        return self.system.outgoing_channels(self.name)
+
+    def incoming_channels(self) -> Tuple[ChannelId, ...]:
+        return self.system.incoming_channels(self.name)
+
+    # -- start / lifecycle -------------------------------------------------------
+
+    def preload(self, snapshot: ProcessStateSnapshot) -> None:
+        """Load a previously captured state before the system starts —
+        the restoration half of halting (see :mod:`repro.halting.restore`).
+        State, clocks, and counters resume where the capture left them; the
+        first events of the new incarnation continue the old causal
+        history."""
+        if self._local_seq or self.ctx.state:
+            raise RuntimeStateError(
+                f"{self.name} already has history; preload before start"
+            )
+        self._muted = True
+        try:
+            self.ctx.state.update(snapshot.state)
+        finally:
+            self._muted = False
+        self.lamport.load(snapshot.lamport)
+        self.vector.load(snapshot.vector)
+        self._local_seq = snapshot.local_seq
+        self.terminated = snapshot.terminated
+        self._restored = True
+
+    def start(self) -> None:
+        if self._restored:
+            # A resurrected process continues, it is not created anew.
+            self.process.on_restore(self.ctx)
+            return
+        self._record(EventKind.PROCESS_CREATED)
+        self.process.on_start(self.ctx)
+
+    def user_terminate(self) -> None:
+        self._require_live("terminate")
+        self._record(EventKind.PROCESS_TERMINATED)
+        self.terminated = True
+
+    # -- user sends ---------------------------------------------------------------
+
+    def user_send(self, dst: ProcessId, payload: Any, tag: Optional[str]) -> None:
+        self._require_live("send")
+        channel_id = ChannelId(self.name, dst)
+        channel = self.system.channel(channel_id)
+        if channel is None:
+            raise TopologyError(
+                f"{self.name!r} has no outgoing channel to {dst!r}"
+            )
+        if self.system.controller(dst).never_halts:
+            raise TopologyError(
+                f"{dst!r} is a debugger process; user messages may not "
+                "travel on control channels"
+            )
+        self.lamport.tick()
+        self.vector.tick()
+        message = UserMessage(
+            payload=payload,
+            tag=tag,
+            lamport=self.lamport.value,
+            vector=self.vector.snapshot(),
+        )
+        channel.send(MessageKind.USER, message)
+        self._record(
+            EventKind.SEND,
+            message=payload,
+            channel=channel_id,
+            detail=tag,
+            tick=False,
+        )
+
+    def user_create_channel(self, dst: ProcessId) -> None:
+        self._require_live("create a channel")
+        channel_id = self.system.create_channel(self.name, dst)
+        self._record(EventKind.CHANNEL_CREATED, channel=channel_id)
+
+    def user_destroy_channel(self, dst: ProcessId) -> None:
+        self._require_live("destroy a channel")
+        channel_id = ChannelId(self.name, dst)
+        self.system.destroy_channel(channel_id)
+        self._record(EventKind.CHANNEL_DESTROYED, channel=channel_id)
+
+    def defer(self, action: Callable[[], None], label: str = "defer") -> None:
+        """Run ``action`` after the current handler step completes.
+
+        Algorithms use this when a decision made *inside* a user handler
+        (e.g. a breakpoint's final stage matching) must take effect at a
+        clean instant — the boundary between two atomic handler steps.
+        Backend-specific: here it is a zero-delay kernel entry; the threaded
+        backend posts to the process's own mailbox.
+        """
+        self.system.kernel.schedule(
+            0.0,
+            action,
+            priority=PRIORITY_INTERNAL,
+            tiebreak=(label, self.name),
+        )
+
+    # -- control-plane sends (no clocks, no user events) ---------------------------
+
+    def send_control(self, channel_id: ChannelId, kind: MessageKind, payload: Any) -> None:
+        """Send a debugging-system message along an existing channel.
+
+        Control sends piggyback the current logical clocks (no user-level
+        event is recorded): happened-before is defined over *all* messages,
+        and the Linked Predicate detector's ordering guarantee travels
+        through these very markers. The sender's clock is *not* ticked —
+        receivers merge (which ticks them), which suffices for the causal
+        chain and keeps the sender's captured state independent of whether
+        it records before (C&L) or after (Halt Routine) sending markers.
+        """
+        channel = self.system.channel(channel_id)
+        if channel is None:
+            raise TopologyError(f"no channel {channel_id} for control send")
+        channel.send(kind, payload, clock=(self.lamport.value, self.vector.snapshot()))
+
+    def broadcast_control(self, kind: MessageKind, payload: Any) -> None:
+        """Send a control message on every outgoing channel."""
+        for channel_id in self.outgoing_channels():
+            self.send_control(channel_id, kind, payload)
+
+    # -- timers ----------------------------------------------------------------------
+
+    def user_set_timer(self, name: str, delay: float, payload: Any) -> None:
+        self._require_live("set a timer")
+        self.user_cancel_timer(name)
+        self._timer_seq += 1
+        handle = self.system.kernel.schedule(
+            delay,
+            lambda: self._timer_fired(name, payload),
+            priority=PRIORITY_TIMER,
+            tiebreak=(self.name, name, self._timer_seq),
+        )
+        self._timer_handles[name] = handle
+
+    def user_cancel_timer(self, name: str) -> bool:
+        handle = self._timer_handles.pop(name, None)
+        if handle is None:
+            return False
+        return self.system.kernel.cancel(handle)  # type: ignore[arg-type]
+
+    def _timer_fired(self, name: str, payload: Any) -> None:
+        self._timer_handles.pop(name, None)
+        if self.terminated:
+            return
+        if self.halted:
+            # Frozen processes accumulate their expirations; they replay on
+            # resume so the program's logic is suspended, not lost.
+            self._deferred_timers.append((name, payload))
+            return
+        event = self._record(EventKind.TIMER, detail=name)
+        self.process.on_timer(self.ctx, name, payload)
+        del event
+
+    # -- deliveries --------------------------------------------------------------------
+
+    def deliver(self, envelope: Envelope) -> None:
+        """Entry point for everything arriving on an incoming channel."""
+        if envelope.kind is MessageKind.USER:
+            self._deliver_user(envelope)
+            return
+        if envelope.clock is not None:
+            lamport, vector = envelope.clock
+            self.lamport.merge(lamport)
+            self.vector.merge(vector)
+        routed = False
+        for plugin in self._plugins:
+            if envelope.kind in plugin.kinds:
+                plugin.on_control(envelope)
+                routed = True
+        if not routed:
+            raise RuntimeStateError(
+                f"{self.name}: no plugin handles {envelope.kind.value} "
+                f"(install the matching coordinator before running)"
+            )
+
+    def _deliver_user(self, envelope: Envelope) -> None:
+        if self.halted or self.terminated:
+            # §2.2.1: a halted process preserves its state; arrivals queue in
+            # the channel. These buffers are the channel states of S_h.
+            self.halt_buffers.setdefault(envelope.channel, []).append(envelope)
+            self._halt_buffer_order.append(envelope)
+            for plugin in self._plugins:
+                plugin.on_user_delivered(envelope, None)
+            return
+        event = self._process_user_envelope(envelope)
+        for plugin in self._plugins:
+            plugin.on_user_delivered(envelope, event)
+
+    def _process_user_envelope(self, envelope: Envelope) -> Event:
+        message = envelope.payload
+        assert isinstance(message, UserMessage), (
+            f"user envelope without UserMessage wrapper: {envelope!r}"
+        )
+        self.lamport.merge(message.lamport)
+        if message.vector:
+            self.vector.merge(message.vector)
+        else:
+            # A clock-less message (e.g. restored from a trace without
+            # clock metadata) still counts as a receive event.
+            self.vector.tick()
+        event = self._record(
+            EventKind.RECEIVE,
+            message=message.payload,
+            channel=envelope.channel,
+            detail=message.tag,
+            tick=False,
+        )
+        self.process.on_message(self.ctx, envelope.src, message.payload)
+        return event
+
+    # -- halting mechanics ----------------------------------------------------------------
+
+    def halt(self, **meta: Any) -> ProcessStateSnapshot:
+        """Freeze this process and capture its state (the Halt Routine's
+        final "Halt;" step). Idempotent halting is a caller bug — the
+        algorithm guarantees a process halts once per cycle."""
+        if self.never_halts:
+            raise RuntimeStateError(f"{self.name} is a debugger process; it never halts")
+        if self.halted:
+            raise RuntimeStateError(f"{self.name} is already halted")
+        snapshot = self.capture_state(**meta)
+        self.halted = True
+        self.halted_snapshot = snapshot
+        for plugin in self._plugins:
+            plugin.on_halted()
+        self._muted = True
+        try:
+            self.process.on_halt(self.ctx)
+        finally:
+            self._muted = False
+        return snapshot
+
+    def resume(self) -> None:
+        """Un-freeze: replay buffered arrivals (per-channel FIFO preserved,
+        cross-channel arrival order preserved) and deferred timers."""
+        if not self.halted:
+            raise RuntimeStateError(f"{self.name} is not halted")
+        self.halted = False
+        self.halted_snapshot = None
+        self.halt_buffers = {}
+        self.closed_channels = set()
+        replay = self._halt_buffer_order
+        self._halt_buffer_order = []
+        timers = self._deferred_timers
+        self._deferred_timers = []
+        self._muted = True
+        try:
+            self.process.on_resume(self.ctx)
+        finally:
+            self._muted = False
+        for plugin in self._plugins:
+            plugin.on_resumed()
+        for envelope in replay:
+            if self.halted:
+                # A plugin or handler may legitimately re-halt mid-replay
+                # (a new breakpoint fired immediately); re-buffer the rest.
+                self.halt_buffers.setdefault(envelope.channel, []).append(envelope)
+                self._halt_buffer_order.append(envelope)
+                continue
+            event = self._process_user_envelope(envelope)
+            for plugin in self._plugins:
+                plugin.on_user_delivered(envelope, event)
+        for name, payload in timers:
+            if self.terminated:
+                break
+            if self.halted:
+                self._deferred_timers.append((name, payload))
+                continue
+            self._record(EventKind.TIMER, detail=name)
+            self.process.on_timer(self.ctx, name, payload)
+
+    def capture_state(self, **meta: Any) -> ProcessStateSnapshot:
+        """Deep-copy the process's current state (C&L "record its state").
+
+        ``armed_timers`` rides along in the metadata: a process with no
+        pending timers is *passive* (it can only act on a message), which
+        is what stable-property detectors (termination) need to know.
+        """
+        meta.setdefault("armed_timers", len(self._timer_handles))
+        return capture(
+            process=self.name,
+            state=self.ctx.state,
+            local_seq=self._local_seq,
+            lamport=self.lamport.value,
+            vector=self.vector.snapshot(),
+            vector_index=self.vector.owner_index,
+            time=self.now,
+            terminated=self.terminated,
+            **meta,
+        )
+
+    def note_channel_closed(self, channel_id: ChannelId) -> None:
+        """The halt marker arrived on ``channel_id`` after we halted: that
+        channel's buffered contents are complete."""
+        self.closed_channels.add(channel_id)
+
+    # -- event recording -------------------------------------------------------------------
+
+    def note_state_change(self, key: str, value: Any, deleted: bool = False) -> None:
+        if self._muted:
+            return
+        attrs = {"key": key, "value": value, "deleted": deleted}
+        self._record(EventKind.STATE_CHANGE, detail=key, attrs=attrs)
+
+    def note_procedure_entry(self, name: str) -> None:
+        if self._muted:
+            return
+        self._record(EventKind.PROCEDURE_ENTRY, detail=name)
+
+    def note_procedure_exit(self, name: str) -> None:
+        if self._muted:
+            return
+        self._record(EventKind.PROCEDURE_EXIT, detail=name)
+
+    def note_mark(self, detail: str, attrs: Dict[str, Any]) -> None:
+        if self._muted:
+            return
+        self._record(EventKind.STATE_CHANGE, detail=detail, attrs=attrs)
+
+    def _record(
+        self,
+        kind: EventKind,
+        message: Any = None,
+        channel: Optional[ChannelId] = None,
+        detail: Optional[str] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+        tick: bool = True,
+    ) -> Event:
+        """Record one user-level event: tick clocks, log, notify plugins.
+
+        ``tick=False`` is used when the caller already advanced the clocks
+        (send/receive paths, which must stamp the *message* with the same
+        timestamp as the event).
+        """
+        if tick:
+            self.lamport.tick()
+            self.vector.tick()
+        self._local_seq += 1
+        state_before = None
+        state_after = None
+        if self.system.capture_states:
+            state_before = dict(self.ctx.state)
+        event = Event(
+            eid=self.system.next_event_id(),
+            process=self.name,
+            kind=kind,
+            time=self.now,
+            lamport=self.lamport.value,
+            vector=self.vector.snapshot(),
+            vector_index=self.vector.owner_index,
+            state_before=state_before,
+            state_after=state_after,
+            message=message,
+            channel=channel,
+            detail=detail,
+            local_seq=self._local_seq,
+            attrs=attrs or {},
+        )
+        self.system.log.append(event)
+        for plugin in self._plugins:
+            plugin.on_local_event(event)
+        return event
+
+    def _require_live(self, action: str) -> None:
+        if self.terminated:
+            raise RuntimeStateError(f"{self.name} is terminated and cannot {action}")
+        if self.halted:
+            raise RuntimeStateError(f"{self.name} is halted and cannot {action}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "halted" if self.halted else ("terminated" if self.terminated else "running")
+        return f"ProcessController({self.name}, {status}, events={self._local_seq})"

@@ -1,0 +1,63 @@
+"""Protocols that decouple the debugging algorithms from the runtime.
+
+The snapshot, halting, and breakpoint algorithms are written against these
+interfaces only. That keeps each algorithm a faithful transcription of the
+paper's rules ("Marker-Sending Rule for a Process p", …) instead of being
+entangled with simulator details, and lets the same algorithm code run on
+the deterministic DES backend and the threaded backend.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.events.event import Event
+from repro.network.message import Envelope
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.controller import ProcessController
+
+
+class ControlPlugin:
+    """Per-process agent of a debugging-system algorithm.
+
+    One instance is attached to each process controller. The controller
+    calls the hooks below at well-defined points; default implementations
+    do nothing so plugins override only what they need.
+    """
+
+    #: Which :class:`MessageKind` values this plugin consumes, e.g.
+    #: ``{MessageKind.HALT_MARKER}``. Control envelopes are routed to the
+    #: plugin(s) whose mask contains the envelope kind.
+    kinds: frozenset = frozenset()
+
+    def attach(self, controller: "ProcessController") -> None:
+        """Called once when the plugin is installed on a controller."""
+        self.controller = controller
+
+    def on_control(self, envelope: Envelope) -> None:
+        """A control envelope of a subscribed kind arrived.
+
+        Called even while the process is halted — halt markers and debugger
+        control must keep flowing (§2.2.3: "user processes are always
+        willing to accept a message from the debugger process").
+        """
+
+    def on_local_event(self, event: Event) -> None:
+        """A user-level event was recorded at this process (send, receive,
+        procedure entry, …). This is where predicate detection watches the
+        execution. Not called while halted."""
+
+    def on_user_delivered(self, envelope: Envelope, event: Optional[Event]) -> None:
+        """A user envelope finished arriving on an incoming channel.
+
+        Called for *every* user arrival, including ones buffered because the
+        process already halted (then ``event`` is None). Snapshot channel
+        recording hangs off this hook.
+        """
+
+    def on_halted(self) -> None:
+        """The process just halted (its state is frozen as of now)."""
+
+    def on_resumed(self) -> None:
+        """The process just resumed after a halt."""

@@ -1,0 +1,48 @@
+"""Wire format of user messages.
+
+User payloads travel wrapped in :class:`UserMessage`, which piggybacks the
+sender's logical clocks. The paper suggests exactly this kind of tagging
+(§3.6); the clocks are consumed only by the instrumentation layer and the
+analysis oracles — the halting/snapshot/predicate algorithms never read
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class UserMessage:
+    """A genuine program message plus piggybacked instrumentation metadata."""
+
+    #: The application payload, exactly as the sender passed to ``ctx.send``.
+    payload: Any
+    #: Optional application-level tag; Simple Predicates can match on it
+    #: (``send(tag)@p``).
+    tag: Optional[str] = None
+    #: Sender's Lamport timestamp at the send event.
+    lamport: int = 0
+    #: Sender's vector clock at the send event.
+    vector: Tuple[int, ...] = field(default=())
+
+    def content_key(self) -> tuple:
+        """Application-visible identity (excludes clocks).
+
+        Channel-state comparisons (experiment E2) compare what the *program*
+        put on the wire. Clocks are identical across the compared runs
+        anyway, but excluding them keeps the comparison honest about what it
+        claims to compare.
+        """
+        return ("user", self.tag, _freeze(self.payload))
+
+
+def _freeze(value: Any) -> Any:
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, set):
+        return tuple(sorted(_freeze(v) for v in value))
+    return value

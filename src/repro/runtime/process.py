@@ -1,0 +1,54 @@
+"""Base class for user processes.
+
+Subclass :class:`Process` and override the ``on_*`` hooks. All interaction
+with the system goes through the :class:`~repro.runtime.context.ProcessContext`
+passed to every hook.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.runtime.context import ProcessContext
+from repro.util.ids import ProcessId
+
+
+class Process:
+    """One user process of the distributed program under debug.
+
+    Hooks (all optional):
+
+    ``on_start``
+        Called once when the system starts; kick off timers / first sends.
+    ``on_message``
+        Called for each genuine program message, in channel-FIFO order.
+    ``on_timer``
+        Called when a timer armed with ``ctx.set_timer`` fires.
+    ``on_halt`` / ``on_resume``
+        Notifications from the debugging system; most workloads ignore them.
+        ``on_halt`` runs *after* the halted state was captured, so it cannot
+        perturb what the debugger observes.
+    """
+
+    def on_start(self, ctx: ProcessContext) -> None:
+        """Initialization hook."""
+
+    def on_message(self, ctx: ProcessContext, src: ProcessId, payload: Any) -> None:
+        """A program message from ``src`` was delivered."""
+
+    def on_timer(self, ctx: ProcessContext, name: str, payload: Any) -> None:
+        """Timer ``name`` fired."""
+
+    def on_halt(self, ctx: ProcessContext) -> None:
+        """The debugging system halted this process."""
+
+    def on_resume(self, ctx: ProcessContext) -> None:
+        """The debugging system resumed this process."""
+
+    def on_restore(self, ctx: ProcessContext) -> None:
+        """Called instead of ``on_start`` when this process is resurrected
+        from a captured global state (:mod:`repro.halting.restore`).
+        ``ctx.state`` is already loaded; the hook's job is to re-arm any
+        timers the old incarnation relied on — pending timers are *not*
+        part of a global state (they are local scheduler artifacts, not
+        process state or channel contents)."""

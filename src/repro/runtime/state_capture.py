@@ -1,0 +1,80 @@
+"""Frozen captures of a single process's state.
+
+Both the C&L snapshot ("each process records its own state") and the Halting
+Algorithm ("the state of each process is preserved", §2.2.1) reduce to
+taking one of these captures at the right instant. Keeping one shared type
+makes the Theorem-2 comparison (`S_h` = `S_r`, experiment E2) a structural
+equality test.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+from repro.util.ids import ProcessId
+
+
+@dataclass(frozen=True)
+class ProcessStateSnapshot:
+    """Deep-copied user state plus instrumentation counters at one instant."""
+
+    process: ProcessId
+    #: Deep copy of the process's ``ctx.state`` dict.
+    state: Dict[str, Any]
+    #: Number of user-level events the process had executed.
+    local_seq: int
+    #: Logical clocks at the capture instant. Identical user executions give
+    #: identical clocks, so these make the E2 comparison strictly stronger.
+    lamport: int
+    vector: Tuple[int, ...]
+    #: This process's component position within ``vector``.
+    vector_index: int
+    #: Virtual time of capture (reporting only — never compared, because the
+    #: halted run and the snapshot run may capture at different wall points).
+    time: float
+    #: Whether the process had terminated before capture.
+    terminated: bool = False
+    #: Free-form extras (e.g. who initiated, halt_id).
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def comparable(self) -> tuple:
+        """Everything Theorem 2 says must match between ``S_h`` and ``S_r``."""
+        return (
+            self.process,
+            _canonical(self.state),
+            self.local_seq,
+            self.lamport,
+            self.vector,
+            self.terminated,
+        )
+
+
+def capture(process: ProcessId, state: Dict[str, Any], local_seq: int,
+            lamport: int, vector: Tuple[int, ...], vector_index: int,
+            time: float, terminated: bool = False,
+            **meta: Any) -> ProcessStateSnapshot:
+    """Take a deep-copied snapshot of ``state`` right now."""
+    return ProcessStateSnapshot(
+        process=process,
+        state=copy.deepcopy(dict(state)),
+        local_seq=local_seq,
+        lamport=lamport,
+        vector=vector,
+        vector_index=vector_index,
+        time=time,
+        terminated=terminated,
+        meta=dict(meta),
+    )
+
+
+def _canonical(value: Any) -> Any:
+    """Recursively convert to a comparable, order-insensitive form."""
+    if isinstance(value, dict):
+        return tuple(sorted((k, _canonical(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical(v) for v in value)
+    if isinstance(value, set):
+        return tuple(sorted(_canonical(v) for v in value))
+    return value

@@ -1,0 +1,246 @@
+"""The DES backend: a whole distributed program wired onto one kernel.
+
+A :class:`System` owns the kernel, the channels, one controller per process,
+and the event log. Determinism contract: two systems built with the same
+topology, processes, latency models, and seed execute identical user-level
+histories — even if different debugging-system traffic is injected into
+them. That contract is what turns Theorem 2 into an executable assertion
+(experiment E2).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.events.clocks import ClockFrame
+from repro.events.log import EventLog
+from repro.network.channel import Channel
+from repro.network.latency import FixedLatency, LatencyModel
+from repro.network.topology import Topology
+from repro.runtime.controller import ProcessController
+from repro.runtime.interfaces import ControlPlugin
+from repro.runtime.process import Process
+from repro.simulation.kernel import SimulationKernel
+from repro.util.errors import ConfigurationError, TopologyError
+from repro.util.ids import ChannelId, ProcessId, SequenceGenerator
+
+
+class System:
+    """A runnable distributed program under instrumentation."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        processes: Mapping[ProcessId, Process],
+        seed: int = 0,
+        latency: Optional[LatencyModel] = None,
+        channel_latencies: Optional[Mapping[ChannelId, LatencyModel]] = None,
+        capture_states: bool = False,
+        never_halt: Iterable[ProcessId] = (),
+        loss_probability: float = 0.0,
+    ) -> None:
+        missing = set(topology.processes) - set(processes)
+        if missing:
+            raise ConfigurationError(f"no Process supplied for {sorted(missing)}")
+        extra = set(processes) - set(topology.processes)
+        if extra:
+            raise ConfigurationError(f"Process supplied for unknown names {sorted(extra)}")
+
+        self.topology = topology
+        self.seed = seed
+        self.capture_states = capture_states
+        self.kernel = SimulationKernel()
+        self.log = EventLog()
+        self.clock_frame = ClockFrame(topology.processes)
+        self._event_ids = SequenceGenerator(start=1)
+        self._message_seqs = SequenceGenerator(start=1)
+        self._default_latency = latency or FixedLatency(1.0)
+        self._channel_latencies = dict(channel_latencies or {})
+        # Violates the §2.1 reliable-channel assumption on purpose; only
+        # the ablation experiments set this.
+        self._loss_probability = loss_probability
+
+        self._channels: Dict[ChannelId, Channel] = {}
+        self._retired_channels: List[Channel] = []
+        self._out: Dict[ProcessId, List[ChannelId]] = {p: [] for p in topology.processes}
+        self._in: Dict[ProcessId, List[ChannelId]] = {p: [] for p in topology.processes}
+
+        never_halt = set(never_halt)
+        self.controllers: Dict[ProcessId, ProcessController] = {}
+        for name in topology.processes:
+            controller = ProcessController(
+                system=self,
+                name=name,
+                process=processes[name],
+                vector_clock=self.clock_frame.clock_for(name),
+                user_rng=random.Random(f"{seed}|proc|{name}"),
+                never_halts=name in never_halt,
+            )
+            self.controllers[name] = controller
+
+        for channel_id in topology.channels:
+            self._wire_channel(channel_id)
+
+        self._started = False
+
+    # -- channel management -------------------------------------------------
+
+    def _wire_channel(self, channel_id: ChannelId) -> Channel:
+        channel = Channel(
+            channel_id=channel_id,
+            kernel=self.kernel,
+            user_rng=random.Random(f"{self.seed}|chan|{channel_id}|user"),
+            control_rng=random.Random(f"{self.seed}|chan|{channel_id}|ctrl"),
+            sequences=self._message_seqs,
+            latency=self._channel_latencies.get(channel_id, self._default_latency),
+            loss_probability=self._loss_probability,
+            loss_rng=random.Random(f"{self.seed}|chan|{channel_id}|loss"),
+        )
+        receiver = self.controllers[channel_id.dst]
+        channel.connect(receiver.deliver)
+        self._channels[channel_id] = channel
+        self._out[channel_id.src].append(channel_id)
+        self._in[channel_id.dst].append(channel_id)
+        return channel
+
+    def create_channel(self, src: ProcessId, dst: ProcessId) -> ChannelId:
+        """Open a new directed channel at runtime."""
+        channel_id = ChannelId(src, dst)
+        if channel_id in self._channels:
+            raise TopologyError(f"channel {channel_id} already exists")
+        if src not in self.controllers or dst not in self.controllers:
+            raise TopologyError(f"unknown endpoint in {channel_id}")
+        if src == dst:
+            raise TopologyError("self-channels are not allowed")
+        self._wire_channel(channel_id)
+        return channel_id
+
+    def destroy_channel(self, channel_id: ChannelId) -> None:
+        """Remove a channel from the topology. In-flight messages still
+        arrive (closing a link does not vaporise packets already sent)."""
+        if channel_id not in self._channels:
+            raise TopologyError(f"no channel {channel_id}")
+        self._out[channel_id.src].remove(channel_id)
+        self._in[channel_id.dst].remove(channel_id)
+        # The Channel object stays alive for in-flight deliveries but is no
+        # longer reachable for new sends. Keep it for stats aggregation.
+        self._retired_channels.append(self._channels.pop(channel_id))
+
+    def channel(self, channel_id: ChannelId) -> Optional[Channel]:
+        return self._channels.get(channel_id)
+
+    def channels(self) -> Tuple[Channel, ...]:
+        return tuple(self._channels.values())
+
+    def outgoing_channels(self, process: ProcessId) -> Tuple[ChannelId, ...]:
+        return tuple(self._out[process])
+
+    def find_path(self, src: ProcessId, dst: ProcessId) -> Optional[List[ProcessId]]:
+        """Shortest hop path along current channels, or None. Used to relay
+        predicate markers between processes with no direct channel."""
+        if src == dst:
+            return [src]
+        frontier = [src]
+        parent: Dict[ProcessId, ProcessId] = {src: src}
+        while frontier:
+            node = frontier.pop(0)
+            for channel_id in self._out[node]:
+                nxt = channel_id.dst
+                if nxt in parent:
+                    continue
+                parent[nxt] = node
+                if nxt == dst:
+                    path = [dst]
+                    while path[-1] != src:
+                        path.append(parent[path[-1]])
+                    return list(reversed(path))
+                frontier.append(nxt)
+        return None
+
+    def incoming_channels(self, process: ProcessId) -> Tuple[ChannelId, ...]:
+        return tuple(self._in[process])
+
+    # -- plugin installation --------------------------------------------------
+
+    def install_on_all(self, factory: Callable[[ProcessController], ControlPlugin]) -> Dict[ProcessId, ControlPlugin]:
+        """Create one plugin per process (via ``factory``) and install it."""
+        installed = {}
+        for name, controller in self.controllers.items():
+            plugin = factory(controller)
+            controller.install(plugin)
+            installed[name] = plugin
+        return installed
+
+    # -- execution ---------------------------------------------------------------
+
+    def controller(self, name: ProcessId) -> ProcessController:
+        try:
+            return self.controllers[name]
+        except KeyError:
+            raise TopologyError(f"unknown process {name!r}") from None
+
+    def start(self) -> None:
+        """Run every process's ``on_start`` (in deterministic name order)."""
+        if self._started:
+            raise ConfigurationError("system already started")
+        self._started = True
+        for name in self.topology.processes:
+            self.controllers[name].start()
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> int:
+        """Start (if needed) and drive the kernel. See ``SimulationKernel.run``."""
+        if not self._started:
+            self.start()
+        return self.kernel.run(until=until, max_events=max_events, stop_when=stop_when)
+
+    def run_to_quiescence(self, max_events: int = 1_000_000) -> int:
+        """Run until no scheduled work remains (or the safety cap trips)."""
+        if not self._started:
+            self.start()
+        executed = self.kernel.run(max_events=max_events)
+        if self.kernel.pending and executed >= max_events:
+            raise ConfigurationError(
+                f"system did not quiesce within {max_events} events; "
+                "the workload probably runs forever — use run(until=...)"
+            )
+        return executed
+
+    # -- inspection -----------------------------------------------------------------
+
+    @property
+    def user_process_names(self) -> Tuple[ProcessId, ...]:
+        return tuple(
+            name for name in self.topology.processes
+            if not self.controllers[name].never_halts
+        )
+
+    def all_user_processes_halted(self) -> bool:
+        return all(
+            self.controllers[name].halted for name in self.user_process_names
+        )
+
+    def state_of(self, name: ProcessId) -> dict:
+        return dict(self.controller(name).ctx.state)
+
+    def next_event_id(self) -> int:
+        return self._event_ids.next()
+
+    def message_totals(self) -> Dict[str, int]:
+        """Aggregate sent-message counts by kind over all channels."""
+        totals: Dict[str, int] = {}
+        for channel in list(self._channels.values()) + self._retired_channels:
+            for kind, count in channel.stats.sent_by_kind.items():
+                totals[kind.value] = totals.get(kind.value, 0) + count
+        return totals
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"System(processes={len(self.controllers)}, "
+            f"channels={len(self._channels)}, t={self.kernel.now:.3f})"
+        )

@@ -1,0 +1,647 @@
+"""Threaded backend: the same programs and algorithms on real threads.
+
+The DES backend proves the algorithms correct under *controlled*
+nondeterminism (seeded interleavings). This backend removes the control:
+every process is an OS thread, channels are queue-fed forwarder threads
+with real (small) sleeps, and the scheduler is the operating system. The
+marker algorithms run unchanged — they only use the controller surface
+(``send_control``, ``halt``, ``outgoing_channels``, ``defer``, …), which
+this module re-implements over threads.
+
+What can be asserted here is what the paper asserts: every halted cut is
+*consistent* (checked by the same oracle), money is conserved, markers
+close channels — not bitwise equality between runs, which genuine
+nondeterminism forecloses. The GIL is irrelevant: message-passing programs
+block on queues, and correctness never depends on parallel speedup.
+"""
+
+from __future__ import annotations
+
+import queue
+import random
+import threading
+import time
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.events.clocks import ClockFrame
+from repro.events.event import Event, EventKind
+from repro.events.log import EventLog
+from repro.network.message import Envelope, MessageKind
+from repro.runtime.context import ProcessContext
+from repro.runtime.interfaces import ControlPlugin
+from repro.runtime.payload import UserMessage
+from repro.runtime.process import Process
+from repro.runtime.state_capture import ProcessStateSnapshot, capture
+from repro.network.topology import Topology
+from repro.util.errors import ConfigurationError, RuntimeStateError, TopologyError
+from repro.util.ids import ChannelId, ProcessId, SequenceGenerator
+
+_STOP = object()
+
+
+class ThreadedChannel:
+    """FIFO link: a queue drained by one forwarder thread that sleeps the
+    sampled latency before handing the envelope to the receiver's mailbox.
+    Serial forwarding makes FIFO structural, exactly like the DES clamp."""
+
+    def __init__(self, channel_id: ChannelId, system: "ThreadedSystem",
+                 latency_range: Tuple[float, float], seed: str) -> None:
+        self.id = channel_id
+        self._system = system
+        self._latency_range = latency_range
+        self._rng = random.Random(seed)
+        self._queue: "queue.Queue" = queue.Queue()
+        self._thread = threading.Thread(
+            target=self._forward_loop, name=f"chan-{channel_id}", daemon=True
+        )
+        self.sent_by_kind: Dict[MessageKind, int] = {k: 0 for k in MessageKind}
+        self._lock = threading.Lock()
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._queue.put(_STOP)
+
+    def join(self, timeout: float = 1.0) -> None:
+        self._thread.join(timeout)
+
+    def send(self, kind: MessageKind, payload: object, clock: object = None) -> Envelope:
+        envelope = Envelope(
+            channel=self.id,
+            kind=kind,
+            payload=payload,
+            send_time=self._system.now,
+            seq=self._system.next_message_seq(),
+            clock=clock,
+        )
+        with self._lock:
+            self.sent_by_kind[kind] += 1
+        self._system.note_activity(+1)
+        self._queue.put(envelope)
+        return envelope
+
+    def _forward_loop(self) -> None:
+        receiver = self._system.controller(self.id.dst)
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            low, high = self._latency_range
+            time.sleep(self._rng.uniform(low, high))
+            # The +1 from send() transfers to the mailbox item; the
+            # receiver's main loop decrements after processing it.
+            receiver.inbox.put(("env", item))
+
+
+class ThreadedController:
+    """Thread-hosted counterpart of the DES ProcessController. Exposes the
+    same surface the algorithm plugins use."""
+
+    def __init__(self, system: "ThreadedSystem", name: ProcessId,
+                 process: Process, never_halts: bool = False) -> None:
+        self.system = system
+        self.name = name
+        self.process = process
+        self.never_halts = never_halts
+        self.user_rng = random.Random(f"{system.seed}|proc|{name}")
+        self.lamport = _Lamport()
+        self.vector = system.clock_frame.clock_for(name)
+        self.ctx = ProcessContext(self)
+        self.halted = False
+        self.terminated = False
+        self.halted_snapshot: Optional[ProcessStateSnapshot] = None
+        self.halt_buffers: Dict[ChannelId, List[Envelope]] = {}
+        self._halt_buffer_order: List[Envelope] = []
+        self.closed_channels: set = set()
+        self._deferred_timers: List[Tuple[str, object]] = []
+        self._timers: Dict[str, threading.Timer] = {}
+        self._timer_gen: Dict[str, int] = {}
+        self._local_seq = 0
+        self._muted = False
+        self._plugins: List[ControlPlugin] = []
+        self.inbox: "queue.Queue" = queue.Queue()
+        self._thread = threading.Thread(
+            target=self._main_loop, name=f"proc-{name}", daemon=True
+        )
+
+    # -- wiring ------------------------------------------------------------
+
+    def install(self, plugin: ControlPlugin) -> None:
+        plugin.attach(self)
+        self._plugins.append(plugin)
+
+    def plugin_of(self, cls: type) -> Optional[ControlPlugin]:
+        for plugin in self._plugins:
+            if isinstance(plugin, cls):
+                return plugin
+        return None
+
+    # -- surface used by ProcessContext and plugins ---------------------------
+
+    @property
+    def now(self) -> float:
+        return self.system.now
+
+    def neighbors_out(self) -> Tuple[ProcessId, ...]:
+        return tuple(
+            c.dst for c in self.system.outgoing_channels(self.name)
+            if not self.system.controller(c.dst).never_halts
+        )
+
+    def neighbors_in(self) -> Tuple[ProcessId, ...]:
+        return tuple(
+            c.src for c in self.system.incoming_channels(self.name)
+            if not self.system.controller(c.src).never_halts
+        )
+
+    def outgoing_channels(self) -> Tuple[ChannelId, ...]:
+        return self.system.outgoing_channels(self.name)
+
+    def incoming_channels(self) -> Tuple[ChannelId, ...]:
+        return self.system.incoming_channels(self.name)
+
+    def defer(self, action: Callable[[], None], label: str = "defer") -> None:
+        self.system.note_activity(+1)
+        self.inbox.put(("call", action))
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def join(self, timeout: float = 2.0) -> None:
+        self._thread.join(timeout)
+
+    def _main_loop(self) -> None:
+        self._record(EventKind.PROCESS_CREATED)
+        self.process.on_start(self.ctx)
+        self.system.note_activity(-1)  # balances the start credit
+        while True:
+            item = self.inbox.get()
+            if item is _STOP:
+                return
+            try:
+                self._dispatch(item)
+            finally:
+                self.system.note_activity(-1)
+
+    def _dispatch(self, item: Tuple) -> None:
+        kind = item[0]
+        if kind == "env":
+            self._deliver(item[1])
+        elif kind == "timer":
+            self._timer_fired(item[1], item[2], item[3])
+        elif kind == "call":
+            item[1]()
+        else:  # pragma: no cover - defensive
+            raise RuntimeStateError(f"unknown mailbox item {item!r}")
+
+    # -- deliveries -------------------------------------------------------------------
+
+    def _deliver(self, envelope: Envelope) -> None:
+        if envelope.kind is MessageKind.USER:
+            self._deliver_user(envelope)
+            return
+        if envelope.clock is not None:
+            lamport, vector = envelope.clock
+            self.lamport.merge(lamport)
+            self.vector.merge(vector)
+        routed = False
+        for plugin in self._plugins:
+            if envelope.kind in plugin.kinds:
+                plugin.on_control(envelope)
+                routed = True
+        if not routed:
+            raise RuntimeStateError(
+                f"{self.name}: no plugin handles {envelope.kind.value}"
+            )
+
+    def _deliver_user(self, envelope: Envelope) -> None:
+        if self.halted or self.terminated:
+            self.halt_buffers.setdefault(envelope.channel, []).append(envelope)
+            self._halt_buffer_order.append(envelope)
+            for plugin in self._plugins:
+                plugin.on_user_delivered(envelope, None)
+            return
+        event = self._process_user_envelope(envelope)
+        for plugin in self._plugins:
+            plugin.on_user_delivered(envelope, event)
+
+    def _process_user_envelope(self, envelope: Envelope) -> Event:
+        message = envelope.payload
+        assert isinstance(message, UserMessage)
+        self.lamport.merge(message.lamport)
+        if message.vector:
+            self.vector.merge(message.vector)
+        else:
+            self.vector.tick()
+        event = self._record(
+            EventKind.RECEIVE,
+            message=message.payload,
+            channel=envelope.channel,
+            detail=message.tag,
+            tick=False,
+        )
+        self.process.on_message(self.ctx, envelope.src, message.payload)
+        return event
+
+    # -- user actions (via ProcessContext) ------------------------------------------------
+
+    def user_send(self, dst: ProcessId, payload: object, tag: Optional[str]) -> None:
+        self._require_live("send")
+        channel = self.system.channel(ChannelId(self.name, dst))
+        if channel is None:
+            raise TopologyError(f"{self.name!r} has no outgoing channel to {dst!r}")
+        if self.system.controller(dst).never_halts:
+            raise TopologyError(f"{dst!r} is a debugger/monitor process")
+        self.lamport.tick()
+        self.vector.tick()
+        message = UserMessage(
+            payload=payload, tag=tag,
+            lamport=self.lamport.value, vector=self.vector.snapshot(),
+        )
+        channel.send(MessageKind.USER, message)
+        self._record(
+            EventKind.SEND, message=payload,
+            channel=channel.id, detail=tag, tick=False,
+        )
+
+    def user_create_channel(self, dst: ProcessId) -> None:
+        raise ConfigurationError("dynamic channels are DES-backend-only")
+
+    def user_destroy_channel(self, dst: ProcessId) -> None:
+        raise ConfigurationError("dynamic channels are DES-backend-only")
+
+    def user_set_timer(self, name: str, delay: float, payload: object) -> None:
+        self._require_live("set a timer")
+        self.user_cancel_timer(name)
+        scaled = delay * self.system.time_scale
+        generation = self._timer_gen.get(name, 0) + 1
+        self._timer_gen[name] = generation
+        timer = threading.Timer(
+            scaled, self._timer_post, args=(name, payload, generation)
+        )
+        timer.daemon = True
+        self._timers[name] = timer
+        timer.start()
+
+    def _timer_post(self, name: str, payload: object, generation: int) -> None:
+        # Armed timers are tracked via self._timers for quiescence; the
+        # activity credit starts only when the expiration enters the mailbox.
+        self.system.note_activity(+1)
+        self.inbox.put(("timer", name, payload, generation))
+
+    def user_cancel_timer(self, name: str) -> bool:
+        timer = self._timers.pop(name, None)
+        if timer is None:
+            return False
+        timer.cancel()
+        return True
+
+    def _timer_fired(self, name: str, payload: object, generation: int) -> None:
+        if self._timer_gen.get(name) != generation:
+            return  # stale expiration of a cancelled/re-armed timer
+        self._timers.pop(name, None)
+        if self.terminated:
+            return
+        if self.halted:
+            self._deferred_timers.append((name, payload))
+            return
+        self._record(EventKind.TIMER, detail=name)
+        self.process.on_timer(self.ctx, name, payload)
+
+    def user_terminate(self) -> None:
+        self._require_live("terminate")
+        self._record(EventKind.PROCESS_TERMINATED)
+        self.terminated = True
+
+    # -- control plane ------------------------------------------------------------------------
+
+    def send_control(self, channel_id: ChannelId, kind: MessageKind, payload: object) -> None:
+        channel = self.system.channel(channel_id)
+        if channel is None:
+            raise TopologyError(f"no channel {channel_id} for control send")
+        # No tick on control sends — see the DES controller's send_control.
+        channel.send(kind, payload, clock=(self.lamport.value, self.vector.snapshot()))
+
+    # -- halting ----------------------------------------------------------------------------------
+
+    def halt(self, **meta: object) -> ProcessStateSnapshot:
+        if self.never_halts:
+            raise RuntimeStateError(f"{self.name} never halts")
+        if self.halted:
+            raise RuntimeStateError(f"{self.name} already halted")
+        snapshot = self.capture_state(**meta)
+        self.halted = True
+        self.halted_snapshot = snapshot
+        for plugin in self._plugins:
+            plugin.on_halted()
+        self._muted = True
+        try:
+            self.process.on_halt(self.ctx)
+        finally:
+            self._muted = False
+        return snapshot
+
+    def resume(self) -> None:
+        if not self.halted:
+            raise RuntimeStateError(f"{self.name} is not halted")
+        self.halted = False
+        self.halted_snapshot = None
+        self.halt_buffers = {}
+        self.closed_channels = set()
+        replay = self._halt_buffer_order
+        self._halt_buffer_order = []
+        timers = self._deferred_timers
+        self._deferred_timers = []
+        self._muted = True
+        try:
+            self.process.on_resume(self.ctx)
+        finally:
+            self._muted = False
+        for plugin in self._plugins:
+            plugin.on_resumed()
+        for envelope in replay:
+            if self.halted:
+                self.halt_buffers.setdefault(envelope.channel, []).append(envelope)
+                self._halt_buffer_order.append(envelope)
+                continue
+            event = self._process_user_envelope(envelope)
+            for plugin in self._plugins:
+                plugin.on_user_delivered(envelope, event)
+        for name, payload in timers:
+            if self.terminated or self.halted:
+                self._deferred_timers.append((name, payload))
+                continue
+            self._record(EventKind.TIMER, detail=name)
+            self.process.on_timer(self.ctx, name, payload)
+
+    def capture_state(self, **meta: object) -> ProcessStateSnapshot:
+        return capture(
+            process=self.name,
+            state=self.ctx.state,
+            local_seq=self._local_seq,
+            lamport=self.lamport.value,
+            vector=self.vector.snapshot(),
+            vector_index=self.vector.owner_index,
+            time=self.now,
+            terminated=self.terminated,
+            **meta,
+        )
+
+    def note_channel_closed(self, channel_id: ChannelId) -> None:
+        self.closed_channels.add(channel_id)
+
+    # -- event recording ------------------------------------------------------------------------------
+
+    def note_state_change(self, key: str, value: object, deleted: bool = False) -> None:
+        if self._muted:
+            return
+        self._record(
+            EventKind.STATE_CHANGE, detail=key,
+            attrs={"key": key, "value": value, "deleted": deleted},
+        )
+
+    def note_procedure_entry(self, name: str) -> None:
+        if not self._muted:
+            self._record(EventKind.PROCEDURE_ENTRY, detail=name)
+
+    def note_procedure_exit(self, name: str) -> None:
+        if not self._muted:
+            self._record(EventKind.PROCEDURE_EXIT, detail=name)
+
+    def note_mark(self, detail: str, attrs: Dict[str, object]) -> None:
+        if not self._muted:
+            self._record(EventKind.STATE_CHANGE, detail=detail, attrs=attrs)
+
+    def _record(self, kind: EventKind, message: object = None,
+                channel: Optional[ChannelId] = None, detail: Optional[str] = None,
+                attrs: Optional[Dict[str, object]] = None, tick: bool = True) -> Event:
+        if tick:
+            self.lamport.tick()
+            self.vector.tick()
+        self._local_seq += 1
+        event_args = dict(
+            process=self.name,
+            kind=kind,
+            time=self.now,
+            lamport=self.lamport.value,
+            vector=self.vector.snapshot(),
+            vector_index=self.vector.owner_index,
+            message=message,
+            channel=channel,
+            detail=detail,
+            local_seq=self._local_seq,
+            attrs=attrs or {},
+        )
+        event = self.system.record_event(event_args)
+        for plugin in self._plugins:
+            plugin.on_local_event(event)
+        return event
+
+    def _require_live(self, action: str) -> None:
+        if self.terminated:
+            raise RuntimeStateError(f"{self.name} is terminated and cannot {action}")
+        if self.halted:
+            raise RuntimeStateError(f"{self.name} is halted and cannot {action}")
+
+
+class _Lamport:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def tick(self) -> int:
+        self.value += 1
+        return self.value
+
+    def merge(self, received: int) -> int:
+        self.value = max(self.value, received) + 1
+        return self.value
+
+
+class ThreadedSystem:
+    """Thread-per-process runtime with the System API subset plugins use."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        processes: Mapping[ProcessId, Process],
+        seed: int = 0,
+        latency_range: Tuple[float, float] = (0.0005, 0.003),
+        time_scale: float = 0.01,
+        never_halt: Iterable[ProcessId] = (),
+    ) -> None:
+        missing = set(topology.processes) - set(processes)
+        if missing:
+            raise ConfigurationError(f"no Process supplied for {sorted(missing)}")
+        self.topology = topology
+        self.seed = seed
+        self.time_scale = time_scale
+        self.capture_states = False
+        self.clock_frame = ClockFrame(topology.processes)
+        self.log = EventLog()
+        self._log_lock = threading.Lock()
+        self._event_ids = SequenceGenerator(start=1)
+        self._message_seqs = SequenceGenerator(start=1)
+        self._activity = 0
+        self._activity_lock = threading.Lock()
+        self._epoch = time.monotonic()
+
+        never_halt = set(never_halt)
+        self.controllers: Dict[ProcessId, ThreadedController] = {
+            name: ThreadedController(
+                self, name, processes[name], never_halts=name in never_halt
+            )
+            for name in topology.processes
+        }
+        self._channels: Dict[ChannelId, ThreadedChannel] = {
+            channel_id: ThreadedChannel(
+                channel_id, self, latency_range, f"{seed}|chan|{channel_id}"
+            )
+            for channel_id in topology.channels
+        }
+        self._out: Dict[ProcessId, List[ChannelId]] = {p: [] for p in topology.processes}
+        self._in: Dict[ProcessId, List[ChannelId]] = {p: [] for p in topology.processes}
+        for channel_id in topology.channels:
+            self._out[channel_id.src].append(channel_id)
+            self._in[channel_id.dst].append(channel_id)
+        self._started = False
+
+    # -- surface shared with the DES System -----------------------------------
+
+    @property
+    def now(self) -> float:
+        return time.monotonic() - self._epoch
+
+    def controller(self, name: ProcessId) -> ThreadedController:
+        return self.controllers[name]
+
+    def channel(self, channel_id: ChannelId) -> Optional[ThreadedChannel]:
+        return self._channels.get(channel_id)
+
+    def outgoing_channels(self, process: ProcessId) -> Tuple[ChannelId, ...]:
+        return tuple(self._out[process])
+
+    def incoming_channels(self, process: ProcessId) -> Tuple[ChannelId, ...]:
+        return tuple(self._in[process])
+
+    def find_path(self, src: ProcessId, dst: ProcessId) -> Optional[List[ProcessId]]:
+        if src == dst:
+            return [src]
+        frontier = [src]
+        parent = {src: src}
+        while frontier:
+            node = frontier.pop(0)
+            for channel_id in self._out[node]:
+                nxt = channel_id.dst
+                if nxt in parent:
+                    continue
+                parent[nxt] = node
+                if nxt == dst:
+                    path = [dst]
+                    while path[-1] != src:
+                        path.append(parent[path[-1]])
+                    return list(reversed(path))
+                frontier.append(nxt)
+        return None
+
+    @property
+    def user_process_names(self) -> Tuple[ProcessId, ...]:
+        return tuple(
+            n for n in self.topology.processes
+            if not self.controllers[n].never_halts
+        )
+
+    def all_user_processes_halted(self) -> bool:
+        return all(self.controllers[n].halted for n in self.user_process_names)
+
+    def state_of(self, name: ProcessId) -> dict:
+        return dict(self.controllers[name].ctx.state)
+
+    def message_totals(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for channel in self._channels.values():
+            for kind, count in channel.sent_by_kind.items():
+                totals[kind.value] = totals.get(kind.value, 0) + count
+        return totals
+
+    # -- bookkeeping ----------------------------------------------------------------
+
+    def record_event(self, event_args: Dict) -> Event:
+        with self._log_lock:
+            event = Event(eid=self._event_ids.next(), **event_args)
+            self.log.append(event)
+        return event
+
+    def next_message_seq(self) -> int:
+        return self._message_seqs.next()
+
+    def note_activity(self, delta: int) -> None:
+        with self._activity_lock:
+            self._activity += delta
+
+    @property
+    def pending_activity(self) -> int:
+        with self._activity_lock:
+            return self._activity
+
+    # -- execution ----------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            raise ConfigurationError("already started")
+        self._started = True
+        for channel in self._channels.values():
+            channel.start()
+        for name in self.topology.processes:
+            # Credit one activity unit per on_start so quiescence detection
+            # cannot trigger before startup completes.
+            self.note_activity(+1)
+            self.controllers[name].start()
+
+    def run_until(self, condition: Callable[[], bool], timeout: float = 30.0,
+                  poll: float = 0.002) -> bool:
+        """Wait until ``condition()`` holds. Returns False on timeout."""
+        if not self._started:
+            self.start()
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if condition():
+                return True
+            time.sleep(poll)
+        return condition()
+
+    def settle(self, quiet: float = 0.05, timeout: float = 30.0) -> bool:
+        """Wait for quiescence: no in-flight messages, empty mailboxes, no
+        armed timers, stable for ``quiet`` seconds."""
+        if not self._started:
+            self.start()
+        deadline = time.monotonic() + timeout
+        quiet_since: Optional[float] = None
+        while time.monotonic() < deadline:
+            busy = self.pending_activity > 0 or any(
+                not c.inbox.empty() for c in self.controllers.values()
+            ) or any(c._timers for c in self.controllers.values())
+            if busy:
+                quiet_since = None
+            elif quiet_since is None:
+                quiet_since = time.monotonic()
+            elif time.monotonic() - quiet_since >= quiet:
+                return True
+            time.sleep(0.005)
+        return False
+
+    def shutdown(self) -> None:
+        for channel in self._channels.values():
+            channel.stop()
+        for controller in self.controllers.values():
+            for timer in list(controller._timers.values()):
+                timer.cancel()
+            controller.inbox.put(_STOP)
+        for controller in self.controllers.values():
+            controller.join()
+        for channel in self._channels.values():
+            channel.join()

@@ -1,0 +1,17 @@
+"""Deterministic discrete-event simulation substrate."""
+
+from repro.simulation.kernel import (
+    PRIORITY_DELIVERY,
+    PRIORITY_INTERNAL,
+    PRIORITY_TIMER,
+    EventHandle,
+    SimulationKernel,
+)
+
+__all__ = [
+    "EventHandle",
+    "PRIORITY_DELIVERY",
+    "PRIORITY_INTERNAL",
+    "PRIORITY_TIMER",
+    "SimulationKernel",
+]

@@ -1,0 +1,221 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel is the virtual clock that every other subsystem runs on. It is a
+priority queue of ``(time, priority, sequence, callback)`` entries. Two
+properties matter for this reproduction:
+
+* **Determinism.** Entries scheduled at the same virtual time fire in a fixed
+  order (priority, then insertion order). Determinism is what lets experiment
+  E2 compare the *halted* state ``S_h`` of one run against the *recorded*
+  snapshot ``S_r`` of an identical run and demand exact equality (Theorem 2
+  of the paper).
+* **Virtual time.** The paper's algorithms are asynchronous and correct under
+  arbitrary finite message delays; the kernel realises "unpredictable
+  communication delays" (§1) as seeded random latencies, so sweeping seeds
+  sweeps over interleavings.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.util.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class EventHandle:
+    """Token returned by :meth:`SimulationKernel.schedule`; allows cancel."""
+
+    time: float
+    priority: int
+    sequence: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EventHandle(t={self.time}, prio={self.priority}, seq={self.sequence})"
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    priority: int
+    tiebreak: tuple
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class SimulationKernel:
+    """Single-threaded virtual-time scheduler.
+
+    Callbacks are zero-argument callables; closures carry their own state.
+    The kernel never swallows exceptions: an exception raised by a callback
+    aborts :meth:`run`, because a failed assertion inside an algorithm step
+    must fail the experiment loudly.
+    """
+
+    def __init__(self) -> None:
+        self._queue: List[_Entry] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self._events_executed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Total callbacks executed so far (a cheap progress metric)."""
+        return self._events_executed
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled, not-yet-cancelled entries."""
+        return sum(1 for entry in self._queue if not entry.cancelled)
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+        tiebreak: tuple = (),
+    ) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` after the current time.
+
+        Entries at equal virtual time fire in ``(priority, tiebreak,
+        insertion order)`` order, lower first. ``tiebreak`` exists for
+        cross-run determinism: channel deliveries pass a key derived from the
+        channel identity, not from global insertion order, so two executions
+        that differ only in *control* traffic (e.g. a halting run vs a
+        snapshot run, experiment E2) order their equal-time user deliveries
+        identically. Delays must be non-negative.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        sequence = next(self._sequence)
+        entry = _Entry(self._now + delay, priority, tiebreak, sequence, callback)
+        heapq.heappush(self._queue, entry)
+        return EventHandle(entry.time, priority, sequence)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+        tiebreak: tuple = (),
+    ) -> EventHandle:
+        """Schedule ``callback`` at an absolute virtual time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} < now={self._now}"
+            )
+        return self.schedule(time - self._now, callback, priority, tiebreak)
+
+    def cancel(self, handle: EventHandle) -> bool:
+        """Cancel a scheduled entry. Returns ``True`` if it was still pending.
+
+        Cancellation is lazy: the entry is flagged and skipped when popped,
+        which keeps cancel O(n) scan-free and the heap intact.
+        """
+        for entry in self._queue:
+            if (
+                entry.sequence == handle.sequence
+                and entry.time == handle.time
+                and not entry.cancelled
+            ):
+                entry.cancelled = True
+                return True
+        return False
+
+    def step(self) -> bool:
+        """Execute the next pending entry. Returns ``False`` when drained."""
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            if entry.cancelled:
+                continue
+            if entry.time < self._now:
+                raise SimulationError(
+                    f"time went backward: entry at {entry.time}, now {self._now}"
+                )
+            self._now = entry.time
+            self._events_executed += 1
+            entry.callback()
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> int:
+        """Run entries until the queue drains or a bound is reached.
+
+        ``until``
+            Stop before executing any entry scheduled strictly after this
+            virtual time (the clock still advances to ``until``).
+        ``max_events``
+            Stop after executing this many entries in this call.
+        ``stop_when``
+            Checked after every entry; return ``True`` to stop early. Used by
+            debug sessions to stop as soon as every process halted.
+
+        Returns the number of entries executed by this call. Re-entrant calls
+        (``run`` from inside a callback) are rejected.
+        """
+        if self._running:
+            raise SimulationError("SimulationKernel.run is not re-entrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                if max_events is not None and executed >= max_events:
+                    break
+                head = self._peek()
+                if head is None:
+                    break
+                if until is not None and head.time > until:
+                    self._now = max(self._now, until)
+                    break
+                if not self.step():
+                    break
+                executed += 1
+                if stop_when is not None and stop_when():
+                    break
+            else:
+                if until is not None:
+                    self._now = max(self._now, until)
+        finally:
+            self._running = False
+        return executed
+
+    def _peek(self) -> Optional[_Entry]:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0] if self._queue else None
+
+    def drain_cancelled(self) -> None:
+        """Physically remove cancelled entries (housekeeping for long runs)."""
+        live = [entry for entry in self._queue if not entry.cancelled]
+        heapq.heapify(live)
+        self._queue = live
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimulationKernel(now={self._now}, pending={self.pending}, "
+            f"executed={self._events_executed})"
+        )
+
+
+# Priorities used across the library. Lower fires first at equal time.
+# Control-plane deliveries intentionally use the same priority as user
+# deliveries: the paper's channels are FIFO and markers travel *in band*,
+# so giving markers a different priority would violate the channel model.
+PRIORITY_DELIVERY = 0
+PRIORITY_TIMER = 1
+PRIORITY_INTERNAL = 2

@@ -1,0 +1,20 @@
+"""Chandy & Lamport global snapshots (§2.1) — the baseline substrate."""
+
+from repro.snapshot.chandy_lamport import (
+    SnapshotAgent,
+    SnapshotCoordinator,
+    SnapshotMarker,
+)
+from repro.snapshot.monitor import MonitorRecord, SnapshotMonitor, terminated
+from repro.snapshot.state import ChannelState, GlobalState
+
+__all__ = [
+    "ChannelState",
+    "GlobalState",
+    "MonitorRecord",
+    "SnapshotAgent",
+    "SnapshotCoordinator",
+    "SnapshotMarker",
+    "SnapshotMonitor",
+    "terminated",
+]

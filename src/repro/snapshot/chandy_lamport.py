@@ -1,0 +1,222 @@
+"""Chandy & Lamport's global-snapshot algorithm (the paper's §2.1 restatement).
+
+This is the *baseline* the Halting Algorithm is derived from and proved
+equivalent to. The transcription below keeps the paper's two rules literal:
+
+    Marker-Sending Rule for a process p:
+        for each channel c, incident on and directed away from p, p sends
+        one marker along c after p records its state and before p sends
+        further messages along c.
+
+    Marker-Receiving Rule for a process q, on receiving a marker along c:
+        if q has not recorded its state then
+            q records its state; q records the state of c as empty
+        else
+            q records the state of c as the sequence of messages received
+            along c after q's state was recorded and before q received the
+            marker along c.
+
+"before p sends further messages" holds structurally here: recording and
+marker sending happen synchronously inside one plugin callback, and user
+code cannot run in between.
+
+Engineering addition (also made by the paper for halting): markers carry a
+``snapshot_id`` generation number so that repeated snapshots of the same
+system don't confuse each other and simultaneous initiations of the *same*
+snapshot merge, while stale markers are ignored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.network.message import Envelope, MessageKind
+from repro.runtime.controller import ProcessController
+from repro.runtime.interfaces import ControlPlugin
+from repro.runtime.payload import UserMessage
+from repro.runtime.state_capture import ProcessStateSnapshot
+from repro.runtime.system import System
+from repro.snapshot.state import ChannelState, GlobalState
+from repro.util.errors import SnapshotError
+from repro.util.ids import ChannelId, ProcessId
+
+
+@dataclass(frozen=True)
+class SnapshotMarker:
+    """The C&L marker, tagged with a generation number."""
+
+    snapshot_id: int
+
+
+class SnapshotAgent(ControlPlugin):
+    """Per-process side of the C&L algorithm."""
+
+    kinds = frozenset({MessageKind.SNAPSHOT_MARKER})
+
+    def __init__(self, controller: ProcessController,
+                 on_complete: Callable[["SnapshotAgent"], None]) -> None:
+        self.attach(controller)
+        self._on_complete = on_complete
+        self.snapshot_id = 0
+        self.recorded_state: Optional[ProcessStateSnapshot] = None
+        self._recording: Dict[ChannelId, List[UserMessage]] = {}
+        self._closed: Set[ChannelId] = set()
+        self._participating = False
+
+    # -- the Marker-Sending Rule -------------------------------------------
+
+    def initiate(self, snapshot_id: int) -> None:
+        """Spontaneously record (an initiating process of the algorithm)."""
+        if snapshot_id <= self.snapshot_id:
+            raise SnapshotError(
+                f"snapshot id must increase: {snapshot_id} <= {self.snapshot_id}"
+            )
+        self._record_and_send_markers(snapshot_id)
+
+    def _record_and_send_markers(self, snapshot_id: int) -> None:
+        self.snapshot_id = snapshot_id
+        self.recorded_state = self.controller.capture_state(
+            snapshot_id=snapshot_id
+        )
+        self._recording = {}
+        self._closed = set()
+        self._participating = True
+        marker = SnapshotMarker(snapshot_id=snapshot_id)
+        for channel_id in self.controller.outgoing_channels():
+            self.controller.send_control(
+                channel_id, MessageKind.SNAPSHOT_MARKER, marker
+            )
+        self._check_complete()
+
+    # -- the Marker-Receiving Rule --------------------------------------------
+
+    def on_control(self, envelope: Envelope) -> None:
+        marker = envelope.payload
+        assert isinstance(marker, SnapshotMarker)
+        if marker.snapshot_id < self.snapshot_id:
+            return  # stale marker from a previous generation
+        if marker.snapshot_id > self.snapshot_id or self.recorded_state is None:
+            # First marker of this generation: record own state, the channel
+            # the marker arrived on is empty.
+            self._record_and_send_markers(marker.snapshot_id)
+            self._close_channel(envelope.channel, [])
+        else:
+            # Already recorded: the channel state is what arrived since.
+            self._close_channel(
+                envelope.channel, self._recording.pop(envelope.channel, [])
+            )
+
+    def _close_channel(self, channel_id: ChannelId, messages: List[UserMessage]) -> None:
+        if channel_id in self._closed:
+            raise SnapshotError(
+                f"{self.controller.name}: duplicate marker on {channel_id} "
+                f"for snapshot {self.snapshot_id}"
+            )
+        self._closed.add(channel_id)
+        self._recording[channel_id] = messages
+        self._check_complete()
+
+    # -- channel recording ---------------------------------------------------------
+
+    def on_user_delivered(self, envelope: Envelope, event) -> None:
+        if not self._participating or self.recorded_state is None:
+            return
+        if envelope.channel in self._closed:
+            return
+        message = envelope.payload
+        assert isinstance(message, UserMessage)
+        self._recording.setdefault(envelope.channel, []).append(message)
+
+    # -- completion --------------------------------------------------------------------
+
+    def expected_channels(self) -> Tuple[ChannelId, ...]:
+        """Incoming channels that will eventually carry a marker: those whose
+        sender runs the algorithm (debugger processes never record)."""
+        return tuple(
+            c for c in self.controller.incoming_channels()
+            if not self.controller.system.controller(c.src).never_halts
+        )
+
+    @property
+    def complete(self) -> bool:
+        return (
+            self.recorded_state is not None
+            and set(self.expected_channels()) <= self._closed
+        )
+
+    def _check_complete(self) -> None:
+        if self._participating and self.complete:
+            self._participating = False
+            self._on_complete(self)
+
+    def channel_states(self) -> Dict[ChannelId, ChannelState]:
+        return {
+            channel_id: ChannelState(
+                channel=channel_id,
+                messages=tuple(messages),
+                complete=channel_id in self._closed,
+            )
+            for channel_id, messages in self._recording.items()
+        }
+
+
+class SnapshotCoordinator:
+    """Harness-side driver: installs agents, initiates, assembles ``S_r``.
+
+    The coordinator is observation scaffolding, not part of the distributed
+    algorithm — it never influences the run, it only initiates (as "one or
+    more processes spontaneously record") and gathers results for analysis.
+    """
+
+    def __init__(self, system: System) -> None:
+        self.system = system
+        self._next_id = 1
+        self._complete_agents: Set[ProcessId] = set()
+        self.agents: Dict[ProcessId, SnapshotAgent] = {}
+        for name in system.topology.processes:
+            controller = system.controller(name)
+            agent = SnapshotAgent(controller, self._agent_complete)
+            controller.install(agent)
+            self.agents[name] = agent
+
+    def _agent_complete(self, agent: SnapshotAgent) -> None:
+        self._complete_agents.add(agent.controller.name)
+
+    def initiate(self, processes: Optional[List[ProcessId]] = None) -> int:
+        """Trigger one snapshot generation from the given initiator(s)."""
+        snapshot_id = self._next_id
+        self._next_id += 1
+        self._complete_agents = set()
+        initiators = processes or [self.system.user_process_names[0]]
+        for name in initiators:
+            if self.system.controller(name).never_halts:
+                raise SnapshotError(f"{name} is a debugger process; it does not record")
+            self.agents[name].initiate(snapshot_id)
+        return snapshot_id
+
+    def is_complete(self) -> bool:
+        participants = set(self.system.user_process_names)
+        return participants <= self._complete_agents
+
+    def collect(self) -> GlobalState:
+        """Assemble ``S_r`` once every participating agent finished."""
+        if not self.is_complete():
+            missing = set(self.system.user_process_names) - self._complete_agents
+            raise SnapshotError(f"snapshot incomplete; waiting on {sorted(missing)}")
+        processes: Dict[ProcessId, ProcessStateSnapshot] = {}
+        channels: Dict[ChannelId, ChannelState] = {}
+        generation = 0
+        for name in self.system.user_process_names:
+            agent = self.agents[name]
+            assert agent.recorded_state is not None
+            processes[name] = agent.recorded_state
+            channels.update(agent.channel_states())
+            generation = max(generation, agent.snapshot_id)
+        return GlobalState(
+            origin="snapshot",
+            processes=processes,
+            channels=channels,
+            generation=generation,
+            meta={"clock_frame": list(self.system.clock_frame.order)},
+        )

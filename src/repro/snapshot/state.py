@@ -1,0 +1,84 @@
+"""Global states: the paper's ``S_r`` (recorded) and ``S_h`` (halted).
+
+§2.1: "A global state S_r consists of the states of processes of the
+computation and the states of channels." Both the snapshot algorithm and
+the Halting Algorithm produce a :class:`GlobalState`; Theorem 2 says the two
+are the same, and :func:`repro.analysis.equivalence.states_equivalent`
+checks exactly the two clauses of the paper's claim:
+
+1. per-process states match, and
+2. per-channel undelivered/recorded message sequences match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.runtime.payload import UserMessage
+from repro.runtime.state_capture import ProcessStateSnapshot
+from repro.util.ids import ChannelId, ProcessId
+
+
+@dataclass(frozen=True)
+class ChannelState:
+    """The recorded (or halted) contents of one directed channel."""
+
+    channel: ChannelId
+    #: Messages in send order (FIFO), as the program put them on the wire.
+    messages: Tuple[UserMessage, ...]
+    #: True when the algorithm *knows* this sequence is complete — a marker
+    #: arrived behind the last message. Always true for C&L and the Halting
+    #: Algorithm; the naive baseline cannot guarantee it (experiment E9).
+    complete: bool = True
+
+    def content_keys(self) -> Tuple[tuple, ...]:
+        return tuple(m.content_key() for m in self.messages)
+
+    def __len__(self) -> int:
+        return len(self.messages)
+
+
+@dataclass(frozen=True)
+class GlobalState:
+    """A consistent global state: process snapshots plus channel states."""
+
+    #: Which algorithm produced this: "snapshot", "halting", "naive", …
+    origin: str
+    processes: Mapping[ProcessId, ProcessStateSnapshot]
+    channels: Mapping[ChannelId, ChannelState]
+    #: Generation number (snapshot_id / halt_id).
+    generation: int = 0
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def process_names(self) -> Tuple[ProcessId, ...]:
+        return tuple(sorted(self.processes))
+
+    def channel_ids(self) -> Tuple[ChannelId, ...]:
+        return tuple(sorted(self.channels))
+
+    def total_pending_messages(self) -> int:
+        return sum(len(state) for state in self.channels.values())
+
+    def pending_on(self, channel: ChannelId) -> Tuple[UserMessage, ...]:
+        state = self.channels.get(channel)
+        return state.messages if state else ()
+
+    def state_of(self, process: ProcessId) -> Optional[ProcessStateSnapshot]:
+        return self.processes.get(process)
+
+    def describe(self) -> str:
+        """Human-readable multi-line summary (debugger UI, examples)."""
+        lines = [f"GlobalState[{self.origin} gen={self.generation}]"]
+        for name in self.process_names():
+            snap = self.processes[name]
+            lines.append(
+                f"  {name}: events={snap.local_seq} lamport={snap.lamport} "
+                f"state={dict(sorted(snap.state.items()))!r}"
+            )
+        for channel in self.channel_ids():
+            state = self.channels[channel]
+            if state.messages:
+                flag = "" if state.complete else " (INCOMPLETE)"
+                lines.append(f"  {channel}: {len(state)} pending{flag}")
+        return "\n".join(lines)

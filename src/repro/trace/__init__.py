@@ -1,0 +1,31 @@
+"""Trace recording, serialization, and replay verification."""
+
+from repro.trace.replay import Divergence, assert_replay, compare_logs
+from repro.trace.serialize import (
+    dump_log,
+    dump_state,
+    event_from_dict,
+    event_to_dict,
+    load_log,
+    load_state,
+    log_from_dict,
+    log_to_dict,
+    state_from_dict,
+    state_to_dict,
+)
+
+__all__ = [
+    "Divergence",
+    "assert_replay",
+    "compare_logs",
+    "dump_log",
+    "dump_state",
+    "event_from_dict",
+    "event_to_dict",
+    "load_log",
+    "load_state",
+    "log_from_dict",
+    "log_to_dict",
+    "state_from_dict",
+    "state_to_dict",
+]

@@ -1,0 +1,78 @@
+"""Deterministic replay verification.
+
+The DES backend is deterministic by construction (seeded RNG streams,
+deterministic tie-breaking), which means an execution is fully described by
+its configuration. Replay therefore means: run the same configuration again
+and demand the identical event history. This module provides the diff
+machinery — the first divergence, if any, pinpointed by event index.
+
+Replay is the debugging-world payoff of determinism: a breakpoint session
+can be torn down and reconstructed exactly, and a trace file from a bug
+report can be validated against the code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.events.event import Event
+from repro.events.log import EventLog
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """The first point where two executions disagree."""
+
+    index: int
+    left: Optional[Event]
+    right: Optional[Event]
+    reason: str
+
+    def __str__(self) -> str:
+        return (
+            f"divergence at event #{self.index}: {self.reason}\n"
+            f"  left : {self.left!r}\n"
+            f"  right: {self.right!r}"
+        )
+
+
+def _event_signature(event: Event) -> Tuple:
+    """What must match between a run and its replay. Times are included —
+    the simulation clock is part of determinism."""
+    return (
+        event.process,
+        event.kind.value,
+        event.detail,
+        event.local_seq,
+        event.lamport,
+        event.vector,
+        round(event.time, 9),
+        str(event.channel) if event.channel else None,
+    )
+
+
+def compare_logs(left: EventLog, right: EventLog) -> Optional[Divergence]:
+    """First divergence between two logs, or None if identical."""
+    for index, (a, b) in enumerate(zip(left, right)):
+        if _event_signature(a) != _event_signature(b):
+            return Divergence(
+                index=index, left=a, right=b,
+                reason="event signatures differ",
+            )
+    if len(left) != len(right):
+        index = min(len(left), len(right))
+        return Divergence(
+            index=index,
+            left=left[index] if index < len(left) else None,
+            right=right[index] if index < len(right) else None,
+            reason=f"lengths differ ({len(left)} vs {len(right)})",
+        )
+    return None
+
+
+def assert_replay(left: EventLog, right: EventLog) -> None:
+    """Raise AssertionError with a readable diff if the logs diverge."""
+    divergence = compare_logs(left, right)
+    if divergence is not None:
+        raise AssertionError(str(divergence))

@@ -1,0 +1,187 @@
+"""Trace (de)serialization: event logs and global states to/from JSON.
+
+Traces make debugging sessions portable: a run recorded on one machine can
+be re-loaded, diffed against a replay, or archived next to a bug report.
+Only JSON-representable payloads round-trip exactly; anything else is
+stringified (and flagged) rather than dropped.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, Union
+
+from repro.events.event import Event, EventKind
+from repro.events.log import EventLog
+from repro.runtime.state_capture import ProcessStateSnapshot
+from repro.snapshot.state import ChannelState, GlobalState
+from repro.runtime.payload import UserMessage
+from repro.util.errors import TraceError
+from repro.util.ids import ChannelId
+
+FORMAT_VERSION = 1
+
+
+def _payload_to_json(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_payload_to_json(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _payload_to_json(v) for k, v in value.items()}
+    return {"__repr__": repr(value)}
+
+
+def event_to_dict(event: Event) -> Dict[str, Any]:
+    return {
+        "eid": event.eid,
+        "process": event.process,
+        "kind": event.kind.value,
+        "time": event.time,
+        "lamport": event.lamport,
+        "vector": list(event.vector),
+        "vector_index": event.vector_index,
+        "message": _payload_to_json(event.message),
+        "channel": str(event.channel) if event.channel else None,
+        "detail": event.detail,
+        "local_seq": event.local_seq,
+        "attrs": _payload_to_json(dict(event.attrs)),
+    }
+
+
+def event_from_dict(data: Dict[str, Any]) -> Event:
+    try:
+        return Event(
+            eid=data["eid"],
+            process=data["process"],
+            kind=EventKind(data["kind"]),
+            time=data["time"],
+            lamport=data["lamport"],
+            vector=tuple(data["vector"]),
+            vector_index=data["vector_index"],
+            message=data.get("message"),
+            channel=ChannelId.parse(data["channel"]) if data.get("channel") else None,
+            detail=data.get("detail"),
+            local_seq=data.get("local_seq", 0),
+            attrs=data.get("attrs") or {},
+        )
+    except (KeyError, ValueError) as exc:
+        raise TraceError(f"malformed event record: {exc}") from exc
+
+
+def log_to_dict(log: EventLog, meta: Union[Dict[str, Any], None] = None) -> Dict[str, Any]:
+    return {
+        "format": FORMAT_VERSION,
+        "meta": meta or {},
+        "events": [event_to_dict(e) for e in log],
+    }
+
+
+def log_from_dict(data: Dict[str, Any]) -> EventLog:
+    if data.get("format") != FORMAT_VERSION:
+        raise TraceError(f"unsupported trace format {data.get('format')!r}")
+    log = EventLog()
+    for record in data["events"]:
+        log.append(event_from_dict(record))
+    return log
+
+
+def snapshot_to_dict(snapshot: ProcessStateSnapshot) -> Dict[str, Any]:
+    return {
+        "process": snapshot.process,
+        "state": _payload_to_json(snapshot.state),
+        "local_seq": snapshot.local_seq,
+        "lamport": snapshot.lamport,
+        "vector": list(snapshot.vector),
+        "vector_index": snapshot.vector_index,
+        "time": snapshot.time,
+        "terminated": snapshot.terminated,
+        "meta": _payload_to_json(snapshot.meta),
+    }
+
+
+def state_to_dict(state: GlobalState) -> Dict[str, Any]:
+    return {
+        "format": FORMAT_VERSION,
+        "origin": state.origin,
+        "generation": state.generation,
+        "meta": _payload_to_json(state.meta),
+        "processes": {
+            name: snapshot_to_dict(snap) for name, snap in state.processes.items()
+        },
+        "channels": {
+            str(channel): {
+                "messages": [
+                    {
+                        "payload": _payload_to_json(m.payload),
+                        "tag": m.tag,
+                        "lamport": m.lamport,
+                        "vector": list(m.vector),
+                    }
+                    for m in channel_state.messages
+                ],
+                "complete": channel_state.complete,
+            }
+            for channel, channel_state in state.channels.items()
+        },
+    }
+
+
+def state_from_dict(data: Dict[str, Any]) -> GlobalState:
+    if data.get("format") != FORMAT_VERSION:
+        raise TraceError(f"unsupported state format {data.get('format')!r}")
+    processes = {}
+    for name, record in data["processes"].items():
+        processes[name] = ProcessStateSnapshot(
+            process=record["process"],
+            state=dict(record["state"]),
+            local_seq=record["local_seq"],
+            lamport=record["lamport"],
+            vector=tuple(record["vector"]),
+            vector_index=record["vector_index"],
+            time=record["time"],
+            terminated=record["terminated"],
+            meta=dict(record.get("meta") or {}),
+        )
+    channels = {}
+    for channel_text, record in data["channels"].items():
+        channel = ChannelId.parse(channel_text)
+        channels[channel] = ChannelState(
+            channel=channel,
+            messages=tuple(
+                UserMessage(
+                    payload=m["payload"],
+                    tag=m.get("tag"),
+                    lamport=m.get("lamport", 0),
+                    vector=tuple(m.get("vector", ())),
+                )
+                for m in record["messages"]
+            ),
+            complete=record["complete"],
+        )
+    return GlobalState(
+        origin=data["origin"],
+        processes=processes,
+        channels=channels,
+        generation=data["generation"],
+        meta=dict(data.get("meta") or {}),
+    )
+
+
+# -- file helpers ----------------------------------------------------------------
+
+
+def dump_log(log: EventLog, fp: IO[str], meta: Union[Dict[str, Any], None] = None) -> None:
+    json.dump(log_to_dict(log, meta), fp)
+
+
+def load_log(fp: IO[str]) -> EventLog:
+    return log_from_dict(json.load(fp))
+
+
+def dump_state(state: GlobalState, fp: IO[str]) -> None:
+    json.dump(state_to_dict(state), fp)
+
+
+def load_state(fp: IO[str]) -> GlobalState:
+    return state_from_dict(json.load(fp))

@@ -1,0 +1,33 @@
+"""Shared plumbing: errors, identifiers, validation."""
+
+from repro.util.errors import (
+    AnalysisError,
+    ConfigurationError,
+    HaltingError,
+    PredicateError,
+    PredicateSyntaxError,
+    ReproError,
+    RuntimeStateError,
+    SimulationError,
+    SnapshotError,
+    TopologyError,
+    TraceError,
+)
+from repro.util.ids import ChannelId, ProcessId, SequenceGenerator
+
+__all__ = [
+    "AnalysisError",
+    "ChannelId",
+    "ConfigurationError",
+    "HaltingError",
+    "PredicateError",
+    "PredicateSyntaxError",
+    "ProcessId",
+    "ReproError",
+    "RuntimeStateError",
+    "SequenceGenerator",
+    "SimulationError",
+    "SnapshotError",
+    "TopologyError",
+    "TraceError",
+]

@@ -1,0 +1,61 @@
+"""Exception hierarchy shared by every repro subsystem.
+
+Keeping one root exception type (:class:`ReproError`) lets callers opt into
+catching "anything this library raises" without swallowing unrelated bugs
+such as ``TypeError`` from their own code.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Root of the library's exception hierarchy."""
+
+
+class ConfigurationError(ReproError):
+    """A system, topology, or algorithm was configured inconsistently."""
+
+
+class TopologyError(ConfigurationError):
+    """A channel or process reference does not exist, or a graph rule broke."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel was driven incorrectly (e.g. time went backward)."""
+
+
+class RuntimeStateError(ReproError):
+    """A runtime operation was attempted in the wrong lifecycle state."""
+
+
+class HaltingError(ReproError):
+    """The halting machinery was used incorrectly or reached a bad state."""
+
+
+class SnapshotError(ReproError):
+    """The snapshot machinery was used incorrectly or reached a bad state."""
+
+
+class PredicateError(ReproError):
+    """A breakpoint predicate is malformed or was evaluated incorrectly."""
+
+
+class PredicateSyntaxError(PredicateError):
+    """The predicate DSL text could not be parsed.
+
+    Carries the offending source text and offset so tooling can point at the
+    exact location.
+    """
+
+    def __init__(self, message: str, text: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position} in {text!r})")
+        self.text = text
+        self.position = position
+
+
+class TraceError(ReproError):
+    """A trace could not be recorded, serialized, or replayed."""
+
+
+class AnalysisError(ReproError):
+    """A consistency/equivalence check was asked something ill-posed."""

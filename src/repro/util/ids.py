@@ -1,0 +1,55 @@
+"""Small identifier types used across the library.
+
+Process and channel identifiers are plain strings at the API surface (users
+write ``"p1"``), but channels need a canonical structured form because a
+channel is *directed*: the paper's model (§2.1) has distinct channels ``c1``
+(p→q) and ``c2`` (q→p).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+
+ProcessId = str
+
+
+@dataclass(frozen=True, order=True)
+class ChannelId:
+    """Identifier of a directed FIFO channel from ``src`` to ``dst``."""
+
+    src: ProcessId
+    dst: ProcessId
+
+    def __str__(self) -> str:
+        return f"{self.src}->{self.dst}"
+
+    def reversed(self) -> "ChannelId":
+        """The channel running the opposite direction, if it exists."""
+        return ChannelId(self.dst, self.src)
+
+    @classmethod
+    def parse(cls, text: str) -> "ChannelId":
+        """Parse the ``"src->dst"`` form produced by :meth:`__str__`."""
+        src, sep, dst = text.partition("->")
+        if not sep or not src or not dst:
+            raise ValueError(f"not a channel id: {text!r}")
+        return cls(src, dst)
+
+
+class SequenceGenerator:
+    """Thread-safe monotonically increasing integer source.
+
+    Used for message sequence numbers and event ids in the threaded backend,
+    where multiple process threads allocate concurrently. The DES backend is
+    single-threaded, but sharing one implementation keeps behaviour identical.
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        self._counter = itertools.count(start)
+        self._lock = threading.Lock()
+
+    def next(self) -> int:
+        with self._lock:
+            return next(self._counter)

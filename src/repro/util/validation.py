@@ -1,0 +1,59 @@
+"""Argument-validation helpers.
+
+These keep validation messages uniform and raise library exceptions rather
+than bare ``ValueError`` so callers can distinguish "you misused repro" from
+other failures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, TypeVar
+
+from repro.util.errors import ConfigurationError
+
+T = TypeVar("T")
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ConfigurationError` unless ``condition`` holds."""
+    if not condition:
+        raise ConfigurationError(message)
+
+
+def require_positive(value: float, name: str) -> float:
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def require_non_negative(value: float, name: str) -> float:
+    if value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def require_name(value: str, name: str) -> str:
+    """Validate a process name: non-empty, no DSL metacharacters.
+
+    Process names appear inside the predicate DSL (``send@p1``), inside
+    channel ids (``p1->p2``) and in halt-marker paths, so characters that
+    would make those forms ambiguous are rejected up front.
+    """
+    if not isinstance(value, str) or not value:
+        raise ConfigurationError(f"{name} must be a non-empty string, got {value!r}")
+    forbidden = set("@|&->()^, \t\n")
+    bad = sorted(set(value) & forbidden)
+    if bad:
+        raise ConfigurationError(
+            f"{name} {value!r} contains reserved characters {bad}; "
+            "names must not use DSL metacharacters or whitespace"
+        )
+    return value
+
+
+def require_unique(items: Iterable[T], what: str) -> None:
+    seen = set()
+    for item in items:
+        if item in seen:
+            raise ConfigurationError(f"duplicate {what}: {item!r}")
+        seen.add(item)

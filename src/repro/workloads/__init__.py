@@ -1,0 +1,33 @@
+"""Workload library: message-passing programs for the debugger to debug.
+
+Each module exposes a ``build(...)`` factory returning ``(topology,
+processes)`` (plus per-channel latencies where the scenario needs them).
+"""
+
+from repro.workloads import (  # noqa: F401 — re-exported submodules
+    bank,
+    chatter,
+    echo,
+    election,
+    gossip,
+    infrequent,
+    mutex,
+    philosophers,
+    pipeline,
+    token_ring,
+    two_phase_commit,
+)
+
+__all__ = [
+    "bank",
+    "chatter",
+    "echo",
+    "election",
+    "gossip",
+    "infrequent",
+    "mutex",
+    "philosophers",
+    "pipeline",
+    "token_ring",
+    "two_phase_commit",
+]

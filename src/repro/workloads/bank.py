@@ -1,0 +1,101 @@
+"""Bank workload: accounts wiring money — the canonical snapshot demo.
+
+The global invariant is conservation of money: at any *consistent* cut,
+
+    sum(balances at the cut) + sum(amounts in transit) == initial total.
+
+An inconsistent observation (e.g. reading balances at arbitrary different
+times) breaks the equation; a C&L snapshot or a Halting-Algorithm freeze
+satisfies it. Several tests and the quickstart example audit exactly this.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.network.topology import Topology, complete
+from repro.runtime.context import ProcessContext
+from repro.runtime.process import Process
+from repro.util.ids import ProcessId
+
+INITIAL_BALANCE = 1000
+
+
+class BankBranch(Process):
+    """A branch holding a balance and wiring random amounts to peers."""
+
+    def __init__(self, transfers: int, tick: float = 0.6,
+                 initial_balance: int = INITIAL_BALANCE) -> None:
+        self.transfers = transfers
+        self.tick = tick
+        self.initial_balance = initial_balance
+
+    def on_start(self, ctx: ProcessContext) -> None:
+        ctx.state["balance"] = self.initial_balance
+        ctx.state["transfers_made"] = 0
+        ctx.set_timer("wire", self.tick * (0.5 + ctx.rng.random()))
+
+    def on_message(self, ctx: ProcessContext, src: ProcessId, payload: object) -> None:
+        with ctx.procedure("receive_wire"):
+            amount = int(payload)  # type: ignore[arg-type]
+            ctx.state["balance"] = ctx.state["balance"] + amount
+
+    def on_restore(self, ctx: ProcessContext) -> None:
+        # Timers are not part of a global state; a resurrected branch
+        # re-arms its wire timer from its own (restored) progress counter.
+        if ctx.state["transfers_made"] < self.transfers:
+            ctx.set_timer("wire", self.tick * (0.5 + ctx.rng.random()))
+
+    def on_timer(self, ctx: ProcessContext, name: str, payload: object) -> None:
+        if ctx.state["transfers_made"] >= self.transfers:
+            return
+        balance = ctx.state["balance"]
+        neighbours = ctx.neighbors_out()
+        if balance > 0 and neighbours:
+            with ctx.procedure("send_wire"):
+                amount = 1 + ctx.rng.randrange(max(1, balance // 4))
+                target = neighbours[ctx.rng.randrange(len(neighbours))]
+                ctx.state["balance"] = balance - amount
+                ctx.send(target, amount, tag="wire")
+                ctx.state["transfers_made"] = ctx.state["transfers_made"] + 1
+        if ctx.state["transfers_made"] < self.transfers:
+            ctx.set_timer("wire", self.tick * (0.5 + ctx.rng.random()))
+
+
+def build(
+    n: int = 4, transfers: int = 25, tick: float = 0.6,
+    initial_balance: int = INITIAL_BALANCE,
+) -> Tuple[Topology, Dict[ProcessId, Process]]:
+    """``n`` fully-connected branches, each making ``transfers`` wires."""
+    names = [f"branch{i}" for i in range(n)]
+    topo = complete(names)
+    processes: Dict[ProcessId, Process] = {
+        name: BankBranch(transfers=transfers, tick=tick,
+                         initial_balance=initial_balance)
+        for name in names
+    }
+    return topo, processes
+
+
+def total_money(state_or_balances, channel_states=None) -> int:
+    """Balances at a cut plus in-transit amounts.
+
+    Accepts a :class:`~repro.snapshot.state.GlobalState` (preferred) or a
+    plain mapping of balances plus an iterable of channel states.
+    """
+    from repro.snapshot.state import GlobalState
+
+    if isinstance(state_or_balances, GlobalState):
+        balances = sum(
+            snap.state.get("balance", 0)
+            for snap in state_or_balances.processes.values()
+        )
+        in_transit = sum(
+            int(message.payload)
+            for channel_state in state_or_balances.channels.values()
+            for message in channel_state.messages
+        )
+        return balances + in_transit
+    balances = sum(state_or_balances.values())
+    in_transit = sum(channel_states or ())
+    return balances + in_transit

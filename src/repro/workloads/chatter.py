@@ -1,0 +1,68 @@
+"""Chatter workload: every process streams messages to random neighbours.
+
+The stress workload for snapshot/halting experiments — lots of concurrent
+traffic on every channel means the interesting cases (messages in flight
+across the cut) occur constantly. Finite by construction: each process has
+a send budget, so the system quiesces naturally when not halted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.network.topology import Topology, random_topology
+from repro.runtime.context import ProcessContext
+from repro.runtime.process import Process
+from repro.util.ids import ProcessId
+
+
+class ChatterProcess(Process):
+    """Sends ``budget`` messages, one per timer tick, to random neighbours."""
+
+    def __init__(self, budget: int, tick: float = 0.7) -> None:
+        self.budget = budget
+        self.tick = tick
+
+    def on_start(self, ctx: ProcessContext) -> None:
+        ctx.state["sent"] = 0
+        ctx.state["received"] = 0
+        ctx.state["checksum"] = 0
+        ctx.set_timer("chat", self.tick * (0.5 + ctx.rng.random()))
+
+    def on_restore(self, ctx: ProcessContext) -> None:
+        if ctx.state["sent"] < self.budget:
+            ctx.set_timer("chat", self.tick * (0.5 + ctx.rng.random()))
+
+    def on_message(self, ctx: ProcessContext, src: ProcessId, payload: object) -> None:
+        ctx.state["received"] = ctx.state["received"] + 1
+        ctx.state["checksum"] = (ctx.state["checksum"] * 31 + int(payload)) % 1_000_003  # type: ignore[arg-type]
+
+    def on_timer(self, ctx: ProcessContext, name: str, payload: object) -> None:
+        if ctx.state["sent"] >= self.budget:
+            return
+        neighbours = ctx.neighbors_out()
+        if not neighbours:
+            return
+        target = neighbours[ctx.rng.randrange(len(neighbours))]
+        value = ctx.rng.randrange(1_000_000)
+        ctx.send(target, value, tag="chat")
+        ctx.state["sent"] = ctx.state["sent"] + 1
+        if ctx.state["sent"] < self.budget:
+            ctx.set_timer("chat", self.tick * (0.5 + ctx.rng.random()))
+
+
+def build(
+    n: int = 5,
+    budget: int = 30,
+    tick: float = 0.7,
+    edge_probability: float = 0.4,
+    seed: int = 0,
+    topology: Optional[Topology] = None,
+) -> Tuple[Topology, Dict[ProcessId, Process]]:
+    """``n`` processes on a random strongly-connected digraph."""
+    names = [f"p{i}" for i in range(n)]
+    topo = topology or random_topology(names, edge_probability, seed=seed)
+    processes: Dict[ProcessId, Process] = {
+        name: ChatterProcess(budget=budget, tick=tick) for name in names
+    }
+    return topo, processes

@@ -1,0 +1,118 @@
+"""Echo (wave) algorithm: spanning-tree construction by flooding.
+
+Chang's echo algorithm: an initiator floods a token to all neighbours;
+every other process adopts the first sender as its parent, forwards the
+token to its remaining neighbours, and echoes back to the parent once all
+its neighbours have answered. When the initiator has heard from all its
+neighbours, the wave has both built a spanning tree and (implicitly)
+detected that every process was reached.
+
+Debugging-wise this workload has two nice properties: a clear multi-stage
+causal structure for Linked Predicates ("wave reaches x, then the echo
+returns") and a terminating global condition (``done`` at the initiator)
+whose detection *is* the algorithm — compare with the debugger detecting
+it from outside.
+
+Works on any connected *bidirectional* topology (each flood edge needs its
+reverse for the echo).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.network.topology import Topology
+from repro.runtime.context import ProcessContext
+from repro.runtime.process import Process
+from repro.util.ids import ProcessId
+
+
+class EchoProcess(Process):
+    """One node of the wave."""
+
+    def __init__(self, initiator: bool = False, start_delay: float = 0.5) -> None:
+        self.initiator = initiator
+        self.start_delay = start_delay
+
+    def on_start(self, ctx: ProcessContext) -> None:
+        ctx.state["parent"] = None
+        ctx.state["pending"] = len(ctx.neighbors_out())
+        ctx.state["done"] = False
+        ctx.state["children"] = []
+        if self.initiator:
+            ctx.set_timer("start_wave", self.start_delay)
+
+    def on_timer(self, ctx: ProcessContext, name: str, payload: object) -> None:
+        ctx.mark("wave_started")
+        ctx.state["parent"] = ctx.name  # roots point at themselves
+        for neighbour in ctx.neighbors_out():
+            ctx.send(neighbour, {"type": "token"}, tag="token")
+
+    def on_message(self, ctx: ProcessContext, src: ProcessId, payload: object) -> None:
+        message = dict(payload)  # type: ignore[arg-type]
+        if message["type"] == "token":
+            self._on_token(ctx, src)
+        elif message["type"] == "echo":
+            children = list(ctx.state["children"])
+            children.append(src)
+            ctx.state["children"] = children
+            self._account(ctx)
+
+    def _on_token(self, ctx: ProcessContext, src: ProcessId) -> None:
+        if ctx.state["parent"] is None:
+            # First token: adopt the sender, flood the rest.
+            ctx.state["parent"] = src
+            ctx.mark("joined_wave", parent=src)
+            for neighbour in ctx.neighbors_out():
+                if neighbour != src:
+                    ctx.send(neighbour, {"type": "token"}, tag="token")
+            if len(ctx.neighbors_out()) == 1:
+                # Leaf: echo immediately.
+                self._account(ctx, immediate=True)
+                return
+        self._account(ctx)
+
+    def _account(self, ctx: ProcessContext, immediate: bool = False) -> None:
+        # Each neighbour answers exactly once (token or echo); when all
+        # have, echo to the parent (or finish, if we are the root).
+        ctx.state["pending"] = ctx.state["pending"] - 1
+        if ctx.state["pending"] > 0:
+            return
+        parent = ctx.state["parent"]
+        if parent == ctx.name:
+            ctx.state["done"] = True
+            ctx.mark("wave_done")
+        else:
+            ctx.send(parent, {"type": "echo"}, tag="echo")
+        del immediate
+
+
+def build(
+    topology: Topology = None,
+    n: int = 6,
+    initiator: ProcessId = None,
+    edge_probability: float = 0.4,
+    seed: int = 0,
+) -> Tuple[Topology, Dict[ProcessId, Process]]:
+    """Echo wave over a bidirectional random graph (or a supplied one)."""
+    if topology is None:
+        import random as _random
+
+        names = [f"n{i}" for i in range(n)]
+        topology = Topology()
+        for name in names:
+            topology.add_process(name)
+        rng = _random.Random(seed)
+        # Random spanning chain + extra edges, all bidirectional.
+        for a, b in zip(names, names[1:]):
+            topology.add_bidirectional(a, b)
+        for i, a in enumerate(names):
+            for b in names[i + 2:]:
+                if rng.random() < edge_probability:
+                    topology.add_bidirectional(a, b)
+    initiator = initiator or topology.processes[0]
+    processes: Dict[ProcessId, Process] = {
+        name: EchoProcess(initiator=(name == initiator))
+        for name in topology.processes
+    }
+    return topology, processes

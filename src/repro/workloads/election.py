@@ -1,0 +1,72 @@
+"""Chang-Roberts leader election on a unidirectional ring.
+
+A terminating protocol with process-termination events — the workload for
+Simple Predicates over process lifecycle (§3.2 lists "a process created or
+terminated" among the interprocess event predicates).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.network.topology import Topology, ring
+from repro.runtime.context import ProcessContext
+from repro.runtime.process import Process
+from repro.util.ids import ProcessId
+
+
+class ElectionProcess(Process):
+    """One ring member with a unique numeric id."""
+
+    def __init__(self, uid: int, start_delay: float = 0.3) -> None:
+        self.uid = uid
+        self.start_delay = start_delay
+
+    def on_start(self, ctx: ProcessContext) -> None:
+        ctx.state["uid"] = self.uid
+        ctx.state["leader"] = None
+        ctx.state["forwarded"] = 0
+        ctx.set_timer("candidate", self.start_delay * (0.5 + ctx.rng.random()))
+
+    def on_timer(self, ctx: ProcessContext, name: str, payload: object) -> None:
+        with ctx.procedure("announce_candidacy"):
+            ctx.send(ctx.neighbors_out()[0], {"type": "elect", "uid": self.uid}, tag="elect")
+
+    def on_message(self, ctx: ProcessContext, src: ProcessId, payload: object) -> None:
+        message = dict(payload)  # type: ignore[arg-type]
+        nxt = ctx.neighbors_out()[0]
+        if message["type"] == "elect":
+            uid = message["uid"]
+            if uid > self.uid:
+                ctx.state["forwarded"] = ctx.state["forwarded"] + 1
+                ctx.send(nxt, message, tag="elect")
+            elif uid == self.uid:
+                # Our candidacy came all the way around: we are the leader.
+                ctx.mark("leader_elected", uid=self.uid)
+                ctx.state["leader"] = ctx.name
+                ctx.send(nxt, {"type": "elected", "leader": ctx.name}, tag="elected")
+            # uid < self.uid: swallow the weaker candidacy.
+        elif message["type"] == "elected":
+            if message["leader"] == ctx.name:
+                ctx.terminate()  # announcement circulated fully
+            else:
+                ctx.state["leader"] = message["leader"]
+                ctx.send(nxt, message, tag="elected")
+                ctx.terminate()
+
+
+def build(
+    n: int = 5, seed: int = 0, start_delay: float = 0.3
+) -> Tuple[Topology, Dict[ProcessId, Process]]:
+    """A ring of ``n`` members with shuffled unique ids."""
+    import random as _random
+
+    names = [f"e{i}" for i in range(n)]
+    uids = list(range(1, n + 1))
+    _random.Random(seed).shuffle(uids)
+    topo = ring(names)
+    processes: Dict[ProcessId, Process] = {
+        name: ElectionProcess(uid=uid, start_delay=start_delay)
+        for name, uid in zip(names, uids)
+    }
+    return topo, processes

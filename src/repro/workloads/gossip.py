@@ -1,0 +1,79 @@
+"""Gossip / rumor-spreading workload.
+
+One process learns a rumor and gossips it with a TTL; every first-time
+recipient re-gossips. Produces bursty fan-out traffic (very different in
+shape from the steady chatter workload) and a natural Linked-Predicate
+scenario: "halt when the rumor reaches pX after passing through pY".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.network.topology import Topology, random_topology
+from repro.runtime.context import ProcessContext
+from repro.runtime.process import Process
+from repro.util.ids import ProcessId
+
+
+class GossipProcess(Process):
+    """Forwards each fresh rumor to ``fanout`` random neighbours."""
+
+    def __init__(self, fanout: int = 2, origin: bool = False,
+                 ttl: int = 6, delay: float = 0.4) -> None:
+        self.fanout = fanout
+        self.origin = origin
+        self.ttl = ttl
+        self.delay = delay
+
+    def on_start(self, ctx: ProcessContext) -> None:
+        ctx.state["heard"] = False
+        ctx.state["relayed"] = 0
+        if self.origin:
+            ctx.set_timer("start_rumor", self.delay)
+
+    def on_timer(self, ctx: ProcessContext, name: str, payload: object) -> None:
+        if name == "start_rumor":
+            ctx.state["heard"] = True
+            ctx.mark("rumor_started")
+            self._spread(ctx, self.ttl)
+        elif name == "relay":
+            self._spread(ctx, int(payload))  # type: ignore[arg-type]
+
+    def on_message(self, ctx: ProcessContext, src: ProcessId, payload: object) -> None:
+        message = dict(payload)  # type: ignore[arg-type]
+        ttl = message["ttl"]
+        if not ctx.state["heard"]:
+            ctx.state["heard"] = True
+            ctx.mark("rumor_heard", hop=self.ttl - ttl)
+            if ttl > 0:
+                ctx.set_timer("relay", self.delay * (0.5 + ctx.rng.random()), payload=ttl - 1)
+
+    def _spread(self, ctx: ProcessContext, ttl: int) -> None:
+        neighbours = list(ctx.neighbors_out())
+        if not neighbours:
+            return
+        ctx.rng.shuffle(neighbours)
+        for target in neighbours[: self.fanout]:
+            ctx.send(target, {"type": "rumor", "ttl": ttl}, tag="rumor")
+            ctx.state["relayed"] = ctx.state["relayed"] + 1
+
+
+def build(
+    n: int = 8,
+    fanout: int = 2,
+    ttl: int = 6,
+    edge_probability: float = 0.35,
+    seed: int = 0,
+    origin: Optional[ProcessId] = None,
+    delay: float = 0.4,
+) -> Tuple[Topology, Dict[ProcessId, Process]]:
+    names = [f"g{i}" for i in range(n)]
+    topo = random_topology(names, edge_probability, seed=seed)
+    origin = origin or names[0]
+    processes: Dict[ProcessId, Process] = {
+        name: GossipProcess(fanout=fanout, origin=(name == origin),
+                            ttl=ttl, delay=delay)
+        for name in names
+    }
+    return topo, processes

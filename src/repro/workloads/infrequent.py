@@ -1,0 +1,55 @@
+"""Infrequent-communicators workload — §2.2.2's first problem.
+
+Two dense clusters chat internally at a high rate; a single bridge pair
+exchanges messages only rarely. Under the basic Halting Algorithm a halt
+initiated in one cluster reaches the other only when a marker crosses the
+bridge — immediately when initiated (markers are sent on *all* outgoing
+channels at halt, including quiet ones), but a process with *no* channel
+from the halted region can only halt via whatever path exists. The painful
+variant is when bridge channels exist but the marker must queue behind
+nothing (channels are FIFO but empty) — the halt still arrives at
+propagation speed, while in a real system with connection-oriented
+transports an unused connection might not even exist. We model the paper's
+concern directly: the cross-cluster *latency* is much larger than the
+intra-cluster latency, so the far cluster keeps executing long after the
+near cluster froze. The extended model does not make the marker faster —
+it makes the *debugger* a one-hop neighbour of everyone, bounding the halt
+latency by one debugger-channel delay instead of a multi-hop path through
+quiet bridges (experiment E4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+from repro.network.latency import FixedLatency, LatencyModel
+from repro.network.topology import Topology, two_clusters
+from repro.util.ids import ChannelId, ProcessId
+from repro.workloads.chatter import ChatterProcess
+
+
+def build(
+    cluster_size: int = 3,
+    budget: int = 40,
+    tick: float = 0.5,
+    bridge_latency: float = 25.0,
+    local_latency: float = 0.8,
+) -> Tuple[Topology, Dict[ProcessId, ChatterProcess], Mapping[ChannelId, LatencyModel]]:
+    """Two complete clusters ``a*`` and ``b*`` joined by one slow bridge.
+
+    Returns ``(topology, processes, channel_latencies)`` — pass the latter
+    to :class:`~repro.runtime.system.System` as ``channel_latencies``.
+    """
+    left = [f"a{i}" for i in range(cluster_size)]
+    right = [f"b{i}" for i in range(cluster_size)]
+    topo = two_clusters(left, right, bridges=[(left[0], right[0])])
+    processes = {
+        name: ChatterProcess(budget=budget, tick=tick) for name in left + right
+    }
+    slow = FixedLatency(bridge_latency)
+    fast = FixedLatency(local_latency)
+    latencies: Dict[ChannelId, LatencyModel] = {}
+    for channel in topo.channels:
+        crosses = (channel.src[0] != channel.dst[0])
+        latencies[channel] = slow if crosses else fast
+    return topo, processes, latencies

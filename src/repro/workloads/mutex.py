@@ -1,0 +1,116 @@
+"""Ricart-Agrawala distributed mutual exclusion.
+
+A real coordination protocol for the debugger to chew on. Critical-section
+entry and exit are published as ``cs_enter`` / ``cs_exit`` marks, so
+breakpoints like "halt when branch A enters the critical section after
+branch B did" are one Linked Predicate away, and the mutual-exclusion
+safety property is checkable from the event log with vector clocks: any two
+critical sections at different processes must be causally ordered.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.network.topology import Topology, complete
+from repro.runtime.context import ProcessContext
+from repro.runtime.process import Process
+from repro.util.ids import ProcessId
+
+
+class MutexProcess(Process):
+    """One Ricart-Agrawala participant wanting the lock ``entries`` times."""
+
+    def __init__(self, entries: int, think: float = 1.0, hold: float = 0.4) -> None:
+        self.entries = entries
+        self.think = think
+        self.hold = hold
+
+    def on_start(self, ctx: ProcessContext) -> None:
+        ctx.state["clock"] = 0
+        ctx.state["entries_done"] = 0
+        ctx.state["in_cs"] = False
+        ctx.state["requesting"] = False
+        ctx.state["request_ts"] = 0
+        ctx.state["replies_pending"] = 0
+        ctx.state["deferred"] = []
+        ctx.set_timer("want_cs", self.think * (0.5 + ctx.rng.random()))
+
+    # -- protocol ----------------------------------------------------------
+
+    def on_timer(self, ctx: ProcessContext, name: str, payload: object) -> None:
+        if name == "want_cs":
+            self._request(ctx)
+        elif name == "exit_cs":
+            self._exit_cs(ctx)
+
+    def _request(self, ctx: ProcessContext) -> None:
+        if ctx.state["requesting"] or ctx.state["in_cs"]:
+            return
+        with ctx.procedure("request_cs"):
+            ctx.state["clock"] = ctx.state["clock"] + 1
+            ctx.state["requesting"] = True
+            ctx.state["request_ts"] = ctx.state["clock"]
+            peers = ctx.neighbors_out()
+            ctx.state["replies_pending"] = len(peers)
+            for peer in peers:
+                ctx.send(
+                    peer,
+                    {"type": "request", "ts": ctx.state["request_ts"], "from": ctx.name},
+                    tag="request",
+                )
+
+    def on_message(self, ctx: ProcessContext, src: ProcessId, payload: object) -> None:
+        message = dict(payload)  # type: ignore[arg-type]
+        ctx.state["clock"] = max(ctx.state["clock"], int(message.get("ts", 0))) + 1
+        if message["type"] == "request":
+            self._on_request(ctx, src, message)
+        elif message["type"] == "reply":
+            self._on_reply(ctx)
+
+    def _on_request(self, ctx: ProcessContext, src: ProcessId, message: dict) -> None:
+        mine = (ctx.state["request_ts"], ctx.name)
+        theirs = (message["ts"], message["from"])
+        busy = ctx.state["in_cs"] or (ctx.state["requesting"] and mine < theirs)
+        if busy:
+            deferred = list(ctx.state["deferred"])
+            deferred.append(src)
+            ctx.state["deferred"] = deferred
+        else:
+            ctx.send(src, {"type": "reply", "ts": ctx.state["clock"]}, tag="reply")
+
+    def _on_reply(self, ctx: ProcessContext) -> None:
+        ctx.state["replies_pending"] = ctx.state["replies_pending"] - 1
+        if ctx.state["requesting"] and ctx.state["replies_pending"] == 0:
+            self._enter_cs(ctx)
+
+    # -- critical section -----------------------------------------------------
+
+    def _enter_cs(self, ctx: ProcessContext) -> None:
+        ctx.state["in_cs"] = True
+        ctx.state["requesting"] = False
+        ctx.mark("cs_enter", entry=ctx.state["entries_done"])
+        ctx.set_timer("exit_cs", self.hold)
+
+    def _exit_cs(self, ctx: ProcessContext) -> None:
+        ctx.state["in_cs"] = False
+        ctx.state["entries_done"] = ctx.state["entries_done"] + 1
+        ctx.mark("cs_exit", entry=ctx.state["entries_done"] - 1)
+        deferred = list(ctx.state["deferred"])
+        ctx.state["deferred"] = []
+        for peer in deferred:
+            ctx.send(peer, {"type": "reply", "ts": ctx.state["clock"]}, tag="reply")
+        if ctx.state["entries_done"] < self.entries:
+            ctx.set_timer("want_cs", self.think * (0.5 + ctx.rng.random()))
+
+
+def build(
+    n: int = 3, entries: int = 3, think: float = 1.0, hold: float = 0.4
+) -> Tuple[Topology, Dict[ProcessId, Process]]:
+    names = [f"m{i}" for i in range(n)]
+    topo = complete(names)
+    processes: Dict[ProcessId, Process] = {
+        name: MutexProcess(entries=entries, think=think, hold=hold)
+        for name in names
+    }
+    return topo, processes

@@ -1,0 +1,185 @@
+"""Dining philosophers over message-passing forks.
+
+Each fork is a real process (a tiny resource manager); each philosopher
+thinks, requests its two forks by message, eats, releases. Two acquisition
+policies:
+
+* ``policy="left-first"`` — every philosopher grabs its left fork first.
+  With equal think times they all succeed at their left fork and block on
+  the right one: a *deterministic deadlock*, which is exactly what a
+  distributed debugger is for — halt the (quiet) system and read the
+  waits-for cycle out of the frozen states (`examples/deadlock_hunt.py`).
+* ``policy="ordered"`` — forks are acquired lowest-id first (the classic
+  fix); the run completes.
+
+State vocabulary (used by breakpoints and the waits-for analysis):
+philosophers expose ``meals``, ``holding`` (list), ``waiting_for`` (fork or
+None); forks expose ``holder`` and ``queue``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.network.topology import Topology
+from repro.runtime.context import ProcessContext
+from repro.runtime.process import Process
+from repro.util.ids import ProcessId
+
+
+class Fork(Process):
+    """A fork: grants itself to one holder, queues the rest."""
+
+    def on_start(self, ctx: ProcessContext) -> None:
+        ctx.state["holder"] = None
+        ctx.state["queue"] = []
+
+    def on_message(self, ctx: ProcessContext, src: ProcessId, payload: object) -> None:
+        request = dict(payload)  # type: ignore[arg-type]
+        if request["type"] == "acquire":
+            if ctx.state["holder"] is None:
+                ctx.state["holder"] = src
+                ctx.send(src, {"type": "granted", "fork": ctx.name}, tag="granted")
+            else:
+                queue = list(ctx.state["queue"])
+                queue.append(src)
+                ctx.state["queue"] = queue
+        elif request["type"] == "release":
+            assert ctx.state["holder"] == src, "release by non-holder"
+            queue = list(ctx.state["queue"])
+            if queue:
+                nxt = queue.pop(0)
+                ctx.state["queue"] = queue
+                ctx.state["holder"] = nxt
+                ctx.send(nxt, {"type": "granted", "fork": ctx.name}, tag="granted")
+            else:
+                ctx.state["holder"] = None
+
+
+class Philosopher(Process):
+    """Thinks, acquires two forks (policy-dependent order), eats, repeats."""
+
+    def __init__(self, left: ProcessId, right: ProcessId, meals: int,
+                 policy: str = "ordered", think: float = 1.0,
+                 eat: float = 0.5) -> None:
+        if policy not in ("ordered", "left-first"):
+            raise ValueError(f"unknown policy {policy!r}")
+        self.left = left
+        self.right = right
+        self.meals = meals
+        self.policy = policy
+        self.think = think
+        self.eat = eat
+
+    def _acquisition_order(self) -> Tuple[ProcessId, ProcessId]:
+        if self.policy == "ordered":
+            return tuple(sorted((self.left, self.right)))  # type: ignore[return-value]
+        return (self.left, self.right)
+
+    def on_start(self, ctx: ProcessContext) -> None:
+        ctx.state["meals"] = 0
+        ctx.state["holding"] = []
+        ctx.state["waiting_for"] = None
+        ctx.set_timer("think", self.think)
+
+    def on_timer(self, ctx: ProcessContext, name: str, payload: object) -> None:
+        if name == "think":
+            first, _ = self._acquisition_order()
+            ctx.state["waiting_for"] = first
+            ctx.send(first, {"type": "acquire"}, tag="acquire")
+        elif name == "eat_done":
+            with ctx.procedure("release_forks"):
+                for fork in ctx.state["holding"]:
+                    ctx.send(fork, {"type": "release"}, tag="release")
+                ctx.state["holding"] = []
+                ctx.state["meals"] = ctx.state["meals"] + 1
+                ctx.mark("meal_finished", count=ctx.state["meals"])
+            if ctx.state["meals"] < self.meals:
+                ctx.set_timer("think", self.think)
+
+    def on_message(self, ctx: ProcessContext, src: ProcessId, payload: object) -> None:
+        message = dict(payload)  # type: ignore[arg-type]
+        if message["type"] != "granted":
+            return
+        holding = list(ctx.state["holding"])
+        holding.append(message["fork"])
+        ctx.state["holding"] = holding
+        first, second = self._acquisition_order()
+        if len(holding) == 1:
+            ctx.state["waiting_for"] = second
+            ctx.send(second, {"type": "acquire"}, tag="acquire")
+        else:
+            ctx.state["waiting_for"] = None
+            ctx.mark("eating", meal=ctx.state["meals"])
+            ctx.set_timer("eat_done", self.eat)
+
+
+def build(
+    n: int = 5, meals: int = 3, policy: str = "ordered",
+    think: float = 1.0, eat: float = 0.5,
+) -> Tuple[Topology, Dict[ProcessId, Process]]:
+    """``n`` philosophers ``ph*`` around ``n`` forks ``fork*``."""
+    topo = Topology()
+    philosophers = [f"ph{i}" for i in range(n)]
+    forks = [f"fork{i}" for i in range(n)]
+    for name in philosophers + forks:
+        topo.add_process(name)
+    processes: Dict[ProcessId, Process] = {}
+    for i, name in enumerate(philosophers):
+        left = forks[i]
+        right = forks[(i + 1) % n]
+        topo.add_bidirectional(name, left)
+        topo.add_bidirectional(name, right)
+        processes[name] = Philosopher(
+            left=left, right=right, meals=meals, policy=policy,
+            think=think, eat=eat,
+        )
+    for name in forks:
+        processes[name] = Fork()
+    return topo, processes
+
+
+def deadlocked(state) -> bool:
+    """Stable property for :class:`repro.snapshot.monitor.SnapshotMonitor`:
+    the dining table is deadlocked — there is a waits-for cycle among the
+    frozen states and no message is in flight that could break it.
+
+    Deadlock is stable (nothing un-deadlocks by itself), so snapshot-based
+    detection is sound: if a consistent snapshot shows it, it holds now.
+    """
+    if state.total_pending_messages() > 0:
+        return False
+    states = {name: snap.state for name, snap in state.processes.items()}
+    return waits_for_cycle(states) is not None
+
+
+def waits_for_cycle(states: Dict[ProcessId, Dict]) -> Optional[List[ProcessId]]:
+    """Extract a waits-for cycle from frozen states, if one exists.
+
+    Edges: philosopher → holder of the fork it is waiting for. Returns the
+    cycle as a list of philosophers, or None.
+    """
+    edges: Dict[ProcessId, ProcessId] = {}
+    for name, state in states.items():
+        waiting_for = state.get("waiting_for")
+        if not waiting_for:
+            continue
+        fork_state = states.get(waiting_for)
+        if not fork_state:
+            continue
+        holder = fork_state.get("holder")
+        if holder and holder != name:
+            edges[name] = holder
+    for start in edges:
+        path = [start]
+        seen = {start}
+        node = start
+        while node in edges:
+            node = edges[node]
+            if node == start:
+                return path
+            if node in seen:
+                break
+            seen.add(node)
+            path.append(node)
+    return None

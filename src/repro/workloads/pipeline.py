@@ -1,0 +1,76 @@
+"""Producer→stages→consumer pipeline — Figure 2's pathological topology.
+
+The channel graph is acyclic, so the basic Halting Algorithm *cannot* halt
+upstream processes when a downstream process initiates: "there is no way to
+send the halt marker to the producer process" (§2.2.2). Experiment E3 runs
+this workload under the basic algorithm (demonstrating the failure) and
+under the extended debugger model (demonstrating the fix).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.network.topology import Topology, pipeline
+from repro.runtime.context import ProcessContext
+from repro.runtime.process import Process
+from repro.util.ids import ProcessId
+
+
+class Producer(Process):
+    """Emits ``items`` sequence numbers downstream, one per tick."""
+
+    def __init__(self, items: int, tick: float = 0.5) -> None:
+        self.items = items
+        self.tick = tick
+
+    def on_start(self, ctx: ProcessContext) -> None:
+        ctx.state["produced"] = 0
+        ctx.set_timer("produce", self.tick)
+
+    def on_timer(self, ctx: ProcessContext, name: str, payload: object) -> None:
+        produced = ctx.state["produced"]
+        if produced >= self.items:
+            return
+        with ctx.procedure("produce"):
+            ctx.send(ctx.neighbors_out()[0], produced, tag="item")
+            ctx.state["produced"] = produced + 1
+        ctx.set_timer("produce", self.tick * (0.5 + ctx.rng.random()))
+
+
+class Stage(Process):
+    """Transforms items (here: +1000) and forwards them."""
+
+    def on_start(self, ctx: ProcessContext) -> None:
+        ctx.state["processed"] = 0
+
+    def on_message(self, ctx: ProcessContext, src: ProcessId, payload: object) -> None:
+        with ctx.procedure("transform"):
+            ctx.state["processed"] = ctx.state["processed"] + 1
+            ctx.send(ctx.neighbors_out()[0], int(payload) + 1000, tag="item")  # type: ignore[arg-type]
+
+
+class Consumer(Process):
+    """Accumulates whatever reaches the end of the pipe."""
+
+    def on_start(self, ctx: ProcessContext) -> None:
+        ctx.state["consumed"] = 0
+        ctx.state["last_item"] = -1
+
+    def on_message(self, ctx: ProcessContext, src: ProcessId, payload: object) -> None:
+        with ctx.procedure("consume"):
+            ctx.state["consumed"] = ctx.state["consumed"] + 1
+            ctx.state["last_item"] = int(payload)  # type: ignore[arg-type]
+
+
+def build(
+    stages: int = 1, items: int = 30, tick: float = 0.5
+) -> Tuple[Topology, Dict[ProcessId, Process]]:
+    """``producer -> stage1 .. stageN -> consumer`` (``stages`` may be 0)."""
+    names = ["producer"] + [f"stage{i}" for i in range(1, stages + 1)] + ["consumer"]
+    topo = pipeline(names)
+    processes: Dict[ProcessId, Process] = {"producer": Producer(items, tick)}
+    for i in range(1, stages + 1):
+        processes[f"stage{i}"] = Stage()
+    processes["consumer"] = Consumer()
+    return topo, processes

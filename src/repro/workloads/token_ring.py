@@ -1,0 +1,70 @@
+"""Token-ring workload: one token circulates, each holder does local work.
+
+The classic cyclic, strongly-connected program — the friendliest case for
+the basic Halting Algorithm (markers always reach everyone). Each process
+holds the token for a short random "work" delay before forwarding, so
+halting usually catches the token in flight, exercising channel-state
+capture.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.network.topology import Topology, ring
+from repro.runtime.context import ProcessContext
+from repro.runtime.process import Process
+from repro.util.ids import ProcessId
+
+
+class TokenRingProcess(Process):
+    """One station on the ring."""
+
+    def __init__(self, max_hops: int, hold_time: float = 0.5) -> None:
+        self.max_hops = max_hops
+        self.hold_time = hold_time
+
+    def on_start(self, ctx: ProcessContext) -> None:
+        ctx.state["tokens_seen"] = 0
+        ctx.state["last_value"] = -1
+        ctx.state["holding"] = False
+        if ctx.name.endswith("0"):
+            # The ring's first station injects the token.
+            ctx.set_timer("inject", self.hold_time, payload=0)
+
+    def on_restore(self, ctx: ProcessContext) -> None:
+        # If we were holding the token when the state was captured, the
+        # pending forward timer died with the old incarnation — re-arm it
+        # from the restored state.
+        if ctx.state["holding"]:
+            ctx.set_timer("forward", self.hold_time,
+                          payload=ctx.state["last_value"] + 1)
+
+    def on_message(self, ctx: ProcessContext, src: ProcessId, payload: object) -> None:
+        with ctx.procedure("receive_token"):
+            value = int(payload)  # type: ignore[arg-type]
+            ctx.state["tokens_seen"] = ctx.state["tokens_seen"] + 1
+            ctx.state["last_value"] = value
+            if value < self.max_hops:
+                # Hold the token for a random work period, then forward.
+                ctx.state["holding"] = True
+                delay = self.hold_time * (0.5 + ctx.rng.random())
+                ctx.set_timer("forward", delay, payload=value + 1)
+
+    def on_timer(self, ctx: ProcessContext, name: str, payload: object) -> None:
+        with ctx.procedure("forward_token"):
+            ctx.state["holding"] = False
+            ctx.send(ctx.neighbors_out()[0], payload, tag="token")
+
+
+def build(
+    n: int = 4, max_hops: int = 40, hold_time: float = 0.5
+) -> Tuple[Topology, Dict[ProcessId, Process]]:
+    """A ring of ``n`` stations passing one token ``max_hops`` times."""
+    names = [f"p{i}" for i in range(n)]
+    topo = ring(names)
+    processes: Dict[ProcessId, Process] = {
+        name: TokenRingProcess(max_hops=max_hops, hold_time=hold_time)
+        for name in names
+    }
+    return topo, processes

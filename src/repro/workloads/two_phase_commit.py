@@ -1,0 +1,148 @@
+"""Two-phase commit with injectable faults — a protocol worth debugging.
+
+A coordinator drives ``rounds`` transactions over ``n`` participants:
+PREPARE → votes → COMMIT/ABORT → acks. Fault injection:
+
+* ``no_voter`` — that participant votes *no* on every round (all rounds
+  abort cleanly; good for testing decision propagation);
+* ``silent_voter`` + ``silent_round`` — that participant simply never
+  answers one PREPARE. The naive coordinator here has **no vote timeout**
+  (the bug), so the protocol wedges with the coordinator stuck in
+  ``phase == "collecting"`` — the debugging scenario: the system goes
+  quiet, you halt it, and the frozen coordinator state names exactly which
+  vote never arrived (`tests` and the 2PC example walk through it).
+
+State vocabulary: coordinator exposes ``round``, ``phase``, ``votes``
+(dict), ``decisions`` (list); participants expose ``prepared``,
+``decisions`` (list), ``votes_cast``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.network.topology import Topology, star
+from repro.runtime.context import ProcessContext
+from repro.runtime.process import Process
+from repro.util.ids import ProcessId
+
+COORDINATOR: ProcessId = "coord"
+
+
+class Coordinator(Process):
+    """Drives the rounds; deliberately lacks a vote timeout."""
+
+    def __init__(self, participants: List[ProcessId], rounds: int,
+                 pause: float = 0.5) -> None:
+        self.participants = participants
+        self.rounds = rounds
+        self.pause = pause
+
+    def on_start(self, ctx: ProcessContext) -> None:
+        ctx.state["round"] = 0
+        ctx.state["phase"] = "idle"
+        ctx.state["votes"] = {}
+        ctx.state["acks"] = 0
+        ctx.state["decisions"] = []
+        ctx.set_timer("next_round", self.pause)
+
+    def on_timer(self, ctx: ProcessContext, name: str, payload: object) -> None:
+        with ctx.procedure("begin_round"):
+            ctx.state["round"] = ctx.state["round"] + 1
+            ctx.state["phase"] = "collecting"
+            ctx.state["votes"] = {}
+            ctx.state["acks"] = 0
+            for participant in self.participants:
+                ctx.send(
+                    participant,
+                    {"type": "prepare", "round": ctx.state["round"]},
+                    tag="prepare",
+                )
+
+    def on_message(self, ctx: ProcessContext, src: ProcessId, payload: object) -> None:
+        message = dict(payload)  # type: ignore[arg-type]
+        if message["type"] == "vote":
+            self._on_vote(ctx, src, message)
+        elif message["type"] == "ack":
+            self._on_ack(ctx)
+
+    def _on_vote(self, ctx: ProcessContext, src: ProcessId, message: dict) -> None:
+        if message["round"] != ctx.state["round"] or ctx.state["phase"] != "collecting":
+            return  # stale vote
+        votes = dict(ctx.state["votes"])
+        votes[src] = message["vote"]
+        ctx.state["votes"] = votes
+        if len(votes) == len(self.participants):
+            decision = "commit" if all(v == "yes" for v in votes.values()) else "abort"
+            with ctx.procedure("decide"):
+                ctx.state["phase"] = "deciding"
+                ctx.mark("decision", round=ctx.state["round"], decision=decision)
+                for participant in self.participants:
+                    ctx.send(
+                        participant,
+                        {"type": decision, "round": ctx.state["round"]},
+                        tag=decision,
+                    )
+
+    def _on_ack(self, ctx: ProcessContext) -> None:
+        ctx.state["acks"] = ctx.state["acks"] + 1
+        if ctx.state["acks"] == len(self.participants):
+            decisions = list(ctx.state["decisions"])
+            decisions.append(ctx.state["round"])
+            ctx.state["decisions"] = decisions
+            ctx.state["phase"] = "idle"
+            if ctx.state["round"] < self.rounds:
+                ctx.set_timer("next_round", self.pause)
+
+
+class Participant(Process):
+    """Votes on PREPAREs, applies decisions, acks."""
+
+    def __init__(self, vote_yes: bool = True,
+                 silent_round: Optional[int] = None) -> None:
+        self.vote_yes = vote_yes
+        self.silent_round = silent_round
+
+    def on_start(self, ctx: ProcessContext) -> None:
+        ctx.state["prepared"] = False
+        ctx.state["votes_cast"] = 0
+        ctx.state["decisions"] = []
+
+    def on_message(self, ctx: ProcessContext, src: ProcessId, payload: object) -> None:
+        message = dict(payload)  # type: ignore[arg-type]
+        if message["type"] == "prepare":
+            if message["round"] == self.silent_round:
+                ctx.mark("vote_swallowed", round=message["round"])
+                return  # the injected bug: never answer
+            ctx.state["prepared"] = True
+            ctx.state["votes_cast"] = ctx.state["votes_cast"] + 1
+            vote = "yes" if self.vote_yes else "no"
+            ctx.send(src, {"type": "vote", "round": message["round"], "vote": vote},
+                     tag="vote")
+        elif message["type"] in ("commit", "abort"):
+            ctx.state["prepared"] = False
+            decisions = list(ctx.state["decisions"])
+            decisions.append((message["round"], message["type"]))
+            ctx.state["decisions"] = decisions
+            ctx.send(src, {"type": "ack", "round": message["round"]}, tag="ack")
+
+
+def build(
+    n: int = 3,
+    rounds: int = 4,
+    no_voter: Optional[ProcessId] = None,
+    silent_voter: Optional[ProcessId] = None,
+    silent_round: Optional[int] = None,
+) -> Tuple[Topology, Dict[ProcessId, Process]]:
+    """Coordinator ``coord`` plus participants ``part0..part{n-1}``."""
+    participants = [f"part{i}" for i in range(n)]
+    topo = star(COORDINATOR, participants)
+    processes: Dict[ProcessId, Process] = {
+        COORDINATOR: Coordinator(participants, rounds)
+    }
+    for name in participants:
+        processes[name] = Participant(
+            vote_yes=(name != no_voter),
+            silent_round=silent_round if name == silent_voter else None,
+        )
+    return topo, processes

@@ -1,0 +1,105 @@
+"""Integration tests for the §4 baselines (E9, E10 scenarios)."""
+
+from repro.analysis import check_cut_consistency, drift_between, states_equivalent
+from repro.baselines.central_hub import build_hubbed_system
+from repro.baselines.naive_halt import NaiveHaltCoordinator
+from repro.experiments import build_system, install_trigger, run_snapshot
+from repro.network.latency import UniformLatency
+from repro.runtime.system import System
+from repro.workloads import bank, chatter
+
+
+def run_naive(builder, seed, trigger_process, trigger_event):
+    topo, processes = builder()
+    extended = topo.with_debugger("d")
+    from repro.debugger.agent import DebuggerProcess
+
+    staffed = dict(processes)
+    staffed["d"] = DebuggerProcess()
+    system = System(
+        extended, staffed, seed=seed,
+        latency=UniformLatency(0.4, 1.6), never_halt={"d"},
+    )
+    coordinator = NaiveHaltCoordinator(system, monitor="d")
+    install_trigger(
+        system, trigger_process, trigger_event,
+        lambda: coordinator.trip(trigger_process),
+    )
+    system.run_to_quiescence()
+    return system, coordinator
+
+
+def test_naive_halt_stops_everything_eventually():
+    system, coordinator = run_naive(
+        lambda: bank.build(n=4, transfers=25), 3, "branch1", 10
+    )
+    assert coordinator.all_halted()
+    state = coordinator.collect()
+    assert state.origin == "naive"
+    # Even the naive stop yields a *causally* consistent cut...
+    report = check_cut_consistency(system.log, state)
+    assert report.consistent, "\n".join(report.violations)
+    # ...and conserves money (consistency implies it).
+    assert bank.total_money(state) == 4 * bank.INITIAL_BALANCE
+
+
+def test_naive_halt_drifts_past_reference_cut():
+    """E9's core shape: naive halting inspects states *after* the
+    interesting point; marker halting inspects the point itself."""
+    builder = lambda: bank.build(n=4, transfers=25)
+    _, _, reference = run_snapshot(builder, 3, "branch1", 10)
+    _, naive = run_naive(builder, 3, "branch1", 10)
+    drift = drift_between(reference, naive.collect())
+    assert drift.total > 0, "naive halting shows no drift?! latency too low"
+    assert drift.maximum > 0
+    # The marker-based halt has exactly zero drift (Theorem 2) — re-check.
+    from repro.experiments import run_halting
+
+    _, _, halted = run_halting(builder, 3, "branch1", 10)
+    assert drift_between(reference, halted).total == 0
+
+
+def test_naive_channels_are_indeterminable():
+    _, coordinator = run_naive(lambda: bank.build(n=4, transfers=25), 7, "branch0", 12)
+    state = coordinator.collect()
+    assert all(not cs.complete for cs in state.channels.values())
+
+
+def test_hubbed_system_runs_same_program():
+    topo, processes = chatter.build(n=4, budget=15, seed=5)
+    system, hub = build_hubbed_system(topo, processes, seed=5,
+                                      latency=UniformLatency(0.4, 1.6))
+    system.run_to_quiescence()
+    # Every process finished its budget; all traffic went through the hub.
+    for name in topo.processes:
+        assert system.state_of(name)["sent"] == 15
+    total_received = sum(system.state_of(n)["received"] for n in topo.processes)
+    assert len(hub.records) == total_received
+    assert all(r.src != "hub" and r.dst != "hub" for r in hub.records)
+
+
+def test_hub_doubles_message_hops():
+    topo, processes = chatter.build(n=4, budget=15, seed=5)
+    direct = System(topo, {n: p for n, p in processes.items()}, seed=5,
+                    latency=UniformLatency(0.4, 1.6))
+    direct.run_to_quiescence()
+    direct_hops = direct.message_totals()["user"]
+
+    topo2, processes2 = chatter.build(n=4, budget=15, seed=5)
+    hubbed, _ = build_hubbed_system(topo2, processes2, seed=5,
+                                    latency=UniformLatency(0.4, 1.6))
+    hubbed.run_to_quiescence()
+    hub_hops = hubbed.message_totals()["user"]
+    assert hub_hops == 2 * direct_hops
+
+
+def test_hub_detects_message_sequences_centrally():
+    topo, processes = chatter.build(n=4, budget=15, seed=5)
+    system, hub = build_hubbed_system(topo, processes, seed=5,
+                                      latency=UniformLatency(0.4, 1.6))
+    system.run_to_quiescence()
+    first = hub.records[0]
+    # A trivially-satisfiable two-step pattern anchored on real traffic.
+    match = hub.detect_sequence([(first.src, None, "chat"), (None, None, "chat")])
+    assert match is not None
+    assert match[0].seq < match[1].seq

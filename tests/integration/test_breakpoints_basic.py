@@ -1,0 +1,109 @@
+"""Integration: breakpoints drive the Halting Algorithm (E7 scenarios)."""
+
+import pytest
+
+from repro.analysis import check_cut_consistency
+from repro.breakpoints import BreakpointCoordinator, parse_predicate
+from repro.experiments import build_system
+from repro.halting import HaltingCoordinator
+from repro.workloads import bank, token_ring
+
+
+def run_with_breakpoint(builder, predicate_text, seed=0, max_events=500_000):
+    system = build_system(builder, seed)
+    halting = HaltingCoordinator(system)
+    breakpoints = BreakpointCoordinator(system)
+    lp_id = breakpoints.set_breakpoint(predicate_text)
+    system.run_to_quiescence(max_events=max_events)
+    return system, halting, breakpoints, lp_id
+
+
+def test_simple_predicate_halts_system():
+    system, halting, breakpoints, lp_id = run_with_breakpoint(
+        lambda: token_ring.build(n=4, max_hops=60),
+        "enter(receive_token)@p2",
+    )
+    assert breakpoints.hits_for(lp_id), "breakpoint never fired"
+    assert halting.all_halted()
+    # The satisfying process halted with its trigger event in its history.
+    p2 = system.controller("p2")
+    assert p2.halted_snapshot is not None
+    assert p2.halted_snapshot.state["tokens_seen"] >= 1
+
+
+def test_breakpoint_halt_is_consistent():
+    system, halting, breakpoints, lp_id = run_with_breakpoint(
+        lambda: bank.build(n=4, transfers=25),
+        "state(transfers_made>=5)@branch1",
+        seed=3,
+    )
+    assert breakpoints.hits_for(lp_id)
+    state = halting.collect()
+    report = check_cut_consistency(system.log, state)
+    assert report.consistent, "\n".join(report.violations)
+    assert bank.total_money(state) == 4 * bank.INITIAL_BALANCE
+
+
+def test_linked_predicate_fires_in_causal_order():
+    # Token visits p1 then (causally) p3: hops are chained by the token.
+    system, halting, breakpoints, lp_id = run_with_breakpoint(
+        lambda: token_ring.build(n=4, max_hops=60),
+        "enter(receive_token)@p1 -> enter(receive_token)@p3",
+    )
+    hits = breakpoints.hits_for(lp_id)
+    assert hits
+    trail = hits[0].trail
+    assert [hit.process for hit in trail] == ["p1", "p3"]
+    assert trail[0].time <= trail[1].time
+    assert halting.all_halted()
+
+
+def test_linked_predicate_that_never_fires():
+    # The ring only makes 3 hops; a 30-times repetition can't happen.
+    system, halting, breakpoints, lp_id = run_with_breakpoint(
+        lambda: token_ring.build(n=4, max_hops=3),
+        "enter(receive_token)@p1 ^30",
+    )
+    assert not breakpoints.hits_for(lp_id)
+    assert not halting.halt_order  # nothing halted
+    assert system.state_of("p0")["tokens_seen"] >= 0
+
+
+def test_disjunctive_predicate_any_branch():
+    system, halting, breakpoints, lp_id = run_with_breakpoint(
+        lambda: token_ring.build(n=4, max_hops=60),
+        "enter(receive_token)@p1 | enter(receive_token)@p2",
+    )
+    hits = breakpoints.hits_for(lp_id)
+    assert hits
+    assert hits[0].trail[0].process in ("p1", "p2")
+    assert halting.all_halted()
+
+
+def test_repetition_counts_satisfactions():
+    system, halting, breakpoints, lp_id = run_with_breakpoint(
+        lambda: token_ring.build(n=4, max_hops=60),
+        "enter(receive_token)@p1 ^3",
+    )
+    hits = breakpoints.hits_for(lp_id)
+    assert hits
+    # p1 saw the token exactly 3 times when the breakpoint fired.
+    snapshot = system.controller("p1").halted_snapshot
+    assert snapshot is not None
+    assert snapshot.state["tokens_seen"] == 3
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_multiple_hits_multiple_initiators_still_consistent(seed):
+    # A disjunction satisfied at several branches near-simultaneously can
+    # initiate halting from several processes; the algorithm tolerates it.
+    system, halting, breakpoints, lp_id = run_with_breakpoint(
+        lambda: bank.build(n=4, transfers=25),
+        "state(transfers_made>=4)@branch0 | state(transfers_made>=4)@branch1 "
+        "| state(transfers_made>=4)@branch2",
+        seed=seed,
+    )
+    assert breakpoints.hits_for(lp_id)
+    state = halting.collect()
+    report = check_cut_consistency(system.log, state)
+    assert report.consistent, "\n".join(report.violations)

@@ -1,0 +1,63 @@
+"""Snapshot-based deadlock detection: C&L stable properties in anger.
+
+The philosophers deadlock quietly (no errors, no crashes). A periodic
+snapshot monitor detects it as a stable property — waits-for cycle plus
+empty channels — without ever pausing the program, and never reports it
+while forks are still moving.
+"""
+
+import pytest
+
+from repro.experiments import build_system
+from repro.snapshot import SnapshotMonitor
+from repro.workloads import philosophers
+from repro.workloads.philosophers import deadlocked, waits_for_cycle
+
+
+def test_monitor_detects_real_deadlock():
+    topo, processes = philosophers.build(
+        n=4, meals=3, policy="left-first", think=1.0
+    )
+    system = build_system(lambda: (topo, processes), 1)
+    monitor = SnapshotMonitor(system, interval=3.0, stable=deadlocked)
+    records = monitor.run(max_rounds=30)
+    assert records[-1].stable_detected, "deadlock never detected"
+    # Ground truth from the final direct states.
+    states = {name: system.state_of(name) for name in system.user_process_names}
+    cycle = waits_for_cycle(states)
+    assert cycle is not None and len(cycle) == 4
+
+
+def test_monitor_never_cries_wolf_on_ordered_policy():
+    topo, processes = philosophers.build(
+        n=4, meals=3, policy="ordered", think=1.0
+    )
+    system = build_system(lambda: (topo, processes), 1)
+    monitor = SnapshotMonitor(system, interval=3.0, stable=deadlocked)
+    records = monitor.run(max_rounds=30)
+    assert not any(record.stable_detected for record in records)
+    for i in range(4):
+        assert system.state_of(f"ph{i}")["meals"] == 3
+
+
+def test_detection_is_not_premature():
+    """Before the deadlock completes (forks still being granted), snapshots
+    must not report it: the waits-for data and channel contents come from
+    one consistent cut, so a half-formed cycle with a grant in flight never
+    counts."""
+    topo, processes = philosophers.build(
+        n=4, meals=3, policy="left-first", think=1.0
+    )
+    system = build_system(lambda: (topo, processes), 1)
+    monitor = SnapshotMonitor(system, interval=0.6, stable=deadlocked)
+    records = monitor.run(max_rounds=60)
+    assert records[-1].stable_detected
+    detection_time = records[-1].completed_at
+    # Every earlier snapshot was honest.
+    for record in records[:-1]:
+        assert not record.stable_detected
+    # The deadlock is real from detection onward: meals never changed after.
+    assert all(
+        system.state_of(f"ph{i}")["meals"] == 0 for i in range(4)
+    )
+    del detection_time

@@ -1,0 +1,135 @@
+"""Integration tests for the full extended-model debugger (E3, E5, E12)."""
+
+import pytest
+
+from repro.analysis import check_cut_consistency
+from repro.debugger import DebugSession
+from repro.experiments import build_system
+from repro.halting import HaltingCoordinator
+from repro.network.latency import UniformLatency
+from repro.workloads import bank, pipeline, token_ring
+
+
+def make_session(builder, seed=0, **kwargs):
+    topo, processes = builder()
+    return DebugSession(topo, processes, seed=seed,
+                        latency=UniformLatency(0.4, 1.6), **kwargs)
+
+
+# -- E3: acyclic topologies --------------------------------------------------
+
+
+def test_basic_algorithm_fails_on_pipeline():
+    """Fig. 2: consumer-initiated halt cannot reach the producer without a
+    debugger process."""
+    topo, processes = pipeline.build(stages=2, items=40)
+    system = build_system(lambda: (topo, processes), seed=1)
+    halting = HaltingCoordinator(system)
+
+    fired = []
+
+    def consumer_initiates():
+        halting.initiate(["consumer"])
+        fired.append(True)
+
+    from repro.experiments import install_trigger
+    install_trigger(system, "consumer", 5, consumer_initiates)
+    system.run_to_quiescence()
+    assert fired
+    # Consumer halted; everything upstream kept running to completion.
+    assert system.controller("consumer").halted
+    assert "producer" in halting.unhalted()
+    assert system.state_of("producer")["produced"] == 40
+
+
+def test_extended_model_halts_pipeline():
+    """Fig. 3: with the debugger process the same scenario halts everyone."""
+    session = make_session(lambda: pipeline.build(stages=2, items=40), seed=1)
+    session.set_breakpoint("enter(consume)@consumer ^5")
+    outcome = session.run()
+    assert outcome.stopped
+    assert outcome.hits
+    # The producer halted well before exhausting its items.
+    assert session.inspect("producer")["produced"] < 40
+    order = session.halting_order()
+    assert set(order) == {"producer", "stage1", "stage2", "consumer"}
+
+
+# -- breakpoint + inspect + resume lifecycle ------------------------------------
+
+
+def test_breakpoint_inspect_resume_continue():
+    session = make_session(lambda: token_ring.build(n=4, max_hops=60), seed=2)
+    session.set_breakpoint("enter(receive_token)@p2 ^2")
+    outcome = session.run()
+    assert outcome.stopped
+    assert session.inspect("p2")["tokens_seen"] == 2
+
+    # Resume and hit a later breakpoint in the same session.
+    session.set_breakpoint("enter(receive_token)@p2 ^3")
+    session.resume()
+    outcome2 = session.run()
+    assert outcome2.stopped
+    assert session.inspect("p2")["tokens_seen"] == 5  # 2 + 3 more
+
+
+def test_explicit_halt_command():
+    session = make_session(lambda: bank.build(n=3, transfers=30), seed=4)
+    session.system.run(until=6.0)
+    session.halt()
+    outcome = session.run()
+    assert outcome.stopped
+    state = session.global_state()
+    assert bank.total_money(state) == 3 * bank.INITIAL_BALANCE
+
+
+def test_global_state_via_protocol_is_consistent():
+    session = make_session(lambda: bank.build(n=4, transfers=25), seed=6)
+    session.set_breakpoint("state(transfers_made>=6)@branch2")
+    outcome = session.run()
+    assert outcome.stopped
+    state = session.global_state()
+    report = check_cut_consistency(session.system.log, state)
+    assert report.consistent, "\n".join(report.violations)
+    assert bank.total_money(state) == 4 * bank.INITIAL_BALANCE
+
+
+# -- E12: repeated halt/resume cycles, stale markers -----------------------------
+
+
+def test_halt_ids_increase_across_cycles():
+    session = make_session(lambda: token_ring.build(n=4, max_hops=200), seed=3)
+    generations = []
+    for cycle in range(1, 4):
+        session.set_breakpoint(f"enter(receive_token)@p1 ^{cycle}")
+        outcome = session.run()
+        assert outcome.stopped, f"cycle {cycle} did not halt"
+        generations.append(session.current_generation())
+        # All agents agree on the generation (the paper's claim that every
+        # last_halt_id is equal once all processes halt).
+        ids = {
+            session._halting_agents[name].last_halt_id
+            for name in session.system.user_process_names
+        }
+        assert ids == {generations[-1]}
+        session.resume()
+    assert generations == sorted(generations)
+    assert len(set(generations)) == 3
+
+
+def test_halting_order_paths_are_prefixes():
+    """§2.2.4: the path in each halt marker lists processes that halted
+    earlier; every reported path must be consistent with halt times."""
+    session = make_session(lambda: bank.build(n=4, transfers=30), seed=8)
+    session.set_breakpoint("state(transfers_made>=5)@branch0")
+    outcome = session.run()
+    assert outcome.stopped
+    paths = session.halt_paths()
+    notifications = {n.process: n for n in session.agent.halting_order()}
+    for process, path in paths.items():
+        for earlier in path:
+            if earlier == session.debugger_name or earlier not in notifications:
+                continue
+            assert notifications[earlier].time <= notifications[process].time, (
+                f"{earlier} appears in {process}'s halt path but halted later"
+            )

@@ -1,0 +1,118 @@
+"""Integration tests for state restoration (time travel from S_h)."""
+
+import pytest
+
+from repro.analysis import check_cut_consistency
+from repro.experiments import run_halting, run_snapshot
+from repro.halting import HaltingCoordinator, restore
+from repro.network.latency import UniformLatency
+from repro.util.errors import HaltingError
+from repro.workloads import bank, chatter, token_ring
+
+
+def test_restored_bank_conserves_money_and_completes():
+    builder = lambda: bank.build(n=4, transfers=20)
+    _, _, state = run_halting(builder, 7, "branch1", 10)
+    assert bank.total_money(state) == 4 * bank.INITIAL_BALANCE
+
+    topo, processes = bank.build(n=4, transfers=20)
+    system = restore(state, topo, processes, seed=99,
+                     latency=UniformLatency(0.4, 1.6))
+    # Immediately after restore (nothing run): the books still balance
+    # once in-flight wires land.
+    system.run_to_quiescence()
+    balances = {n: system.state_of(n)["balance"] for n in system.user_process_names}
+    assert bank.total_money(balances) == 4 * bank.INITIAL_BALANCE
+    # And the program genuinely continued: every branch finished its quota.
+    for name in system.user_process_names:
+        assert system.state_of(name)["transfers_made"] == 20
+
+
+def test_restored_run_continues_causal_history():
+    builder = lambda: chatter.build(n=4, budget=20, seed=3)
+    _, _, state = run_halting(builder, 3, "p1", 8)
+    topo, processes = chatter.build(n=4, budget=20, seed=3)
+    system = restore(state, topo, processes, seed=123,
+                     latency=UniformLatency(0.4, 1.6))
+    system.run_to_quiescence()
+    # New events continue the captured clocks: every process's final vector
+    # dominates its captured vector.
+    for name, snapshot in state.processes.items():
+        final = system.controller(name).vector.snapshot()
+        assert all(f >= c for f, c in zip(final, snapshot.vector))
+        assert system.controller(name)._local_seq >= snapshot.local_seq
+    sent = sum(system.state_of(n)["sent"] for n in system.user_process_names)
+    received = sum(system.state_of(n)["received"] for n in system.user_process_names)
+    assert sent == received == 4 * 20
+
+
+def test_restored_token_ring_token_survives():
+    builder = lambda: token_ring.build(n=4, max_hops=30)
+    _, _, state = run_halting(builder, 5, "p2", 6)
+    topo, processes = token_ring.build(n=4, max_hops=30)
+    system = restore(state, topo, processes, seed=77,
+                     latency=UniformLatency(0.4, 1.6))
+    system.run_to_quiescence()
+    # The token completed all its hops across the incarnation boundary.
+    values = [system.state_of(f"p{i}")["last_value"] for i in range(4)]
+    assert max(values) == 30
+
+
+def test_restore_can_halt_again():
+    """Restore, attach fresh debugging machinery, halt again — the restored
+    cut composes with everything else."""
+    builder = lambda: bank.build(n=3, transfers=25)
+    _, _, state = run_halting(builder, 2, "branch0", 8)
+    topo, processes = bank.build(n=3, transfers=25)
+    system = restore(state, topo, processes, seed=44,
+                     latency=UniformLatency(0.4, 1.6))
+    halting = HaltingCoordinator(system)
+    from repro.experiments import install_trigger
+
+    install_trigger(system, "branch2", state.processes["branch2"].local_seq + 10,
+                    lambda: halting.initiate(["branch2"]))
+    system.run_to_quiescence()
+    assert halting.all_halted()
+    second = halting.collect()
+    assert bank.total_money(second) == 3 * bank.INITIAL_BALANCE
+    report = check_cut_consistency(system.log, second)
+    # The log only covers the second incarnation; channel contents include
+    # re-injected messages whose sends predate the log, so only the
+    # frontier check is meaningful here — run it via bank's invariant
+    # (already asserted) and vector domination instead.
+    for name, snap in second.processes.items():
+        old = state.processes[name]
+        assert all(f >= c for f, c in zip(snap.vector, old.vector))
+
+
+def test_restore_rejects_incomplete_channels():
+    """Naive-halt captures (no marker delimiters) cannot be restored —
+    their channel contents are indeterminable (E9)."""
+    from repro.baselines.naive_halt import NaiveHaltCoordinator
+    from repro.debugger.agent import DebuggerProcess
+    from repro.experiments import install_trigger
+    from repro.runtime.system import System
+
+    topo, processes = bank.build(n=3, transfers=25)
+    extended = topo.with_debugger("d")
+    staffed = dict(processes)
+    staffed["d"] = DebuggerProcess()
+    system = System(extended, staffed, seed=6,
+                    latency=UniformLatency(0.4, 1.6), never_halt={"d"})
+    coordinator = NaiveHaltCoordinator(system, monitor="d")
+    install_trigger(system, "branch0", 10, lambda: coordinator.trip("branch0"))
+    system.run_to_quiescence()
+    naive_state = coordinator.collect()
+    if not any(cs.messages for cs in naive_state.channels.values()):
+        pytest.skip("no pending messages this seed; nothing indeterminable")
+    topo2, processes2 = bank.build(n=3, transfers=25)
+    with pytest.raises(HaltingError, match="indeterminable"):
+        restore(naive_state, topo2, processes2)
+
+
+def test_restore_rejects_unknown_processes():
+    builder = lambda: bank.build(n=3, transfers=10)
+    _, _, state = run_halting(builder, 1, "branch0", 5)
+    topo, processes = bank.build(n=2, transfers=10)  # smaller topology
+    with pytest.raises(HaltingError, match="not in the topology"):
+        restore(state, topo, processes)

@@ -1,0 +1,73 @@
+"""Experiment E2 (Theorem 2): the halted state S_h equals the snapshot S_r.
+
+Two runs of the identical workload (same seed): one is halted by the
+paper's Halting Algorithm at a local trigger, the twin records a C&L
+snapshot at the same trigger. Theorem 2 says the two global states are the
+same — here we demand *exact structural equality* (process states, event
+counts, logical clocks, per-channel message sequences).
+"""
+
+import pytest
+
+from repro.analysis import check_cut_consistency, states_equivalent
+from repro.experiments import run_halting, run_snapshot
+from repro.workloads import bank, chatter, token_ring
+
+
+def paired(builder, seed, process, nth, **kwargs):
+    _, _, s_h = run_halting(builder, seed, process, nth, **kwargs)
+    _, _, s_r = run_snapshot(builder, seed, process, nth, **kwargs)
+    return s_h, s_r
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_token_ring_halt_equals_snapshot(seed):
+    builder = lambda: token_ring.build(n=4, max_hops=30)
+    s_h, s_r = paired(builder, seed, "p1", 10)
+    report = states_equivalent(s_h, s_r)
+    assert report.equivalent, "\n".join(report.differences)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_bank_halt_equals_snapshot(seed):
+    builder = lambda: bank.build(n=4, transfers=20)
+    s_h, s_r = paired(builder, seed, "branch2", 15)
+    report = states_equivalent(s_h, s_r)
+    assert report.equivalent, "\n".join(report.differences)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_chatter_halt_equals_snapshot(seed):
+    builder = lambda: chatter.build(n=5, budget=25, seed=seed)
+    s_h, s_r = paired(builder, seed, "p0", 12)
+    report = states_equivalent(s_h, s_r)
+    assert report.equivalent, "\n".join(report.differences)
+
+
+def test_multi_initiator_halt_equals_multi_initiator_snapshot():
+    builder = lambda: chatter.build(n=5, budget=25, seed=9)
+    s_h, s_r = paired(
+        builder, 9, "p0", 10, extra_initiators=("p3",)
+    )
+    report = states_equivalent(s_h, s_r)
+    assert report.equivalent, "\n".join(report.differences)
+
+
+def test_halted_state_is_consistent_cut():
+    builder = lambda: bank.build(n=4, transfers=20)
+    system, _, s_h = run_halting(builder, 5, "branch0", 8)
+    report = check_cut_consistency(system.log, s_h)
+    assert report.consistent, "\n".join(report.violations)
+
+
+def test_snapshot_state_is_consistent_cut():
+    builder = lambda: bank.build(n=4, transfers=20)
+    system, _, s_r = run_snapshot(builder, 5, "branch0", 8)
+    report = check_cut_consistency(system.log, s_r)
+    assert report.consistent, "\n".join(report.violations)
+
+
+def test_bank_money_conserved_at_halt():
+    builder = lambda: bank.build(n=4, transfers=20)
+    _, _, s_h = run_halting(builder, 11, "branch1", 12)
+    assert bank.total_money(s_h) == 4 * bank.INITIAL_BALANCE

@@ -1,0 +1,81 @@
+"""The algorithms on the threaded backend: real nondeterminism (E1/E2 cousins).
+
+Exact cross-run equality is impossible under OS scheduling, so these tests
+assert what the theorems guarantee for *any* execution: halted cuts are
+consistent, money is conserved, channels get closed by markers.
+"""
+
+import pytest
+
+from repro.analysis import check_cut_consistency
+from repro.halting import HaltingCoordinator
+from repro.runtime.threaded import ThreadedSystem
+from repro.snapshot import SnapshotCoordinator
+from repro.workloads import bank, chatter
+
+
+@pytest.fixture
+def bank_system():
+    topo, processes = bank.build(n=3, transfers=15, tick=0.6)
+    system = ThreadedSystem(topo, processes, seed=1, time_scale=0.02)
+    yield system
+    system.shutdown()
+
+
+def test_threaded_workload_runs_to_completion():
+    topo, processes = chatter.build(n=4, budget=10, seed=2)
+    system = ThreadedSystem(topo, processes, seed=2, time_scale=0.01)
+    try:
+        system.start()
+        assert system.settle(timeout=30.0), "chatter did not quiesce"
+        total_sent = sum(system.state_of(n)["sent"] for n in topo.processes)
+        total_received = sum(system.state_of(n)["received"] for n in topo.processes)
+        assert total_sent == 4 * 10
+        assert total_received == total_sent
+    finally:
+        system.shutdown()
+
+
+def test_threaded_halting_yields_consistent_cut(bank_system):
+    system = bank_system
+    halting = HaltingCoordinator(system)
+    system.start()
+    # Let the program make progress, then have branch0 spontaneously halt.
+    assert system.run_until(
+        lambda: system.state_of("branch0").get("transfers_made", 0) >= 3,
+        timeout=30.0,
+    )
+    agent = halting.agents["branch0"]
+    system.controller("branch0").defer(lambda: agent.initiate())
+    assert system.run_until(system.all_user_processes_halted, timeout=30.0)
+    assert system.settle(timeout=30.0)
+    state = halting.collect()
+    report = check_cut_consistency(system.log, state)
+    assert report.consistent, "\n".join(report.violations)
+    assert bank.total_money(state) == 3 * bank.INITIAL_BALANCE
+    # Marker discipline: every non-empty buffered channel was closed by the
+    # halt marker travelling behind its contents.
+    for channel_state in state.channels.values():
+        assert channel_state.complete
+
+
+def test_threaded_snapshot_is_consistent(bank_system):
+    system = bank_system
+    coordinator = SnapshotCoordinator(system)
+    system.start()
+    assert system.run_until(
+        lambda: system.state_of("branch1").get("transfers_made", 0) >= 3,
+        timeout=30.0,
+    )
+    system.controller("branch1").defer(lambda: coordinator.initiate(["branch1"]))
+    assert system.run_until(coordinator.is_complete, timeout=30.0)
+    state = coordinator.collect()
+    report = check_cut_consistency(system.log, state)
+    assert report.consistent, "\n".join(report.violations)
+    assert bank.total_money(state) == 3 * bank.INITIAL_BALANCE
+    # The program was not halted: it runs on to completion afterwards.
+    assert system.settle(timeout=30.0)
+    assert all(
+        system.state_of(n)["transfers_made"] == 15
+        for n in system.user_process_names
+    )

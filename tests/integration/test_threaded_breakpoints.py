@@ -1,0 +1,58 @@
+"""Breakpoint detection + halting on the threaded backend.
+
+The same PredicateAgent/HaltingAgent code drives real threads; under
+genuine nondeterminism we assert the paper's guarantees (causal trail,
+consistent halt), not exact schedules.
+"""
+
+import pytest
+
+from repro.analysis import check_cut_consistency
+from repro.breakpoints import BreakpointCoordinator
+from repro.halting import HaltingCoordinator
+from repro.runtime.threaded import ThreadedSystem
+from repro.workloads import bank, token_ring
+
+
+def test_threaded_breakpoint_halts_consistently():
+    topo, processes = bank.build(n=3, transfers=20, tick=0.6)
+    system = ThreadedSystem(topo, processes, seed=4, time_scale=0.02)
+    halting = HaltingCoordinator(system)
+    breakpoints = BreakpointCoordinator(system)
+    try:
+        lp_id = breakpoints.set_breakpoint("state(transfers_made>=3)@branch1")
+        system.start()
+        assert system.run_until(system.all_user_processes_halted, timeout=30.0), \
+            "breakpoint never halted the system"
+        assert system.settle(timeout=30.0)
+        assert breakpoints.hits_for(lp_id)
+        state = halting.collect()
+        report = check_cut_consistency(system.log, state)
+        assert report.consistent, "\n".join(report.violations)
+        assert bank.total_money(state) == 3 * bank.INITIAL_BALANCE
+        assert state.processes["branch1"].state["transfers_made"] >= 3
+    finally:
+        system.shutdown()
+
+
+def test_threaded_linked_predicate_trail_is_causal():
+    topo, processes = token_ring.build(n=3, max_hops=60, hold_time=0.4)
+    system = ThreadedSystem(topo, processes, seed=2, time_scale=0.02)
+    HaltingCoordinator(system)
+    breakpoints = BreakpointCoordinator(system)
+    try:
+        lp_id = breakpoints.set_breakpoint(
+            "enter(receive_token)@p1 -> enter(receive_token)@p2"
+        )
+        system.start()
+        assert system.run_until(system.all_user_processes_halted, timeout=30.0)
+        assert system.settle(timeout=30.0)
+        hits = breakpoints.hits_for(lp_id)
+        assert hits
+        trail = hits[0].trail
+        assert [h.process for h in trail] == ["p1", "p2"]
+        by_eid = {e.eid: e for e in system.log}
+        opener, closer = by_eid[trail[0].eid], by_eid[trail[1].eid]
+        assert opener.happened_before(closer)
+    finally:
+        system.shutdown()

@@ -1,0 +1,88 @@
+"""Property: vector clocks decide happened-before *exactly*.
+
+We generate random message-passing histories in a tiny abstract model,
+track ground-truth causal history sets by construction, and demand that
+vector-clock comparison agrees with set membership on every event pair.
+This is the foundation every oracle in the library leans on.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.events.clocks import VectorClock, concurrent, vector_less
+
+N_PROCS = 3
+
+# An op is either a local event at p, or a send p->q, or "deliver the next
+# queued message on q's channel from p" (skipped when the queue is empty).
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("local"), st.integers(0, N_PROCS - 1)),
+        st.tuples(
+            st.just("send"),
+            st.integers(0, N_PROCS - 1),
+            st.integers(0, N_PROCS - 1),
+        ),
+        st.tuples(
+            st.just("recv"),
+            st.integers(0, N_PROCS - 1),
+            st.integers(0, N_PROCS - 1),
+        ),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@given(ops)
+@settings(max_examples=200, deadline=None)
+def test_vector_comparison_equals_causal_history(script):
+    clocks = [VectorClock(i, N_PROCS) for i in range(N_PROCS)]
+    # queues[(src, dst)] = FIFO of (vector-at-send, history-at-send)
+    queues = {}
+    last_event_at = [None] * N_PROCS  # event id of proc's latest event
+    events = []  # (vector, history frozenset, own id)
+
+    def record(proc, vector, extra_history=frozenset()):
+        history = set(extra_history)
+        if last_event_at[proc] is not None:
+            prev_id = last_event_at[proc]
+            history |= events[prev_id][1] | {prev_id}
+        eid = len(events)
+        events.append((vector, frozenset(history), eid))
+        last_event_at[proc] = eid
+
+    for op in script:
+        if op[0] == "local":
+            proc = op[1]
+            record(proc, clocks[proc].tick())
+        elif op[0] == "send":
+            src, dst = op[1], op[2]
+            if src == dst:
+                continue
+            vector = clocks[src].tick()
+            record(src, vector)
+            eid = len(events) - 1
+            queues.setdefault((src, dst), []).append(
+                (vector, events[eid][1] | {eid})
+            )
+        else:  # recv
+            src, dst = op[1], op[2]
+            queue = queues.get((src, dst), [])
+            if not queue:
+                continue
+            message_vector, message_history = queue.pop(0)
+            vector = clocks[dst].merge(message_vector)
+            record(dst, vector, extra_history=message_history)
+
+    for a_vector, a_history, a_id in events:
+        for b_vector, b_history, b_id in events:
+            if a_id == b_id:
+                continue
+            causally_before = a_id in b_history
+            assert vector_less(a_vector, b_vector) == causally_before, (
+                f"vector order disagrees with causality for {a_id}->{b_id}"
+            )
+            if not causally_before and a_id not in b_history and b_id not in a_history:
+                assert concurrent(a_vector, b_vector) == (
+                    b_id not in a_history and a_id not in b_history
+                )

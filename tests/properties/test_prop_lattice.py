@@ -1,0 +1,63 @@
+"""Properties of the consistent-cut lattice over random executions."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis import CutLattice
+from repro.experiments import build_system, run_snapshot
+from repro.workloads import chatter, token_ring
+
+
+@given(seed=st.integers(0, 5_000))
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_enumeration_matches_brute_force(seed):
+    system = build_system(lambda: token_ring.build(n=3, max_hops=4), seed)
+    system.run_to_quiescence()
+    lattice = CutLattice(system.log, max_cuts=500_000)
+    import itertools
+
+    enumerated = set(lattice.enumerate_cuts())
+    brute = {
+        cut
+        for cut in itertools.product(*(range(n + 1) for n in lattice.top))
+        if lattice.is_consistent(cut)
+    }
+    assert enumerated == brute
+
+
+@given(seed=st.integers(0, 5_000))
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_every_enumerated_cut_has_no_orphans(seed):
+    system = build_system(lambda: chatter.build(n=3, budget=4, seed=9), seed)
+    system.run_to_quiescence()
+    lattice = CutLattice(system.log, max_cuts=500_000)
+    from repro.events.event import EventKind
+
+    for cut in lattice.enumerate_cuts():
+        # Recount directly from the events — independent of the lattice's
+        # own prefix tables.
+        for channel in lattice._send_prefix:
+            src = lattice._index[channel.src]
+            dst = lattice._index[channel.dst]
+            sends = sum(
+                1 for e in lattice._events[src][:cut[src]]
+                if e.kind is EventKind.SEND and e.channel == channel
+            )
+            receives = sum(
+                1 for e in lattice._events[dst][:cut[dst]]
+                if e.kind is EventKind.RECEIVE and e.channel == channel
+            )
+            assert receives <= sends
+
+
+@given(seed=st.integers(0, 5_000), trigger=st.integers(2, 10))
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_snapshot_cut_always_in_lattice(seed, trigger):
+    builder = lambda: chatter.build(n=3, budget=6, seed=2)
+    system, _, state = run_snapshot(builder, seed, "p0", trigger)
+    lattice = CutLattice(
+        system.log, processes=sorted(state.processes), max_cuts=500_000
+    )
+    assert lattice.is_consistent(lattice.cut_of_state(state))

@@ -1,0 +1,84 @@
+"""Property: the predicate DSL round-trips — parse(str(lp)) == lp."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.breakpoints.parser import parse_predicate
+from repro.breakpoints.predicates import (
+    DisjunctivePredicate,
+    LinkedPredicate,
+    SimplePredicate,
+    StateQuery,
+)
+from repro.events.event import EventKind
+
+process_names = st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True).filter(
+    lambda s: s not in ("true", "false")
+)
+labels = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True)
+
+event_kinds = st.sampled_from([
+    EventKind.SEND,
+    EventKind.RECEIVE,
+    EventKind.PROCEDURE_ENTRY,
+    EventKind.PROCEDURE_EXIT,
+    EventKind.TIMER,
+    EventKind.PROCESS_CREATED,
+    EventKind.PROCESS_TERMINATED,
+    EventKind.CHANNEL_CREATED,
+    EventKind.CHANNEL_DESTROYED,
+])
+
+state_values = st.one_of(
+    st.integers(-10_000, 10_000),
+    st.booleans(),
+    # Bare words parse back as strings — except the boolean keywords.
+    labels.filter(lambda s: s not in ("true", "false")),
+)
+
+state_queries = st.builds(
+    StateQuery,
+    key=labels,
+    op=st.sampled_from(["==", "!=", "<", "<=", ">", ">="]),
+    value=state_values,
+)
+
+event_terms = st.builds(
+    SimplePredicate,
+    process=process_names,
+    kind=event_kinds,
+    detail=st.one_of(st.none(), labels),
+    state=st.none(),
+    repeat=st.integers(1, 5),
+)
+
+state_terms = st.builds(
+    SimplePredicate,
+    process=process_names,
+    kind=st.just(EventKind.STATE_CHANGE),
+    detail=st.none(),
+    state=state_queries,
+    repeat=st.integers(1, 3),
+)
+
+simple_terms = st.one_of(event_terms, state_terms)
+
+disjunctions = st.lists(simple_terms, min_size=1, max_size=3).map(
+    lambda terms: DisjunctivePredicate(terms=tuple(terms))
+)
+
+linked = st.lists(disjunctions, min_size=1, max_size=4).map(
+    lambda stages: LinkedPredicate(stages=tuple(stages))
+)
+
+
+@given(lp=linked)
+@settings(max_examples=300, deadline=None)
+def test_parse_of_str_is_identity(lp):
+    assert parse_predicate(str(lp)) == lp
+
+
+@given(term=simple_terms)
+@settings(max_examples=200, deadline=None)
+def test_simple_term_roundtrip(term):
+    parsed = parse_predicate(str(term))
+    assert parsed.first.terms == (term,)

@@ -1,0 +1,56 @@
+"""Properties of state restoration across random halts and futures."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.experiments import run_halting
+from repro.halting import restore
+from repro.network.latency import UniformLatency
+from repro.workloads import bank, chatter
+
+
+@given(
+    halt_seed=st.integers(0, 3_000),
+    future_seed=st.integers(0, 3_000),
+    trigger=st.integers(2, 20),
+)
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_restored_bank_always_balances_and_finishes(halt_seed, future_seed, trigger):
+    builder = lambda: bank.build(n=3, transfers=12)
+    _, _, state = run_halting(builder, halt_seed, "branch0", trigger)
+    topo, fresh = bank.build(n=3, transfers=12)
+    system = restore(state, topo, fresh, seed=future_seed,
+                     latency=UniformLatency(0.4, 1.6))
+    system.run_to_quiescence()
+    balances = {
+        name: system.state_of(name)["balance"]
+        for name in system.user_process_names
+    }
+    assert bank.total_money(balances) == 3 * bank.INITIAL_BALANCE
+    for name in system.user_process_names:
+        assert system.state_of(name)["transfers_made"] == 12
+
+
+@given(
+    halt_seed=st.integers(0, 3_000),
+    future_seed=st.integers(0, 3_000),
+    trigger=st.integers(2, 15),
+)
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_restored_chatter_delivers_every_message(halt_seed, future_seed, trigger):
+    builder = lambda: chatter.build(n=3, budget=10, seed=8)
+    _, _, state = run_halting(builder, halt_seed, "p1", trigger)
+    topo, fresh = chatter.build(n=3, budget=10, seed=8)
+    system = restore(state, topo, fresh, seed=future_seed,
+                     latency=UniformLatency(0.4, 1.6))
+    system.run_to_quiescence()
+    sent = sum(system.state_of(n)["sent"] for n in system.user_process_names)
+    received = sum(
+        system.state_of(n)["received"] for n in system.user_process_names
+    )
+    assert sent == received == 3 * 10
+    # Clocks continued monotonically from the capture.
+    for name, snapshot in state.processes.items():
+        final = system.controller(name).vector.snapshot()
+        assert all(f >= c for f, c in zip(final, snapshot.vector))

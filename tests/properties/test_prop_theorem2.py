@@ -1,0 +1,80 @@
+"""Property: Theorem 2 (S_h = S_r) over randomized runs, plus Theorem 1.
+
+Each example draws a workload, a seed, a trigger point, and an initiator
+set, runs the halting/snapshot twin executions, and checks exact
+equivalence and cut consistency. This is experiment E2's property-test
+form — the strongest statement the reproduction makes.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis import check_cut_consistency, states_equivalent
+from repro.experiments import run_halting, run_snapshot
+from repro.workloads import bank, chatter, token_ring
+
+WORKLOADS = {
+    "token_ring": (
+        lambda: token_ring.build(n=4, max_hops=25),
+        ["p0", "p1", "p2", "p3"],
+    ),
+    "bank": (
+        lambda: bank.build(n=3, transfers=15),
+        ["branch0", "branch1", "branch2"],
+    ),
+    "chatter": (
+        lambda: chatter.build(n=4, budget=15, seed=13),
+        ["p0", "p1", "p2", "p3"],
+    ),
+}
+
+
+@given(
+    workload=st.sampled_from(sorted(WORKLOADS)),
+    seed=st.integers(0, 10_000),
+    trigger_event=st.integers(1, 25),
+    trigger_index=st.integers(0, 3),
+    extra_index=st.one_of(st.none(), st.integers(0, 3)),
+)
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_halted_equals_recorded(workload, seed, trigger_event,
+                                trigger_index, extra_index):
+    builder, names = WORKLOADS[workload]
+    trigger_process = names[trigger_index % len(names)]
+    extras = ()
+    if extra_index is not None:
+        extra = names[extra_index % len(names)]
+        if extra != trigger_process:
+            extras = (extra,)
+
+    _, _, s_h = run_halting(
+        builder, seed, trigger_process, trigger_event, extra_initiators=extras
+    )
+    snapshot_system, _, s_r = run_snapshot(
+        builder, seed, trigger_process, trigger_event, extra_initiators=extras
+    )
+
+    report = states_equivalent(s_h, s_r)
+    assert report.equivalent, "\n".join(report.differences)
+
+    consistency = check_cut_consistency(snapshot_system.log, s_r)
+    assert consistency.consistent, "\n".join(consistency.violations)
+
+
+@given(seed=st.integers(0, 10_000), trigger_event=st.integers(1, 30))
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_bank_invariant_at_any_halt(seed, trigger_event):
+    """Money is conserved at every halted cut, whatever the trigger."""
+    system, coordinator, state = run_halting(
+        lambda: bank.build(n=3, transfers=15), seed, "branch0", trigger_event
+    )
+    assert bank.total_money(state) == 3 * bank.INITIAL_BALANCE
+    report = check_cut_consistency(system.log, state)
+    assert report.consistent, "\n".join(report.violations)
+    ids = {agent.last_halt_id for agent in coordinator.agents.values()}
+    assert ids == {1}

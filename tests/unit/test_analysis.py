@@ -1,0 +1,178 @@
+"""Unit tests for the analysis oracles: they must catch bad states too."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import (
+    check_cut_consistency,
+    cut_of,
+    drift_between,
+    events_inside_cut,
+    halt_timing,
+    message_overhead,
+    states_equivalent,
+)
+from repro.experiments import build_system, run_halting, run_snapshot
+from repro.snapshot.state import ChannelState, GlobalState
+from repro.workloads import bank, chatter
+
+
+def halted_state(seed=2):
+    system, _, state = run_halting(
+        lambda: bank.build(n=3, transfers=15), seed, "branch0", 8
+    )
+    return system, state
+
+
+class TestConsistencyChecker:
+    def test_accepts_good_state(self):
+        system, state = halted_state()
+        assert check_cut_consistency(system.log, state)
+
+    def test_detects_forward_shifted_process(self):
+        """Pushing one process's cut *backward* while others saw its later
+        messages must be flagged (orphan receives)."""
+        system, state = halted_state()
+        victim = "branch0"
+        snap = state.processes[victim]
+        mutated = dataclasses.replace(
+            snap,
+            local_seq=0,
+            vector=tuple(0 for _ in snap.vector),
+            lamport=0,
+        )
+        bad = GlobalState(
+            origin="halting",
+            processes={**dict(state.processes), victim: mutated},
+            channels=dict(state.channels),
+        )
+        report = check_cut_consistency(system.log, bad)
+        assert not report.consistent
+        assert report.violations
+
+    def test_detects_wrong_channel_contents(self):
+        system, state = halted_state()
+        # Drop every recorded channel message: in-transit mismatch.
+        emptied = {
+            channel: ChannelState(channel=channel, messages=(), complete=True)
+            for channel in state.channels
+        }
+        if not emptied:
+            pytest.skip("no pending channels this seed")
+        bad = GlobalState(
+            origin="halting",
+            processes=dict(state.processes),
+            channels=emptied,
+        )
+        report = check_cut_consistency(system.log, bad)
+        assert not report.consistent
+
+    def test_expected_in_transit_counts(self):
+        system, state = halted_state()
+        report = check_cut_consistency(system.log, state)
+        for channel, count in report.expected_in_transit.items():
+            recorded = len(state.pending_on(channel))
+            assert recorded == count
+
+    def test_cut_helpers(self):
+        system, state = halted_state()
+        cut = cut_of(state)
+        inside = events_inside_cut(system.log, state)
+        assert all(e.local_seq <= cut[e.process] for e in inside)
+        assert all(e.process in cut for e in inside)
+
+
+class TestEquivalence:
+    def test_equal_states(self):
+        builder = lambda: bank.build(n=3, transfers=15)
+        _, _, s_h = run_halting(builder, 4, "branch1", 9)
+        _, _, s_r = run_snapshot(builder, 4, "branch1", 9)
+        assert states_equivalent(s_h, s_r)
+
+    def test_reports_process_difference(self):
+        _, state = halted_state()
+        snap = state.processes["branch0"]
+        tweaked = dataclasses.replace(snap, state={**snap.state, "balance": -1})
+        other = GlobalState(
+            origin="halting",
+            processes={**dict(state.processes), "branch0": tweaked},
+            channels=dict(state.channels),
+        )
+        report = states_equivalent(state, other)
+        assert not report.equivalent
+        assert any("branch0" in d for d in report.differences)
+
+    def test_reports_channel_difference(self):
+        _, state = halted_state()
+        other = GlobalState(
+            origin="halting",
+            processes=dict(state.processes),
+            channels={},  # all channels empty
+        )
+        report = states_equivalent(state, other)
+        if state.channels:
+            assert not report.equivalent
+        else:
+            assert report.equivalent
+
+    def test_reports_population_difference(self):
+        _, state = halted_state()
+        fewer = dict(state.processes)
+        fewer.popitem()
+        report = states_equivalent(
+            state,
+            GlobalState(origin="halting", processes=fewer, channels={}),
+        )
+        assert not report.equivalent
+        assert any("population" in d for d in report.differences)
+
+
+class TestMetrics:
+    def test_zero_drift_between_identical(self):
+        _, state = halted_state()
+        drift = drift_between(state, state)
+        assert drift.total == 0
+        assert drift.maximum == 0
+        assert drift.processes_past_cut == 0
+
+    def test_positive_drift(self):
+        _, state = halted_state()
+        snap = state.processes["branch0"]
+        later = dataclasses.replace(snap, local_seq=snap.local_seq + 5)
+        advanced = GlobalState(
+            origin="naive",
+            processes={**dict(state.processes), "branch0": later},
+            channels={},
+        )
+        drift = drift_between(state, advanced)
+        assert drift.per_process["branch0"] == 5
+        assert drift.total == 5
+        assert drift.processes_past_cut == 1
+
+    def test_message_overhead_counts_markers(self):
+        system, _, _ = run_halting(
+            lambda: bank.build(n=3, transfers=15), 2, "branch0", 8
+        )
+        overhead = message_overhead(system)
+        assert overhead.user_messages > 0
+        assert overhead.control_messages > 0  # halt markers
+        assert overhead.by_kind["halt_marker"] == overhead.control_messages
+        assert overhead.control_per_user > 0
+
+    def test_no_control_traffic_without_debugging(self):
+        system = build_system(lambda: chatter.build(n=3, budget=10, seed=1), 1)
+        system.run_to_quiescence()
+        overhead = message_overhead(system)
+        assert overhead.control_messages == 0
+
+    def test_halt_timing(self):
+        _, state = halted_state()
+        timing = halt_timing(state, initiated_at=0.0)
+        assert timing is not None
+        assert timing.first_halt <= timing.last_halt
+        assert timing.latency >= timing.span >= 0
+
+    def test_halt_timing_empty_state(self):
+        empty = GlobalState(origin="halting", processes={}, channels={})
+        assert halt_timing(empty, 0.0) is None

@@ -1,0 +1,142 @@
+"""Unit tests for the debugger CLI."""
+
+import pytest
+
+from repro.debugger import DebugSession
+from repro.debugger.cli import DebuggerCLI
+from repro.network.latency import UniformLatency
+from repro.workloads import bank, token_ring
+
+
+def make_cli(builder=None, seed=3):
+    topo, processes = (builder or (lambda: bank.build(n=3, transfers=25)))()
+    session = DebugSession(topo, processes, seed=seed,
+                           latency=UniformLatency(0.4, 1.6))
+    return DebuggerCLI(session)
+
+
+class TestBasicCommands:
+    def test_help_lists_commands(self):
+        cli = make_cli()
+        output = cli.execute("help")
+        for word in ("break", "run", "inspect", "state", "quit"):
+            assert word in output
+
+    def test_unknown_command(self):
+        cli = make_cli()
+        assert "unknown command" in cli.execute("frobnicate")
+
+    def test_empty_and_comment_lines(self):
+        cli = make_cli()
+        assert cli.execute("") == ""
+        assert cli.execute("# a comment") == ""
+
+    def test_quit_sets_finished(self):
+        cli = make_cli()
+        assert cli.execute("quit") == "bye"
+        assert cli.finished
+
+
+class TestBreakpointCommands:
+    def test_break_and_list_and_clear(self):
+        cli = make_cli()
+        out = cli.execute("break state(transfers_made>=5)@branch0")
+        assert "breakpoint 1 armed" in out
+        assert "state(transfers_made>=5)@branch0" in cli.execute("breaks")
+        assert "cleared" in cli.execute("clear 1")
+        assert cli.execute("breaks") == "no breakpoints armed"
+
+    def test_bad_predicate_reports_error(self):
+        cli = make_cli()
+        assert "error:" in cli.execute("break bogus syntax here")
+
+    def test_clear_unknown(self):
+        cli = make_cli()
+        assert "no breakpoint 9" in cli.execute("clear 9")
+        assert "usage" in cli.execute("clear")
+
+    def test_pathbreak(self):
+        cli = make_cli(lambda: token_ring.build(n=3, max_hops=40))
+        out = cli.execute(
+            "pathbreak (enter(receive_token)@p1 ; enter(receive_token)@p2)"
+        )
+        assert "1 alternative" in out
+
+
+class TestSessionFlow:
+    def test_full_debugging_script(self):
+        cli = make_cli()
+        outputs = cli.run_script([
+            "break state(transfers_made>=4)@branch1",
+            "run",
+            "processes",
+            "inspect branch1",
+            "order",
+            "paths",
+            "state",
+            "hits",
+            "resume",
+            "run",
+            "quit",
+        ])
+        assert "stopped at" in outputs[1]
+        assert "halted" in outputs[2]
+        assert "branch1 (halted)" in outputs[3]
+        assert "halting order:" in outputs[4]
+        assert "via" in outputs[5]
+        assert "GlobalState" in outputs[6]
+        assert "lp1 at branch1" in outputs[7]
+        assert outputs[8] == "resumed"
+        assert "ran to" in outputs[9]  # program completes, no more halts
+        assert outputs[10] == "bye"
+
+    def test_explicit_halt_flow(self):
+        cli = make_cli()
+        cli.execute("run 5.0")
+        assert "halt markers dispatched" in cli.execute("halt")
+        out = cli.execute("run")
+        assert "stopped at" in out
+
+    def test_inspect_unknown_process(self):
+        cli = make_cli()
+        assert "unknown process" in cli.execute("inspect ghost")
+
+    def test_events_command(self):
+        cli = make_cli()
+        cli.execute("run 5.0")
+        out = cli.execute("events branch0 3")
+        assert "Event#" in out
+        assert "usage" in cli.execute("events")
+
+    def test_watch_command(self):
+        cli = make_cli()
+        out = cli.execute(
+            'watch mark(x)@branch0 & mark(y)@branch1'
+        )
+        assert "watch 1 installed" in out
+
+    def test_run_with_bad_time(self):
+        cli = make_cli()
+        assert "usage" in cli.execute("run soon")
+
+
+class TestDiagramStats:
+    def test_diagram_command(self):
+        cli = make_cli()
+        cli.execute("run 6.0")
+        out = cli.execute("diagram")
+        assert "branch0" in out and "~~>" in out
+
+    def test_diagram_window(self):
+        cli = make_cli()
+        cli.execute("run 6.0")
+        out = cli.execute("diagram 2.0 4.0")
+        assert "t=" in out
+        assert "usage" in cli.execute("diagram soon")
+
+    def test_stats_command(self):
+        cli = make_cli()
+        cli.execute("run 6.0")
+        out = cli.execute("stats")
+        assert "concurrency ratio" in out
+        assert "critical path" in out

@@ -1,0 +1,45 @@
+"""Robustness: the CLI must never raise, whatever command sequence arrives.
+
+Property-based fuzzing over command scripts: any sequence of (possibly
+malformed) commands returns strings — errors are reported, not raised —
+and the session survives to execute the next command.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.debugger import DebugSession
+from repro.debugger.cli import DebuggerCLI
+from repro.network.latency import UniformLatency
+from repro.workloads import bank
+
+COMMANDS = st.one_of(
+    st.sampled_from([
+        "help", "breaks", "processes", "order", "paths", "hits",
+        "stats", "resume", "halt", "run 2.0", "run",
+        "inspect branch0", "inspect ghost", "events branch1 3",
+        "break state(balance<900)@branch0",
+        "break enter(send_wire)@branch2",
+        "break bogus@@@",
+        "clear 1", "clear 99", "clear x",
+        "diagram", "diagram 1 2", "diagram x",
+        "watch mark(a)@branch0 & mark(b)@branch1",
+        "pathbreak (recv@branch0 ; recv@branch1)",
+        "save",  # missing path -> usage
+        "state",  # may error when not halted: must not raise
+        "report",
+    ]),
+    st.text(max_size=25),  # arbitrary junk
+)
+
+
+@given(script=st.lists(COMMANDS, max_size=12))
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_cli_never_raises(script):
+    topo, processes = bank.build(n=3, transfers=10)
+    session = DebugSession(topo, processes, seed=1,
+                           latency=UniformLatency(0.4, 1.6))
+    cli = DebuggerCLI(session)
+    for line in script:
+        output = cli.execute(line)
+        assert isinstance(output, str)

@@ -1,0 +1,146 @@
+"""Unit tests for logical clocks, events, and the event log."""
+
+import pytest
+
+from repro.events.clocks import ClockFrame, LamportClock, VectorClock, concurrent, vector_less
+from repro.events.event import Event, EventKind
+from repro.events.log import EventLog
+
+
+def make_event(eid, process, vector, vector_index, kind=EventKind.SEND,
+               detail=None, local_seq=0, lamport=0):
+    return Event(
+        eid=eid, process=process, kind=kind, time=float(eid),
+        lamport=lamport or eid, vector=vector, vector_index=vector_index,
+        detail=detail, local_seq=local_seq or eid,
+    )
+
+
+class TestLamportClock:
+    def test_tick_increments(self):
+        clock = LamportClock()
+        assert clock.tick() == 1
+        assert clock.tick() == 2
+
+    def test_merge_jumps_ahead(self):
+        clock = LamportClock()
+        clock.tick()
+        assert clock.merge(10) == 11
+        assert clock.merge(3) == 12  # max(11,3)+1
+
+
+class TestVectorClock:
+    def test_tick_own_component(self):
+        clock = VectorClock(owner_index=1, size=3)
+        assert clock.tick() == (0, 1, 0)
+        assert clock.tick() == (0, 2, 0)
+
+    def test_merge(self):
+        clock = VectorClock(owner_index=0, size=3)
+        clock.tick()  # (1,0,0)
+        assert clock.merge((0, 5, 2)) == (2, 5, 2)
+
+    def test_arity_mismatch(self):
+        clock = VectorClock(owner_index=0, size=2)
+        with pytest.raises(ValueError):
+            clock.merge((1, 2, 3))
+
+    def test_bad_owner_index(self):
+        with pytest.raises(ValueError):
+            VectorClock(owner_index=3, size=3)
+
+
+class TestVectorOrder:
+    def test_less(self):
+        assert vector_less((1, 0), (1, 1))
+        assert not vector_less((1, 1), (1, 1))
+        assert not vector_less((2, 0), (1, 1))
+
+    def test_concurrent(self):
+        assert concurrent((1, 0), (0, 1))
+        assert not concurrent((1, 0), (1, 1))
+
+    def test_arity_check(self):
+        with pytest.raises(ValueError):
+            vector_less((1,), (1, 2))
+
+
+class TestClockFrame:
+    def test_indices(self):
+        frame = ClockFrame(["a", "b", "c"])
+        assert frame.index_of("b") == 1
+        clock = frame.clock_for("c")
+        assert clock.owner_index == 2
+
+    def test_duplicate_names(self):
+        with pytest.raises(ValueError):
+            ClockFrame(["a", "a"])
+
+
+class TestEvent:
+    def test_five_tuple(self):
+        event = make_event(1, "p", (1, 0), 0)
+        p, s, ss, m, c = event.five_tuple
+        assert p == "p"
+        assert m is None and c is None
+
+    def test_happened_before_via_vectors(self):
+        a = make_event(1, "p", (1, 0), 0)
+        b = make_event(2, "q", (1, 1), 1)
+        c = make_event(3, "p", (2, 0), 0)
+        assert a.happened_before(b)
+        assert not b.happened_before(a)
+        assert b.concurrent_with(c)
+
+    def test_cross_execution_comparison_rejected(self):
+        a = make_event(1, "p", (1, 0), 0)
+        b = make_event(2, "q", (1, 1, 0), 1)
+        with pytest.raises(ValueError):
+            a.happened_before(b)
+
+
+class TestEventLog:
+    def build_log(self):
+        log = EventLog()
+        log.append(make_event(1, "p", (1, 0), 0, detail="x"))
+        log.append(make_event(2, "q", (0, 1), 1, kind=EventKind.RECEIVE))
+        log.append(make_event(3, "p", (2, 0), 0, kind=EventKind.TIMER, detail="t"))
+        return log
+
+    def test_append_requires_increasing_eids(self):
+        log = self.build_log()
+        with pytest.raises(ValueError):
+            log.append(make_event(2, "p", (3, 0), 0))
+
+    def test_filters(self):
+        log = self.build_log()
+        assert len(log.for_process("p")) == 2
+        assert len(log.of_kind(EventKind.RECEIVE)) == 1
+        assert len(log.find(process="p", kind=EventKind.TIMER)) == 1
+        assert len(log.find(detail="x")) == 1
+        assert log.where(lambda e: e.eid > 1) == log.events[1:]
+
+    def test_causal_past(self):
+        log = EventLog()
+        a = make_event(1, "p", (1, 0), 0)
+        b = make_event(2, "q", (1, 1), 1)
+        log.append(a)
+        log.append(b)
+        assert log.causal_past(b) == (a,)
+        assert log.causal_past(a) == ()
+
+    def test_concurrent_pairs(self):
+        log = self.build_log()
+        pairs = list(log.concurrent_pairs())
+        # events 2 (q) and 3 (p, vector (2,0)) are concurrent
+        assert any({a.eid, b.eid} == {2, 3} for a, b in pairs)
+
+    def test_matches_in_order(self):
+        log = EventLog()
+        a = make_event(1, "p", (1, 0), 0)
+        b = make_event(2, "q", (1, 1), 1)
+        log.append(a)
+        log.append(b)
+        assert log.matches_in_order([a, b])
+        assert not log.matches_in_order([b, a])
+        assert log.matches_in_order([a])  # trivially

@@ -1,0 +1,59 @@
+"""Unit tests for the facade API."""
+
+import pytest
+
+from repro.core.api import (
+    WORKLOADS,
+    attach_debugger,
+    build_system,
+    build_workload,
+    halt_with_breakpoint,
+    snapshot_now,
+)
+from repro.analysis import check_cut_consistency
+from repro.workloads import bank
+
+
+class TestBuildWorkload:
+    def test_registry_names(self):
+        assert set(WORKLOADS) == {
+            "bank", "chatter", "echo", "election", "gossip", "mutex",
+            "philosophers", "pipeline", "token_ring", "two_phase_commit",
+        }
+
+    def test_build_by_name(self):
+        topo, processes = build_workload("bank", n=3, transfers=5)
+        assert len(topo.processes) == 3
+        assert set(processes) == set(topo.processes)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="available"):
+            build_workload("nonesuch")
+
+
+class TestFacadeFlows:
+    def test_snapshot_now(self):
+        topo, processes = build_workload("bank", n=3, transfers=20)
+        system = build_system(topo, processes, seed=2)
+        system.run(until=5.0)
+        state = snapshot_now(system, initiators=["branch0"])
+        assert state.origin == "snapshot"
+        assert bank.total_money(state) == 3 * bank.INITIAL_BALANCE
+        report = check_cut_consistency(system.log, state)
+        assert report.consistent, "\n".join(report.violations)
+
+    def test_halt_with_breakpoint(self):
+        topo, processes = build_workload("token_ring", n=3, max_hops=30)
+        system, state = halt_with_breakpoint(
+            topo, processes, "enter(receive_token)@p1 ^2", seed=3
+        )
+        assert state.origin == "halting"
+        assert state.processes["p1"].state["tokens_seen"] == 2
+
+    def test_attach_debugger_end_to_end(self):
+        topo, processes = build_workload("bank", n=3, transfers=20)
+        session = attach_debugger(topo, processes, seed=4)
+        session.set_breakpoint("state(transfers_made>=3)@branch1")
+        outcome = session.run()
+        assert outcome.stopped
+        assert session.inspect("branch1")["transfers_made"] >= 3

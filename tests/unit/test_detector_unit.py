@@ -1,0 +1,112 @@
+"""Unit tests for the LP detector mechanics: arming, routing, cancel."""
+
+import pytest
+
+from repro.breakpoints import BreakpointCoordinator, parse_predicate
+from repro.breakpoints.detector import PredicateAgent, PredicateMarker
+from repro.experiments import build_system
+from repro.halting import HaltingCoordinator
+from repro.util.errors import PredicateError
+from repro.workloads import pipeline, token_ring
+
+
+class TestCoordinatorValidation:
+    def test_unknown_process_rejected(self):
+        system = build_system(lambda: token_ring.build(n=3), 0)
+        breakpoints = BreakpointCoordinator(system, halt=False)
+        with pytest.raises(PredicateError, match="unknown processes"):
+            breakpoints.set_breakpoint("recv@ghost")
+
+    def test_lp_ids_increase(self):
+        system = build_system(lambda: token_ring.build(n=3), 0)
+        breakpoints = BreakpointCoordinator(system, halt=False)
+        first = breakpoints.set_breakpoint("recv@p0")
+        second = breakpoints.set_breakpoint("recv@p1")
+        assert second == first + 1
+
+    def test_cancel_disarms_everywhere(self):
+        system = build_system(lambda: token_ring.build(n=3), 0)
+        breakpoints = BreakpointCoordinator(system, halt=False)
+        lp_id = breakpoints.set_breakpoint("recv@p0 | recv@p1")
+        assert any(agent.armed for agent in breakpoints.agents.values())
+        breakpoints.cancel(lp_id)
+        assert all(not agent.armed for agent in breakpoints.agents.values())
+        system.run_to_quiescence()
+        assert breakpoints.hits == []
+
+
+class TestMonitoringMode:
+    def test_non_halting_breakpoint_reports_only(self):
+        system = build_system(lambda: token_ring.build(n=3, max_hops=12), 1)
+        HaltingCoordinator(system)
+        breakpoints = BreakpointCoordinator(system, halt=False)
+        lp_id = breakpoints.set_breakpoint("enter(receive_token)@p1")
+        system.run_to_quiescence()
+        assert breakpoints.hits_for(lp_id)
+        # Nothing halted: the ring ran to natural completion.
+        assert not system.all_user_processes_halted()
+        assert system.state_of("p0")["last_value"] >= 11
+
+    def test_breakpoint_without_halting_agent_raises(self):
+        system = build_system(lambda: token_ring.build(n=3, max_hops=12), 1)
+        breakpoints = BreakpointCoordinator(system, halt=True)  # halting!
+        breakpoints.set_breakpoint("enter(receive_token)@p1")
+        with pytest.raises(PredicateError, match="no HaltingAgent"):
+            system.run_to_quiescence()
+
+
+class TestMarkerRouting:
+    def test_multi_hop_route_on_sparse_ring(self):
+        """p0 -> p2 has no direct channel on a 4-ring; the marker relays."""
+        system = build_system(lambda: token_ring.build(n=4, max_hops=40), 2)
+        HaltingCoordinator(system)
+        breakpoints = BreakpointCoordinator(system)
+        lp_id = breakpoints.set_breakpoint(
+            "enter(receive_token)@p0 -> enter(receive_token)@p2"
+        )
+        system.run_to_quiescence()
+        hits = breakpoints.hits_for(lp_id)
+        assert hits
+        assert [h.process for h in hits[0].trail] == ["p0", "p2"]
+
+    def test_unroutable_marker_raises(self):
+        """On an acyclic pipe, a later stage cannot arm an earlier one."""
+        system = build_system(lambda: pipeline.build(stages=1, items=20), 3)
+        HaltingCoordinator(system)
+        breakpoints = BreakpointCoordinator(system)
+        breakpoints.set_breakpoint(
+            "enter(consume)@consumer -> enter(produce)@producer"
+        )
+        with pytest.raises(PredicateError, match="no channel path"):
+            system.run_to_quiescence()
+
+    def test_stage_counts_only_after_arming(self):
+        """Events concurrent-with/before the previous stage must not count:
+        p3's first token receipt happens before the marker from p1 can
+        arrive, so the LP needs a *second* p3 receipt."""
+        system = build_system(lambda: token_ring.build(n=4, max_hops=40), 4)
+        HaltingCoordinator(system)
+        breakpoints = BreakpointCoordinator(system)
+        lp_id = breakpoints.set_breakpoint(
+            "enter(receive_token)@p1 -> enter(receive_token)@p3"
+        )
+        system.run_to_quiescence()
+        hits = breakpoints.hits_for(lp_id)
+        assert hits
+        first_hit, second_hit = hits[0].trail
+        # The closing event is causally after the opening event.
+        log = system.log
+        opener = next(e for e in log if e.eid == first_hit.eid)
+        closer = next(e for e in log if e.eid == second_hit.eid)
+        assert opener.happened_before(closer)
+
+
+class TestArmValidation:
+    def test_arm_requires_local_involvement(self):
+        system = build_system(lambda: token_ring.build(n=3), 0)
+        agent = PredicateAgent(system.controller("p0"), halt_on_final=False)
+        marker = PredicateMarker(
+            lp_id=1, residual=parse_predicate("recv@p1"), stage_index=0
+        )
+        with pytest.raises(PredicateError, match="involves only"):
+            agent.arm(marker)

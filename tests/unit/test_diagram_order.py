@@ -1,0 +1,99 @@
+"""Unit tests for the space-time diagram and order statistics."""
+
+import pytest
+
+from repro.analysis import compute_order_stats, render_spacetime, render_summary
+from repro.events.event import EventKind
+from repro.experiments import build_system, run_halting
+from repro.util.errors import AnalysisError
+from repro.workloads import bank, pipeline, token_ring
+
+
+def small_run(builder=None, seed=1):
+    system = build_system(builder or (lambda: token_ring.build(n=3, max_hops=10)), seed)
+    system.run_to_quiescence()
+    return system
+
+
+class TestDiagram:
+    def test_contains_lanes_and_arrows(self):
+        system = small_run()
+        text = render_spacetime(system.log, unicode_glyphs=False)
+        assert "p0" in text and "p1" in text and "p2" in text
+        assert "~~>" in text and "<~~" in text
+
+    def test_time_window(self):
+        system = small_run()
+        text = render_spacetime(system.log, start=5.0, end=8.0,
+                                unicode_glyphs=False)
+        times = [
+            float(line[2:11])
+            for line in text.splitlines()
+            if line.startswith("t=")
+        ]
+        assert times and all(5.0 <= t <= 8.0 for t in times)
+
+    def test_kind_filter(self):
+        system = small_run()
+        text = render_spacetime(
+            system.log, kinds={EventKind.SEND}, unicode_glyphs=False
+        )
+        assert ">send" in text
+        assert "<recv" not in text
+        assert "*set" not in text
+
+    def test_truncation(self):
+        system = small_run()
+        text = render_spacetime(system.log, max_rows=5, unicode_glyphs=False)
+        assert "truncated" in text
+
+    def test_halt_bars(self):
+        builder = lambda: bank.build(n=3, transfers=15)
+        system, _, state = run_halting(builder, 2, "branch0", 8)
+        text = render_spacetime(
+            system.log, halted_state=state, unicode_glyphs=False,
+            max_rows=100_000,
+        )
+        assert text.count("== HALT ==") == 3  # one bar per process
+
+    def test_summary(self):
+        system = small_run()
+        text = render_summary(system.log)
+        assert "p0" in text
+        assert "send=" in text
+
+
+class TestOrderStats:
+    def test_pipeline_is_mostly_sequential(self):
+        system = small_run(lambda: pipeline.build(stages=1, items=8), seed=2)
+        stats = compute_order_stats(system.log)
+        # Items flow one after another but the producer works ahead:
+        # moderate concurrency, deep message chains.
+        assert stats.message_depth >= 2
+        assert stats.critical_path_length > 8
+
+    def test_chatter_is_concurrent(self):
+        from repro.workloads import chatter
+
+        system = small_run(lambda: chatter.build(n=4, budget=8, seed=4), seed=4)
+        stats = compute_order_stats(system.log)
+        assert stats.concurrency_ratio > 0.2
+        assert stats.parallelism > 1.5
+
+    def test_counts_are_exhaustive(self):
+        system = small_run()
+        stats = compute_order_stats(system.log)
+        n = stats.events
+        assert stats.ordered_pairs + stats.concurrent_pairs == n * (n - 1) // 2
+
+    def test_size_guard(self):
+        system = small_run(lambda: bank.build(n=4, transfers=20), seed=1)
+        with pytest.raises(AnalysisError, match="sample"):
+            compute_order_stats(system.log, max_events=10)
+
+    def test_single_token_ring_has_sequential_token_chain(self):
+        system = small_run()
+        stats = compute_order_stats(system.log)
+        # Every token hop is a message edge on the critical path: depth of
+        # message hops >= max_hops.
+        assert stats.message_depth >= 10

@@ -1,0 +1,98 @@
+"""Unit tests for the echo (wave) workload and debugging over it."""
+
+import pytest
+
+from repro.breakpoints import BreakpointCoordinator
+from repro.events.event import EventKind
+from repro.experiments import build_system
+from repro.halting import HaltingCoordinator
+from repro.workloads import echo
+
+
+def run_echo(n=7, seed=1, graph_seed=3):
+    topo, processes = echo.build(n=n, seed=graph_seed)
+    system = build_system(lambda: (topo, processes), seed)
+    system.run_to_quiescence()
+    return topo, system
+
+
+class TestEchoWave:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_wave_completes_and_builds_tree(self, seed):
+        topo, system = run_echo(seed=seed)
+        root = topo.processes[0]
+        states = {name: system.state_of(name) for name in topo.processes}
+        assert states[root]["done"]
+        # Every node joined and parent pointers form a tree rooted at root.
+        for name, state in states.items():
+            assert state["parent"] is not None
+            cursor, hops = name, 0
+            while states[cursor]["parent"] != cursor:
+                cursor = states[cursor]["parent"]
+                hops += 1
+                assert hops <= len(topo.processes), "parent cycle!"
+            assert cursor == root
+
+    def test_children_lists_match_parents(self):
+        topo, system = run_echo()
+        states = {name: system.state_of(name) for name in topo.processes}
+        for name, state in states.items():
+            for child in state["children"]:
+                assert states[child]["parent"] == name
+
+    def test_wave_marks_for_predicates(self):
+        topo, system = run_echo()
+        started = system.log.find(kind=EventKind.STATE_CHANGE, detail="wave_started")
+        done = system.log.find(kind=EventKind.STATE_CHANGE, detail="wave_done")
+        joined = system.log.find(kind=EventKind.STATE_CHANGE, detail="joined_wave")
+        assert len(started) == 1
+        assert len(done) == 1
+        assert len(joined) == len(topo.processes) - 1
+        # The wave start causally precedes its completion.
+        assert started[0].happened_before(done[0])
+
+
+class TestDebuggingTheWave:
+    def test_lp_from_start_to_done(self):
+        topo, processes = echo.build(n=7, seed=3)
+        root = topo.processes[0]
+        system = build_system(lambda: (topo, processes), 2)
+        HaltingCoordinator(system)
+        breakpoints = BreakpointCoordinator(system)
+        lp_id = breakpoints.set_breakpoint(
+            f"mark(wave_started)@{root} -> mark(wave_done)@{root}"
+        )
+        system.run_to_quiescence()
+        hits = breakpoints.hits_for(lp_id)
+        assert hits
+        assert [h.process for h in hits[0].trail] == [root, root]
+        assert system.all_user_processes_halted()
+
+    def test_halt_mid_wave_preserves_join_frontier(self):
+        """Halt when the third node joins: the frozen picture shows a
+        partial tree with tokens still in flight — a consistent prefix of
+        the wave."""
+        topo, processes = echo.build(n=8, seed=5)
+        system = build_system(lambda: (topo, processes), 4)
+        halting = HaltingCoordinator(system)
+        breakpoints = BreakpointCoordinator(system)
+        names = list(topo.processes)
+        disjunction = " | ".join(f"mark(joined_wave)@{n}" for n in names[1:])
+        breakpoints.set_breakpoint(disjunction)
+        system.run_to_quiescence()
+        state = halting.collect()
+        joined = [
+            name for name, snap in state.processes.items()
+            if snap.state.get("parent") is not None
+        ]
+        unjoined = [
+            name for name, snap in state.processes.items()
+            if snap.state.get("parent") is None
+        ]
+        assert joined, "someone must have joined before the halt"
+        # Consistency: every frozen parent pointer names a process that had
+        # itself already joined at the cut (no dangling parents).
+        for name in joined:
+            parent = state.processes[name].state["parent"]
+            assert state.processes[parent].state["parent"] is not None
+        del unjoined

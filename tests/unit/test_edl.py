@@ -1,0 +1,84 @@
+"""Unit tests for the EDL abstract-event recognizer."""
+
+import pytest
+
+from repro.debugger import DebugSession
+from repro.debugger.edl import EDLRecognizer
+from repro.network.latency import UniformLatency
+from repro.workloads import token_ring
+
+
+def make_session(max_hops=60, seed=2):
+    topo, processes = token_ring.build(n=3, max_hops=max_hops)
+    return DebugSession(topo, processes, seed=seed,
+                        latency=UniformLatency(0.4, 1.6))
+
+
+class TestEDLRecognizer:
+    def test_repeated_occurrences_via_rearm(self):
+        session = make_session()
+        recognizer = EDLRecognizer(session)
+        recognizer.define("p1_gets_token", "enter(receive_token)@p1")
+        # Poll in chunks so re-arming happens while the program runs.
+        for _ in range(6):
+            session.run(until=session.system.kernel.now + 10.0)
+            recognizer.poll()
+        session.run()
+        recognizer.poll()
+        count = recognizer.count("p1_gets_token")
+        assert count >= 3
+        occurrences = recognizer.occurrences_of("p1_gets_token")
+        assert [o.occurrence for o in occurrences] == list(range(1, count + 1))
+
+    def test_program_never_halts(self):
+        session = make_session(max_hops=20)
+        recognizer = EDLRecognizer(session)
+        recognizer.define("hop", "enter(receive_token)@p2")
+        outcome = session.run()
+        assert not outcome.stopped
+        # Ring ran to completion.
+        total = sum(
+            session.inspect(f"p{i}")["tokens_seen"] for i in range(3)
+        )
+        assert total == 21
+
+    def test_multi_stage_abstract_event(self):
+        session = make_session()
+        recognizer = EDLRecognizer(session)
+        recognizer.define(
+            "round_trip",
+            "enter(receive_token)@p1 -> enter(receive_token)@p2 -> enter(receive_token)@p0",
+        )
+        session.run()
+        recognizer.poll()
+        assert recognizer.count("round_trip") >= 1
+        occurrence = recognizer.last_occurrence("round_trip")
+        assert [h.process for h in occurrence.trail] == ["p1", "p2", "p0"]
+        assert occurrence.completed_at > 0
+
+    def test_duplicate_definition_rejected(self):
+        session = make_session()
+        recognizer = EDLRecognizer(session)
+        recognizer.define("x", "recv@p0")
+        with pytest.raises(ValueError, match="already defined"):
+            recognizer.define("x", "recv@p1")
+
+    def test_definitions_rendering(self):
+        session = make_session()
+        recognizer = EDLRecognizer(session)
+        recognizer.define("x", "recv@p0 -> send@p1")
+        assert recognizer.definitions() == {"x": "recv@p0 -> send@p1"}
+
+    def test_edl_coexists_with_halting_breakpoint(self):
+        """Monitoring predicates (halt=False) and a real breakpoint share
+        the same agents without interfering."""
+        session = make_session()
+        recognizer = EDLRecognizer(session)
+        recognizer.define("hop", "enter(receive_token)@p1")
+        session.set_breakpoint("enter(receive_token)@p2 ^3")
+        outcome = session.run()
+        assert outcome.stopped  # the breakpoint halted the ring
+        recognizer.poll()
+        assert recognizer.count("hop") >= 1
+        # The breakpoint's own hit was not consumed as an abstract event.
+        assert session.inspect("p2")["tokens_seen"] == 3

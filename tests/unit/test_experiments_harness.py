@@ -1,0 +1,65 @@
+"""Unit tests for the experiment harness itself (the twin-run machinery)."""
+
+import pytest
+
+from repro.experiments import (
+    LocalTrigger,
+    build_system,
+    install_trigger,
+    run_halting,
+    run_snapshot,
+)
+from repro.workloads import bank, token_ring
+
+
+class TestLocalTrigger:
+    def test_fires_once_at_threshold(self):
+        system = build_system(lambda: token_ring.build(n=3, max_hops=20), 1)
+        fired = []
+        trigger = install_trigger(system, "p1", 5, lambda: fired.append(system.kernel.now))
+        system.run_to_quiescence()
+        assert len(fired) == 1
+        assert trigger.fired
+        assert trigger.fired_at is not None
+        assert fired[0] >= trigger.fired_at  # deferred to handler boundary
+
+    def test_threshold_beyond_history_never_fires(self):
+        system = build_system(lambda: token_ring.build(n=3, max_hops=3), 1)
+        fired = []
+        install_trigger(system, "p1", 10_000, lambda: fired.append(1))
+        system.run_to_quiescence()
+        assert fired == []
+
+    def test_trigger_point_is_identical_across_twin_runs(self):
+        def run_once():
+            system = build_system(lambda: bank.build(n=3, transfers=10), 7)
+            trigger = install_trigger(system, "branch1", 8, lambda: None)
+            system.run_to_quiescence()
+            return trigger.fired_at
+
+        assert run_once() == run_once()
+
+
+class TestTwinRuns:
+    def test_halting_and_snapshot_runs_return_states(self):
+        builder = lambda: bank.build(n=3, transfers=10)
+        system_h, coordinator_h, s_h = run_halting(builder, 2, "branch0", 6)
+        system_r, coordinator_r, s_r = run_snapshot(builder, 2, "branch0", 6)
+        assert s_h.origin == "halting"
+        assert s_r.origin == "snapshot"
+        assert coordinator_h.all_halted()
+        assert coordinator_r.is_complete()
+        # The snapshot run kept running after recording; the halting run froze.
+        assert system_r.log.for_process("branch0")[-1].local_seq \
+            >= s_r.processes["branch0"].local_seq
+        assert system_h.log.for_process("branch0")[-1].local_seq \
+            == s_h.processes["branch0"].local_seq
+
+    def test_extra_initiators_share_the_generation(self):
+        builder = lambda: bank.build(n=3, transfers=10)
+        _, coordinator, state = run_halting(
+            builder, 3, "branch0", 6, extra_initiators=("branch2",)
+        )
+        ids = {agent.last_halt_id for agent in coordinator.agents.values()}
+        assert ids == {1}
+        assert state.generation == 1

@@ -1,0 +1,81 @@
+"""Unit tests for the gather-based unordered-conjunction detector."""
+
+from repro.breakpoints.detector import StageHit
+from repro.breakpoints.predicates import ConjunctivePredicate, SimplePredicate
+from repro.debugger.commands import SatisfactionNotice
+from repro.debugger.gather import GatherDetector
+from repro.events.event import EventKind
+
+
+def conjunction():
+    return ConjunctivePredicate(terms=(
+        SimplePredicate(process="a", kind=EventKind.STATE_CHANGE, detail="x"),
+        SimplePredicate(process="b", kind=EventKind.STATE_CHANGE, detail="y"),
+    ))
+
+
+def notice(term_index, vector, time=1.0, watch_id=1):
+    return SatisfactionNotice(
+        watch_id=watch_id,
+        term_index=term_index,
+        hit=StageHit(
+            stage_index=0, process="a" if term_index == 0 else "b",
+            eid=int(time * 10), lamport=1, time=time, term="t",
+        ),
+        vector=vector,
+        vector_index=term_index,
+    )
+
+
+class TestGatherDetector:
+    def test_concurrent_pair_detected(self):
+        detector = GatherDetector(1, conjunction())
+        assert detector.on_notice(notice(0, (1, 0), time=1.0), now=2.0) is None
+        detection = detector.on_notice(notice(1, (0, 1), time=1.5), now=2.5)
+        assert detection is not None
+        assert detection.detected_at == 2.5
+        assert detection.last_event_time == 1.5
+        assert detection.detection_lag == 1.0
+
+    def test_ordered_pair_not_detected(self):
+        detector = GatherDetector(1, conjunction())
+        detector.on_notice(notice(0, (1, 0)), now=2.0)
+        # (1,0) < (1,1): causally ordered, not an unordered co-satisfaction.
+        assert detector.on_notice(notice(1, (1, 1)), now=2.5) is None
+
+    def test_searches_history_for_concurrent_partner(self):
+        detector = GatherDetector(1, conjunction())
+        detector.on_notice(notice(0, (1, 0)), now=1.0)   # concurrent w/ (0,1)
+        detector.on_notice(notice(0, (2, 5)), now=2.0)   # ordered after b's
+        detection = detector.on_notice(notice(1, (0, 1)), now=3.0)
+        assert detection is not None
+
+    def test_incomplete_terms_no_detection(self):
+        detector = GatherDetector(1, conjunction())
+        assert detector.on_notice(notice(0, (1, 0)), now=1.0) is None
+        assert detector.on_notice(notice(0, (2, 0)), now=2.0) is None
+        assert detector.detections == []
+
+    def test_foreign_watch_id_ignored(self):
+        detector = GatherDetector(1, conjunction())
+        assert detector.on_notice(notice(0, (1, 0), watch_id=99), now=1.0) is None
+        assert detector._seen[0] == []
+
+    def test_history_bounded(self):
+        detector = GatherDetector(1, conjunction(), history=4)
+        for i in range(10):
+            detector.on_notice(notice(0, (i + 1, 0), time=float(i)), now=float(i))
+        assert len(detector._seen[0]) == 4
+
+    def test_three_term_conjunction(self):
+        cp = ConjunctivePredicate(terms=(
+            SimplePredicate(process="a", kind=EventKind.TIMER),
+            SimplePredicate(process="b", kind=EventKind.TIMER),
+            SimplePredicate(process="c", kind=EventKind.TIMER),
+        ))
+        detector = GatherDetector(1, cp)
+        detector.on_notice(notice(0, (1, 0, 0)), now=1.0)
+        detector.on_notice(notice(1, (0, 1, 0)), now=2.0)
+        detection = detector.on_notice(notice(2, (0, 0, 1)), now=3.0)
+        assert detection is not None
+        assert len(detection.hits) == 3

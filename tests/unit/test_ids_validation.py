@@ -1,0 +1,95 @@
+"""Unit tests for util: ids and validation."""
+
+import pytest
+
+from repro.util.errors import ConfigurationError
+from repro.util.ids import ChannelId, SequenceGenerator
+from repro.util.validation import (
+    require,
+    require_name,
+    require_non_negative,
+    require_positive,
+    require_unique,
+)
+
+
+class TestChannelId:
+    def test_str_and_parse_roundtrip(self):
+        channel = ChannelId("p1", "p2")
+        assert str(channel) == "p1->p2"
+        assert ChannelId.parse("p1->p2") == channel
+
+    def test_parse_rejects_garbage(self):
+        for bad in ("p1", "->p2", "p1->", ""):
+            with pytest.raises(ValueError):
+                ChannelId.parse(bad)
+
+    def test_reversed(self):
+        assert ChannelId("a", "b").reversed() == ChannelId("b", "a")
+
+    def test_ordering_is_stable(self):
+        channels = [ChannelId("b", "a"), ChannelId("a", "b"), ChannelId("a", "a")]
+        assert sorted(channels) == [
+            ChannelId("a", "a"), ChannelId("a", "b"), ChannelId("b", "a")
+        ]
+
+
+class TestSequenceGenerator:
+    def test_monotone(self):
+        gen = SequenceGenerator()
+        values = [gen.next() for _ in range(100)]
+        assert values == sorted(values)
+        assert len(set(values)) == 100
+
+    def test_start_offset(self):
+        gen = SequenceGenerator(start=10)
+        assert gen.next() == 10
+
+    def test_thread_safety(self):
+        import threading
+
+        gen = SequenceGenerator()
+        seen = []
+        lock = threading.Lock()
+
+        def worker():
+            local = [gen.next() for _ in range(500)]
+            with lock:
+                seen.extend(local)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(seen)) == 2000
+
+
+class TestValidation:
+    def test_require(self):
+        require(True, "fine")
+        with pytest.raises(ConfigurationError, match="broken"):
+            require(False, "broken")
+
+    def test_require_positive(self):
+        assert require_positive(1.5, "x") == 1.5
+        for bad in (0, -1):
+            with pytest.raises(ConfigurationError):
+                require_positive(bad, "x")
+
+    def test_require_non_negative(self):
+        assert require_non_negative(0, "x") == 0
+        with pytest.raises(ConfigurationError):
+            require_non_negative(-0.1, "x")
+
+    def test_require_name_rejects_metacharacters(self):
+        require_name("p1", "name")
+        require_name("branch_0.a", "name")
+        for bad in ("", "a b", "a@b", "a|b", "a->b", "a^2", "a&b", "a(b)", None, 7):
+            with pytest.raises(ConfigurationError):
+                require_name(bad, "name")  # type: ignore[arg-type]
+
+    def test_require_unique(self):
+        require_unique(["a", "b"], "name")
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            require_unique(["a", "a"], "name")

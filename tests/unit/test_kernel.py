@@ -1,0 +1,165 @@
+"""Unit tests for the simulation kernel."""
+
+import pytest
+
+from repro.simulation.kernel import SimulationKernel
+from repro.util.errors import SimulationError
+
+
+def test_events_fire_in_time_order():
+    kernel = SimulationKernel()
+    fired = []
+    kernel.schedule(3.0, lambda: fired.append("c"))
+    kernel.schedule(1.0, lambda: fired.append("a"))
+    kernel.schedule(2.0, lambda: fired.append("b"))
+    kernel.run()
+    assert fired == ["a", "b", "c"]
+    assert kernel.now == 3.0
+
+
+def test_equal_time_priority_order():
+    kernel = SimulationKernel()
+    fired = []
+    kernel.schedule(1.0, lambda: fired.append("low_prio"), priority=2)
+    kernel.schedule(1.0, lambda: fired.append("high_prio"), priority=0)
+    kernel.run()
+    assert fired == ["high_prio", "low_prio"]
+
+
+def test_equal_time_tiebreak_order():
+    kernel = SimulationKernel()
+    fired = []
+    kernel.schedule(1.0, lambda: fired.append("z"), tiebreak=("z", 1))
+    kernel.schedule(1.0, lambda: fired.append("a"), tiebreak=("a", 9))
+    kernel.run()
+    assert fired == ["a", "z"]
+
+
+def test_equal_everything_insertion_order():
+    kernel = SimulationKernel()
+    fired = []
+    for tag in ("first", "second", "third"):
+        kernel.schedule(1.0, lambda t=tag: fired.append(t))
+    kernel.run()
+    assert fired == ["first", "second", "third"]
+
+
+def test_negative_delay_rejected():
+    kernel = SimulationKernel()
+    with pytest.raises(SimulationError):
+        kernel.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    kernel = SimulationKernel()
+    kernel.schedule(5.0, lambda: None)
+    kernel.run()
+    with pytest.raises(SimulationError):
+        kernel.schedule_at(1.0, lambda: None)
+
+
+def test_cancel_pending_entry():
+    kernel = SimulationKernel()
+    fired = []
+    handle = kernel.schedule(1.0, lambda: fired.append("cancelled"))
+    kernel.schedule(2.0, lambda: fired.append("kept"))
+    assert kernel.cancel(handle)
+    assert not kernel.cancel(handle)  # second cancel is a no-op
+    kernel.run()
+    assert fired == ["kept"]
+
+
+def test_run_until_stops_clock_exactly():
+    kernel = SimulationKernel()
+    fired = []
+    kernel.schedule(1.0, lambda: fired.append(1))
+    kernel.schedule(5.0, lambda: fired.append(5))
+    executed = kernel.run(until=3.0)
+    assert executed == 1
+    assert fired == [1]
+    assert kernel.now == 3.0
+    kernel.run()
+    assert fired == [1, 5]
+
+
+def test_run_max_events():
+    kernel = SimulationKernel()
+    fired = []
+    for i in range(10):
+        kernel.schedule(float(i + 1), lambda i=i: fired.append(i))
+    assert kernel.run(max_events=4) == 4
+    assert fired == [0, 1, 2, 3]
+
+
+def test_stop_when_predicate():
+    kernel = SimulationKernel()
+    fired = []
+    for i in range(10):
+        kernel.schedule(float(i + 1), lambda i=i: fired.append(i))
+    kernel.run(stop_when=lambda: len(fired) >= 3)
+    assert fired == [0, 1, 2]
+
+
+def test_callbacks_can_schedule_more():
+    kernel = SimulationKernel()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 5:
+            kernel.schedule(1.0, lambda: chain(n + 1))
+
+    kernel.schedule(1.0, lambda: chain(1))
+    kernel.run()
+    assert fired == [1, 2, 3, 4, 5]
+    assert kernel.now == 5.0
+
+
+def test_run_not_reentrant():
+    kernel = SimulationKernel()
+    errors = []
+
+    def bad():
+        try:
+            kernel.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    kernel.schedule(1.0, bad)
+    kernel.run()
+    assert len(errors) == 1
+
+
+def test_pending_and_executed_counters():
+    kernel = SimulationKernel()
+    kernel.schedule(1.0, lambda: None)
+    kernel.schedule(2.0, lambda: None)
+    assert kernel.pending == 2
+    kernel.run()
+    assert kernel.pending == 0
+    assert kernel.events_executed == 2
+
+
+def test_drain_cancelled_housekeeping():
+    kernel = SimulationKernel()
+    handles = [kernel.schedule(float(i + 1), lambda: None) for i in range(5)]
+    for handle in handles[:3]:
+        kernel.cancel(handle)
+    kernel.drain_cancelled()
+    assert kernel.pending == 2
+    kernel.run()
+    assert kernel.events_executed == 2
+
+
+def test_zero_delay_runs_after_current():
+    kernel = SimulationKernel()
+    fired = []
+
+    def first():
+        fired.append("first")
+        kernel.schedule(0.0, lambda: fired.append("deferred"))
+
+    kernel.schedule(1.0, first)
+    kernel.schedule(1.0, lambda: fired.append("second"))
+    kernel.run()
+    assert fired == ["first", "second", "deferred"]

@@ -1,0 +1,74 @@
+"""Unit tests for the (ablation-only) lossy-channel mode."""
+
+import pytest
+
+from repro.experiments import build_system, install_trigger
+from repro.halting import HaltingCoordinator
+from repro.network.latency import UniformLatency
+from repro.runtime.system import System
+from repro.workloads import chatter, token_ring
+
+
+def test_zero_loss_is_default_and_loses_nothing():
+    system = build_system(lambda: chatter.build(n=3, budget=10, seed=1), 1)
+    system.run_to_quiescence()
+    assert all(c.stats.dropped == 0 for c in system.channels())
+    sent = sum(system.state_of(n)["sent"] for n in system.user_process_names)
+    received = sum(system.state_of(n)["received"] for n in system.user_process_names)
+    assert sent == received
+
+
+def test_loss_drops_messages_and_is_counted():
+    topo, processes = chatter.build(n=3, budget=30, seed=2)
+    system = System(topo, processes, seed=2,
+                    latency=UniformLatency(0.4, 1.6), loss_probability=0.3)
+    system.run_to_quiescence()
+    dropped = sum(c.stats.dropped for c in system.channels())
+    assert dropped > 0
+    sent = sum(system.state_of(n)["sent"] for n in system.user_process_names)
+    received = sum(system.state_of(n)["received"] for n in system.user_process_names)
+    assert received == sent - dropped
+
+
+def test_loss_does_not_perturb_latency_draws():
+    """Enabling loss must not change *when* surviving messages arrive —
+    losses have their own RNG stream."""
+    def run(loss):
+        topo, processes = token_ring.build(n=3, max_hops=10)
+        system = System(topo, processes, seed=5,
+                        latency=UniformLatency(0.4, 1.6),
+                        loss_probability=loss)
+        system.run(until=4.0)
+        from repro.events.event import EventKind
+
+        return [
+            (e.process, round(e.time, 9))
+            for e in system.log.of_kind(EventKind.RECEIVE)
+        ]
+
+    baseline = run(0.0)
+    # A loss probability so small that (for this seed) nothing drops early:
+    lossy = run(1e-12)
+    assert baseline == lossy
+
+
+def test_lost_marker_strands_downstream_processes():
+    """The behaviour A4 measures, pinned as a unit test: on a ring, one
+    dropped halt marker leaves the rest of the ring running."""
+    found = None
+    for seed in range(20):
+        topo, processes = token_ring.build(n=5, max_hops=200)
+        system = System(topo, processes, seed=seed,
+                        latency=UniformLatency(0.4, 1.6),
+                        loss_probability=0.35)
+        coordinator = HaltingCoordinator(system)
+        install_trigger(system, "p0", 4, lambda c=coordinator: c.initiate(["p0"]))
+        system.run_to_quiescence(max_events=300_000)
+        unhalted = coordinator.unhalted()
+        if unhalted:
+            found = (seed, unhalted, system)
+            break
+    assert found is not None, "no marker loss in 20 seeds at p=0.35?"
+    _, unhalted, system = found
+    # The initiator itself always halts (its own halt needs no channel).
+    assert "p0" not in unhalted

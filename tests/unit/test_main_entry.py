@@ -1,0 +1,78 @@
+"""Unit tests for the ``python -m repro`` argument handling."""
+
+import pytest
+
+from repro.__main__ import parse_args, parse_value
+
+
+class TestParseValue:
+    def test_types(self):
+        assert parse_value("3") == 3
+        assert parse_value("2.5") == 2.5
+        assert parse_value("true") is True
+        assert parse_value("false") is False
+        assert parse_value("part2") == "part2"
+
+
+class TestParseArgs:
+    def test_defaults(self):
+        name, params, seed = parse_args([])
+        assert name == "bank"
+        assert params == {}
+        assert seed == 0
+
+    def test_workload_with_params(self):
+        name, params, seed = parse_args(
+            ["token_ring", "n=5", "max_hops=100", "seed=9"]
+        )
+        assert name == "token_ring"
+        assert params == {"n": 5, "max_hops": 100}
+        assert seed == 9
+
+    def test_unknown_workload_exits(self):
+        with pytest.raises(SystemExit) as excinfo:
+            parse_args(["nonesuch"])
+        assert excinfo.value.code == 2
+
+    def test_bad_param_exits(self):
+        with pytest.raises(SystemExit):
+            parse_args(["bank", "nonsense"])
+
+    def test_list_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            parse_args(["--list"])
+        assert excinfo.value.code == 0
+        assert "token_ring" in capsys.readouterr().out
+
+    def test_help_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            parse_args(["--help"])
+        assert excinfo.value.code == 0
+        assert "python -m repro" in capsys.readouterr().out
+
+
+def test_scripted_end_to_end(monkeypatch, capsys):
+    """Drive main() with a scripted stdin."""
+    import repro.__main__ as entry
+
+    lines = iter([
+        "break state(transfers_made>=2)@branch0",
+        "run",
+        "inspect branch0",
+        "quit",
+    ])
+
+    def fake_repl(self, input_fn=input, print_fn=print):
+        for line in lines:
+            output = self.execute(line)
+            if output:
+                print_fn(output)
+            if self.finished:
+                break
+
+    monkeypatch.setattr(entry.DebuggerCLI, "repl", fake_repl)
+    assert entry.main(["bank", "n=3", "transfers=10"]) == 0
+    output = capsys.readouterr().out
+    assert "breakpoint 1 armed" in output
+    assert "stopped at" in output
+    assert "branch0 (halted)" in output

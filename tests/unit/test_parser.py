@@ -1,0 +1,160 @@
+"""Unit tests for the predicate DSL parser."""
+
+import pytest
+
+from repro.breakpoints.parser import parse_conjunctive, parse_predicate
+from repro.breakpoints.predicates import SimplePredicate
+from repro.events.event import EventKind
+from repro.util.errors import PredicateSyntaxError
+
+
+class TestSimpleForms:
+    def test_enter_with_label(self):
+        lp = parse_predicate("enter(handle_request)@p1")
+        assert len(lp) == 1
+        term = lp.first.terms[0]
+        assert term.process == "p1"
+        assert term.kind is EventKind.PROCEDURE_ENTRY
+        assert term.detail == "handle_request"
+
+    def test_bare_kind(self):
+        term = parse_predicate("recv@p2").first.terms[0]
+        assert term.kind is EventKind.RECEIVE
+        assert term.detail is None
+
+    def test_all_kind_names(self):
+        kinds = {
+            "enter": EventKind.PROCEDURE_ENTRY,
+            "exit": EventKind.PROCEDURE_EXIT,
+            "send": EventKind.SEND,
+            "recv": EventKind.RECEIVE,
+            "receive": EventKind.RECEIVE,
+            "mark": EventKind.STATE_CHANGE,
+            "timer": EventKind.TIMER,
+            "created": EventKind.PROCESS_CREATED,
+            "terminated": EventKind.PROCESS_TERMINATED,
+            "chan_created": EventKind.CHANNEL_CREATED,
+            "chan_destroyed": EventKind.CHANNEL_DESTROYED,
+        }
+        for name, kind in kinds.items():
+            assert parse_predicate(f"{name}@p").first.terms[0].kind is kind
+        assert parse_predicate("any@p").first.terms[0].kind is None
+
+    def test_quoted_label(self):
+        term = parse_predicate("mark('hello world')@p").first.terms[0]
+        assert term.detail == "hello world"
+        term = parse_predicate('send("x|y")@p').first.terms[0]
+        assert term.detail == "x|y"
+
+    def test_repetition(self):
+        term = parse_predicate("recv@p ^4").first.terms[0]
+        assert term.repeat == 4
+        term = parse_predicate("recv@p^4").first.terms[0]
+        assert term.repeat == 4
+
+
+class TestStateQueries:
+    def test_int_comparison(self):
+        term = parse_predicate("state(balance<500)@b").first.terms[0]
+        assert term.state.key == "balance"
+        assert term.state.op == "<"
+        assert term.state.value == 500
+
+    def test_float_and_negative(self):
+        assert parse_predicate("state(x>=1.5)@p").first.terms[0].state.value == 1.5
+        assert parse_predicate("state(x==-3)@p").first.terms[0].state.value == -3
+
+    def test_string_values(self):
+        assert parse_predicate("state(phase=='done')@p").first.terms[0].state.value == "done"
+        assert parse_predicate("state(phase==done)@p").first.terms[0].state.value == "done"
+
+    def test_booleans(self):
+        assert parse_predicate("state(in_cs==true)@p").first.terms[0].state.value is True
+        assert parse_predicate("state(in_cs!=false)@p").first.terms[0].state.value is False
+
+    def test_all_operators(self):
+        for op in ("==", "!=", "<", "<=", ">", ">="):
+            assert parse_predicate(f"state(k{op}1)@p").first.terms[0].state.op == op
+
+
+class TestComposites:
+    def test_disjunction(self):
+        lp = parse_predicate("recv@a | send@b | timer@c")
+        assert len(lp) == 1
+        assert lp.first.processes() == {"a", "b", "c"}
+
+    def test_linked(self):
+        lp = parse_predicate("recv@a -> send@b -> timer@c")
+        assert len(lp) == 3
+        assert [s.terms[0].process for s in lp.stages] == ["a", "b", "c"]
+
+    def test_mixed_with_groups(self):
+        lp = parse_predicate("(recv@a | recv@b) -> send@c")
+        assert len(lp) == 2
+        assert lp.first.processes() == {"a", "b"}
+
+    def test_group_flattens_into_disjunction(self):
+        lp = parse_predicate("(recv@a | recv@b) | send@c")
+        assert len(lp) == 1
+        assert len(lp.first.terms) == 3
+
+    def test_conjunction_entry_point(self):
+        cp = parse_conjunctive("recv@a & send@b & timer@c")
+        assert len(cp.terms) == 3
+
+    def test_whitespace_insensitive(self):
+        a = parse_predicate("recv@a->send@b")
+        b = parse_predicate("  recv@a  ->  send@b  ")
+        assert str(a) == str(b)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("text", [
+        "enter(f)@p1",
+        "recv@p2^3",
+        "send(wire)@a | recv(wire)@b",
+        "enter(f)@a -> exit(f)@b -> timer(t)@c",
+        "state(balance<500)@b0",
+        "(recv@a | send@b) -> mark(done)@c^2",
+    ])
+    def test_parse_str_parse_fixpoint(self, text):
+        lp = parse_predicate(text)
+        again = parse_predicate(str(lp))
+        assert again == lp
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "",
+        "recv",                # missing @process
+        "recv@",               # missing process name
+        "@p",                  # missing kind
+        "bogus@p",             # unknown kind
+        "recv@p ->",           # dangling arrow
+        "recv@p | ",           # dangling pipe
+        "recv@p extra",        # trailing garbage
+        "state(x)@p",          # state without comparison
+        "state(<5)@p",         # state without key
+        "recv@p ^x",           # non-integer repetition
+        "recv@p ^1.5",         # fractional repetition
+        "(recv@p",             # unclosed group
+        "recv@p)",             # stray paren
+        "enter()@p",           # empty label
+        "recv@p $",            # bad character
+    ])
+    def test_rejects(self, bad):
+        with pytest.raises(PredicateSyntaxError):
+            parse_predicate(bad)
+
+    def test_conjunctive_requires_ampersand(self):
+        with pytest.raises(PredicateSyntaxError):
+            parse_conjunctive("recv@a | send@b")
+
+    def test_error_carries_position(self):
+        try:
+            parse_predicate("recv@p $")
+        except PredicateSyntaxError as exc:
+            assert exc.position == 7
+            assert exc.text == "recv@p $"
+        else:  # pragma: no cover
+            pytest.fail("expected syntax error")

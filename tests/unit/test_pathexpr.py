@@ -1,0 +1,109 @@
+"""Unit tests for path-expression compilation and detection."""
+
+import pytest
+
+from repro.breakpoints import compile_path_expression
+from repro.breakpoints.detector import BreakpointCoordinator
+from repro.experiments import build_system
+from repro.halting import HaltingCoordinator
+from repro.util.errors import PredicateError, PredicateSyntaxError
+from repro.workloads import token_ring
+
+
+class TestCompilation:
+    def test_single_term(self):
+        lps = compile_path_expression("enter(f)@p1")
+        assert len(lps) == 1
+        assert str(lps[0]) == "enter(f)@p1"
+
+    def test_sequence(self):
+        lps = compile_path_expression("enter(f)@p1 ; exit(f)@p2 ; timer(t)@p3")
+        assert len(lps) == 1
+        assert len(lps[0]) == 3
+
+    def test_term_alternation_becomes_disjunction(self):
+        lps = compile_path_expression("recv@p1 | recv@p2")
+        assert len(lps) == 1
+        assert len(lps[0]) == 1
+        assert len(lps[0].first.terms) == 2
+
+    def test_structured_alternation_splits(self):
+        lps = compile_path_expression("(mark(a1)@p ; mark(a2)@q) | (mark(b1)@r ; mark(b2)@s)")
+        assert len(lps) == 2
+        assert all(len(lp) == 2 for lp in lps)
+
+    def test_mixed_alternation(self):
+        # One operand structured -> path alternation (two LPs).
+        lps = compile_path_expression("(mark(a1)@p ; mark(a2)@q) | mark(b1)@r")
+        assert len(lps) == 2
+        lengths = sorted(len(lp) for lp in lps)
+        assert lengths == [1, 2]
+
+    def test_repetition(self):
+        lps = compile_path_expression("(recv@p1 ; send@p2) {3}")
+        assert len(lps) == 1
+        assert len(lps[0]) == 6
+
+    def test_repetition_of_alternation_cross_product(self):
+        lps = compile_path_expression("((mark(a)@p ; mark(b)@q) | (mark(c)@r ; mark(d)@s)) {2}")
+        assert len(lps) == 4
+        assert all(len(lp) == 4 for lp in lps)
+
+    def test_nested_groups(self):
+        lps = compile_path_expression("mark(a)@p ; ((mark(b)@q ; mark(c)@r) | mark(d)@s) ; mark(e)@t")
+        assert len(lps) == 2
+        assert sorted(len(lp) for lp in lps) == [3, 4]
+
+    def test_dsl_features_pass_through(self):
+        lps = compile_path_expression("state(balance<100)@b0 ; recv(wire)@b1^2")
+        assert len(lps) == 1
+        assert lps[0].stages[1].terms[0].repeat == 2
+
+
+class TestCompilationErrors:
+    @pytest.mark.parametrize("bad", [
+        "mark(a)@p ;",      # trailing sequence
+        "; mark(a)@p",      # leading sequence
+        "mark(a)@p {0}",    # zero repetition
+        "mark(a)@p {x}",    # non-numeric repetition
+        "(mark(a)@p",       # unbalanced
+        "mark(a)@p)",       # unbalanced
+        "mark(a)@p }",      # stray brace
+    ])
+    def test_rejects(self, bad):
+        with pytest.raises(PredicateSyntaxError):
+            compile_path_expression(bad)
+
+    def test_alternative_explosion_bounded(self):
+        blowup = " ; ".join("((mark(a)@p ; mark(b)@q) | (mark(c)@r ; mark(d)@s))" for _ in range(8))
+        with pytest.raises(PredicateError, match="alternatives"):
+            compile_path_expression(blowup)
+
+
+class TestDetection:
+    def test_path_breakpoint_fires_first_matching_alternative(self):
+        system = build_system(lambda: token_ring.build(n=4, max_hops=60), 1)
+        HaltingCoordinator(system)
+        breakpoints = BreakpointCoordinator(system)
+        lp_ids = breakpoints.set_path_breakpoint(
+            "(enter(receive_token)@p1 ; enter(receive_token)@p3) | "
+            "(enter(receive_token)@p2 ; enter(receive_token)@p0)"
+        )
+        assert len(lp_ids) == 2
+        system.run_to_quiescence()
+        hits = [h for h in breakpoints.hits if h.lp_id in lp_ids]
+        assert hits
+        assert system.all_user_processes_halted()
+
+    def test_repetition_path_on_ring(self):
+        system = build_system(lambda: token_ring.build(n=4, max_hops=60), 2)
+        HaltingCoordinator(system)
+        breakpoints = BreakpointCoordinator(system)
+        lp_ids = breakpoints.set_path_breakpoint(
+            "(enter(receive_token)@p1 ; enter(receive_token)@p2) {2}"
+        )
+        system.run_to_quiescence()
+        hits = [h for h in breakpoints.hits if h.lp_id in lp_ids]
+        assert hits
+        trail = hits[0].trail
+        assert [h.process for h in trail] == ["p1", "p2", "p1", "p2"]

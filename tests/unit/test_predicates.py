@@ -1,0 +1,167 @@
+"""Unit tests for predicate objects and their algebra."""
+
+import pytest
+
+from repro.breakpoints.predicates import (
+    ConjunctivePredicate,
+    DisjunctivePredicate,
+    LinkedPredicate,
+    SimplePredicate,
+    StateQuery,
+    as_linked,
+    disjunctive_to_linked,
+    expand_repeats,
+    simple_to_linked,
+)
+from repro.events.event import Event, EventKind
+from repro.util.errors import PredicateError
+
+
+def event(process="p", kind=EventKind.SEND, detail=None, attrs=None, eid=1):
+    return Event(
+        eid=eid, process=process, kind=kind, time=0.0,
+        lamport=1, vector=(1,), vector_index=0,
+        detail=detail, attrs=attrs or {},
+    )
+
+
+class TestSimplePredicate:
+    def test_kind_and_process_match(self):
+        sp = SimplePredicate(process="p", kind=EventKind.SEND)
+        assert sp.matches(event(kind=EventKind.SEND))
+        assert not sp.matches(event(kind=EventKind.RECEIVE))
+        assert not sp.matches(event(process="q"))
+
+    def test_detail_filter(self):
+        sp = SimplePredicate(process="p", kind=EventKind.PROCEDURE_ENTRY, detail="f")
+        assert sp.matches(event(kind=EventKind.PROCEDURE_ENTRY, detail="f"))
+        assert not sp.matches(event(kind=EventKind.PROCEDURE_ENTRY, detail="g"))
+
+    def test_wildcard_kind(self):
+        sp = SimplePredicate(process="p")
+        assert sp.matches(event(kind=EventKind.TIMER))
+        assert sp.matches(event(kind=EventKind.SEND))
+
+    def test_state_query_matching(self):
+        sp = SimplePredicate(
+            process="p",
+            kind=EventKind.STATE_CHANGE,
+            state=StateQuery(key="balance", op="<", value=100),
+        )
+        hit = event(kind=EventKind.STATE_CHANGE, detail="balance",
+                    attrs={"key": "balance", "value": 50})
+        miss_value = event(kind=EventKind.STATE_CHANGE, detail="balance",
+                           attrs={"key": "balance", "value": 200})
+        miss_key = event(kind=EventKind.STATE_CHANGE, detail="other",
+                         attrs={"key": "other", "value": 50})
+        assert sp.matches(hit)
+        assert not sp.matches(miss_value)
+        assert not sp.matches(miss_key)
+
+    def test_state_query_type_mismatch_is_false(self):
+        query = StateQuery(key="k", op="<", value=10)
+        assert not query.evaluate("not-a-number")
+
+    def test_state_query_all_operators(self):
+        cases = [("==", 5, 5, True), ("!=", 5, 6, True), ("<", 4, 5, True),
+                 ("<=", 5, 5, True), (">", 6, 5, True), (">=", 5, 5, True),
+                 ("==", 5, 6, False), ("<", 6, 5, False)]
+        for op, observed, value, expected in cases:
+            assert StateQuery(key="k", op=op, value=value).evaluate(observed) is expected
+
+    def test_bad_operator_rejected(self):
+        with pytest.raises(PredicateError):
+            StateQuery(key="k", op="~=", value=1)
+
+    def test_repeat_validation(self):
+        with pytest.raises(PredicateError):
+            SimplePredicate(process="p", repeat=0)
+
+    def test_state_query_needs_state_kind(self):
+        with pytest.raises(PredicateError):
+            SimplePredicate(process="p", kind=EventKind.SEND,
+                            state=StateQuery(key="k", op="==", value=1))
+
+    def test_str_forms(self):
+        assert str(SimplePredicate(process="p", kind=EventKind.SEND)) == "send@p"
+        assert str(
+            SimplePredicate(process="p", kind=EventKind.PROCEDURE_ENTRY, detail="f")
+        ) == "enter(f)@p"
+        assert str(SimplePredicate(process="p", kind=EventKind.RECEIVE, repeat=3)) == "recv@p^3"
+        assert "balance<100" in str(SimplePredicate(
+            process="p", kind=EventKind.STATE_CHANGE,
+            state=StateQuery(key="balance", op="<", value=100),
+        ))
+
+
+class TestCompositePredicates:
+    def sp(self, process, detail=None):
+        return SimplePredicate(
+            process=process, kind=EventKind.PROCEDURE_ENTRY, detail=detail
+        )
+
+    def test_disjunction_processes(self):
+        dp = DisjunctivePredicate(terms=(self.sp("a"), self.sp("b"), self.sp("a")))
+        assert dp.processes() == {"a", "b"}
+        assert len(dp.terms_at("a")) == 2
+
+    def test_empty_disjunction_rejected(self):
+        with pytest.raises(PredicateError):
+            DisjunctivePredicate(terms=())
+
+    def test_linked_rest(self):
+        lp = LinkedPredicate(stages=(
+            DisjunctivePredicate(terms=(self.sp("a"),)),
+            DisjunctivePredicate(terms=(self.sp("b"),)),
+        ))
+        rest = lp.rest()
+        assert rest is not None and len(rest) == 1
+        assert rest.rest() is None
+        assert lp.processes() == {"a", "b"}
+
+    def test_conjunction_needs_two_terms(self):
+        with pytest.raises(PredicateError):
+            ConjunctivePredicate(terms=(self.sp("a"),))
+
+    def test_conjunction_to_linked_orderings(self):
+        cp = ConjunctivePredicate(terms=(self.sp("a"), self.sp("b")))
+        orderings = cp.to_linked_orderings()
+        assert len(orderings) == 2
+        rendered = {str(lp) for lp in orderings}
+        assert rendered == {"enter@a -> enter@b", "enter@b -> enter@a"}
+
+    def test_three_term_orderings(self):
+        cp = ConjunctivePredicate(terms=(self.sp("a"), self.sp("b"), self.sp("c")))
+        assert len(cp.to_linked_orderings()) == 6
+
+    def test_as_linked_lifts(self):
+        sp = self.sp("a")
+        assert len(as_linked(sp)) == 1
+        dp = DisjunctivePredicate(terms=(sp,))
+        assert len(as_linked(dp)) == 1
+        lp = simple_to_linked(sp)
+        assert as_linked(lp) is lp
+        with pytest.raises(PredicateError):
+            as_linked("not a predicate")
+
+    def test_expand_repeats(self):
+        sp = SimplePredicate(process="a", kind=EventKind.SEND, repeat=3)
+        lp = simple_to_linked(sp)
+        expanded = expand_repeats(lp)
+        assert len(expanded) == 3
+        assert all(stage.terms[0].repeat == 1 for stage in expanded.stages)
+
+    def test_expand_repeats_keeps_multiterm_stages(self):
+        dp = DisjunctivePredicate(terms=(
+            SimplePredicate(process="a", kind=EventKind.SEND, repeat=2),
+            SimplePredicate(process="b", kind=EventKind.SEND),
+        ))
+        expanded = expand_repeats(disjunctive_to_linked(dp))
+        assert len(expanded) == 1  # untouched
+
+    def test_str_rendering(self):
+        lp = LinkedPredicate(stages=(
+            DisjunctivePredicate(terms=(self.sp("a"), self.sp("b"))),
+            DisjunctivePredicate(terms=(self.sp("c"),)),
+        ))
+        assert str(lp) == "(enter@a | enter@b) -> enter@c"

@@ -1,0 +1,136 @@
+"""Unit tests for the philosopher and two-phase-commit workloads."""
+
+import pytest
+
+from repro.events.event import EventKind
+from repro.experiments import build_system
+from repro.workloads import philosophers, two_phase_commit
+from repro.workloads.philosophers import waits_for_cycle
+from repro.workloads.two_phase_commit import COORDINATOR
+
+
+class TestPhilosophersOrdered:
+    def test_everyone_eats(self):
+        system = build_system(
+            lambda: philosophers.build(n=4, meals=2, policy="ordered"), 1
+        )
+        system.run_to_quiescence()
+        for i in range(4):
+            assert system.state_of(f"ph{i}")["meals"] == 2
+        # All forks returned.
+        for i in range(4):
+            assert system.state_of(f"fork{i}")["holder"] is None
+
+    def test_no_waits_for_cycle_at_completion(self):
+        system = build_system(
+            lambda: philosophers.build(n=4, meals=1, policy="ordered"), 2
+        )
+        system.run_to_quiescence()
+        states = {n: system.state_of(n) for n in system.user_process_names}
+        assert waits_for_cycle(states) is None
+
+    def test_mutual_exclusion_per_fork(self):
+        """A fork never transitions holder->same holder, and every
+        transition away from a holder is caused by that holder's release
+        (direct handoff to the queue head is legal)."""
+        system = build_system(
+            lambda: philosophers.build(n=3, meals=2, policy="ordered"), 3
+        )
+        system.run_to_quiescence()
+        for i in range(3):
+            fork = f"fork{i}"
+            changes = [
+                e.attrs["value"]
+                for e in system.log.find(
+                    process=fork, kind=EventKind.STATE_CHANGE, detail="holder"
+                )
+            ]
+            for value, nxt in zip(changes, changes[1:]):
+                assert value != nxt, f"{fork} re-granted to current holder"
+            # Grant/release accounting balances per philosopher.
+            releases = [
+                e for e in system.log.find(process=fork, kind=EventKind.RECEIVE,
+                                           detail="release")
+            ]
+            grants = [
+                e for e in system.log.find(process=fork, kind=EventKind.SEND,
+                                           detail="granted")
+            ]
+            assert len(grants) == len(releases) or len(grants) == len(releases) + 1
+
+
+class TestPhilosophersDeadlock:
+    def test_left_first_equal_timing_deadlocks(self):
+        system = build_system(
+            lambda: philosophers.build(n=4, meals=2, policy="left-first"), 1
+        )
+        system.run_to_quiescence()
+        states = {n: system.state_of(n) for n in system.user_process_names}
+        # Nobody finished a meal and everybody waits.
+        assert all(states[f"ph{i}"]["meals"] == 0 for i in range(4))
+        cycle = waits_for_cycle(states)
+        assert cycle is not None
+        assert len(cycle) == 4
+        assert set(cycle) == {f"ph{i}" for i in range(4)}
+
+    def test_cycle_reporter_ignores_partial_waits(self):
+        states = {
+            "ph0": {"waiting_for": "fork1"},
+            "fork1": {"holder": None},
+        }
+        assert waits_for_cycle(states) is None
+
+
+class TestTwoPhaseCommit:
+    def test_all_rounds_commit(self):
+        system = build_system(
+            lambda: two_phase_commit.build(n=3, rounds=4), 1
+        )
+        system.run_to_quiescence()
+        coord = system.state_of(COORDINATOR)
+        assert coord["decisions"] == [1, 2, 3, 4]
+        for i in range(3):
+            decisions = system.state_of(f"part{i}")["decisions"]
+            assert [d for _, d in decisions] == ["commit"] * 4
+
+    def test_no_voter_aborts_every_round(self):
+        system = build_system(
+            lambda: two_phase_commit.build(n=3, rounds=3, no_voter="part1"), 2
+        )
+        system.run_to_quiescence()
+        for i in range(3):
+            decisions = system.state_of(f"part{i}")["decisions"]
+            assert [d for _, d in decisions] == ["abort"] * 3
+
+    def test_silent_voter_wedges_the_round(self):
+        system = build_system(
+            lambda: two_phase_commit.build(
+                n=3, rounds=5, silent_voter="part2", silent_round=3
+            ),
+            3,
+        )
+        system.run_to_quiescence()
+        coord = system.state_of(COORDINATOR)
+        # Rounds 1-2 completed; round 3 is wedged collecting votes.
+        assert coord["decisions"] == [1, 2]
+        assert coord["round"] == 3
+        assert coord["phase"] == "collecting"
+        # The missing vote is identifiable from the frozen state.
+        missing = {f"part{i}" for i in range(3)} - set(coord["votes"])
+        assert missing == {"part2"}
+        # The participant recorded that it swallowed the vote.
+        marks = system.log.find(
+            process="part2", kind=EventKind.STATE_CHANGE, detail="vote_swallowed"
+        )
+        assert len(marks) == 1
+
+    def test_decision_marks_for_breakpoints(self):
+        system = build_system(
+            lambda: two_phase_commit.build(n=2, rounds=2), 4
+        )
+        system.run_to_quiescence()
+        marks = system.log.find(
+            process=COORDINATOR, kind=EventKind.STATE_CHANGE, detail="decision"
+        )
+        assert len(marks) == 2
+        assert all(m.attrs["decision"] == "commit" for m in marks)

@@ -1,0 +1,88 @@
+"""Unit tests for the post-mortem report and the CLI save/report commands."""
+
+import io
+
+import pytest
+
+from repro.debugger import DebugSession
+from repro.debugger.cli import DebuggerCLI
+from repro.debugger.report import post_mortem
+from repro.network.latency import UniformLatency
+from repro.util.errors import HaltingError
+from repro.workloads import bank
+
+
+def halted_session(seed=3):
+    topo, processes = bank.build(n=3, transfers=20)
+    session = DebugSession(topo, processes, seed=seed,
+                           latency=UniformLatency(0.4, 1.6))
+    session.set_breakpoint("state(transfers_made>=4)@branch1")
+    outcome = session.run()
+    assert outcome.stopped
+    return session
+
+
+class TestPostMortem:
+    def test_requires_full_halt(self):
+        topo, processes = bank.build(n=3, transfers=20)
+        session = DebugSession(topo, processes, seed=1,
+                               latency=UniformLatency(0.4, 1.6))
+        session.run(until=2.0)
+        with pytest.raises(HaltingError):
+            post_mortem(session)
+
+    def test_report_sections(self):
+        session = halted_session()
+        report = post_mortem(session)
+        for heading in ("HALT", "BREAKPOINTS", "GLOBAL STATE", "MARKER PATHS",
+                        "TRAFFIC", "EXECUTION SHAPE", "SPACE-TIME"):
+            assert heading in report
+        assert "lp1 completed at branch1" in report
+        assert "== HALT ==" in report  # diagram bars
+        assert "halt_marker" in report
+
+    def test_report_is_deterministic(self):
+        a = post_mortem(halted_session())
+        b = post_mortem(halted_session())
+        assert a == b
+
+    def test_report_without_optional_sections(self):
+        session = halted_session()
+        report = post_mortem(session, include_diagram=False, include_stats=False)
+        assert "SPACE-TIME" not in report
+        assert "EXECUTION SHAPE" not in report
+        assert "GLOBAL STATE" in report
+
+
+class TestCLIReportSave:
+    def test_report_command(self):
+        session = halted_session()
+        cli = DebuggerCLI(session)
+        output = cli.execute("report")
+        assert "GLOBAL STATE" in output
+
+    def test_save_and_restore_roundtrip(self, tmp_path):
+        session = halted_session()
+        cli = DebuggerCLI(session)
+        path = tmp_path / "snapshot.json"
+        output = cli.execute(f"save {path}")
+        assert "saved S_h" in output
+
+        from repro.halting import restore
+        from repro.trace import load_state
+
+        with open(path, encoding="utf-8") as fp:
+            state = load_state(fp)
+        topo, fresh = bank.build(n=3, transfers=20)
+        system = restore(state, topo, fresh, seed=77,
+                         latency=UniformLatency(0.4, 1.6))
+        system.run_to_quiescence()
+        balances = {
+            n: system.state_of(n)["balance"] for n in system.user_process_names
+        }
+        assert bank.total_money(balances) == 3 * bank.INITIAL_BALANCE
+
+    def test_save_usage(self):
+        session = halted_session()
+        cli = DebuggerCLI(session)
+        assert "usage" in cli.execute("save")

@@ -1,0 +1,306 @@
+"""Unit tests for the runtime layer: context, controller, system mechanics."""
+
+import pytest
+
+from repro.events.event import EventKind
+from repro.network.latency import FixedLatency
+from repro.network.topology import Topology, ring
+from repro.runtime.process import Process
+from repro.runtime.system import System
+from repro.util.errors import ConfigurationError, RuntimeStateError, TopologyError
+from repro.util.ids import ChannelId
+
+
+class Echo(Process):
+    """Replies to every message; used to poke the controller mechanics."""
+
+    def on_start(self, ctx):
+        ctx.state["received"] = 0
+
+    def on_message(self, ctx, src, payload):
+        ctx.state["received"] = ctx.state["received"] + 1
+        if payload == "ping":
+            ctx.send(src, "pong", tag="pong")
+
+
+class Scripted(Process):
+    """Runs a user-supplied start script against its context."""
+
+    def __init__(self, script=None):
+        self.script = script or (lambda ctx: None)
+
+    def on_start(self, ctx):
+        self.script(ctx)
+
+
+def pair_system(a=None, b=None, seed=0):
+    topo = ring(["a", "b"], bidirectional=True)
+    return System(
+        topo,
+        {"a": a or Echo(), "b": b or Echo()},
+        seed=seed,
+        latency=FixedLatency(1.0),
+    )
+
+
+class TestSystemConstruction:
+    def test_missing_process_rejected(self):
+        topo = ring(["a", "b"])
+        with pytest.raises(ConfigurationError, match="no Process supplied"):
+            System(topo, {"a": Echo()})
+
+    def test_extra_process_rejected(self):
+        topo = ring(["a", "b"])
+        with pytest.raises(ConfigurationError, match="unknown names"):
+            System(topo, {"a": Echo(), "b": Echo(), "ghost": Echo()})
+
+    def test_double_start_rejected(self):
+        system = pair_system()
+        system.start()
+        with pytest.raises(ConfigurationError):
+            system.start()
+
+
+class TestEventsAndState:
+    def test_state_changes_recorded(self):
+        system = pair_system(a=Scripted(lambda ctx: ctx.state.__setitem__("k", 1)))
+        system.run_to_quiescence()
+        events = system.log.find(
+            process="a", kind=EventKind.STATE_CHANGE, detail="k"
+        )
+        assert len(events) == 1
+        assert events[0].attrs["value"] == 1
+
+    def test_state_update_and_delete(self):
+        def script(ctx):
+            ctx.state.update({"x": 1, "y": 2})
+            del ctx.state["x"]
+
+        system = pair_system(a=Scripted(script))
+        system.run_to_quiescence()
+        changes = system.log.find(process="a", kind=EventKind.STATE_CHANGE)
+        assert len(changes) == 3
+        assert changes[-1].attrs["deleted"] is True
+        assert "x" not in system.state_of("a")
+
+    def test_procedure_entry_exit_events(self):
+        def script(ctx):
+            with ctx.procedure("setup"):
+                ctx.mark("inside")
+
+        system = pair_system(a=Scripted(script))
+        system.run_to_quiescence()
+        kinds = [
+            e.kind for e in system.log.for_process("a")
+            if e.detail in ("setup", "inside")
+        ]
+        assert kinds == [
+            EventKind.PROCEDURE_ENTRY,
+            EventKind.STATE_CHANGE,
+            EventKind.PROCEDURE_EXIT,
+        ]
+
+    def test_send_receive_events_match(self):
+        system = pair_system(a=Scripted(lambda ctx: ctx.send("b", "ping", tag="ping")))
+        system.run_to_quiescence()
+        sends = system.log.find(process="a", kind=EventKind.SEND)
+        receives = system.log.find(process="b", kind=EventKind.RECEIVE)
+        assert len(sends) == 1 and len(receives) == 1
+        assert sends[0].message == receives[0].message == "ping"
+        assert sends[0].happened_before(receives[0])
+
+    def test_send_to_nonneighbor_rejected(self):
+        system = pair_system(a=Scripted(lambda ctx: ctx.send("ghost", 1)))
+        with pytest.raises(TopologyError):
+            system.run_to_quiescence()
+
+
+class TestTimers:
+    def test_timer_fires_with_payload(self):
+        seen = []
+
+        class Timed(Process):
+            def on_start(self, ctx):
+                ctx.set_timer("tick", 2.0, payload={"n": 1})
+
+            def on_timer(self, ctx, name, payload):
+                seen.append((name, payload, ctx.now))
+
+        system = pair_system(a=Timed())
+        system.run_to_quiescence()
+        assert seen == [("tick", {"n": 1}, 2.0)]
+
+    def test_timer_cancel(self):
+        fired = []
+
+        class Canceller(Process):
+            def on_start(self, ctx):
+                ctx.set_timer("doomed", 5.0)
+                ctx.set_timer("alive", 1.0)
+
+            def on_timer(self, ctx, name, payload):
+                fired.append(name)
+                if name == "alive":
+                    assert ctx.cancel_timer("doomed")
+                    assert not ctx.cancel_timer("doomed")
+
+        system = pair_system(a=Canceller())
+        system.run_to_quiescence()
+        assert fired == ["alive"]
+
+    def test_timer_rearm_replaces(self):
+        fired = []
+
+        class Rearm(Process):
+            def on_start(self, ctx):
+                ctx.set_timer("t", 10.0, payload="old")
+                ctx.set_timer("t", 1.0, payload="new")
+
+            def on_timer(self, ctx, name, payload):
+                fired.append(payload)
+
+        system = pair_system(a=Rearm())
+        system.run_to_quiescence()
+        assert fired == ["new"]
+
+
+class TestTermination:
+    def test_terminated_process_ignores_traffic(self):
+        class Quitter(Process):
+            def on_start(self, ctx):
+                ctx.state["msgs"] = 0
+                ctx.terminate()
+
+            def on_message(self, ctx, src, payload):
+                ctx.state["msgs"] = ctx.state["msgs"] + 1
+
+        system = pair_system(
+            a=Scripted(lambda ctx: ctx.send("b", "hello")), b=Quitter()
+        )
+        system.run_to_quiescence()
+        assert system.state_of("b")["msgs"] == 0
+        events = system.log.find(process="b", kind=EventKind.PROCESS_TERMINATED)
+        assert len(events) == 1
+
+    def test_actions_after_terminate_rejected(self):
+        def script(ctx):
+            ctx.terminate()
+            ctx.send("b", "zombie")
+
+        system = pair_system(a=Scripted(script))
+        with pytest.raises(RuntimeStateError):
+            system.run_to_quiescence()
+
+
+class TestHaltMechanics:
+    def test_halt_freezes_and_buffers(self):
+        system = pair_system(
+            a=Scripted(lambda ctx: ctx.send("b", "ping", tag="ping"))
+        )
+        controller = system.controller("b")
+        controller.halt(reason="test")
+        system.run_to_quiescence()
+        assert system.state_of("b")["received"] == 0
+        buffered = controller.halt_buffers[ChannelId("a", "b")]
+        assert len(buffered) == 1
+
+    def test_resume_replays_buffered(self):
+        system = pair_system(
+            a=Scripted(lambda ctx: ctx.send("b", "ping", tag="ping"))
+        )
+        controller = system.controller("b")
+        controller.halt()
+        system.run_to_quiescence()
+        controller.resume()
+        system.run_to_quiescence()
+        assert system.state_of("b")["received"] == 1
+        # The echo reply went out after resume and reached "a".
+        pongs = system.log.find(process="a", kind=EventKind.RECEIVE, detail="pong")
+        assert len(pongs) == 1
+
+    def test_double_halt_rejected(self):
+        system = pair_system()
+        controller = system.controller("a")
+        system.start()
+        controller.halt()
+        with pytest.raises(RuntimeStateError):
+            controller.halt()
+
+    def test_resume_unhalted_rejected(self):
+        system = pair_system()
+        system.start()
+        with pytest.raises(RuntimeStateError):
+            system.controller("a").resume()
+
+    def test_halted_timers_deferred_to_resume(self):
+        fired = []
+
+        class Timed(Process):
+            def on_start(self, ctx):
+                ctx.set_timer("tick", 2.0)
+
+            def on_timer(self, ctx, name, payload):
+                fired.append(ctx.now)
+
+        system = pair_system(a=Timed())
+        controller = system.controller("a")
+        system.start()
+        controller.halt()
+        system.run_to_quiescence()
+        assert fired == []
+        controller.resume()
+        system.run_to_quiescence()
+        assert len(fired) == 1
+
+    def test_capture_state_deep_copies(self):
+        system = pair_system()
+        system.start()
+        controller = system.controller("a")
+        controller.ctx.state["nested"] = {"inner": [1, 2]}
+        snapshot = controller.capture_state()
+        controller.ctx.state["nested"]["inner"].append(3)
+        assert snapshot.state["nested"]["inner"] == [1, 2]
+
+
+class TestDynamicChannels:
+    def test_create_and_use_channel(self):
+        topo = Topology().add_process("a").add_process("b")
+        topo.add_channel("b", "a")
+
+        def script(ctx):
+            ctx.create_channel("b")
+            ctx.send("b", "hi")
+
+        system = System(topo, {"a": Scripted(script), "b": Echo()},
+                        latency=FixedLatency(1.0))
+        system.run_to_quiescence()
+        assert system.state_of("b")["received"] == 1
+        created = system.log.find(process="a", kind=EventKind.CHANNEL_CREATED)
+        assert len(created) == 1
+
+    def test_destroy_channel_blocks_new_sends(self):
+        def script(ctx):
+            ctx.send("b", "first")
+            ctx.destroy_channel("b")
+            ctx.send("b", "second")  # must fail
+
+        system = pair_system(a=Scripted(script))
+        with pytest.raises(TopologyError):
+            system.run_to_quiescence()
+
+    def test_destroyed_channel_delivers_in_flight(self):
+        def script(ctx):
+            ctx.send("b", "flying")
+            ctx.destroy_channel("b")
+
+        system = pair_system(a=Scripted(script))
+        system.run_to_quiescence()
+        assert system.state_of("b")["received"] == 1
+
+
+class TestMessageTotals:
+    def test_totals_by_kind(self):
+        system = pair_system(a=Scripted(lambda ctx: ctx.send("b", "ping", tag="ping")))
+        system.run_to_quiescence()
+        totals = system.message_totals()
+        assert totals["user"] == 2  # ping + pong

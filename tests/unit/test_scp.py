@@ -1,0 +1,104 @@
+"""Unit tests for SCP computation (Fig. 4 oracle)."""
+
+import pytest
+
+from repro.breakpoints.predicates import ConjunctivePredicate, SimplePredicate
+from repro.breakpoints.scp import SCPPair, compute_scp, compute_scp_k, matching_events
+from repro.events.event import Event, EventKind
+from repro.events.log import EventLog
+
+
+def make_event(eid, process, vector, index, detail="sp"):
+    return Event(
+        eid=eid, process=process, kind=EventKind.STATE_CHANGE, time=float(eid),
+        lamport=eid, vector=vector, vector_index=index, detail=detail,
+        local_seq=eid,
+    )
+
+
+def figure4_log():
+    """A two-process history shaped like the paper's Figure 4.
+
+    P1 satisfies SP1 at t11, t12, t13; P2 satisfies SP2 at t21, t22, t23.
+    A message m1 from P1 (after t11) to P2 (before t23) orders t11 -> t23.
+    t12 and t22 are concurrent.
+    """
+    log = EventLog()
+    log.append(make_event(1, "P1", (1, 0), 0, detail="sp1"))   # t11
+    # P1 sends m1 (vector (2,0)) — not an SP event.
+    log.append(make_event(3, "P2", (0, 1), 1, detail="sp2"))   # t21 (concurrent w/ t11)
+    log.append(make_event(4, "P1", (3, 0), 0, detail="sp1"))   # t12
+    log.append(make_event(5, "P2", (0, 2), 1, detail="sp2"))   # t22 (concurrent w/ t12)
+    # P2 receives m1 -> vector (2,3).
+    log.append(make_event(7, "P2", (2, 4), 1, detail="sp2"))   # t23 (after t11)
+    log.append(make_event(8, "P1", (4, 0), 0, detail="sp1"))   # t13
+    return log
+
+
+SP1 = SimplePredicate(process="P1", kind=EventKind.STATE_CHANGE, detail="sp1")
+SP2 = SimplePredicate(process="P2", kind=EventKind.STATE_CHANGE, detail="sp2")
+
+
+class TestMatchingEvents:
+    def test_finds_all_satisfactions(self):
+        log = figure4_log()
+        assert [e.eid for e in matching_events(log, SP1)] == [1, 4, 8]
+        assert [e.eid for e in matching_events(log, SP2)] == [3, 5, 7]
+
+
+class TestSCPPartition:
+    def test_figure4_shape(self):
+        log = figure4_log()
+        result = compute_scp(log, SP1, SP2)
+        assert result.total == 9
+        ordered_pairs = {(p.first.eid, p.second.eid) for p in result.ordered}
+        # t11 -> t23 is the paper's ordered example.
+        assert (1, 7) in ordered_pairs
+        unordered_pairs = {(p.first.eid, p.second.eid) for p in result.unordered}
+        # t12 || t22 is the paper's unordered example.
+        assert (4, 5) in unordered_pairs
+
+    def test_directions(self):
+        log = figure4_log()
+        pair = SCPPair(first=log[0], second=log[4])  # t11, t23
+        assert pair.ordered
+        assert pair.direction == "1->2"
+        reverse = SCPPair(first=log[4], second=log[0])
+        assert reverse.direction == "2->1"
+        concurrent = SCPPair(first=log[2], second=log[3])  # t12? actually t21,t12
+        assert concurrent.direction == "concurrent"
+
+    def test_summary_counts(self):
+        result = compute_scp(figure4_log(), SP1, SP2)
+        summary = result.summary()
+        assert str(len(result.ordered)) in summary
+        assert str(len(result.unordered)) in summary
+
+
+class TestSCPk:
+    def test_three_way(self):
+        log = EventLog()
+        log.append(make_event(1, "a", (1, 0, 0), 0, detail="x"))
+        log.append(make_event(2, "b", (1, 1, 0), 1, detail="x"))
+        log.append(make_event(3, "c", (1, 1, 1), 2, detail="x"))
+        cp = ConjunctivePredicate(terms=(
+            SimplePredicate(process="a", kind=EventKind.STATE_CHANGE, detail="x"),
+            SimplePredicate(process="b", kind=EventKind.STATE_CHANGE, detail="x"),
+            SimplePredicate(process="c", kind=EventKind.STATE_CHANGE, detail="x"),
+        ))
+        ordered, unordered = compute_scp_k(log, cp)
+        assert len(ordered) == 1
+        assert len(unordered) == 0
+
+    def test_limit_guard(self):
+        log = EventLog()
+        for i in range(1, 201):
+            process = "a" if i % 2 else "b"
+            vector = (i, 0) if i % 2 else (0, i)
+            log.append(make_event(i, process, vector, 0 if i % 2 else 1, detail="x"))
+        cp = ConjunctivePredicate(terms=(
+            SimplePredicate(process="a", kind=EventKind.STATE_CHANGE, detail="x"),
+            SimplePredicate(process="b", kind=EventKind.STATE_CHANGE, detail="x"),
+        ))
+        with pytest.raises(ValueError, match="limit"):
+            compute_scp_k(log, cp, limit=100)

@@ -1,0 +1,213 @@
+"""Unit-level tests of the snapshot and halting algorithms on tiny systems."""
+
+import pytest
+
+from repro.experiments import build_system, install_trigger
+from repro.halting import HaltingCoordinator, HaltMarker
+from repro.network.latency import FixedLatency
+from repro.network.topology import ring
+from repro.runtime.process import Process
+from repro.runtime.system import System
+from repro.snapshot import SnapshotCoordinator
+from repro.util.errors import HaltingError, SnapshotError
+from repro.workloads import token_ring
+
+
+class Idle(Process):
+    """Does nothing — for marker-flow-only scenarios."""
+
+
+def idle_ring(n=3, seed=0):
+    names = [f"p{i}" for i in range(n)]
+    topo = ring(names)
+    return System(topo, {name: Idle() for name in names},
+                  seed=seed, latency=FixedLatency(1.0))
+
+
+class TestHaltMarker:
+    def test_extended_by_appends(self):
+        marker = HaltMarker(halt_id=1)
+        extended = marker.extended_by("a").extended_by("b")
+        assert extended.path == ("a", "b")
+        assert extended.halt_id == 1
+
+    def test_str(self):
+        assert "fresh" in str(HaltMarker(halt_id=2))
+        assert "a -> b" in str(HaltMarker(halt_id=2, path=("a", "b")))
+
+
+class TestHaltingOnIdleRing:
+    def test_markers_flood_and_all_halt(self):
+        system = idle_ring()
+        coordinator = HaltingCoordinator(system)
+        system.start()
+        coordinator.initiate(["p0"])
+        system.run_to_quiescence()
+        assert coordinator.all_halted()
+        assert coordinator.halt_order[0] == "p0"
+        # Ring flood order is the ring order.
+        assert coordinator.halt_order == ["p0", "p1", "p2"]
+
+    def test_halt_paths_record_route(self):
+        system = idle_ring()
+        coordinator = HaltingCoordinator(system)
+        system.start()
+        coordinator.initiate(["p0"])
+        system.run_to_quiescence()
+        report = coordinator.halting_order_report()
+        assert report["p1"] == ("p0",)
+        assert report["p2"] == ("p0", "p1")
+
+    def test_all_last_halt_ids_equal(self):
+        system = idle_ring()
+        coordinator = HaltingCoordinator(system)
+        system.start()
+        coordinator.initiate(["p0", "p2"])  # simultaneous initiation
+        system.run_to_quiescence()
+        ids = {agent.last_halt_id for agent in coordinator.agents.values()}
+        assert ids == {1}
+
+    def test_stale_marker_ignored_after_resume(self):
+        """E12: markers from generation 1 left in channels must not re-halt
+        processes resumed into generation 2."""
+        system = idle_ring()
+        coordinator = HaltingCoordinator(system)
+        system.start()
+        coordinator.initiate(["p0"])
+        system.run(max_events=2)  # p1 not yet halted
+        # Inject a stale duplicate of generation 1 toward p1.
+        agent = coordinator.agents["p0"]
+        system.run_to_quiescence()
+        assert coordinator.all_halted()
+        coordinator.resume_all()
+        # Old marker re-sent (simulating a late duplicate from gen 1).
+        from repro.network.message import MessageKind
+
+        system.controller("p0").send_control(
+            system.outgoing_channels("p0")[0],
+            MessageKind.HALT_MARKER,
+            HaltMarker(halt_id=1, path=("p0",)),
+        )
+        system.run_to_quiescence()
+        assert not system.controller("p1").halted
+        assert agent.last_halt_id == 1
+
+    def test_initiate_while_halted_rejected(self):
+        system = idle_ring()
+        coordinator = HaltingCoordinator(system)
+        system.start()
+        coordinator.initiate(["p0"])
+        system.run_to_quiescence()
+        with pytest.raises(HaltingError):
+            coordinator.agents["p0"].initiate()
+
+    def test_collect_before_done_raises(self):
+        system = idle_ring()
+        coordinator = HaltingCoordinator(system)
+        system.start()
+        coordinator.initiate(["p0"])
+        # No run: only p0 halted so far.
+        with pytest.raises(HaltingError, match="not all processes halted"):
+            coordinator.collect()
+        partial = coordinator.collect(require_all=False)
+        assert set(partial.processes) == {"p0"}
+
+    def test_resume_all_clears_halted(self):
+        system = idle_ring()
+        coordinator = HaltingCoordinator(system)
+        system.start()
+        coordinator.initiate(["p1"])
+        system.run_to_quiescence()
+        coordinator.resume_all()
+        assert not system.controller("p0").halted
+        assert coordinator.halt_order == []
+
+    def test_second_generation_after_resume(self):
+        system = idle_ring()
+        coordinator = HaltingCoordinator(system)
+        system.start()
+        coordinator.initiate(["p0"])
+        system.run_to_quiescence()
+        coordinator.resume_all()
+        coordinator.initiate(["p1"])
+        system.run_to_quiescence()
+        assert coordinator.all_halted()
+        ids = {agent.last_halt_id for agent in coordinator.agents.values()}
+        assert ids == {2}
+
+
+class TestSnapshotOnIdleRing:
+    def test_snapshot_completes_with_empty_channels(self):
+        system = idle_ring()
+        coordinator = SnapshotCoordinator(system)
+        system.start()
+        coordinator.initiate(["p0"])
+        system.run_to_quiescence()
+        assert coordinator.is_complete()
+        state = coordinator.collect()
+        assert state.total_pending_messages() == 0
+        assert set(state.processes) == {"p0", "p1", "p2"}
+
+    def test_collect_before_complete_raises(self):
+        system = idle_ring()
+        coordinator = SnapshotCoordinator(system)
+        system.start()
+        coordinator.initiate(["p0"])
+        with pytest.raises(SnapshotError, match="incomplete"):
+            coordinator.collect()
+
+    def test_repeated_generations(self):
+        system = idle_ring()
+        coordinator = SnapshotCoordinator(system)
+        system.start()
+        for expected_gen in (1, 2, 3):
+            coordinator.initiate(["p0"])
+            system.run_to_quiescence()
+            state = coordinator.collect()
+            assert state.generation == expected_gen
+
+    def test_initiate_with_stale_id_rejected(self):
+        system = idle_ring()
+        coordinator = SnapshotCoordinator(system)
+        system.start()
+        coordinator.initiate(["p0"])
+        system.run_to_quiescence()
+        with pytest.raises(SnapshotError):
+            coordinator.agents["p0"].initiate(1)  # id 1 already used
+
+    def test_snapshot_does_not_perturb_logical_behaviour(self):
+        """§5's "minimal change" claim, testable half: a snapshot may shift
+        *timing* (markers occupy FIFO channels ahead of later data — that is
+        physical), but the program's logical history — which events, in
+        which per-process order, with which payloads — is unchanged."""
+        def run(with_snapshot):
+            system = build_system(lambda: token_ring.build(n=3, max_hops=20), 4)
+            if with_snapshot:
+                coordinator = SnapshotCoordinator(system)
+                install_trigger(system, "p1", 5,
+                                lambda: coordinator.initiate(["p1"]))
+            system.run_to_quiescence()
+            return [
+                (e.process, e.kind.value, e.detail, e.local_seq)
+                for e in system.log
+            ], {n: system.state_of(n) for n in system.user_process_names}
+
+        plain_events, plain_states = run(False)
+        observed_events, observed_states = run(True)
+        assert plain_events == observed_events
+        assert plain_states == observed_states
+
+
+class TestHaltedChannelContents:
+    def test_buffered_messages_and_closed_channels(self):
+        system = build_system(lambda: token_ring.build(n=4, max_hops=50), 2)
+        coordinator = HaltingCoordinator(system)
+        install_trigger(system, "p2", 6, lambda: coordinator.initiate(["p2"]))
+        system.run_to_quiescence()
+        state = coordinator.collect()
+        # Every buffered channel was terminated by its halt marker.
+        for channel_state in state.channels.values():
+            assert channel_state.complete
+        # Process states carry the §2.2.4 path metadata.
+        for snap in state.processes.values():
+            assert "halt_path" in snap.meta

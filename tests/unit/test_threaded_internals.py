@@ -1,0 +1,105 @@
+"""Unit tests for threaded-backend internals (timers, terminate, validation)."""
+
+import pytest
+
+from repro.network.topology import ring
+from repro.runtime.process import Process
+from repro.runtime.threaded import ThreadedSystem
+from repro.util.errors import ConfigurationError
+
+
+class TimerBox(Process):
+    def on_start(self, ctx):
+        ctx.state["fired"] = []
+        ctx.set_timer("a", 1.0, payload="a1")
+        ctx.set_timer("a", 0.5, payload="a2")   # re-arm replaces
+        ctx.set_timer("b", 5.0, payload="b1")
+        ctx.set_timer("kill_b", 1.5)
+
+    def on_timer(self, ctx, name, payload):
+        if name == "kill_b":
+            ctx.cancel_timer("b")
+            fired = list(ctx.state["fired"])
+            fired.append("kill_b")
+            ctx.state["fired"] = fired
+            return
+        fired = list(ctx.state["fired"])
+        fired.append(payload)
+        ctx.state["fired"] = fired
+
+
+def test_threaded_timer_rearm_and_cancel():
+    topo = ring(["a", "b"])
+    system = ThreadedSystem(topo, {"a": TimerBox(), "b": Process()},
+                            seed=1, time_scale=0.02)
+    try:
+        system.start()
+        assert system.settle(timeout=20.0)
+        fired = system.state_of("a")["fired"]
+        assert fired == ["a2", "kill_b"]  # re-armed payload won; b cancelled
+    finally:
+        system.shutdown()
+
+
+class Quitter(Process):
+    def on_start(self, ctx):
+        ctx.state["seen"] = 0
+        ctx.set_timer("die", 0.5)
+
+    def on_timer(self, ctx, name, payload):
+        ctx.terminate()
+
+    def on_message(self, ctx, src, payload):
+        ctx.state["seen"] = ctx.state["seen"] + 1
+
+
+class Pinger(Process):
+    def on_start(self, ctx):
+        ctx.set_timer("ping", 2.0)
+
+    def on_timer(self, ctx, name, payload):
+        ctx.send(ctx.neighbors_out()[0], "late")
+
+
+def test_threaded_terminate_buffers_late_traffic():
+    topo = ring(["a", "b"])  # a->b, b->a
+    system = ThreadedSystem(topo, {"a": Pinger(), "b": Quitter()},
+                            seed=2, time_scale=0.02)
+    try:
+        system.start()
+        assert system.settle(timeout=20.0)
+        assert system.state_of("b")["seen"] == 0  # terminated before the ping
+        controller = system.controller("b")
+        buffered = sum(len(v) for v in controller.halt_buffers.values())
+        assert buffered == 1
+    finally:
+        system.shutdown()
+
+
+def test_threaded_dynamic_channels_rejected():
+    topo = ring(["a", "b"])
+    system = ThreadedSystem(topo, {"a": Process(), "b": Process()},
+                            seed=3, time_scale=0.02)
+    controller = system.controller("b")
+    with pytest.raises(ConfigurationError, match="DES-backend-only"):
+        controller.user_create_channel("a")
+    with pytest.raises(ConfigurationError, match="DES-backend-only"):
+        controller.user_destroy_channel("a")
+
+
+def test_threaded_missing_process_rejected():
+    topo = ring(["a", "b"])
+    with pytest.raises(ConfigurationError, match="no Process supplied"):
+        ThreadedSystem(topo, {"a": Process()})
+
+
+def test_threaded_message_totals():
+    topo = ring(["a", "b"])
+    system = ThreadedSystem(topo, {"a": Pinger(), "b": Process()},
+                            seed=4, time_scale=0.02)
+    try:
+        system.start()
+        assert system.settle(timeout=20.0)
+        assert system.message_totals().get("user", 0) == 1
+    finally:
+        system.shutdown()

@@ -1,0 +1,151 @@
+"""Unit tests for topologies and their builders."""
+
+import pytest
+
+from repro.network.topology import (
+    Topology,
+    complete,
+    pipeline,
+    random_topology,
+    ring,
+    star,
+    two_clusters,
+)
+from repro.util.errors import TopologyError
+from repro.util.ids import ChannelId
+
+
+class TestTopologyBasics:
+    def test_add_and_query(self):
+        topo = Topology().add_process("a").add_process("b")
+        channel = topo.add_channel("a", "b")
+        assert channel == ChannelId("a", "b")
+        assert topo.outgoing("a") == (channel,)
+        assert topo.incoming("b") == (channel,)
+        assert topo.neighbors_out("a") == ("b",)
+        assert topo.neighbors_in("b") == ("a",)
+        assert topo.has_channel("a", "b")
+        assert not topo.has_channel("b", "a")
+
+    def test_duplicate_process_rejected(self):
+        topo = Topology().add_process("a")
+        with pytest.raises(TopologyError):
+            topo.add_process("a")
+
+    def test_duplicate_channel_rejected(self):
+        topo = Topology().add_process("a").add_process("b")
+        topo.add_channel("a", "b")
+        with pytest.raises(TopologyError):
+            topo.add_channel("a", "b")
+
+    def test_self_channel_rejected(self):
+        topo = Topology().add_process("a")
+        with pytest.raises(TopologyError):
+            topo.add_channel("a", "a")
+
+    def test_unknown_process_rejected(self):
+        topo = Topology().add_process("a")
+        with pytest.raises(TopologyError):
+            topo.add_channel("a", "ghost")
+        with pytest.raises(TopologyError):
+            topo.outgoing("ghost")
+
+    def test_bidirectional(self):
+        topo = Topology().add_process("a").add_process("b")
+        forward, backward = topo.add_bidirectional("a", "b")
+        assert forward == ChannelId("a", "b")
+        assert backward == ChannelId("b", "a")
+
+
+class TestGraphAnalyses:
+    def test_ring_is_strongly_connected(self):
+        assert ring(["a", "b", "c"]).is_strongly_connected()
+
+    def test_pipeline_is_not_strongly_connected(self):
+        assert not pipeline(["a", "b", "c"]).is_strongly_connected()
+
+    def test_complete_is_strongly_connected(self):
+        assert complete(["a", "b", "c", "d"]).is_strongly_connected()
+
+    def test_star_is_strongly_connected(self):
+        assert star("hub", ["a", "b"]).is_strongly_connected()
+
+    def test_reachability_on_pipeline(self):
+        topo = pipeline(["a", "b", "c"])
+        assert topo.reachable_from("a") == {"a", "b", "c"}
+        assert topo.reachable_from("c") == {"c"}
+
+    def test_empty_topology_trivially_connected(self):
+        assert Topology().is_strongly_connected()
+
+    def test_single_process_connected(self):
+        assert Topology().add_process("solo").is_strongly_connected()
+
+
+class TestWithDebugger:
+    def test_pipeline_becomes_strongly_connected(self):
+        topo = pipeline(["a", "b", "c"])
+        extended = topo.with_debugger("d")
+        assert extended.is_strongly_connected()
+        assert "d" in extended.processes
+        # Control channels both ways to every user process (§2.2.3).
+        for name in ("a", "b", "c"):
+            assert extended.has_channel("d", name)
+            assert extended.has_channel(name, "d")
+
+    def test_original_untouched(self):
+        topo = pipeline(["a", "b"])
+        topo.with_debugger()
+        assert "d" not in topo.processes
+        assert len(topo.channels) == 1
+
+    def test_user_channels_preserved(self):
+        topo = ring(["a", "b", "c"])
+        extended = topo.with_debugger()
+        for channel in topo.channels:
+            assert extended.has_channel(channel.src, channel.dst)
+
+
+class TestBuilders:
+    def test_ring_shape(self):
+        topo = ring(["a", "b", "c"])
+        assert len(topo.channels) == 3
+        assert topo.has_channel("c", "a")
+
+    def test_bidirectional_ring(self):
+        topo = ring(["a", "b", "c"], bidirectional=True)
+        assert len(topo.channels) == 6
+
+    def test_complete_shape(self):
+        topo = complete(["a", "b", "c"])
+        assert len(topo.channels) == 6
+
+    def test_star_shape(self):
+        topo = star("hub", ["a", "b", "c"])
+        assert len(topo.channels) == 6
+        assert not topo.has_channel("a", "b")
+
+    def test_random_topology_deterministic(self):
+        names = [f"p{i}" for i in range(6)]
+        a = random_topology(names, 0.3, seed=5)
+        b = random_topology(names, 0.3, seed=5)
+        assert a.channels == b.channels
+        assert a.is_strongly_connected()
+
+    def test_random_topology_unconnected_variant(self):
+        names = [f"p{i}" for i in range(6)]
+        topo = random_topology(names, 0.0, seed=1, ensure_strongly_connected=False)
+        assert len(topo.channels) == 0
+
+    def test_two_clusters(self):
+        topo = two_clusters(["a0", "a1"], ["b0", "b1"], bridges=[("a0", "b0")])
+        assert topo.has_channel("a0", "a1")
+        assert topo.has_channel("b0", "b1")
+        assert topo.has_channel("a0", "b0")
+        assert topo.has_channel("b0", "a0")
+        assert not topo.has_channel("a1", "b1")
+        assert topo.is_strongly_connected()
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(Exception):
+            ring(["a", "a"])

@@ -1,0 +1,126 @@
+"""Unit tests for trace serialization and replay comparison."""
+
+import io
+
+import pytest
+
+from repro.experiments import build_system, run_halting
+from repro.trace import (
+    compare_logs,
+    dump_log,
+    dump_state,
+    load_log,
+    load_state,
+    log_from_dict,
+    log_to_dict,
+    state_from_dict,
+    state_to_dict,
+)
+from repro.trace.replay import assert_replay
+from repro.util.errors import TraceError
+from repro.workloads import bank, chatter
+
+
+def small_run(seed=3):
+    system = build_system(lambda: chatter.build(n=3, budget=8, seed=seed), seed)
+    system.run_to_quiescence()
+    return system
+
+
+class TestLogSerialization:
+    def test_roundtrip_preserves_everything(self):
+        system = small_run()
+        data = log_to_dict(system.log, meta={"seed": 3})
+        reloaded = log_from_dict(data)
+        assert len(reloaded) == len(system.log)
+        for original, copy in zip(system.log, reloaded):
+            assert original.eid == copy.eid
+            assert original.process == copy.process
+            assert original.kind == copy.kind
+            assert original.vector == copy.vector
+            assert original.channel == copy.channel
+            assert original.local_seq == copy.local_seq
+
+    def test_file_helpers(self):
+        system = small_run()
+        buffer = io.StringIO()
+        dump_log(system.log, buffer)
+        buffer.seek(0)
+        reloaded = load_log(buffer)
+        assert compare_logs(system.log, reloaded) is None
+
+    def test_bad_format_version(self):
+        with pytest.raises(TraceError):
+            log_from_dict({"format": 99, "events": []})
+
+    def test_malformed_event(self):
+        with pytest.raises(TraceError):
+            log_from_dict({"format": 1, "events": [{"eid": 1}]})
+
+    def test_non_json_payload_stringified(self):
+        data = log_to_dict(small_run().log)
+        # Everything must be json-dumpable.
+        import json
+
+        json.dumps(data)
+
+
+class TestStateSerialization:
+    def test_roundtrip(self):
+        _, _, state = run_halting(
+            lambda: bank.build(n=3, transfers=15), 2, "branch0", 8
+        )
+        data = state_to_dict(state)
+        reloaded = state_from_dict(data)
+        assert set(reloaded.processes) == set(state.processes)
+        for name in state.processes:
+            assert reloaded.processes[name].state == state.processes[name].state
+            assert reloaded.processes[name].vector == state.processes[name].vector
+        assert set(reloaded.channels) == set(state.channels)
+        for channel in state.channels:
+            assert (
+                reloaded.channels[channel].content_keys()
+                == state.channels[channel].content_keys()
+            )
+        assert bank.total_money(reloaded) == bank.total_money(state)
+
+    def test_file_helpers(self):
+        _, _, state = run_halting(
+            lambda: bank.build(n=3, transfers=15), 2, "branch0", 8
+        )
+        buffer = io.StringIO()
+        dump_state(state, buffer)
+        buffer.seek(0)
+        reloaded = load_state(buffer)
+        assert reloaded.origin == "halting"
+        assert reloaded.generation == state.generation
+
+
+class TestReplayComparison:
+    def test_identical_runs_compare_equal(self):
+        a, b = small_run(seed=7), small_run(seed=7)
+        assert compare_logs(a.log, b.log) is None
+        assert_replay(a.log, b.log)
+
+    def test_different_seeds_diverge(self):
+        a, b = small_run(seed=7), small_run(seed=8)
+        divergence = compare_logs(a.log, b.log)
+        assert divergence is not None
+        assert divergence.index >= 0
+        assert "diverge" in str(divergence) or "differ" in str(divergence)
+
+    def test_truncated_log_reports_length(self):
+        a = small_run(seed=7)
+        b = small_run(seed=7)
+        shorter = log_from_dict(
+            {"format": 1, "meta": {},
+             "events": [e for e in log_to_dict(b.log)["events"]][:-3]}
+        )
+        divergence = compare_logs(a.log, shorter)
+        assert divergence is not None
+        assert "lengths differ" in divergence.reason
+
+    def test_assert_replay_raises_with_report(self):
+        a, b = small_run(seed=7), small_run(seed=9)
+        with pytest.raises(AssertionError, match="divergence at event"):
+            assert_replay(a.log, b.log)

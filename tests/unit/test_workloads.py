@@ -1,0 +1,166 @@
+"""Unit tests for the workload library: each program behaves as specified."""
+
+import pytest
+
+from repro.events.event import EventKind
+from repro.experiments import build_system
+from repro.network.latency import UniformLatency
+from repro.runtime.system import System
+from repro.workloads import (
+    bank,
+    chatter,
+    election,
+    gossip,
+    infrequent,
+    mutex,
+    pipeline,
+    token_ring,
+)
+
+
+def run(builder, seed=0, max_events=500_000):
+    system = build_system(builder, seed)
+    system.run_to_quiescence(max_events=max_events)
+    return system
+
+
+class TestTokenRing:
+    def test_token_makes_all_hops(self):
+        system = run(lambda: token_ring.build(n=4, max_hops=20))
+        total = sum(system.state_of(f"p{i}")["tokens_seen"] for i in range(4))
+        assert total == 21  # hops 0..20 delivered
+
+    def test_last_value_progresses(self):
+        system = run(lambda: token_ring.build(n=3, max_hops=9))
+        values = [system.state_of(f"p{i}")["last_value"] for i in range(3)]
+        assert max(values) == 9
+
+
+class TestChatter:
+    def test_budgets_respected(self):
+        system = run(lambda: chatter.build(n=4, budget=12, seed=1), seed=1)
+        for i in range(4):
+            assert system.state_of(f"p{i}")["sent"] == 12
+
+    def test_all_messages_delivered(self):
+        system = run(lambda: chatter.build(n=4, budget=12, seed=1), seed=1)
+        sent = sum(system.state_of(f"p{i}")["sent"] for i in range(4))
+        received = sum(system.state_of(f"p{i}")["received"] for i in range(4))
+        assert sent == received == 48
+
+
+class TestBank:
+    def test_money_conserved_at_completion(self):
+        system = run(lambda: bank.build(n=4, transfers=20))
+        balances = {
+            name: system.state_of(name)["balance"]
+            for name in system.user_process_names
+        }
+        assert bank.total_money(balances) == 4 * bank.INITIAL_BALANCE
+
+    def test_transfers_made(self):
+        system = run(lambda: bank.build(n=3, transfers=10))
+        for name in system.user_process_names:
+            assert system.state_of(name)["transfers_made"] == 10
+
+    def test_balances_never_negative(self):
+        system = run(lambda: bank.build(n=3, transfers=25), seed=5)
+        for event in system.log.find(kind=EventKind.STATE_CHANGE, detail="balance"):
+            assert event.attrs["value"] >= 0
+
+
+class TestPipeline:
+    def test_items_flow_through(self):
+        system = run(lambda: pipeline.build(stages=2, items=15))
+        assert system.state_of("producer")["produced"] == 15
+        assert system.state_of("stage1")["processed"] == 15
+        assert system.state_of("stage2")["processed"] == 15
+        assert system.state_of("consumer")["consumed"] == 15
+        # Two stages added 1000 each to the last item (14).
+        assert system.state_of("consumer")["last_item"] == 2014
+
+
+class TestElection:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_exactly_one_leader(self, seed):
+        system = run(lambda: election.build(n=5, seed=seed), seed=seed)
+        marks = system.log.find(kind=EventKind.STATE_CHANGE, detail="leader_elected")
+        assert len(marks) == 1
+        leader = marks[0].process
+        # The elected member holds the highest uid.
+        assert system.state_of(leader)["uid"] == 5
+
+    def test_everyone_learns_and_terminates(self):
+        system = run(lambda: election.build(n=5, seed=1), seed=1)
+        marks = system.log.find(kind=EventKind.STATE_CHANGE, detail="leader_elected")
+        leader = marks[0].process
+        for i in range(5):
+            assert system.state_of(f"e{i}")["leader"] == leader
+        terminated = system.log.of_kind(EventKind.PROCESS_TERMINATED)
+        assert len(terminated) == 5
+
+
+class TestMutex:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_mutual_exclusion_is_causal(self, seed):
+        """Safety: any two critical sections at different processes are
+        causally ordered — exit of one happened-before entry of the other."""
+        system = run(lambda: mutex.build(n=3, entries=3), seed=seed)
+        enters = system.log.find(kind=EventKind.STATE_CHANGE, detail="cs_enter")
+        exits = system.log.find(kind=EventKind.STATE_CHANGE, detail="cs_exit")
+        sections = []
+        for enter in enters:
+            matching = [
+                x for x in exits
+                if x.process == enter.process and x.attrs["entry"] == enter.attrs["entry"]
+            ]
+            assert len(matching) == 1
+            sections.append((enter, matching[0]))
+        for i, (enter_a, exit_a) in enumerate(sections):
+            for enter_b, exit_b in sections[i + 1:]:
+                if enter_a.process == enter_b.process:
+                    continue
+                assert (
+                    exit_a.happened_before(enter_b)
+                    or exit_b.happened_before(enter_a)
+                ), f"overlapping critical sections: {enter_a} / {enter_b}"
+
+    def test_everyone_gets_the_lock(self):
+        system = run(lambda: mutex.build(n=3, entries=3), seed=1)
+        for name in system.user_process_names:
+            assert system.state_of(name)["entries_done"] == 3
+
+
+class TestGossip:
+    def test_rumor_reaches_everyone_with_big_ttl(self):
+        system = run(lambda: gossip.build(n=6, fanout=3, ttl=10, seed=2), seed=2)
+        heard = [
+            name for name in system.user_process_names
+            if system.state_of(name)["heard"]
+        ]
+        assert len(heard) == 6
+
+    def test_zero_ttl_stays_local(self):
+        system = run(lambda: gossip.build(n=6, fanout=3, ttl=0, seed=2), seed=2)
+        # Origin heard it; direct recipients hear but do not relay.
+        relays = [
+            name for name in system.user_process_names
+            if system.state_of(name)["relayed"] > 0
+        ]
+        assert relays == ["g0"]
+
+
+class TestInfrequent:
+    def test_bridge_latency_configuration(self):
+        topo, processes, latencies = infrequent.build(
+            cluster_size=2, bridge_latency=30.0, local_latency=1.0
+        )
+        from repro.util.ids import ChannelId
+
+        assert latencies[ChannelId("a0", "b0")].delay == 30.0
+        assert latencies[ChannelId("a0", "a1")].delay == 1.0
+        system = System(topo, processes, seed=0, channel_latencies=latencies,
+                        latency=UniformLatency(0.5, 1.5))
+        system.run_to_quiescence()
+        for name in system.user_process_names:
+            assert system.state_of(name)["sent"] == 40

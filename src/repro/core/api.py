@@ -43,14 +43,18 @@ def build_system(
     seed: int = 0,
     latency: Optional[LatencyModel] = None,
     channel_latencies: Optional[Mapping[ChannelId, LatencyModel]] = None,
+    **kwargs: object,
 ) -> System:
-    """A bare instrumented system (no debugging algorithms installed)."""
+    """A bare instrumented system (no debugging algorithms installed).
+    Extra keyword arguments (``fault_plan``, ``reliability``, ``reliable``)
+    are forwarded to :class:`~repro.runtime.system.System`."""
     return System(
         topology,
         processes,
         seed=seed,
         latency=latency or UniformLatency(0.4, 1.6),
         channel_latencies=channel_latencies,
+        **kwargs,  # type: ignore[arg-type]
     )
 
 

@@ -9,6 +9,8 @@ from repro.debugger.client import DebugClientAgent
 from repro.debugger.commands import (
     BreakpointHit,
     HaltNotification,
+    PingCommand,
+    PongNotice,
     ResumeCommand,
     SatisfactionNotice,
     StateReport,
@@ -18,6 +20,7 @@ from repro.debugger.commands import (
 )
 from repro.debugger.cli import DebuggerCLI
 from repro.debugger.edl import AbstractEvent, EDLRecognizer
+from repro.debugger.failure import HeartbeatMonitor, PartialHaltReport
 from repro.debugger.gather import GatherDetector, UnorderedDetection
 from repro.debugger.report import post_mortem
 from repro.debugger.session import DebugSession, RunOutcome
@@ -35,6 +38,10 @@ __all__ = [
     "EDLRecognizer",
     "GatherDetector",
     "HaltNotification",
+    "HeartbeatMonitor",
+    "PartialHaltReport",
+    "PingCommand",
+    "PongNotice",
     "ResumeCommand",
     "RunOutcome",
     "SatisfactionNotice",

@@ -22,6 +22,8 @@ from repro.breakpoints.predicates import ConjunctivePredicate, LinkedPredicate
 from repro.debugger.commands import (
     BreakpointHit,
     HaltNotification,
+    PingCommand,
+    PongNotice,
     SatisfactionNotice,
     StateReport,
     StateRequest,
@@ -40,9 +42,19 @@ DEFAULT_DEBUGGER_NAME: ProcessId = "d"
 
 
 class DebuggerProcess(Process):
-    """The debugger's user-code shell — intentionally empty; all debugger
-    behaviour lives in control plugins, because the debugger only ever
-    exchanges control traffic."""
+    """The debugger's user-code shell. Debugger behaviour lives in control
+    plugins; the shell only routes the debugger's own timers (heartbeat
+    intervals, watchdog deadlines) to registered hooks — the debugger never
+    halts, so its timers keep firing while the user program is frozen,
+    which is what makes failure detection during a halt possible."""
+
+    def __init__(self) -> None:
+        self.timer_hooks: Dict[str, object] = {}
+
+    def on_timer(self, ctx: object, name: str, payload: object) -> None:
+        hook = self.timer_hooks.get(name)
+        if hook is not None:
+            hook(payload)  # type: ignore[operator]
 
 
 class DebuggerAgent(ControlPlugin):
@@ -57,9 +69,14 @@ class DebuggerAgent(ControlPlugin):
         self.breakpoint_hits: List[BreakpointHit] = []
         self.state_reports: Dict[int, StateReport] = {}
         self.unordered_detections: List[UnorderedDetection] = []
+        #: ping_id -> PongNotice for every answered liveness probe.
+        self.pongs: Dict[int, PongNotice] = {}
+        #: process -> debugger-local arrival time of its freshest pong.
+        self.last_pong: Dict[ProcessId, float] = {}
         self._gatherers: Dict[int, GatherDetector] = {}
         self._next_request_id = 1
         self._next_watch_id = 1
+        self._next_ping_id = 1
 
     # -- notification intake -------------------------------------------------
 
@@ -71,6 +88,9 @@ class DebuggerAgent(ControlPlugin):
             self.breakpoint_hits.append(notice)
         elif isinstance(notice, StateReport):
             self.state_reports[notice.request_id] = notice
+        elif isinstance(notice, PongNotice):
+            self.pongs[notice.ping_id] = notice
+            self.last_pong[notice.process] = self.controller.now
         elif isinstance(notice, SatisfactionNotice):
             gatherer = self._gatherers.get(notice.watch_id)
             if gatherer is not None:
@@ -96,6 +116,17 @@ class DebuggerAgent(ControlPlugin):
             process, StateRequest(request_id=request_id, include_channels=include_channels)
         )
         return request_id
+
+    def send_ping(self, process: ProcessId) -> int:
+        """Probe one process's liveness. Returns the ping_id; the answer
+        (if the host is alive) lands in :attr:`pongs`."""
+        ping_id = self._next_ping_id
+        self._next_ping_id += 1
+        self.send_command(process, PingCommand(ping_id=ping_id))
+        return ping_id
+
+    def answered(self, ping_id: int) -> bool:
+        return ping_id in self.pongs
 
     # -- breakpoints (Predicate-Marker-Sending Rule, §3.6) ----------------------------
 

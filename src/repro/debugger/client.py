@@ -18,6 +18,8 @@ from repro.breakpoints.predicates import SimplePredicate
 from repro.debugger.commands import (
     BreakpointHit,
     HaltNotification,
+    PingCommand,
+    PongNotice,
     ResumeCommand,
     SatisfactionNotice,
     StateReport,
@@ -62,6 +64,17 @@ class DebugClientAgent(ControlPlugin):
             )
         elif isinstance(command, UnwatchCommand):
             self.watches.pop(command.watch_id, None)
+        elif isinstance(command, PingCommand):
+            # Answered even while halted (control traffic bypasses halt);
+            # a crashed host never gets here — its silence is the signal.
+            self.notify(
+                PongNotice(
+                    ping_id=command.ping_id,
+                    process=self.controller.name,
+                    halted=self.controller.halted,
+                    time=self.controller.now,
+                )
+            )
         else:
             raise ReproError(
                 f"{self.controller.name}: unknown debugger command {command!r}"

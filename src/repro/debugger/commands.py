@@ -50,6 +50,17 @@ class UnwatchCommand:
     watch_id: int
 
 
+@dataclass(frozen=True)
+class PingCommand:
+    """Liveness probe. Clients answer with :class:`PongNotice` immediately,
+    even while halted — control traffic bypasses the halt (§2.2.3: "user
+    processes are always willing to accept a message from the debugger").
+    Only a *crashed* host stays silent, which is exactly what makes the
+    ping a failure detector and not a progress detector."""
+
+    ping_id: int
+
+
 # -- notifications (process -> debugger) -----------------------------------------
 
 
@@ -86,6 +97,16 @@ class HaltNotification:
     #: §2.2.4 halting-order path carried by the marker that halted us,
     #: ending with our own name.
     path: Tuple[ProcessId, ...]
+    time: float
+
+
+@dataclass(frozen=True)
+class PongNotice:
+    """Reply to a :class:`PingCommand` — doubles as a heartbeat."""
+
+    ping_id: int
+    process: ProcessId
+    halted: bool
     time: float
 
 

@@ -1,0 +1,134 @@
+"""Failure detection and graceful degradation of halting.
+
+The paper's model has no failures: every process eventually receives every
+marker, so the Halting Algorithm always converges to a complete global
+state. Under the fault model of :mod:`repro.faults` that guarantee breaks
+in exactly one way — a *crashed* process can never halt, so a halting run
+that includes one would hang forever waiting for its notification.
+
+This module contains the debugger-side machinery that turns "hangs
+forever" into "terminates with an honest partial answer":
+
+* :class:`HeartbeatMonitor` — bookkeeping over ping/pong round trips (see
+  :class:`~repro.debugger.commands.PingCommand`). The debugger process
+  never halts, so its timers keep firing and its control channels keep
+  working while the user program is frozen — heartbeats work *during* a
+  halt, which is precisely when they are needed.
+* :class:`PartialHaltReport` — the outcome of a watchdog-supervised halt:
+  which processes halted, which were declared dead (probed and silent),
+  and whether the resulting cut is complete or partial.
+
+The partial cut is still *checkable*: the consistency oracle skips
+channels incident on processes outside the captured population, so "every
+live process halted consistently" remains a falsifiable claim (and the
+crash-mid-halt tests falsify it if the implementation regresses).
+
+A failure detector over an asynchronous network is necessarily imperfect
+(it cannot distinguish a crashed host from an arbitrarily slow one); the
+grace period bounds, but does not eliminate, false suspicions — a stalled
+process that outsleeps the probe window will be reported dead. That is
+the classic FLP trade-off, surfaced honestly in the report rather than
+hidden.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.util.ids import ProcessId
+
+
+@dataclass(frozen=True)
+class PartialHaltReport:
+    """What a watchdog-supervised halt actually achieved."""
+
+    #: Halt generation this report belongs to.
+    generation: int
+    #: Processes that halted (consistent-cut members).
+    halted: Tuple[ProcessId, ...]
+    #: Processes declared dead: probed after the watchdog fired and silent
+    #: through the grace period.
+    dead: Tuple[ProcessId, ...]
+    #: Processes neither halted nor declared dead (answered the probe but
+    #: did not halt in time — e.g. their halt marker is still in flight).
+    unresolved: Tuple[ProcessId, ...]
+    #: Debugger-local time when the report was assembled.
+    time: float
+    #: True when every user process halted — the fault-free outcome.
+    complete: bool
+
+    @property
+    def is_partial(self) -> bool:
+        return not self.complete
+
+    def describe(self) -> str:
+        if self.complete:
+            return (
+                f"halt complete at t={self.time:.3f} "
+                f"(generation {self.generation}): all of "
+                f"{', '.join(self.halted)} halted"
+            )
+        parts = [
+            f"halt PARTIAL at t={self.time:.3f} (generation {self.generation}):",
+            f"  halted: {', '.join(self.halted) or '(none)'}",
+            f"  dead:   {', '.join(self.dead) or '(none)'}",
+        ]
+        if self.unresolved:
+            parts.append(f"  unresolved: {', '.join(self.unresolved)}")
+        return "\n".join(parts)
+
+
+class HeartbeatMonitor:
+    """Debugger-side liveness bookkeeping over periodic pings.
+
+    The monitor is passive data plus arithmetic — *sending* the pings is
+    the session's job (a debugger timer on the DES backend, wall-clock
+    polling on the threaded one), because only the session knows how to
+    drive its backend. Every process starts with a grant of ``interval``
+    from ``started_at``, refreshed by each pong.
+    """
+
+    def __init__(self, processes: Tuple[ProcessId, ...], interval: float,
+                 miss_threshold: int = 3) -> None:
+        if interval <= 0:
+            raise ValueError(f"heartbeat interval must be > 0, got {interval!r}")
+        if miss_threshold < 1:
+            raise ValueError(f"miss_threshold must be >= 1, got {miss_threshold!r}")
+        self.processes = tuple(processes)
+        self.interval = interval
+        self.miss_threshold = miss_threshold
+        self.started_at = 0.0
+        #: process -> time its latest pong reached the debugger.
+        self.last_seen: Dict[ProcessId, float] = {}
+        self.pings_sent = 0
+
+    def start(self, now: float) -> None:
+        self.started_at = now
+        for process in self.processes:
+            self.last_seen.setdefault(process, now)
+
+    def observe(self, last_pong: Dict[ProcessId, float]) -> None:
+        """Fold in the debugger agent's freshest pong times."""
+        for process, seen in last_pong.items():
+            if process in self.last_seen and seen > self.last_seen[process]:
+                self.last_seen[process] = seen
+
+    def misses(self, process: ProcessId, now: float) -> int:
+        """Whole heartbeat intervals elapsed since this process was seen."""
+        seen = self.last_seen.get(process, self.started_at)
+        return max(0, int((now - seen) / self.interval))
+
+    def suspected(self, now: float) -> List[ProcessId]:
+        """Processes silent for at least ``miss_threshold`` intervals."""
+        return [
+            process for process in self.processes
+            if self.misses(process, now) >= self.miss_threshold
+        ]
+
+    def alive(self, now: float) -> List[ProcessId]:
+        suspects = set(self.suspected(now))
+        return [p for p in self.processes if p not in suspects]
+
+
+__all__ = ["HeartbeatMonitor", "PartialHaltReport"]

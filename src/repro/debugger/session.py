@@ -46,9 +46,12 @@ from repro.debugger.agent import (
 )
 from repro.debugger.client import DebugClientAgent
 from repro.debugger.commands import BreakpointHit, ResumeCommand
+from repro.debugger.failure import HeartbeatMonitor, PartialHaltReport
 from repro.debugger.gather import UnorderedDetection
+from repro.faults.plan import FaultPlan
 from repro.halting.algorithm import HaltingAgent
 from repro.network.latency import LatencyModel
+from repro.network.reliable import ReliabilityConfig
 from repro.network.topology import Topology
 from repro.runtime.process import Process
 from repro.runtime.state_capture import ProcessStateSnapshot
@@ -86,6 +89,9 @@ class DebugSession:
         channel_latencies: Optional[Mapping[ChannelId, LatencyModel]] = None,
         debugger_name: ProcessId = DEFAULT_DEBUGGER_NAME,
         capture_states: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
+        reliability: Optional[ReliabilityConfig] = None,
+        reliable: bool = False,
     ) -> None:
         if debugger_name in topology.processes:
             raise ReproError(
@@ -95,7 +101,8 @@ class DebugSession:
         self.debugger_name = debugger_name
         extended = topology.with_debugger(debugger_name)
         staffed: Dict[ProcessId, Process] = dict(processes)
-        staffed[debugger_name] = DebuggerProcess()
+        self._debugger_shell = DebuggerProcess()
+        staffed[debugger_name] = self._debugger_shell
         self.system = System(
             extended,
             staffed,
@@ -104,7 +111,11 @@ class DebugSession:
             channel_latencies=channel_latencies,
             capture_states=capture_states,
             never_halt={debugger_name},
+            fault_plan=fault_plan,
+            reliability=reliability,
+            reliable=reliable,
         )
+        self.heartbeats: Optional[HeartbeatMonitor] = None
 
         self._halting_agents: Dict[ProcessId, HaltingAgent] = {}
         self._predicate_agents: Dict[ProcessId, PredicateAgent] = {}
@@ -210,7 +221,15 @@ class DebugSession:
             # Drain in-flight traffic: pending user messages settle into the
             # halt buffers, halt markers close channels, notifications and
             # stage reports reach the debugger.
-            executed += self.system.kernel.run(max_events=max_events)
+            # With heartbeats enabled the debugger re-arms a timer forever,
+            # so a full drain would never terminate — bound it by time.
+            drain_until = (
+                self.system.kernel.now + 5 * self.heartbeats.interval
+                if self.heartbeats is not None else None
+            )
+            executed += self.system.kernel.run(
+                until=drain_until, max_events=max_events
+            )
         hits = self.agent.breakpoint_hits[self._seen_hits:]
         self._seen_hits = len(self.agent.breakpoint_hits)
         unordered = self.agent.unordered_detections[self._seen_unordered:]
@@ -253,6 +272,132 @@ class DebugSession:
         """The highest halt_id any process has seen."""
         return max(agent.last_halt_id for agent in self._halting_agents.values())
 
+    # -- failure detection & degraded halting ----------------------------------
+
+    def enable_heartbeats(self, interval: float = 10.0,
+                          miss_threshold: int = 3) -> HeartbeatMonitor:
+        """Start periodic liveness probing of every user process.
+
+        The debugger pings each process every ``interval`` (virtual time)
+        and folds the pong arrivals into a :class:`HeartbeatMonitor`. The
+        debugger never halts, so the probe loop keeps running while the
+        user program is frozen — a process that stops answering while
+        everyone is halted is dead, not slow-and-halted.
+        """
+        controller = self.system.controller(self.debugger_name)
+        monitor = HeartbeatMonitor(
+            tuple(self.system.user_process_names), interval, miss_threshold
+        )
+        monitor.start(controller.now)
+        self.heartbeats = monitor
+
+        def beat(_payload: object) -> None:
+            if self.heartbeats is not monitor:
+                return  # disabled or replaced: stop re-arming
+            for name in self.system.user_process_names:
+                self.agent.send_ping(name)
+            monitor.pings_sent += 1
+            monitor.observe(self.agent.last_pong)
+            controller.user_set_timer("heartbeat", interval, None)
+
+        self._debugger_shell.timer_hooks["heartbeat"] = beat
+        controller.user_set_timer("heartbeat", interval, None)
+        return monitor
+
+    def disable_heartbeats(self) -> None:
+        self.heartbeats = None
+        self.system.controller(self.debugger_name).user_cancel_timer("heartbeat")
+
+    def suspected_processes(self) -> List[ProcessId]:
+        """Heartbeat verdict right now (requires :meth:`enable_heartbeats`)."""
+        if self.heartbeats is None:
+            raise ReproError("heartbeats are not enabled")
+        self.heartbeats.observe(self.agent.last_pong)
+        return self.heartbeats.suspected(self.system.kernel.now)
+
+    def halt_with_watchdog(
+        self,
+        timeout: float = 150.0,
+        probe_grace: float = 40.0,
+        max_events: int = 2_000_000,
+    ) -> PartialHaltReport:
+        """Initiate a halt that cannot hang.
+
+        Fault-free, this is :meth:`halt` + :meth:`run` and the report says
+        ``complete``. If some process never halts (its host crashed, so its
+        halt marker is undeliverable), the watchdog fires after ``timeout``
+        of virtual time: every still-unhalted process is pinged, anything
+        silent through ``probe_grace`` is declared dead, and the halt
+        degrades to a *partial* consistent cut over the survivors instead
+        of waiting forever (§2.2.1's termination argument needs live
+        processes; this is the graceful failure of that argument).
+        """
+        # Initiate only if no halt is in progress — calling this on a halt
+        # that is already spreading supervises it rather than layering a
+        # second generation onto frozen processes.
+        if not any(self.system.controller(n).halted
+                   for n in self.system.user_process_names):
+            self.halt()
+        deadline = self.system.kernel.now + timeout
+        self.system.run(
+            until=deadline,
+            max_events=max_events,
+            stop_when=self.system.all_user_processes_halted,
+        )
+        names = self.system.user_process_names
+        if self.system.all_user_processes_halted():
+            # Settle in-flight traffic (bounded when heartbeats re-arm forever).
+            settle_until = (
+                self.system.kernel.now + 5 * self.heartbeats.interval
+                if self.heartbeats is not None else None
+            )
+            self.system.kernel.run(until=settle_until, max_events=max_events)
+            # A converged halt can still hide a corpse: a process that
+            # halted and *then* crashed keeps its halted flag but can never
+            # report state. Probe everyone before declaring completeness.
+            dead = self._probe_dead(names, probe_grace, max_events)
+            return PartialHaltReport(
+                generation=self.current_generation(),
+                halted=tuple(n for n in names if n not in dead),
+                dead=dead,
+                unresolved=(),
+                time=self.system.kernel.now,
+                complete=not dead,
+            )
+        # Watchdog fired. Probe the silent: pings ride DEBUG_CONTROL, which
+        # halted processes still answer — only dead hosts stay quiet.
+        unhalted = [
+            n for n in names if not self.system.controller(n).halted
+        ]
+        dead = self._probe_dead(unhalted, probe_grace, max_events)
+        halted = tuple(n for n in names if self.system.controller(n).halted)
+        unresolved = tuple(
+            n for n in names if n not in halted and n not in dead
+        )
+        return PartialHaltReport(
+            generation=self.current_generation(),
+            halted=halted,
+            dead=dead,
+            unresolved=unresolved,
+            time=self.system.kernel.now,
+            complete=False,
+        )
+
+    def _probe_dead(self, suspects, probe_grace, max_events):
+        """Ping each suspect; whoever stays silent through the grace window
+        is dead. Live processes answer even while halted (§2.2.3)."""
+        pings = {name: self.agent.send_ping(name) for name in suspects}
+        self.system.run(
+            until=self.system.kernel.now + probe_grace,
+            max_events=max_events,
+            stop_when=lambda: all(
+                ping_id in self.agent.pongs for ping_id in pings.values()
+            ),
+        )
+        return tuple(
+            name for name in suspects if pings[name] not in self.agent.pongs
+        )
+
     # -- inspection (all via the control protocol) -----------------------------------
 
     def inspect(self, process: ProcessId) -> Dict[str, object]:
@@ -272,15 +417,31 @@ class DebugSession:
             )
         return self.agent.state_reports[request_id]
 
-    def global_state(self) -> GlobalState:
+    def global_state(self, allow_partial: bool = False) -> GlobalState:
         """Assemble the halted global state ``S_h`` as the debugger sees it:
         one state report per process, pending channel contents included.
-        Requires every user process to be halted."""
-        if not self.system.all_user_processes_halted():
+
+        Requires every user process to be halted — unless ``allow_partial``
+        is set, in which case the cut covers only the *halted* processes
+        (the survivors of a degraded halt; see :meth:`halt_with_watchdog`).
+        A crashed process is never asked for a report — it cannot answer —
+        and the missing population is recorded in ``meta``. The partial cut
+        is still checkable: the consistency oracle skips channels whose
+        endpoints are outside the captured set.
+        """
+        halted_names = [
+            n for n in self.system.user_process_names
+            if self.system.controller(n).halted
+            and not self.system.controller(n).crashed
+        ]
+        missing = [
+            n for n in self.system.user_process_names if n not in halted_names
+        ]
+        if missing and not allow_partial:
             raise HaltingError("global_state() requires all processes halted")
         processes: Dict[ProcessId, ProcessStateSnapshot] = {}
         channels: Dict[ChannelId, ChannelState] = {}
-        for name in self.system.user_process_names:
+        for name in halted_names:
             report = self._fetch_report(name)
             processes[name] = report.snapshot
             closed = set(report.closed_channels)
@@ -291,15 +452,19 @@ class DebugSession:
                     messages=tuple(messages),
                     complete=channel_text in closed,
                 )
+        meta: Dict[str, object] = {
+            "halt_order": [n.process for n in self.agent.halting_order()],
+            "clock_frame": list(self.system.clock_frame.order),
+        }
+        if missing:
+            meta["partial"] = True
+            meta["missing"] = sorted(missing)
         return GlobalState(
             origin="halting",
             processes=processes,
             channels=channels,
             generation=self.current_generation(),
-            meta={
-                "halt_order": [n.process for n in self.agent.halting_order()],
-                "clock_frame": list(self.system.clock_frame.order),
-            },
+            meta=meta,
         )
 
     def halting_order(self) -> List[ProcessId]:

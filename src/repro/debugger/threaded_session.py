@@ -16,7 +16,7 @@ debugger's own thread) and read only append-only notification lists.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Mapping, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.breakpoints.detector import PredicateAgent
 from repro.breakpoints.parser import parse_predicate
@@ -28,7 +28,10 @@ from repro.debugger.agent import (
 )
 from repro.debugger.client import DebugClientAgent
 from repro.debugger.commands import ResumeCommand
+from repro.debugger.failure import PartialHaltReport
+from repro.faults.plan import FaultPlan
 from repro.halting.algorithm import HaltingAgent
+from repro.network.reliable import ReliabilityConfig
 from repro.network.topology import Topology
 from repro.runtime.process import Process
 from repro.runtime.threaded import ThreadedSystem
@@ -47,6 +50,9 @@ class ThreadedDebugSession:
         time_scale: float = 0.02,
         latency_range: Tuple[float, float] = (0.0005, 0.003),
         debugger_name: ProcessId = DEFAULT_DEBUGGER_NAME,
+        fault_plan: Optional[FaultPlan] = None,
+        reliability: Optional[ReliabilityConfig] = None,
+        reliable: bool = False,
     ) -> None:
         if debugger_name in topology.processes:
             raise ReproError(f"user topology already contains {debugger_name!r}")
@@ -58,6 +64,9 @@ class ThreadedDebugSession:
             extended, staffed, seed=seed,
             time_scale=time_scale, latency_range=latency_range,
             never_halt={debugger_name},
+            fault_plan=fault_plan,
+            reliability=reliability,
+            reliable=reliable,
         )
         self._halting_agents: Dict[ProcessId, HaltingAgent] = {}
         self._predicate_agents: Dict[ProcessId, PredicateAgent] = {}
@@ -148,6 +157,79 @@ class ThreadedDebugSession:
         debugger = self.system.controller(self.debugger_name)
         agent = self._halting_agents[self.debugger_name]
         debugger.defer(agent.initiate, label="halt")
+
+    def halt_with_watchdog(
+        self, timeout: float = 10.0, probe_grace: float = 3.0
+    ) -> PartialHaltReport:
+        """Initiate a halt bounded by wall-clock watchdogs.
+
+        Mirrors :meth:`DebugSession.halt_with_watchdog`: if the halt does
+        not converge within ``timeout`` seconds, the still-unhalted
+        processes are pinged and anything silent through ``probe_grace``
+        is declared dead; the survivors form a partial consistent cut.
+        """
+        self.start()
+        names = self.system.user_process_names
+        # Initiate only if no halt is in progress — supervising an already
+        # spreading halt must not layer a second generation onto processes
+        # that are frozen (their agents would reject the re-halt).
+        if not any(self.system.controller(n).halted for n in names):
+            self.halt()
+
+        def generation() -> int:
+            return max(a.last_halt_id for a in self._halting_agents.values())
+
+        if self.system.run_until(self.system.all_user_processes_halted,
+                                 timeout=timeout):
+            self.system.settle(timeout=timeout)
+            # A process may have halted and *then* crashed — its halted
+            # flag survives but it can never answer. Probe everyone.
+            dead = self._probe_dead(names, probe_grace)
+            return PartialHaltReport(
+                generation=generation(),
+                halted=tuple(n for n in names if n not in dead),
+                dead=dead,
+                unresolved=(),
+                time=time.time(),
+                complete=not dead,
+            )
+        unhalted = [
+            n for n in names if not self.system.controller(n).halted
+        ]
+        dead = self._probe_dead(unhalted, probe_grace)
+        halted = tuple(n for n in names if self.system.controller(n).halted)
+        unresolved = tuple(
+            n for n in names if n not in halted and n not in dead
+        )
+        return PartialHaltReport(
+            generation=generation(),
+            halted=halted,
+            dead=dead,
+            unresolved=unresolved,
+            time=time.time(),
+            complete=False,
+        )
+
+    def _probe_dead(self, suspects, probe_grace: float):
+        """Ping each suspect from the debugger thread; silence through the
+        grace window means the host is dead (live ones answer even halted)."""
+        suspects = list(suspects)
+        pings: Dict[ProcessId, int] = {}
+        debugger = self.system.controller(self.debugger_name)
+
+        def probe() -> None:
+            for name in suspects:
+                pings[name] = self.agent.send_ping(name)
+
+        debugger.defer(probe, label="watchdog_probe")
+        self.system.run_until(
+            lambda: len(pings) == len(suspects)
+            and all(pid in self.agent.pongs for pid in pings.values()),
+            timeout=probe_grace,
+        )
+        return tuple(
+            name for name in suspects if pings.get(name) not in self.agent.pongs
+        )
 
     def resume(self, timeout: float = 10.0) -> bool:
         """Send resume commands; wait until nobody is halted."""

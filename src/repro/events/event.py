@@ -37,6 +37,13 @@ class EventKind(enum.Enum):
     PROCESS_TERMINATED = "terminated"
     CHANNEL_CREATED = "chan_created"
     CHANNEL_DESTROYED = "chan_destroyed"
+    #: A message was lost by the (faulty) network. Recorded by the *system*,
+    #: not the process — no process observes a drop, but traces and replay
+    #: must see it or lossy executions become unexplainable after the fact.
+    MESSAGE_DROPPED = "msg_dropped"
+    #: A process was killed by fault injection. Ground truth for the oracle
+    #: and for crash-mid-halt reports; invisible to the algorithms under test.
+    PROCESS_CRASHED = "crashed"
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,26 @@
+"""Fault injection: earn §2.1's channel guarantees instead of assuming them.
+
+The paper's model — error-free FIFO channels, immortal processes — is an
+*assumption* in the original and was a hard-coded property of this
+reproduction's network layer. This package makes the assumption a test
+subject: :class:`FaultPlan` describes (seeded, serializable) per-channel
+loss/duplication/reorder and per-process crash/stall schedules, and
+:mod:`repro.faults.injection` drives them identically through the DES and
+threaded backends. The reliable-delivery layer
+(:mod:`repro.network.reliable`) then re-establishes FIFO-exactly-once
+semantics on top of the faulty wire, so every algorithm in the repo runs
+unchanged over unreliable infrastructure.
+"""
+
+from repro.faults.injection import ChannelFaultInjector, CrashAfterEvents, injector_for
+from repro.faults.plan import ChannelFaultSpec, CrashSpec, FaultPlan, StallSpec
+
+__all__ = [
+    "ChannelFaultInjector",
+    "ChannelFaultSpec",
+    "CrashAfterEvents",
+    "CrashSpec",
+    "FaultPlan",
+    "StallSpec",
+    "injector_for",
+]

@@ -1,0 +1,153 @@
+"""Turning one :class:`~repro.faults.plan.FaultPlan` into live injectors.
+
+One :class:`ChannelFaultInjector` sits on each directed channel and
+answers, per frame: drop it? duplicate it? delay it out of order? Every
+answer draws from its own seeded RNG stream, split by decision *and* by
+traffic class (user vs control):
+
+* splitting by decision means enabling duplication does not perturb which
+  frames are lost;
+* splitting by traffic class means injecting debugging-system traffic
+  (markers, acks for markers) does not perturb which *user* frames are
+  lost — the fault-injection analogue of the two latency streams in
+  :class:`~repro.network.channel.Channel`, and what keeps experiment E2's
+  paired runs comparable under loss.
+
+The injector is backend-neutral: the DES channel and the threaded channel
+consume the same object.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Callable
+
+from repro.faults.plan import ChannelFaultSpec, FaultPlan
+from repro.util.ids import ChannelId
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.events.event import Event
+
+
+class ChannelFaultInjector:
+    """Per-channel, per-frame fault decisions with deterministic streams."""
+
+    __slots__ = (
+        "channel",
+        "spec",
+        "_loss_rng",
+        "_dup_rng",
+        "_reorder_rng",
+        "_ack_rng",
+    )
+
+    def __init__(self, channel_id: ChannelId, spec: ChannelFaultSpec, seed: int) -> None:
+        self.channel = channel_id
+        self.spec = spec
+        # One independent stream per (decision, traffic class). Streams are
+        # keyed by strings so the same plan yields the same faults on both
+        # backends regardless of construction order.
+        self._loss_rng = {
+            cls: random.Random(f"{seed}|fault|{channel_id}|loss|{cls}")
+            for cls in ("user", "control")
+        }
+        self._dup_rng = {
+            cls: random.Random(f"{seed}|fault|{channel_id}|dup|{cls}")
+            for cls in ("user", "control")
+        }
+        self._reorder_rng = {
+            cls: random.Random(f"{seed}|fault|{channel_id}|reorder|{cls}")
+            for cls in ("user", "control")
+        }
+        self._ack_rng = {
+            cls: random.Random(f"{seed}|fault|{channel_id}|ack|{cls}")
+            for cls in ("user", "control")
+        }
+
+    @staticmethod
+    def _cls(is_user: bool) -> str:
+        return "user" if is_user else "control"
+
+    def drop_frame(self, is_user: bool) -> bool:
+        """Should this data frame vanish on the wire?"""
+        if self.spec.loss <= 0.0:
+            return False
+        return self._loss_rng[self._cls(is_user)].random() < self.spec.loss
+
+    def drop_ack(self, is_user: bool) -> bool:
+        """Should the acknowledgement for this frame vanish?"""
+        p = self.spec.effective_ack_loss
+        if p <= 0.0:
+            return False
+        return self._ack_rng[self._cls(is_user)].random() < p
+
+    def duplicates(self, is_user: bool) -> int:
+        """Extra copies of this frame the wire spontaneously creates."""
+        if self.spec.duplicate <= 0.0:
+            return 0
+        copies = 0
+        rng = self._dup_rng[self._cls(is_user)]
+        # Geometric: each copy may itself be duplicated, capped defensively.
+        while copies < 4 and rng.random() < self.spec.duplicate:
+            copies += 1
+        return copies
+
+    def extra_delay(self, is_user: bool) -> float:
+        """Bounded extra delay (0.0 = deliver in order)."""
+        if self.spec.reorder <= 0.0:
+            return 0.0
+        rng = self._reorder_rng[self._cls(is_user)]
+        if rng.random() >= self.spec.reorder:
+            return 0.0
+        low, high = self.spec.reorder_delay
+        return rng.uniform(low, high)
+
+    @property
+    def is_noop(self) -> bool:
+        return self.spec.is_noop
+
+
+def injector_for(plan: FaultPlan, channel_id: ChannelId) -> ChannelFaultInjector:
+    """The injector one channel should use under ``plan``."""
+    return ChannelFaultInjector(channel_id, plan.spec_for(channel_id), plan.seed)
+
+
+class CrashAfterEvents:
+    """Control plugin that crashes its process after its N-th local event.
+
+    Implements :class:`~repro.faults.plan.CrashSpec.after_events` on both
+    backends: the crash is deferred to the boundary between two handler
+    steps (via ``controller.defer``), so a process never dies mid-handler —
+    matching the paper's notion of a process "instant".
+    """
+
+    kinds: frozenset = frozenset()
+
+    def __init__(self, nth_event: int) -> None:
+        self.nth_event = nth_event
+        self.fired = False
+
+    def attach(self, controller: object) -> None:
+        self.controller = controller
+
+    def on_local_event(self, event: "Event") -> None:
+        if self.fired or event.local_seq < self.nth_event:
+            return
+        self.fired = True
+        self.controller.defer(self.controller.crash, label="crash")
+
+    # Remaining ControlPlugin hooks: no-ops.
+    def on_control(self, envelope: object) -> None:  # pragma: no cover
+        pass
+
+    def on_user_delivered(self, envelope: object, event: object) -> None:
+        pass
+
+    def on_halted(self) -> None:
+        pass
+
+    def on_resumed(self) -> None:
+        pass
+
+
+__all__ = ["ChannelFaultInjector", "CrashAfterEvents", "injector_for"]

@@ -1,0 +1,248 @@
+"""Fault plans: seeded, serializable descriptions of what goes wrong.
+
+The paper assumes channels are "error-free and deliver messages in the
+order sent" (§2.1) and that processes live forever. A :class:`FaultPlan`
+deliberately violates those assumptions in a *reproducible* way: it is a
+pure-data description of per-channel loss/duplication/reorder rates and
+per-process crash/stall schedules, plus a seed. Two systems built from
+equal plans inject identical faults, so a failure found under faults can
+be replayed exactly — the same property the latency seeds already give
+the fault-free simulator.
+
+The plan is data; the behaviour lives in
+:mod:`repro.faults.injection`, which turns one plan into per-channel
+:class:`~repro.faults.injection.ChannelFaultInjector` objects shared by
+the DES and threaded backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.util.errors import FaultError
+from repro.util.ids import ChannelId, ProcessId
+
+
+def _require_probability(value: float, name: str) -> float:
+    if not isinstance(value, (int, float)) or not 0.0 <= float(value) <= 1.0:
+        raise FaultError(f"{name} must be a probability in [0, 1], got {value!r}")
+    return float(value)
+
+
+@dataclass(frozen=True)
+class ChannelFaultSpec:
+    """What one directed channel does to the frames it carries.
+
+    ``loss``/``duplicate``/``reorder`` are per-frame probabilities;
+    ``ack_loss`` applies to the reliable layer's acknowledgement frames
+    travelling the reverse direction of the same link (``None`` = same as
+    ``loss``). ``reorder_delay`` bounds the extra delay a reordered frame
+    suffers — reordering is bounded, not arbitrary, so retransmission
+    timeouts stay meaningful.
+    """
+
+    loss: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    reorder_delay: Tuple[float, float] = (0.5, 3.0)
+    ack_loss: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        _require_probability(self.loss, "loss")
+        _require_probability(self.duplicate, "duplicate")
+        _require_probability(self.reorder, "reorder")
+        if self.ack_loss is not None:
+            _require_probability(self.ack_loss, "ack_loss")
+        low, high = self.reorder_delay
+        if low < 0 or high < low:
+            raise FaultError(
+                f"reorder_delay must be 0 <= low <= high, got {self.reorder_delay!r}"
+            )
+
+    @property
+    def effective_ack_loss(self) -> float:
+        return self.loss if self.ack_loss is None else self.ack_loss
+
+    @property
+    def is_noop(self) -> bool:
+        return (
+            self.loss == 0.0
+            and self.duplicate == 0.0
+            and self.reorder == 0.0
+            and self.effective_ack_loss == 0.0
+        )
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """Kill one process: at a virtual time, or after its N-th local event.
+
+    Exactly one of ``at_time``/``after_events`` must be given. A crashed
+    process executes nothing ever again and acknowledges nothing — its
+    host is gone, not just its user code.
+    """
+
+    process: ProcessId
+    at_time: Optional[float] = None
+    after_events: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if (self.at_time is None) == (self.after_events is None):
+            raise FaultError(
+                f"crash of {self.process!r}: give exactly one of "
+                "at_time / after_events"
+            )
+        if self.at_time is not None and self.at_time < 0:
+            raise FaultError(f"crash at_time must be >= 0, got {self.at_time!r}")
+        if self.after_events is not None and self.after_events < 1:
+            raise FaultError(
+                f"crash after_events must be >= 1, got {self.after_events!r}"
+            )
+
+
+@dataclass(frozen=True)
+class StallSpec:
+    """Freeze one process for a window of (virtual) time — a long GC pause:
+    nothing is processed during the window, everything is afterwards."""
+
+    process: ProcessId
+    at_time: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.at_time < 0:
+            raise FaultError(f"stall at_time must be >= 0, got {self.at_time!r}")
+        if self.duration <= 0:
+            raise FaultError(f"stall duration must be > 0, got {self.duration!r}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything that goes wrong in one execution, as data.
+
+    ``channel_defaults`` applies to every channel not named in
+    ``channels`` (keys are ``str(ChannelId)``, e.g. ``"p0->p1"``).
+    ``seed`` feeds every injector RNG stream, so the plan fully determines
+    the fault pattern given the same traffic.
+    """
+
+    seed: int = 0
+    channel_defaults: ChannelFaultSpec = field(default_factory=ChannelFaultSpec)
+    channels: Mapping[str, ChannelFaultSpec] = field(default_factory=dict)
+    crashes: Tuple[CrashSpec, ...] = ()
+    stalls: Tuple[StallSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Normalise containers so equal plans compare equal after a
+        # round-trip through JSON.
+        object.__setattr__(self, "channels", dict(self.channels))
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(self, "stalls", tuple(self.stalls))
+        crashed = [c.process for c in self.crashes]
+        if len(set(crashed)) != len(crashed):
+            raise FaultError(f"duplicate crash specs for {crashed!r}")
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def lossy(cls, loss: float, seed: int = 0, **spec_kwargs: object) -> "FaultPlan":
+        """Uniform loss on every channel — the most common test plan."""
+        return cls(
+            seed=seed,
+            channel_defaults=ChannelFaultSpec(loss=loss, **spec_kwargs),  # type: ignore[arg-type]
+        )
+
+    def with_crash(self, process: ProcessId, at_time: Optional[float] = None,
+                   after_events: Optional[int] = None) -> "FaultPlan":
+        spec = CrashSpec(process=process, at_time=at_time, after_events=after_events)
+        return replace(self, crashes=self.crashes + (spec,))
+
+    def with_stall(self, process: ProcessId, at_time: float,
+                   duration: float) -> "FaultPlan":
+        spec = StallSpec(process=process, at_time=at_time, duration=duration)
+        return replace(self, stalls=self.stalls + (spec,))
+
+    def spec_for(self, channel_id: ChannelId) -> ChannelFaultSpec:
+        return self.channels.get(str(channel_id), self.channel_defaults)
+
+    def crashed_processes(self) -> Tuple[ProcessId, ...]:
+        return tuple(c.process for c in self.crashes)
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "channel_defaults": _spec_dict(self.channel_defaults),
+            "channels": {
+                key: _spec_dict(spec) for key, spec in sorted(self.channels.items())
+            },
+            "crashes": [asdict(c) for c in self.crashes],
+            "stalls": [asdict(s) for s in self.stalls],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "FaultPlan":
+        try:
+            return cls(
+                seed=int(data.get("seed", 0)),  # type: ignore[arg-type]
+                channel_defaults=_spec_from(data.get("channel_defaults", {})),
+                channels={
+                    str(key): _spec_from(value)
+                    for key, value in dict(data.get("channels", {})).items()  # type: ignore[arg-type]
+                },
+                crashes=tuple(
+                    CrashSpec(**dict(c)) for c in data.get("crashes", ())  # type: ignore[union-attr]
+                ),
+                stalls=tuple(
+                    StallSpec(**dict(s)) for s in data.get("stalls", ())  # type: ignore[union-attr]
+                ),
+            )
+        except (TypeError, KeyError, ValueError) as exc:
+            raise FaultError(f"malformed fault plan data: {exc}") from exc
+
+    def to_json(self) -> str:
+        import json
+
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        import json
+
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise FaultError(f"fault plan is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+
+def _spec_dict(spec: ChannelFaultSpec) -> Dict[str, object]:
+    return {
+        "loss": spec.loss,
+        "duplicate": spec.duplicate,
+        "reorder": spec.reorder,
+        "reorder_delay": list(spec.reorder_delay),
+        "ack_loss": spec.ack_loss,
+    }
+
+
+def _spec_from(data: object) -> ChannelFaultSpec:
+    if isinstance(data, ChannelFaultSpec):
+        return data
+    if not isinstance(data, Mapping):
+        raise FaultError(f"channel fault spec must be a mapping, got {data!r}")
+    fields = dict(data)
+    delay = fields.get("reorder_delay")
+    if delay is not None:
+        fields["reorder_delay"] = tuple(delay)  # type: ignore[arg-type]
+    return ChannelFaultSpec(**fields)  # type: ignore[arg-type]
+
+
+__all__ = [
+    "ChannelFaultSpec",
+    "CrashSpec",
+    "StallSpec",
+    "FaultPlan",
+]

@@ -9,6 +9,7 @@ from repro.network.latency import (
     UniformLatency,
 )
 from repro.network.message import Envelope, MessageKind
+from repro.network.reliable import ReliabilityConfig, ReliableChannel
 from repro.network.topology import (
     Topology,
     complete,
@@ -27,6 +28,8 @@ __all__ = [
     "FixedLatency",
     "LatencyModel",
     "MessageKind",
+    "ReliabilityConfig",
+    "ReliableChannel",
     "SpikeLatency",
     "Topology",
     "UniformLatency",

@@ -1,4 +1,4 @@
-"""Reliable, FIFO, infinite-buffer channels on the simulation kernel.
+"""FIFO, infinite-buffer channels on the simulation kernel.
 
 §2.1: "Channels are assumed to have infinite buffers, to be error-free and
 to deliver messages in the order sent." Delay is otherwise arbitrary.
@@ -6,6 +6,13 @@ to deliver messages in the order sent." Delay is otherwise arbitrary.
 FIFO is enforced even under random latency by clamping each delivery time to
 be no earlier than the previously scheduled delivery on the same channel —
 i.e. a fast message queues behind a slow one, exactly like a FIFO link.
+
+The error-free half of §2.1 is now optional: a
+:class:`~repro.faults.injection.ChannelFaultInjector` can drop, duplicate,
+or reorder frames (see :mod:`repro.faults`). This class stays the *raw
+wire* — it recovers nothing. Layer
+:class:`~repro.network.reliable.ReliableChannel` on top to earn the paper's
+assumptions back.
 """
 
 from __future__ import annotations
@@ -13,23 +20,58 @@ from __future__ import annotations
 import random
 from typing import Callable, List, Optional
 
+from repro.faults.injection import ChannelFaultInjector
 from repro.network.latency import FixedLatency, LatencyModel
 from repro.network.message import Envelope, MessageKind
 from repro.simulation.kernel import PRIORITY_DELIVERY, SimulationKernel
 from repro.util.ids import ChannelId, SequenceGenerator
+from repro.util.validation import require
 
 
 class ChannelStats:
-    """Per-channel traffic accounting used by the overhead experiments."""
+    """Per-channel traffic accounting used by the overhead experiments.
 
-    __slots__ = ("sent", "delivered", "dropped", "sent_by_kind", "total_latency")
+    Invariant (per logical message): ``sent == delivered + dropped +
+    in-flight``. ``dropped`` counts messages *permanently* lost to the
+    application; with the reliable layer, wire losses show up in
+    ``frames_dropped`` (and are recovered), and ``dropped`` only grows when
+    retransmission gives up.
+    """
+
+    __slots__ = (
+        "sent",
+        "delivered",
+        "dropped",
+        "sent_by_kind",
+        "dropped_by_kind",
+        "total_latency",
+        "frames_dropped",
+        "retransmits",
+        "acks_sent",
+        "acks_dropped",
+        "duplicates_suppressed",
+        "gave_up",
+    )
 
     def __init__(self) -> None:
         self.sent = 0
         self.delivered = 0
         self.dropped = 0
         self.sent_by_kind = {kind: 0 for kind in MessageKind}
+        self.dropped_by_kind = {kind: 0 for kind in MessageKind}
         self.total_latency = 0.0
+        #: Data frames lost on the wire (== dropped messages on a raw
+        #: channel; recovered losses on a reliable one).
+        self.frames_dropped = 0
+        #: Reliable layer: retransmitted data frames.
+        self.retransmits = 0
+        #: Reliable layer: acknowledgement frames emitted / lost.
+        self.acks_sent = 0
+        self.acks_dropped = 0
+        #: Reliable layer: received frames discarded as duplicates.
+        self.duplicates_suppressed = 0
+        #: Reliable layer: messages abandoned after the retry cap.
+        self.gave_up = 0
 
     @property
     def user_sent(self) -> int:
@@ -38,6 +80,18 @@ class ChannelStats:
     @property
     def control_sent(self) -> int:
         return self.sent - self.user_sent
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean delivery latency over *delivered* messages (drops excluded —
+        a lost message has no latency, it has a drop record)."""
+        return self.total_latency / self.delivered if self.delivered else 0.0
+
+    def record_drop(self, kind: MessageKind) -> None:
+        """One message permanently lost: keep every view consistent."""
+        self.dropped += 1
+        self.dropped_by_kind[kind] += 1
+        self.frames_dropped += 1
 
 
 class Channel:
@@ -60,6 +114,7 @@ class Channel:
         latency: Optional[LatencyModel] = None,
         loss_probability: float = 0.0,
         loss_rng: Optional[random.Random] = None,
+        injector: Optional[ChannelFaultInjector] = None,
     ) -> None:
         # Two independent latency streams: control messages (markers) must
         # not consume random draws that user messages would otherwise get,
@@ -67,19 +122,27 @@ class Channel:
         # and break cross-run comparisons (experiment E2) — the simulation
         # analogue of the paper's §5 requirement that the debugger impose
         # only minimal change on the program.
+        require(
+            0.0 <= loss_probability <= 1.0,
+            f"loss_probability must be in [0, 1], got {loss_probability!r}",
+        )
         self.id = channel_id
         self._kernel = kernel
         self._user_rng = user_rng
         self._control_rng = control_rng
         self._sequences = sequences
         self._latency = latency or FixedLatency(1.0)
-        # The paper assumes error-free channels (§2.1); loss support exists
-        # only so the ablation benches can *measure* what that assumption
-        # buys. Losses draw from their own RNG stream so enabling them does
-        # not perturb latency draws.
+        # Legacy scalar loss knob (predates FaultPlan; the ablation benches
+        # use it). Losses draw from their own RNG stream so enabling them
+        # does not perturb latency draws.
         self._loss_probability = loss_probability
         self._loss_rng = loss_rng or random.Random(f"loss|{channel_id}")
+        self._injector = None if (injector is not None and injector.is_noop) else injector
         self._deliver: Optional[Callable[[Envelope], None]] = None
+        #: Called with the envelope whenever the wire eats a message; the
+        #: owning system wires this to the event log so drops are visible
+        #: to traces and replay.
+        self.on_drop: Optional[Callable[[Envelope], None]] = None
         self._last_delivery_time = 0.0
         self._message_index = 0
         self._in_flight: List[Envelope] = []
@@ -112,18 +175,46 @@ class Channel:
         )
         self.stats.sent += 1
         self.stats.sent_by_kind[kind] += 1
+        if self._dropped(kind):
+            # A raw channel recovers nothing: the message is gone for good.
+            # Stats stay consistent (sent == delivered + dropped + in-flight)
+            # and the drop is surfaced to the event log via on_drop.
+            self.stats.record_drop(kind)
+            if self.on_drop is not None:
+                self.on_drop(envelope)
+            return envelope
+        copies = 1
+        extra_delay = 0.0
+        if self._injector is not None:
+            copies += self._injector.duplicates(kind.is_user)
+            extra_delay = self._injector.extra_delay(kind.is_user)
+        for _ in range(copies):
+            self._schedule_arrival(envelope, kind, extra_delay)
+        return envelope
+
+    def _dropped(self, kind: MessageKind) -> bool:
         if (
             self._loss_probability > 0.0
             and self._loss_rng.random() < self._loss_probability
         ):
-            self.stats.dropped += 1
-            return envelope
+            return True
+        return self._injector is not None and self._injector.drop_frame(kind.is_user)
+
+    def _schedule_arrival(
+        self, envelope: Envelope, kind: MessageKind, extra_delay: float
+    ) -> None:
         rng = self._user_rng if kind.is_user else self._control_rng
         delay = self._latency.sample(rng)
-        # Strictly increasing per-channel delivery times keep the link FIFO
-        # and avoid same-channel ties in the kernel.
-        arrival = max(self._kernel.now + delay, self._last_delivery_time + 1e-9)
-        self._last_delivery_time = arrival
+        if extra_delay > 0.0:
+            # A reordered frame escapes the FIFO clamp on purpose: it may
+            # arrive after frames sent later. Clamp state is not advanced,
+            # so subsequent traffic is not dragged behind the straggler.
+            arrival = self._kernel.now + delay + extra_delay
+        else:
+            # Strictly increasing per-channel delivery times keep the link
+            # FIFO and avoid same-channel ties in the kernel.
+            arrival = max(self._kernel.now + delay, self._last_delivery_time + 1e-9)
+            self._last_delivery_time = arrival
         self._message_index += 1
         self._in_flight.append(envelope)
         self._kernel.schedule_at(
@@ -132,15 +223,23 @@ class Channel:
             priority=PRIORITY_DELIVERY,
             tiebreak=(str(self.id), self._message_index),
         )
-        return envelope
 
     def _arrive(self, envelope: Envelope) -> None:
-        # FIFO clamping guarantees in-order arrival, so the head of
-        # _in_flight is always the arriving envelope.
-        assert self._in_flight and self._in_flight[0] is envelope, (
-            f"FIFO violation on {self.id}"
-        )
-        self._in_flight.pop(0)
+        if self._injector is None:
+            # Without injected reorder/duplication the FIFO clamp guarantees
+            # in-order arrival, so the head of _in_flight is the arriving
+            # envelope — assert the channel model holds.
+            assert self._in_flight and self._in_flight[0] is envelope, (
+                f"FIFO violation on {self.id}"
+            )
+            self._in_flight.pop(0)
+        else:
+            # Faulty wire: duplicates and reordered frames arrive out of
+            # order by design; drop the first matching copy.
+            for index, pending in enumerate(self._in_flight):
+                if pending is envelope:
+                    del self._in_flight[index]
+                    break
         self.stats.delivered += 1
         self.stats.total_latency += self._kernel.now - envelope.send_time
         assert self._deliver is not None

@@ -1,0 +1,322 @@
+"""Reliable delivery: earning §2.1's channel model over a faulty wire.
+
+The paper *assumes* channels are error-free, FIFO, and infinite-buffered.
+:class:`ReliableChannel` establishes those properties by construction over
+a wire that loses, duplicates, and reorders frames (driven by a
+:class:`~repro.faults.injection.ChannelFaultInjector`):
+
+* **per-channel sequence numbers** — every logical message gets an rseq;
+  the receiver delivers strictly in rseq order (FIFO) and exactly once
+  (duplicate suppression), so Lemma 2.2's "markers behind data" argument
+  holds again: a halt marker's rseq orders it after every earlier send on
+  the channel, regardless of what the wire did to individual frames;
+* **cumulative acknowledgements** — each arriving frame triggers an ack of
+  the highest in-order rseq received; acks travel the reverse direction of
+  the same link and are themselves lossy;
+* **timeout + exponential backoff with jitter** — unacked messages are
+  retransmitted; backoff doubles per attempt up to a cap, jitter breaks
+  retransmit synchronisation between channels;
+* **capped retries** — after ``max_retries`` attempts the sender gives up.
+  If the receiver never delivered the message the channel is declared
+  *failed* (the transport's analogue of a TCP reset); this only happens in
+  practice when the far host crashed, and it is what lets a halting run
+  over a crashed process terminate instead of retransmitting forever.
+
+The class is interface-compatible with
+:class:`~repro.network.channel.Channel` (``send`` / ``connect`` / ``id`` /
+``stats`` / ``in_flight``), so the runtime wires whichever the
+configuration asks for and every algorithm above is oblivious.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.faults.injection import ChannelFaultInjector
+from repro.network.channel import ChannelStats
+from repro.network.latency import FixedLatency, LatencyModel
+from repro.network.message import Envelope, MessageKind
+from repro.simulation.kernel import (
+    PRIORITY_DELIVERY,
+    PRIORITY_TIMER,
+    EventHandle,
+    SimulationKernel,
+)
+from repro.util.errors import DeliveryError
+from repro.util.ids import ChannelId, SequenceGenerator
+from repro.util.validation import require
+
+
+@dataclass(frozen=True)
+class ReliabilityConfig:
+    """Tuning knobs of the ack/retransmit protocol.
+
+    The defaults assume the harness's usual latency scale (mean ~1 virtual
+    time unit): the base timeout comfortably exceeds one round trip, and
+    twelve retries push the residual per-message failure probability below
+    1e-3 even at 50% frame loss.
+    """
+
+    base_timeout: float = 4.0
+    backoff: float = 2.0
+    max_timeout: float = 64.0
+    jitter: float = 0.25
+    max_retries: int = 12
+
+    def __post_init__(self) -> None:
+        require(self.base_timeout > 0, f"base_timeout must be > 0, got {self.base_timeout!r}")
+        require(self.backoff >= 1.0, f"backoff must be >= 1, got {self.backoff!r}")
+        require(self.max_timeout >= self.base_timeout,
+                "max_timeout must be >= base_timeout")
+        require(0.0 <= self.jitter <= 1.0, f"jitter must be in [0, 1], got {self.jitter!r}")
+        require(self.max_retries >= 0, f"max_retries must be >= 0, got {self.max_retries!r}")
+
+    def timeout_for(self, attempts: int, rng: random.Random) -> float:
+        """Backoff schedule: base * backoff^attempts, capped, jittered."""
+        timeout = min(self.base_timeout * (self.backoff ** attempts), self.max_timeout)
+        if self.jitter > 0.0:
+            timeout *= 1.0 + self.jitter * rng.random()
+        return timeout
+
+
+class _Pending:
+    """Sender-side state of one not-yet-acknowledged message."""
+
+    __slots__ = ("envelope", "attempts", "retry_handle")
+
+    def __init__(self, envelope: Envelope) -> None:
+        self.envelope = envelope
+        self.attempts = 0
+        self.retry_handle: Optional[EventHandle] = None
+
+
+class ReliableChannel:
+    """One directed link with FIFO-exactly-once semantics over a lossy wire.
+
+    Both protocol endpoints live in this object (the simulator owns both
+    hosts); the *wire* between them is where faults are injected. The
+    ``endpoint_down`` hook lets the runtime model host crashes: a dead
+    receiver neither delivers nor acks, a dead sender stops retransmitting.
+    """
+
+    def __init__(
+        self,
+        channel_id: ChannelId,
+        kernel: SimulationKernel,
+        user_rng: random.Random,
+        control_rng: random.Random,
+        sequences: SequenceGenerator,
+        latency: Optional[LatencyModel] = None,
+        injector: Optional[ChannelFaultInjector] = None,
+        config: Optional[ReliabilityConfig] = None,
+        retry_rng: Optional[random.Random] = None,
+    ) -> None:
+        self.id = channel_id
+        self._kernel = kernel
+        self._user_rng = user_rng
+        self._control_rng = control_rng
+        self._sequences = sequences
+        self._latency = latency or FixedLatency(1.0)
+        self._injector = injector
+        self.config = config or ReliabilityConfig()
+        self._retry_rng = retry_rng or random.Random(f"retry|{channel_id}")
+        self._deliver: Optional[Callable[[Envelope], None]] = None
+        #: Runtime hook: ``endpoint_down("src"/"dst")`` → is that host dead?
+        self.endpoint_down: Callable[[str], bool] = lambda side: False
+        #: Called when the wire eats a data frame (recoverable loss).
+        self.on_drop: Optional[Callable[[Envelope], None]] = None
+        #: Called with the envelope when retransmission gives up on an
+        #: undelivered message (the channel is failed at that point).
+        self.on_give_up: Optional[Callable[[Envelope], None]] = None
+        self.stats = ChannelStats()
+        #: True once an undelivered message exhausted its retries.
+        self.failed = False
+
+        # Sender state.
+        self._next_rseq = 1
+        self._unacked: Dict[int, _Pending] = {}
+        # Receiver state.
+        self._expected = 1
+        self._out_of_order: Dict[int, Envelope] = {}
+        # Envelopes sent but not yet handed to the application, by rseq —
+        # the channel contents a snapshot would record.
+        self._undelivered: Dict[int, Envelope] = {}
+        self._frame_index = 0
+
+    # -- Channel-compatible surface ------------------------------------------
+
+    def connect(self, deliver: Callable[[Envelope], None]) -> None:
+        self._deliver = deliver
+
+    @property
+    def in_flight(self) -> List[Envelope]:
+        """Messages sent but not yet delivered to the application, in send
+        (== delivery) order — the logical channel contents."""
+        return [self._undelivered[rseq] for rseq in sorted(self._undelivered)]
+
+    def send(self, kind: MessageKind, payload: object, clock: object = None) -> Envelope:
+        if self._deliver is None:
+            raise RuntimeError(f"channel {self.id} is not connected")
+        envelope = Envelope(
+            channel=self.id,
+            kind=kind,
+            payload=payload,
+            send_time=self._kernel.now,
+            seq=self._sequences.next(),
+            clock=clock,
+        )
+        self.stats.sent += 1
+        self.stats.sent_by_kind[kind] += 1
+        rseq = self._next_rseq
+        self._next_rseq += 1
+        self._unacked[rseq] = _Pending(envelope)
+        self._undelivered[rseq] = envelope
+        self._transmit(rseq)
+        self._arm_retry(rseq)
+        return envelope
+
+    # -- data path -------------------------------------------------------------
+
+    def _transmit(self, rseq: int) -> None:
+        pending = self._unacked.get(rseq)
+        if pending is None or self.endpoint_down("src"):
+            return
+        envelope = pending.envelope
+        is_user = envelope.kind.is_user
+        copies = 1
+        if self._injector is not None:
+            copies += self._injector.duplicates(is_user)
+        for _ in range(copies):
+            if self._injector is not None and self._injector.drop_frame(is_user):
+                self.stats.frames_dropped += 1
+                if self.on_drop is not None:
+                    self.on_drop(envelope)
+                continue
+            rng = self._user_rng if is_user else self._control_rng
+            delay = self._latency.sample(rng)
+            if self._injector is not None:
+                delay += self._injector.extra_delay(is_user)
+            self._frame_index += 1
+            self._kernel.schedule(
+                delay,
+                lambda r=rseq, env=envelope: self._frame_arrive(r, env),
+                priority=PRIORITY_DELIVERY,
+                tiebreak=(str(self.id), self._frame_index),
+            )
+
+    def _frame_arrive(self, rseq: int, envelope: Envelope) -> None:
+        if self.endpoint_down("dst"):
+            # The receiving host is dead: the NIC neither delivers nor acks.
+            return
+        if rseq < self._expected or rseq in self._out_of_order:
+            # Duplicate (wire-made or retransmission of something already
+            # received): suppress, but re-ack — the first ack may be lost.
+            self.stats.duplicates_suppressed += 1
+            self._send_ack(envelope.kind.is_user)
+            return
+        self._out_of_order[rseq] = envelope
+        while self._expected in self._out_of_order:
+            head = self._out_of_order.pop(self._expected)
+            self._undelivered.pop(self._expected, None)
+            self._expected += 1
+            self.stats.delivered += 1
+            self.stats.total_latency += self._kernel.now - head.send_time
+            assert self._deliver is not None
+            self._deliver(head)
+        self._send_ack(envelope.kind.is_user)
+
+    # -- ack path ---------------------------------------------------------------
+
+    def _send_ack(self, is_user: bool) -> None:
+        cumulative = self._expected - 1
+        self.stats.acks_sent += 1
+        if self._injector is not None and self._injector.drop_ack(is_user):
+            self.stats.acks_dropped += 1
+            return
+        # Acks ride the reverse direction of the same physical link; they
+        # draw latency from the control stream (they are transport frames,
+        # invisible to the program under debug).
+        delay = self._latency.sample(self._control_rng)
+        self._frame_index += 1
+        self._kernel.schedule(
+            delay,
+            lambda cum=cumulative: self._ack_arrive(cum),
+            priority=PRIORITY_DELIVERY,
+            tiebreak=("ack", str(self.id), self._frame_index),
+        )
+
+    def _ack_arrive(self, cumulative: int) -> None:
+        if self.endpoint_down("src"):
+            return
+        for rseq in [r for r in self._unacked if r <= cumulative]:
+            pending = self._unacked.pop(rseq)
+            if pending.retry_handle is not None:
+                self._kernel.cancel(pending.retry_handle)
+
+    # -- retransmission ----------------------------------------------------------
+
+    def _arm_retry(self, rseq: int) -> None:
+        pending = self._unacked.get(rseq)
+        if pending is None:
+            return
+        timeout = self.config.timeout_for(pending.attempts, self._retry_rng)
+        pending.retry_handle = self._kernel.schedule(
+            timeout,
+            lambda r=rseq: self._retry_fire(r),
+            priority=PRIORITY_TIMER,
+            tiebreak=("rtx", str(self.id), rseq, pending.attempts),
+        )
+
+    def _retry_fire(self, rseq: int) -> None:
+        pending = self._unacked.get(rseq)
+        if pending is None:
+            return
+        if self.endpoint_down("src"):
+            # Dead senders don't retransmit; release the state quietly.
+            self._unacked.pop(rseq, None)
+            return
+        pending.attempts += 1
+        if pending.attempts > self.config.max_retries:
+            self._give_up(rseq, pending)
+            return
+        self.stats.retransmits += 1
+        self._transmit(rseq)
+        self._arm_retry(rseq)
+
+    def _give_up(self, rseq: int, pending: _Pending) -> None:
+        self._unacked.pop(rseq, None)
+        self.stats.gave_up += 1
+        delivered = rseq < self._expected or rseq in self._out_of_order
+        if delivered:
+            # Only the ack was unlucky; the message arrived. Nothing lost.
+            return
+        # The message never made it and never will: the channel's FIFO
+        # promise cannot be kept past this hole — declare it failed.
+        self.failed = True
+        envelope = pending.envelope
+        self.stats.dropped += 1
+        self.stats.dropped_by_kind[envelope.kind] += 1
+        self._undelivered.pop(rseq, None)
+        if self.on_give_up is not None:
+            self.on_give_up(envelope)
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def unacked_count(self) -> int:
+        return len(self._unacked)
+
+    def _check_invariants(self) -> None:  # pragma: no cover - debugging aid
+        if self._expected < 1 or self._next_rseq < self._expected:
+            raise DeliveryError(
+                f"{self.id}: rseq window corrupt "
+                f"(next={self._next_rseq}, expected={self._expected})"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ReliableChannel({self.id}, unacked={len(self._unacked)}, "
+            f"expected={self._expected}, failed={self.failed})"
+        )

@@ -58,6 +58,16 @@ class ProcessController:
         self.ctx = ProcessContext(self)
         self.halted = False
         self.terminated = False
+        #: Fail-stop fault: the host is dead. Unlike ``terminated`` (a clean
+        #: user-level exit whose host still acks transport frames), a crashed
+        #: process's whole network stack is gone.
+        self.crashed = False
+        #: Transient freeze (fault injection): buffering like halt, but
+        #: invisible to the debugging system — no capture, no plugins.
+        self.stalled = False
+        self._stall_until = 0.0
+        self._stall_buffer: List[Envelope] = []
+        self._stall_timers: List[Tuple[str, Any]] = []
         self.halted_snapshot: Optional[ProcessStateSnapshot] = None
         #: User envelopes that arrived while halted, in arrival order,
         #: grouped per incoming channel — the S_h channel states.
@@ -258,7 +268,10 @@ class ProcessController:
 
     def _timer_fired(self, name: str, payload: Any) -> None:
         self._timer_handles.pop(name, None)
-        if self.terminated:
+        if self.terminated or self.crashed:
+            return
+        if self.stalled:
+            self._stall_timers.append((name, payload))
             return
         if self.halted:
             # Frozen processes accumulate their expirations; they replay on
@@ -273,6 +286,16 @@ class ProcessController:
 
     def deliver(self, envelope: Envelope) -> None:
         """Entry point for everything arriving on an incoming channel."""
+        if self.crashed:
+            # Raw channels still deliver frames at a dead host's address;
+            # they fall on the floor. (Reliable channels stop earlier, at
+            # the endpoint_down check, so they also withhold the ack.)
+            return
+        if self.stalled:
+            # A frozen host processes nothing — control plane included.
+            # Everything replays in arrival order when the stall ends.
+            self._stall_buffer.append(envelope)
+            return
         if envelope.kind is MessageKind.USER:
             self._deliver_user(envelope)
             return
@@ -326,6 +349,68 @@ class ProcessController:
         self.process.on_message(self.ctx, envelope.src, message.payload)
         return event
 
+    # -- fault injection ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Fail-stop: this process (and its host) executes nothing ever
+        again. Unlike :meth:`halt`, nothing is captured and nothing resumes;
+        unlike :meth:`user_terminate`, the network stack dies too — channels
+        touching this process stop delivering and acknowledging (the owning
+        system wires ``endpoint_down`` to this flag). Idempotent: fault
+        schedules may race with an earlier crash."""
+        if self.crashed:
+            return
+        self._record(EventKind.PROCESS_CRASHED)
+        self.crashed = True
+        for name in list(self._timer_handles):
+            self.user_cancel_timer(name)
+        self._deferred_timers = []
+        self._stall_buffer = []
+        self._stall_timers = []
+
+    def stall(self, duration: float) -> None:
+        """Freeze for ``duration`` of virtual time — a long GC pause.
+        Arrivals and timer expirations buffer and replay afterwards in
+        order: the program is delayed, not changed. Overlapping stalls
+        extend the window."""
+        if self.crashed or self.terminated or duration <= 0:
+            return
+        self._stall_until = max(self._stall_until, self.now + duration)
+        if not self.stalled:
+            self.stalled = True
+            self._arm_unstall()
+
+    def _arm_unstall(self) -> None:
+        self.system.kernel.schedule_at(
+            self._stall_until,
+            self._maybe_unstall,
+            priority=PRIORITY_INTERNAL,
+            tiebreak=("unstall", self.name),
+        )
+
+    def _maybe_unstall(self) -> None:
+        if not self.stalled or self.crashed:
+            return
+        if self.now < self._stall_until:
+            # The window was extended while we slept; sleep again.
+            self._arm_unstall()
+            return
+        self.stalled = False
+        replay = self._stall_buffer
+        self._stall_buffer = []
+        timers = self._stall_timers
+        self._stall_timers = []
+        for envelope in replay:
+            if self.stalled or self.crashed:
+                self._stall_buffer.append(envelope)
+                continue
+            self.deliver(envelope)
+        for name, payload in timers:
+            if self.stalled or self.crashed:
+                self._stall_timers.append((name, payload))
+                continue
+            self._timer_fired(name, payload)
+
     # -- halting mechanics ----------------------------------------------------------------
 
     def halt(self, **meta: Any) -> ProcessStateSnapshot:
@@ -334,6 +419,8 @@ class ProcessController:
         algorithm guarantees a process halts once per cycle."""
         if self.never_halts:
             raise RuntimeStateError(f"{self.name} is a debugger process; it never halts")
+        if self.crashed:
+            raise RuntimeStateError(f"{self.name} has crashed; there is nothing to halt")
         if self.halted:
             raise RuntimeStateError(f"{self.name} is already halted")
         snapshot = self.capture_state(**meta)
@@ -480,6 +567,8 @@ class ProcessController:
         return event
 
     def _require_live(self, action: str) -> None:
+        if self.crashed:
+            raise RuntimeStateError(f"{self.name} has crashed and cannot {action}")
         if self.terminated:
             raise RuntimeStateError(f"{self.name} is terminated and cannot {action}")
         if self.halted:

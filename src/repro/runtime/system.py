@@ -14,15 +14,20 @@ import random
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.events.clocks import ClockFrame
+from repro.events.event import Event, EventKind
 from repro.events.log import EventLog
+from repro.faults.injection import CrashAfterEvents, injector_for
+from repro.faults.plan import FaultPlan
 from repro.network.channel import Channel
 from repro.network.latency import FixedLatency, LatencyModel
+from repro.network.message import Envelope
+from repro.network.reliable import ReliabilityConfig, ReliableChannel
 from repro.network.topology import Topology
 from repro.runtime.controller import ProcessController
 from repro.runtime.interfaces import ControlPlugin
 from repro.runtime.process import Process
-from repro.simulation.kernel import SimulationKernel
-from repro.util.errors import ConfigurationError, TopologyError
+from repro.simulation.kernel import PRIORITY_INTERNAL, SimulationKernel
+from repro.util.errors import ConfigurationError, FaultError, TopologyError
 from repro.util.ids import ChannelId, ProcessId, SequenceGenerator
 
 
@@ -39,6 +44,9 @@ class System:
         capture_states: bool = False,
         never_halt: Iterable[ProcessId] = (),
         loss_probability: float = 0.0,
+        fault_plan: Optional[FaultPlan] = None,
+        reliability: Optional[ReliabilityConfig] = None,
+        reliable: bool = False,
     ) -> None:
         missing = set(topology.processes) - set(processes)
         if missing:
@@ -60,7 +68,14 @@ class System:
         # Violates the §2.1 reliable-channel assumption on purpose; only
         # the ablation experiments set this.
         self._loss_probability = loss_probability
+        #: Seeded fault schedule (loss/dup/reorder + crash/stall), or None.
+        self.fault_plan = fault_plan
+        #: When set (or ``reliable=True``), channels are
+        #: :class:`~repro.network.reliable.ReliableChannel` — ack/retransmit
+        #: re-establishes FIFO-exactly-once over whatever the plan injects.
+        self._reliability = reliability or (ReliabilityConfig() if reliable else None)
 
+        # Values are Channel or ReliableChannel (same surface).
         self._channels: Dict[ChannelId, Channel] = {}
         self._retired_channels: List[Channel] = []
         self._out: Dict[ProcessId, List[ChannelId]] = {p: [] for p in topology.processes}
@@ -82,27 +97,108 @@ class System:
         for channel_id in topology.channels:
             self._wire_channel(channel_id)
 
+        if fault_plan is not None:
+            self._schedule_faults(fault_plan)
+
         self._started = False
 
     # -- channel management -------------------------------------------------
 
     def _wire_channel(self, channel_id: ChannelId) -> Channel:
-        channel = Channel(
-            channel_id=channel_id,
-            kernel=self.kernel,
-            user_rng=random.Random(f"{self.seed}|chan|{channel_id}|user"),
-            control_rng=random.Random(f"{self.seed}|chan|{channel_id}|ctrl"),
-            sequences=self._message_seqs,
-            latency=self._channel_latencies.get(channel_id, self._default_latency),
-            loss_probability=self._loss_probability,
-            loss_rng=random.Random(f"{self.seed}|chan|{channel_id}|loss"),
-        )
+        injector = None
+        if self.fault_plan is not None:
+            injector = injector_for(self.fault_plan, channel_id)
+            if injector.is_noop:
+                injector = None
+        if self._reliability is not None:
+            channel = ReliableChannel(
+                channel_id=channel_id,
+                kernel=self.kernel,
+                user_rng=random.Random(f"{self.seed}|chan|{channel_id}|user"),
+                control_rng=random.Random(f"{self.seed}|chan|{channel_id}|ctrl"),
+                sequences=self._message_seqs,
+                latency=self._channel_latencies.get(channel_id, self._default_latency),
+                injector=injector,
+                config=self._reliability,
+                retry_rng=random.Random(f"{self.seed}|chan|{channel_id}|retry"),
+            )
+            channel.endpoint_down = self._endpoint_probe(channel_id)
+        else:
+            channel = Channel(
+                channel_id=channel_id,
+                kernel=self.kernel,
+                user_rng=random.Random(f"{self.seed}|chan|{channel_id}|user"),
+                control_rng=random.Random(f"{self.seed}|chan|{channel_id}|ctrl"),
+                sequences=self._message_seqs,
+                latency=self._channel_latencies.get(channel_id, self._default_latency),
+                loss_probability=self._loss_probability,
+                loss_rng=random.Random(f"{self.seed}|chan|{channel_id}|loss"),
+                injector=injector,
+            )
+        channel.on_drop = self._log_drop
         receiver = self.controllers[channel_id.dst]
         channel.connect(receiver.deliver)
         self._channels[channel_id] = channel
         self._out[channel_id.src].append(channel_id)
         self._in[channel_id.dst].append(channel_id)
         return channel
+
+    def _endpoint_probe(self, channel_id: ChannelId) -> Callable[[str], bool]:
+        """Crash visibility for the transport: a dead host neither delivers,
+        acks, nor retransmits (see ``ReliableChannel.endpoint_down``)."""
+        src = self.controllers[channel_id.src]
+        dst = self.controllers[channel_id.dst]
+        return lambda side: (src if side == "src" else dst).crashed
+
+    def _log_drop(self, envelope: Envelope) -> None:
+        """Record a wire loss in the event log (system-level: no process
+        observes it, no clock ticks, but traces must explain the gap)."""
+        sender = self.controllers[envelope.channel.src]
+        self.log.append(Event(
+            eid=self.next_event_id(),
+            process=envelope.channel.src,
+            kind=EventKind.MESSAGE_DROPPED,
+            time=self.kernel.now,
+            lamport=sender.lamport.value,
+            vector=sender.vector.snapshot(),
+            vector_index=sender.vector.owner_index,
+            channel=envelope.channel,
+            detail=envelope.kind.value,
+            local_seq=0,
+            attrs={"seq": envelope.seq},
+        ))
+
+    # -- fault scheduling ------------------------------------------------------
+
+    def _schedule_faults(self, plan: FaultPlan) -> None:
+        for crash in plan.crashes:
+            controller = self.controllers.get(crash.process)
+            if controller is None:
+                raise FaultError(f"crash spec names unknown process {crash.process!r}")
+            if controller.never_halts:
+                raise FaultError(
+                    f"refusing to crash debugger process {crash.process!r}; "
+                    "the paper's debugger d is outside the failure model"
+                )
+            if crash.at_time is not None:
+                self.kernel.schedule_at(
+                    crash.at_time,
+                    controller.crash,
+                    priority=PRIORITY_INTERNAL,
+                    tiebreak=("crash", crash.process),
+                )
+            else:
+                controller.install(CrashAfterEvents(crash.after_events))
+        for stall in plan.stalls:
+            controller = self.controllers.get(stall.process)
+            if controller is None:
+                raise FaultError(f"stall spec names unknown process {stall.process!r}")
+            self.kernel.schedule_at(
+                stall.at_time,
+                lambda c=controller, d=stall.duration: c.stall(d),
+                priority=PRIORITY_INTERNAL,
+                tiebreak=("stall", stall.process),
+            )
 
     def create_channel(self, src: ProcessId, dst: ProcessId) -> ChannelId:
         """Open a new directed channel at runtime."""
@@ -223,6 +319,21 @@ class System:
     def all_user_processes_halted(self) -> bool:
         return all(
             self.controllers[name].halted for name in self.user_process_names
+        )
+
+    def all_live_user_processes_halted(self) -> bool:
+        """Partial-halt convergence: every user process is halted or dead.
+        This is the best a halting run can achieve once a process crashed
+        (the halt-watchdog's stopping condition)."""
+        return all(
+            self.controllers[name].halted or self.controllers[name].crashed
+            for name in self.user_process_names
+        )
+
+    def crashed_process_names(self) -> Tuple[ProcessId, ...]:
+        return tuple(
+            name for name in self.topology.processes
+            if self.controllers[name].crashed
         )
 
     def state_of(self, name: ProcessId) -> dict:

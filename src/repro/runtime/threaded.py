@@ -26,41 +26,99 @@ from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 from repro.events.clocks import ClockFrame
 from repro.events.event import Event, EventKind
 from repro.events.log import EventLog
+from repro.faults.injection import ChannelFaultInjector, CrashAfterEvents, injector_for
+from repro.faults.plan import FaultPlan
+from repro.network.channel import ChannelStats
 from repro.network.message import Envelope, MessageKind
+from repro.network.reliable import ReliabilityConfig
 from repro.runtime.context import ProcessContext
 from repro.runtime.interfaces import ControlPlugin
 from repro.runtime.payload import UserMessage
 from repro.runtime.process import Process
 from repro.runtime.state_capture import ProcessStateSnapshot, capture
 from repro.network.topology import Topology
-from repro.util.errors import ConfigurationError, RuntimeStateError, TopologyError
+from repro.util.errors import (
+    ConfigurationError,
+    FaultError,
+    RuntimeStateError,
+    TopologyError,
+)
 from repro.util.ids import ChannelId, ProcessId, SequenceGenerator
 
 _STOP = object()
 
 
+class _PendingFrame:
+    """Sender-side state of one unacknowledged message (reliable mode)."""
+
+    __slots__ = ("envelope", "attempts", "timer")
+
+    def __init__(self, envelope: Envelope) -> None:
+        self.envelope = envelope
+        self.attempts = 0
+        self.timer: Optional[threading.Timer] = None
+
+
 class ThreadedChannel:
     """FIFO link: a queue drained by one forwarder thread that sleeps the
     sampled latency before handing the envelope to the receiver's mailbox.
-    Serial forwarding makes FIFO structural, exactly like the DES clamp."""
+    Serial forwarding makes FIFO structural, exactly like the DES clamp.
+
+    With an injector, the wire loses/duplicates frames (reorder shows up
+    only as extra delay here — the serial forwarder keeps frames in order,
+    so true reordering is a DES-only fault). With ``reliability`` set, the
+    same ack/retransmit protocol as the DES
+    :class:`~repro.network.reliable.ReliableChannel` runs over this wire:
+    sequence numbers, cumulative acks (applied directly to sender state —
+    the reverse path of a threaded link is a method call), retransmission
+    via real timers (scaled by the system's ``time_scale``), capped retries.
+
+    Activity accounting for ``settle()``: the ``+1`` taken at ``send``
+    belongs to the *logical message* and is released by the receiver's main
+    loop after it processes the delivery. A wire drop in raw mode releases
+    it in the forwarder (the message will never arrive); in reliable mode
+    the credit stays held across retransmissions until the message is
+    delivered or given up, so ``settle()`` cannot declare quiescence while
+    a retransmission is still owed.
+    """
 
     def __init__(self, channel_id: ChannelId, system: "ThreadedSystem",
-                 latency_range: Tuple[float, float], seed: str) -> None:
+                 latency_range: Tuple[float, float], seed: str,
+                 injector: Optional[ChannelFaultInjector] = None,
+                 reliability: Optional[ReliabilityConfig] = None) -> None:
         self.id = channel_id
         self._system = system
         self._latency_range = latency_range
         self._rng = random.Random(seed)
+        self._retry_rng = random.Random(f"{seed}|retry")
+        self._injector = None if (injector is not None and injector.is_noop) else injector
+        self._reliability = reliability
         self._queue: "queue.Queue" = queue.Queue()
         self._thread = threading.Thread(
             target=self._forward_loop, name=f"chan-{channel_id}", daemon=True
         )
-        self.sent_by_kind: Dict[MessageKind, int] = {k: 0 for k in MessageKind}
+        self.stats = ChannelStats()
+        # Legacy alias (message_totals and older tests read this).
+        self.sent_by_kind = self.stats.sent_by_kind
+        self.failed = False
         self._lock = threading.Lock()
+        self._stopping = False
+        # Reliable-mode protocol state (all guarded by _lock).
+        self._next_rseq = 1
+        self._unacked: Dict[int, _PendingFrame] = {}
+        self._expected = 1
+        self._out_of_order: Dict[int, Envelope] = {}
 
     def start(self) -> None:
         self._thread.start()
 
     def stop(self) -> None:
+        with self._lock:
+            self._stopping = True
+            for pending in self._unacked.values():
+                if pending.timer is not None:
+                    pending.timer.cancel()
+            self._unacked.clear()
         self._queue.put(_STOP)
 
     def join(self, timeout: float = 1.0) -> None:
@@ -75,11 +133,22 @@ class ThreadedChannel:
             seq=self._system.next_message_seq(),
             clock=clock,
         )
-        with self._lock:
-            self.sent_by_kind[kind] += 1
         self._system.note_activity(+1)
-        self._queue.put(envelope)
+        with self._lock:
+            self.stats.sent += 1
+            self.stats.sent_by_kind[kind] += 1
+            if self._reliability is None:
+                rseq = None
+            else:
+                rseq = self._next_rseq
+                self._next_rseq += 1
+                self._unacked[rseq] = _PendingFrame(envelope)
+        self._queue.put((rseq, envelope))
+        if rseq is not None:
+            self._arm_retry(rseq)
         return envelope
+
+    # -- forwarder (wire + receiver-side protocol endpoint) -------------------
 
     def _forward_loop(self) -> None:
         receiver = self._system.controller(self.id.dst)
@@ -87,11 +156,141 @@ class ThreadedChannel:
             item = self._queue.get()
             if item is _STOP:
                 return
+            rseq, envelope = item
+            is_user = envelope.kind.is_user
             low, high = self._latency_range
-            time.sleep(self._rng.uniform(low, high))
-            # The +1 from send() transfers to the mailbox item; the
-            # receiver's main loop decrements after processing it.
-            receiver.inbox.put(("env", item))
+            delay = self._rng.uniform(low, high)
+            if self._injector is not None:
+                # Reorder degrades to extra delay on this backend: the
+                # serial forwarder is structurally FIFO.
+                delay += self._injector.extra_delay(is_user) * self._system.time_scale
+            time.sleep(delay)
+            copies = 1
+            if self._injector is not None:
+                copies += self._injector.duplicates(is_user)
+            arrived = 0
+            for _ in range(copies):
+                if self._injector is not None and self._injector.drop_frame(is_user):
+                    with self._lock:
+                        self.stats.frames_dropped += 1
+                    self._system.note_drop(envelope)
+                    continue
+                arrived += 1
+            if self._reliability is None:
+                if arrived == 0:
+                    # Raw wire: the message is gone for good. Release the
+                    # logical-message credit taken at send.
+                    with self._lock:
+                        self.stats.dropped += 1
+                        self.stats.dropped_by_kind[envelope.kind] += 1
+                    self._system.note_activity(-1)
+                    continue
+                if receiver.crashed:
+                    # Frames addressed at a dead host fall on the floor.
+                    self._system.note_activity(-1)
+                    continue
+                with self._lock:
+                    self.stats.delivered += 1
+                    self.stats.total_latency += self._system.now - envelope.send_time
+                # The +1 from send() transfers to the mailbox item; the
+                # receiver's main loop decrements after processing it.
+                receiver.inbox.put(("env", envelope))
+                for _ in range(arrived - 1):
+                    # Wire-made duplicates each need their own credit.
+                    with self._lock:
+                        self.stats.delivered += 1
+                    self._system.note_activity(+1)
+                    receiver.inbox.put(("env", envelope))
+                continue
+            # Reliable mode: the surviving copies reach the protocol
+            # endpoint; duplicates collapse there.
+            for _ in range(arrived):
+                self._protocol_receive(rseq, envelope, receiver)
+
+    def _protocol_receive(self, rseq: int, envelope: Envelope,
+                          receiver: "ThreadedController") -> None:
+        if receiver.crashed:
+            return  # dead host: neither delivers nor acks
+        deliveries = []
+        with self._lock:
+            if rseq < self._expected or rseq in self._out_of_order:
+                self.stats.duplicates_suppressed += 1
+            else:
+                self._out_of_order[rseq] = envelope
+                while self._expected in self._out_of_order:
+                    head = self._out_of_order.pop(self._expected)
+                    self._expected += 1
+                    self.stats.delivered += 1
+                    self.stats.total_latency += self._system.now - head.send_time
+                    deliveries.append(head)
+            cumulative = self._expected - 1
+        for head in deliveries:
+            # Each in-order delivery carries the credit taken at its send.
+            receiver.inbox.put(("env", head))
+        self._send_ack(cumulative, envelope.kind.is_user)
+
+    # -- ack + retransmit (reliable mode) --------------------------------------
+
+    def _send_ack(self, cumulative: int, is_user: bool) -> None:
+        with self._lock:
+            self.stats.acks_sent += 1
+        if self._injector is not None and self._injector.drop_ack(is_user):
+            with self._lock:
+                self.stats.acks_dropped += 1
+            return
+        if self._system.controller(self.id.src).crashed:
+            return  # a dead sender has no transport state to update
+        with self._lock:
+            for rseq in [r for r in self._unacked if r <= cumulative]:
+                pending = self._unacked.pop(rseq)
+                if pending.timer is not None:
+                    pending.timer.cancel()
+
+    def _arm_retry(self, rseq: int) -> None:
+        assert self._reliability is not None
+        with self._lock:
+            pending = self._unacked.get(rseq)
+            if pending is None or self._stopping:
+                return
+            timeout = self._reliability.timeout_for(pending.attempts, self._retry_rng)
+            timer = threading.Timer(
+                timeout * self._system.time_scale, self._retry_fire, args=(rseq,)
+            )
+            timer.daemon = True
+            pending.timer = timer
+        timer.start()
+
+    def _retry_fire(self, rseq: int) -> None:
+        assert self._reliability is not None
+        with self._lock:
+            pending = self._unacked.get(rseq)
+            if pending is None or self._stopping:
+                return
+            if self._system.controller(self.id.src).crashed:
+                # Dead senders don't retransmit. Release the credit if the
+                # message never made it, so settle() can still quiesce.
+                self._unacked.pop(rseq, None)
+                undelivered = rseq >= self._expected and rseq not in self._out_of_order
+                if undelivered:
+                    self.stats.dropped += 1
+                    self.stats.dropped_by_kind[pending.envelope.kind] += 1
+                    self._system.note_activity(-1)
+                return
+            pending.attempts += 1
+            if pending.attempts > self._reliability.max_retries:
+                self._unacked.pop(rseq, None)
+                self.stats.gave_up += 1
+                undelivered = rseq >= self._expected and rseq not in self._out_of_order
+                if undelivered:
+                    self.failed = True
+                    self.stats.dropped += 1
+                    self.stats.dropped_by_kind[pending.envelope.kind] += 1
+                    self._system.note_activity(-1)
+                return
+            self.stats.retransmits += 1
+            envelope = pending.envelope
+        self._queue.put((rseq, envelope))
+        self._arm_retry(rseq)
 
 
 class ThreadedController:
@@ -110,6 +309,15 @@ class ThreadedController:
         self.ctx = ProcessContext(self)
         self.halted = False
         self.terminated = False
+        #: Fail-stop fault: the host is dead (see the DES controller).
+        self.crashed = False
+        #: Transient freeze (fault injection): buffers like halt, invisible
+        #: to the debugging system.
+        self.stalled = False
+        self._stall_until = 0.0
+        self._stall_credit = False
+        self._stall_buffer: List[Envelope] = []
+        self._stall_timers: List[Tuple[str, object]] = []
         self.halted_snapshot: Optional[ProcessStateSnapshot] = None
         self.halt_buffers: Dict[ChannelId, List[Envelope]] = {}
         self._halt_buffer_order: List[Envelope] = []
@@ -200,6 +408,12 @@ class ThreadedController:
     # -- deliveries -------------------------------------------------------------------
 
     def _deliver(self, envelope: Envelope) -> None:
+        if self.crashed:
+            return  # frames at a dead host fall on the floor
+        if self.stalled:
+            # A frozen host processes nothing — control plane included.
+            self._stall_buffer.append(envelope)
+            return
         if envelope.kind is MessageKind.USER:
             self._deliver_user(envelope)
             return
@@ -303,13 +517,89 @@ class ThreadedController:
         if self._timer_gen.get(name) != generation:
             return  # stale expiration of a cancelled/re-armed timer
         self._timers.pop(name, None)
-        if self.terminated:
+        if self.terminated or self.crashed:
+            return
+        if self.stalled:
+            self._stall_timers.append((name, payload))
             return
         if self.halted:
             self._deferred_timers.append((name, payload))
             return
         self._record(EventKind.TIMER, detail=name)
         self.process.on_timer(self.ctx, name, payload)
+
+    # -- fault injection ------------------------------------------------------
+
+    def crash(self) -> None:
+        """Fail-stop this process. Runs on the process's own thread (posted
+        via ``defer``/the fault scheduler), so it lands on a handler
+        boundary. The mailbox keeps draining (to release activity credits)
+        but nothing is processed ever again."""
+        if self.crashed:
+            return
+        self._record(EventKind.PROCESS_CRASHED)
+        self.crashed = True
+        for name in list(self._timers):
+            self.user_cancel_timer(name)
+        self._deferred_timers = []
+        self._stall_buffer = []
+        self._stall_timers = []
+
+    def stall(self, duration: float) -> None:
+        """Freeze for ``duration`` (virtual units, scaled like timers).
+        Buffered arrivals/timers replay afterwards in order."""
+        if self.crashed or self.terminated or duration <= 0:
+            return
+        scaled = duration * self.system.time_scale
+        self._stall_until = max(self._stall_until, time.monotonic() + scaled)
+        if not self.stalled:
+            self.stalled = True
+            if not self._stall_credit:
+                # Hold one activity credit for the whole window so settle()
+                # cannot declare quiescence while replays are still owed.
+                self._stall_credit = True
+                self.system.note_activity(+1)
+            self._arm_unstall(scaled)
+
+    def _arm_unstall(self, delay: float) -> None:
+        timer = threading.Timer(delay, self._post_unstall)
+        timer.daemon = True
+        timer.start()
+
+    def _post_unstall(self) -> None:
+        self.system.note_activity(+1)
+        self.inbox.put(("call", self._maybe_unstall))
+
+    def _maybe_unstall(self) -> None:
+        if not self.stalled or self.crashed:
+            self._release_stall_credit()
+            return
+        remaining = self._stall_until - time.monotonic()
+        if remaining > 0:
+            self._arm_unstall(remaining)  # window was extended
+            return
+        self.stalled = False
+        replay = self._stall_buffer
+        self._stall_buffer = []
+        timers = self._stall_timers
+        self._stall_timers = []
+        for envelope in replay:
+            if self.stalled or self.crashed:
+                self._stall_buffer.append(envelope)
+                continue
+            self._deliver(envelope)
+        for name, payload in timers:
+            if self.stalled or self.crashed:
+                self._stall_timers.append((name, payload))
+                continue
+            self._timer_fired(name, payload, self._timer_gen.get(name, 0))
+        if not self.stalled:
+            self._release_stall_credit()
+
+    def _release_stall_credit(self) -> None:
+        if self._stall_credit:
+            self._stall_credit = False
+            self.system.note_activity(-1)
 
     def user_terminate(self) -> None:
         self._require_live("terminate")
@@ -330,6 +620,8 @@ class ThreadedController:
     def halt(self, **meta: object) -> ProcessStateSnapshot:
         if self.never_halts:
             raise RuntimeStateError(f"{self.name} never halts")
+        if self.crashed:
+            raise RuntimeStateError(f"{self.name} has crashed; there is nothing to halt")
         if self.halted:
             raise RuntimeStateError(f"{self.name} already halted")
         snapshot = self.capture_state(**meta)
@@ -441,6 +733,8 @@ class ThreadedController:
         return event
 
     def _require_live(self, action: str) -> None:
+        if self.crashed:
+            raise RuntimeStateError(f"{self.name} has crashed and cannot {action}")
         if self.terminated:
             raise RuntimeStateError(f"{self.name} is terminated and cannot {action}")
         if self.halted:
@@ -473,6 +767,9 @@ class ThreadedSystem:
         latency_range: Tuple[float, float] = (0.0005, 0.003),
         time_scale: float = 0.01,
         never_halt: Iterable[ProcessId] = (),
+        fault_plan: Optional[FaultPlan] = None,
+        reliability: Optional[ReliabilityConfig] = None,
+        reliable: bool = False,
     ) -> None:
         missing = set(topology.processes) - set(processes)
         if missing:
@@ -480,6 +777,8 @@ class ThreadedSystem:
         self.topology = topology
         self.seed = seed
         self.time_scale = time_scale
+        self.fault_plan = fault_plan
+        self._reliability = reliability or (ReliabilityConfig() if reliable else None)
         self.capture_states = False
         self.clock_frame = ClockFrame(topology.processes)
         self.log = EventLog()
@@ -499,10 +798,18 @@ class ThreadedSystem:
         }
         self._channels: Dict[ChannelId, ThreadedChannel] = {
             channel_id: ThreadedChannel(
-                channel_id, self, latency_range, f"{seed}|chan|{channel_id}"
+                channel_id, self, latency_range, f"{seed}|chan|{channel_id}",
+                injector=(
+                    injector_for(fault_plan, channel_id)
+                    if fault_plan is not None else None
+                ),
+                reliability=self._reliability,
             )
             for channel_id in topology.channels
         }
+        self._fault_timers: List[threading.Timer] = []
+        if fault_plan is not None:
+            self._prepare_faults(fault_plan)
         self._out: Dict[ProcessId, List[ChannelId]] = {p: [] for p in topology.processes}
         self._in: Dict[ProcessId, List[ChannelId]] = {p: [] for p in topology.processes}
         for channel_id in topology.channels:
@@ -521,6 +828,9 @@ class ThreadedSystem:
 
     def channel(self, channel_id: ChannelId) -> Optional[ThreadedChannel]:
         return self._channels.get(channel_id)
+
+    def channels(self) -> List[ThreadedChannel]:
+        return list(self._channels.values())
 
     def outgoing_channels(self, process: ProcessId) -> Tuple[ChannelId, ...]:
         return tuple(self._out[process])
@@ -558,6 +868,18 @@ class ThreadedSystem:
     def all_user_processes_halted(self) -> bool:
         return all(self.controllers[n].halted for n in self.user_process_names)
 
+    def all_live_user_processes_halted(self) -> bool:
+        """Partial-halt convergence: every user process halted or dead."""
+        return all(
+            self.controllers[n].halted or self.controllers[n].crashed
+            for n in self.user_process_names
+        )
+
+    def crashed_process_names(self) -> Tuple[ProcessId, ...]:
+        return tuple(
+            n for n in self.topology.processes if self.controllers[n].crashed
+        )
+
     def state_of(self, name: ProcessId) -> dict:
         return dict(self.controllers[name].ctx.state)
 
@@ -567,6 +889,70 @@ class ThreadedSystem:
             for kind, count in channel.sent_by_kind.items():
                 totals[kind.value] = totals.get(kind.value, 0) + count
         return totals
+
+    # -- fault scheduling ------------------------------------------------------------
+
+    def _prepare_faults(self, plan: FaultPlan) -> None:
+        """Validate the plan and stage its crash/stall schedule. Wall-clock
+        timers start in :meth:`start` (plan times are virtual units, scaled
+        by ``time_scale`` like everything else on this backend)."""
+        self._staged_faults: List[Tuple[float, ProcessId, Callable[["ThreadedController"], None]]] = []
+        for crash in plan.crashes:
+            controller = self.controllers.get(crash.process)
+            if controller is None:
+                raise FaultError(f"crash spec names unknown process {crash.process!r}")
+            if controller.never_halts:
+                raise FaultError(
+                    f"refusing to crash debugger process {crash.process!r}; "
+                    "the paper's debugger d is outside the failure model"
+                )
+            if crash.at_time is not None:
+                self._staged_faults.append(
+                    (crash.at_time, crash.process, lambda c: c.crash())
+                )
+            else:
+                controller.install(CrashAfterEvents(crash.after_events))
+        for stall in plan.stalls:
+            if stall.process not in self.controllers:
+                raise FaultError(f"stall spec names unknown process {stall.process!r}")
+            self._staged_faults.append(
+                (stall.at_time, stall.process,
+                 lambda c, d=stall.duration: c.stall(d))
+            )
+
+    def _start_fault_timers(self) -> None:
+        for at_time, process, action in getattr(self, "_staged_faults", []):
+            controller = self.controllers[process]
+
+            def fire(c: "ThreadedController" = controller,
+                     act: Callable = action) -> None:
+                # Post onto the process's own thread so faults land on
+                # handler boundaries, exactly like the DES backend.
+                self.note_activity(+1)
+                c.inbox.put(("call", lambda: act(c)))
+
+            timer = threading.Timer(at_time * self.time_scale, fire)
+            timer.daemon = True
+            timer.start()
+            self._fault_timers.append(timer)
+
+    def note_drop(self, envelope: Envelope) -> None:
+        """Record a wire loss in the event log (system-level record; the
+        sender's clocks are read without ticking — best-effort under
+        threading, good enough for forensics)."""
+        sender = self.controllers[envelope.channel.src]
+        self.record_event(dict(
+            process=envelope.channel.src,
+            kind=EventKind.MESSAGE_DROPPED,
+            time=self.now,
+            lamport=sender.lamport.value,
+            vector=sender.vector.snapshot(),
+            vector_index=sender.vector.owner_index,
+            channel=envelope.channel,
+            detail=envelope.kind.value,
+            local_seq=0,
+            attrs={"seq": envelope.seq},
+        ))
 
     # -- bookkeeping ----------------------------------------------------------------
 
@@ -601,6 +987,7 @@ class ThreadedSystem:
             # cannot trigger before startup completes.
             self.note_activity(+1)
             self.controllers[name].start()
+        self._start_fault_timers()
 
     def run_until(self, condition: Callable[[], bool], timeout: float = 30.0,
                   poll: float = 0.002) -> bool:
@@ -634,14 +1021,35 @@ class ThreadedSystem:
             time.sleep(0.005)
         return False
 
-    def shutdown(self) -> None:
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Stop every thread and wait for it to exit.
+
+        Joins are bounded by one shared ``timeout`` budget; any thread still
+        alive afterwards is a real bug (a handler stuck in user code, a
+        forwarder wedged mid-sleep) and is surfaced as
+        :class:`~repro.util.errors.RuntimeStateError` naming the stuck
+        threads, instead of leaking daemon threads silently.
+        """
+        for timer in self._fault_timers:
+            timer.cancel()
         for channel in self._channels.values():
             channel.stop()
         for controller in self.controllers.values():
             for timer in list(controller._timers.values()):
                 timer.cancel()
             controller.inbox.put(_STOP)
+        deadline = time.monotonic() + timeout
+        stuck: List[str] = []
         for controller in self.controllers.values():
-            controller.join()
+            controller.join(max(0.01, deadline - time.monotonic()))
+            if controller._thread.is_alive():
+                stuck.append(controller._thread.name)
         for channel in self._channels.values():
-            channel.join()
+            channel.join(max(0.01, deadline - time.monotonic()))
+            if channel._thread.is_alive():
+                stuck.append(channel._thread.name)
+        if stuck:
+            raise RuntimeStateError(
+                f"shutdown did not converge within {timeout}s; "
+                f"stuck threads: {', '.join(sorted(stuck))}"
+            )

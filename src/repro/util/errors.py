@@ -53,6 +53,15 @@ class PredicateSyntaxError(PredicateError):
         self.position = position
 
 
+class FaultError(ConfigurationError):
+    """A fault-injection plan is malformed or references unknown targets."""
+
+
+class DeliveryError(ReproError):
+    """The reliable-delivery layer reached an impossible state (protocol
+    invariant broken) or was driven incorrectly."""
+
+
 class TraceError(ReproError):
     """A trace could not be recorded, serialized, or replayed."""
 

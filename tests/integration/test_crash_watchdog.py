@@ -1,0 +1,226 @@
+"""Integration: halting on networks that lose frames and kill processes.
+
+Three claims, end to end:
+
+1. a lost HALT_MARKER is retransmitted and halting converges (without the
+   reliable layer the same loss strands the downstream processes — pinned
+   in ``tests/unit/test_lossy_channels.py``);
+2. a crash during a halt degrades to a watchdog-bounded *partial* halt
+   whose report names exactly the crashed processes, and the surviving
+   cut is consistent;
+3. both behaviours hold on the threaded backend, where the watchdog is
+   wall-clock and shutdown must stay clean.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis.consistency import check_cut_consistency
+from repro.core.api import build_workload
+from repro.debugger.session import DebugSession
+from repro.debugger.threaded_session import ThreadedDebugSession
+from repro.events.event import EventKind
+from repro.faults.plan import ChannelFaultSpec, FaultPlan
+from repro.network.message import MessageKind
+from repro.util.errors import FaultError, RuntimeStateError
+
+
+# -- lost halt markers are recovered (Lemma 2.2 by construction) ----------------
+
+
+def test_lost_halt_marker_is_retransmitted_and_halting_converges():
+    found = None
+    for seed in range(30):
+        topology, processes = build_workload("token_ring", n=4,
+                                             max_hops=400, hold_time=0.5)
+        plan = FaultPlan.lossy(0.5, seed=seed)
+        session = DebugSession(topology, processes, seed=seed,
+                               fault_plan=plan, reliable=True)
+        session.system.run(until=10.0)
+        session.halt()
+        outcome = session.run(max_events=4_000_000)
+        assert outcome.stopped, f"halting did not converge (seed {seed})"
+        marker_frame_drops = [
+            event for event in session.system.log.of_kind(EventKind.MESSAGE_DROPPED)
+            if event.detail == MessageKind.HALT_MARKER.value
+        ]
+        if marker_frame_drops:
+            found = (seed, session)
+            break
+    assert found is not None, "no seed in range dropped a halt-marker frame"
+    seed, session = found
+    # The marker frame was eaten by the wire, yet every process halted and
+    # the cut is consistent — the retransmission carried Lemma 2.2.
+    verdict = check_cut_consistency(session.system.log, session.global_state())
+    assert verdict.consistent, verdict.violations
+
+
+def test_raw_wire_same_loss_strands_halting():
+    """Control arm: the exact configuration above minus the reliable layer
+    fails to converge — the robustness layer is doing the work."""
+    stranded = 0
+    for seed in range(10):
+        topology, processes = build_workload("token_ring", n=4,
+                                             max_hops=400, hold_time=0.5)
+        plan = FaultPlan.lossy(0.5, seed=seed)
+        session = DebugSession(topology, processes, seed=seed,
+                               fault_plan=plan, reliable=False)
+        session.system.run(until=10.0)
+        session.halt()
+        outcome = session.run(max_events=500_000)
+        if not outcome.stopped:
+            stranded += 1
+    assert stranded > 0
+
+
+# -- crash-mid-halt: watchdog-bounded partial cuts ------------------------------
+
+
+def test_crash_mid_halt_yields_partial_report_naming_the_dead():
+    topology, processes = build_workload("token_ring", n=4,
+                                         max_hops=400, hold_time=0.5)
+    plan = FaultPlan(seed=7).with_crash("p1", at_time=10.0)
+    session = DebugSession(topology, processes, seed=7,
+                           fault_plan=plan, reliable=True)
+    session.system.run(until=25.0)
+    started = session.system.kernel.now
+    report = session.halt_with_watchdog(timeout=150.0, probe_grace=40.0)
+    assert report.is_partial
+    assert report.dead == ("p1",)
+    assert set(report.halted) == {"p0", "p2", "p3"}
+    assert report.unresolved == ()
+    # Bounded: the watchdog fired within timeout + grace, no hang.
+    assert report.time <= started + 150.0 + 40.0 + 1e-9
+    assert "PARTIAL" in report.describe()
+
+
+def test_partial_global_state_is_consistent_and_flagged():
+    topology, processes = build_workload("bank", n=4, transfers=30)
+    plan = FaultPlan(seed=3).with_crash("branch2", at_time=8.0)
+    session = DebugSession(topology, processes, seed=3,
+                           fault_plan=plan, reliable=True)
+    session.system.run(until=15.0)
+    report = session.halt_with_watchdog()
+    assert report.dead == ("branch2",)
+    with pytest.raises(Exception):
+        session.global_state()  # full cut impossible: a member is dead
+    state = session.global_state(allow_partial=True)
+    assert state.meta["partial"] is True
+    assert state.meta["missing"] == ["branch2"]
+    assert set(state.processes) == {"branch0", "branch1", "branch3"}
+    verdict = check_cut_consistency(session.system.log, state)
+    assert verdict.consistent, verdict.violations
+
+
+def test_crash_after_events_trigger():
+    topology, processes = build_workload("token_ring", n=3,
+                                         max_hops=400, hold_time=0.5)
+    plan = FaultPlan(seed=5).with_crash("p2", after_events=10)
+    session = DebugSession(topology, processes, seed=5,
+                           fault_plan=plan, reliable=True)
+    session.system.run(until=60.0)
+    assert session.system.controller("p2").crashed
+    crash_events = session.system.log.of_kind(EventKind.PROCESS_CRASHED)
+    assert [event.process for event in crash_events] == ["p2"]
+    report = session.halt_with_watchdog()
+    assert report.dead == ("p2",)
+
+
+def test_fault_free_watchdog_halt_is_complete():
+    topology, processes = build_workload("token_ring", n=4,
+                                         max_hops=500, hold_time=0.5)
+    session = DebugSession(topology, processes, seed=9)
+    session.system.run(until=10.0)
+    report = session.halt_with_watchdog()
+    assert report.complete and not report.is_partial
+    assert set(report.halted) == {"p0", "p1", "p2", "p3"}
+    assert report.dead == () and report.unresolved == ()
+
+
+def test_stall_is_transparent_to_halting():
+    """A stalled (not crashed) process halts late but halts — no false
+    death verdict as long as the stall ends within the watchdog window."""
+    topology, processes = build_workload("token_ring", n=3,
+                                         max_hops=400, hold_time=0.5)
+    plan = FaultPlan(seed=2).with_stall("p1", at_time=9.0, duration=30.0)
+    session = DebugSession(topology, processes, seed=2,
+                           fault_plan=plan, reliable=True)
+    session.system.run(until=10.0)
+    report = session.halt_with_watchdog(timeout=150.0)
+    assert report.complete
+    verdict = check_cut_consistency(session.system.log, session.global_state())
+    assert verdict.consistent, verdict.violations
+
+
+def test_heartbeats_suspect_exactly_the_crashed():
+    topology, processes = build_workload("token_ring", n=4,
+                                         max_hops=500, hold_time=0.5)
+    plan = FaultPlan(seed=6).with_crash("p3", at_time=40.0)
+    session = DebugSession(topology, processes, seed=6,
+                           fault_plan=plan, reliable=True)
+    monitor = session.enable_heartbeats(interval=5.0, miss_threshold=3)
+    session.system.run(until=30.0)
+    assert session.suspected_processes() == []  # everyone alive so far
+    session.system.run(until=100.0)
+    assert session.suspected_processes() == ["p3"]
+    assert monitor.alive(session.system.kernel.now) == ["p0", "p1", "p2"]
+
+
+def test_fault_plan_rejects_unknown_and_debugger_targets():
+    topology, processes = build_workload("token_ring", n=3, max_hops=10)
+    with pytest.raises(FaultError):
+        DebugSession(topology, processes, seed=1,
+                     fault_plan=FaultPlan(seed=1).with_crash("ghost", at_time=1.0))
+    topology, processes = build_workload("token_ring", n=3, max_hops=10)
+    with pytest.raises(FaultError):
+        DebugSession(topology, processes, seed=1,
+                     fault_plan=FaultPlan(seed=1).with_crash("d", at_time=1.0))
+
+
+# -- threaded backend -----------------------------------------------------------
+
+
+def test_threaded_crash_mid_halt_partial_report():
+    topology, processes = build_workload("token_ring", n=3,
+                                         max_hops=400, hold_time=0.01)
+    plan = FaultPlan(seed=5).with_crash("p1", at_time=0.2)
+    session = ThreadedDebugSession(topology, processes, seed=5,
+                                   time_scale=0.02,
+                                   fault_plan=plan, reliable=True)
+    with session:
+        time.sleep(0.5)
+        report = session.halt_with_watchdog(timeout=4.0, probe_grace=2.0)
+    assert report.is_partial
+    assert report.dead == ("p1",)
+    assert set(report.halted) == {"p0", "p2"}
+    assert tuple(session.system.crashed_process_names()) == ("p1",)
+
+
+def test_threaded_reliable_halt_under_loss_converges():
+    topology, processes = build_workload("token_ring", n=3,
+                                         max_hops=400, hold_time=0.01)
+    plan = FaultPlan.lossy(0.3, seed=8)
+    session = ThreadedDebugSession(topology, processes, seed=8,
+                                   time_scale=0.02,
+                                   fault_plan=plan, reliable=True)
+    with session:
+        time.sleep(0.3)
+        report = session.halt_with_watchdog(timeout=10.0, probe_grace=3.0)
+        assert report.complete, report.describe()
+    dropped = sum(c.stats.frames_dropped for c in session.system.channels())
+    assert dropped > 0  # the wire really lost frames; halting still converged
+
+
+def test_threaded_shutdown_reports_stuck_threads():
+    topology, processes = build_workload("token_ring", n=3,
+                                         max_hops=50, hold_time=0.01)
+    session = ThreadedDebugSession(topology, processes, seed=4, time_scale=0.02)
+    session.start()
+    # Wedge one process thread: its mailbox loop is busy sleeping, so it
+    # can never see the stop sentinel within the shutdown deadline.
+    session.system.controller("p0").defer(lambda: time.sleep(3.0), label="wedge")
+    time.sleep(0.1)
+    with pytest.raises(RuntimeStateError, match="p0"):
+        session.system.shutdown(timeout=0.3)
+    time.sleep(3.2)  # let the wedged thread drain before the next test

@@ -1,0 +1,175 @@
+"""Unit tests for the fault-injection subsystem (plans and injectors)."""
+
+import pytest
+
+from repro.faults.injection import ChannelFaultInjector, injector_for
+from repro.faults.plan import ChannelFaultSpec, CrashSpec, FaultPlan, StallSpec
+from repro.util.errors import FaultError
+from repro.util.ids import ChannelId
+
+
+# -- plan validation ------------------------------------------------------------
+
+
+@pytest.mark.parametrize("field", ["loss", "duplicate", "reorder", "ack_loss"])
+@pytest.mark.parametrize("bad", [-0.1, 1.5, "high", float("nan")])
+def test_spec_rejects_non_probabilities(field, bad):
+    with pytest.raises(FaultError):
+        ChannelFaultSpec(**{field: bad})
+
+
+def test_spec_rejects_bad_reorder_delay():
+    with pytest.raises(FaultError):
+        ChannelFaultSpec(reorder_delay=(-1.0, 2.0))
+    with pytest.raises(FaultError):
+        ChannelFaultSpec(reorder_delay=(3.0, 1.0))
+
+
+def test_crash_spec_requires_exactly_one_trigger():
+    with pytest.raises(FaultError):
+        CrashSpec(process="p0")
+    with pytest.raises(FaultError):
+        CrashSpec(process="p0", at_time=1.0, after_events=3)
+    with pytest.raises(FaultError):
+        CrashSpec(process="p0", at_time=-1.0)
+    with pytest.raises(FaultError):
+        CrashSpec(process="p0", after_events=0)
+    CrashSpec(process="p0", at_time=1.0)
+    CrashSpec(process="p0", after_events=1)
+
+
+def test_stall_spec_validation():
+    with pytest.raises(FaultError):
+        StallSpec(process="p0", at_time=-1.0, duration=1.0)
+    with pytest.raises(FaultError):
+        StallSpec(process="p0", at_time=0.0, duration=0.0)
+
+
+def test_plan_rejects_duplicate_crashes():
+    with pytest.raises(FaultError):
+        FaultPlan(crashes=(
+            CrashSpec(process="p0", at_time=1.0),
+            CrashSpec(process="p0", at_time=2.0),
+        ))
+
+
+def test_ack_loss_defaults_to_loss():
+    assert ChannelFaultSpec(loss=0.3).effective_ack_loss == 0.3
+    assert ChannelFaultSpec(loss=0.3, ack_loss=0.0).effective_ack_loss == 0.0
+    assert ChannelFaultSpec().is_noop
+    assert not ChannelFaultSpec(ack_loss=0.1).is_noop
+
+
+def test_spec_for_falls_back_to_defaults():
+    plan = FaultPlan(
+        channel_defaults=ChannelFaultSpec(loss=0.1),
+        channels={"a->b": ChannelFaultSpec(loss=0.9)},
+    )
+    assert plan.spec_for(ChannelId("a", "b")).loss == 0.9
+    assert plan.spec_for(ChannelId("b", "a")).loss == 0.1
+
+
+# -- serialization --------------------------------------------------------------
+
+
+def test_plan_json_round_trip():
+    plan = (
+        FaultPlan(
+            seed=42,
+            channel_defaults=ChannelFaultSpec(loss=0.2, duplicate=0.1),
+            channels={"a->b": ChannelFaultSpec(reorder=0.5, ack_loss=0.05)},
+        )
+        .with_crash("p1", at_time=30.0)
+        .with_crash("p2", after_events=7)
+        .with_stall("p3", at_time=5.0, duration=12.0)
+    )
+    assert FaultPlan.from_json(plan.to_json()) == plan
+
+
+def test_plan_from_malformed_json():
+    with pytest.raises(FaultError):
+        FaultPlan.from_json("not json {")
+    with pytest.raises(FaultError):
+        FaultPlan.from_dict({"crashes": [{"bogus": 1}]})
+
+
+# -- injector determinism -------------------------------------------------------
+
+
+def _decisions(injector, n=200):
+    return [
+        (injector.drop_frame(True), injector.duplicates(True),
+         injector.extra_delay(True), injector.drop_ack(True))
+        for _ in range(n)
+    ]
+
+
+def test_equal_plans_inject_identical_faults():
+    plan = FaultPlan(seed=9, channel_defaults=ChannelFaultSpec(
+        loss=0.3, duplicate=0.2, reorder=0.4))
+    cid = ChannelId("a", "b")
+    assert _decisions(injector_for(plan, cid)) == _decisions(injector_for(plan, cid))
+
+
+def test_different_seeds_inject_different_faults():
+    spec = ChannelFaultSpec(loss=0.3, duplicate=0.2, reorder=0.4)
+    cid = ChannelId("a", "b")
+    a = _decisions(injector_for(FaultPlan(seed=1, channel_defaults=spec), cid))
+    b = _decisions(injector_for(FaultPlan(seed=2, channel_defaults=spec), cid))
+    assert a != b
+
+
+def test_control_traffic_does_not_perturb_user_stream():
+    """Drawing control-class decisions between user draws must not change
+    the user-frame fault pattern (the E2-comparability property)."""
+    plan = FaultPlan(seed=5, channel_defaults=ChannelFaultSpec(loss=0.3))
+    cid = ChannelId("a", "b")
+    plain = injector_for(plan, cid)
+    baseline = [plain.drop_frame(True) for _ in range(100)]
+
+    mixed = injector_for(plan, cid)
+    interleaved = []
+    for _ in range(100):
+        mixed.drop_frame(False)  # control frame decided in between
+        interleaved.append(mixed.drop_frame(True))
+    assert interleaved == baseline
+
+
+def test_decisions_use_independent_streams():
+    """Enabling duplication must not change which frames are lost."""
+    cid = ChannelId("a", "b")
+    loss_only = injector_for(
+        FaultPlan(seed=3, channel_defaults=ChannelFaultSpec(loss=0.3)), cid)
+    both = injector_for(
+        FaultPlan(seed=3,
+                  channel_defaults=ChannelFaultSpec(loss=0.3, duplicate=0.5)),
+        cid)
+    drops_a, drops_b = [], []
+    for _ in range(100):
+        drops_a.append(loss_only.drop_frame(True))
+        loss_only.duplicates(True)
+        drops_b.append(both.drop_frame(True))
+        both.duplicates(True)
+    assert drops_a == drops_b
+
+
+def test_noop_injector_decides_nothing():
+    injector = injector_for(FaultPlan(seed=1), ChannelId("a", "b"))
+    assert injector.is_noop
+    assert not injector.drop_frame(True)
+    assert injector.duplicates(True) == 0
+    assert injector.extra_delay(True) == 0.0
+    assert not injector.drop_ack(True)
+
+
+def test_duplicates_are_capped():
+    injector = ChannelFaultInjector(
+        ChannelId("a", "b"), ChannelFaultSpec(duplicate=1.0), seed=0)
+    assert injector.duplicates(True) == 4
+
+
+def test_reorder_delay_within_bounds():
+    spec = ChannelFaultSpec(reorder=1.0, reorder_delay=(0.5, 3.0))
+    injector = ChannelFaultInjector(ChannelId("a", "b"), spec, seed=0)
+    for _ in range(100):
+        assert 0.5 <= injector.extra_delay(True) <= 3.0

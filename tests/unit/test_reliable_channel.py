@@ -1,0 +1,226 @@
+"""Unit tests for the reliable-delivery layer over a faulty wire."""
+
+import random
+
+import pytest
+
+from repro.faults.injection import injector_for
+from repro.faults.plan import ChannelFaultSpec, FaultPlan
+from repro.network.channel import Channel
+from repro.network.latency import UniformLatency
+from repro.network.message import MessageKind
+from repro.network.reliable import ReliabilityConfig, ReliableChannel
+from repro.simulation.kernel import SimulationKernel
+from repro.util.errors import ConfigurationError
+from repro.util.ids import ChannelId, SequenceGenerator
+
+
+def make_channel(spec=None, seed=0, config=None, latency=None):
+    kernel = SimulationKernel()
+    cid = ChannelId("a", "b")
+    plan = FaultPlan(seed=seed, channel_defaults=spec or ChannelFaultSpec())
+    channel = ReliableChannel(
+        channel_id=cid,
+        kernel=kernel,
+        user_rng=random.Random(f"{seed}u"),
+        control_rng=random.Random(f"{seed}c"),
+        sequences=SequenceGenerator(start=1),
+        latency=latency or UniformLatency(0.4, 1.6),
+        injector=injector_for(plan, cid),
+        config=config,
+        retry_rng=random.Random(f"{seed}r"),
+    )
+    received = []
+    channel.connect(received.append)
+    return kernel, channel, received
+
+
+# -- config validation ----------------------------------------------------------
+
+
+def test_reliability_config_validation():
+    with pytest.raises(ConfigurationError):
+        ReliabilityConfig(base_timeout=0.0)
+    with pytest.raises(ConfigurationError):
+        ReliabilityConfig(backoff=0.5)
+    with pytest.raises(ConfigurationError):
+        ReliabilityConfig(max_timeout=1.0, base_timeout=2.0)
+    with pytest.raises(ConfigurationError):
+        ReliabilityConfig(jitter=2.0)
+    with pytest.raises(ConfigurationError):
+        ReliabilityConfig(max_retries=-1)
+
+
+def test_backoff_schedule_is_capped_and_jittered():
+    config = ReliabilityConfig(base_timeout=4.0, backoff=2.0,
+                               max_timeout=64.0, jitter=0.25)
+    rng = random.Random(0)
+    for attempts in range(10):
+        timeout = config.timeout_for(attempts, rng)
+        bare = min(4.0 * 2.0 ** attempts, 64.0)
+        assert bare <= timeout <= bare * 1.25
+
+
+# -- exactly-once, in-order delivery -------------------------------------------
+
+
+@pytest.mark.parametrize("spec", [
+    ChannelFaultSpec(loss=0.5),
+    ChannelFaultSpec(duplicate=0.4),
+    ChannelFaultSpec(reorder=0.5),
+    ChannelFaultSpec(loss=0.3, duplicate=0.2, reorder=0.3),
+    ChannelFaultSpec(loss=0.3, ack_loss=0.5),
+])
+def test_exactly_once_in_order_under_faults(spec):
+    kernel, channel, received = make_channel(spec=spec, seed=11)
+    for index in range(30):
+        channel.send(MessageKind.USER, index)
+    kernel.run()
+    assert [env.payload for env in received] == list(range(30))
+    assert channel.stats.delivered == 30
+    assert channel.stats.dropped == 0
+    assert not channel.failed
+    assert channel.unacked_count == 0
+    assert channel.in_flight == []
+
+
+def test_clean_wire_no_retransmits():
+    kernel, channel, received = make_channel(seed=1)
+    for index in range(10):
+        channel.send(MessageKind.USER, index)
+    kernel.run()
+    assert len(received) == 10
+    assert channel.stats.retransmits == 0
+    assert channel.stats.frames_dropped == 0
+    assert channel.stats.acks_sent == 10
+
+
+def test_markers_stay_fifo_with_data():
+    """Lemma 2.2 by construction: a marker sent after data is delivered
+    after that data, whatever the wire does to individual frames."""
+    spec = ChannelFaultSpec(loss=0.4, duplicate=0.3, reorder=0.5)
+    kernel, channel, received = make_channel(spec=spec, seed=23)
+    for index in range(10):
+        channel.send(MessageKind.USER, index)
+    channel.send(MessageKind.HALT_MARKER, "marker")
+    kernel.run()
+    kinds = [env.kind for env in received]
+    assert kinds.index(MessageKind.HALT_MARKER) == 10  # strictly behind data
+
+
+def test_wire_losses_are_recovered_and_counted():
+    kernel, channel, received = make_channel(
+        spec=ChannelFaultSpec(loss=0.5), seed=7)
+    drops = []
+    channel.on_drop = drops.append
+    for index in range(20):
+        channel.send(MessageKind.USER, index)
+    kernel.run()
+    assert len(received) == 20
+    assert channel.stats.frames_dropped > 0
+    assert len(drops) == channel.stats.frames_dropped
+    assert channel.stats.retransmits > 0
+    assert channel.stats.dropped == 0  # nothing permanently lost
+
+
+def test_give_up_on_dead_receiver():
+    kernel, channel, received = make_channel(seed=3)
+    dead = {"dst": False}
+    channel.endpoint_down = lambda side: dead.get(side, False)
+    given_up = []
+    channel.on_give_up = given_up.append
+    dead["dst"] = True
+    for index in range(5):
+        channel.send(MessageKind.USER, index)
+    kernel.run()
+    assert received == []
+    assert channel.failed
+    assert channel.stats.gave_up == 5
+    assert channel.stats.dropped == 5
+    assert len(given_up) == 5
+    assert channel.in_flight == []  # abandoned messages leave the channel
+
+
+def test_dead_sender_stops_retransmitting():
+    kernel, channel, received = make_channel(
+        spec=ChannelFaultSpec(loss=1.0, ack_loss=0.0), seed=4)
+    dead = {"src": False}
+    channel.endpoint_down = lambda side: dead.get(side, False)
+    channel.send(MessageKind.USER, "x")
+    dead["src"] = True
+    kernel.run()
+    assert received == []
+    assert channel.unacked_count == 0  # state released, no infinite retries
+    assert not channel.failed  # a dead sender is not a failed channel
+
+
+def test_stats_invariant_under_faults():
+    spec = ChannelFaultSpec(loss=0.4, duplicate=0.3)
+    kernel, channel, received = make_channel(spec=spec, seed=19)
+    for index in range(25):
+        channel.send(MessageKind.USER, index)
+    kernel.run()
+    stats = channel.stats
+    assert stats.sent == stats.delivered + stats.dropped + len(channel.in_flight)
+    assert stats.mean_latency > 0.0
+
+
+def test_ack_only_losses_do_not_fail_the_channel():
+    """If only acks are lost, every message is delivered; give-ups (ack
+    never came back) must not mark the channel failed or count drops."""
+    config = ReliabilityConfig(base_timeout=2.0, max_retries=2)
+    kernel, channel, received = make_channel(
+        spec=ChannelFaultSpec(ack_loss=1.0), seed=5, config=config)
+    for index in range(5):
+        channel.send(MessageKind.USER, index)
+    kernel.run()
+    assert [env.payload for env in received] == list(range(5))
+    assert channel.stats.gave_up == 5  # retries exhausted on the ack path
+    assert channel.stats.dropped == 0  # ...but nothing was actually lost
+    assert not channel.failed
+    assert channel.stats.duplicates_suppressed > 0
+
+
+# -- raw-channel satellites -----------------------------------------------------
+
+
+def test_raw_channel_rejects_invalid_loss_probability():
+    def build(loss):
+        return Channel(
+            channel_id=ChannelId("a", "b"),
+            kernel=SimulationKernel(),
+            user_rng=random.Random(0),
+            control_rng=random.Random(1),
+            sequences=SequenceGenerator(start=1),
+            loss_probability=loss,
+        )
+
+    for bad in (-0.1, 1.1, 2.0):
+        with pytest.raises(ConfigurationError):
+            build(bad)
+    build(0.0)
+    build(1.0)
+
+
+def test_raw_channel_drop_hook_and_stats_consistent():
+    kernel = SimulationKernel()
+    channel = Channel(
+        channel_id=ChannelId("a", "b"),
+        kernel=kernel,
+        user_rng=random.Random(0),
+        control_rng=random.Random(1),
+        sequences=SequenceGenerator(start=1),
+        loss_probability=0.5,
+        loss_rng=random.Random(2),
+    )
+    received, drops = [], []
+    channel.connect(received.append)
+    channel.on_drop = drops.append
+    for index in range(40):
+        channel.send(MessageKind.USER, index)
+    kernel.run()
+    stats = channel.stats
+    assert stats.dropped > 0
+    assert len(drops) == stats.dropped
+    assert stats.frames_dropped == stats.dropped  # raw wire: loss is final
+    assert stats.sent == stats.delivered + stats.dropped

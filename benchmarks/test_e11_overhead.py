@@ -42,13 +42,13 @@ def breakpoint_run(budget, seed=4):
     return message_overhead(system)
 
 
-def session_run(budget, seed=4):
+def session_run(budget, seed=4, observe=None):
     topo, processes = chatter.build(n=5, budget=budget, seed=seed)
     session = DebugSession(topo, processes, seed=seed,
-                           latency=UniformLatency(0.4, 1.6))
+                           latency=UniformLatency(0.4, 1.6), observe=observe)
     session.set_breakpoint(f"state(sent>={budget // 2})@p2")
-    session.run()
-    return message_overhead(session.system)
+    outcome = session.run()
+    return session, outcome, message_overhead(session.system)
 
 
 def run_sweep(budgets=(10, 20, 40, 80)):
@@ -56,7 +56,7 @@ def run_sweep(budgets=(10, 20, 40, 80)):
     for budget in budgets:
         halt = halting_only(budget)
         lp = breakpoint_run(budget)
-        sess = session_run(budget)
+        _, _, sess = session_run(budget)
         rows.append((
             budget,
             halt.user_messages, halt.control_messages,
@@ -81,3 +81,48 @@ def test_e11_overhead(benchmark):
     assert halt_ratios == sorted(halt_ratios, reverse=True)
     assert halt_ratios[-1] < 0.5
     once(benchmark, halting_only, 20)
+
+
+def test_e11_observability_overhead(benchmark):
+    """The observe layer must not perturb the run it is measuring.
+
+    Pull-style collection reads the runtime's own accounting at collect
+    time, so an observed run and a bare run of the same seed must produce
+    *identical* executions — same kernel event count, same message totals
+    (far stronger than the <5% budget). The live registry must also agree
+    with :func:`message_overhead` on exact per-kind counts, since both
+    read the same channel counters.
+    """
+    import time as _time
+
+    from repro.observe import Observability
+
+    budget = 40
+    t0 = _time.perf_counter()
+    _, bare_outcome, bare = session_run(budget)
+    bare_wall = _time.perf_counter() - t0
+
+    observe = Observability()
+    t0 = _time.perf_counter()
+    session, obs_outcome, observed = session_run(budget, observe=observe)
+    observed_wall = _time.perf_counter() - t0
+
+    # Zero perturbation: the observed execution is the bare execution.
+    assert obs_outcome.events_executed == bare_outcome.events_executed
+    assert observed.by_kind == bare.by_kind
+
+    # Exact agreement: registry counters == analysis.metrics.message_overhead.
+    sent = session.observe.metrics.snapshot()["messages_sent_total"]
+    registry_by_kind = {dict(labels)["kind"]: int(v) for labels, v in sent.items()}
+    for kind, count in observed.by_kind.items():
+        assert registry_by_kind.get(kind, 0) == count, (kind, registry_by_kind)
+
+    ratio = observed_wall / max(bare_wall, 1e-9)
+    emit(
+        "e11_observe_overhead",
+        "E11b — observability layer perturbation (pull collectors)",
+        ["budget", "events bare", "events observed", "wall ratio"],
+        [(budget, bare_outcome.events_executed,
+          obs_outcome.events_executed, round(ratio, 2))],
+    )
+    once(benchmark, session_run, budget)

@@ -27,13 +27,14 @@ from repro.faults.plan import FaultPlan
 from repro.network.latency import UniformLatency
 
 
-def halt_run(loss, reliable, seed=16):
+def halt_run(loss, reliable, seed=16, observe=None):
     topology, processes = build_workload("token_ring", n=4,
                                          max_hops=600, hold_time=0.5)
     plan = FaultPlan.lossy(loss, seed=seed) if loss > 0.0 else None
     session = DebugSession(topology, processes, seed=seed,
                            latency=UniformLatency(0.4, 1.6),
-                           fault_plan=plan, reliable=reliable)
+                           fault_plan=plan, reliable=reliable,
+                           observe=observe)
     session.system.run(until=20.0)
     halt_started = session.system.kernel.now
     session.halt()
@@ -93,3 +94,45 @@ def test_e16_fault_overhead(benchmark):
     assert rtx_ratios == sorted(rtx_ratios)
     assert rtx_ratios[-1] < 3.0
     once(benchmark, halt_run, 0.2, True)
+
+
+def test_e16_live_metrics_agree(benchmark):
+    """The live registry prices the same purchase as the channel stats.
+
+    An observed run at 20% loss: every transport counter exposed through
+    :mod:`repro.observe` (retransmits, acks, frame drops, deliveries) must
+    equal the sum over ``channel.stats`` — they are the same accounting,
+    read through two surfaces. The tracer must also have recorded
+    retransmission episodes whenever retransmits happened.
+    """
+    from repro.observe import Observability
+
+    observe = Observability()
+    run = halt_run(0.2, reliable=True, observe=observe)
+    assert run["stopped"]
+
+    snap = observe.metrics.snapshot()
+
+    def total(family):
+        return sum(int(v) for v in snap.get(family, {}).values())
+
+    assert total("channel_retransmits_total") == run["retransmits"]
+    assert total("channel_frames_dropped_total") == run["frames_dropped"]
+    assert total("channel_messages_delivered_total") == run["delivered"]
+    acks_sent = sum(
+        int(v) for labels, v in snap["channel_acks_total"].items()
+        if dict(labels)["result"] == "sent"
+    )
+    assert acks_sent == run["acks"]
+
+    episodes = observe.tracer.spans("retransmission")
+    if run["retransmits"]:
+        assert episodes, "retransmits occurred but no episode spans recorded"
+    emit(
+        "e16_live_metrics",
+        "E16b — live registry vs channel.stats (20% loss, reliable)",
+        ["retransmits", "acks", "frames lost", "episodes traced"],
+        [(run["retransmits"], run["acks"], run["frames_dropped"],
+          len(episodes))],
+    )
+    once(benchmark, halt_run, 0.0, True)

@@ -7,16 +7,23 @@ Four branches wire money to each other. We attach the paper's debugger
 global state: the balances plus the wires caught in flight always sum to
 the initial total. Try doing that by stopping processes one at a time.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [trace.json]
+
+With a path argument, the halt is also exported as a Chrome trace_event
+file (open in Perfetto / chrome://tracing) via the observability layer.
 """
 
+import sys
+
 from repro.core.api import attach_debugger
+from repro.observe import Observability
 from repro.workloads import bank
 
 
 def main() -> None:
     topology, processes = bank.build(n=4, transfers=30)
-    session = attach_debugger(topology, processes, seed=42)
+    session = attach_debugger(topology, processes, seed=42,
+                              observe=Observability())
 
     # Halt the whole computation the moment branch0's balance drops below
     # 600 — a Simple Predicate on one process's state (§3.2).
@@ -49,6 +56,20 @@ def main() -> None:
     print(f"wires in flight : {in_flight}")
     print(f"audit           : {total} == {4 * bank.INITIAL_BALANCE}  "
           f"({'CONSISTENT' if total == 4 * bank.INITIAL_BALANCE else 'LOST MONEY!'})")
+
+    # The observability layer watched the whole thing: its live counters
+    # agree with the offline analysis exactly (same counters, two readers).
+    from repro.analysis import message_overhead
+
+    sent = session.observe.metrics.snapshot()["messages_sent_total"]
+    by_kind = {dict(labels)["kind"]: int(v) for labels, v in sent.items()}
+    overhead = message_overhead(session.system)
+    assert by_kind == dict(overhead.by_kind)
+    print(f"live counters   : {by_kind} (== analysis.message_overhead)")
+    if len(sys.argv) > 1:
+        document = session.chrome_trace(sys.argv[1])
+        print(f"chrome trace    : {len(document['traceEvents'])} events "
+              f"-> {sys.argv[1]}")
 
     # The program is frozen, not dead: resume and let it finish.
     session.resume()

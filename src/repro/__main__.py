@@ -19,6 +19,7 @@ from typing import Any, Dict, List
 
 from repro.core.api import WORKLOADS, attach_debugger, build_workload
 from repro.debugger.cli import DebuggerCLI
+from repro.observe import Observability
 
 
 def parse_value(text: str) -> Any:
@@ -67,13 +68,17 @@ def main(argv: List[str] = None) -> int:
     name, params, seed = parse_args(argv)
     built = build_workload(name, **params)
     # Workloads returning (topo, processes, channel_latencies):
+    # The interactive shell always carries the observability layer: it is
+    # pull-based (zero hot-path cost) and powers metrics/trace/narrative.
     if len(built) == 3:
         topology, processes, latencies = built
         session = attach_debugger(topology, processes, seed=seed,
-                                  channel_latencies=latencies)
+                                  channel_latencies=latencies,
+                                  observe=Observability())
     else:
         topology, processes = built
-        session = attach_debugger(topology, processes, seed=seed)
+        session = attach_debugger(topology, processes, seed=seed,
+                                  observe=Observability())
     print(f"workload: {name} {params or ''} seed={seed}")
     print(f"processes: {', '.join(session.system.user_process_names)}")
     DebuggerCLI(session).repl()

@@ -52,6 +52,9 @@ class DebuggerCLI:
             "hits": self._cmd_hits,
             "diagram": self._cmd_diagram,
             "stats": self._cmd_stats,
+            "metrics": self._cmd_metrics,
+            "trace": self._cmd_trace,
+            "narrative": self._cmd_narrative,
             "report": self._cmd_report,
             "save": self._cmd_save,
             "quit": self._cmd_quit,
@@ -119,6 +122,9 @@ class DebuggerCLI:
             "hits                breakpoint completions seen so far",
             "diagram [t0 t1]     space-time diagram (message traffic view)",
             "stats               causal statistics of the recorded execution",
+            "metrics             live metrics registry, Prometheus text format",
+            "trace <path>        write spans as a Chrome trace_event JSON file",
+            "narrative           the latest halt, §2.2.4 order, as readable prose",
             "report              full post-mortem report (requires full halt)",
             "save <path>         write the halted global state S_h to JSON",
             "quit                leave the debugger",
@@ -298,14 +304,50 @@ class DebuggerCLI:
         try:
             stats = compute_order_stats(self.session.system.log)
         except AnalysisError as exc:
-            return summary + f"\n(order stats skipped: {exc})"
+            return summary + f"\n(order stats skipped: {exc})" + self._live_metrics_tail()
         return (
             summary
             + f"\nconcurrency ratio : {stats.concurrency_ratio:.2f}"
             + f"\ncritical path     : {stats.critical_path_length} events"
             + f"\nmessage depth     : {stats.message_depth} hops"
             + f"\nmean parallelism  : {stats.parallelism:.2f}"
+            + self._live_metrics_tail()
         )
+
+    def _live_metrics_tail(self) -> str:
+        """Per-kind message counters from the live registry, when attached."""
+        observe = getattr(self.session, "observe", None)
+        if observe is None:
+            return ""
+        sent = observe.metrics.snapshot().get("messages_sent_total", {})
+        if not sent:
+            return ""
+        parts = ", ".join(
+            f"{dict(labels).get('kind', '?')}={int(value)}"
+            for labels, value in sorted(sent.items())
+        )
+        return f"\nlive counters     : sent {parts}"
+
+    def _cmd_metrics(self, args: List[str]) -> str:
+        if getattr(self.session, "observe", None) is None:
+            return ("no observability attached — construct the session with "
+                    "observe=Observability()")
+        return self.session.metrics_text().rstrip("\n")
+
+    def _cmd_trace(self, args: List[str]) -> str:
+        if len(args) != 1:
+            return "usage: trace <path>"
+        if getattr(self.session, "observe", None) is None:
+            return ("no observability attached — construct the session with "
+                    "observe=Observability()")
+        document = self.session.chrome_trace(args[0])
+        return (
+            f"wrote {len(document['traceEvents'])} trace events to {args[0]} "
+            f"(load in Perfetto / chrome://tracing)"
+        )
+
+    def _cmd_narrative(self, args: List[str]) -> str:
+        return self.session.halt_narrative()
 
     def _cmd_report(self, args: List[str]) -> str:
         from repro.debugger.report import post_mortem

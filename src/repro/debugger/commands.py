@@ -47,6 +47,8 @@ class WatchCommand:
 
 @dataclass(frozen=True)
 class UnwatchCommand:
+    """Tear down a monitor previously installed by :class:`WatchCommand`."""
+
     watch_id: int
 
 

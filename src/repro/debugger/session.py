@@ -29,7 +29,7 @@ Typical use::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.breakpoints.detector import PredicateAgent
 from repro.breakpoints.parser import parse_conjunctive, parse_predicate
@@ -59,6 +59,9 @@ from repro.runtime.system import System
 from repro.snapshot.state import ChannelState, GlobalState
 from repro.util.errors import HaltingError, PredicateError, ReproError
 from repro.util.ids import ChannelId, ProcessId
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observe.integrate import Observability
 
 
 @dataclass
@@ -92,6 +95,7 @@ class DebugSession:
         fault_plan: Optional[FaultPlan] = None,
         reliability: Optional[ReliabilityConfig] = None,
         reliable: bool = False,
+        observe: Optional["Observability"] = None,
     ) -> None:
         if debugger_name in topology.processes:
             raise ReproError(
@@ -99,6 +103,8 @@ class DebugSession:
                 "pick another debugger_name"
             )
         self.debugger_name = debugger_name
+        #: Optional live metrics/tracing hub (see :mod:`repro.observe`).
+        self.observe = observe
         extended = topology.with_debugger(debugger_name)
         staffed: Dict[ProcessId, Process] = dict(processes)
         self._debugger_shell = DebuggerProcess()
@@ -114,6 +120,7 @@ class DebugSession:
             fault_plan=fault_plan,
             reliability=reliability,
             reliable=reliable,
+            observe=observe,
         )
         self.heartbeats: Optional[HeartbeatMonitor] = None
 
@@ -234,6 +241,8 @@ class DebugSession:
         self._seen_hits = len(self.agent.breakpoint_hits)
         unordered = self.agent.unordered_detections[self._seen_unordered:]
         self._seen_unordered = len(self.agent.unordered_detections)
+        if self.observe is not None:
+            self.observe.sync_session(self)
         return RunOutcome(
             stopped=self.system.all_user_processes_halted(),
             hits=list(hits),
@@ -247,6 +256,9 @@ class DebugSession:
         sending halt markers on its control channel to every user process
         (it increments its own halt generation and never halts itself)."""
         self._halting_agents[self.debugger_name].initiate()
+        if self.observe is not None:
+            # Anchor this generation's convergence span at the initiation.
+            self.observe.note_halt_initiated(self.current_generation())
 
     def resume(self) -> RunOutcome:
         """Resume every halted process and return immediately (call
@@ -356,6 +368,8 @@ class DebugSession:
             # halted and *then* crashed keeps its halted flag but can never
             # report state. Probe everyone before declaring completeness.
             dead = self._probe_dead(names, probe_grace, max_events)
+            if self.observe is not None:
+                self.observe.sync_session(self)
             return PartialHaltReport(
                 generation=self.current_generation(),
                 halted=tuple(n for n in names if n not in dead),
@@ -374,6 +388,8 @@ class DebugSession:
         unresolved = tuple(
             n for n in names if n not in halted and n not in dead
         )
+        if self.observe is not None:
+            self.observe.sync_session(self)
         return PartialHaltReport(
             generation=self.current_generation(),
             halted=halted,
@@ -485,3 +501,41 @@ class DebugSession:
                 f"  {notification.process} halted at t={notification.time:.3f} via {via}"
             )
         return "\n".join(lines)
+
+    # -- observability exports (require observe=Observability()) ---------------
+
+    def _require_observe(self):
+        if self.observe is None:
+            raise ReproError(
+                "session has no observability attached; construct it with "
+                "DebugSession(..., observe=Observability())"
+            )
+        return self.observe
+
+    def chrome_trace(self, path: Optional[str] = None) -> Dict[str, object]:
+        """Export recorded spans as a Chrome ``trace_event`` document
+        (validated; written to ``path`` when given)."""
+        from repro.observe.export import chrome_trace, write_chrome_trace
+
+        observe = self._require_observe()
+        observe.sync_session(self)
+        if path is not None:
+            return write_chrome_trace(observe, path)
+        return chrome_trace(observe)
+
+    def metrics_text(self) -> str:
+        """Prometheus-style text dump of the live metrics registry."""
+        from repro.observe.export import prometheus_text
+
+        observe = self._require_observe()
+        observe.sync_session(self)
+        return prometheus_text(observe.metrics)
+
+    def halt_narrative(self) -> str:
+        """§2.2.4's halting order as a human-readable account (works with
+        or without an attached observability hub)."""
+        from repro.observe.narrative import halt_narrative
+
+        if self.observe is not None:
+            self.observe.sync_session(self)
+        return halt_narrative(self)

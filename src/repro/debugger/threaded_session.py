@@ -16,7 +16,7 @@ debugger's own thread) and read only append-only notification lists.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Mapping, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.breakpoints.detector import PredicateAgent
 from repro.breakpoints.parser import parse_predicate
@@ -38,6 +38,9 @@ from repro.runtime.threaded import ThreadedSystem
 from repro.util.errors import HaltingError, PredicateError, ReproError
 from repro.util.ids import ProcessId
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observe.integrate import Observability
+
 
 class ThreadedDebugSession:
     """Interactive debugging over a thread-per-process system."""
@@ -53,10 +56,13 @@ class ThreadedDebugSession:
         fault_plan: Optional[FaultPlan] = None,
         reliability: Optional[ReliabilityConfig] = None,
         reliable: bool = False,
+        observe: Optional["Observability"] = None,
     ) -> None:
         if debugger_name in topology.processes:
             raise ReproError(f"user topology already contains {debugger_name!r}")
         self.debugger_name = debugger_name
+        #: Optional live metrics/tracing hub (see :mod:`repro.observe`).
+        self.observe = observe
         extended = topology.with_debugger(debugger_name)
         staffed: Dict[ProcessId, Process] = dict(processes)
         staffed[debugger_name] = DebuggerProcess()
@@ -67,6 +73,7 @@ class ThreadedDebugSession:
             fault_plan=fault_plan,
             reliability=reliability,
             reliable=reliable,
+            observe=observe,
         )
         self._halting_agents: Dict[ProcessId, HaltingAgent] = {}
         self._predicate_agents: Dict[ProcessId, PredicateAgent] = {}
@@ -144,7 +151,10 @@ class ThreadedDebugSession:
         if not self.system.run_until(self.system.all_user_processes_halted,
                                      timeout=timeout):
             return False
-        return self.system.settle(timeout=timeout)
+        settled = self.system.settle(timeout=timeout)
+        if self.observe is not None:
+            self.observe.sync_session(self)
+        return settled
 
     def wait_quiet(self, timeout: float = 30.0) -> bool:
         """Wait for quiescence regardless of halting (program finished or
@@ -185,6 +195,8 @@ class ThreadedDebugSession:
             # A process may have halted and *then* crashed — its halted
             # flag survives but it can never answer. Probe everyone.
             dead = self._probe_dead(names, probe_grace)
+            if self.observe is not None:
+                self.observe.sync_session(self)
             return PartialHaltReport(
                 generation=generation(),
                 halted=tuple(n for n in names if n not in dead),
@@ -201,6 +213,8 @@ class ThreadedDebugSession:
         unresolved = tuple(
             n for n in names if n not in halted and n not in dead
         )
+        if self.observe is not None:
+            self.observe.sync_session(self)
         return PartialHaltReport(
             generation=generation(),
             halted=halted,
@@ -278,3 +292,39 @@ class ThreadedDebugSession:
 
     def breakpoint_hits(self):
         return list(self.agent.breakpoint_hits)
+
+    # -- observability exports (require observe=Observability()) ----------------
+
+    def _require_observe(self):
+        if self.observe is None:
+            raise ReproError(
+                "session has no observability attached; construct it with "
+                "ThreadedDebugSession(..., observe=Observability())"
+            )
+        return self.observe
+
+    def chrome_trace(self, path: Optional[str] = None) -> Dict[str, object]:
+        """Export recorded spans as a validated Chrome trace document."""
+        from repro.observe.export import chrome_trace, write_chrome_trace
+
+        observe = self._require_observe()
+        observe.sync_session(self)
+        if path is not None:
+            return write_chrome_trace(observe, path)
+        return chrome_trace(observe)
+
+    def metrics_text(self) -> str:
+        """Prometheus-style text dump of the live metrics registry."""
+        from repro.observe.export import prometheus_text
+
+        observe = self._require_observe()
+        observe.sync_session(self)
+        return prometheus_text(observe.metrics)
+
+    def halt_narrative(self) -> str:
+        """§2.2.4's halting order as readable text."""
+        from repro.observe.narrative import halt_narrative
+
+        if self.observe is not None:
+            self.observe.sync_session(self)
+        return halt_narrative(self)

@@ -31,11 +31,21 @@ from repro.util.validation import require
 class ChannelStats:
     """Per-channel traffic accounting used by the overhead experiments.
 
+    One definition across every channel implementation (raw DES, reliable
+    DES, threaded raw/reliable):
+
+    * ``frames_dropped`` counts *wire-eaten frame copies* — every time the
+      wire eats one transmitted frame, duplicated or not, recovered later
+      or not, this increments by one;
+    * ``dropped`` / ``dropped_by_kind`` count *logical messages permanently
+      lost* to the application — on a raw channel that means every copy of
+      the message was eaten; on a reliable one, that retransmission gave
+      up.
+
     Invariant (per logical message): ``sent == delivered + dropped +
-    in-flight``. ``dropped`` counts messages *permanently* lost to the
-    application; with the reliable layer, wire losses show up in
-    ``frames_dropped`` (and are recovered), and ``dropped`` only grows when
-    retransmission gives up.
+    in-flight``. :func:`repro.analysis.metrics.message_overhead` and the
+    live metrics registry both read these counters, so the two views agree
+    by construction.
     """
 
     __slots__ = (
@@ -88,10 +98,11 @@ class ChannelStats:
         return self.total_latency / self.delivered if self.delivered else 0.0
 
     def record_drop(self, kind: MessageKind) -> None:
-        """One message permanently lost: keep every view consistent."""
+        """One logical message permanently lost. Wire-level frame losses
+        are accounted separately (``frames_dropped``) by the caller, which
+        knows how many frame copies the wire ate."""
         self.dropped += 1
         self.dropped_by_kind[kind] += 1
-        self.frames_dropped += 1
 
 
 class Channel:
@@ -175,24 +186,31 @@ class Channel:
         )
         self.stats.sent += 1
         self.stats.sent_by_kind[kind] += 1
-        if self._dropped(kind):
-            # A raw channel recovers nothing: the message is gone for good.
-            # Stats stay consistent (sent == delivered + dropped + in-flight)
-            # and the drop is surfaced to the event log via on_drop.
-            self.stats.record_drop(kind)
-            if self.on_drop is not None:
-                self.on_drop(envelope)
-            return envelope
         copies = 1
         extra_delay = 0.0
         if self._injector is not None:
             copies += self._injector.duplicates(kind.is_user)
             extra_delay = self._injector.extra_delay(kind.is_user)
+        survivors = 0
         for _ in range(copies):
+            if self._copy_dropped(kind):
+                # The wire ate this frame copy; surface it to traces.
+                self.stats.frames_dropped += 1
+                if self.on_drop is not None:
+                    self.on_drop(envelope)
+                continue
+            survivors += 1
             self._schedule_arrival(envelope, kind, extra_delay)
+        if survivors == 0:
+            # A raw channel recovers nothing: every copy gone means the
+            # message is lost for good (sent == delivered + dropped +
+            # in-flight stays true).
+            self.stats.record_drop(kind)
         return envelope
 
-    def _dropped(self, kind: MessageKind) -> bool:
+    def _copy_dropped(self, kind: MessageKind) -> bool:
+        """Does the wire eat this frame copy? (Decided per copy, matching
+        the reliable and threaded transports.)"""
         if (
             self._loss_probability > 0.0
             and self._loss_rng.random() < self._loss_probability

@@ -130,6 +130,11 @@ class ReliableChannel:
         #: Called with the envelope when retransmission gives up on an
         #: undelivered message (the channel is failed at that point).
         self.on_give_up: Optional[Callable[[Envelope], None]] = None
+        #: Observability hooks: ``on_retransmit(rseq, envelope, attempts)``
+        #: after each retransmitted frame, ``on_recovered(rseq, envelope,
+        #: attempts)`` when an ack clears a message that needed retries.
+        self.on_retransmit: Optional[Callable[[int, Envelope, int], None]] = None
+        self.on_recovered: Optional[Callable[[int, Envelope, int], None]] = None
         self.stats = ChannelStats()
         #: True once an undelivered message exhausted its retries.
         self.failed = False
@@ -254,6 +259,8 @@ class ReliableChannel:
             pending = self._unacked.pop(rseq)
             if pending.retry_handle is not None:
                 self._kernel.cancel(pending.retry_handle)
+            if pending.attempts > 0 and self.on_recovered is not None:
+                self.on_recovered(rseq, pending.envelope, pending.attempts)
 
     # -- retransmission ----------------------------------------------------------
 
@@ -282,6 +289,8 @@ class ReliableChannel:
             self._give_up(rseq, pending)
             return
         self.stats.retransmits += 1
+        if self.on_retransmit is not None:
+            self.on_retransmit(rseq, pending.envelope, pending.attempts)
         self._transmit(rseq)
         self._arm_retry(rseq)
 

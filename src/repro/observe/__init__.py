@@ -1,0 +1,51 @@
+"""Live observability: metrics, trace spans, and exporters (stdlib-only).
+
+The paper's instrumentation claims — §2.2.4's halting order, §4's message
+overhead — are *observability* claims. This package makes them visible
+while the system runs instead of post-hoc:
+
+* :mod:`repro.observe.metrics` — a registry of counters, gauges, and
+  histograms with labeled series; channel and process series are *pulled*
+  from the runtime's existing accounting at collection time, so an
+  attached-but-idle registry costs the hot path nothing;
+* :mod:`repro.observe.spans` — structured trace spans (halt convergence,
+  snapshot recording, predicate-marker hops, retransmission episodes),
+  each carrying vector-clock context so spans order causally;
+* :mod:`repro.observe.export` — Chrome ``trace_event`` JSON (loadable in
+  Perfetto / ``about:tracing``) and Prometheus-style text exposition;
+* :mod:`repro.observe.narrative` — renders the halting order and spans as
+  a human-readable account of who halted when and why;
+* :mod:`repro.observe.integrate` — the :class:`Observability` container
+  that wires all of the above into a ``System`` / ``ThreadedSystem``.
+
+Observability is **off by default**: every runtime object takes
+``observe=None`` and guards each hook with a single ``is not None`` check,
+so the disabled path adds no messages, no kernel events, and no
+measurable overhead (benchmark E11 asserts this).
+"""
+
+from repro.observe.export import (
+    chrome_trace,
+    prometheus_text,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.observe.integrate import Observability
+from repro.observe.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.observe.narrative import halt_narrative
+from repro.observe.spans import Span, SpanTracer
+
+__all__ = [
+    "Observability",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Span",
+    "SpanTracer",
+    "chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "prometheus_text",
+    "halt_narrative",
+]

@@ -1,0 +1,214 @@
+"""Exporters: Chrome ``trace_event`` JSON and Prometheus text exposition.
+
+The Chrome format is the JSON Array/Object format documented for
+``about:tracing`` / Perfetto: a ``traceEvents`` list of phase-tagged
+events. Spans become complete events (``"ph": "X"``) with microsecond
+``ts``/``dur``, one ``pid`` per process (plus pid 0 for system-wide
+spans), and ``args`` carrying the span attributes and vector-clock
+context. Metadata events (``"ph": "M"``) name the processes, so the
+Perfetto track names read ``branch0``, ``branch1``, … instead of numbers.
+
+The Prometheus exporter renders the registry in the text exposition
+format (``# HELP`` / ``# TYPE`` plus one line per labeled series;
+histograms as ``_bucket``/``_sum``/``_count``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.observe.metrics import HistogramValue, MetricsRegistry
+from repro.observe.spans import SpanTracer
+from repro.util.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observe.integrate import Observability
+
+#: Conventional category for Perfetto's track-sorting metadata.
+_SYSTEM_PID_NAME = "system"
+
+
+class ExportError(ReproError):
+    """A trace document failed schema validation."""
+
+
+def _json_safe(value: object) -> object:
+    """Coerce span attrs to JSON-serializable values (repr as last resort)."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return repr(value)
+
+
+def chrome_trace(observe: "Observability") -> Dict[str, object]:
+    """Render every recorded span as a Chrome ``trace_event`` document.
+
+    Events are emitted in causal order (vector clocks break wall-clock
+    ties); Perfetto re-sorts by ``ts`` for display, but the ``args``
+    carry each span's vector so the causal story survives the export.
+    """
+    tracer = observe.tracer
+    pids: Dict[str, int] = {_SYSTEM_PID_NAME: 0}
+    events: List[Dict[str, object]] = []
+    for span in tracer.causal_order():
+        process = span.process or _SYSTEM_PID_NAME
+        pid = pids.setdefault(process, len(pids))
+        args: Dict[str, object] = {
+            str(key): _json_safe(value) for key, value in span.attrs.items()
+        }
+        if span.vector is not None:
+            args["vector"] = list(span.vector)
+            if span.vector_index is not None:
+                args["vector_index"] = span.vector_index
+        event: Dict[str, object] = {
+            "name": span.name,
+            "cat": span.category,
+            "ts": round(span.start * 1_000_000, 3),
+            "pid": pid,
+            "tid": 0,
+            "args": args,
+        }
+        if span.duration == 0:
+            # Zero-length lifecycles (a process freezing, a state recording)
+            # render as instant markers, not invisible zero-width slices.
+            event["ph"] = "i"
+            event["s"] = "t"
+        else:
+            event["ph"] = "X"
+            event["dur"] = round(span.duration * 1_000_000, 3)
+        events.append(event)
+    metadata = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": process},
+        }
+        for process, pid in pids.items()
+    ]
+    return {
+        "traceEvents": metadata + events,
+        "displayTimeUnit": "ms",
+        "otherData": {"exporter": "repro.observe", "spanCount": len(events)},
+    }
+
+
+def validate_chrome_trace(document: Dict[str, object]) -> None:
+    """Check a document against the ``trace_event`` schema essentials.
+
+    Raises :class:`ExportError` naming the first violation; returns None
+    on success. The checks mirror what ``about:tracing`` requires to load
+    a file at all: a ``traceEvents`` array whose entries carry ``ph``,
+    ``pid``, ``tid``, ``ts`` (and ``name``/``dur`` where the phase needs
+    them), all JSON-serializable with finite numbers.
+    """
+    if not isinstance(document, dict):
+        raise ExportError(f"trace document must be an object, got {type(document)}")
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        raise ExportError("trace document lacks a 'traceEvents' array")
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ExportError(f"traceEvents[{index}] is not an object")
+        phase = event.get("ph")
+        if phase not in {"X", "B", "E", "i", "I", "M", "C"}:
+            raise ExportError(f"traceEvents[{index}] has unknown phase {phase!r}")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                raise ExportError(f"traceEvents[{index}] lacks integer {key!r}")
+        if phase != "M":
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or not math.isfinite(ts):
+                raise ExportError(f"traceEvents[{index}] lacks finite 'ts'")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or not math.isfinite(dur) or dur < 0:
+                raise ExportError(f"traceEvents[{index}] lacks finite 'dur' >= 0")
+        if not isinstance(event.get("name"), str):
+            raise ExportError(f"traceEvents[{index}] lacks a string 'name'")
+    try:
+        json.dumps(document)
+    except (TypeError, ValueError) as exc:
+        raise ExportError(f"trace document is not JSON-serializable: {exc}") from exc
+
+
+def write_chrome_trace(observe: "Observability", path: str) -> Dict[str, object]:
+    """Validate and write the Chrome trace to ``path``; returns the doc."""
+    document = chrome_trace(observe)
+    validate_chrome_trace(document)
+    with open(path, "w", encoding="utf-8") as fp:
+        json.dump(document, fp, indent=1)
+    return document
+
+
+# -- Prometheus text exposition ---------------------------------------------------
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def _render_labels(pairs) -> str:
+    if not pairs:
+        return ""
+    body = ",".join(f'{key}="{value}"' for key, value in pairs)
+    return "{" + body + "}"
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Collect and render the registry in Prometheus' text format."""
+    registry.collect()
+    lines: List[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for labels, value in sorted(family.series().items()):
+            if isinstance(value, HistogramValue):
+                cumulative = 0
+                for bound, count in zip(value.buckets, value.counts):
+                    cumulative = count
+                    bucket_labels = labels + (("le", _format_value(bound)),)
+                    lines.append(
+                        f"{family.name}_bucket{_render_labels(bucket_labels)}"
+                        f" {cumulative}"
+                    )
+                lines.append(
+                    f"{family.name}_sum{_render_labels(labels)}"
+                    f" {_format_value(value.sum)}"
+                )
+                lines.append(
+                    f"{family.name}_count{_render_labels(labels)} {value.count}"
+                )
+            else:
+                lines.append(
+                    f"{family.name}{_render_labels(labels)}"
+                    f" {_format_value(float(value))}"  # type: ignore[arg-type]
+                )
+    return "\n".join(lines) + "\n"
+
+
+def metrics_dict(registry: MetricsRegistry) -> Dict[str, Dict[str, float]]:
+    """Collect and flatten scalar families into ``{name: {labels: value}}``
+    with Prometheus-style label strings as keys — the programmatic twin of
+    :func:`prometheus_text`, used by the benchmarks."""
+    registry.collect()
+    flat: Dict[str, Dict[str, float]] = {}
+    for family in registry.families():
+        series: Dict[str, float] = {}
+        for labels, value in family.series().items():
+            if isinstance(value, HistogramValue):
+                continue
+            series[_render_labels(labels)] = float(value)  # type: ignore[arg-type]
+        flat[family.name] = series
+    return flat

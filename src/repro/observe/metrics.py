@@ -1,0 +1,211 @@
+"""A small, stdlib-only metrics registry (counters, gauges, histograms).
+
+Design: series are *labeled* (``counter.inc(channel="p0->p1", kind="user")``)
+and most runtime series are **pulled**, not pushed — a collector callback
+registered with the registry reads the runtime's existing accounting
+(``ChannelStats``, controller event counters) at collection time. The hot
+path therefore pays nothing for an attached registry; only exporting costs
+anything, and only when asked.
+
+Thread-safety: one lock per registry guards every series mutation, so the
+threaded backend's forwarder and process threads can feed the same
+registry the DES backend uses single-threaded.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Default histogram buckets — latencies here are virtual-time units (DES)
+#: or seconds (threaded), both of order 1, so a decade around 1 suffices.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, float("inf")
+)
+
+
+def _label_key(labels: Mapping[str, object]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Family:
+    """Base of one named metric family holding its labeled series."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, lock: threading.Lock) -> None:
+        self.name = name
+        self.help = help_text
+        self._lock = lock
+        self._series: Dict[LabelKey, object] = {}
+
+    def series(self) -> Dict[LabelKey, object]:
+        """Snapshot of every labeled series' current value."""
+        with self._lock:
+            return dict(self._series)
+
+    def clear(self) -> None:
+        """Drop every series (used by pull-style collectors that rebuild)."""
+        with self._lock:
+            self._series.clear()
+
+
+class Counter(_Family):
+    """A monotonically increasing count, one value per label set.
+
+    Pull-style collectors mirror an external monotonic count with
+    :meth:`set_total`; push-style callers use :meth:`inc`.
+    """
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1, **labels: object) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0) + amount
+
+    def set_total(self, value: float, **labels: object) -> None:
+        """Overwrite the series with an externally tracked total."""
+        with self._lock:
+            self._series[_label_key(labels)] = value
+
+    def value(self, **labels: object) -> float:
+        with self._lock:
+            return self._series.get(_label_key(labels), 0)  # type: ignore[return-value]
+
+
+class Gauge(_Family):
+    """A value that can go up and down (rates, in-flight counts)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: object) -> None:
+        with self._lock:
+            self._series[_label_key(labels)] = value
+
+    def value(self, **labels: object) -> float:
+        with self._lock:
+            return self._series.get(_label_key(labels), 0.0)  # type: ignore[return-value]
+
+
+class HistogramValue:
+    """The state of one histogram series: bucket counts, sum, count."""
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: Sequence[float]) -> None:
+        self.buckets = tuple(buckets)
+        self.counts = [0] * len(self.buckets)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class Histogram(_Family):
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help_text: str, lock: threading.Lock,
+                 buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        super().__init__(name, help_text, lock)
+        self.buckets = tuple(buckets)
+        if self.buckets[-1] != float("inf"):
+            self.buckets = self.buckets + (float("inf"),)
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = HistogramValue(self.buckets)
+            series.observe(value)  # type: ignore[union-attr]
+
+    def set_from(self, values: Iterable[float], **labels: object) -> None:
+        """Rebuild one series from a full value list (pull-style: derived
+        from spans at collection time, so repeated collections are
+        idempotent instead of double-counting)."""
+        series = HistogramValue(self.buckets)
+        for value in values:
+            series.observe(value)
+        with self._lock:
+            self._series[_label_key(labels)] = series
+
+    def value(self, **labels: object) -> Optional[HistogramValue]:
+        with self._lock:
+            return self._series.get(_label_key(labels))  # type: ignore[return-value]
+
+
+class MetricsRegistry:
+    """Named metric families plus the collectors that feed the pulled ones.
+
+    ``collect()`` runs every registered collector (each reads some runtime
+    object and overwrites its families' series), then the exporters render
+    whatever the families hold. Families are created idempotently:
+    requesting an existing name returns the existing family.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: Dict[str, _Family] = {}
+        self._collectors: List[Callable[[], None]] = []
+
+    # -- family creation ------------------------------------------------------
+
+    def _family(self, cls, name: str, help_text: str, **kwargs) -> _Family:
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = cls(name, help_text, self._lock, **kwargs)
+                self._families[name] = family
+            elif not isinstance(family, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {family.kind}"
+                )
+            return family
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        return self._family(Counter, name, help_text)  # type: ignore[return-value]
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        return self._family(Gauge, name, help_text)  # type: ignore[return-value]
+
+    def histogram(self, name: str, help_text: str = "",
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._family(Histogram, name, help_text, buckets=buckets)  # type: ignore[return-value]
+
+    # -- collection -----------------------------------------------------------
+
+    def add_collector(self, collector: Callable[[], None]) -> None:
+        """Register a callback run at the start of every :meth:`collect`."""
+        with self._lock:
+            self._collectors.append(collector)
+
+    def collect(self) -> None:
+        """Run every collector so pulled series reflect the runtime now."""
+        with self._lock:
+            collectors = list(self._collectors)
+        for collector in collectors:
+            collector()
+
+    def families(self) -> Tuple[_Family, ...]:
+        with self._lock:
+            return tuple(self._families[name] for name in sorted(self._families))
+
+    def snapshot(self) -> Dict[str, Dict[LabelKey, object]]:
+        """Collect, then return ``{family: {labelkey: value}}`` for tests
+        and programmatic reads."""
+        self.collect()
+        return {family.name: family.series() for family in self.families()}

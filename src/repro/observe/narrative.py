@@ -1,0 +1,110 @@
+"""The halt narrative: §2.2.4's halting order rendered as prose.
+
+The paper argues the halting order itself is debugging information: "the
+order in which processes are halted … indicates the progress of the halt"
+and each halt marker carries the path of already-halted processes it
+travelled through. This module turns the debugger's halt notifications
+(plus trace spans, when an :class:`~repro.observe.integrate.Observability`
+is attached) into a human-readable account of who halted when, via whom,
+and why.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+def _session_now(session) -> float:
+    """Current time of either backend (virtual or wall-since-start)."""
+    kernel = getattr(session.system, "kernel", None)
+    if kernel is not None:
+        return kernel.now
+    return session.system.now
+
+
+def halt_narrative(session) -> str:
+    """Render the latest halt of a debug session as readable text.
+
+    Works on both :class:`~repro.debugger.session.DebugSession` and
+    :class:`~repro.debugger.threaded_session.ThreadedDebugSession`; when
+    the session carries an ``observe`` layer the narrative is enriched
+    with span timings (halt convergence latency, breakpoint marker hops).
+    """
+    agent = session.agent
+    notifications = agent.halting_order()
+    lines: List[str] = []
+    if not notifications:
+        return "No process has reported halting yet."
+    generation = max(n.halt_id for n in notifications)
+    current = [n for n in notifications if n.halt_id == generation]
+    first = min(n.time for n in current)
+    last = max(n.time for n in current)
+    lines.append(
+        f"Halt generation {generation}: {len(current)} processes froze "
+        f"between t={first:.3f} and t={last:.3f} "
+        f"(convergence took {last - first:.3f} time units)."
+    )
+    hits = [h for h in getattr(agent, "breakpoint_hits", [])]
+    if hits:
+        hit = hits[-1]
+        trail = hit.marker.trail
+        stages = " -> ".join(s.term for s in trail) or str(hit.marker.residual)
+        lines.append(
+            f"Cause: breakpoint lp#{hit.marker.lp_id} completed at "
+            f"{hit.process} (t={hit.time:.3f}) after {len(trail)} "
+            f"stage hit(s): {stages}."
+        )
+    else:
+        lines.append(
+            "Cause: an explicit halt initiated by the debugger "
+            f"({session.debugger_name!r})."
+        )
+    lines.append("Halting order (§2.2.4), with each marker's path of "
+                 "already-halted processes:")
+    for rank, notification in enumerate(current, start=1):
+        via = " -> ".join(notification.path)
+        how = (
+            f"marker path {via}" if via
+            else "halted spontaneously (it initiated, or the debugger "
+                 "reached it directly)"
+        )
+        lines.append(
+            f"  {rank}. {notification.process} at t={notification.time:.3f} — {how}"
+        )
+    observe = getattr(session, "observe", None)
+    if observe is not None:
+        retransmissions = observe.tracer.spans("retransmission")
+        if retransmissions:
+            recovered = sum(
+                1 for s in retransmissions
+                if s.attrs.get("outcome") == "recovered"
+            )
+            lines.append(
+                f"While halting, the reliable layer fought the wire: "
+                f"{len(retransmissions)} retransmission episode(s), "
+                f"{recovered} recovered."
+            )
+        snapshots = [
+            s for s in observe.tracer.spans("snapshot")
+            if s.name == "snapshot.record"
+        ]
+        if snapshots:
+            lines.append(
+                f"{len(snapshots)} Chandy-Lamport snapshot(s) recorded "
+                f"alongside, slowest took "
+                f"{max(s.duration for s in snapshots):.3f} time units."
+            )
+    survivors = [
+        n for n in session.system.user_process_names
+        if not session.system.controller(n).halted
+    ]
+    if survivors:
+        lines.append(
+            f"Still running (halt incomplete or degraded): {sorted(survivors)}."
+        )
+    else:
+        lines.append(
+            f"All user processes are frozen; the cut is consistent and "
+            f"inspectable (now t={_session_now(session):.3f})."
+        )
+    return "\n".join(lines)

@@ -1,0 +1,115 @@
+"""Trace spans with vector-clock context.
+
+A :class:`Span` is one lifecycle the paper cares about — a halt spreading
+to convergence, a Chandy-Lamport snapshot recording, a predicate marker
+hopping between linked-predicate stages, a retransmission episode. Spans
+carry the *vector clock* of the event that closed them, so two spans can
+be ordered causally (``happened_before``) rather than by the wall clock —
+which, as §1 insists, proves nothing in a distributed system.
+
+Span times are backend times: virtual time on the DES backend, seconds
+since system start on the threaded one. Within one run they are mutually
+comparable; across backends only the causal order is.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.events.clocks import vector_less
+
+
+@dataclass(frozen=True)
+class Span:
+    """One completed interval of interest, causally stamped."""
+
+    #: What happened, e.g. ``halt.process`` or ``lp.stage``.
+    name: str
+    #: Taxonomy bucket: ``halt`` / ``snapshot`` / ``breakpoint`` /
+    #: ``retransmission`` (see docs/OBSERVABILITY.md).
+    category: str
+    start: float
+    end: float
+    #: Process the span belongs to; None for system-wide spans.
+    process: Optional[str] = None
+    attrs: Dict[str, object] = field(default_factory=dict)
+    #: Vector clock at the event that closed the span, when known.
+    vector: Optional[Tuple[int, ...]] = None
+    vector_index: Optional[int] = None
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.end - self.start)
+
+    def happened_before(self, other: "Span") -> bool:
+        """Causal order where both spans carry vectors; False otherwise."""
+        if self.vector is None or other.vector is None:
+            return False
+        return vector_less(self.vector, other.vector)
+
+
+class SpanTracer:
+    """Collects spans, grouped by category.
+
+    Push-style producers (snapshot completion, retransmission recovery)
+    call :meth:`add` once per occurrence. Derived producers (halt and
+    breakpoint spans, rebuilt from the debugger's notification lists on
+    every sync) call :meth:`replace` with the whole category, which keeps
+    repeated syncs idempotent.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._by_category: Dict[str, List[Span]] = {}
+
+    def add(self, span: Span) -> Span:
+        with self._lock:
+            self._by_category.setdefault(span.category, []).append(span)
+        return span
+
+    def replace(self, category: str, spans: Sequence[Span]) -> None:
+        with self._lock:
+            self._by_category[category] = list(spans)
+
+    def spans(self, category: Optional[str] = None) -> Tuple[Span, ...]:
+        with self._lock:
+            if category is not None:
+                return tuple(self._by_category.get(category, ()))
+            merged: List[Span] = []
+            for name in sorted(self._by_category):
+                merged.extend(self._by_category[name])
+            return tuple(merged)
+
+    def categories(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._by_category))
+
+    def causal_order(self, category: Optional[str] = None) -> Tuple[Span, ...]:
+        """Spans in an order consistent with happened-before.
+
+        Start-time order is the first approximation; a bubble pass then
+        repairs any pair the vector clocks prove inverted (wall clocks can
+        disagree with causality — that disagreement is the paper's opening
+        argument). The pass terminates because happened-before is acyclic.
+        """
+        spans = sorted(
+            self.spans(category), key=lambda s: (s.start, s.end, s.name)
+        )
+        changed = True
+        while changed:
+            changed = False
+            for i in range(len(spans) - 1):
+                if spans[i + 1].happened_before(spans[i]):
+                    spans[i], spans[i + 1] = spans[i + 1], spans[i]
+                    changed = True
+        return tuple(spans)
+
+    def durations(self, category: str, name: Optional[str] = None) -> Tuple[float, ...]:
+        """Span durations of one category (optionally one span name) — the
+        raw material of the derived latency histograms."""
+        return tuple(
+            span.duration for span in self.spans(category)
+            if name is None or span.name == name
+        )

@@ -11,7 +11,7 @@ them. That contract is what turns Theorem 2 into an executable assertion
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.events.clocks import ClockFrame
 from repro.events.event import Event, EventKind
@@ -30,6 +30,9 @@ from repro.simulation.kernel import PRIORITY_INTERNAL, SimulationKernel
 from repro.util.errors import ConfigurationError, FaultError, TopologyError
 from repro.util.ids import ChannelId, ProcessId, SequenceGenerator
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observe.integrate import Observability
+
 
 class System:
     """A runnable distributed program under instrumentation."""
@@ -47,6 +50,7 @@ class System:
         fault_plan: Optional[FaultPlan] = None,
         reliability: Optional[ReliabilityConfig] = None,
         reliable: bool = False,
+        observe: Optional["Observability"] = None,
     ) -> None:
         missing = set(topology.processes) - set(processes)
         if missing:
@@ -55,6 +59,10 @@ class System:
         if extra:
             raise ConfigurationError(f"Process supplied for unknown names {sorted(extra)}")
 
+        #: Optional live-observability hub (metrics + spans). Set before
+        #: channel wiring so every channel — including ones created later
+        #: at runtime — gets its hooks installed.
+        self.observe = observe
         self.topology = topology
         self.seed = seed
         self.capture_states = capture_states
@@ -100,6 +108,9 @@ class System:
         if fault_plan is not None:
             self._schedule_faults(fault_plan)
 
+        if observe is not None:
+            observe.attach_system(self)
+
         self._started = False
 
     # -- channel management -------------------------------------------------
@@ -138,6 +149,8 @@ class System:
         channel.on_drop = self._log_drop
         receiver = self.controllers[channel_id.dst]
         channel.connect(receiver.deliver)
+        if self.observe is not None:
+            self.observe.wire_channel(channel)
         self._channels[channel_id] = channel
         self._out[channel_id.src].append(channel_id)
         self._in[channel_id.dst].append(channel_id)

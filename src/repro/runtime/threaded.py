@@ -21,7 +21,7 @@ import queue
 import random
 import threading
 import time
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.events.clocks import ClockFrame
 from repro.events.event import Event, EventKind
@@ -44,6 +44,9 @@ from repro.util.errors import (
     TopologyError,
 )
 from repro.util.ids import ChannelId, ProcessId, SequenceGenerator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observe.integrate import Observability
 
 _STOP = object()
 
@@ -101,6 +104,11 @@ class ThreadedChannel:
         # Legacy alias (message_totals and older tests read this).
         self.sent_by_kind = self.stats.sent_by_kind
         self.failed = False
+        #: Observability hooks, same contract as ``ReliableChannel``'s:
+        #: invoked outside ``_lock`` (they may re-enter channel state).
+        self.on_retransmit: Optional[Callable[[int, Envelope, int], None]] = None
+        self.on_recovered: Optional[Callable[[int, Envelope, int], None]] = None
+        self.on_give_up: Optional[Callable[[Envelope], None]] = None
         self._lock = threading.Lock()
         self._stopping = False
         # Reliable-mode protocol state (all guarded by _lock).
@@ -240,11 +248,17 @@ class ThreadedChannel:
             return
         if self._system.controller(self.id.src).crashed:
             return  # a dead sender has no transport state to update
+        recovered: List[Tuple[int, Envelope, int]] = []
         with self._lock:
             for rseq in [r for r in self._unacked if r <= cumulative]:
                 pending = self._unacked.pop(rseq)
                 if pending.timer is not None:
                     pending.timer.cancel()
+                if pending.attempts > 0:
+                    recovered.append((rseq, pending.envelope, pending.attempts))
+        if self.on_recovered is not None:
+            for rseq, envelope, attempts in recovered:
+                self.on_recovered(rseq, envelope, attempts)
 
     def _arm_retry(self, rseq: int) -> None:
         assert self._reliability is not None
@@ -262,6 +276,8 @@ class ThreadedChannel:
 
     def _retry_fire(self, rseq: int) -> None:
         assert self._reliability is not None
+        gave_up: Optional[Envelope] = None
+        retransmit = False
         with self._lock:
             pending = self._unacked.get(rseq)
             if pending is None or self._stopping:
@@ -286,9 +302,18 @@ class ThreadedChannel:
                     self.stats.dropped += 1
                     self.stats.dropped_by_kind[pending.envelope.kind] += 1
                     self._system.note_activity(-1)
-                return
-            self.stats.retransmits += 1
-            envelope = pending.envelope
+                    gave_up = pending.envelope
+            else:
+                self.stats.retransmits += 1
+                envelope = pending.envelope
+                attempts = pending.attempts
+                retransmit = True
+        if gave_up is not None and self.on_give_up is not None:
+            self.on_give_up(gave_up)
+        if not retransmit:
+            return
+        if self.on_retransmit is not None:
+            self.on_retransmit(rseq, envelope, attempts)
         self._queue.put((rseq, envelope))
         self._arm_retry(rseq)
 
@@ -770,10 +795,14 @@ class ThreadedSystem:
         fault_plan: Optional[FaultPlan] = None,
         reliability: Optional[ReliabilityConfig] = None,
         reliable: bool = False,
+        observe: Optional["Observability"] = None,
     ) -> None:
         missing = set(topology.processes) - set(processes)
         if missing:
             raise ConfigurationError(f"no Process supplied for {sorted(missing)}")
+        #: Optional live-observability hub (metrics + spans), shared with
+        #: the DES backend's ``System.observe``.
+        self.observe = observe
         self.topology = topology
         self.seed = seed
         self.time_scale = time_scale
@@ -807,6 +836,10 @@ class ThreadedSystem:
             )
             for channel_id in topology.channels
         }
+        if observe is not None:
+            for channel in self._channels.values():
+                observe.wire_channel(channel)
+            observe.attach_system(self)
         self._fault_timers: List[threading.Timer] = []
         if fault_plan is not None:
             self._prepare_faults(fault_plan)

@@ -182,12 +182,27 @@ class SnapshotCoordinator:
 
     def _agent_complete(self, agent: SnapshotAgent) -> None:
         self._complete_agents.add(agent.controller.name)
+        observe = getattr(self.system, "observe", None)
+        if observe is not None and self.is_complete():
+            snapshot_id = agent.snapshot_id
+            records = []
+            for name in self.system.user_process_names:
+                state = self.agents[name].recorded_state
+                if state is None or self.agents[name].snapshot_id != snapshot_id:
+                    continue
+                records.append(
+                    (name, state.time, state.vector, state.vector_index)
+                )
+            observe.note_snapshot_complete(snapshot_id, records)
 
     def initiate(self, processes: Optional[List[ProcessId]] = None) -> int:
         """Trigger one snapshot generation from the given initiator(s)."""
         snapshot_id = self._next_id
         self._next_id += 1
         self._complete_agents = set()
+        observe = getattr(self.system, "observe", None)
+        if observe is not None:
+            observe.note_snapshot_initiated(snapshot_id)
         initiators = processes or [self.system.user_process_names[0]]
         for name in initiators:
             if self.system.controller(name).never_halts:

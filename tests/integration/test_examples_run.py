@@ -25,4 +25,4 @@ def test_example_runs_clean(example):
 
 
 def test_examples_exist():
-    assert len(EXAMPLES) >= 9
+    assert len(EXAMPLES) >= 11

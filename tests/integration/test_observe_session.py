@@ -1,0 +1,74 @@
+"""End-to-end observability: sessions on both backends, the quickstart's
+trace artifact, and the exact-count contract between the live registry
+and the offline overhead analysis."""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+from repro.analysis import message_overhead
+from repro.debugger import DebugSession
+from repro.debugger.threaded_session import ThreadedDebugSession
+from repro.observe import Observability, validate_chrome_trace
+from repro.workloads import bank
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def _registry_by_kind(observe):
+    sent = observe.metrics.snapshot()["messages_sent_total"]
+    return {dict(labels)["kind"]: int(v) for labels, v in sent.items()}
+
+
+def test_quickstart_emits_validating_trace(tmp_path):
+    """The README's quickstart, run as a user would, with a trace path."""
+    trace_path = tmp_path / "halt_trace.json"
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "examples" / "quickstart.py"),
+         str(trace_path)],
+        capture_output=True, text=True, timeout=180,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "CONSISTENT" in result.stdout
+    document = json.loads(trace_path.read_text(encoding="utf-8"))
+    validate_chrome_trace(document)
+    names = {e["name"] for e in document["traceEvents"] if e["ph"] != "M"}
+    assert {"halt.converge", "halt.process", "lp.detection"} <= names
+
+
+def test_des_session_registry_matches_overhead_exactly(tmp_path):
+    observe = Observability()
+    topology, processes = bank.build(n=4, transfers=30)
+    session = DebugSession(topology, processes, seed=42, observe=observe)
+    session.set_breakpoint("state(balance<600)@branch0")
+    outcome = session.run()
+    assert outcome.stopped
+
+    assert _registry_by_kind(observe) == dict(
+        message_overhead(session.system).by_kind)
+
+    document = session.chrome_trace(str(tmp_path / "des.json"))
+    validate_chrome_trace(document)
+    assert "Halting order" in session.halt_narrative()
+    assert "messages_sent_total" in session.metrics_text()
+
+
+def test_threaded_session_registry_matches_overhead_exactly(tmp_path):
+    observe = Observability()
+    topology, processes = bank.build(n=3, transfers=12)
+    with ThreadedDebugSession(topology, processes, seed=7,
+                              observe=observe) as session:
+        report = session.halt_with_watchdog(timeout=20.0)
+        assert report.complete
+
+        assert _registry_by_kind(observe) == dict(
+            message_overhead(session.system).by_kind)
+
+        document = session.chrome_trace(str(tmp_path / "threaded.json"))
+        validate_chrome_trace(document)
+        assert "Halting order" in session.halt_narrative()
+
+        # Halt spans carry the convergence umbrella on this backend too.
+        names = {s.name for s in observe.tracer.spans("halt")}
+        assert {"halt.converge", "halt.process"} <= names

@@ -1,0 +1,33 @@
+"""CI gate: every public module and public class in ``src/repro`` carries a
+docstring. The repo's documentation strategy leans on docstrings (the docs
+link into them, the tutorial quotes them), so missing ones are regressions,
+not style nits."""
+
+import ast
+import pathlib
+
+SRC = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def _public_classes(tree):
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
+            yield node
+
+
+def test_every_public_module_and_class_has_a_docstring():
+    missing = []
+    for path in sorted(SRC.rglob("*.py")):
+        relative = path.relative_to(SRC.parent)
+        if path.name.startswith("_") and path.name != "__init__.py":
+            continue
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        if ast.get_docstring(tree) is None:
+            missing.append(f"{relative}: module docstring")
+        for node in _public_classes(tree):
+            if ast.get_docstring(node) is None:
+                missing.append(f"{relative}:{node.lineno}: class {node.name}")
+    assert not missing, (
+        "public modules/classes without docstrings:\n  "
+        + "\n  ".join(missing)
+    )

@@ -1,0 +1,264 @@
+"""Unit tests for :mod:`repro.observe` — registry, spans, exporters — and
+the unified drop-accounting contract between ``channel.stats`` and the
+metrics surface, pinned on both backends."""
+
+import math
+
+import pytest
+
+from repro.faults import ChannelFaultSpec, FaultPlan
+from repro.network.latency import UniformLatency
+from repro.observe import (
+    MetricsRegistry,
+    Observability,
+    Span,
+    SpanTracer,
+    chrome_trace,
+    prometheus_text,
+    validate_chrome_trace,
+)
+from repro.observe.export import ExportError
+from repro.runtime.system import System
+from repro.runtime.threaded import ThreadedSystem
+from repro.workloads import chatter
+
+
+# -- metrics registry ---------------------------------------------------------
+
+
+def test_counter_labels_and_set_total():
+    registry = MetricsRegistry()
+    counter = registry.counter("frobs_total", "Frobs.")
+    counter.inc(kind="a")
+    counter.inc(2, kind="a")
+    counter.set_total(7, kind="b")
+    assert counter.value(kind="a") == 3
+    assert counter.value(kind="b") == 7
+    # set_total mirrors an external monotonic count: re-setting is idempotent.
+    counter.set_total(7, kind="b")
+    assert counter.value(kind="b") == 7
+
+
+def test_family_kind_mismatch_raises():
+    registry = MetricsRegistry()
+    registry.counter("things_total", "Things.")
+    with pytest.raises(ValueError):
+        registry.gauge("things_total", "Things, but a gauge now.")
+
+
+def test_gauge_set():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("depth", "Queue depth.")
+    gauge.set(3.5, process="p0")
+    gauge.set(1.0, process="p0")
+    assert gauge.value(process="p0") == 1.0
+
+
+def test_histogram_buckets_cumulative():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("lat", "Latency.", buckets=(1.0, 5.0))
+    for value in (0.5, 0.7, 3.0, 100.0):
+        histogram.observe(value)
+    snapshot = histogram.value()
+    assert snapshot.count == 4
+    assert snapshot.sum == pytest.approx(104.2)
+    # Cumulative: le=1 sees 2, le=5 sees 3, le=+inf sees all.
+    assert snapshot.counts == [2, 3, 4]
+    assert snapshot.buckets[-1] == math.inf
+    assert snapshot.mean == pytest.approx(104.2 / 4)
+
+
+def test_histogram_set_from_is_idempotent():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("hops", "Hops.", buckets=(1, 2))
+    histogram.set_from([1.0, 2.0, 3.0])
+    histogram.set_from([1.0, 2.0, 3.0])  # rebuild, not accumulate
+    assert histogram.value().count == 3
+
+
+def test_collector_runs_on_collect_and_snapshot():
+    registry = MetricsRegistry()
+    calls = []
+
+    def collector():
+        calls.append(True)
+        registry.counter("pulled_total", "Pulled.").set_total(len(calls))
+
+    registry.add_collector(collector)
+    snapshot = registry.snapshot()
+    assert calls and snapshot["pulled_total"][()] == 1
+
+
+def test_prometheus_text_format():
+    registry = MetricsRegistry()
+    registry.counter("sent_total", "Messages sent.").inc(4, kind="user")
+    registry.histogram("lat", "Latency.", buckets=(1.0,)).observe(0.5)
+    text = prometheus_text(registry)
+    assert "# HELP sent_total Messages sent." in text
+    assert "# TYPE sent_total counter" in text
+    assert 'sent_total{kind="user"} 4' in text
+    assert 'lat_bucket{le="+Inf"} 1' in text
+    assert "lat_count 1" in text
+
+
+# -- spans --------------------------------------------------------------------
+
+
+def test_span_duration_and_happened_before():
+    earlier = Span("a", "test", 1.0, 2.0, vector=(1, 0))
+    later = Span("b", "test", 3.0, 4.0, vector=(2, 1))
+    assert earlier.duration == 1.0
+    assert earlier.happened_before(later)
+    assert not later.happened_before(earlier)
+
+
+def test_causal_order_repairs_vector_inversions():
+    tracer = SpanTracer()
+    # Clock skew: the causally-later span carries the *earlier* timestamp.
+    cause = Span("cause", "test", 5.0, 5.0, vector=(1, 0))
+    effect = Span("effect", "test", 1.0, 1.0, vector=(2, 1))
+    tracer.add(effect)
+    tracer.add(cause)
+    ordered = tracer.causal_order()
+    assert ordered.index(cause) < ordered.index(effect)
+
+
+def test_tracer_replace_is_idempotent():
+    tracer = SpanTracer()
+    tracer.add(Span("keep", "other", 0.0, 1.0))
+    for _ in range(3):
+        tracer.replace("halt", [Span("h", "halt", 0.0, 2.0)])
+    assert len(tracer.spans("halt")) == 1
+    assert len(tracer.spans("other")) == 1
+    assert tracer.durations("halt") == (2.0,)
+
+
+# -- exporters ----------------------------------------------------------------
+
+
+def _observe_with_spans():
+    observe = Observability()
+    observe.tracer.add(Span("halt.converge", "halt", 0.0, 2.0,
+                            attrs={"generation": 1}))
+    observe.tracer.add(Span("halt.process", "halt", 1.0, 1.0, process="p0",
+                            vector=(3, 1), vector_index=0))
+    return observe
+
+
+def test_chrome_trace_document_shape():
+    document = chrome_trace(_observe_with_spans())
+    validate_chrome_trace(document)
+    phases = {event["ph"] for event in document["traceEvents"]}
+    assert phases <= {"X", "i", "M"}
+    named = [e for e in document["traceEvents"] if e["ph"] == "M"]
+    assert {e["args"]["name"] for e in named} >= {"system", "p0"}
+    instant = next(e for e in document["traceEvents"] if e["ph"] == "i")
+    assert instant["args"]["vector"] == [3, 1]
+    # Times are microseconds.
+    complete = next(e for e in document["traceEvents"] if e["ph"] == "X")
+    assert complete["dur"] == pytest.approx(2_000_000)
+
+
+def test_validate_chrome_trace_rejects_garbage():
+    with pytest.raises(ExportError):
+        validate_chrome_trace({"no": "traceEvents"})
+    with pytest.raises(ExportError):
+        validate_chrome_trace({"traceEvents": [
+            {"ph": "Z", "name": "x", "pid": 0, "tid": 0, "ts": 0}
+        ]})
+    with pytest.raises(ExportError):
+        validate_chrome_trace({"traceEvents": [
+            {"ph": "X", "name": 42, "pid": 0, "tid": 0, "ts": 0, "dur": 1}
+        ]})
+
+
+# -- drop accounting: one definition, both backends ---------------------------
+#
+# frames_dropped = frame copies the wire ate (recovered or not);
+# dropped        = logical messages permanently lost.
+
+
+def test_des_raw_wire_frames_equal_drops_without_duplication():
+    topo, processes = chatter.build(n=3, budget=30, seed=2)
+    system = System(topo, processes, seed=2,
+                    latency=UniformLatency(0.4, 1.6),
+                    fault_plan=FaultPlan.lossy(0.3, seed=2))
+    system.run_to_quiescence()
+    frames = sum(c.stats.frames_dropped for c in system.channels())
+    dropped = sum(c.stats.dropped for c in system.channels())
+    assert frames > 0
+    # One copy per send: every eaten copy is a permanently lost message.
+    assert frames == dropped
+
+
+def test_des_raw_wire_duplication_separates_the_two_counts():
+    topo, processes = chatter.build(n=3, budget=30, seed=3)
+    plan = FaultPlan(
+        seed=3,
+        channel_defaults=ChannelFaultSpec(loss=0.3, duplicate=0.8),
+    )
+    system = System(topo, processes, seed=3,
+                    latency=UniformLatency(0.4, 1.6), fault_plan=plan)
+    system.run_to_quiescence()
+    frames = sum(c.stats.frames_dropped for c in system.channels())
+    dropped = sum(c.stats.dropped for c in system.channels())
+    # With duplicates in flight, some eaten copies had surviving siblings.
+    assert frames > dropped
+
+
+def test_des_reliable_wire_recovers_every_message():
+    topo, processes = chatter.build(n=3, budget=30, seed=4)
+    system = System(topo, processes, seed=4,
+                    latency=UniformLatency(0.4, 1.6),
+                    fault_plan=FaultPlan.lossy(0.3, seed=4),
+                    reliable=True)
+    system.run_to_quiescence()
+    frames = sum(c.stats.frames_dropped for c in system.channels())
+    dropped = sum(c.stats.dropped for c in system.channels())
+    assert frames > 0          # the wire still ate copies...
+    assert dropped == 0        # ...but no logical message was lost
+    assert sum(c.stats.gave_up for c in system.channels()) == 0
+
+
+def test_threaded_raw_wire_frames_equal_drops():
+    topo, processes = chatter.build(n=3, budget=30, seed=5)
+    system = ThreadedSystem(topo, processes, seed=5, time_scale=0.01,
+                            latency_range=(0.0005, 0.002),
+                            fault_plan=FaultPlan.lossy(0.3, seed=5))
+    try:
+        system.start()
+        assert system.settle(timeout=30.0)
+        frames = sum(c.stats.frames_dropped for c in system.channels())
+        dropped = sum(c.stats.dropped for c in system.channels())
+        assert frames > 0
+        assert frames == dropped
+    finally:
+        system.shutdown()
+
+
+def test_registry_mirrors_channel_stats():
+    observe = Observability()
+    topo, processes = chatter.build(n=3, budget=30, seed=6)
+    system = System(topo, processes, seed=6,
+                    latency=UniformLatency(0.4, 1.6),
+                    fault_plan=FaultPlan.lossy(0.3, seed=6),
+                    reliable=True, observe=observe)
+    system.run_to_quiescence()
+    snap = observe.metrics.snapshot()
+
+    def total(family):
+        return sum(int(v) for v in snap.get(family, {}).values())
+
+    stats = [c.stats for c in system.channels()]
+    assert total("channel_frames_dropped_total") == sum(
+        s.frames_dropped for s in stats)
+    assert total("channel_retransmits_total") == sum(
+        s.retransmits for s in stats)
+    assert total("channel_messages_delivered_total") == sum(
+        s.delivered for s in stats)
+    assert total("channel_messages_dropped_total") == 0
+    by_kind = {
+        dict(labels)["kind"]: int(v)
+        for labels, v in snap["messages_sent_total"].items()
+    }
+    assert by_kind == {k: int(v) for k, v in system.message_totals().items()}

@@ -1,0 +1,93 @@
+"""E17 (extension) — the Halting Algorithm on real processes and sockets.
+
+The distributed backend replaces the simulated kernel with OS processes
+and TCP, yet runs the identical agents. Two questions decide whether the
+reproduction survives contact with a real substrate:
+
+* **messages-to-halt** — the algorithm's cost model says one halt
+  generation costs exactly ``|channels|`` markers (each process forwards
+  on every outgoing channel, once). That count must be substrate-
+  independent: equal on the threaded backend and across real sockets.
+* **halt-convergence latency** — wall-clock from initiation at ``d`` to
+  every process verifiably frozen. Real processes pay real scheduling
+  and syscall costs; the table quantifies the premium over in-process
+  threads on the same machine.
+
+Workload: token_ring(8), the paper's canonical strongly-connected case.
+"""
+
+import statistics
+import time
+
+from bench_util import emit, once
+from repro.core.api import build_workload
+from repro.debugger.threaded_session import ThreadedDebugSession
+from repro.distributed.session import DistributedDebugSession
+
+PARAMS = {"n": 8, "max_hops": 1_000_000, "hold_time": 0.5}
+ROUNDS = 3
+
+
+def run_threaded(seed: int):
+    topology, processes = build_workload("token_ring", **PARAMS)
+    session = ThreadedDebugSession(topology, processes, seed=seed,
+                                   time_scale=0.02)
+    with session:
+        time.sleep(0.4)
+        started = time.perf_counter()
+        report = session.halt_with_watchdog(timeout=20.0, probe_grace=5.0)
+        latency = time.perf_counter() - started
+        assert report.complete, report.describe()
+        markers = session.system.message_totals().get("halt_marker", 0)
+        channels = len(session.system.topology.channels)
+    return markers, channels, latency
+
+
+def run_distributed(seed: int):
+    session = DistributedDebugSession("token_ring", PARAMS, seed=seed)
+    with session:
+        time.sleep(0.4)
+        started = time.perf_counter()
+        report = session.halt_with_watchdog(timeout=20.0, probe_grace=5.0)
+        latency = time.perf_counter() - started
+        assert report.complete, report.describe()
+        channels = len(session.spec.channels)
+    markers = session.cluster_message_totals().get("halt_marker", 0)
+    return markers, channels, latency
+
+
+def run_sweep():
+    rows = []
+    marker_counts = {}
+    for backend, runner in (("threaded", run_threaded),
+                            ("distributed", run_distributed)):
+        latencies = []
+        for i in range(ROUNDS):
+            markers, channels, latency = runner(seed=20 + i)
+            # The cost model: one marker per channel per generation.
+            assert markers == channels, (backend, markers, channels)
+            marker_counts[backend] = markers
+            latencies.append(latency)
+        rows.append((
+            backend,
+            channels,
+            marker_counts[backend],
+            f"{min(latencies) * 1000:.1f}ms",
+            f"{statistics.median(latencies) * 1000:.1f}ms",
+            f"{max(latencies) * 1000:.1f}ms",
+        ))
+    # Substrate independence, the headline claim.
+    assert marker_counts["threaded"] == marker_counts["distributed"]
+    return rows
+
+
+def test_e17_distributed_halt(benchmark):
+    rows = run_sweep()
+    emit(
+        "e17_distributed_halt",
+        "E17 — halt convergence on token_ring(8): threads vs OS processes + TCP "
+        f"({ROUNDS} rounds each)",
+        ["backend", "channels", "halt markers", "min", "median", "max"],
+        rows,
+    )
+    once(benchmark, run_distributed, 42)

@@ -7,6 +7,13 @@ Usage::
     python -m repro two_phase_commit n=3 rounds=5 silent_voter=part2 silent_round=3
     python -m repro --list                # show available workloads
 
+Distributed backend (real OS processes over TCP sockets)::
+
+    python -m repro serve token_ring n=4 port=7070   # host a cluster
+    python -m repro attach 7070 status               # poke it
+    python -m repro attach 7070 halt
+    python -m repro attach 7070 shutdown
+
 Parameters are ``key=value`` pairs forwarded to the workload's ``build``;
 values are parsed as int → float → string. The session opens the
 :class:`~repro.debugger.cli.DebuggerCLI` REPL.
@@ -65,6 +72,14 @@ def parse_args(argv: List[str]):
 
 def main(argv: List[str] = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "serve":
+        from repro.distributed.control import serve_main
+
+        return serve_main(argv[1:])
+    if argv and argv[0] == "attach":
+        from repro.distributed.control import attach_main
+
+        return attach_main(argv[1:])
     name, params, seed = parse_args(argv)
     built = build_workload(name, **params)
     # Workloads returning (topo, processes, channel_latencies):

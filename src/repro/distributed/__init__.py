@@ -1,0 +1,40 @@
+"""The distributed backend: real OS processes, real TCP sockets.
+
+The paper's extended model (§2.2.3) is a debugger process ``d`` with a
+control channel to and from every user process. The DES backend simulates
+that; the threaded backend runs it on OS threads inside one interpreter;
+this package makes it literal:
+
+* every user process is a separate OS process (spawned via ``subprocess``,
+  entry point :mod:`repro.distributed.host`);
+* every channel of the extended topology — user channels *and* ``d``'s
+  control channels — is one TCP connection carrying length-prefixed JSON
+  frames (:mod:`repro.distributed.wire`, :mod:`repro.distributed.protocol`);
+* the debugger process ``d`` lives in the parent as
+  :class:`~repro.distributed.session.DistributedDebugSession`, which can
+  initiate the Halting Algorithm, collect the consistent global state over
+  state-report commands, and resume — the same agents
+  (:class:`~repro.halting.algorithm.HaltingAgent`,
+  :class:`~repro.breakpoints.detector.PredicateAgent`,
+  :class:`~repro.debugger.client.DebugClientAgent`) running unmodified
+  inside each child, because each child hosts a stock
+  :class:`~repro.runtime.threaded.ThreadedController` over a socket-backed
+  system facade (:mod:`repro.distributed.host`).
+
+Fault injection happens where real networks fail — at the socket framing
+layer (loss/duplication/delay of frames) and at the process boundary
+(``SIGKILL``-grade crashes feeding the partial-halt path).
+"""
+
+__all__ = ["DistributedDebugSession"]
+
+
+def __getattr__(name: str):
+    """Lazy export: children run ``python -m repro.distributed.host``, and
+    importing the session (hence the host module) at package-import time
+    would shadow runpy's execution of that same module."""
+    if name == "DistributedDebugSession":
+        from repro.distributed.session import DistributedDebugSession
+
+        return DistributedDebugSession
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

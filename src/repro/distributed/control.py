@@ -1,0 +1,290 @@
+"""``repro serve`` / ``repro attach``: drive a live cluster from a shell.
+
+``serve`` starts a distributed run (one OS process per user process, the
+parent hosting debugger ``d``) and listens on a *control port* for attach
+clients. ``attach`` is a one-shot client: connect, send one command frame,
+print the JSON response, exit. Both sides reuse the backend's own framing
+(:mod:`repro.distributed.wire`), so the control plane is inspectable with
+the same ten lines of code as the data plane.
+
+Failure behaviour is part of the contract: ``serve`` on an in-use port and
+``attach`` to a dead endpoint both exit nonzero with a one-line error —
+no traceback, no hang. The serve listener binds *before* the cluster
+spawns, so a doomed serve never leaves orphan children behind.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.distributed import wire
+from repro.distributed.session import DistributedDebugSession
+from repro.distributed.spec import DISTRIBUTED_WORKLOADS
+from repro.util.errors import ReproError, WireError
+
+DEFAULT_CONTROL_PORT = 7070
+
+SERVE_USAGE = """\
+usage: python -m repro serve <workload> [key=value ...] [port=N] [seed=N]
+
+Starts the workload as real OS processes connected by TCP sockets, with
+the debugger process d in this process, and listens for attach clients on
+the control port (default 7070).
+"""
+
+ATTACH_USAGE = """\
+usage: python -m repro attach <port> [command] [args]
+
+Commands:
+  status             cluster liveness and message totals (default)
+  halt               run the Halting Algorithm (watchdog-bounded)
+  resume             resume the halted generation
+  inspect <process>  fetch one process's current state
+  state              collect the consistent global state
+  order              halting order and §2.2.4 marker paths
+  kill <process>     SIGKILL one user process (fault injection)
+  shutdown           stop the cluster and the serve process
+"""
+
+
+class ControlServer:
+    """Serves attach clients against one :class:`DistributedDebugSession`."""
+
+    def __init__(
+        self, listener: socket.socket, session: DistributedDebugSession
+    ) -> None:
+        self.listener = listener
+        self.session = session
+        self._stopping = False
+
+    def serve(self) -> int:
+        """Accept attach clients until a ``shutdown`` command (or Ctrl-C)."""
+        try:
+            while not self._stopping:
+                try:
+                    conn, _ = self.listener.accept()
+                except OSError:
+                    break
+                self._serve_client(conn)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.listener.close()
+            self.session.shutdown()
+        return 0
+
+    def _serve_client(self, conn: socket.socket) -> None:
+        conn.settimeout(60.0)
+        try:
+            while True:
+                try:
+                    frame = wire.recv_frame(conn)
+                except (WireError, OSError):
+                    return  # client done (EOF) or gone
+                response = self.handle(frame)
+                try:
+                    wire.send_frame(conn, response)
+                except (WireError, OSError):
+                    return
+                if self._stopping:
+                    return
+        finally:
+            conn.close()
+
+    def handle(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Execute one command frame; never raises (errors become JSON)."""
+        try:
+            return self._dispatch(frame)
+        except ReproError as exc:
+            return {"ok": False, "error": str(exc)}
+        except Exception as exc:  # defensive: the server must keep serving
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+    def _dispatch(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        session = self.session
+        op = frame.get("op", "status")
+        if op == "status":
+            return {
+                "ok": True,
+                "workload": session.spec.workload,
+                "params": dict(session.spec.params),
+                "debugger": session.debugger_name,
+                "processes": {
+                    name: {"alive": session.alive(name)}
+                    for name in session.spec.user_names
+                },
+                "message_totals": session.system.message_totals(),
+            }
+        if op == "halt":
+            report = session.halt_with_watchdog(
+                timeout=float(frame.get("timeout", 10.0)),
+                probe_grace=float(frame.get("probe_grace", 3.0)),
+            )
+            return {
+                "ok": True,
+                "generation": report.generation,
+                "halted": list(report.halted),
+                "dead": list(report.dead),
+                "unresolved": list(report.unresolved),
+                "complete": report.complete,
+                "summary": report.describe(),
+            }
+        if op == "resume":
+            return {"ok": True, "resumed": session.resume()}
+        if op == "inspect":
+            process = frame.get("process")
+            if not process:
+                return {"ok": False, "error": "inspect requires a process name"}
+            return {
+                "ok": True,
+                "process": process,
+                "state": session.inspect(process),
+            }
+        if op == "state":
+            state = session.collect_global_state()
+            return {
+                "ok": True,
+                "generation": state.generation,
+                "processes": sorted(state.processes),
+                "pending_messages": state.total_pending_messages(),
+                "summary": state.describe(),
+            }
+        if op == "order":
+            return {
+                "ok": True,
+                "order": session.halting_order(),
+                "paths": {
+                    process: list(path)
+                    for process, path in session.halt_paths().items()
+                },
+            }
+        if op == "kill":
+            process = frame.get("process")
+            if not process:
+                return {"ok": False, "error": "kill requires a process name"}
+            session.kill(process)
+            return {"ok": True, "killed": process}
+        if op == "shutdown":
+            self._stopping = True
+            return {"ok": True, "stopping": True}
+        return {"ok": False, "error": f"unknown command {op!r}"}
+
+
+def _parse_kv(args: List[str]) -> Dict[str, Any]:
+    from repro.__main__ import parse_value
+
+    params: Dict[str, Any] = {}
+    for arg in args:
+        key, sep, value = arg.partition("=")
+        if not sep:
+            raise ValueError(f"arguments must be key=value, got {arg!r}")
+        params[key] = parse_value(value)
+    return params
+
+
+def serve_main(argv: List[str]) -> int:
+    """Entry point of ``python -m repro serve``."""
+    if not argv or argv[0] in ("-h", "--help"):
+        print(SERVE_USAGE)
+        return 0 if argv and argv[0] in ("-h", "--help") else 2
+    workload = argv[0]
+    if workload not in DISTRIBUTED_WORKLOADS:
+        print(
+            f"repro serve: unknown workload {workload!r}; available: "
+            f"{', '.join(sorted(DISTRIBUTED_WORKLOADS))}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        options = _parse_kv(argv[1:])
+    except ValueError as exc:
+        print(f"repro serve: {exc}", file=sys.stderr)
+        return 2
+    port = int(options.pop("port", DEFAULT_CONTROL_PORT))
+    seed = int(options.pop("seed", 0))
+
+    # Bind the control port BEFORE spawning anything: if the port is taken
+    # we fail here, cleanly, with zero child processes to clean up.
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    try:
+        listener.bind(("127.0.0.1", port))
+        listener.listen(4)
+    except OSError as exc:
+        listener.close()
+        print(
+            f"repro serve: cannot listen on 127.0.0.1:{port}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+
+    from repro.observe import Observability
+
+    session = DistributedDebugSession(
+        workload, options, seed=seed, observe=Observability()
+    )
+    try:
+        session.start()
+    except Exception as exc:
+        print(f"repro serve: cluster failed to start: {exc}", file=sys.stderr)
+        listener.close()
+        session.shutdown()
+        return 1
+    print(
+        f"serving {workload} as {len(session.spec.user_names)} OS processes; "
+        f"control port 127.0.0.1:{port}"
+    )
+    print(f"attach with: python -m repro attach {port} status")
+    sys.stdout.flush()
+    return ControlServer(listener, session).serve()
+
+
+def attach_main(argv: List[str]) -> int:
+    """Entry point of ``python -m repro attach``."""
+    if not argv or argv[0] in ("-h", "--help"):
+        print(ATTACH_USAGE)
+        return 0 if argv and argv[0] in ("-h", "--help") else 2
+    try:
+        port = int(argv[0])
+    except ValueError:
+        print(f"repro attach: not a port number: {argv[0]!r}", file=sys.stderr)
+        return 2
+    command = argv[1] if len(argv) > 1 else "status"
+    frame: Dict[str, Any] = {"op": command}
+    if len(argv) > 2:
+        frame["process"] = argv[2]
+
+    try:
+        sock = socket.create_connection(("127.0.0.1", port), timeout=5.0)
+    except OSError as exc:
+        print(
+            f"repro attach: cannot connect to 127.0.0.1:{port}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    sock.settimeout(60.0)
+    response: Optional[Dict[str, Any]] = None
+    try:
+        wire.send_frame(sock, frame)
+        response = wire.recv_frame(sock)
+    except (WireError, OSError) as exc:
+        print(f"repro attach: connection failed: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+    print(json.dumps(response, indent=2, sort_keys=True, default=str))
+    return 0 if response.get("ok") else 1
+
+
+__all__ = [
+    "ControlServer",
+    "serve_main",
+    "attach_main",
+    "DEFAULT_CONTROL_PORT",
+]

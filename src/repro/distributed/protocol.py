@@ -1,0 +1,192 @@
+"""Wire representation of envelopes and control-plane payloads.
+
+Everything the debugging system sends — halt markers, snapshot markers,
+predicate markers, debugger commands and notifications, user-message
+wrappers — is a frozen dataclass of plain data. This module turns any of
+them into JSON (and back) by name, against an explicit registry: only
+registered types cross the wire, so a malicious or corrupt frame cannot
+instantiate arbitrary classes (the reason this is not pickle).
+
+The payload codec composes with :mod:`repro.util.codec`: containers and
+scalars are the shared exact codec's job; dataclasses and enums are added
+here via its hooks, tagged as ``{"__repro__": "dc", "type": ..., "fields":
+{...}}`` and ``{"__repro__": "enum", ...}``.
+
+The control-plane message table (commands ``d``→process, notifications
+process→``d``, markers process→process) is documented for humans in
+``docs/ARCHITECTURE.md``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Optional, Tuple, Type
+
+from repro.breakpoints.detector import PredicateMarker, StageHit
+from repro.breakpoints.predicates import (
+    ConjunctivePredicate,
+    DisjunctivePredicate,
+    LinkedPredicate,
+    SimplePredicate,
+    StateQuery,
+)
+from repro.debugger.commands import (
+    BreakpointHit,
+    HaltNotification,
+    PingCommand,
+    PongNotice,
+    ResumeCommand,
+    SatisfactionNotice,
+    StateReport,
+    StateRequest,
+    UnwatchCommand,
+    WatchCommand,
+)
+from repro.events.event import EventKind
+from repro.halting.markers import HaltMarker
+from repro.network.message import Envelope, MessageKind
+from repro.runtime.payload import UserMessage
+from repro.runtime.state_capture import ProcessStateSnapshot
+from repro.snapshot.chandy_lamport import SnapshotMarker
+from repro.util.codec import TAG, from_jsonable, to_jsonable
+from repro.util.errors import WireError
+from repro.util.ids import ChannelId
+
+#: Every dataclass allowed on the wire, by class name. Registration is the
+#: security boundary: decode refuses names outside this table.
+WIRE_DATACLASSES: Dict[str, Type[Any]] = {
+    cls.__name__: cls
+    for cls in (
+        UserMessage,
+        HaltMarker,
+        SnapshotMarker,
+        PredicateMarker,
+        StageHit,
+        LinkedPredicate,
+        DisjunctivePredicate,
+        ConjunctivePredicate,
+        SimplePredicate,
+        StateQuery,
+        ProcessStateSnapshot,
+        ResumeCommand,
+        StateRequest,
+        WatchCommand,
+        UnwatchCommand,
+        PingCommand,
+        StateReport,
+        BreakpointHit,
+        HaltNotification,
+        PongNotice,
+        SatisfactionNotice,
+    )
+}
+
+WIRE_ENUMS: Dict[str, Type[Any]] = {
+    "EventKind": EventKind,
+    "MessageKind": MessageKind,
+}
+
+
+def _encode_other(value: Any) -> Any:
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        name = type(value).__name__
+        if name not in WIRE_DATACLASSES:
+            raise WireError(f"dataclass {name} is not registered for the wire")
+        return {
+            TAG: "dc",
+            "type": name,
+            "fields": {
+                f.name: encode_payload(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            },
+        }
+    for name, enum_cls in WIRE_ENUMS.items():
+        if isinstance(value, enum_cls):
+            return {TAG: "enum", "type": name, "value": value.value}
+    raise WireError(f"cannot encode {type(value).__name__} for the wire")
+
+
+def _decode_tag(tag: str, record: Dict[str, Any]) -> Any:
+    if tag == "dc":
+        name = record.get("type")
+        cls = WIRE_DATACLASSES.get(name)
+        if cls is None:
+            raise WireError(f"wire names unregistered dataclass {name!r}")
+        fields = {
+            key: decode_payload(value)
+            for key, value in record.get("fields", {}).items()
+        }
+        try:
+            return cls(**fields)
+        except TypeError as exc:
+            raise WireError(f"malformed {name} on the wire: {exc}") from exc
+    if tag == "enum":
+        name = record.get("type")
+        enum_cls = WIRE_ENUMS.get(name)
+        if enum_cls is None:
+            raise WireError(f"wire names unregistered enum {name!r}")
+        try:
+            return enum_cls(record.get("value"))
+        except ValueError as exc:
+            raise WireError(str(exc)) from exc
+    raise WireError(f"unknown wire tag {tag!r}")
+
+
+def encode_payload(value: Any) -> Any:
+    """JSON-safe exact encoding of one payload (containers, dataclasses,
+    enums)."""
+    return to_jsonable(value, encode_other=_encode_other)
+
+
+def decode_payload(value: Any) -> Any:
+    """Inverse of :func:`encode_payload`."""
+    return from_jsonable(value, decode_tag=_decode_tag)
+
+
+# -- envelopes ---------------------------------------------------------------
+
+
+def envelope_to_wire(envelope: Envelope) -> Dict[str, Any]:
+    """One envelope as a wire frame body (``frame: "env"``)."""
+    clock: Any = None
+    if envelope.clock is not None:
+        lamport, vector = envelope.clock
+        clock = [lamport, list(vector)]
+    return {
+        "frame": "env",
+        "channel": str(envelope.channel),
+        "kind": envelope.kind.value,
+        "seq": envelope.seq,
+        "send_time": envelope.send_time,
+        "clock": clock,
+        "payload": encode_payload(envelope.payload),
+    }
+
+
+def envelope_from_wire(data: Dict[str, Any]) -> Envelope:
+    """Rebuild an :class:`~repro.network.message.Envelope` from a frame."""
+    try:
+        clock: Optional[Tuple[int, Tuple[int, ...]]] = None
+        if data.get("clock") is not None:
+            lamport, vector = data["clock"]
+            clock = (lamport, tuple(vector))
+        return Envelope(
+            channel=ChannelId.parse(data["channel"]),
+            kind=MessageKind(data["kind"]),
+            payload=decode_payload(data["payload"]),
+            send_time=float(data["send_time"]),
+            seq=int(data["seq"]),
+            clock=clock,
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        raise WireError(f"malformed envelope frame: {exc}") from exc
+
+
+__all__ = [
+    "WIRE_DATACLASSES",
+    "WIRE_ENUMS",
+    "encode_payload",
+    "decode_payload",
+    "envelope_to_wire",
+    "envelope_from_wire",
+]

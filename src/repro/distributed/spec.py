@@ -1,0 +1,204 @@
+"""Cluster specifications: one JSON file that describes a whole run.
+
+The parent process plans a distributed run — which workload, which seed,
+which port each process listens on, which faults to inject — and writes it
+as one :class:`ClusterSpec` JSON file. Every child process is spawned with
+nothing but that file's path and its own name; it rebuilds the *same*
+topology, clock frame, and ``Process`` objects deterministically from the
+spec. Code never crosses the process boundary (no pickling): behaviour
+comes from the workload registry, state from the program's own execution.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.core.api import WORKLOADS
+from repro.faults.plan import FaultPlan
+from repro.network.topology import Topology
+from repro.runtime.process import Process
+from repro.util.errors import ConfigurationError
+from repro.util.ids import ChannelId, ProcessId
+from repro.workloads import infrequent
+
+#: Workloads the distributed backend can host. The core registry plus
+#: ``infrequent``, whose DES-only channel latencies are ignored here — a
+#: real network brings its own.
+DISTRIBUTED_WORKLOADS: Dict[str, Any] = dict(WORKLOADS)
+DISTRIBUTED_WORKLOADS["infrequent"] = infrequent.build
+
+
+def build_user_program(
+    workload: str, params: Mapping[str, Any]
+) -> Tuple[Topology, Dict[ProcessId, Process]]:
+    """Deterministically rebuild ``(topology, processes)`` for a workload.
+
+    Both the parent and every child call this with identical arguments, so
+    each side holds behaviour-identical ``Process`` instances.
+    """
+    try:
+        factory = DISTRIBUTED_WORKLOADS[workload]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown workload {workload!r}; available: "
+            f"{sorted(DISTRIBUTED_WORKLOADS)}"
+        ) from None
+    built = factory(**dict(params))
+    topology, processes = built[0], built[1]  # 3-tuples carry DES latencies
+    return topology, dict(processes)
+
+
+def free_port() -> int:
+    """Ask the OS for a currently free TCP port on the loopback interface.
+
+    Probe-then-bind has an unavoidable race window, but child listeners
+    bind within milliseconds of the probe and the ports are loopback-only,
+    so collisions are vanishingly rare in practice (and fail loudly).
+    """
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Everything a host needs to join one distributed run, as data."""
+
+    #: Workload registry key and its build parameters.
+    workload: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    seed: int = 0
+    #: Scales workload timer delays to wall seconds, like the threaded
+    #: backend's ``time_scale``.
+    time_scale: float = 0.02
+    #: Name of the debugger process ``d`` (hosted by the parent).
+    debugger: ProcessId = "d"
+    #: Extended-topology process order — the shared vector-clock frame.
+    process_order: Tuple[ProcessId, ...] = ()
+    #: Extended-topology channels as ``"src->dst"`` strings.
+    channels: Tuple[str, ...] = ()
+    #: Processes whose controllers never halt (the debugger).
+    never_halt: Tuple[ProcessId, ...] = ()
+    #: Listening TCP port (loopback) per process.
+    ports: Dict[ProcessId, int] = field(default_factory=dict)
+    #: Optional :class:`~repro.faults.plan.FaultPlan` as a dict.
+    fault_plan: Optional[Dict[str, Any]] = None
+    #: Seconds a host keeps redialing peers before giving up on startup.
+    connect_timeout: float = 15.0
+
+    @classmethod
+    def plan(
+        cls,
+        workload: str,
+        params: Optional[Mapping[str, Any]] = None,
+        seed: int = 0,
+        time_scale: float = 0.02,
+        debugger: ProcessId = "d",
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> "ClusterSpec":
+        """Plan a run: build the extended topology and allocate ports."""
+        params = dict(params or {})
+        topology, _ = build_user_program(workload, params)
+        if debugger in topology.processes:
+            raise ConfigurationError(
+                f"user topology already contains {debugger!r}"
+            )
+        extended = topology.with_debugger(debugger)
+        return cls(
+            workload=workload,
+            params=params,
+            seed=seed,
+            time_scale=time_scale,
+            debugger=debugger,
+            process_order=extended.processes,
+            channels=tuple(str(c) for c in extended.channels),
+            never_halt=(debugger,),
+            ports={name: free_port() for name in extended.processes},
+            fault_plan=fault_plan.to_dict() if fault_plan is not None else None,
+        )
+
+    # -- derived views ------------------------------------------------------
+
+    def extended_topology(self) -> Topology:
+        """The §2.2.3 extended topology, rebuilt from the explicit lists."""
+        topo = Topology()
+        for name in self.process_order:
+            topo.add_process(name)
+        for text in self.channels:
+            channel = ChannelId.parse(text)
+            topo.add_channel(channel.src, channel.dst)
+        return topo
+
+    def user_processes(self) -> Dict[ProcessId, Process]:
+        """Fresh ``Process`` instances for every user process."""
+        _, processes = build_user_program(self.workload, self.params)
+        return processes
+
+    @property
+    def user_names(self) -> Tuple[ProcessId, ...]:
+        return tuple(
+            n for n in self.process_order if n not in set(self.never_halt)
+        )
+
+    def faults(self) -> Optional[FaultPlan]:
+        if self.fault_plan is None:
+            return None
+        return FaultPlan.from_dict(self.fault_plan)
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "params": dict(self.params),
+            "seed": self.seed,
+            "time_scale": self.time_scale,
+            "debugger": self.debugger,
+            "process_order": list(self.process_order),
+            "channels": list(self.channels),
+            "never_halt": list(self.never_halt),
+            "ports": dict(self.ports),
+            "fault_plan": self.fault_plan,
+            "connect_timeout": self.connect_timeout,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ClusterSpec":
+        try:
+            return cls(
+                workload=str(data["workload"]),
+                params=dict(data.get("params", {})),
+                seed=int(data.get("seed", 0)),
+                time_scale=float(data.get("time_scale", 0.02)),
+                debugger=str(data.get("debugger", "d")),
+                process_order=tuple(data["process_order"]),
+                channels=tuple(data["channels"]),
+                never_halt=tuple(data.get("never_halt", ())),
+                ports={str(k): int(v) for k, v in dict(data["ports"]).items()},
+                fault_plan=data.get("fault_plan"),
+                connect_timeout=float(data.get("connect_timeout", 15.0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(f"malformed cluster spec: {exc}") from exc
+
+    def write(self, path: str) -> None:
+        """Write the spec as JSON to ``path``."""
+        with open(path, "w", encoding="utf-8") as fp:
+            json.dump(self.to_dict(), fp, indent=2, sort_keys=True)
+
+    @classmethod
+    def read(cls, path: str) -> "ClusterSpec":
+        """Load a spec previously written with :meth:`write`."""
+        with open(path, "r", encoding="utf-8") as fp:
+            return cls.from_dict(json.load(fp))
+
+
+__all__ = [
+    "ClusterSpec",
+    "DISTRIBUTED_WORKLOADS",
+    "build_user_program",
+    "free_port",
+]

@@ -1,0 +1,181 @@
+"""Socket-backed channels: the sender half of one TCP link.
+
+Each directed channel of the extended topology is one TCP connection,
+opened by the channel's *source* process toward the destination's
+listening port. The connection starts with a ``hello`` frame naming the
+channel; after that, every frame on it is either an envelope (``env``) or
+a control-plane frame (``ctl``).
+
+:class:`SocketChannel` exposes the same ``send(kind, payload, clock)``
+surface as the DES and threaded channels, so ``ThreadedController`` and
+every algorithm plugin run over it unmodified. TCP already provides the
+paper's §2.1 channel model (reliable, FIFO), so fault injection happens
+deliberately *above* the stream: a
+:class:`~repro.faults.injection.ChannelFaultInjector` can eat frame copies
+before they are written, duplicate them, or delay them past later traffic
+(reorder). A loss here is a genuine loss — nothing below retransmits.
+
+Sends to a dead peer do not raise: a broken pipe marks the channel
+``failed`` and the frame falls on the floor, which is exactly the paper's
+fail-stop model (frames addressed at a dead host are gone) and what the
+partial-halt machinery expects.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Any, Dict, Optional
+
+from repro.distributed import wire
+from repro.distributed.protocol import envelope_to_wire
+from repro.faults.injection import ChannelFaultInjector
+from repro.network.channel import ChannelStats
+from repro.network.message import Envelope, MessageKind
+from repro.util.errors import WireError
+from repro.util.ids import ChannelId
+
+
+class SocketChannel:
+    """Sender endpoint of one directed channel over a connected socket."""
+
+    def __init__(
+        self,
+        channel_id: ChannelId,
+        runtime: Any,
+        sock: socket.socket,
+        injector: Optional[ChannelFaultInjector] = None,
+    ) -> None:
+        self.id = channel_id
+        self._runtime = runtime
+        self._sock = sock
+        self._injector = None if (injector is not None and injector.is_noop) else injector
+        self._lock = threading.Lock()
+        self.stats = ChannelStats()
+        # Legacy alias, same as ThreadedChannel (message_totals reads it).
+        self.sent_by_kind = self.stats.sent_by_kind
+        #: True once a write failed — the peer is gone (fail-stop).
+        self.failed = False
+        self._closed = False
+
+    def send(self, kind: MessageKind, payload: object, clock: object = None) -> Envelope:
+        """Emit one message toward ``dst``. Never raises on a dead peer."""
+        envelope = Envelope(
+            channel=self.id,
+            kind=kind,
+            payload=payload,
+            send_time=self._runtime.now,
+            seq=self._runtime.next_message_seq(),
+            clock=clock,
+        )
+        with self._lock:
+            self.stats.sent += 1
+            self.stats.sent_by_kind[kind] += 1
+        is_user = kind.is_user
+        copies = 1
+        delay = 0.0
+        if self._injector is not None:
+            copies += self._injector.duplicates(is_user)
+            delay = self._injector.extra_delay(is_user) * self._runtime.time_scale
+        frame = envelope_to_wire(envelope)
+        survivors = 0
+        for _ in range(copies):
+            if self._injector is not None and self._injector.drop_frame(is_user):
+                # The wire ate this copy before it ever hit the socket.
+                with self._lock:
+                    self.stats.frames_dropped += 1
+                continue
+            survivors += 1
+            if delay > 0.0:
+                # Injected reorder: this frame escapes TCP's FIFO by being
+                # written late, so frames sent after it can overtake it.
+                timer = threading.Timer(delay, self._write_frame, args=(frame,))
+                timer.daemon = True
+                timer.start()
+            else:
+                self._write_frame(frame)
+        if survivors == 0:
+            # Nothing below this layer retransmits: the message is lost.
+            with self._lock:
+                self.stats.record_drop(kind)
+        return envelope
+
+    def send_raw(self, frame: Dict[str, Any]) -> bool:
+        """Write one non-envelope frame (``hello``/``ctl``) on this
+        connection. Returns False if the peer is gone."""
+        return self._write_frame(frame)
+
+    def _write_frame(self, frame: Dict[str, Any]) -> bool:
+        with self._lock:
+            if self.failed or self._closed:
+                return False
+            try:
+                wire.send_frame(self._sock, frame)
+                return True
+            except (OSError, WireError):
+                # Fail-stop semantics: a dead destination eats frames.
+                self.failed = True
+                return False
+
+    def close(self) -> None:
+        """Shut the connection down; subsequent sends fall on the floor."""
+        with self._lock:
+            self._closed = True
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+
+class InboundLink:
+    """Receiver-side accounting for one accepted channel connection.
+
+    The reader thread that owns the connection increments these counters;
+    observability's per-channel collectors read them. (Latency is clamped
+    at zero: ``send_time`` was stamped against the sender's epoch, and
+    host epochs differ by startup skew.)
+    """
+
+    def __init__(self, channel_id: ChannelId) -> None:
+        self.id = channel_id
+        self.stats = ChannelStats()
+        self.sent_by_kind = self.stats.sent_by_kind
+
+    def note_delivered(self, envelope: Envelope, now: float) -> None:
+        """Record one envelope handed to the local mailbox."""
+        self.stats.delivered += 1
+        self.stats.total_latency += max(0.0, now - envelope.send_time)
+
+
+def dial(
+    port: int,
+    deadline: float,
+    host: str = "127.0.0.1",
+    retry_interval: float = 0.05,
+) -> socket.socket:
+    """Connect to ``host:port``, retrying until ``deadline`` (monotonic).
+
+    Peers bind their listeners concurrently, so early connection refusals
+    are expected; anything still refusing at the deadline raises the last
+    ``OSError``.
+    """
+    last: Optional[OSError] = None
+    while True:
+        try:
+            sock = socket.create_connection((host, port), timeout=2.0)
+            sock.settimeout(None)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            return sock
+        except OSError as exc:
+            last = exc
+            if time.monotonic() >= deadline:
+                raise last
+            time.sleep(retry_interval)
+
+
+__all__ = ["SocketChannel", "InboundLink", "dial"]

@@ -1,0 +1,72 @@
+"""Length-prefixed JSON framing over a stream socket.
+
+One frame = a 4-byte big-endian payload length followed by that many bytes
+of UTF-8 JSON. The format is deliberately boring: it is inspectable with
+``xxd``, implementable in any language in ten lines, and — because TCP is
+itself reliable and FIFO — it preserves the paper's §2.1 channel model
+(error-free, order-preserving, unbounded-delay) without a retransmission
+protocol on top. Fault injection therefore happens *above* this layer, in
+:class:`~repro.distributed.transport.SocketChannel`, where frames can be
+dropped or duplicated deliberately.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Dict
+
+from repro.util.errors import WireClosed, WireError
+
+#: Hard cap on one frame's payload, guarding against corrupt prefixes.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+def send_frame(sock: socket.socket, obj: Dict[str, Any]) -> int:
+    """Serialize ``obj`` and write one frame. Returns bytes written."""
+    data = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(data) > MAX_FRAME_BYTES:
+        raise WireError(f"frame of {len(data)} bytes exceeds {MAX_FRAME_BYTES}")
+    payload = _LENGTH.pack(len(data)) + data
+    sock.sendall(payload)
+    return len(payload)
+
+
+def recv_frame(sock: socket.socket) -> Dict[str, Any]:
+    """Read one frame. Raises :class:`WireClosed` on clean EOF between
+    frames and :class:`WireError` on a truncated or oversized frame."""
+    header = _recv_exact(sock, _LENGTH.size, eof_ok=True)
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise WireError(f"peer announced a {length}-byte frame (cap "
+                        f"{MAX_FRAME_BYTES}); stream is corrupt or hostile")
+    data = _recv_exact(sock, length, eof_ok=False)
+    try:
+        obj = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"undecodable frame: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise WireError(f"frame must be a JSON object, got {type(obj).__name__}")
+    return obj
+
+
+def _recv_exact(sock: socket.socket, n: int, eof_ok: bool) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if eof_ok and remaining == n:
+                raise WireClosed("peer closed the connection")
+            raise WireError(
+                f"connection died mid-frame ({n - remaining}/{n} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+__all__ = ["MAX_FRAME_BYTES", "send_frame", "recv_frame"]

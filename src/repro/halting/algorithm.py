@@ -89,6 +89,14 @@ class HaltingAgent(ControlPlugin):
                 self._forward_markers(marker)
                 return
             self._halt_routine(marker)
+            # The channel that delivered the halting marker is drained too
+            # (Lemma 2.2): its sender halted right after sending it, and
+            # FIFO puts every earlier message ahead of it. On the DES
+            # backend d's direct marker usually wins the race and this is
+            # moot; over real sockets a user-channel marker can trigger
+            # the halt, and forgetting to close that channel would leave
+            # the assembled global state incomplete forever.
+            self.controller.note_channel_closed(envelope.channel)
         else:
             # Ignore. But a same-generation marker arriving after we halted
             # proves that channel is drained: its sender halted right after

@@ -16,20 +16,11 @@ from repro.events.log import EventLog
 from repro.runtime.state_capture import ProcessStateSnapshot
 from repro.snapshot.state import ChannelState, GlobalState
 from repro.runtime.payload import UserMessage
+from repro.util.codec import payload_to_jsonable as _payload_to_json
 from repro.util.errors import TraceError
 from repro.util.ids import ChannelId
 
 FORMAT_VERSION = 1
-
-
-def _payload_to_json(value: Any) -> Any:
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    if isinstance(value, (list, tuple)):
-        return [_payload_to_json(v) for v in value]
-    if isinstance(value, dict):
-        return {str(k): _payload_to_json(v) for k, v in value.items()}
-    return {"__repr__": repr(value)}
 
 
 def event_to_dict(event: Event) -> Dict[str, Any]:

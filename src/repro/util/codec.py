@@ -1,0 +1,139 @@
+"""The JSON payload codec shared by trace files and the socket wire protocol.
+
+Two encodings live here, with different contracts:
+
+* :func:`payload_to_jsonable` — the **lossy** form trace files use
+  (extracted from :mod:`repro.trace.serialize`): anything that is not
+  JSON-representable is stringified (and flagged with ``__repr__``) rather
+  than dropped. Tuples flatten to lists, non-string keys to strings. Good
+  enough for archiving, useless for a live protocol.
+
+* :func:`to_jsonable` / :func:`from_jsonable` — the **exact** form the
+  distributed backend's wire protocol uses: every supported value
+  round-trips bit-for-bit, including tuples, sets, bytes, and dicts with
+  non-string (or tuple) keys. Container types that JSON cannot express are
+  tagged with a reserved ``"__repro__"`` key; plain dicts whose keys are
+  all strings stay plain, so the common case reads naturally on the wire.
+
+Values outside the supported set raise :class:`~repro.util.errors.CodecError`
+unless the caller supplies hooks — :mod:`repro.distributed.protocol` uses
+the hooks to add dataclasses and enums on top of this base.
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Any, Callable, Dict, Optional
+
+from repro.util.errors import CodecError
+
+#: Reserved key marking a tagged container on the wire.
+TAG = "__repro__"
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def payload_to_jsonable(value: Any) -> Any:
+    """Lossy JSON projection used by trace serialization.
+
+    JSON-representable values pass through (tuples become lists, dict keys
+    become strings); anything else is replaced by ``{"__repr__": repr(v)}``
+    so the trace records *that* something was there even when it cannot
+    record *what*.
+    """
+    if isinstance(value, _SCALARS):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [payload_to_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): payload_to_jsonable(v) for k, v in value.items()}
+    return {"__repr__": repr(value)}
+
+
+def to_jsonable(
+    value: Any,
+    encode_other: Optional[Callable[[Any], Any]] = None,
+) -> Any:
+    """Exact, reversible encoding of ``value`` into JSON-safe structures.
+
+    Supported natively: ``None``/``bool``/``int``/``float``/``str``,
+    ``list``, ``tuple``, ``dict`` (any hashable supported keys), ``set``/
+    ``frozenset``, and ``bytes``. ``encode_other`` is consulted for
+    anything else and must return an already-JSON-safe value (conventionally
+    a dict tagged with :data:`TAG`); without it, unsupported values raise
+    :class:`CodecError`.
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, list):
+        return [to_jsonable(v, encode_other) for v in value]
+    if isinstance(value, tuple):
+        return {TAG: "tuple", "items": [to_jsonable(v, encode_other) for v in value]}
+    if isinstance(value, dict):
+        if all(isinstance(k, str) for k in value) and TAG not in value:
+            return {k: to_jsonable(v, encode_other) for k, v in value.items()}
+        return {
+            TAG: "dict",
+            "items": [
+                [to_jsonable(k, encode_other), to_jsonable(v, encode_other)]
+                for k, v in value.items()
+            ],
+        }
+    if isinstance(value, frozenset):
+        return {TAG: "frozenset",
+                "items": [to_jsonable(v, encode_other) for v in value]}
+    if isinstance(value, set):
+        return {TAG: "set", "items": [to_jsonable(v, encode_other) for v in value]}
+    if isinstance(value, bytes):
+        return {TAG: "bytes", "b64": base64.b64encode(value).decode("ascii")}
+    if encode_other is not None:
+        return encode_other(value)
+    raise CodecError(f"cannot encode {type(value).__name__} value {value!r}")
+
+
+def from_jsonable(
+    value: Any,
+    decode_tag: Optional[Callable[[str, Dict[str, Any]], Any]] = None,
+) -> Any:
+    """Inverse of :func:`to_jsonable`.
+
+    ``decode_tag(tag, record)`` is consulted for tag values this module does
+    not define (the wire protocol's dataclass and enum tags); an unknown tag
+    without a hook raises :class:`CodecError`.
+    """
+    if isinstance(value, list):
+        return [from_jsonable(v, decode_tag) for v in value]
+    if isinstance(value, dict):
+        tag = value.get(TAG)
+        if tag is None:
+            return {k: from_jsonable(v, decode_tag) for k, v in value.items()}
+        if tag == "tuple":
+            return tuple(from_jsonable(v, decode_tag) for v in value["items"])
+        if tag == "dict":
+            return {
+                _hashable(from_jsonable(k, decode_tag)):
+                    from_jsonable(v, decode_tag)
+                for k, v in value["items"]
+            }
+        if tag == "frozenset":
+            return frozenset(from_jsonable(v, decode_tag) for v in value["items"])
+        if tag == "set":
+            return {from_jsonable(v, decode_tag) for v in value["items"]}
+        if tag == "bytes":
+            return base64.b64decode(value["b64"])
+        if decode_tag is not None:
+            return decode_tag(tag, value)
+        raise CodecError(f"unknown codec tag {tag!r}")
+    return value
+
+
+def _hashable(key: Any) -> Any:
+    """Dict keys decoded from tagged form must be hashable again."""
+    if isinstance(key, list):  # pragma: no cover - defensive; lists never
+        return tuple(key)  # appear as keys in values we encoded ourselves
+    return key
+
+
+__all__ = ["TAG", "payload_to_jsonable", "to_jsonable", "from_jsonable"]

@@ -68,3 +68,16 @@ class TraceError(ReproError):
 
 class AnalysisError(ReproError):
     """A consistency/equivalence check was asked something ill-posed."""
+
+
+class CodecError(ReproError):
+    """A value could not be encoded to (or decoded from) the JSON codec."""
+
+
+class WireError(ReproError):
+    """The socket wire protocol failed: bad frame, oversized frame,
+    unknown payload type, or a connection died mid-conversation."""
+
+
+class WireClosed(WireError):
+    """The peer closed the connection (clean EOF between frames)."""

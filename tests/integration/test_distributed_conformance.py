@@ -1,0 +1,128 @@
+"""Conformance: the socket backend agrees with the DES backend.
+
+The distributed backend runs the *same* agents over a completely
+different substrate — OS processes and TCP instead of a simulated
+kernel. No shared event log exists across backends, so agreement is
+checked on substrate-independent facts:
+
+* workload conservation laws hold in the collected global state
+  (tokens, pipeline items, chatter messages — nothing invented, nothing
+  lost by the cut);
+* every collected channel is marker-delimited (``complete``);
+* every §2.2.4 halt path starts at ``d`` and walks real edges of the
+  extended topology;
+* the halt generation costs exactly ``|channels|`` halt markers on both
+  backends — each process forwards on all outgoing channels exactly
+  once, a count the paper's algorithm fixes independently of timing.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis.metrics import message_overhead
+from repro.debugger.session import DebugSession
+from repro.distributed.session import DistributedDebugSession
+from repro.distributed.spec import build_user_program
+from repro.util.ids import ChannelId
+
+WORKLOADS = {
+    "token_ring": {"n": 4, "max_hops": 100_000, "hold_time": 0.5},
+    "pipeline": {"stages": 2, "items": 100_000, "tick": 0.5},
+    "infrequent": {"cluster_size": 2, "budget": 100_000, "tick": 0.5},
+}
+
+
+def conservation_violation(workload: str, state) -> str:
+    """Empty string if the workload's conservation law holds in ``state``."""
+    states = {name: snap.state for name, snap in state.processes.items()}
+    pending = state.total_pending_messages()
+    if workload == "token_ring":
+        held = sum(1 for s in states.values() if s.get("holding"))
+        total = held + pending
+        return "" if total == 1 else f"{total} tokens (held {held} + {pending} in flight)"
+    if workload == "pipeline":
+        produced = states["producer"]["produced"]
+        consumed = states["consumer"]["consumed"]
+        total = consumed + pending
+        return "" if produced == total else (
+            f"produced {produced} != consumed {consumed} + {pending} in flight"
+        )
+    if workload == "infrequent":
+        sent = sum(s.get("sent", 0) for s in states.values())
+        received = sum(s.get("received", 0) for s in states.values())
+        total = received + pending
+        return "" if sent == total else (
+            f"sent {sent} != received {received} + {pending} in flight"
+        )
+    raise AssertionError(f"no conservation law for {workload}")
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_distributed_halt_is_consistent_and_marker_exact(workload):
+    params = WORKLOADS[workload]
+    with DistributedDebugSession(workload, params, seed=13) as session:
+        time.sleep(0.8)
+        report = session.halt_with_watchdog(timeout=20.0, probe_grace=3.0)
+        assert report.complete, report.describe()
+        state = session.collect_global_state(timeout=20.0)
+
+        # 1. Nothing invented, nothing lost across the cut.
+        violation = conservation_violation(workload, state)
+        assert not violation, violation
+
+        # 2. Every channel in the cut is marker-delimited.
+        assert all(cs.complete for cs in state.channels.values())
+        assert set(state.processes) == set(session.spec.user_names)
+
+        # 3. Halt paths are rooted at d and walk real extended-topology
+        #    edges (§2.2.4's halting-order evidence).
+        edges = {ChannelId.parse(c) for c in session.spec.channels}
+        paths = session.halt_paths()
+        assert set(paths) == set(session.spec.user_names)
+        for process, path in paths.items():
+            assert path[0] == session.debugger_name
+            assert path[-1] == process
+            for src, dst in zip(path, path[1:]):
+                assert ChannelId(src, dst) in edges, (
+                    f"{process} claims marker hop {src}->{dst}, "
+                    "not an extended-topology channel"
+                )
+    # 4. Marker economics, counted across the whole cluster after the
+    #    children reported their final channel stats.
+    totals = session.cluster_message_totals()
+    assert totals.get("halt_marker", 0) == len(session.spec.channels)
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_des_backend_agrees_on_marker_count_and_conservation(workload):
+    params = WORKLOADS[workload]
+    topology, processes = build_user_program(workload, params)
+    extended_channels = len(topology.with_debugger("d").channels)
+    # The same count the distributed run is held to above.
+    from repro.distributed.spec import ClusterSpec
+
+    assert extended_channels == len(
+        ClusterSpec.plan(workload, params, seed=13).channels
+    )
+
+    session = DebugSession(topology, processes, seed=13)
+    session.system.run(until=20.0)
+    session.halt()
+    outcome = session.run()
+    assert outcome.stopped
+    state = session.global_state()
+
+    violation = conservation_violation(workload, state)
+    assert not violation, violation
+    assert set(state.processes) == set(topology.processes)
+    assert message_overhead(session.system).by_kind.get(
+        "halt_marker", 0
+    ) == extended_channels
+
+    paths = session.halt_paths()
+    edges = set(topology.with_debugger("d").channels)
+    for process, path in paths.items():
+        assert path[0] == "d" and path[-1] == process
+        for src, dst in zip(path, path[1:]):
+            assert ChannelId(src, dst) in edges

@@ -1,0 +1,103 @@
+"""Property tests for the shared JSON codec (:mod:`repro.util.codec`).
+
+The exact codec underpins the distributed backend's wire protocol: every
+payload a control message can carry must survive
+``json.dumps(to_jsonable(v))`` → ``from_jsonable(json.loads(...))``
+unchanged — tuples staying tuples, non-string dict keys staying keys.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.util.codec import TAG, from_jsonable, payload_to_jsonable, to_jsonable
+from repro.util.errors import CodecError
+
+# Scalars the wire supports. NaN is excluded (NaN != NaN breaks the
+# round-trip *assertion*, not the codec); infinities round-trip fine.
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(),
+    st.floats(allow_nan=False),
+    st.text(),
+    st.binary(max_size=64),
+)
+
+hashable_keys = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(),
+    st.text(),
+    st.tuples(st.integers(), st.text()),
+)
+
+
+def payloads(depth=3):
+    """Recursively nested payloads: lists, tuples, sets, dicts with
+    arbitrary (including non-string and tuple) keys."""
+    return st.recursive(
+        scalars,
+        lambda children: st.one_of(
+            st.lists(children, max_size=4),
+            st.lists(children, max_size=4).map(tuple),
+            st.dictionaries(hashable_keys, children, max_size=4),
+            st.sets(st.one_of(st.integers(), st.text()), max_size=4),
+            st.frozensets(st.integers(), max_size=4),
+        ),
+        max_leaves=12,
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(payloads())
+def test_exact_codec_round_trips_through_json(value):
+    encoded = to_jsonable(value)
+    wire = json.dumps(encoded)
+    decoded = from_jsonable(json.loads(wire))
+    assert decoded == value
+    assert type(decoded) is type(value) or isinstance(value, (list, tuple))
+
+
+@given(st.dictionaries(st.tuples(st.integers(), st.integers()),
+                       st.integers(), min_size=1, max_size=4))
+def test_tuple_keys_survive(value):
+    decoded = from_jsonable(json.loads(json.dumps(to_jsonable(value))))
+    assert decoded == value
+    assert all(isinstance(k, tuple) for k in decoded)
+
+
+def test_nested_tuple_inside_dict_inside_list():
+    value = [{"a": (1, (2, 3), {"b": {4: "x"}})}, (None, True)]
+    assert from_jsonable(to_jsonable(value)) == value
+
+
+def test_plain_string_keyed_dicts_stay_plain_on_the_wire():
+    encoded = to_jsonable({"a": 1, "b": [2, 3]})
+    assert encoded == {"a": 1, "b": [2, 3]}  # readable, no tags
+
+
+def test_dict_containing_reserved_tag_key_is_protected():
+    value = {TAG: "tuple", "items": [1]}  # adversarial: looks like a tag
+    decoded = from_jsonable(json.loads(json.dumps(to_jsonable(value))))
+    assert decoded == value
+
+
+def test_unsupported_value_raises_codec_error():
+    with pytest.raises(CodecError):
+        to_jsonable(object())
+
+
+def test_unknown_tag_raises_codec_error():
+    with pytest.raises(CodecError):
+        from_jsonable({TAG: "no-such-tag"})
+
+
+def test_lossy_trace_codec_still_stringifies():
+    class Opaque:
+        def __repr__(self):
+            return "<opaque>"
+
+    assert payload_to_jsonable({"k": Opaque()}) == {"k": {"__repr__": "<opaque>"}}
+    assert payload_to_jsonable((1, 2)) == [1, 2]  # tuples flatten, lossy

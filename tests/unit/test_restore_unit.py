@@ -1,0 +1,259 @@
+"""Direct unit tests for :mod:`repro.halting.restore`.
+
+The integration suite exercises restore end-to-end through full halting
+runs; here each contract of ``restore()`` is pinned in isolation with
+hand-built global states — including the degraded path: restoring the
+*survivors* of a crash from a partial cut assembled under a
+:class:`~repro.debugger.failure.PartialHaltReport`.
+"""
+
+import pytest
+
+from repro.core.api import build_workload
+from repro.debugger.session import DebugSession
+from repro.faults.plan import FaultPlan
+from repro.halting.restore import restore
+from repro.network.message import MessageKind
+from repro.network.topology import Topology
+from repro.runtime.payload import UserMessage
+from repro.runtime.process import Process
+from repro.runtime.state_capture import ProcessStateSnapshot
+from repro.snapshot.state import ChannelState, GlobalState
+from repro.util.errors import HaltingError
+from repro.util.ids import ChannelId
+
+
+class Sink(Process):
+    """Counts deliveries; state is whatever the capture preloaded."""
+
+    def on_message(self, ctx, src, payload):
+        ctx.state["got"] = ctx.state.get("got", 0) + 1
+        ctx.state["last"] = payload
+
+
+def two_process_ring() -> Topology:
+    topo = Topology()
+    topo.add_process("p0").add_process("p1")
+    topo.add_channel("p0", "p1")
+    topo.add_channel("p1", "p0")
+    return topo
+
+
+def snap(process: str, state: dict, vector, index: int,
+         seq: int = 5) -> ProcessStateSnapshot:
+    return ProcessStateSnapshot(
+        process=process, state=dict(state), local_seq=seq, lamport=seq,
+        vector=tuple(vector), vector_index=index, time=1.0,
+    )
+
+
+def make_state(processes, channels=None, meta=None) -> GlobalState:
+    return GlobalState(
+        origin="halting",
+        processes=processes,
+        channels=channels or {},
+        generation=1,
+        meta=meta or {},
+    )
+
+
+# -- happy path ---------------------------------------------------------------
+
+
+def test_restore_preloads_state_clocks_and_channel_contents():
+    state = make_state(
+        {
+            "p0": snap("p0", {"x": 10}, (5, 3), 0),
+            "p1": snap("p1", {"x": 20}, (2, 7), 1),
+        },
+        channels={
+            ChannelId("p0", "p1"): ChannelState(
+                channel=ChannelId("p0", "p1"),
+                messages=(UserMessage(payload="hello", vector=(5, 3)),),
+                complete=True,
+            )
+        },
+    )
+    system = restore(state, two_process_ring(),
+                     {"p0": Sink(), "p1": Sink()}, seed=1)
+    # Process state, counters, and clocks continue the captured history.
+    assert system.state_of("p0") == {"x": 10}
+    assert system.controller("p1").vector.snapshot() == (2, 7)
+    assert system.controller("p0")._local_seq == 5
+    # The undelivered message is already in the channel, ahead of anything
+    # the restored processes might send.
+    channel = system.channel(ChannelId("p0", "p1"))
+    assert channel.stats.sent == 1
+    system.run_to_quiescence()
+    assert system.state_of("p1")["got"] == 1
+    assert system.state_of("p1")["last"] == "hello"
+
+
+def test_restore_projects_wider_debugger_frame_onto_user_frame():
+    """Captures taken with ``d`` attached carry 3-wide vectors; restoring
+    onto the bare user topology must re-index by name via the recorded
+    ``clock_frame`` and drop d's component."""
+    # Frame at capture time: (d, p0, p1). d's component is history.
+    state = make_state(
+        {
+            "p0": snap("p0", {}, (9, 4, 2), 1),
+            "p1": snap("p1", {}, (9, 3, 6), 2),
+        },
+        channels={
+            ChannelId("p1", "p0"): ChannelState(
+                channel=ChannelId("p1", "p0"),
+                messages=(UserMessage(payload=1, vector=(8, 3, 5)),),
+                complete=True,
+            )
+        },
+        meta={"clock_frame": ["d", "p0", "p1"]},
+    )
+    system = restore(state, two_process_ring(),
+                     {"p0": Sink(), "p1": Sink()}, seed=0)
+    assert system.clock_frame.order == ("p0", "p1")
+    assert system.controller("p0").vector.snapshot() == (4, 2)
+    assert system.controller("p1").vector.snapshot() == (3, 6)
+
+
+def test_restore_with_matching_frame_needs_no_metadata():
+    state = make_state({"p0": snap("p0", {}, (1, 2), 0),
+                        "p1": snap("p1", {}, (0, 3), 1)})
+    system = restore(state, two_process_ring(), {"p0": Sink(), "p1": Sink()})
+    assert system.controller("p0").vector.snapshot() == (1, 2)
+
+
+# -- error paths --------------------------------------------------------------
+
+
+def test_restore_rejects_processes_outside_the_topology():
+    state = make_state({"ghost": snap("ghost", {}, (1,), 0)})
+    with pytest.raises(HaltingError, match="not in the topology"):
+        restore(state, two_process_ring(), {"p0": Sink(), "p1": Sink()})
+
+
+def test_restore_rejects_indeterminable_channels():
+    state = make_state(
+        {"p0": snap("p0", {}, (1, 1), 0), "p1": snap("p1", {}, (1, 1), 1)},
+        channels={
+            ChannelId("p0", "p1"): ChannelState(
+                channel=ChannelId("p0", "p1"),
+                messages=(UserMessage(payload=1),),
+                complete=False,  # no closing marker seen: contents unknowable
+            )
+        },
+    )
+    with pytest.raises(HaltingError, match="indeterminable"):
+        restore(state, two_process_ring(), {"p0": Sink(), "p1": Sink()})
+
+
+def test_restore_rejects_unknown_channels():
+    state = make_state(
+        {"p0": snap("p0", {}, (1, 1), 0), "p1": snap("p1", {}, (1, 1), 1)},
+        channels={
+            ChannelId("p1", "p9"): ChannelState(
+                channel=ChannelId("p1", "p9"),
+                messages=(UserMessage(payload=1),),
+                complete=True,
+            )
+        },
+    )
+    with pytest.raises(HaltingError, match="unknown channel"):
+        restore(state, two_process_ring(), {"p0": Sink(), "p1": Sink()})
+
+
+def test_restore_rejects_frame_mismatch_without_metadata():
+    state = make_state({"p0": snap("p0", {}, (1, 2, 3), 1),
+                        "p1": snap("p1", {}, (1, 2, 3), 2)})
+    with pytest.raises(HaltingError, match="no clock_frame"):
+        restore(state, two_process_ring(), {"p0": Sink(), "p1": Sink()})
+
+
+def test_restore_rejects_frames_lacking_needed_processes():
+    state = make_state(
+        {"p0": snap("p0", {}, (1, 2, 3), 1),
+         "p1": snap("p1", {}, (1, 2, 3), 2)},
+        meta={"clock_frame": ["d", "p0", "q7"]},  # no p1 component
+    )
+    with pytest.raises(HaltingError, match="lacks processes"):
+        restore(state, two_process_ring(), {"p0": Sink(), "p1": Sink()})
+
+
+# -- the degraded path: restore the survivors of a PartialHaltReport ----------
+
+
+def test_restore_survivors_from_partial_halt_report():
+    """Crash one process mid-run, take the watchdog-bounded partial halt,
+    and resurrect the surviving cut on a reduced topology. The dead
+    process's clock component is projected away; surviving channel
+    contents are re-injected."""
+    topology, processes = build_workload("token_ring", n=4,
+                                         max_hops=400, hold_time=0.5)
+    plan = FaultPlan(seed=7).with_crash("p1", at_time=10.0)
+    session = DebugSession(topology, processes, seed=7,
+                           fault_plan=plan, reliable=True)
+    session.system.run(until=25.0)
+    report = session.halt_with_watchdog(timeout=150.0, probe_grace=40.0)
+    assert report.is_partial and report.dead == ("p1",)
+
+    partial = session.global_state(allow_partial=True)
+    assert set(partial.processes) == set(report.halted)
+    # Every surviving channel is marker-delimited, so the partial cut is
+    # restorable — that is the whole point of degrading gracefully.
+    assert all(cs.complete for cs in partial.channels.values()
+               if cs.messages)
+
+    survivors = Topology()
+    for name in report.halted:
+        survivors.add_process(name)
+    for channel in topology.channels:
+        if channel.src in report.halted and channel.dst in report.halted:
+            survivors.add_channel(channel.src, channel.dst)
+    _, fresh = build_workload("token_ring", n=4, max_hops=400, hold_time=0.5)
+    system = restore(
+        partial,
+        survivors,
+        {name: fresh[name] for name in report.halted},
+        seed=11,
+    )
+    assert system.clock_frame.order == tuple(sorted(report.halted))
+    for name in report.halted:
+        captured = partial.processes[name]
+        assert system.state_of(name) == captured.state
+        # Projection dropped the dead process's (and d's) components but
+        # kept each survivor's own count.
+        own = system.controller(name).vector.snapshot()
+        assert own[system.clock_frame.index_of(name)] == \
+            captured.vector[captured.vector_index]
+    # The reduced system is runnable (the ring is broken, so nothing may
+    # move — the claim is merely that restore produced a live system).
+    system.run(until=5.0)
+
+
+def test_restore_survivors_refuses_states_that_name_the_dead():
+    """Keeping the dead process's snapshot while shrinking the topology is
+    an error, not a silent drop — the caller must decide who survives."""
+    topology, processes = build_workload("token_ring", n=3,
+                                         max_hops=400, hold_time=0.5)
+    plan = FaultPlan(seed=5).with_crash("p2", after_events=10)
+    session = DebugSession(topology, processes, seed=5,
+                           fault_plan=plan, reliable=True)
+    session.system.run(until=60.0)
+    report = session.halt_with_watchdog()
+    assert report.dead == ("p2",)
+    partial = session.global_state(allow_partial=True)
+
+    survivors = Topology()
+    for name in report.halted:
+        survivors.add_process(name)
+    forged = GlobalState(
+        origin=partial.origin,
+        processes={**dict(partial.processes),
+                   "p2": snap("p2", {}, (0, 0, 0, 0), 3)},
+        channels={},
+        generation=partial.generation,
+        meta=dict(partial.meta),
+    )
+    _, fresh = build_workload("token_ring", n=3, max_hops=400, hold_time=0.5)
+    with pytest.raises(HaltingError, match="not in the topology"):
+        restore(forged, survivors,
+                {name: fresh[name] for name in report.halted})

@@ -1,0 +1,161 @@
+"""``repro serve`` / ``repro attach`` must fail *well*.
+
+The satellite contract: ``serve`` on an already-in-use port and ``attach``
+to a dead endpoint exit with a clear error and a nonzero status — they
+never hang and never leave child processes behind. These are subprocess
+tests because exit codes and stderr are the actual interface.
+"""
+
+import os
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+from repro.distributed.control import ControlServer
+
+SRC = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def run_cli(*args: str, timeout: float = 30.0) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, timeout=timeout, env=env,
+    )
+
+
+@pytest.fixture()
+def occupied_port():
+    blocker = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    blocker.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    blocker.bind(("127.0.0.1", 0))
+    blocker.listen(1)
+    yield blocker.getsockname()[1]
+    blocker.close()
+
+
+def closed_port() -> int:
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+# -- serve ---------------------------------------------------------------------
+
+
+def test_serve_on_in_use_port_exits_2_with_clear_error(occupied_port):
+    started = time.monotonic()
+    result = run_cli("serve", "token_ring", "n=3", f"port={occupied_port}")
+    elapsed = time.monotonic() - started
+    assert result.returncode == 2
+    assert f"cannot listen on 127.0.0.1:{occupied_port}" in result.stderr
+    assert "Traceback" not in result.stderr
+    # Graceful means prompt: the bind is attempted before any child is
+    # spawned, so the failure must not eat the cluster startup timeout.
+    assert elapsed < 20.0
+
+
+def test_serve_unknown_workload_exits_2():
+    result = run_cli("serve", "no_such_workload")
+    assert result.returncode == 2
+    assert "unknown workload" in result.stderr
+
+
+def test_serve_bad_argument_exits_2():
+    result = run_cli("serve", "token_ring", "not-a-kv-pair")
+    assert result.returncode == 2
+    assert "key=value" in result.stderr
+
+
+def test_serve_without_workload_prints_usage():
+    result = run_cli("serve")
+    assert result.returncode == 2
+    assert "usage" in result.stdout
+
+
+# -- attach --------------------------------------------------------------------
+
+
+def test_attach_to_dead_endpoint_exits_2_quickly():
+    port = closed_port()
+    started = time.monotonic()
+    result = run_cli("attach", str(port), "status")
+    elapsed = time.monotonic() - started
+    assert result.returncode == 2
+    assert f"cannot connect to 127.0.0.1:{port}" in result.stderr
+    assert "Traceback" not in result.stderr
+    assert elapsed < 15.0  # refused, not hung
+
+
+def test_attach_bad_port_exits_2():
+    result = run_cli("attach", "not-a-port")
+    assert result.returncode == 2
+    assert "not a port number" in result.stderr
+
+
+def test_attach_help_exits_0():
+    result = run_cli("attach", "--help")
+    assert result.returncode == 0
+    assert "usage" in result.stdout
+
+
+def test_attach_to_peer_that_closes_mid_frame_exits_2():
+    """A server that dies between accept and reply must not hang attach."""
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    port = listener.getsockname()[1]
+
+    import threading
+
+    def accept_and_slam():
+        conn, _ = listener.accept()
+        conn.recv(4)
+        conn.close()
+
+    thread = threading.Thread(target=accept_and_slam, daemon=True)
+    thread.start()
+    result = run_cli("attach", str(port), "status")
+    listener.close()
+    assert result.returncode == 2
+    assert "connection failed" in result.stderr
+
+
+# -- command dispatch (in-process, no cluster needed) --------------------------
+
+
+def test_unknown_op_is_an_error_response_not_a_crash():
+    server = ControlServer.__new__(ControlServer)
+    server.session = None
+    server._stopping = False
+    response = server.handle({"op": "frobnicate"})
+    assert response == {"ok": False, "error": "unknown command 'frobnicate'"}
+
+
+def test_inspect_and_kill_require_a_process_argument():
+    server = ControlServer.__new__(ControlServer)
+    server.session = None
+    server._stopping = False
+    assert "requires a process" in server.handle({"op": "inspect"})["error"]
+    assert "requires a process" in server.handle({"op": "kill"})["error"]
+
+
+def test_handler_turns_exceptions_into_error_frames():
+    class ExplodingSession:
+        def halt_with_watchdog(self, timeout, probe_grace):
+            raise RuntimeError("boom")
+
+    server = ControlServer.__new__(ControlServer)
+    server.session = ExplodingSession()
+    server._stopping = False
+    response = server.handle({"op": "halt"})
+    assert response["ok"] is False
+    assert "boom" in response["error"]

@@ -1,0 +1,219 @@
+"""Unit tests for the socket wire format and the payload registry.
+
+The frame layer (:mod:`repro.distributed.wire`) and the payload codec
+(:mod:`repro.distributed.protocol`) are the trust boundary of the
+distributed backend: everything a peer can do to us arrives through
+``recv_frame`` + ``decode_payload``. These tests pin the framing rules,
+the round-trip exactness, and — most importantly — that the registry
+refuses to instantiate anything it was not explicitly told about.
+"""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.distributed import wire
+from repro.distributed.protocol import (
+    WIRE_DATACLASSES,
+    decode_payload,
+    encode_payload,
+    envelope_from_wire,
+    envelope_to_wire,
+)
+from repro.halting.markers import HaltMarker
+from repro.network.message import Envelope, MessageKind
+from repro.runtime.payload import UserMessage
+from repro.runtime.state_capture import ProcessStateSnapshot
+from repro.util.codec import TAG
+from repro.util.errors import WireClosed, WireError
+from repro.util.ids import ChannelId
+
+
+@pytest.fixture()
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+# -- framing -------------------------------------------------------------------
+
+
+def test_frame_round_trip(pair):
+    a, b = pair
+    obj = {"frame": "ctl", "op": "ready", "n": 3, "names": ["p0", "p1"]}
+    wire.send_frame(a, obj)
+    assert wire.recv_frame(b) == obj
+
+
+def test_frames_are_fifo(pair):
+    a, b = pair
+    for i in range(20):
+        wire.send_frame(a, {"i": i})
+    assert [wire.recv_frame(b)["i"] for i in range(20)] == list(range(20))
+
+
+def test_oversize_send_refused(pair):
+    a, _ = pair
+    huge = {"blob": "x" * (wire.MAX_FRAME_BYTES + 1)}
+    with pytest.raises(WireError, match="exceeds"):
+        wire.send_frame(a, huge)
+
+
+def test_oversize_announcement_refused(pair):
+    a, b = pair
+    # A corrupt/hostile peer announces a frame larger than the cap; the
+    # reader must bail out instead of trying to allocate it.
+    a.sendall(struct.pack(">I", wire.MAX_FRAME_BYTES + 1))
+    with pytest.raises(WireError, match="corrupt or hostile"):
+        wire.recv_frame(b)
+
+
+def test_clean_eof_between_frames_is_wire_closed(pair):
+    a, b = pair
+    wire.send_frame(a, {"ok": 1})
+    a.close()
+    assert wire.recv_frame(b) == {"ok": 1}
+    with pytest.raises(WireClosed):
+        wire.recv_frame(b)
+
+
+def test_eof_mid_frame_is_wire_error(pair):
+    a, b = pair
+    a.sendall(struct.pack(">I", 100) + b'{"partial"')
+    a.close()
+    with pytest.raises(WireError, match="mid-frame"):
+        wire.recv_frame(b)
+
+
+def test_non_json_and_non_object_frames_refused(pair):
+    a, b = pair
+    raw = b"\xff\xfe not json"
+    a.sendall(struct.pack(">I", len(raw)) + raw)
+    with pytest.raises(WireError, match="undecodable"):
+        wire.recv_frame(b)
+    a.sendall(struct.pack(">I", 7) + b'[1,2,3]')
+    with pytest.raises(WireError, match="JSON object"):
+        wire.recv_frame(b)
+
+
+def test_large_frame_survives_chunked_reads(pair):
+    a, b = pair
+    obj = {"blob": "y" * 300_000}
+    writer = threading.Thread(target=wire.send_frame, args=(a, obj))
+    writer.start()
+    assert wire.recv_frame(b) == obj
+    writer.join()
+
+
+# -- payload codec -------------------------------------------------------------
+
+
+def test_registered_dataclass_round_trips():
+    marker = HaltMarker(halt_id=3, path=("d", "p0"))
+    assert decode_payload(encode_payload(marker)) == marker
+
+
+def test_nested_snapshot_round_trips_exactly():
+    snapshot = ProcessStateSnapshot(
+        process="p1",
+        state={"balance": 17, "log": [1, 2, 3], "who": ("a", "b")},
+        local_seq=9,
+        lamport=12,
+        vector=(1, 2, 3),
+        vector_index=1,
+        time=4.25,
+        terminated=False,
+        meta={"halt_id": 2},
+    )
+    decoded = decode_payload(encode_payload(snapshot))
+    assert decoded == snapshot
+    # Exactness matters: tuples stay tuples, ints stay ints.
+    assert isinstance(decoded.state["who"], tuple)
+    assert isinstance(decoded.vector, tuple)
+
+
+def test_unregistered_dataclass_refused_both_ways():
+    import dataclasses
+
+    @dataclasses.dataclass(frozen=True)
+    class Rogue:
+        cmd: str
+
+    with pytest.raises(WireError, match="not registered"):
+        encode_payload(Rogue(cmd="rm -rf /"))
+    # Decoding a frame that *names* an unregistered class must refuse too:
+    # registration is the security boundary (this is why it is not pickle).
+    forged = {TAG: "dc", "type": "Rogue", "fields": {"cmd": "boom"}}
+    with pytest.raises(WireError, match="unregistered dataclass"):
+        decode_payload(forged)
+    assert "Rogue" not in WIRE_DATACLASSES
+
+
+def test_malformed_fields_and_unknown_tags_refused():
+    with pytest.raises(WireError, match="malformed HaltMarker"):
+        decode_payload({TAG: "dc", "type": "HaltMarker",
+                        "fields": {"no_such_field": 1}})
+    with pytest.raises(WireError, match="unregistered enum"):
+        decode_payload({TAG: "enum", "type": "Sneaky", "value": 1})
+    with pytest.raises(WireError, match="unknown wire tag"):
+        decode_payload({TAG: "zip", "data": "?"})
+
+
+# -- envelopes -----------------------------------------------------------------
+
+
+def test_envelope_round_trips_over_a_real_socket(pair):
+    a, b = pair
+    envelope = Envelope(
+        channel=ChannelId("p0", "p1"),
+        kind=MessageKind.USER,
+        payload=UserMessage(payload={"token": 5}, lamport=7, vector=(1, 0, 2)),
+        send_time=1.5,
+        seq=42,
+        clock=(7, (1, 0, 2)),
+    )
+    wire.send_frame(a, envelope_to_wire(envelope))
+    frame = wire.recv_frame(b)
+    assert frame["frame"] == "env"
+    rebuilt = envelope_from_wire(frame)
+    assert rebuilt == envelope
+    assert rebuilt.clock == (7, (1, 0, 2))
+
+
+def test_control_envelope_round_trips():
+    envelope = Envelope(
+        channel=ChannelId("d", "p2"),
+        kind=MessageKind.HALT_MARKER,
+        payload=HaltMarker(halt_id=1, path=("d",)),
+        send_time=0.25,
+        seq=1,
+        clock=None,
+    )
+    rebuilt = envelope_from_wire(envelope_to_wire(envelope))
+    assert rebuilt == envelope
+    assert rebuilt.kind is MessageKind.HALT_MARKER
+
+
+def test_malformed_envelope_frame_refused():
+    good = envelope_to_wire(
+        Envelope(
+            channel=ChannelId("p0", "p1"),
+            kind=MessageKind.USER,
+            payload=UserMessage(payload=1),
+            send_time=0.0,
+            seq=0,
+            clock=None,
+        )
+    )
+    missing = dict(good)
+    del missing["channel"]
+    with pytest.raises(WireError, match="malformed envelope"):
+        envelope_from_wire(missing)
+    bad_kind = dict(good)
+    bad_kind["kind"] = "no-such-kind"
+    with pytest.raises(WireError, match="malformed envelope"):
+        envelope_from_wire(bad_kind)

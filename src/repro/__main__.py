@@ -14,6 +14,12 @@ Distributed backend (real OS processes over TCP sockets)::
     python -m repro attach 7070 halt
     python -m repro attach 7070 shutdown
 
+Schedule-exploration checker (model-check the theorems over interleavings)::
+
+    python -m repro check --budget 500               # explore all scenarios
+    python -m repro check --mutate late-halt         # must find a violation
+    python -m repro check --replay artifact.json     # re-run a counterexample
+
 Parameters are ``key=value`` pairs forwarded to the workload's ``build``;
 values are parsed as int → float → string. The session opens the
 :class:`~repro.debugger.cli.DebuggerCLI` REPL.
@@ -80,6 +86,10 @@ def main(argv: List[str] = None) -> int:
         from repro.distributed.control import attach_main
 
         return attach_main(argv[1:])
+    if argv and argv[0] == "check":
+        from repro.check.cli import check_main
+
+        return check_main(argv[1:])
     name, params, seed = parse_args(argv)
     built = build_workload(name, **params)
     # Workloads returning (topo, processes, channel_latencies):

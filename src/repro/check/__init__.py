@@ -1,0 +1,67 @@
+"""Schedule-exploration checker: model-check the paper's theorems.
+
+The DES backend is deterministic given a seed — good for reproduction,
+bad for coverage: one seed is one interleaving. This package turns the
+simulator into a bounded model checker. A
+:class:`~repro.check.scheduler.ControlledScheduler` takes over the
+kernel's event ordering so every message delivery, timer, and deferred
+action becomes an explicit decision; :func:`~repro.check.explorer.explore`
+searches the decision tree (seeded random walks + sleep-set bounded DFS);
+after every run that halts, :mod:`~repro.check.invariants` re-judges
+Theorem 1 (consistency of ``S_h``), Theorem 2 (equivalence with a
+same-instant snapshot), FIFO order, exactly-once conservation, and the
+§2.2.4 halting-order prefix property. Violations are delta-debugged to a
+1-minimal decision list (:mod:`~repro.check.minimize`) and serialized as
+a replayable artifact (:mod:`~repro.check.artifact`).
+
+Entry point: ``python -m repro check`` (:mod:`repro.check.cli`).
+"""
+
+from repro.check.artifact import ScheduleArtifact, load_artifact, save_artifact
+from repro.check.explorer import ExplorationReport, explore
+from repro.check.invariants import INVARIANTS, RunRecord, Violation, evaluate
+from repro.check.minimize import ddmin, minimize_schedule, schedule_violates
+from repro.check.mutations import MUTATIONS
+from repro.check.runner import Scenario, ScheduleResult, run_schedule, scenarios
+from repro.check.scheduler import (
+    ChoicePoint,
+    ControlledScheduler,
+    DefaultStrategy,
+    RandomWalkStrategy,
+    ScriptedStrategy,
+    Strategy,
+    TraceReplayStrategy,
+    classify,
+    independent,
+    target_process,
+)
+
+__all__ = [
+    "ChoicePoint",
+    "ControlledScheduler",
+    "DefaultStrategy",
+    "ExplorationReport",
+    "INVARIANTS",
+    "MUTATIONS",
+    "RandomWalkStrategy",
+    "RunRecord",
+    "Scenario",
+    "ScheduleArtifact",
+    "ScheduleResult",
+    "ScriptedStrategy",
+    "Strategy",
+    "TraceReplayStrategy",
+    "Violation",
+    "classify",
+    "ddmin",
+    "evaluate",
+    "explore",
+    "independent",
+    "load_artifact",
+    "minimize_schedule",
+    "run_schedule",
+    "save_artifact",
+    "scenarios",
+    "schedule_violates",
+    "target_process",
+]

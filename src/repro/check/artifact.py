@@ -1,0 +1,86 @@
+"""Replayable counterexample artifacts.
+
+When exploration finds a violation and ddmin has shrunk it, the checker
+serializes everything needed to re-execute the exact run later — scenario
+name, seed, mutation, and the minimized decision list — as a small JSON
+file. ``repro check --replay <file>`` rebuilds the scenario from the
+registry and re-runs the scripted schedule; because controlled runs are
+deterministic functions of the decision list, the replay either reproduces
+the recorded invariant violation or proves the artifact stale (e.g. the
+scenario changed underneath it).
+
+Encoding reuses :mod:`repro.util.codec`'s exact form so decisions stay
+tuples of strings on the way back in; the file is stable-keyed and
+indented for diffing in bug reports.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.util.codec import from_jsonable, to_jsonable
+from repro.util.errors import CodecError
+
+#: Bumped on incompatible artifact layout changes.
+FORMAT_VERSION = 1
+_KIND = "repro-check-schedule"
+
+
+@dataclass(frozen=True)
+class ScheduleArtifact:
+    """A minimized, replayable violating schedule."""
+
+    scenario: str
+    seed: int
+    decisions: Tuple[str, ...]
+    invariant: str
+    details: Tuple[str, ...]
+    mutation: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": FORMAT_VERSION,
+            "kind": _KIND,
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "mutation": self.mutation,
+            "decisions": to_jsonable(self.decisions),
+            "violation": {
+                "invariant": self.invariant,
+                "details": to_jsonable(self.details),
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ScheduleArtifact":
+        if data.get("kind") != _KIND:
+            raise CodecError(
+                f"not a schedule artifact (kind={data.get('kind')!r})"
+            )
+        if data.get("format") != FORMAT_VERSION:
+            raise CodecError(
+                f"unsupported artifact format {data.get('format')!r} "
+                f"(this build reads {FORMAT_VERSION})"
+            )
+        violation = data["violation"]
+        return cls(
+            scenario=data["scenario"],
+            seed=int(data["seed"]),
+            mutation=data.get("mutation"),
+            decisions=tuple(from_jsonable(data["decisions"])),
+            invariant=violation["invariant"],
+            details=tuple(from_jsonable(violation["details"])),
+        )
+
+
+def save_artifact(artifact: ScheduleArtifact, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(artifact.to_dict(), handle, sort_keys=True, indent=2)
+        handle.write("\n")
+
+
+def load_artifact(path: str) -> ScheduleArtifact:
+    with open(path, "r", encoding="utf-8") as handle:
+        return ScheduleArtifact.from_dict(json.load(handle))

@@ -1,0 +1,195 @@
+"""``python -m repro check`` — explore schedules, minimize, replay.
+
+Usage::
+
+    python -m repro check                       # all scenarios, default budget
+    python -m repro check token_ring --budget 500
+    python -m repro check --mutate late-halt    # inject a broken agent
+    python -m repro check --replay artifact.json
+    python -m repro check --list
+
+Options::
+
+    --budget N      max schedules per scenario (default 200)
+    --seed N        base seed for the random-walk phase (default 0)
+    --dfs-depth N   flip choice points with index < N in the DFS phase
+                    (default 10)
+    --mutate NAME   run with a deliberately broken HaltingAgent (basic-mode
+                    scenarios only); the checker is expected to object
+    --artifact P    where to write the minimized counterexample
+                    (default repro-check-<scenario>.json)
+    --replay P      re-execute a saved artifact instead of exploring
+
+Exit codes: ``0`` no violation found (or replay reproduced the recorded
+violation), ``1`` a violation was found (artifact written), ``2`` usage
+error or a replay that failed to reproduce its artifact.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+from repro.check.artifact import ScheduleArtifact, load_artifact, save_artifact
+from repro.check.explorer import explore
+from repro.check.minimize import minimize_schedule, schedule_violates
+from repro.check.mutations import MUTATIONS
+from repro.check.runner import scenarios
+
+
+def check_main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if "--help" in argv or "-h" in argv:
+        print(__doc__)
+        return 0
+
+    registry = scenarios()
+    if "--list" in argv:
+        print("scenarios:")
+        for name, scenario in sorted(registry.items()):
+            print(f"  {name:20s} [{scenario.mode}] {scenario.description}")
+        print("mutations:")
+        for name in sorted(MUTATIONS):
+            print(f"  {name}")
+        return 0
+
+    budget, seed, dfs_depth = 200, 0, 10
+    mutate: Optional[str] = None
+    artifact_path: Optional[str] = None
+    replay_path: Optional[str] = None
+    names: List[str] = []
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+
+        def value(flag: str = arg) -> str:
+            nonlocal i
+            i += 1
+            if i >= len(argv):
+                raise SystemExit(_usage_error(f"{flag} needs a value"))
+            return argv[i]
+
+        if arg == "--budget":
+            budget = int(value())
+        elif arg == "--seed":
+            seed = int(value())
+        elif arg == "--dfs-depth":
+            dfs_depth = int(value())
+        elif arg == "--mutate":
+            mutate = value()
+        elif arg == "--artifact":
+            artifact_path = value()
+        elif arg == "--replay":
+            replay_path = value()
+        elif arg.startswith("-"):
+            return _usage_error(f"unknown option {arg!r}")
+        else:
+            names.append(arg)
+        i += 1
+
+    if mutate is not None and mutate not in MUTATIONS:
+        return _usage_error(
+            f"unknown mutation {mutate!r}; known: {sorted(MUTATIONS)}"
+        )
+    for name in names:
+        if name not in registry:
+            return _usage_error(
+                f"unknown scenario {name!r}; known: {sorted(registry)}"
+            )
+
+    if replay_path is not None:
+        return _replay(replay_path)
+
+    agent_factory = MUTATIONS[mutate] if mutate else None
+    if not names:
+        names = sorted(registry)
+        if mutate:
+            # Mutations swap the HaltingAgent the coordinator installs;
+            # session-mode scenarios build their own agents.
+            names = [n for n in names if registry[n].mode == "basic"]
+    elif mutate:
+        bad = [n for n in names if registry[n].mode != "basic"]
+        if bad:
+            return _usage_error(
+                f"--mutate only applies to basic-mode scenarios, not {bad}"
+            )
+
+    exit_code = 0
+    for name in names:
+        scenario = registry[name]
+        report = explore(
+            scenario,
+            budget=budget,
+            seed=seed,
+            dfs_depth=dfs_depth,
+            agent_factory=agent_factory,
+            mutation=mutate,
+        )
+        print(report.summary())
+        if not report.found:
+            continue
+        exit_code = 1
+        assert report.violation is not None
+        violation = report.violation.violations[0]
+        print(violation.describe())
+        decisions = minimize_schedule(
+            scenario,
+            report.violation.record.decisions,
+            violation.invariant,
+            agent_factory,
+        )
+        print(
+            f"minimized schedule: {len(report.violation.record.decisions)} "
+            f"decision(s) -> {len(decisions)}"
+        )
+        path = artifact_path or f"repro-check-{name}.json"
+        save_artifact(
+            ScheduleArtifact(
+                scenario=name,
+                seed=scenario.seed,
+                mutation=mutate,
+                decisions=tuple(decisions),
+                invariant=violation.invariant,
+                details=violation.details,
+            ),
+            path,
+        )
+        print(f"replayable artifact written to {path}")
+        break  # First violating scenario is enough; fix it, re-run.
+    return exit_code
+
+
+def _replay(path: str) -> int:
+    artifact = load_artifact(path)
+    registry = scenarios()
+    scenario = registry.get(artifact.scenario)
+    if scenario is None:
+        return _usage_error(
+            f"artifact names unknown scenario {artifact.scenario!r}"
+        )
+    factory = None
+    if artifact.mutation is not None:
+        factory = MUTATIONS.get(artifact.mutation)
+        if factory is None:
+            return _usage_error(
+                f"artifact names unknown mutation {artifact.mutation!r}"
+            )
+    reproduced = schedule_violates(
+        scenario, list(artifact.decisions), artifact.invariant, factory
+    )
+    label = f"{artifact.scenario} / {artifact.invariant}"
+    if reproduced:
+        print(f"replay of {path}: reproduced {label} "
+              f"({len(artifact.decisions)} decision(s))")
+        return 0
+    print(f"replay of {path}: did NOT reproduce {label}", file=sys.stderr)
+    return 2
+
+
+def _usage_error(message: str) -> int:
+    print(f"repro check: {message}", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - console entry
+    raise SystemExit(check_main())

@@ -1,0 +1,194 @@
+"""Schedule exploration: seeded random walks plus sleep-set bounded DFS.
+
+Exploration is *stateless* (Verisoft-style): the checker never snapshots
+simulator state; a schedule is a decision prefix, and visiting a schedule
+means re-executing the scenario from scratch under
+:class:`~repro.check.scheduler.ScriptedStrategy`. That keeps the explorer
+trivially correct w.r.t. the runtime (there is only one way to execute)
+at the cost of re-execution — fine at DES speeds.
+
+Two phases share one budget (counted in *runs*):
+
+1. **Seeded random walks** sample the interleaving space broadly; every
+   walk's decision list is recorded, so a hit is immediately replayable.
+2. **Bounded DFS** from the canonical schedule systematically flips early
+   choice points, with a sleep-set-style partial-order reduction: an
+   alternative that is independent of the branch already explored at the
+   same point is put to sleep and skipped until some dependent event
+   wakes it. Independence is "disjoint target processes" (see
+   :func:`~repro.check.scheduler.independent`) — commuting choices yield
+   the same state, so exploring both orders is redundant.
+
+The first violating schedule stops the search; delta-debugging it to a
+minimal decision sequence is :mod:`repro.check.minimize`'s job.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, List, Optional, Tuple
+
+from repro.check.runner import Scenario, ScheduleResult, run_schedule
+from repro.check.scheduler import (
+    RandomWalkStrategy,
+    ScriptedStrategy,
+    independent,
+)
+from repro.halting.algorithm import HaltingAgent
+
+
+@dataclass
+class ExplorationReport:
+    """What one exploration found (or proved absent, within budget)."""
+
+    scenario: str
+    mutation: Optional[str]
+    budget: int
+    schedules_run: int = 0
+    inconclusive_runs: int = 0
+    #: The first violating schedule, or None if the budget found nothing.
+    violation: Optional[ScheduleResult] = None
+    #: How the violating schedule was found ("default"|"walk"|"dfs").
+    found_by: Optional[str] = None
+    #: DFS branches skipped by sleep-set pruning (reduction visibility).
+    slept_branches: int = 0
+    dfs_nodes: int = 0
+
+    @property
+    def found(self) -> bool:
+        return self.violation is not None
+
+    def summary(self) -> str:
+        where = f" (found by {self.found_by})" if self.found else ""
+        verdict = "VIOLATION" if self.found else "no violation"
+        return (
+            f"{self.scenario}"
+            + (f" [mutation={self.mutation}]" if self.mutation else "")
+            + f": {verdict} in {self.schedules_run}/{self.budget} "
+              f"schedules{where}; {self.inconclusive_runs} inconclusive, "
+              f"{self.slept_branches} branches slept"
+        )
+
+
+def explore(
+    scenario: Scenario,
+    budget: int = 200,
+    seed: int = 0,
+    dfs_depth: int = 10,
+    dfs_fraction: float = 0.5,
+    agent_factory: Optional[Callable[..., HaltingAgent]] = None,
+    mutation: Optional[str] = None,
+    on_progress: Optional[Callable[[int, int], None]] = None,
+) -> ExplorationReport:
+    """Search up to ``budget`` schedules of ``scenario`` for a violation."""
+    report = ExplorationReport(
+        scenario=scenario.name, mutation=mutation, budget=budget
+    )
+
+    def run_one(strategy) -> ScheduleResult:
+        report.schedules_run += 1
+        result = run_schedule(scenario, strategy, agent_factory)
+        if result.inconclusive:
+            report.inconclusive_runs += 1
+        if on_progress is not None:
+            on_progress(report.schedules_run, budget)
+        return result
+
+    # Run 1: the canonical (default-order) schedule. Deterministic bugs
+    # (a marker never sent, §2.2.2 topologies) fall out immediately, and
+    # its choice points seed the DFS frontier.
+    root = run_one(ScriptedStrategy([]))
+    if root.violated:
+        report.violation, report.found_by = root, "default"
+        return report
+
+    dfs_budget = min(int(budget * dfs_fraction), budget - report.schedules_run)
+    walk_budget = budget - report.schedules_run - dfs_budget
+
+    # Phase 1: seeded random walks.
+    for i in range(walk_budget):
+        result = run_one(
+            RandomWalkStrategy(random.Random(f"{seed}|walk|{i}"))
+        )
+        if result.violated:
+            report.violation, report.found_by = result, "walk"
+            return report
+
+    # Phase 2: bounded DFS with sleep sets, rooted at the canonical run.
+    stack: List[_Node] = []
+    _push_children(stack, root, 0, frozenset(), dfs_depth, report)
+    while stack and report.schedules_run < budget:
+        node = stack.pop()
+        report.dfs_nodes += 1
+        result = run_one(ScriptedStrategy(node.prefix))
+        if result.violated:
+            report.violation, report.found_by = result, "dfs"
+            return report
+        _push_children(
+            stack, result, len(node.prefix), node.sleep, dfs_depth, report
+        )
+    return report
+
+
+@dataclass(frozen=True)
+class _Node:
+    """One unexplored branch: replay ``prefix``, then default order."""
+
+    prefix: Tuple[str, ...]
+    #: Labels asleep at the branch point — alternatives already covered by
+    #: an earlier sibling whose subtree commutes with everything since.
+    sleep: FrozenSet[str]
+
+
+def _push_children(
+    stack: List[_Node],
+    result: ScheduleResult,
+    prefix_len: int,
+    node_sleep: FrozenSet[str],
+    dfs_depth: int,
+    report: ExplorationReport,
+) -> None:
+    """Expand one executed schedule into its unexplored alternatives.
+
+    Walks the run's trace from the node's branch point, evolving the
+    sleep set: executing a label wakes (removes) every sleeping label
+    dependent on it. At each choice point past the prefix, every enabled
+    alternative not asleep becomes a child; the child's sleep set gains
+    the branch already taken here plus earlier siblings — filtered to
+    those independent of the child's own first move.
+    """
+    record = result.record
+    cps = record.choice_points
+    trace = record.trace
+    sleep = set(node_sleep)
+    # The node's sleep set is defined at the state right after its last
+    # scripted decision; forced steps executed since then wake sleepers.
+    position = cps[prefix_len - 1].trace_index + 1 if prefix_len else 0
+    children: List[_Node] = []
+    for k in range(prefix_len, min(len(cps), dfs_depth)):
+        cp = cps[k]
+        for step in range(position, cp.trace_index):
+            sleep = {s for s in sleep if independent(s, trace[step])}
+        alternatives = [
+            label for label in cp.enabled
+            if label != cp.chosen and label not in sleep
+        ]
+        report.slept_branches += sum(
+            1 for label in cp.enabled
+            if label != cp.chosen and label in sleep
+        )
+        taken: List[str] = []
+        for alt in alternatives:
+            child_sleep = frozenset(
+                s for s in (sleep | {cp.chosen} | set(taken))
+                if independent(s, alt)
+            )
+            children.append(
+                _Node(tuple(record.decisions[:k]) + (alt,), child_sleep)
+            )
+            taken.append(alt)
+        sleep = {s for s in sleep if independent(s, cp.chosen)}
+        position = cp.trace_index + 1
+    # LIFO stack: push reversed so shallower/earlier alternatives pop first.
+    stack.extend(reversed(children))

@@ -1,0 +1,239 @@
+"""The checker's invariant library: the paper's theorems as predicates.
+
+Each invariant takes the :class:`RunRecord` of one completed (quiesced)
+controlled run and returns violations — empty means the property held on
+this schedule. The library covers:
+
+``halt_convergence``
+    Liveness at quiescence: once the kernel drained with no work left,
+    every user process must have halted (a marker flood that stops short
+    is §2.2.2's failure — or a broken Halt Routine).
+``theorem1_consistency``
+    Theorem 1: ``S_h`` is a consistent cut — no received-but-unsent
+    messages, exact channel states, bounded frontier knowledge. Delegates
+    to the ground-truth oracle :mod:`repro.analysis.consistency`.
+``theorem2_equivalence``
+    Theorem 2: ``S_h == S_r`` for a C&L snapshot initiated at the same
+    local instant on the same interleaving (the runner produces the twin
+    by trace replay; this invariant judges the comparison).
+``fifo_per_channel``
+    §2.1: per channel, the receiver's processed payload sequence is a
+    prefix of the sender's sent sequence — no loss, duplication, or
+    reordering visible to the application.
+``exactly_once_conservation``
+    Per-channel message conservation at quiescence: every logical message
+    is delivered exactly once or accounted as permanently dropped
+    (``sent == delivered + dropped``, nothing in flight). Under
+    ``ReliableChannel`` plus injected loss this is the exactly-once
+    guarantee the PR-1 retransmission layer promises.
+``halting_order_prefix``
+    §2.2.4: the path a halt marker carries "describes which processes
+    have already been halted" — every (user-process) name on a received
+    path must have halted strictly before the receiver, in path order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.analysis.consistency import check_cut_consistency
+from repro.analysis.equivalence import states_equivalent
+from repro.check.scheduler import ChoicePoint
+from repro.events.event import EventKind
+from repro.runtime.system import System
+from repro.snapshot.state import GlobalState
+from repro.util.ids import ProcessId
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant falsified on one schedule."""
+
+    invariant: str
+    details: Tuple[str, ...]
+
+    def describe(self) -> str:
+        lines = [f"invariant {self.invariant} violated:"]
+        lines += [f"  - {detail}" for detail in self.details]
+        return "\n".join(lines)
+
+
+@dataclass
+class RunRecord:
+    """Everything one controlled run produced, for the invariants to judge."""
+
+    scenario: str
+    mode: str
+    system: System
+    quiesced: bool
+    all_halted: bool
+    #: ``S_h`` assembled from the frozen controllers (None unless the run
+    #: quiesced with every user process halted).
+    halt_state: Optional[GlobalState]
+    halt_order: List[ProcessId]
+    #: Per halted process, the marker path it halted via (as received).
+    halt_paths: Dict[ProcessId, Tuple[ProcessId, ...]]
+    #: Twin C&L snapshot state replayed on the same trace (basic mode).
+    snapshot_state: Optional[GlobalState] = None
+    #: Times the twin replay had to fall back off the trace (0 == aligned).
+    twin_divergences: int = 0
+    trace: List[str] = field(default_factory=list)
+    decisions: List[str] = field(default_factory=list)
+    choice_points: List[ChoicePoint] = field(default_factory=list)
+
+
+InvariantFn = Callable[[RunRecord], List[Violation]]
+
+
+def halt_convergence(record: RunRecord) -> List[Violation]:
+    if record.all_halted:
+        return []
+    unhalted = tuple(
+        name for name in record.system.user_process_names
+        if not record.system.controller(name).halted
+    )
+    return [Violation(
+        "halt_convergence",
+        (f"system quiesced with {sorted(unhalted)} never halted "
+         f"(halt order so far: {record.halt_order})",),
+    )]
+
+
+def theorem1_consistency(record: RunRecord) -> List[Violation]:
+    if record.halt_state is None:
+        return []
+    report = check_cut_consistency(record.system.log, record.halt_state)
+    if report.consistent:
+        return []
+    return [Violation("theorem1_consistency", tuple(report.violations))]
+
+
+def theorem2_equivalence(record: RunRecord) -> List[Violation]:
+    if record.halt_state is None:
+        return []
+    details: List[str] = []
+    if record.twin_divergences:
+        details.append(
+            f"snapshot twin diverged from the halting run's trace at "
+            f"{record.twin_divergences} step(s) — the runs are no longer "
+            "the same execution"
+        )
+    if record.snapshot_state is None:
+        details.append("snapshot twin never completed S_r")
+    else:
+        report = states_equivalent(record.halt_state, record.snapshot_state)
+        if not report.equivalent:
+            details.extend(report.differences)
+    if not details:
+        return []
+    return [Violation("theorem2_equivalence", tuple(details))]
+
+
+def fifo_per_channel(record: RunRecord) -> List[Violation]:
+    sends: Dict[object, List[object]] = {}
+    receives: Dict[object, List[object]] = {}
+    user = set(record.system.user_process_names)
+    for event in record.system.log:
+        if event.channel is None:
+            continue
+        if event.channel.src not in user or event.channel.dst not in user:
+            continue
+        if event.kind is EventKind.SEND:
+            sends.setdefault(event.channel, []).append(_key(event.message))
+        elif event.kind is EventKind.RECEIVE:
+            receives.setdefault(event.channel, []).append(_key(event.message))
+    details = []
+    for channel, received in sorted(receives.items(), key=lambda kv: str(kv[0])):
+        sent = sends.get(channel, [])
+        if received != sent[: len(received)]:
+            details.append(
+                f"{channel}: received sequence {received!r} is not a prefix "
+                f"of sent sequence {sent!r}"
+            )
+    if not details:
+        return []
+    return [Violation("fifo_per_channel", tuple(details))]
+
+
+def exactly_once_conservation(record: RunRecord) -> List[Violation]:
+    details = []
+    user = set(record.system.user_process_names)
+    for channel in record.system.channels():
+        if channel.id.src not in user or channel.id.dst not in user:
+            continue
+        stats = channel.stats
+        if stats.sent != stats.delivered + stats.dropped:
+            details.append(
+                f"{channel.id}: sent={stats.sent} != delivered="
+                f"{stats.delivered} + dropped={stats.dropped}"
+            )
+        if channel.in_flight:
+            details.append(
+                f"{channel.id}: {len(channel.in_flight)} message(s) still "
+                "in flight at quiescence"
+            )
+    if not details:
+        return []
+    return [Violation("exactly_once_conservation", tuple(details))]
+
+
+def halting_order_prefix(record: RunRecord) -> List[Violation]:
+    position = {name: i for i, name in enumerate(record.halt_order)}
+    user = set(record.system.user_process_names)
+    details = []
+    for process, path in sorted(record.halt_paths.items()):
+        if process not in position:
+            details.append(
+                f"{process} reports a halt path {path!r} but never appears "
+                "in the halt order"
+            )
+            continue
+        own = position[process]
+        previous = -1
+        # Debugger processes relay markers but never halt (§2.2.3); they
+        # legitimately appear on paths and are skipped here.
+        for hop in (h for h in path if h in user):
+            if hop not in position or position[hop] >= own:
+                details.append(
+                    f"{process} halted via path {path!r}, but {hop} had not "
+                    f"halted before it (halt order: {record.halt_order})"
+                )
+                break
+            if position[hop] < previous:
+                details.append(
+                    f"{process} halted via path {path!r}, whose hops are "
+                    f"out of halting order ({record.halt_order})"
+                )
+                break
+            previous = position[hop]
+    if not details:
+        return []
+    return [Violation("halting_order_prefix", tuple(details))]
+
+
+#: Registry the scenarios pick from, evaluation in this order.
+INVARIANTS: Dict[str, InvariantFn] = {
+    "halt_convergence": halt_convergence,
+    "theorem1_consistency": theorem1_consistency,
+    "theorem2_equivalence": theorem2_equivalence,
+    "fifo_per_channel": fifo_per_channel,
+    "exactly_once_conservation": exactly_once_conservation,
+    "halting_order_prefix": halting_order_prefix,
+}
+
+
+def evaluate(record: RunRecord, names: Tuple[str, ...]) -> List[Violation]:
+    """Run the named invariants against one record, in registry order."""
+    found: List[Violation] = []
+    for name in names:
+        found.extend(INVARIANTS[name](record))
+    return found
+
+
+def _key(value: object) -> object:
+    if isinstance(value, dict):
+        return tuple(sorted((k, _key(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_key(v) for v in value)
+    return value

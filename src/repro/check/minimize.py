@@ -1,0 +1,99 @@
+"""Delta-debugging a violating schedule to a 1-minimal decision sequence.
+
+A violating schedule found by exploration can carry dozens of incidental
+decisions. Classic ddmin (Zeller & Hildebrandt) shrinks the decision list
+while preserving *the same invariant violation*: the test oracle re-runs
+the scenario under :class:`~repro.check.scheduler.ScriptedStrategy` with
+the candidate subsequence and checks that the original invariant still
+fails. Because controlled runs are fully deterministic functions of the
+decision list, the oracle is a pure predicate and ddmin's 1-minimality
+guarantee holds: the result still violates, and removing any single
+remaining decision makes the violation disappear.
+
+An empty minimum is meaningful, not degenerate: it says the canonical
+schedule already violates — the bug needs no adversarial interleaving.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.check.runner import Scenario, run_schedule
+from repro.check.scheduler import ScriptedStrategy
+from repro.halting.algorithm import HaltingAgent
+
+
+def schedule_violates(
+    scenario: Scenario,
+    decisions: Sequence[str],
+    invariant: str,
+    agent_factory: Optional[Callable[..., HaltingAgent]] = None,
+) -> bool:
+    """Does replaying ``decisions`` still violate ``invariant``?"""
+    result = run_schedule(scenario, ScriptedStrategy(decisions), agent_factory)
+    return any(v.invariant == invariant for v in result.violations)
+
+
+def minimize_schedule(
+    scenario: Scenario,
+    decisions: Sequence[str],
+    invariant: str,
+    agent_factory: Optional[Callable[..., HaltingAgent]] = None,
+) -> List[str]:
+    """Shrink ``decisions`` to a 1-minimal subsequence violating ``invariant``.
+
+    ``decisions`` must itself violate (the caller found it by exploring).
+    """
+
+    def violates(candidate: Sequence[str]) -> bool:
+        return schedule_violates(scenario, candidate, invariant, agent_factory)
+
+    return ddmin(list(decisions), violates)
+
+
+def ddmin(
+    items: List[str], violates: Callable[[Sequence[str]], bool]
+) -> List[str]:
+    """Classic ddmin over subsequences; ``violates(items)`` must hold."""
+    if violates([]):
+        return []
+    granularity = 2
+    while len(items) >= 2:
+        chunks = _split(items, granularity)
+        reduced = False
+        # Try each chunk alone — a much smaller reproducer in one step.
+        for chunk in chunks:
+            if violates(chunk):
+                items, granularity, reduced = chunk, 2, True
+                break
+        if not reduced:
+            # Try removing each chunk (its complement).
+            for index in range(len(chunks)):
+                complement = [
+                    item
+                    for j, chunk in enumerate(chunks)
+                    if j != index
+                    for item in chunk
+                ]
+                if violates(complement):
+                    items = complement
+                    granularity = max(granularity - 1, 2)
+                    reduced = True
+                    break
+        if not reduced:
+            if granularity >= len(items):
+                break  # 1-minimal: no single decision can be removed.
+            granularity = min(len(items), granularity * 2)
+    return items
+
+
+def _split(items: List[str], pieces: int) -> List[List[str]]:
+    """Split into ``pieces`` contiguous chunks, sizes as even as possible."""
+    chunks: List[List[str]] = []
+    start = 0
+    for i in range(pieces):
+        end = start + (len(items) - start) // (pieces - i)
+        if end > start:
+            chunks.append(items[start:end])
+        start = end
+    return chunks

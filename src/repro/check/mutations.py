@@ -1,0 +1,76 @@
+"""Deliberately broken Halting Algorithm variants — the checker's prey.
+
+Each mutation subclasses :class:`~repro.halting.algorithm.HaltingAgent`
+and breaks exactly one rule of §2.2.1. The mutation-smoke suite (and
+``repro check --mutate``) injects them through
+``HaltingCoordinator(agent_factory=...)`` and asserts the invariant
+library catches each one within a bounded schedule budget — evidence the
+checker would notice a real regression in the genuine agent.
+
+``skip-forward``
+    The Halt Routine "for **each** channel directed away from x" loop
+    skips one outgoing channel. On a unidirectional ring that severs the
+    marker flood outright: downstream processes never halt and
+    ``halt_convergence`` fails on every schedule.
+``late-halt``
+    The Halt Routine forwards its markers but *defers* the halt itself by
+    one internal step, breaking the rule's atomicity. In the window the
+    process keeps consuming messages past its announced cut point —
+    schedule-dependent: interleavings that land a delivery (or a
+    neighbour's halt) inside the window violate ``theorem2_equivalence``
+    or ``halting_order_prefix``; interleavings that close the window
+    immediately are indistinguishable from the correct agent.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.halting.algorithm import HaltingAgent
+from repro.halting.markers import HaltMarker
+from repro.network.message import MessageKind
+
+
+class SkipForwardAgent(HaltingAgent):
+    """Forgets one outgoing channel in the Halt Routine's forwarding loop."""
+
+    def _forward_markers(self, marker: HaltMarker) -> None:
+        forwarded = marker.extended_by(self.controller.name)
+        channels = sorted(self.controller.outgoing_channels(), key=str)
+        for channel_id in channels[1:]:  # BUG: channels[0] never gets one.
+            self.controller.send_control(
+                channel_id, MessageKind.HALT_MARKER, forwarded
+            )
+
+
+class LateHaltAgent(HaltingAgent):
+    """Forwards markers now, halts one internal step later."""
+
+    def _halt_routine(self, marker: HaltMarker) -> None:
+        self.halted_via = marker
+        self._forward_markers(marker)
+        if self.controller.never_halts:
+            return
+        # BUG: the halt is no longer atomic with the forwarding — any
+        # work scheduled into this window runs past the announced cut.
+        self.controller.defer(
+            lambda: self._late_halt(marker), label="late-halt"
+        )
+
+    def _late_halt(self, marker: HaltMarker) -> None:
+        controller = self.controller
+        if controller.halted or controller.crashed:
+            return
+        controller.halt(
+            halt_id=self.last_halt_id,
+            halt_path=list(marker.extended_by(controller.name).path),
+        )
+        if self._notify_halted is not None:
+            self._notify_halted(self)
+
+
+#: Name → agent factory, as accepted by ``HaltingCoordinator``.
+MUTATIONS: Dict[str, Callable[..., HaltingAgent]] = {
+    "skip-forward": SkipForwardAgent,
+    "late-halt": LateHaltAgent,
+}

@@ -1,0 +1,392 @@
+"""One controlled run end to end: build, schedule, halt, judge.
+
+A :class:`Scenario` names a workload, a halt-initiation point (the same
+local-condition trigger the E2 harness uses: "after process X's N-th
+event"), and the invariants that must hold. :func:`run_schedule` executes
+exactly one interleaving of it — the one the given strategy picks — and
+returns a :class:`ScheduleResult` whose report is canonical JSON, so the
+same schedule always yields byte-identical output (replay determinism).
+
+Two modes:
+
+``basic``
+    The §2.2.1 algorithm via :class:`HaltingCoordinator` on a strongly
+    connected workload. These runs get the full treatment including the
+    Theorem-2 twin: a second system with a :class:`SnapshotCoordinator`
+    replays the halting run's *trace* label for label, so both runs are
+    the same execution up to the cut and ``S_h == S_r`` is checkable.
+``session``
+    The §2.2.3 extended model via :class:`DebugSession` (debugger process
+    ``d``, acyclic topologies like Fig. 2's pipeline). Halting initiates
+    spontaneously at a user process, exactly like a local breakpoint
+    firing. No twin here: client halt notifications give the two runs
+    different control traffic, so trace alignment does not apply.
+
+All scenarios run under ``FixedLatency(1.0)``: with the controlled
+scheduler choosing firing order, latency is a constant and interleavings
+are purely decision-driven.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.check.invariants import RunRecord, Violation, evaluate
+from repro.check.scheduler import (
+    ControlledScheduler,
+    Strategy,
+    TraceReplayStrategy,
+)
+from repro.debugger.session import DebugSession
+from repro.experiments.harness import BuildResult, install_trigger
+from repro.faults.plan import FaultPlan
+from repro.halting.algorithm import HaltingAgent, HaltingCoordinator
+from repro.network.latency import FixedLatency
+from repro.runtime.state_capture import ProcessStateSnapshot
+from repro.runtime.system import System
+from repro.snapshot.chandy_lamport import SnapshotCoordinator
+from repro.snapshot.state import ChannelState, GlobalState
+from repro.trace.serialize import state_to_dict
+from repro.util.ids import ChannelId, ProcessId
+from repro.workloads import pipeline, token_ring
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, fixed configuration the explorer enumerates schedules of."""
+
+    name: str
+    description: str
+    mode: str  # "basic" | "session"
+    builder: Callable[[], BuildResult]
+    trigger_process: ProcessId
+    trigger_event: int
+    invariants: Tuple[str, ...]
+    reliable: bool = False
+    fault_plan: Optional[FaultPlan] = None
+    max_steps: int = 20_000
+    seed: int = 0
+    #: Run the Theorem-2 snapshot twin (basic, fault-free scenarios only).
+    twin: bool = False
+
+
+@dataclass
+class ScheduleResult:
+    """One schedule executed and judged."""
+
+    record: RunRecord
+    violations: List[Violation] = field(default_factory=list)
+    #: True when the step budget ran out before quiescence — the run is
+    #: unjudgeable, neither a pass nor a violation.
+    inconclusive: bool = False
+
+    @property
+    def violated(self) -> bool:
+        return bool(self.violations)
+
+    def report_dict(self) -> Dict[str, object]:
+        """Canonical, JSON-ready report of this run (stable key order)."""
+        record = self.record
+        return {
+            "scenario": record.scenario,
+            "mode": record.mode,
+            "quiesced": record.quiesced,
+            "inconclusive": self.inconclusive,
+            "all_halted": record.all_halted,
+            "halt_order": list(record.halt_order),
+            "halt_paths": {
+                process: list(path)
+                for process, path in sorted(record.halt_paths.items())
+            },
+            "decisions": list(record.decisions),
+            "trace_length": len(record.trace),
+            "events_executed": record.system.kernel.events_executed,
+            "message_totals": record.system.message_totals(),
+            "halt_state": (
+                state_to_dict(record.halt_state)
+                if record.halt_state is not None else None
+            ),
+            "violations": [
+                {"invariant": v.invariant, "details": list(v.details)}
+                for v in self.violations
+            ],
+        }
+
+    def report_json(self) -> str:
+        return json.dumps(self.report_dict(), sort_keys=True)
+
+
+def run_schedule(
+    scenario: Scenario,
+    strategy: Optional[Strategy] = None,
+    agent_factory: Optional[Callable[..., HaltingAgent]] = None,
+) -> ScheduleResult:
+    """Execute one interleaving of ``scenario`` and evaluate its invariants."""
+    if scenario.mode == "basic":
+        record = _run_basic(scenario, strategy, agent_factory)
+    elif scenario.mode == "session":
+        record = _run_session(scenario, strategy, agent_factory)
+    else:
+        raise ValueError(f"unknown scenario mode {scenario.mode!r}")
+    if not record.quiesced:
+        return ScheduleResult(record=record, inconclusive=True)
+    return ScheduleResult(
+        record=record, violations=evaluate(record, scenario.invariants)
+    )
+
+
+# -- basic mode (HaltingCoordinator, strongly connected) -----------------------
+
+
+def _build_system(scenario: Scenario) -> System:
+    topology, processes = scenario.builder()
+    return System(
+        topology,
+        processes,
+        seed=scenario.seed,
+        latency=FixedLatency(1.0),
+        fault_plan=scenario.fault_plan,
+        reliable=scenario.reliable,
+    )
+
+
+def _run_basic(
+    scenario: Scenario,
+    strategy: Optional[Strategy],
+    agent_factory: Optional[Callable[..., HaltingAgent]],
+) -> RunRecord:
+    system = _build_system(scenario)
+    scheduler = ControlledScheduler(strategy)
+    scheduler.install(system.kernel)
+    coordinator = HaltingCoordinator(system, agent_factory=agent_factory)
+    install_trigger(
+        system, scenario.trigger_process, scenario.trigger_event,
+        lambda: coordinator.initiate([scenario.trigger_process]),
+    )
+    system.run(max_events=scenario.max_steps)
+    quiesced = system.kernel.pending == 0
+    all_halted = system.all_user_processes_halted()
+    halt_state = None
+    if quiesced and all_halted:
+        halt_state = coordinator.collect()
+    record = RunRecord(
+        scenario=scenario.name,
+        mode=scenario.mode,
+        system=system,
+        quiesced=quiesced,
+        all_halted=all_halted,
+        halt_state=halt_state,
+        halt_order=list(coordinator.halt_order),
+        halt_paths=dict(coordinator.halting_order_report()),
+        trace=list(scheduler.trace),
+        decisions=list(scheduler.decisions),
+        choice_points=list(scheduler.choice_points),
+    )
+    if scenario.twin and halt_state is not None:
+        record.snapshot_state, record.twin_divergences = _run_snapshot_twin(
+            scenario, record.trace
+        )
+    return record
+
+
+def _run_snapshot_twin(
+    scenario: Scenario, trace: List[str]
+) -> Tuple[Optional[GlobalState], int]:
+    """The Theorem-2 half: same build, same seed, same interleaving (by
+    trace replay), but the trigger records a C&L snapshot instead of
+    halting. Up to each process's record point the two runs are the same
+    execution, which is precisely the premise of ``S_h == S_r``."""
+    system = _build_system(scenario)
+    replay = TraceReplayStrategy(trace)
+    scheduler = ControlledScheduler(replay)
+    scheduler.install(system.kernel)
+    coordinator = SnapshotCoordinator(system)
+    install_trigger(
+        system, scenario.trigger_process, scenario.trigger_event,
+        lambda: coordinator.initiate([scenario.trigger_process]),
+    )
+    # The snapshot run keeps executing after the cut (nothing halts), so
+    # give it headroom beyond the halting run's budget.
+    system.run(max_events=scenario.max_steps * 2)
+    state = coordinator.collect() if coordinator.is_complete() else None
+    return state, replay.divergences
+
+
+# -- session mode (DebugSession, extended §2.2.3 model) ------------------------
+
+
+def _run_session(
+    scenario: Scenario,
+    strategy: Optional[Strategy],
+    agent_factory: Optional[Callable[..., HaltingAgent]],
+) -> RunRecord:
+    if agent_factory is not None:
+        raise ValueError(
+            "mutations are injected via HaltingCoordinator and only apply "
+            "to basic-mode scenarios"
+        )
+    topology, processes = scenario.builder()
+    session = DebugSession(
+        topology, processes, seed=scenario.seed, latency=FixedLatency(1.0)
+    )
+    system = session.system
+    scheduler = ControlledScheduler(strategy)
+    scheduler.install(system.kernel)
+
+    halt_order: List[ProcessId] = []
+    agents = session._halting_agents
+    for name in system.user_process_names:
+        agents[name].notify_on_halt(
+            lambda agent: halt_order.append(agent.controller.name)
+        )
+
+    trigger_agent = agents[scenario.trigger_process]
+
+    def initiate() -> None:
+        # Spontaneous local initiation (a breakpoint fired here, §2.2.3).
+        if not trigger_agent.controller.halted:
+            trigger_agent.initiate()
+
+    install_trigger(
+        system, scenario.trigger_process, scenario.trigger_event, initiate
+    )
+    system.run(max_events=scenario.max_steps)
+    quiesced = system.kernel.pending == 0
+    all_halted = system.all_user_processes_halted()
+    halt_state = None
+    if quiesced and all_halted:
+        halt_state = _collect_session_halt(system, agents, halt_order)
+    halt_paths = {
+        name: agents[name].halted_via.path
+        for name in system.user_process_names
+        if agents[name].halted_via is not None
+    }
+    return RunRecord(
+        scenario=scenario.name,
+        mode=scenario.mode,
+        system=system,
+        quiesced=quiesced,
+        all_halted=all_halted,
+        halt_state=halt_state,
+        halt_order=halt_order,
+        halt_paths=halt_paths,
+        trace=list(scheduler.trace),
+        decisions=list(scheduler.decisions),
+        choice_points=list(scheduler.choice_points),
+    )
+
+
+def _collect_session_halt(
+    system: System,
+    agents: Dict[ProcessId, HaltingAgent],
+    halt_order: List[ProcessId],
+) -> GlobalState:
+    """Assemble ``S_h`` from the frozen controllers, debugger excluded —
+    the same assembly :meth:`HaltingCoordinator.collect` performs for the
+    basic algorithm (halt buffers are the channel states, Lemma 2.2)."""
+    processes: Dict[ProcessId, ProcessStateSnapshot] = {}
+    channels: Dict[ChannelId, ChannelState] = {}
+    generation = 0
+    for name in system.user_process_names:
+        controller = system.controller(name)
+        assert controller.halted_snapshot is not None
+        processes[name] = controller.halted_snapshot
+        generation = max(generation, agents[name].last_halt_id)
+        for channel_id, envelopes in controller.halt_buffers.items():
+            channels[channel_id] = ChannelState(
+                channel=channel_id,
+                messages=tuple(env.payload for env in envelopes),
+                complete=channel_id in controller.closed_channels,
+            )
+    return GlobalState(
+        origin="halting",
+        processes=processes,
+        channels=channels,
+        generation=generation,
+        meta={
+            "halt_order": list(halt_order),
+            "clock_frame": list(system.clock_frame.order),
+        },
+    )
+
+
+# -- the scenario registry ---------------------------------------------------
+
+
+def _token_ring_scenario() -> Scenario:
+    return Scenario(
+        name="token_ring",
+        description="token_ring(4) under the basic §2.2.1 algorithm, "
+                    "with the Theorem-2 snapshot twin",
+        mode="basic",
+        builder=lambda: token_ring.build(n=4, max_hops=24),
+        trigger_process="p1",
+        trigger_event=6,
+        invariants=(
+            "halt_convergence",
+            "theorem1_consistency",
+            "theorem2_equivalence",
+            "fifo_per_channel",
+            "exactly_once_conservation",
+            "halting_order_prefix",
+        ),
+        twin=True,
+    )
+
+
+def _pipeline_scenario() -> Scenario:
+    return Scenario(
+        name="pipeline",
+        description="Fig. 2 producer->stages->consumer under the extended "
+                    "debugger model (acyclic: the basic algorithm cannot "
+                    "halt it, §2.2.2)",
+        mode="session",
+        builder=lambda: pipeline.build(stages=2, items=12),
+        trigger_process="stage1",
+        trigger_event=6,
+        invariants=(
+            "halt_convergence",
+            "theorem1_consistency",
+            "fifo_per_channel",
+            "exactly_once_conservation",
+            "halting_order_prefix",
+        ),
+    )
+
+
+def _token_ring_reliable_scenario() -> Scenario:
+    return Scenario(
+        name="token_ring_reliable",
+        description="token_ring(3) over ReliableChannel with injected frame "
+                    "loss — exactly-once despite a lossy wire",
+        mode="basic",
+        builder=lambda: token_ring.build(n=3, max_hops=16),
+        trigger_process="p1",
+        trigger_event=6,
+        invariants=(
+            "halt_convergence",
+            "theorem1_consistency",
+            "fifo_per_channel",
+            "exactly_once_conservation",
+            "halting_order_prefix",
+        ),
+        reliable=True,
+        fault_plan=FaultPlan.lossy(0.15, seed=7),
+        max_steps=60_000,
+    )
+
+
+def scenarios() -> Dict[str, Scenario]:
+    """Name → scenario, rebuilt fresh on every call (scenarios are cheap
+    and immutable; rebuilding avoids shared-registry mutation hazards)."""
+    registry = {}
+    for factory in (
+        _token_ring_scenario,
+        _pipeline_scenario,
+        _token_ring_reliable_scenario,
+    ):
+        scenario = factory()
+        registry[scenario.name] = scenario
+    return registry

@@ -1,0 +1,234 @@
+"""The controlled scheduler: kernel entries become explorable decisions.
+
+The DES kernel normally orders work by ``(time, priority, tiebreak)`` — the
+interleaving is a function of seeded latencies. The checker inverts that:
+a :class:`ControlledScheduler` installs itself as the kernel's ordering
+hook and, at every step, classifies the pending entries into *enabled
+groups*, one per independent source of nondeterminism:
+
+``chan:src->dst``
+    The FIFO head of one channel's pending deliveries. Only the head is
+    enabled — delivering out of order would violate the §2.1 channel model
+    (and trip ``Channel._arrive``'s FIFO assertion).
+``ack:src->dst`` / ``rtx:src->dst``
+    The reliable layer's acknowledgement / retransmission work for one
+    channel, likewise FIFO within the group.
+``timer:process``
+    One process's earliest-deadline pending timer. Relative timer order at
+    a single process is program logic, not network nondeterminism, so
+    timers stay in deadline order within the group.
+``internal:label:process``
+    Deferred actions, triggers, crash/stall schedules. Each is its own
+    group: *when* an internal step lands relative to deliveries is a real
+    scheduling choice (a deferred halt racing a delivery is exactly the
+    kind of bug the checker exists to find).
+
+The sorted group labels are the *enabled set*. When it has one element the
+step is forced; with two or more it is a **choice point** and the strategy
+picks. The scheduler records the full label ``trace`` (one label per step)
+and the ``decisions`` subsequence (choice points only) — decisions are the
+replayable artifact; the trace aligns a Theorem-2 snapshot twin run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.simulation.kernel import (
+    PRIORITY_DELIVERY,
+    PRIORITY_INTERNAL,
+    PRIORITY_TIMER,
+    ScheduledEvent,
+    SimulationKernel,
+)
+
+
+def classify(event: ScheduledEvent) -> str:
+    """Map one pending kernel entry to its enabled-group label.
+
+    The mapping is derived from the tiebreak conventions the runtime
+    already uses for cross-run determinism (channel identity for
+    deliveries, process identity for timers); anything unrecognized
+    falls into a per-entry group so it stays schedulable.
+    """
+    tb = event.tiebreak
+    if event.priority == PRIORITY_DELIVERY:
+        if len(tb) == 3 and tb[0] == "ack":
+            return f"ack:{tb[1]}"
+        if len(tb) == 2 and isinstance(tb[1], int):
+            return f"chan:{tb[0]}"
+    elif event.priority == PRIORITY_TIMER:
+        if len(tb) == 4 and tb[0] == "rtx":
+            return f"rtx:{tb[1]}"
+        if len(tb) == 3:
+            return f"timer:{tb[0]}"
+    elif event.priority == PRIORITY_INTERNAL:
+        if len(tb) == 2:
+            return f"internal:{tb[0]}:{tb[1]}"
+    return f"entry:{event.priority}:{tb!r}:{event.sequence}"
+
+
+def target_process(label: str) -> str:
+    """The process a group's execution affects — the independence relation.
+
+    Two labels with different targets commute (delivering to ``q`` and
+    firing a timer at ``r`` touch disjoint local states); same target
+    means potentially dependent. ``ack``/``rtx`` work lands at the channel
+    *source* (the sender's retransmission state), deliveries at the
+    destination.
+    """
+    kind, _, rest = label.partition(":")
+    if kind == "chan":
+        return rest.split("->", 1)[1] if "->" in rest else rest
+    if kind in ("ack", "rtx"):
+        return rest.split("->", 1)[0] if "->" in rest else rest
+    if kind == "timer":
+        return rest
+    if kind == "internal":
+        return rest.rpartition(":")[2]
+    return label
+
+
+def independent(label_a: str, label_b: str) -> bool:
+    """Sleep-set independence: disjoint target processes commute."""
+    return target_process(label_a) != target_process(label_b)
+
+
+@dataclass(frozen=True)
+class ChoicePoint:
+    """One point where more than one group was enabled."""
+
+    #: Index into the scheduler's full ``trace``.
+    trace_index: int
+    #: The sorted enabled labels at this point.
+    enabled: Tuple[str, ...]
+    #: The label the strategy picked.
+    chosen: str
+
+
+class Strategy:
+    """Picks one label from a sorted enabled set (consulted per step)."""
+
+    def on_step(self, labels: Sequence[str]) -> str:
+        """Called every step. Forced steps (one label) bypass ``choose``."""
+        if len(labels) == 1:
+            return labels[0]
+        return self.choose(labels)
+
+    def choose(self, labels: Sequence[str]) -> str:
+        raise NotImplementedError
+
+
+class DefaultStrategy(Strategy):
+    """Always the first label in sorted order — the canonical schedule."""
+
+    def choose(self, labels: Sequence[str]) -> str:
+        return labels[0]
+
+
+class RandomWalkStrategy(Strategy):
+    """Uniform choice at every choice point, from a dedicated RNG."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+
+    def choose(self, labels: Sequence[str]) -> str:
+        return labels[self._rng.choice(range(len(labels)))]
+
+
+class ScriptedStrategy(Strategy):
+    """Replay a decision list; fall back to the default choice after it ends.
+
+    Decisions are consumed at choice points only. A scripted label that is
+    not currently enabled counts as a divergence (tracked, not fatal):
+    delta-debugging legitimately produces prefixes whose suffix no longer
+    matches the mutated execution.
+    """
+
+    def __init__(self, decisions: Sequence[str]) -> None:
+        self._script = list(decisions)
+        self._cursor = 0
+        self.divergences = 0
+
+    def choose(self, labels: Sequence[str]) -> str:
+        if self._cursor < len(self._script):
+            wanted = self._script[self._cursor]
+            self._cursor += 1
+            if wanted in labels:
+                return wanted
+            self.divergences += 1
+        return labels[0]
+
+
+class TraceReplayStrategy(Strategy):
+    """Follow a full per-step label trace from a previous run.
+
+    Used for the Theorem-2 twin: the snapshot run re-executes the halting
+    run's exact event sequence while its extra post-record work waits its
+    turn. Consumes one trace label per step — forced steps included — so
+    the two runs stay aligned step for step. After the trace is exhausted
+    (the halting run quiesced; the snapshot run still has post-cut work)
+    the default order finishes the run.
+    """
+
+    def __init__(self, trace: Sequence[str]) -> None:
+        self._trace = list(trace)
+        self._cursor = 0
+        self.divergences = 0
+
+    def on_step(self, labels: Sequence[str]) -> str:
+        if self._cursor < len(self._trace):
+            wanted = self._trace[self._cursor]
+            self._cursor += 1
+            if wanted in labels:
+                return wanted
+            self.divergences += 1
+        return labels[0]
+
+    def choose(self, labels: Sequence[str]) -> str:  # pragma: no cover
+        return labels[0]
+
+
+class ControlledScheduler:
+    """Kernel ordering hook that records what it chose and why."""
+
+    def __init__(self, strategy: Optional[Strategy] = None) -> None:
+        self.strategy = strategy or DefaultStrategy()
+        #: Every step's chosen label, in execution order.
+        self.trace: List[str] = []
+        #: The chosen labels at choice points only (the schedule).
+        self.decisions: List[str] = []
+        #: Full choice-point records, for the explorer's branching.
+        self.choice_points: List[ChoicePoint] = []
+
+    def install(self, kernel: SimulationKernel) -> None:
+        kernel.set_ordering(self.__call__)
+
+    def __call__(self, events: List[ScheduledEvent]) -> int:
+        heads: Dict[str, ScheduledEvent] = {}
+        for event in events:
+            label = classify(event)
+            head = heads.get(label)
+            # FIFO within a group: earliest (time, tiebreak, sequence)
+            # fires first, which is per-channel message order for
+            # deliveries and deadline order for timers.
+            if head is None or self._key(event) < self._key(head):
+                heads[label] = event
+        labels = sorted(heads)
+        chosen = self.strategy.on_step(labels)
+        if chosen not in heads:
+            # Defensive: a buggy strategy must not wedge the kernel.
+            chosen = labels[0]
+        if len(labels) > 1:
+            self.choice_points.append(
+                ChoicePoint(len(self.trace), tuple(labels), chosen)
+            )
+            self.decisions.append(chosen)
+        self.trace.append(chosen)
+        return heads[chosen].sequence
+
+    @staticmethod
+    def _key(event: ScheduledEvent) -> Tuple[float, tuple, int]:
+        return (event.time, event.tiebreak, event.sequence)

@@ -32,7 +32,8 @@ usage: python -m repro serve <workload> [key=value ...] [port=N] [seed=N]
 
 Starts the workload as real OS processes connected by TCP sockets, with
 the debugger process d in this process, and listens for attach clients on
-the control port (default 7070).
+the control port (default 7070; port=0 picks a free port and announces it
+on stdout).
 """
 
 ATTACH_USAGE = """\
@@ -208,6 +209,8 @@ def serve_main(argv: List[str]) -> int:
 
     # Bind the control port BEFORE spawning anything: if the port is taken
     # we fail here, cleanly, with zero child processes to clean up.
+    # port=0 asks the OS for a free port — the only race-free choice for
+    # tests and CI; the actual port is announced on stdout below.
     listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
     try:
@@ -220,6 +223,7 @@ def serve_main(argv: List[str]) -> int:
             file=sys.stderr,
         )
         return 2
+    port = listener.getsockname()[1]
 
     from repro.observe import Observability
 

@@ -58,6 +58,17 @@ class HaltingAgent(ControlPlugin):
         #: name appended = the path we forwarded (§2.2.4).
         self.halted_via: Optional[HaltMarker] = None
 
+    def notify_on_halt(
+        self, callback: Optional[Callable[["HaltingAgent"], None]]
+    ) -> None:
+        """Register (or clear) the halted callback after construction.
+
+        Observation scaffolding only — coordinators and the schedule
+        checker use it to record the global halting order; the algorithm
+        itself never reads it.
+        """
+        self._notify_halted = callback
+
     # -- Marker-Sending Rule (spontaneous initiation) -------------------------
 
     def initiate(self, halt_id: Optional[int] = None) -> None:
@@ -138,13 +149,21 @@ class HaltingCoordinator:
     breakpoints, and resume on top of these same agents.
     """
 
-    def __init__(self, system: System) -> None:
+    def __init__(
+        self,
+        system: System,
+        agent_factory: Optional[Callable[..., HaltingAgent]] = None,
+    ) -> None:
+        #: ``agent_factory`` swaps the per-process agent implementation —
+        #: the schedule checker (:mod:`repro.check`) injects deliberately
+        #: broken agents this way to prove its invariants can fail.
+        factory = agent_factory or HaltingAgent
         self.system = system
         self.halt_order: List[ProcessId] = []
         self.agents: Dict[ProcessId, HaltingAgent] = {}
         for name in system.topology.processes:
             controller = system.controller(name)
-            agent = HaltingAgent(controller, self._agent_halted)
+            agent = factory(controller, self._agent_halted)
             controller.install(agent)
             self.agents[name] = agent
 

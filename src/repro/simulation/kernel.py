@@ -13,6 +13,13 @@ properties matter for this reproduction:
   arbitrary finite message delays; the kernel realises "unpredictable
   communication delays" (§1) as seeded random latencies, so sweeping seeds
   sweeps over interleavings.
+
+Seed sweeps only sample the interleaving space. For systematic exploration
+the kernel accepts a pluggable *ordering hook*
+(:meth:`SimulationKernel.set_ordering`): when installed, the hook — not the
+heap order — picks which pending entry fires next, and the clock follows the
+chosen entry (never moving backward). That inversion of control is what
+:mod:`repro.check` builds its schedule explorer on.
 """
 
 from __future__ import annotations
@@ -47,6 +54,20 @@ class _Entry:
     cancelled: bool = field(default=False, compare=False)
 
 
+@dataclass(frozen=True)
+class ScheduledEvent:
+    """Read-only view of one pending entry, passed to ordering hooks.
+
+    The callback is deliberately absent: a hook chooses *when* work runs,
+    never what it does, so it only sees scheduling metadata.
+    """
+
+    sequence: int
+    time: float
+    priority: int
+    tiebreak: tuple
+
+
 class SimulationKernel:
     """Single-threaded virtual-time scheduler.
 
@@ -62,6 +83,7 @@ class SimulationKernel:
         self._now = 0.0
         self._running = False
         self._events_executed = 0
+        self._ordering: Optional[Callable[[List[ScheduledEvent]], int]] = None
 
     @property
     def now(self) -> float:
@@ -132,8 +154,26 @@ class SimulationKernel:
                 return True
         return False
 
+    def set_ordering(
+        self, hook: Optional[Callable[[List[ScheduledEvent]], int]]
+    ) -> None:
+        """Install (or clear, with ``None``) a pluggable event-ordering hook.
+
+        While a hook is installed, :meth:`step` no longer pops the heap
+        minimum: the hook receives every live pending entry as a
+        :class:`ScheduledEvent` and returns the ``sequence`` of the one to
+        fire. Virtual time then advances to ``max(now, chosen.time)`` —
+        the hook may fire entries out of timestamp order (that is the
+        point: message delays are arbitrary in the paper's model, §2.1),
+        but the clock never runs backward. Used by :mod:`repro.check` to
+        turn latency-driven interleavings into explorable decisions.
+        """
+        self._ordering = hook
+
     def step(self) -> bool:
         """Execute the next pending entry. Returns ``False`` when drained."""
+        if self._ordering is not None:
+            return self._step_controlled()
         while self._queue:
             entry = heapq.heappop(self._queue)
             if entry.cancelled:
@@ -147,6 +187,37 @@ class SimulationKernel:
             entry.callback()
             return True
         return False
+
+    def _step_controlled(self) -> bool:
+        """One step under an ordering hook: the hook picks, the kernel fires.
+
+        The chosen entry is flagged cancelled rather than removed so the
+        heap invariant survives; :meth:`_peek` and periodic
+        :meth:`drain_cancelled` calls reclaim the space.
+        """
+        live = [entry for entry in self._queue if not entry.cancelled]
+        if not live:
+            self._queue.clear()
+            return False
+        views = [
+            ScheduledEvent(e.sequence, e.time, e.priority, e.tiebreak)
+            for e in live
+        ]
+        assert self._ordering is not None
+        chosen = self._ordering(views)
+        by_sequence = {entry.sequence: entry for entry in live}
+        entry = by_sequence.get(chosen)
+        if entry is None:
+            raise SimulationError(
+                f"ordering hook chose unknown entry sequence {chosen!r}"
+            )
+        entry.cancelled = True
+        self._now = max(self._now, entry.time)
+        self._events_executed += 1
+        if self._events_executed % 256 == 0:
+            self.drain_cancelled()
+        entry.callback()
+        return True
 
     def run(
         self,

@@ -1,0 +1,179 @@
+"""End-to-end tests for the schedule-exploration checker.
+
+The contract under test, in the paper's terms: on correct implementations
+of §2.2 the theorems hold on *every* explored interleaving; on deliberately
+broken ones (:mod:`repro.check.mutations`) a violation is found within a
+small bounded budget, delta-debugged to a minimal schedule, serialized,
+and reproduced deterministically by replay — including through the
+``repro check`` CLI, exit codes and all.
+"""
+
+import json
+
+import pytest
+
+from repro.check.cli import check_main
+from repro.check.explorer import explore
+from repro.check.minimize import minimize_schedule, schedule_violates
+from repro.check.mutations import MUTATIONS
+from repro.check.runner import run_schedule, scenarios
+from repro.check.scheduler import RandomWalkStrategy, ScriptedStrategy
+
+import random
+
+
+# -- stock scenarios: the theorems hold on every explored schedule --------------
+
+
+@pytest.mark.parametrize("name", ["token_ring", "pipeline",
+                                  "token_ring_reliable"])
+def test_stock_scenario_survives_bounded_exploration(name):
+    report = explore(scenarios()[name], budget=60, seed=0, dfs_depth=8)
+    assert not report.found, report.violation.violations[0].describe()
+    assert report.schedules_run > 1          # actually explored
+    assert report.inconclusive_runs == 0     # every schedule quiesced
+
+
+def test_exploration_uses_sleep_sets():
+    report = explore(scenarios()["pipeline"], budget=120, seed=0,
+                     dfs_depth=10)
+    assert report.dfs_nodes > 0
+    assert report.slept_branches > 0  # the reduction actually pruned
+
+
+# -- determinism: same decisions, same run, byte for byte -----------------------
+
+
+def test_scripted_replay_is_byte_identical():
+    scenario = scenarios()["token_ring"]
+    probe = run_schedule(scenario, RandomWalkStrategy(random.Random(42)))
+    decisions = list(probe.record.decisions)
+    first = run_schedule(scenario, ScriptedStrategy(decisions))
+    second = run_schedule(scenario, ScriptedStrategy(decisions))
+    assert first.report_json() == second.report_json()
+    assert first.record.trace == probe.record.trace
+
+
+def test_same_walk_seed_same_schedule():
+    scenario = scenarios()["pipeline"]
+    one = run_schedule(scenario, RandomWalkStrategy(random.Random("s|7")))
+    two = run_schedule(scenario, RandomWalkStrategy(random.Random("s|7")))
+    assert one.record.decisions == two.record.decisions
+    assert one.report_json() == two.report_json()
+
+
+def test_different_schedules_still_satisfy_but_differ():
+    """Exploration is not a no-op: distinct decision lists produce distinct
+    executions (different traces), all of which satisfy the theorems."""
+    scenario = scenarios()["token_ring"]
+    traces = set()
+    for seed in range(6):
+        result = run_schedule(
+            scenario, RandomWalkStrategy(random.Random(seed)))
+        assert not result.violated and not result.inconclusive
+        traces.add(tuple(result.record.trace))
+    assert len(traces) > 1
+
+
+# -- mutation smoke: broken rules are caught, minimized, replayed ---------------
+
+
+def test_skip_forward_mutation_caught_within_budget():
+    scenario = scenarios()["token_ring"]
+    report = explore(scenario, budget=20, seed=0,
+                     agent_factory=MUTATIONS["skip-forward"],
+                     mutation="skip-forward")
+    assert report.found
+    violation = report.violation.violations[0]
+    assert violation.invariant == "halt_convergence"
+
+
+def test_late_halt_mutation_caught_and_minimized():
+    scenario = scenarios()["token_ring"]
+    factory = MUTATIONS["late-halt"]
+    report = explore(scenario, budget=20, seed=0, agent_factory=factory,
+                     mutation="late-halt")
+    assert report.found
+    violation = report.violation.violations[0]
+    minimal = minimize_schedule(
+        scenario, report.violation.record.decisions,
+        violation.invariant, factory,
+    )
+    # Minimized schedule still violates the same invariant...
+    assert schedule_violates(scenario, minimal, violation.invariant, factory)
+    # ...and is 1-minimal: removing any single decision un-violates.
+    for i in range(len(minimal)):
+        candidate = minimal[:i] + minimal[i + 1:]
+        assert not schedule_violates(
+            scenario, candidate, violation.invariant, factory)
+
+
+def test_stock_agents_pass_the_schedules_that_damn_the_mutants():
+    """The checker's verdicts discriminate: a schedule on which a mutant
+    violates is re-run with the genuine agent and found clean."""
+    scenario = scenarios()["token_ring"]
+    factory = MUTATIONS["late-halt"]
+    report = explore(scenario, budget=20, seed=0, agent_factory=factory,
+                     mutation="late-halt")
+    assert report.found
+    decisions = list(report.violation.record.decisions)
+    stock = run_schedule(scenario, ScriptedStrategy(decisions))
+    assert not stock.violated
+
+
+# -- the CLI, exit codes and artifacts ------------------------------------------
+
+
+def test_cli_mutation_smoke_writes_artifact_and_replays(tmp_path, capsys):
+    artifact_path = str(tmp_path / "counterexample.json")
+    code = check_main(["token_ring", "--mutate", "late-halt",
+                       "--budget", "20", "--artifact", artifact_path])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "VIOLATION" in out and "minimized schedule" in out
+
+    with open(artifact_path) as handle:
+        data = json.load(handle)
+    assert data["kind"] == "repro-check-schedule"
+    assert data["scenario"] == "token_ring"
+    assert data["mutation"] == "late-halt"
+
+    # Replay against the same mutated build reproduces it: exit 0.
+    assert check_main(["--replay", artifact_path]) == 0
+    assert "reproduced" in capsys.readouterr().out
+
+
+def test_cli_replay_mismatch_exits_2(tmp_path, capsys):
+    artifact_path = str(tmp_path / "counterexample.json")
+    assert check_main(["token_ring", "--mutate", "skip-forward",
+                       "--budget", "10", "--artifact", artifact_path]) == 1
+    capsys.readouterr()
+    # Strip the mutation: the stock agent does not violate, so the
+    # artifact no longer reproduces — replay must say so, loudly.
+    with open(artifact_path) as handle:
+        data = json.load(handle)
+    data["mutation"] = None
+    with open(artifact_path, "w") as handle:
+        json.dump(data, handle)
+    assert check_main(["--replay", artifact_path]) == 2
+    assert "did NOT reproduce" in capsys.readouterr().err
+
+
+def test_cli_stock_run_exits_0(capsys):
+    assert check_main(["token_ring", "--budget", "25"]) == 0
+    assert "no violation" in capsys.readouterr().out
+
+
+def test_cli_usage_errors_exit_2(capsys):
+    assert check_main(["no_such_scenario"]) == 2
+    assert check_main(["--mutate", "no_such_mutation"]) == 2
+    assert check_main(["pipeline", "--mutate", "late-halt"]) == 2
+    capsys.readouterr()
+
+
+def test_cli_list_names_scenarios_and_mutations(capsys):
+    assert check_main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("token_ring", "pipeline", "token_ring_reliable",
+                 "skip-forward", "late-halt"):
+        assert name in out

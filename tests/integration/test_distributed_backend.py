@@ -11,7 +11,7 @@ user would, subprocesses and all.
 
 import json
 import os
-import socket
+import re
 import subprocess
 import sys
 import time
@@ -191,14 +191,12 @@ def test_cluster_message_totals_include_children_after_shutdown():
 def test_serve_attach_cli_full_session(tmp_path):
     env = dict(os.environ)
     env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
-    probe = socket.socket()
-    probe.bind(("127.0.0.1", 0))
-    port = probe.getsockname()[1]
-    probe.close()
 
+    # port=0: the OS picks a free port and serve announces it on stdout —
+    # race-free, unlike probing for a free port and hoping it stays free.
     serve = subprocess.Popen(
         [sys.executable, "-m", "repro", "serve", "token_ring", "n=3",
-         "max_hops=100000", "hold_time=0.5", f"port={port}"],
+         "max_hops=100000", "hold_time=0.5", "port=0"],
         env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
     )
 
@@ -209,14 +207,16 @@ def test_serve_attach_cli_full_session(tmp_path):
         )
 
     try:
+        port = None
         deadline = time.time() + 30.0
-        while time.time() < deadline:
-            try:
-                socket.create_connection(("127.0.0.1", port),
-                                         timeout=0.5).close()
+        while time.time() < deadline and port is None:
+            line = serve.stdout.readline()
+            if not line:
                 break
-            except OSError:
-                time.sleep(0.1)
+            match = re.search(r"control port 127\.0\.0\.1:(\d+)", line)
+            if match:
+                port = int(match.group(1))
+        assert port, f"serve never announced its port: {serve.stderr.read()}"
         time.sleep(0.8)
 
         result = attach("status")
@@ -258,3 +258,5 @@ def test_serve_attach_cli_full_session(tmp_path):
         if serve.poll() is None:
             serve.kill()
             serve.wait(timeout=10)
+        serve.stdout.close()
+        serve.stderr.close()

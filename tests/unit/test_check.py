@@ -1,0 +1,297 @@
+"""Unit tests for the schedule checker's moving parts.
+
+Covers the pieces that must be right for exploration to mean anything:
+entry classification and the independence relation, strategy semantics
+(scripted replay, divergence counting), sleep-set child generation and
+pruning, ddmin's 1-minimality, and artifact (de)serialization.
+"""
+
+import pytest
+
+from repro.check.artifact import ScheduleArtifact, load_artifact, save_artifact
+from repro.check.explorer import ExplorationReport, _Node, _push_children
+from repro.check.invariants import RunRecord, halting_order_prefix
+from repro.check.minimize import ddmin
+from repro.check.runner import ScheduleResult
+from repro.check.scheduler import (
+    ChoicePoint,
+    ControlledScheduler,
+    DefaultStrategy,
+    ScriptedStrategy,
+    TraceReplayStrategy,
+    classify,
+    independent,
+    target_process,
+)
+from repro.simulation.kernel import (
+    PRIORITY_DELIVERY,
+    PRIORITY_INTERNAL,
+    PRIORITY_TIMER,
+    ScheduledEvent,
+    SimulationKernel,
+)
+from repro.util.errors import CodecError
+
+
+# -- classification and independence -------------------------------------------
+
+
+def _event(seq, time, priority, tiebreak):
+    return ScheduledEvent(sequence=seq, time=time, priority=priority,
+                          tiebreak=tiebreak)
+
+
+def test_classify_covers_the_runtime_tiebreak_conventions():
+    assert classify(_event(1, 0.0, PRIORITY_DELIVERY, ("p0->p1", 3))) \
+        == "chan:p0->p1"
+    assert classify(_event(2, 0.0, PRIORITY_DELIVERY, ("ack", "p0->p1", 3))) \
+        == "ack:p0->p1"
+    assert classify(_event(3, 0.0, PRIORITY_TIMER, ("rtx", "p0->p1", 1, 2))) \
+        == "rtx:p0->p1"
+    assert classify(_event(4, 0.0, PRIORITY_TIMER, ("p2", "hold", 9))) \
+        == "timer:p2"
+    assert classify(_event(5, 0.0, PRIORITY_INTERNAL, ("trigger", "p1"))) \
+        == "internal:trigger:p1"
+
+
+def test_classify_unknown_shape_gets_a_private_group():
+    label = classify(_event(9, 0.0, 7, ("weird",)))
+    assert label.startswith("entry:")
+    assert "9" in label  # per-entry: cannot collide with another entry
+
+
+def test_target_process_and_independence():
+    assert target_process("chan:p0->p1") == "p1"      # lands at receiver
+    assert target_process("ack:p0->p1") == "p0"       # lands at sender
+    assert target_process("rtx:p0->p1") == "p0"
+    assert target_process("timer:p2") == "p2"
+    assert target_process("internal:late-halt:p3") == "p3"
+    assert independent("chan:p0->p1", "timer:p2")
+    assert not independent("chan:p0->p1", "timer:p1")
+    assert not independent("internal:trigger:p1", "chan:p0->p1")
+
+
+# -- the controlled scheduler over a real kernel -------------------------------
+
+
+def test_scheduler_keeps_fifo_within_a_channel_group():
+    kernel = SimulationKernel()
+    fired = []
+    # Two deliveries on one channel (message_index 0 then 1) plus a timer:
+    # the channel group must expose only its FIFO head.
+    kernel.schedule(1.0, lambda: fired.append("m0"),
+                    priority=PRIORITY_DELIVERY, tiebreak=("p0->p1", 0))
+    kernel.schedule(1.0, lambda: fired.append("m1"),
+                    priority=PRIORITY_DELIVERY, tiebreak=("p0->p1", 1))
+    kernel.schedule(1.0, lambda: fired.append("t"),
+                    priority=PRIORITY_TIMER, tiebreak=("p9", "x", 0))
+    scheduler = ControlledScheduler(ScriptedStrategy(["timer:p9"]))
+    scheduler.install(kernel)
+    kernel.run()
+    assert fired == ["t", "m0", "m1"]
+    assert scheduler.trace == ["timer:p9", "chan:p0->p1", "chan:p0->p1"]
+    # Only the first step was a choice point: once the timer fired, the
+    # channel group was alone (its two entries are one FIFO group).
+    assert scheduler.decisions == ["timer:p9"]
+    assert [cp.enabled for cp in scheduler.choice_points] == \
+        [("chan:p0->p1", "timer:p9")]
+
+
+def test_scripted_strategy_counts_divergences_and_falls_back():
+    strategy = ScriptedStrategy(["timer:pX"])
+    assert strategy.on_step(["chan:a->b", "timer:p1"]) == "chan:a->b"
+    assert strategy.divergences == 1
+    # Script exhausted: default order from here on.
+    assert strategy.on_step(["chan:a->b", "timer:p1"]) == "chan:a->b"
+
+
+def test_trace_replay_consumes_forced_steps_too():
+    strategy = TraceReplayStrategy(["only", "second"])
+    assert strategy.on_step(["only"]) == "only"       # forced, still consumed
+    assert strategy.on_step(["other", "second"]) == "second"
+    assert strategy.divergences == 0
+
+
+# -- sleep sets -----------------------------------------------------------------
+
+
+def _fake_result(trace, choice_points, decisions):
+    record = RunRecord(
+        scenario="fake", mode="basic", system=None, quiesced=True,
+        all_halted=True, halt_state=None, halt_order=[], halt_paths={},
+        trace=trace, decisions=decisions, choice_points=choice_points,
+    )
+    return ScheduleResult(record=record)
+
+
+def test_sleep_set_prunes_the_commuting_sibling():
+    # One choice point with three alternatives; "timer:p8" is independent
+    # of everything else there, so after branching to it, the next sibling
+    # keeps it asleep... but siblings dependent on the new branch wake.
+    cp = ChoicePoint(
+        trace_index=0,
+        enabled=("chan:a->p1", "chan:b->p1", "timer:p8"),
+        chosen="chan:a->p1",
+    )
+    result = _fake_result(["chan:a->p1"], [cp], ["chan:a->p1"])
+    stack = []
+    report = ExplorationReport(scenario="fake", mutation=None, budget=10)
+    _push_children(stack, result, 0, frozenset(), 10, report)
+    by_prefix = {node.prefix: node for node in stack}
+    assert set(by_prefix) == {("chan:b->p1",), ("timer:p8",)}
+    # chan:b->p1 branches first: the already-explored chan:a->p1 targets
+    # the same process, so it must NOT sleep (dependent — both orders
+    # genuinely differ); timer:p8 commutes with it and stays awake too
+    # (it was not explored yet at that point).
+    assert by_prefix[("chan:b->p1",)].sleep == frozenset()
+    # timer:p8's child: both chan alternatives target p1, independent of
+    # the timer at p8 — both go to sleep; exploring them again under this
+    # branch would re-visit states the first two subtrees already cover.
+    assert by_prefix[("timer:p8",)].sleep == \
+        frozenset({"chan:a->p1", "chan:b->p1"})
+
+
+def test_sleeping_label_is_skipped_at_the_next_choice_point():
+    cp = ChoicePoint(
+        trace_index=0, enabled=("chan:a->p1", "chan:x->p9"),
+        chosen="chan:a->p1",
+    )
+    result = _fake_result(["chan:a->p1"], [cp], ["chan:a->p1"])
+    stack = []
+    report = ExplorationReport(scenario="fake", mutation=None, budget=10)
+    # The node already has chan:x->p9 asleep (covered by a sibling).
+    _push_children(stack, result, 0, frozenset({"chan:x->p9"}), 10, report)
+    assert stack == []  # the only alternative was asleep
+    assert report.slept_branches == 1
+
+
+def test_dependent_step_wakes_a_sleeping_label():
+    # chan:x->p9 is asleep, but a forced step targeting p9 executes before
+    # the next choice point — the sleeper is woken and branched.
+    cps = [ChoicePoint(trace_index=1,
+                       enabled=("chan:a->p1", "chan:x->p9"),
+                       chosen="chan:a->p1")]
+    result = _fake_result(["timer:p9", "chan:a->p1"], cps, ["chan:a->p1"])
+    stack = []
+    report = ExplorationReport(scenario="fake", mutation=None, budget=10)
+    _push_children(stack, result, 0, frozenset({"chan:x->p9"}), 10, report)
+    assert [node.prefix for node in stack] == [("chan:x->p9",)]
+    assert report.slept_branches == 0
+
+
+def test_dfs_depth_bounds_the_branching():
+    cps = [
+        ChoicePoint(trace_index=0, enabled=("a:x->p1", "b:x->p2"),
+                    chosen="a:x->p1"),
+        ChoicePoint(trace_index=1, enabled=("a:x->p1", "b:x->p2"),
+                    chosen="a:x->p1"),
+    ]
+    result = _fake_result(["a:x->p1", "a:x->p1"], cps,
+                          ["a:x->p1", "a:x->p1"])
+    stack = []
+    report = ExplorationReport(scenario="fake", mutation=None, budget=10)
+    _push_children(stack, result, 0, frozenset(), 1, report)
+    assert [node.prefix for node in stack] == [("b:x->p2",)]  # depth 1 only
+
+
+# -- ddmin ----------------------------------------------------------------------
+
+
+def test_ddmin_finds_the_minimal_pair():
+    calls = []
+
+    def violates(candidate):
+        calls.append(tuple(candidate))
+        return "x" in candidate and "z" in candidate
+
+    items = list("abxcdzef")
+    minimal = ddmin(items, violates)
+    assert minimal == ["x", "z"]
+    # 1-minimality, checked directly: dropping either element un-violates.
+    assert not violates(["x"]) and not violates(["z"])
+
+
+def test_ddmin_single_culprit_and_empty_minimum():
+    assert ddmin(list("abcd"), lambda c: "c" in c) == ["c"]
+    # Violation independent of the schedule: minimum is the empty script.
+    assert ddmin(list("abcd"), lambda c: True) == []
+
+
+def test_ddmin_preserves_order_of_surviving_decisions():
+    def violates(candidate):
+        # Violates only if "b" comes before "d" (subsequence semantics).
+        text = "".join(candidate)
+        return "b" in text and "d" in text and \
+            text.index("b") < text.index("d")
+
+    assert ddmin(list("abcde"), violates) == ["b", "d"]
+
+
+# -- invariants on hand-built records -------------------------------------------
+
+
+def _prefix_record(halt_order, halt_paths, names=("p0", "p1", "p2")):
+    class _Sys:
+        user_process_names = list(names)
+
+    return RunRecord(
+        scenario="fake", mode="basic", system=_Sys(), quiesced=True,
+        all_halted=True, halt_state=None, halt_order=list(halt_order),
+        halt_paths=dict(halt_paths),
+    )
+
+
+def test_halting_order_prefix_accepts_a_consistent_history():
+    record = _prefix_record(
+        ["p0", "p1", "p2"],
+        {"p0": (), "p1": ("p0",), "p2": ("p0", "p1")},
+    )
+    assert halting_order_prefix(record) == []
+
+
+def test_halting_order_prefix_rejects_a_hop_that_had_not_halted():
+    record = _prefix_record(
+        ["p1", "p0", "p2"],
+        {"p1": ("p0",), "p0": (), "p2": ("p0", "p1")},
+    )
+    violations = halting_order_prefix(record)
+    assert violations and violations[0].invariant == "halting_order_prefix"
+    assert "p1" in violations[0].details[0]
+
+
+def test_halting_order_prefix_skips_debugger_hops():
+    record = _prefix_record(
+        ["p0", "p1"],
+        {"p0": ("d",), "p1": ("d", "p0")},
+        names=("p0", "p1"),
+    )
+    assert halting_order_prefix(record) == []
+
+
+# -- artifacts ------------------------------------------------------------------
+
+
+def test_artifact_roundtrip(tmp_path):
+    artifact = ScheduleArtifact(
+        scenario="token_ring", seed=0, mutation="late-halt",
+        decisions=("internal:trigger:p1", "chan:p1->p2"),
+        invariant="theorem2_equivalence", details=("state diff",),
+    )
+    path = str(tmp_path / "artifact.json")
+    save_artifact(artifact, path)
+    assert load_artifact(path) == artifact
+
+
+def test_artifact_rejects_wrong_kind_and_format(tmp_path):
+    artifact = ScheduleArtifact(
+        scenario="s", seed=0, mutation=None, decisions=(),
+        invariant="halt_convergence", details=(),
+    )
+    wrong_kind = artifact.to_dict()
+    wrong_kind["kind"] = "something-else"
+    with pytest.raises(CodecError):
+        ScheduleArtifact.from_dict(wrong_kind)
+    wrong_format = artifact.to_dict()
+    wrong_format["format"] = 99
+    with pytest.raises(CodecError):
+        ScheduleArtifact.from_dict(wrong_format)

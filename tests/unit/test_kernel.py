@@ -163,3 +163,108 @@ def test_zero_delay_runs_after_current():
     kernel.schedule(1.0, lambda: fired.append("second"))
     kernel.run()
     assert fired == ["first", "second", "deferred"]
+
+
+# -- pluggable ordering hook (the schedule checker's entry point) ---------------
+
+
+def test_ordering_hook_sees_all_live_entries_and_fires_its_choice():
+    from repro.simulation.kernel import ScheduledEvent
+
+    kernel = SimulationKernel()
+    fired = []
+    kernel.schedule(1.0, lambda: fired.append("early"))
+    kernel.schedule(5.0, lambda: fired.append("late"))
+    seen = []
+
+    def latest_first(events):
+        assert all(isinstance(e, ScheduledEvent) for e in events)
+        seen.append(len(events))
+        return max(events, key=lambda e: e.time).sequence
+
+    kernel.set_ordering(latest_first)
+    kernel.run()
+    assert fired == ["late", "early"]
+    assert seen == [2, 1]
+
+
+def test_ordering_hook_never_moves_the_clock_backward():
+    kernel = SimulationKernel()
+    times = []
+    kernel.schedule(1.0, lambda: times.append(kernel.now))
+    kernel.schedule(5.0, lambda: times.append(kernel.now))
+    kernel.set_ordering(lambda evs: max(evs, key=lambda e: e.time).sequence)
+    kernel.run()
+    # The 5.0 entry fired first; the 1.0 entry then fires "late" at 5.0.
+    assert times == [5.0, 5.0]
+    assert kernel.now == 5.0
+
+
+def test_ordering_hook_skips_cancelled_entries():
+    kernel = SimulationKernel()
+    fired = []
+    handle = kernel.schedule(1.0, lambda: fired.append("cancelled"))
+    kernel.schedule(2.0, lambda: fired.append("kept"))
+    kernel.cancel(handle)
+    offered = []
+    kernel.set_ordering(
+        lambda evs: offered.append(len(evs)) or evs[0].sequence
+    )
+    kernel.run()
+    assert fired == ["kept"]
+    assert offered == [1]
+
+
+def test_ordering_hook_unknown_sequence_is_an_error():
+    kernel = SimulationKernel()
+    kernel.schedule(1.0, lambda: None)
+    kernel.set_ordering(lambda evs: -12345)
+    with pytest.raises(SimulationError):
+        kernel.run()
+
+
+def test_ordering_hook_uninstall_restores_heap_order():
+    kernel = SimulationKernel()
+    fired = []
+    consulted = []
+    kernel.schedule(1.0, lambda: fired.append("a"))
+    kernel.schedule(2.0, lambda: fired.append("b"))
+    kernel.schedule(3.0, lambda: fired.append("c"))
+
+    def hook(events):
+        consulted.append(len(events))
+        return min(events, key=lambda e: e.time).sequence
+
+    kernel.set_ordering(hook)
+    kernel.step()
+    kernel.set_ordering(None)
+    kernel.run()
+    assert fired == ["a", "b", "c"]
+    assert consulted == [3]  # only the first step went through the hook
+
+
+def test_controlled_and_default_agree_when_hook_mimics_heap_order():
+    """A hook that picks min-(time, priority, tiebreak, sequence) must
+    reproduce the default execution exactly — determinism under control."""
+
+    def build(kernel, fired):
+        kernel.schedule(2.0, lambda: fired.append("t2"))
+        kernel.schedule(1.0, lambda: fired.append("b"), priority=1,
+                        tiebreak=("b",))
+        kernel.schedule(1.0, lambda: fired.append("a"), priority=1,
+                        tiebreak=("a",))
+        kernel.schedule(1.0, lambda: fired.append("hi"), priority=0)
+
+    plain = SimulationKernel()
+    fired_plain = []
+    build(plain, fired_plain)
+    plain.run()
+
+    controlled = SimulationKernel()
+    fired_controlled = []
+    build(controlled, fired_controlled)
+    controlled.set_ordering(lambda evs: min(
+        evs, key=lambda e: (e.time, e.priority, e.tiebreak, e.sequence)
+    ).sequence)
+    controlled.run()
+    assert fired_controlled == fired_plain

@@ -10,8 +10,9 @@ cost.
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Iterable, List, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
 
@@ -33,14 +34,52 @@ def format_table(title: str, headers: Sequence[str],
 
 def emit(experiment: str, title: str, headers: Sequence[str],
          rows: Iterable[Sequence[object]]) -> str:
-    """Print the table and persist it under benchmarks/out/."""
+    """Print the table and persist it (text + JSON) under benchmarks/out/.
+
+    The JSON twin (``BENCH_<EXPERIMENT>.json``) carries the same rows as
+    a list of header-keyed dicts so downstream tooling never has to
+    scrape the aligned text table.
+    """
+    rows = [list(row) for row in rows]
     table = format_table(title, headers, rows)
     print("\n" + table)
     os.makedirs(OUT_DIR, exist_ok=True)
     path = os.path.join(OUT_DIR, f"{experiment}.txt")
     with open(path, "w", encoding="utf-8") as fp:
         fp.write(table + "\n")
+    emit_json(experiment, {
+        "title": title,
+        "headers": list(headers),
+        "rows": [
+            {str(h): _jsonable(cell) for h, cell in zip(headers, row)}
+            for row in rows
+        ],
+    })
     return table
+
+
+def _jsonable(value: object) -> object:
+    """Pass JSON-native scalars through; stringify everything else."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+def emit_json(experiment: str, payload: Dict[str, Any],
+              name: Optional[str] = None) -> str:
+    """Write ``benchmarks/out/BENCH_<EXPERIMENT>.json`` and return its path.
+
+    ``payload`` is augmented with the experiment key; pass ``name`` to
+    override the file stem (defaults to the upper-cased experiment).
+    """
+    os.makedirs(OUT_DIR, exist_ok=True)
+    stem = name if name is not None else f"BENCH_{experiment.upper()}"
+    path = os.path.join(OUT_DIR, f"{stem}.json")
+    with open(path, "w", encoding="utf-8") as fp:
+        json.dump({"experiment": experiment, **payload}, fp,
+                  indent=2, sort_keys=True)
+        fp.write("\n")
+    return path
 
 
 def once(benchmark, fn, *args, **kwargs):

@@ -1,0 +1,389 @@
+"""E18 (extension) — parallel schedule exploration and the kernel hot path.
+
+The checker's cost model is schedules explored per second. This experiment
+quantifies the two levers the parallel explorer pulls:
+
+* **kernel events/sec** — the controlled-stepping hot path. The pre-PR
+  kernel rebuilt the live-entry list and allocated a fresh view object for
+  *every pending entry on every step* (O(pending) allocations per event);
+  the current kernel keeps a live-entry index and caches one immutable
+  view per entry. A faithful replica of the pre-PR kernel is embedded
+  below so the ratio is measured, not remembered.
+* **schedules/sec** — end-to-end exploration throughput, sequential vs
+  ``-j 2`` / ``-j 4``, on every registered scenario, plus a pre-PR
+  sequential baseline (legacy kernel + legacy scheduler patched into the
+  runtime) on token_ring.
+
+Determinism is asserted along the way: a fixed seed must produce the same
+schedule count, distinct-state count, and violation set at every worker
+count.
+
+Caveat recorded in the JSON: multi-process wall-clock speedup requires
+multiple cores. On a single-CPU host (such as a constrained CI container)
+``-j 4`` cannot beat sequential — the ``j4_vs_sequential`` criterion is
+then recorded as measured but marked "skipped (single-cpu host)" instead
+of asserted.
+"""
+
+import heapq
+import itertools
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+from bench_util import emit, emit_json, once
+from repro.check.parallel import explore_parallel
+from repro.check.runner import scenarios
+from repro.check.scheduler import ChoicePoint, DefaultStrategy, classify
+from repro.simulation.kernel import ScheduledEvent, SimulationKernel
+from repro.util.errors import SimulationError
+
+BUDGET = 150
+MICRO_STEPS = 5000
+MICRO_WIDTHS = (8, 48)
+KERNEL_SPEEDUP_FLOOR = 1.3
+PARALLEL_SPEEDUP_TARGET = 2.5
+
+
+# -- faithful replicas of the pre-PR hot path --------------------------------
+# Transcribed from the last pre-PR revision of repro.simulation.kernel and
+# repro.check.scheduler so the baseline stays measurable after the
+# originals are gone.
+
+
+@dataclass(order=True)
+class _LegacyEntry:
+    time: float
+    priority: int
+    tiebreak: tuple
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class LegacyKernel:
+    """Pre-PR ``SimulationKernel``: list rescan + fresh views every step."""
+
+    def __init__(self) -> None:
+        self._queue: List[_LegacyEntry] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self._events_executed = 0
+        self._ordering = None
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        return self._events_executed
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def schedule(self, delay, callback, priority=0, tiebreak=()):
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        sequence = next(self._sequence)
+        entry = _LegacyEntry(self._now + delay, priority, tiebreak, sequence,
+                             callback)
+        heapq.heappush(self._queue, entry)
+        from repro.simulation.kernel import EventHandle
+        return EventHandle(entry.time, priority, sequence)
+
+    def schedule_at(self, at, callback, priority=0, tiebreak=()):
+        if at < self._now:
+            raise SimulationError(f"cannot schedule at t={at} < now={self._now}")
+        return self.schedule(at - self._now, callback, priority, tiebreak)
+
+    def cancel(self, handle) -> bool:
+        for entry in self._queue:
+            if (entry.sequence == handle.sequence
+                    and entry.time == handle.time
+                    and not entry.cancelled):
+                entry.cancelled = True
+                return True
+        return False
+
+    def set_ordering(self, hook) -> None:
+        self._ordering = hook
+
+    def step(self) -> bool:
+        if self._ordering is not None:
+            return self._step_controlled()
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            if entry.cancelled:
+                continue
+            self._now = entry.time
+            self._events_executed += 1
+            entry.callback()
+            return True
+        return False
+
+    def _step_controlled(self) -> bool:
+        live = [e for e in self._queue if not e.cancelled]
+        if not live:
+            self._queue.clear()
+            return False
+        views = [ScheduledEvent(e.sequence, e.time, e.priority, e.tiebreak)
+                 for e in live]
+        chosen = self._ordering(views)
+        by_sequence = {e.sequence: e for e in live}
+        entry = by_sequence.get(chosen)
+        if entry is None:
+            raise SimulationError(f"unknown entry sequence {chosen!r}")
+        entry.cancelled = True
+        self._now = max(self._now, entry.time)
+        self._events_executed += 1
+        if self._events_executed % 256 == 0:
+            self.drain_cancelled()
+        entry.callback()
+        return True
+
+    def run(self, until=None, max_events=None, stop_when=None) -> int:
+        if self._running:
+            raise SimulationError("run is not re-entrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                if max_events is not None and executed >= max_events:
+                    break
+                head = self._peek()
+                if head is None:
+                    break
+                if until is not None and head.time > until:
+                    self._now = max(self._now, until)
+                    break
+                if not self.step():
+                    break
+                executed += 1
+                if stop_when is not None and stop_when():
+                    break
+            else:
+                if until is not None:
+                    self._now = max(self._now, until)
+        finally:
+            self._running = False
+        return executed
+
+    def _peek(self):
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0] if self._queue else None
+
+    def pending_metadata(self):
+        return [(e.time, e.priority, e.tiebreak)
+                for e in self._queue if not e.cancelled]
+
+    def drain_cancelled(self) -> None:
+        live = [e for e in self._queue if not e.cancelled]
+        heapq.heapify(live)
+        self._queue = live
+
+
+class LegacyControlledScheduler:
+    """Pre-PR ``ControlledScheduler``: classify() re-run on every step."""
+
+    def __init__(self, strategy=None) -> None:
+        self.strategy = strategy or DefaultStrategy()
+        self.trace: List[str] = []
+        self.decisions: List[str] = []
+        self.choice_points: List[ChoicePoint] = []
+
+    def install(self, kernel) -> None:
+        kernel.set_ordering(self.__call__)
+
+    def __call__(self, events) -> int:
+        heads = {}
+        for event in events:
+            label = classify(event)
+            head = heads.get(label)
+            if head is None or self._key(event) < self._key(head):
+                heads[label] = event
+        labels = sorted(heads)
+        chosen = self.strategy.on_step(labels)
+        if chosen not in heads:
+            chosen = labels[0]
+        if len(labels) > 1:
+            self.choice_points.append(
+                ChoicePoint(len(self.trace), tuple(labels), chosen))
+            self.decisions.append(chosen)
+        self.trace.append(chosen)
+        return heads[chosen].sequence
+
+    @staticmethod
+    def _key(event):
+        return (event.time, event.tiebreak, event.sequence)
+
+
+# -- kernel micro-benchmark ---------------------------------------------------
+
+
+def _fifo_hook(views):
+    best = views[0]
+    for v in views:
+        if (v.time, v.priority, v.tiebreak, v.sequence) < (
+                best.time, best.priority, best.tiebreak, best.sequence):
+            best = v
+    return best.sequence
+
+
+def kernel_rate(kernel, width: int, steps: int = MICRO_STEPS) -> float:
+    """Controlled-mode events/sec with ``width`` entries always pending."""
+    def tick():
+        kernel.schedule(1.0, tick)
+    for i in range(width):
+        kernel.schedule(float(i % 7), tick)
+    kernel.set_ordering(_fifo_hook)
+    for _ in range(200):  # warm-up
+        kernel.step()
+    started = time.perf_counter()
+    for _ in range(steps):
+        kernel.step()
+    return steps / (time.perf_counter() - started)
+
+
+# -- exploration throughput ---------------------------------------------------
+
+
+def explore_rate(scenario, jobs: int, budget: int = BUDGET):
+    started = time.perf_counter()
+    report = explore_parallel(scenario, budget=budget, seed=0, jobs=jobs)
+    elapsed = time.perf_counter() - started
+    return report, report.schedules_run / elapsed
+
+
+def legacy_sequential_rate(scenario, budget: int = BUDGET):
+    """Sequential exploration with the pre-PR kernel + scheduler patched in."""
+    import repro.check.runner as runner_mod
+    import repro.runtime.system as system_mod
+
+    saved = (system_mod.SimulationKernel, runner_mod.ControlledScheduler)
+    system_mod.SimulationKernel = LegacyKernel
+    runner_mod.ControlledScheduler = LegacyControlledScheduler
+    try:
+        return explore_rate(scenario, jobs=1, budget=budget)
+    finally:
+        system_mod.SimulationKernel, runner_mod.ControlledScheduler = saved
+
+
+def run_sweep():
+    registry = scenarios()
+    rows = []
+    json_rows = []
+
+    # Kernel hot path: legacy replica vs current, same hook, same workload.
+    kernel_ratios = {}
+    for width in MICRO_WIDTHS:
+        legacy = kernel_rate(LegacyKernel(), width)
+        current = kernel_rate(SimulationKernel(), width)
+        kernel_ratios[width] = current / legacy
+        rows.append((f"kernel width={width}", "events/s",
+                     f"{legacy:,.0f}", f"{current:,.0f}", "-", "-",
+                     f"{current / legacy:.2f}x"))
+        json_rows.append({
+            "what": f"kernel_controlled_step_width_{width}",
+            "legacy_events_per_sec": round(legacy, 1),
+            "current_events_per_sec": round(current, 1),
+            "speedup": round(current / legacy, 3),
+        })
+
+    # Exploration throughput: every scenario at jobs 1 / 2 / 4.
+    reports = {}
+    for name in sorted(registry):
+        scenario = registry[name]
+        per_jobs = {}
+        for jobs in (1, 2, 4):
+            report, rate = explore_rate(scenario, jobs)
+            per_jobs[jobs] = (report, rate)
+        reports[name] = per_jobs
+        r1 = per_jobs[1][0]
+        for jobs in (2, 4):
+            rj = per_jobs[jobs][0]
+            # Determinism across worker counts, the merge contract.
+            assert rj.schedules_run == r1.schedules_run, (name, jobs)
+            assert rj.distinct_states == r1.distinct_states, (name, jobs)
+            assert (rj.violation is None) == (r1.violation is None), (name, jobs)
+        rows.append((name, "schedules/s",
+                     "-",
+                     f"{per_jobs[1][1]:.1f}",
+                     f"{per_jobs[2][1]:.1f}",
+                     f"{per_jobs[4][1]:.1f}",
+                     f"{per_jobs[4][1] / per_jobs[1][1]:.2f}x"))
+        json_rows.append({
+            "what": f"explore_{name}",
+            "schedules": r1.schedules_run,
+            "deduped_nodes": r1.deduped_nodes,
+            "distinct_states": r1.distinct_states,
+            "j1_schedules_per_sec": round(per_jobs[1][1], 1),
+            "j2_schedules_per_sec": round(per_jobs[2][1], 1),
+            "j4_schedules_per_sec": round(per_jobs[4][1], 1),
+        })
+
+    # Pre-PR end-to-end baseline (token_ring): same explorer driving the
+    # legacy kernel + scheduler.
+    _, legacy_rate = legacy_sequential_rate(registry["token_ring"])
+    _, current_rate = explore_rate(registry["token_ring"], jobs=1)
+    rows.append(("token_ring pre-PR", "schedules/s", f"{legacy_rate:.1f}",
+                 f"{current_rate:.1f}", "-", "-",
+                 f"{current_rate / legacy_rate:.2f}x"))
+    json_rows.append({
+        "what": "explore_token_ring_prepr_baseline",
+        "legacy_j1_schedules_per_sec": round(legacy_rate, 1),
+        "current_j1_schedules_per_sec": round(current_rate, 1),
+        "speedup": round(current_rate / legacy_rate, 3),
+    })
+
+    j4_rate = reports["token_ring"][4][1]
+    seq_rate = reports["token_ring"][1][1]
+    cores = os.cpu_count() or 1
+    multi_core = cores >= 4
+    criteria = {
+        "kernel_events_per_sec": {
+            "target": KERNEL_SPEEDUP_FLOOR,
+            "measured": {str(w): round(r, 3) for w, r in kernel_ratios.items()},
+            "status": "pass" if min(kernel_ratios.values())
+            >= KERNEL_SPEEDUP_FLOOR else "fail",
+        },
+        "j4_vs_sequential_token_ring": {
+            "target": PARALLEL_SPEEDUP_TARGET,
+            "measured": round(j4_rate / seq_rate, 3),
+            "cpu_count": cores,
+            "status": (
+                ("pass" if j4_rate / seq_rate >= PARALLEL_SPEEDUP_TARGET
+                 else "fail") if multi_core
+                else "skipped (single-cpu host: multi-process wall-clock "
+                     "speedup requires multiple cores)"
+            ),
+        },
+    }
+    assert min(kernel_ratios.values()) >= KERNEL_SPEEDUP_FLOOR, kernel_ratios
+    if multi_core:
+        assert j4_rate / seq_rate >= PARALLEL_SPEEDUP_TARGET, (
+            j4_rate, seq_rate)
+    return rows, json_rows, criteria
+
+
+def test_e18_parallel_check(benchmark):
+    rows, json_rows, criteria = run_sweep()
+    emit(
+        "e18_parallel_check",
+        f"E18 — parallel exploration throughput (budget {BUDGET}/scenario) "
+        "and kernel hot path (legacy replica vs current)",
+        ["what", "unit", "legacy", "j1/current", "j2", "j4", "speedup"],
+        rows,
+    )
+    emit_json("e18_parallel_check", {
+        "budget": BUDGET,
+        "micro_steps": MICRO_STEPS,
+        "cpu_count": os.cpu_count(),
+        "rows": json_rows,
+        "criteria": criteria,
+    }, name="BENCH_E18")
+    once(benchmark, explore_rate, scenarios()["token_ring"], 2, 60)

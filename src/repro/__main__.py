@@ -17,6 +17,7 @@ Distributed backend (real OS processes over TCP sockets)::
 Schedule-exploration checker (model-check the theorems over interleavings)::
 
     python -m repro check --budget 500               # explore all scenarios
+    python -m repro check --budget 2000 -j 4         # 4 worker processes
     python -m repro check --mutate late-halt         # must find a violation
     python -m repro check --replay artifact.json     # re-run a counterexample
 

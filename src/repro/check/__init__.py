@@ -7,6 +7,9 @@ simulator into a bounded model checker. A
 kernel's event ordering so every message delivery, timer, and deferred
 action becomes an explicit decision; :func:`~repro.check.explorer.explore`
 searches the decision tree (seeded random walks + sleep-set bounded DFS);
+:func:`~repro.check.parallel.explore_parallel` runs the same search
+sharded across a worker-process pool with deterministic merging and
+state-fingerprint dedup (:mod:`~repro.check.fingerprint`);
 after every run that halts, :mod:`~repro.check.invariants` re-judges
 Theorem 1 (consistency of ``S_h``), Theorem 2 (equivalence with a
 same-instant snapshot), FIFO order, exactly-once conservation, and the
@@ -19,9 +22,16 @@ Entry point: ``python -m repro check`` (:mod:`repro.check.cli`).
 
 from repro.check.artifact import ScheduleArtifact, load_artifact, save_artifact
 from repro.check.explorer import ExplorationReport, explore
+from repro.check.fingerprint import (
+    FingerprintTable,
+    canonicalize,
+    fingerprint_system,
+    fingerprint_value,
+)
 from repro.check.invariants import INVARIANTS, RunRecord, Violation, evaluate
 from repro.check.minimize import ddmin, minimize_schedule, schedule_violates
 from repro.check.mutations import MUTATIONS
+from repro.check.parallel import ParallelReport, RunSummary, explore_parallel
 from repro.check.runner import Scenario, ScheduleResult, run_schedule, scenarios
 from repro.check.scheduler import (
     ChoicePoint,
@@ -41,10 +51,13 @@ __all__ = [
     "ControlledScheduler",
     "DefaultStrategy",
     "ExplorationReport",
+    "FingerprintTable",
     "INVARIANTS",
     "MUTATIONS",
+    "ParallelReport",
     "RandomWalkStrategy",
     "RunRecord",
+    "RunSummary",
     "Scenario",
     "ScheduleArtifact",
     "ScheduleResult",
@@ -52,10 +65,14 @@ __all__ = [
     "Strategy",
     "TraceReplayStrategy",
     "Violation",
+    "canonicalize",
     "classify",
     "ddmin",
     "evaluate",
     "explore",
+    "explore_parallel",
+    "fingerprint_system",
+    "fingerprint_value",
     "independent",
     "load_artifact",
     "minimize_schedule",

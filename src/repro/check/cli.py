@@ -14,6 +14,11 @@ Options::
     --seed N        base seed for the random-walk phase (default 0)
     --dfs-depth N   flip choice points with index < N in the DFS phase
                     (default 10)
+    -j N, --jobs N  explore with N worker processes (default 1). Any N
+                    yields the same violation set for a fixed seed: results
+                    merge deterministically in the parent
+    --no-dedup      disable state-fingerprint subtree dedup (parallel
+                    engine only; mainly for measuring its effect)
     --mutate NAME   run with a deliberately broken HaltingAgent (basic-mode
                     scenarios only); the checker is expected to object
     --artifact P    where to write the minimized counterexample
@@ -31,9 +36,9 @@ import sys
 from typing import List, Optional
 
 from repro.check.artifact import ScheduleArtifact, load_artifact, save_artifact
-from repro.check.explorer import explore
 from repro.check.minimize import minimize_schedule, schedule_violates
 from repro.check.mutations import MUTATIONS
+from repro.check.parallel import explore_parallel
 from repro.check.runner import scenarios
 
 
@@ -53,7 +58,8 @@ def check_main(argv: Optional[List[str]] = None) -> int:
             print(f"  {name}")
         return 0
 
-    budget, seed, dfs_depth = 200, 0, 10
+    budget, seed, dfs_depth, jobs = 200, 0, 10, 1
+    dedup = True
     mutate: Optional[str] = None
     artifact_path: Optional[str] = None
     replay_path: Optional[str] = None
@@ -75,6 +81,12 @@ def check_main(argv: Optional[List[str]] = None) -> int:
             seed = int(value())
         elif arg == "--dfs-depth":
             dfs_depth = int(value())
+        elif arg in ("-j", "--jobs"):
+            jobs = int(value())
+            if jobs < 1:
+                return _usage_error(f"--jobs must be >= 1, got {jobs}")
+        elif arg == "--no-dedup":
+            dedup = False
         elif arg == "--mutate":
             mutate = value()
         elif arg == "--artifact":
@@ -117,13 +129,14 @@ def check_main(argv: Optional[List[str]] = None) -> int:
     exit_code = 0
     for name in names:
         scenario = registry[name]
-        report = explore(
+        report = explore_parallel(
             scenario,
             budget=budget,
             seed=seed,
             dfs_depth=dfs_depth,
-            agent_factory=agent_factory,
+            jobs=jobs,
             mutation=mutate,
+            dedup=dedup,
         )
         print(report.summary())
         if not report.found:

@@ -1,0 +1,146 @@
+"""Canonical state fingerprints for exploration dedup.
+
+Stateless exploration re-executes a scenario per schedule, so two decision
+prefixes that drive the system into the *same* intermediate state go on to
+explore the same subtree — pure waste. This module hashes a system's
+observable state into a short, canonical fingerprint so the parallel
+explorer (:mod:`repro.check.parallel`) can recognise the equivalence class
+and expand each one once.
+
+Design constraints:
+
+* **Canonical.** The hash must not depend on dict insertion order, set
+  iteration order, or any other representation accident: two equivalent
+  states — e.g. process state dicts populated in different key order —
+  must collide. :func:`canonicalize` normalises recursively (sorted dict
+  items, sets sorted, tuples and lists unified) before hashing.
+* **Cross-process stable.** Workers hash in separate OS processes, so the
+  digest is SHA-256 over a canonical JSON encoding — never ``hash()``,
+  whose string seed (``PYTHONHASHSEED``) varies per process.
+* **History-sensitive where verdicts are.** The invariants judge the whole
+  run, not just the final state (conservation reads the full send/receive
+  ledger), so the fingerprint folds in per-channel traffic counters and
+  per-process event counts alongside current state, clocks, in-flight
+  messages, and pending kernel work. Two runs that collide here are
+  equivalent for every downstream judgement the checker makes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.runtime.system import System
+
+
+def canonicalize(value: Any) -> Any:
+    """Normalise ``value`` into a canonical, JSON-encodable structure.
+
+    Mappings become sorted ``["dict", [key, value], ...]`` lists, sets
+    become sorted ``["set", ...]`` lists, lists and tuples both become
+    plain lists (a tuple/list distinction is a Python artifact, not a
+    state difference). Scalars pass through; anything else falls back to
+    ``repr`` — stable for the enums/ids used in process state.
+    """
+    if isinstance(value, dict):
+        items = sorted(
+            ((canonicalize(k), canonicalize(v)) for k, v in value.items()),
+            key=lambda kv: json.dumps(kv[0], sort_keys=True),
+        )
+        return ["dict"] + [[k, v] for k, v in items]
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        members = [canonicalize(v) for v in value]
+        return ["set"] + sorted(
+            members, key=lambda m: json.dumps(m, sort_keys=True)
+        )
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def fingerprint_value(value: Any) -> str:
+    """SHA-256 hex digest of ``value``'s canonical form."""
+    canonical = json.dumps(canonicalize(value), sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def fingerprint_system(system: "System") -> str:
+    """Fingerprint a live system's observable state (quiesced or mid-run).
+
+    Captures, per process: user state, logical clocks, lifecycle flags and
+    local event count; per channel: FIFO in-flight message content keys and
+    traffic counters; plus the kernel's pending work (time/priority/
+    tiebreak only — entry sequence numbers are insertion-order artifacts
+    and deliberately excluded, or equivalent states reached by different
+    prefixes would never collide).
+    """
+    processes: Dict[str, Any] = {}
+    for name in sorted(system.controllers):
+        controller = system.controllers[name]
+        processes[name] = {
+            "state": controller.ctx.state,
+            "lamport": controller.lamport.value,
+            "vector": controller.vector.snapshot(),
+            "halted": controller.halted,
+            "terminated": controller.terminated,
+            "crashed": controller.crashed,
+            "local_seq": controller._local_seq,
+        }
+    channels: Dict[str, Any] = {}
+    for channel in system.channels():
+        stats = channel.stats
+        channels[str(channel.id)] = {
+            "in_flight": [env.content_key() for env in channel.in_flight],
+            "sent": stats.sent,
+            "delivered": stats.delivered,
+            "dropped": stats.dropped,
+            "frames_dropped": stats.frames_dropped,
+        }
+    pending: List[Any] = sorted(system.kernel.pending_metadata())
+    return fingerprint_value({
+        "processes": processes,
+        "channels": channels,
+        "pending": pending,
+        "now": system.kernel.now,
+    })
+
+
+class FingerprintTable:
+    """First-seen registry of state fingerprints with hit accounting.
+
+    The parallel explorer's parent process owns the single table and
+    consults it in canonical result order, so dedup decisions — and
+    therefore the explored node set — are independent of worker count
+    and timing (the determinism contract).
+    """
+
+    def __init__(self) -> None:
+        self._seen: Dict[str, int] = {}
+        self.hits = 0
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._seen
+
+    def record(self, digest: str, origin: int = 0) -> bool:
+        """Register ``digest``; return ``True`` iff it was new.
+
+        ``origin`` tags the first sighting (e.g. a task id) for debugging;
+        repeat sightings bump :attr:`hits` and keep the original tag.
+        """
+        if digest in self._seen:
+            self.hits += 1
+            return False
+        self._seen[digest] = origin
+        return True
+
+    def origin_of(self, digest: str) -> Optional[int]:
+        """The tag recorded with the first sighting, or ``None``."""
+        return self._seen.get(digest)

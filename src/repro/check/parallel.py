@@ -1,0 +1,357 @@
+"""Multi-process schedule exploration with deterministic result merging.
+
+The sequential explorer (:mod:`repro.check.explorer`) is embarrassingly
+parallel in structure — every schedule is an independent re-execution —
+but strictly serial in implementation. This module shards the same search
+across a ``multiprocessing`` pool:
+
+* **Task stream.** Tasks are numbered in *canonical order*: task 0 is the
+  canonical (default-order) run, tasks 1..W are the seeded random walks,
+  and every later task replays one DFS frontier node's decision prefix.
+  The frontier is a FIFO queue seeded by the canonical run and grown by
+  each processed prefix run, exactly as the sequential sleep-set expansion
+  would grow it (:func:`repro.check.explorer._push_children` is reused
+  verbatim).
+* **Work distribution.** Tasks go to a shared pool queue; idle workers
+  steal the next task regardless of which result the parent is waiting
+  on, so a slow schedule never idles the other workers. The parent keeps
+  at most ``jobs * PIPELINE_DEPTH`` tasks in flight.
+* **Deterministic merge.** The parent consumes results strictly in task
+  order, and *every* decision — frontier expansion, fingerprint dedup,
+  stopping at a violation — is made by the parent in that order. Worker
+  count and timing therefore cannot change the outcome: a fixed
+  ``(seed, budget)`` yields the same violation set at ``-j 1`` and
+  ``-j 8``, which is the contract the CLI's ``--jobs`` flag advertises.
+* **Fingerprint dedup.** Each prefix run reports the SHA-256 fingerprint
+  of its branch-point state (:mod:`repro.check.fingerprint`). The parent
+  keeps the single dedup table; a node whose branch point matches an
+  already-expanded state contributes its own run but none of its children
+  — its subtree is the equivalence class's subtree, already queued.
+
+Workers cannot be handed :class:`~repro.check.runner.Scenario` objects
+(builders are lambdas, and a live ``System`` is full of closures), so the
+worker protocol ships *names*: each worker rebuilds the scenario from
+:func:`repro.check.runner.scenarios` and the mutation from
+:data:`repro.check.mutations.MUTATIONS`, and returns a plain-data
+:class:`RunSummary`. When the parent needs the full violating run (for
+minimization and artifacts) it replays the decision list locally —
+schedules are deterministic, so the replay is the run.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple
+
+from repro.check.explorer import ExplorationReport, _Node, _push_children
+from repro.check.fingerprint import FingerprintTable, fingerprint_system
+from repro.check.mutations import MUTATIONS
+from repro.check.runner import Scenario, run_schedule, scenarios
+from repro.check.scheduler import (
+    ChoicePoint,
+    RandomWalkStrategy,
+    ScriptedStrategy,
+)
+
+#: In-flight tasks per worker. Deep enough to hide result-ordering stalls
+#: (the parent waits on the oldest task while workers run ahead), shallow
+#: enough that a violation does not leave a long tail of wasted runs.
+PIPELINE_DEPTH = 4
+
+
+@dataclass(frozen=True)
+class ExploreTask:
+    """One unit of work: execute a single schedule of the scenario.
+
+    ``kind`` is ``"walk"`` (payload: RNG seed string) or ``"prefix"``
+    (payload: decision prefix to replay, then default order). The canonical
+    run is the empty prefix. Plain strings and tuples only — tasks cross
+    the process boundary.
+    """
+
+    task_id: int
+    kind: str
+    seed: Optional[str] = None
+    prefix: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Picklable digest of one executed schedule, sent worker → parent.
+
+    Carries everything the parent needs to merge: the verdict, the full
+    decision list (enough to replay the run exactly), the trace and choice
+    points (enough to expand DFS children), and the branch-point
+    fingerprint (enough to dedup).
+    """
+
+    task_id: int
+    decisions: Tuple[str, ...]
+    trace: Tuple[str, ...]
+    choice_points: Tuple[Tuple[int, Tuple[str, ...], str], ...]
+    violations: Tuple[str, ...]
+    inconclusive: bool
+    fingerprint: Optional[str] = None
+
+
+@dataclass
+class ParallelReport(ExplorationReport):
+    """An :class:`ExplorationReport` plus the parallel engine's accounting."""
+
+    jobs: int = 1
+    #: Frontier nodes whose branch-point state matched an already-expanded
+    #: equivalence class — their subtrees were skipped.
+    deduped_nodes: int = 0
+    #: Distinct branch-point states seen (the dedup table's size).
+    distinct_states: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def schedules_per_second(self) -> float:
+        """Raw executed-schedule throughput of this exploration."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.schedules_run / self.elapsed_seconds
+
+    def summary(self) -> str:
+        base = super().summary()
+        return (
+            f"{base}; jobs={self.jobs}, "
+            f"{self.deduped_nodes} subtrees deduped "
+            f"({self.distinct_states} distinct states), "
+            f"{self.schedules_per_second:.1f} schedules/s"
+        )
+
+
+# -- worker side ----------------------------------------------------------------
+
+_WORKER_SCENARIO: Optional[str] = None
+_WORKER_MUTATION: Optional[str] = None
+
+
+def _init_worker(scenario_name: str, mutation: Optional[str]) -> None:
+    """Pool initializer: record which scenario/mutation this worker runs.
+
+    Names, not objects — the worker rebuilds both from the registries, so
+    nothing unpicklable ever crosses the process boundary.
+    """
+    global _WORKER_SCENARIO, _WORKER_MUTATION
+    _WORKER_SCENARIO = scenario_name
+    _WORKER_MUTATION = mutation
+
+
+def _run_task(task: ExploreTask) -> RunSummary:
+    """Execute one schedule in this worker and summarise it."""
+    scenario = scenarios()[_WORKER_SCENARIO]
+    agent_factory = MUTATIONS[_WORKER_MUTATION] if _WORKER_MUTATION else None
+    digest: List[str] = []
+    if task.kind == "walk":
+        strategy = RandomWalkStrategy(random.Random(task.seed))
+        result = run_schedule(scenario, strategy, agent_factory)
+    else:
+        strategy = ScriptedStrategy(list(task.prefix))
+        result = run_schedule(
+            scenario, strategy, agent_factory,
+            on_branch_point=lambda system: digest.append(
+                fingerprint_system(system)),
+        )
+    record = result.record
+    return RunSummary(
+        task_id=task.task_id,
+        decisions=tuple(record.decisions),
+        trace=tuple(record.trace),
+        choice_points=tuple(
+            (cp.trace_index, tuple(cp.enabled), cp.chosen)
+            for cp in record.choice_points
+        ),
+        violations=tuple(v.invariant for v in result.violations),
+        inconclusive=result.inconclusive,
+        fingerprint=digest[0] if digest else None,
+    )
+
+
+# -- parent side ----------------------------------------------------------------
+
+
+@dataclass
+class _TraceView:
+    """Duck-typed stand-in for a RunRecord, rebuilt from a RunSummary —
+    exactly the three fields :func:`_push_children` reads."""
+
+    trace: List[str]
+    decisions: List[str]
+    choice_points: List[ChoicePoint]
+
+
+@dataclass
+class _ResultView:
+    """Duck-typed stand-in for a ScheduleResult over a :class:`_TraceView`."""
+
+    record: _TraceView
+
+
+def _as_result_view(summary: RunSummary) -> _ResultView:
+    return _ResultView(record=_TraceView(
+        trace=list(summary.trace),
+        decisions=list(summary.decisions),
+        choice_points=[
+            ChoicePoint(trace_index=idx, enabled=enabled, chosen=chosen)
+            for idx, enabled, chosen in summary.choice_points
+        ],
+    ))
+
+
+class _Frontier:
+    """FIFO queue of unexplored DFS nodes, grown in canonical order."""
+
+    def __init__(self, dfs_depth: int, report: ParallelReport) -> None:
+        self._nodes: Deque[_Node] = deque()
+        self._dfs_depth = dfs_depth
+        self._report = report
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def pop(self) -> _Node:
+        return self._nodes.popleft()
+
+    def expand(self, summary: RunSummary, prefix_len: int,
+               sleep: frozenset) -> None:
+        """Queue ``summary``'s children, in sibling order."""
+        stack: List[_Node] = []
+        _push_children(stack, _as_result_view(summary), prefix_len, sleep,
+                       self._dfs_depth, self._report)
+        # _push_children emits LIFO (reversed) for the sequential stack;
+        # reverse back so the FIFO frontier sees canonical sibling order.
+        self._nodes.extend(reversed(stack))
+
+
+def explore_parallel(
+    scenario: Scenario,
+    budget: int = 200,
+    seed: int = 0,
+    dfs_depth: int = 10,
+    dfs_fraction: float = 0.5,
+    jobs: int = 1,
+    mutation: Optional[str] = None,
+    dedup: bool = True,
+    on_progress=None,
+) -> ParallelReport:
+    """Search up to ``budget`` schedules of ``scenario`` across ``jobs``
+    worker processes; same contract as :func:`repro.check.explorer.explore`.
+
+    ``jobs <= 1`` runs the identical algorithm in-process (no pool), which
+    is what makes "``-j N`` equals ``-j 1``" checkable: both paths share
+    every line of merge logic. ``scenario`` must come from the registry
+    (workers rebuild it by name); ``mutation`` likewise names an entry of
+    :data:`~repro.check.mutations.MUTATIONS` or is ``None``.
+    """
+    report = ParallelReport(
+        scenario=scenario.name, mutation=mutation, budget=budget, jobs=jobs,
+    )
+    agent_factory = MUTATIONS[mutation] if mutation else None
+    table = FingerprintTable()
+    frontier = _Frontier(dfs_depth, report)
+    # Same budget split as the sequential explorer: one canonical run, then
+    # walks, then the DFS share — the frontier may consume less if it
+    # drains, never more.
+    dfs_budget = min(int(budget * dfs_fraction), max(budget - 1, 0))
+    walk_budget = max(budget - 1 - dfs_budget, 0)
+    walk_seeds = deque(
+        f"{seed}|walk|{i}" for i in range(walk_budget)
+    )
+    # prefix-task bookkeeping the parent needs when the result comes back:
+    # task_id -> (prefix_len, sleep set) of the node it replayed.
+    node_meta = {0: (0, frozenset())}
+
+    started = time.perf_counter()
+    pool = None
+    if jobs > 1:
+        import multiprocessing
+
+        pool = multiprocessing.Pool(
+            jobs, initializer=_init_worker, initargs=(scenario.name, mutation)
+        )
+    else:
+        _init_worker(scenario.name, mutation)
+
+    created = 0
+    pending: Deque[Tuple[ExploreTask, object]] = deque()
+    max_inflight = max(1, jobs) * PIPELINE_DEPTH
+
+    def next_task() -> Optional[ExploreTask]:
+        nonlocal created
+        if created >= budget:
+            return None
+        if created == 0:
+            task = ExploreTask(task_id=0, kind="prefix", prefix=())
+        elif walk_seeds:
+            task = ExploreTask(task_id=created, kind="walk",
+                               seed=walk_seeds.popleft())
+        elif len(frontier):
+            node = frontier.pop()
+            task = ExploreTask(task_id=created, kind="prefix",
+                               prefix=node.prefix)
+            node_meta[task.task_id] = (len(node.prefix), node.sleep)
+        else:
+            return None
+        created += 1
+        return task
+
+    def dispatch() -> None:
+        while len(pending) < max_inflight:
+            task = next_task()
+            if task is None:
+                return
+            if pool is not None:
+                pending.append((task, pool.apply_async(_run_task, (task,))))
+            else:
+                pending.append((task, _run_task(task)))
+
+    try:
+        dispatch()
+        while pending:
+            task, handle = pending.popleft()
+            summary = handle.get() if pool is not None else handle
+            report.schedules_run += 1
+            if summary.inconclusive:
+                report.inconclusive_runs += 1
+            if on_progress is not None:
+                on_progress(report.schedules_run, budget)
+            node_info = None
+            if task.kind == "prefix":
+                node_info = node_meta.pop(task.task_id)
+                if task.task_id > 0:
+                    report.dfs_nodes += 1
+            if summary.violations:
+                # Rebuild the full result locally: deterministic replay of
+                # the worker's decision list IS the worker's run.
+                report.violation = run_schedule(
+                    scenario, ScriptedStrategy(list(summary.decisions)),
+                    agent_factory,
+                )
+                report.found_by = (
+                    "walk" if task.kind == "walk"
+                    else ("default" if task.task_id == 0 else "dfs")
+                )
+                break
+            if node_info is not None and not summary.inconclusive:
+                prefix_len, sleep = node_info
+                fresh = True
+                if dedup and summary.fingerprint is not None:
+                    fresh = table.record(summary.fingerprint, task.task_id)
+                    if not fresh:
+                        report.deduped_nodes += 1
+                if fresh:
+                    frontier.expand(summary, prefix_len, sleep)
+            dispatch()
+    finally:
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+    report.distinct_states = len(table)
+    report.elapsed_seconds = time.perf_counter() - started
+    return report

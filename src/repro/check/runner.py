@@ -36,6 +36,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.check.invariants import RunRecord, Violation, evaluate
 from repro.check.scheduler import (
     ControlledScheduler,
+    ScriptedStrategy,
     Strategy,
     TraceReplayStrategy,
 )
@@ -122,12 +123,20 @@ def run_schedule(
     scenario: Scenario,
     strategy: Optional[Strategy] = None,
     agent_factory: Optional[Callable[..., HaltingAgent]] = None,
+    on_branch_point: Optional[Callable[[System], None]] = None,
 ) -> ScheduleResult:
-    """Execute one interleaving of ``scenario`` and evaluate its invariants."""
+    """Execute one interleaving of ``scenario`` and evaluate its invariants.
+
+    ``on_branch_point`` (scripted strategies only) is called with the live
+    system at the first choice point after the script is exhausted — the
+    state a DFS node's unexplored subtree grows from. The parallel
+    explorer fingerprints it there for equivalence-class dedup.
+    """
     if scenario.mode == "basic":
-        record = _run_basic(scenario, strategy, agent_factory)
+        record = _run_basic(scenario, strategy, agent_factory, on_branch_point)
     elif scenario.mode == "session":
-        record = _run_session(scenario, strategy, agent_factory)
+        record = _run_session(scenario, strategy, agent_factory,
+                              on_branch_point)
     else:
         raise ValueError(f"unknown scenario mode {scenario.mode!r}")
     if not record.quiesced:
@@ -152,12 +161,24 @@ def _build_system(scenario: Scenario) -> System:
     )
 
 
+def _wire_branch_hook(
+    strategy: Optional[Strategy],
+    system: System,
+    on_branch_point: Optional[Callable[[System], None]],
+) -> None:
+    """Attach the branch-point callback to a scripted strategy, if any."""
+    if on_branch_point is not None and isinstance(strategy, ScriptedStrategy):
+        strategy.on_exhausted = lambda: on_branch_point(system)
+
+
 def _run_basic(
     scenario: Scenario,
     strategy: Optional[Strategy],
     agent_factory: Optional[Callable[..., HaltingAgent]],
+    on_branch_point: Optional[Callable[[System], None]] = None,
 ) -> RunRecord:
     system = _build_system(scenario)
+    _wire_branch_hook(strategy, system, on_branch_point)
     scheduler = ControlledScheduler(strategy)
     scheduler.install(system.kernel)
     coordinator = HaltingCoordinator(system, agent_factory=agent_factory)
@@ -221,6 +242,7 @@ def _run_session(
     scenario: Scenario,
     strategy: Optional[Strategy],
     agent_factory: Optional[Callable[..., HaltingAgent]],
+    on_branch_point: Optional[Callable[[System], None]] = None,
 ) -> RunRecord:
     if agent_factory is not None:
         raise ValueError(
@@ -232,6 +254,7 @@ def _run_session(
         topology, processes, seed=scenario.seed, latency=FixedLatency(1.0)
     )
     system = session.system
+    _wire_branch_hook(strategy, system, on_branch_point)
     scheduler = ControlledScheduler(strategy)
     scheduler.install(system.kernel)
 

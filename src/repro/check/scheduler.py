@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.simulation.kernel import (
     PRIORITY_DELIVERY,
@@ -151,6 +151,12 @@ class ScriptedStrategy(Strategy):
         self._script = list(decisions)
         self._cursor = 0
         self.divergences = 0
+        #: Optional callback fired once, at the first choice point after the
+        #: script ran out — the *branch point* where replay hands over to
+        #: default order. The parallel explorer hooks this to fingerprint
+        #: the system state a DFS node's subtree grows from.
+        self.on_exhausted: Optional[Callable[[], None]] = None
+        self._exhaust_seen = False
 
     def choose(self, labels: Sequence[str]) -> str:
         if self._cursor < len(self._script):
@@ -159,6 +165,11 @@ class ScriptedStrategy(Strategy):
             if wanted in labels:
                 return wanted
             self.divergences += 1
+            return labels[0]
+        if not self._exhaust_seen:
+            self._exhaust_seen = True
+            if self.on_exhausted is not None:
+                self.on_exhausted()
         return labels[0]
 
 
@@ -202,19 +213,29 @@ class ControlledScheduler:
         self.decisions: List[str] = []
         #: Full choice-point records, for the explorer's branching.
         self.choice_points: List[ChoicePoint] = []
+        # A pending entry is re-offered at every step until it fires, and
+        # its label never changes — memoize classify() per sequence.
+        self._label_cache: Dict[int, str] = {}
 
     def install(self, kernel: SimulationKernel) -> None:
         kernel.set_ordering(self.__call__)
 
     def __call__(self, events: List[ScheduledEvent]) -> int:
+        cache = self._label_cache
         heads: Dict[str, ScheduledEvent] = {}
         for event in events:
-            label = classify(event)
+            label = cache.get(event.sequence)
+            if label is None:
+                label = classify(event)
+                cache[event.sequence] = label
             head = heads.get(label)
             # FIFO within a group: earliest (time, tiebreak, sequence)
             # fires first, which is per-channel message order for
             # deliveries and deadline order for timers.
-            if head is None or self._key(event) < self._key(head):
+            if head is None or (
+                (event.time, event.tiebreak, event.sequence)
+                < (head.time, head.tiebreak, head.sequence)
+            ):
                 heads[label] = event
         labels = sorted(heads)
         chosen = self.strategy.on_step(labels)

@@ -218,6 +218,7 @@ class ProcessHost:
         observe: Optional["Observability"] = None,
         on_ctl: Optional[Callable[[Dict[str, Any], ChannelId], None]] = None,
         on_peer_lost: Optional[Callable[[ChannelId], None]] = None,
+        on_port: Optional[Callable[[Dict[str, Any], socket.socket], None]] = None,
     ) -> None:
         self.spec = spec
         self.name = name
@@ -225,7 +226,11 @@ class ProcessHost:
         self.controller = self.runtime.controllers[name]
         self._on_ctl = on_ctl
         self._on_peer_lost = on_peer_lost
+        self._on_port = on_port
         self._plan = spec.faults()
+        #: Port this host was planned with; ``0`` obliges it to announce
+        #: its real port at the rendezvous.
+        self._planned_port = spec.ports.get(name, 0)
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
         self._conns: List[socket.socket] = []
@@ -236,6 +241,10 @@ class ProcessHost:
 
     def bind(self) -> None:
         """Bind this process's listening port and start accepting.
+
+        Planned port ``0`` means "let the OS pick": the real port is read
+        back from the socket and written into ``spec.ports`` so the
+        rendezvous can announce it — no probe-then-close race.
 
         Raises ``OSError`` (e.g. ``EADDRINUSE``) to the caller — the CLI
         turns that into a clean exit, not a hang.
@@ -248,6 +257,7 @@ class ProcessHost:
         except OSError:
             listener.close()
             raise
+        self.spec.ports[self.name] = listener.getsockname()[1]
         self._listener = listener
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name=f"accept-{self.name}", daemon=True
@@ -274,6 +284,16 @@ class ProcessHost:
             conn.settimeout(10.0)
             hello = wire.recv_frame(conn)
             conn.settimeout(None)
+            if (
+                hello.get("frame") == "port"
+                and "process" in hello
+                and self._on_port is not None
+            ):
+                # Port rendezvous: a child announces its real listening
+                # port. The handler keeps the connection open — the parent
+                # replies with the full map once everyone has announced.
+                self._on_port(hello, conn)
+                return
             if hello.get("frame") != "hello" or "channel" not in hello:
                 raise WireError(f"expected hello frame, got {hello!r}")
             channel_id = ChannelId.parse(hello["channel"])
@@ -312,6 +332,36 @@ class ProcessHost:
             conn.close()
             if self._on_peer_lost is not None and not self._closing:
                 self._on_peer_lost(channel_id)
+
+    def exchange_ports(self) -> None:
+        """Child side of the port rendezvous: announce, then learn the map.
+
+        The planned spec carries port ``0`` for every child; only the
+        debugger's port is real by the time the spec file is written (the
+        parent binds before spawning). Each child dials that known port,
+        announces its own OS-assigned port, and blocks until the parent
+        replies with the complete map — so by the time any host dials a
+        data channel, every listener is already up.
+        """
+        if self._planned_port != 0:
+            return  # legacy spec with pre-allocated ports: nothing to do
+        deadline = time.monotonic() + self.spec.connect_timeout
+        sock = dial(self.spec.ports[self.spec.debugger], deadline)
+        try:
+            wire.send_frame(sock, {
+                "frame": "port",
+                "process": self.name,
+                "port": self.spec.ports[self.name],
+            })
+            sock.settimeout(self.spec.connect_timeout + 10.0)
+            reply = wire.recv_frame(sock)
+            if reply.get("frame") != "ports" or "ports" not in reply:
+                raise WireError(f"expected ports frame, got {reply!r}")
+            self.spec.ports.update(
+                {str(k): int(v) for k, v in reply["ports"].items()}
+            )
+        finally:
+            sock.close()
 
     def connect_all(self) -> None:
         """Dial one connection per outgoing channel (with startup retry)."""
@@ -438,8 +488,9 @@ def child_main(spec_path: str, name: str) -> int:
               file=sys.stderr)
         return 2
     try:
+        host.exchange_ports()
         host.connect_all()
-    except OSError as exc:
+    except (OSError, WireError) as exc:
         print(f"{name}: cannot reach peers: {exc}", file=sys.stderr)
         host.close()
         return 2

@@ -39,6 +39,7 @@ from repro.debugger.agent import (
 )
 from repro.debugger.commands import ResumeCommand
 from repro.debugger.failure import PartialHaltReport
+from repro.distributed import wire
 from repro.distributed.host import ProcessHost
 from repro.distributed.spec import ClusterSpec
 from repro.faults.plan import FaultPlan
@@ -88,6 +89,11 @@ class DistributedDebugSession:
         self.observe = observe
         self._lock = threading.Lock()
         self._ready: set = set()
+        #: Children that still owe a port announcement, their parked
+        #: connections, and the "everyone announced" latch.
+        self._expect_ports: set = set()
+        self._port_conns: List[Any] = []
+        self._ports_ready = threading.Event()
         #: process -> its final ``stats`` ctl frame (arrives at shutdown).
         self.host_stats: Dict[ProcessId, Dict[str, Any]] = {}
         self._host = ProcessHost(
@@ -96,6 +102,7 @@ class DistributedDebugSession:
             DebuggerProcess(),
             observe=observe,
             on_ctl=self._on_ctl,
+            on_port=self._on_port,
         )
         #: ``d``'s system facade — the ``session.system`` surface that
         #: observability and narrative tooling read.
@@ -134,6 +141,33 @@ class DistributedDebugSession:
                     "channels": frame.get("channels", {}),
                 }
 
+    def _on_port(self, frame: Dict[str, Any], conn: Any) -> None:
+        """Parent side of the port rendezvous.
+
+        Each child announces its real (OS-assigned) listening port over a
+        throwaway connection to ``d``'s known port. The connection is
+        parked until every expected child has announced; then the complete
+        map goes back on every parked connection at once, so no host dials
+        a listener that is not yet up.
+        """
+        with self._lock:
+            self.spec.ports[str(frame.get("process"))] = int(
+                frame.get("port", 0)
+            )
+            self._port_conns.append(conn)
+            if not all(self.spec.ports.get(n) for n in self._expect_ports):
+                return
+            reply = {"frame": "ports", "ports": dict(self.spec.ports)}
+            for parked in self._port_conns:
+                try:
+                    wire.send_frame(parked, reply)
+                except OSError:
+                    pass
+                finally:
+                    parked.close()
+            self._port_conns.clear()
+            self._ports_ready.set()
+
     def _wait(self, condition, timeout: float, poll: float = 0.005) -> bool:
         deadline = time.monotonic() + timeout
         while time.monotonic() < deadline:
@@ -149,18 +183,33 @@ class DistributedDebugSession:
         if self._started:
             return
         self._started = True
+        # Bind before writing the spec: ``d``'s real port is the one fixed
+        # point every child needs to reach the rendezvous.
         self._host.bind()
         fd, self._spec_path = tempfile.mkstemp(
             prefix="repro-cluster-", suffix=".json"
         )
         os.close(fd)
         self.spec.write(self._spec_path)
+        self._expect_ports = {
+            n for n in self.spec.user_names if not self.spec.ports.get(n)
+        }
         env = _child_env()
         for name in self.spec.user_names:
             self._children[name] = subprocess.Popen(
                 [sys.executable, "-m", "repro.distributed.host",
                  self._spec_path, name],
                 env=env,
+            )
+        if self._expect_ports and not self._ports_ready.wait(
+            timeout=self.spec.connect_timeout + 10.0
+        ):
+            missing = sorted(
+                n for n in self._expect_ports if not self.spec.ports.get(n)
+            )
+            self.shutdown()
+            raise HaltingError(
+                f"port rendezvous incomplete; missing {missing}"
             )
         self._host.connect_all()
         expected = set(self.spec.user_names)

@@ -54,9 +54,12 @@ def build_user_program(
 def free_port() -> int:
     """Ask the OS for a currently free TCP port on the loopback interface.
 
-    Probe-then-bind has an unavoidable race window, but child listeners
-    bind within milliseconds of the probe and the ports are loopback-only,
-    so collisions are vanishingly rare in practice (and fail loudly).
+    Probe-then-bind has an unavoidable race window: another process can
+    grab the port between close and re-bind. Cluster planning therefore no
+    longer uses this — :meth:`ClusterSpec.plan` writes port ``0`` and every
+    host binds an OS-assigned port directly, announcing the real number at
+    the rendezvous (see :mod:`repro.distributed.host`). The helper remains
+    for callers that genuinely need a one-shot probe.
     """
     with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
         sock.bind(("127.0.0.1", 0))
@@ -82,7 +85,10 @@ class ClusterSpec:
     channels: Tuple[str, ...] = ()
     #: Processes whose controllers never halt (the debugger).
     never_halt: Tuple[ProcessId, ...] = ()
-    #: Listening TCP port (loopback) per process.
+    #: Listening TCP port (loopback) per process. ``0`` means "bind an
+    #: OS-assigned port and announce it at the rendezvous"; the dict's
+    #: contents are updated in place once real ports are known (the spec
+    #: is frozen but its ``ports`` mapping is deliberately mutable).
     ports: Dict[ProcessId, int] = field(default_factory=dict)
     #: Optional :class:`~repro.faults.plan.FaultPlan` as a dict.
     fault_plan: Optional[Dict[str, Any]] = None
@@ -99,7 +105,12 @@ class ClusterSpec:
         debugger: ProcessId = "d",
         fault_plan: Optional[FaultPlan] = None,
     ) -> "ClusterSpec":
-        """Plan a run: build the extended topology and allocate ports."""
+        """Plan a run: build the extended topology and assign ports.
+
+        Every port is planned as ``0``: each host binds an OS-assigned
+        loopback port and the cluster exchanges real numbers at the
+        rendezvous, so there is no probe-then-close race window.
+        """
         params = dict(params or {})
         topology, _ = build_user_program(workload, params)
         if debugger in topology.processes:
@@ -116,7 +127,7 @@ class ClusterSpec:
             process_order=extended.processes,
             channels=tuple(str(c) for c in extended.channels),
             never_halt=(debugger,),
-            ports={name: free_port() for name in extended.processes},
+            ports={name: 0 for name in extended.processes},
             fault_plan=fault_plan.to_dict() if fault_plan is not None else None,
         )
 

@@ -77,6 +77,14 @@ class VectorClock:
         self._components[self._index] += 1
         return self.snapshot()
 
+    def advance(self) -> None:
+        """Advance own component without building a snapshot tuple.
+
+        Hot-path variant of :meth:`tick` for callers that stamp the event
+        separately and would otherwise discard the returned snapshot.
+        """
+        self._components[self._index] += 1
+
     def merge(self, received: Sequence[int]) -> Tuple[int, ...]:
         """Component-wise max with ``received``, then advance own (receive)."""
         if len(received) != len(self._components):

@@ -46,9 +46,13 @@ class EventKind(enum.Enum):
     PROCESS_CRASHED = "crashed"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Event:
-    """One occurrence at one process. Immutable once recorded."""
+    """One occurrence at one process. Immutable once recorded.
+
+    Slotted: a bounded-exploration run records hundreds of these per
+    schedule, so per-instance ``__dict__`` overhead is measurable.
+    """
 
     #: Per-system unique, monotonically increasing id (total order of record).
     eid: int

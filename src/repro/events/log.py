@@ -19,14 +19,19 @@ class EventLog:
     def __init__(self) -> None:
         self._events: List[Event] = []
         self._by_process: Dict[ProcessId, List[Event]] = {}
+        self._last_eid = -1
 
     def append(self, event: Event) -> None:
-        if self._events and event.eid <= self._events[-1].eid:
+        if event.eid <= self._last_eid:
             raise ValueError(
-                f"event ids must increase: got {event.eid} after {self._events[-1].eid}"
+                f"event ids must increase: got {event.eid} after {self._last_eid}"
             )
+        self._last_eid = event.eid
         self._events.append(event)
-        self._by_process.setdefault(event.process, []).append(event)
+        per_process = self._by_process.get(event.process)
+        if per_process is None:
+            per_process = self._by_process[event.process] = []
+        per_process.append(event)
 
     def __len__(self) -> int:
         return len(self._events)

@@ -32,6 +32,11 @@ from repro.simulation.kernel import PRIORITY_INTERNAL, PRIORITY_TIMER
 from repro.util.errors import RuntimeStateError, TopologyError
 from repro.util.ids import ChannelId, ProcessId
 
+# Shared empty attrs mapping for events recorded without attributes — the
+# majority — so the hot recording path allocates no throwaway dict. Events
+# are immutable; nothing may write through this.
+_NO_ATTRS: Dict[str, Any] = {}
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.system import System
 
@@ -539,7 +544,7 @@ class ProcessController:
         """
         if tick:
             self.lamport.tick()
-            self.vector.tick()
+            self.vector.advance()
         self._local_seq += 1
         state_before = None
         state_after = None
@@ -559,7 +564,7 @@ class ProcessController:
             channel=channel,
             detail=detail,
             local_seq=self._local_seq,
-            attrs=attrs or {},
+            attrs=attrs if attrs is not None else _NO_ATTRS,
         )
         self.system.log.append(event)
         for plugin in self._plugins:

@@ -26,13 +26,13 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.util.errors import SimulationError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EventHandle:
     """Token returned by :meth:`SimulationKernel.schedule`; allows cancel."""
 
@@ -44,17 +44,38 @@ class EventHandle:
         return f"EventHandle(t={self.time}, prio={self.priority}, seq={self.sequence})"
 
 
-@dataclass(order=True)
 class _Entry:
-    time: float
-    priority: int
-    tiebreak: tuple
-    sequence: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    """One heap cell. Slotted and hand-compared: the queue allocates one of
+    these per scheduled callback, so dataclass machinery is measurable
+    overhead on the hot path."""
+
+    __slots__ = ("time", "priority", "tiebreak", "sequence", "callback",
+                 "cancelled", "view")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        tiebreak: tuple,
+        sequence: int,
+        callback: Callable[[], None],
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.tiebreak = tiebreak
+        self.sequence = sequence
+        self.callback = callback
+        self.cancelled = False
+        # Lazily-built ScheduledEvent shown to ordering hooks; an entry's
+        # scheduling metadata is immutable, so one view serves every step.
+        self.view: Optional[ScheduledEvent] = None
+
+    def __lt__(self, other: "_Entry") -> bool:
+        return (self.time, self.priority, self.tiebreak, self.sequence) < (
+            other.time, other.priority, other.tiebreak, other.sequence)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ScheduledEvent:
     """Read-only view of one pending entry, passed to ordering hooks.
 
@@ -79,6 +100,11 @@ class SimulationKernel:
 
     def __init__(self) -> None:
         self._queue: List[_Entry] = []
+        # Live (scheduled, not yet fired or cancelled) entries by sequence,
+        # in insertion order. The dict makes cancel/pending O(1) and lets
+        # the controlled step iterate live entries without rescanning the
+        # heap array every step.
+        self._live: Dict[int, _Entry] = {}
         self._sequence = itertools.count()
         self._now = 0.0
         self._running = False
@@ -98,7 +124,7 @@ class SimulationKernel:
     @property
     def pending(self) -> int:
         """Number of scheduled, not-yet-cancelled entries."""
-        return sum(1 for entry in self._queue if not entry.cancelled)
+        return len(self._live)
 
     def schedule(
         self,
@@ -122,6 +148,7 @@ class SimulationKernel:
         sequence = next(self._sequence)
         entry = _Entry(self._now + delay, priority, tiebreak, sequence, callback)
         heapq.heappush(self._queue, entry)
+        self._live[sequence] = entry
         return EventHandle(entry.time, priority, sequence)
 
     def schedule_at(
@@ -142,17 +169,14 @@ class SimulationKernel:
         """Cancel a scheduled entry. Returns ``True`` if it was still pending.
 
         Cancellation is lazy: the entry is flagged and skipped when popped,
-        which keeps cancel O(n) scan-free and the heap intact.
+        which keeps cancel O(1) via the live-entry index and the heap intact.
         """
-        for entry in self._queue:
-            if (
-                entry.sequence == handle.sequence
-                and entry.time == handle.time
-                and not entry.cancelled
-            ):
-                entry.cancelled = True
-                return True
-        return False
+        entry = self._live.get(handle.sequence)
+        if entry is None or entry.time != handle.time:
+            return False
+        entry.cancelled = True
+        del self._live[handle.sequence]
+        return True
 
     def set_ordering(
         self, hook: Optional[Callable[[List[ScheduledEvent]], int]]
@@ -174,14 +198,16 @@ class SimulationKernel:
         """Execute the next pending entry. Returns ``False`` when drained."""
         if self._ordering is not None:
             return self._step_controlled()
-        while self._queue:
-            entry = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            entry = heapq.heappop(queue)
             if entry.cancelled:
                 continue
             if entry.time < self._now:
                 raise SimulationError(
                     f"time went backward: entry at {entry.time}, now {self._now}"
                 )
+            del self._live[entry.sequence]
             self._now = entry.time
             self._events_executed += 1
             entry.callback()
@@ -195,24 +221,29 @@ class SimulationKernel:
         heap invariant survives; :meth:`_peek` and periodic
         :meth:`drain_cancelled` calls reclaim the space.
         """
-        live = [entry for entry in self._queue if not entry.cancelled]
+        live = self._live
         if not live:
             self._queue.clear()
             return False
-        views = [
-            ScheduledEvent(e.sequence, e.time, e.priority, e.tiebreak)
-            for e in live
-        ]
+        views: List[ScheduledEvent] = []
+        for e in live.values():
+            view = e.view
+            if view is None:
+                view = ScheduledEvent(e.sequence, e.time, e.priority,
+                                      e.tiebreak)
+                e.view = view
+            views.append(view)
         assert self._ordering is not None
         chosen = self._ordering(views)
-        by_sequence = {entry.sequence: entry for entry in live}
-        entry = by_sequence.get(chosen)
+        entry = live.get(chosen)
         if entry is None:
             raise SimulationError(
                 f"ordering hook chose unknown entry sequence {chosen!r}"
             )
         entry.cancelled = True
-        self._now = max(self._now, entry.time)
+        del live[chosen]
+        if entry.time > self._now:
+            self._now = entry.time
         self._events_executed += 1
         if self._events_executed % 256 == 0:
             self.drain_cancelled()
@@ -270,9 +301,22 @@ class SimulationKernel:
             heapq.heappop(self._queue)
         return self._queue[0] if self._queue else None
 
+    def pending_metadata(self) -> List[Tuple[float, int, tuple]]:
+        """``(time, priority, tiebreak)`` of every live entry, queue order.
+
+        Scheduling metadata only — no callbacks, no sequence numbers (a
+        sequence is an insertion-order artifact). Used by the checker's
+        state fingerprints to fold "work still scheduled" into a state's
+        identity.
+        """
+        return [
+            (entry.time, entry.priority, entry.tiebreak)
+            for entry in self._live.values()
+        ]
+
     def drain_cancelled(self) -> None:
         """Physically remove cancelled entries (housekeeping for long runs)."""
-        live = [entry for entry in self._queue if not entry.cancelled]
+        live = list(self._live.values())
         heapq.heapify(live)
         self._queue = live
 

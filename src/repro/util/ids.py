@@ -9,7 +9,6 @@ channel is *directed*: the paper's model (§2.1) has distinct channels ``c1``
 from __future__ import annotations
 
 import itertools
-import threading
 from dataclasses import dataclass
 
 ProcessId = str
@@ -44,12 +43,14 @@ class SequenceGenerator:
     Used for message sequence numbers and event ids in the threaded backend,
     where multiple process threads allocate concurrently. The DES backend is
     single-threaded, but sharing one implementation keeps behaviour identical.
+    ``itertools.count.__next__`` is a single C-level call, atomic under the
+    GIL, so no explicit lock is needed — this sits on the event-recording
+    hot path and is called once per instrumented event.
     """
 
     def __init__(self, start: int = 0) -> None:
         self._counter = itertools.count(start)
-        self._lock = threading.Lock()
 
     def next(self) -> int:
-        with self._lock:
-            return next(self._counter)
+        """Return the next integer in the sequence."""
+        return next(self._counter)

@@ -1,0 +1,122 @@
+"""State fingerprints: canonical hashing the dedup table can trust.
+
+The parallel explorer skips a frontier subtree when the branch-point state
+fingerprint has been seen before, so the hash must be (a) deterministic
+across runs *and processes* (``hash()`` is not, under PYTHONHASHSEED),
+(b) insensitive to representation noise (dict insertion order, set order,
+tuple vs list), and (c) sensitive to anything that can change a downstream
+verdict.
+"""
+
+import os
+import subprocess
+import sys
+
+import repro
+
+from repro.check.fingerprint import (
+    FingerprintTable,
+    canonicalize,
+    fingerprint_system,
+    fingerprint_value,
+)
+from repro.check.runner import run_schedule, scenarios
+from repro.check.scheduler import ScriptedStrategy
+
+
+STATE = {
+    "balances": {"p2": 40, "p1": 60},
+    "seen": {"b", "a", "c"},
+    "trace": [1, 2, (3, 4)],
+    "flag": True,
+}
+
+
+class TestCanonicalize:
+    def test_same_value_same_digest(self):
+        assert fingerprint_value(STATE) == fingerprint_value(dict(STATE))
+
+    def test_dict_order_is_noise(self):
+        permuted = {
+            "flag": True,
+            "trace": [1, 2, (3, 4)],
+            "seen": {"c", "a", "b"},
+            "balances": {"p1": 60, "p2": 40},
+        }
+        assert fingerprint_value(STATE) == fingerprint_value(permuted)
+
+    def test_tuple_and_list_unify(self):
+        assert canonicalize((1, 2, 3)) == canonicalize([1, 2, 3])
+        assert fingerprint_value({"xs": (1, 2)}) == fingerprint_value(
+            {"xs": [1, 2]}
+        )
+
+    def test_distinct_values_distinct_digests(self):
+        changed = dict(STATE, flag=False)
+        assert fingerprint_value(STATE) != fingerprint_value(changed)
+        assert fingerprint_value({"a": 1}) != fingerprint_value({"a": "1"})
+        assert fingerprint_value([]) != fingerprint_value({})
+
+    def test_non_string_dict_keys(self):
+        assert fingerprint_value({1: "a", 2: "b"}) == fingerprint_value(
+            {2: "b", 1: "a"}
+        )
+
+    def test_stable_across_interpreter_processes(self):
+        # PYTHONHASHSEED randomizes str hashing per process; the digest
+        # must not inherit that. Compute the same fingerprint in a child
+        # interpreter with a different hash seed and compare.
+        code = (
+            "from repro.check.fingerprint import fingerprint_value\n"
+            f"print(fingerprint_value({STATE!r}))\n"
+        )
+        src_root = os.path.dirname(os.path.dirname(os.path.abspath(
+            repro.__file__)))
+        env = dict(os.environ, PYTHONPATH=src_root, PYTHONHASHSEED="12345")
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, check=True, env=env,
+        )
+        assert out.stdout.strip() == fingerprint_value(STATE)
+
+
+class TestFingerprintSystem:
+    def _digest_at_branch_point(self, prefix):
+        digests = []
+        run_schedule(
+            scenarios()["token_ring"],
+            ScriptedStrategy(list(prefix)),
+            on_branch_point=lambda system: digests.append(
+                fingerprint_system(system)
+            ),
+        )
+        assert len(digests) == 1
+        return digests[0]
+
+    def test_deterministic_across_runs(self):
+        assert self._digest_at_branch_point([]) == \
+            self._digest_at_branch_point([])
+
+    def test_different_prefixes_usually_differ(self):
+        base = self._digest_at_branch_point([])
+        # Walk one decision down every first-choice branch; at least one
+        # must reach a state distinguishable from the empty-prefix state.
+        result = run_schedule(scenarios()["token_ring"], ScriptedStrategy([]))
+        first = result.record.choice_points[0]
+        others = [
+            self._digest_at_branch_point([label])
+            for label in first.enabled if label != first.chosen
+        ]
+        assert any(d != base for d in others)
+
+
+class TestFingerprintTable:
+    def test_record_and_hits(self):
+        table = FingerprintTable()
+        assert table.record("abc", origin=1) is True
+        assert table.record("abc", origin=2) is False
+        assert table.record("def", origin=3) is True
+        assert len(table) == 2
+        assert table.hits == 1
+        assert "abc" in table
+        assert table.origin_of("abc") == 1

@@ -21,6 +21,11 @@ Schedule-exploration checker (model-check the theorems over interleavings)::
     python -m repro check --mutate late-halt         # must find a violation
     python -m repro check --replay artifact.json     # re-run a counterexample
 
+Chaos campaigns (crash + partition + checkpoint/restart recovery)::
+
+    python -m repro chaos                            # canonical token ring
+    python -m repro chaos seed=7 json=report.json    # reproducible report
+
 Parameters are ``key=value`` pairs forwarded to the workload's ``build``;
 values are parsed as int → float → string. The session opens the
 :class:`~repro.debugger.cli.DebuggerCLI` REPL.
@@ -91,6 +96,10 @@ def main(argv: List[str] = None) -> int:
         from repro.check.cli import check_main
 
         return check_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        from repro.recovery.chaos import chaos_main
+
+        return chaos_main(argv[1:])
     name, params, seed = parse_args(argv)
     built = build_workload(name, **params)
     # Workloads returning (topo, processes, channel_latencies):

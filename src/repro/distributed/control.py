@@ -18,12 +18,13 @@ from __future__ import annotations
 import json
 import socket
 import sys
+import time
 from typing import Any, Dict, List, Optional
 
 from repro.distributed import wire
 from repro.distributed.session import DistributedDebugSession
 from repro.distributed.spec import DISTRIBUTED_WORKLOADS
-from repro.util.errors import ReproError, WireError
+from repro.util.errors import ReproError, SurvivorsOnlyError, WireError
 
 DEFAULT_CONTROL_PORT = 7070
 
@@ -37,7 +38,7 @@ on stdout).
 """
 
 ATTACH_USAGE = """\
-usage: python -m repro attach <port> [command] [args]
+usage: python -m repro attach <port> [command] [args] [retries=N] [timeout=S]
 
 Commands:
   status             cluster liveness and message totals (default)
@@ -48,6 +49,12 @@ Commands:
   order              halting order and §2.2.4 marker paths
   kill <process>     SIGKILL one user process (fault injection)
   shutdown           stop the cluster and the serve process
+
+Options:
+  retries=N          connection attempts before giving up (default 5),
+                     spaced by deterministic seeded exponential backoff
+  timeout=S          per-request timeout in seconds (default 60)
+  seed=N             pins the backoff jitter schedule (default 0)
 """
 
 
@@ -134,7 +141,10 @@ class ControlServer:
                 "summary": report.describe(),
             }
         if op == "resume":
-            return {"ok": True, "resumed": session.resume()}
+            try:
+                return {"ok": True, "resumed": session.resume()}
+            except SurvivorsOnlyError as exc:
+                return {"ok": False, "error": str(exc), "dead": list(exc.dead)}
         if op == "inspect":
             process = frame.get("process")
             if not process:
@@ -256,20 +266,47 @@ def attach_main(argv: List[str]) -> int:
     except ValueError:
         print(f"repro attach: not a port number: {argv[0]!r}", file=sys.stderr)
         return 2
-    command = argv[1] if len(argv) > 1 else "status"
-    frame: Dict[str, Any] = {"op": command}
-    if len(argv) > 2:
-        frame["process"] = argv[2]
-
+    positional: List[str] = []
+    options: Dict[str, str] = {}
+    for arg in argv[1:]:
+        key, sep, value = arg.partition("=")
+        if sep and key in ("retries", "timeout", "seed"):
+            options[key] = value
+        else:
+            positional.append(arg)
     try:
-        sock = socket.create_connection(("127.0.0.1", port), timeout=5.0)
-    except OSError as exc:
-        print(
-            f"repro attach: cannot connect to 127.0.0.1:{port}: {exc}",
-            file=sys.stderr,
-        )
+        retries = int(options.get("retries", 5))
+        request_timeout = float(options.get("timeout", 60.0))
+        seed = int(options.get("seed", 0))
+    except ValueError as exc:
+        print(f"repro attach: bad option value: {exc}", file=sys.stderr)
         return 2
-    sock.settimeout(60.0)
+    command = positional[0] if positional else "status"
+    frame: Dict[str, Any] = {"op": command}
+    if len(positional) > 1:
+        frame["process"] = positional[1]
+
+    # A serve process that is mid-recovery (or mid-start) refuses briefly;
+    # a deterministic seeded backoff rides that out without stampeding.
+    from repro.distributed.transport import Backoff
+
+    backoff = Backoff(
+        seed=f"{seed}|attach|{port}", base=0.1, cap=2.0, retries=max(0, retries - 1)
+    )
+    sock: Optional[socket.socket] = None
+    while sock is None:
+        try:
+            sock = socket.create_connection(("127.0.0.1", port), timeout=5.0)
+        except OSError as exc:
+            if backoff.exhausted:
+                print(
+                    f"repro attach: cannot connect to 127.0.0.1:{port} "
+                    f"after {retries} attempts: {exc}",
+                    file=sys.stderr,
+                )
+                return 2
+            time.sleep(backoff.next_delay())
+    sock.settimeout(request_timeout)
     response: Optional[Dict[str, Any]] = None
     try:
         wire.send_frame(sock, frame)

@@ -41,10 +41,11 @@ from repro.events.event import Event
 from repro.events.log import EventLog
 from repro.faults.injection import injector_for
 from repro.halting.algorithm import HaltingAgent
+from repro.network.message import MessageKind
 from repro.runtime.interfaces import ControlPlugin
 from repro.runtime.process import Process
 from repro.runtime.threaded import _STOP, ThreadedController
-from repro.util.errors import WireError
+from repro.util.errors import CheckpointError, ReproError, WireError
 from repro.util.ids import ChannelId, ProcessId, SequenceGenerator
 
 if False:  # pragma: no cover - typing only
@@ -346,7 +347,10 @@ class ProcessHost:
         if self._planned_port != 0:
             return  # legacy spec with pre-allocated ports: nothing to do
         deadline = time.monotonic() + self.spec.connect_timeout
-        sock = dial(self.spec.ports[self.spec.debugger], deadline)
+        sock = dial(
+            self.spec.ports[self.spec.debugger], deadline,
+            seed=f"{self.spec.seed}|rendezvous|{self.name}",
+        )
         try:
             wire.send_frame(sock, {
                 "frame": "port",
@@ -367,7 +371,10 @@ class ProcessHost:
         """Dial one connection per outgoing channel (with startup retry)."""
         deadline = time.monotonic() + self.spec.connect_timeout
         for channel_id in sorted(self.runtime.outgoing_channels(self.name)):
-            sock = dial(self.spec.ports[channel_id.dst], deadline)
+            sock = dial(
+                self.spec.ports[channel_id.dst], deadline,
+                seed=f"{self.spec.seed}|dial|{channel_id}",
+            )
             wire.send_frame(sock, {"frame": "hello", "channel": str(channel_id)})
             injector = (
                 injector_for(self._plan, channel_id)
@@ -436,6 +443,41 @@ class _DieAfterEvents(ControlPlugin):
             os._exit(137)
 
 
+def restore_from_checkpoint(host: ProcessHost, name: ProcessId) -> None:
+    """Restore this child from ``spec.restore_checkpoint`` (Theorem 2,
+    distributed): preload the process's own snapshot, then re-send the
+    checkpoint's pending messages on this host's outgoing channels.
+
+    Ordering guarantee: restore runs after ``connect_all`` but before the
+    ``ready``/``go`` rendezvous completes, and no controller starts until
+    ``go`` — so every replayed message is on its TCP stream before any new
+    traffic is generated, and per-channel FIFO puts it first in line at the
+    receiver. The pending messages of the cut are delivered exactly once,
+    ahead of everything the resurrected run produces.
+    """
+    from repro.recovery.checkpoint import load_checkpoint
+
+    spec = host.spec
+    assert spec.restore_checkpoint is not None
+    state = load_checkpoint(spec.restore_checkpoint)
+    frame = state.meta.get("clock_frame")
+    if frame is not None and list(frame) != list(spec.process_order):
+        raise CheckpointError(
+            f"checkpoint clock frame {list(frame)!r} does not match this "
+            f"cluster's process order {list(spec.process_order)!r}"
+        )
+    snapshot = state.processes.get(name)
+    if snapshot is None:
+        raise CheckpointError(f"checkpoint has no snapshot for {name!r}")
+    host.controller.preload(snapshot)
+    for channel_id in sorted(host.runtime.outgoing_channels(name)):
+        channel = host.runtime.outgoing.get(channel_id)
+        if channel is None:
+            continue
+        for message in state.pending_on(channel_id):
+            channel.send(MessageKind.USER, message)
+
+
 def install_debug_agents(
     controller: ThreadedController, debugger: ProcessId
 ) -> Tuple[HaltingAgent, PredicateAgent, DebugClientAgent]:
@@ -497,6 +539,15 @@ def child_main(spec_path: str, name: str) -> int:
 
     controller = host.controller
     install_debug_agents(controller, spec.debugger)
+
+    if spec.restore_checkpoint:
+        try:
+            restore_from_checkpoint(host, name)
+        except (ReproError, OSError) as exc:
+            print(f"{name}: cannot restore from checkpoint "
+                  f"{spec.restore_checkpoint!r}: {exc}", file=sys.stderr)
+            host.close()
+            return 2
 
     # Self-inflicted faults from the plan: real process death, real freezes.
     plan = spec.faults()

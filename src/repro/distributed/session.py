@@ -45,7 +45,12 @@ from repro.distributed.spec import ClusterSpec
 from repro.faults.plan import FaultPlan
 from repro.halting.algorithm import HaltingAgent
 from repro.snapshot.state import ChannelState, GlobalState
-from repro.util.errors import HaltingError, PredicateError, ReproError
+from repro.util.errors import (
+    HaltingError,
+    PredicateError,
+    ReproError,
+    SurvivorsOnlyError,
+)
 from repro.util.ids import ChannelId, ProcessId
 
 if False:  # pragma: no cover - typing only
@@ -320,7 +325,19 @@ class DistributedDebugSession:
                 return False  # d's own initiation has not executed yet
             return self._halted_of(gen) >= set(names)
 
-        if self._wait(converged, timeout=timeout):
+        def settled() -> bool:
+            # Converged, except that members whose OS process is gone are
+            # excused: a corpse will never notify, so once everyone has
+            # either notified for this generation or died there is nothing
+            # left to wait for. Survivors still get their full chance —
+            # a corpse alone never cuts the wait short.
+            gen = generation()
+            if fresh and gen <= gen0:
+                return False
+            halted = self._halted_of(gen)
+            return all(n in halted or not self.alive(n) for n in names)
+
+        if self._wait(settled, timeout=timeout) and converged():
             dead = self._probe_dead(names, probe_grace)
             if self.observe is not None:
                 self.observe.sync_session(self)
@@ -380,11 +397,29 @@ class DistributedDebugSession:
             self.observe.sync_session(self)
         return converged
 
-    def resume(self, timeout: float = 10.0) -> bool:
+    def resume(self, timeout: float = 10.0, allow_partial: bool = False) -> bool:
         """Resume the halted generation; verified by pongs with
-        ``halted=False`` from every resumed process."""
+        ``halted=False`` from every resumed process.
+
+        A cluster with dead members (SIGKILL, FaultPlan crash — anything
+        whose OS process is gone) cannot resume whole. By default that
+        raises :class:`~repro.util.errors.SurvivorsOnlyError` carrying the
+        dead list, instead of hanging on control frames a corpse will never
+        answer; ``allow_partial=True`` opts into resuming the survivors
+        only (the recovery supervisor does this around its checkpoints).
+        """
         generation = self._halting.last_halt_id
-        targets = sorted(self._halted_of(generation) - self._killed)
+        dead = tuple(sorted(
+            n for n in self.spec.user_names if not self.alive(n)
+        ))
+        if dead and not allow_partial:
+            raise SurvivorsOnlyError(
+                f"cannot resume the whole cluster: {list(dead)} are dead; "
+                "resume(allow_partial=True) continues the survivors, or "
+                "recover the cluster from a checkpoint (repro.recovery)",
+                dead=dead,
+            )
+        targets = sorted(self._halted_of(generation) - set(dead))
 
         def send_resumes() -> None:
             for name in targets:
@@ -395,7 +430,15 @@ class DistributedDebugSession:
         self._host.controller.defer(send_resumes, label="resume")
         resumed: set = set()
         deadline = time.monotonic() + timeout
-        while time.monotonic() < deadline and resumed != set(targets):
+        while time.monotonic() < deadline:
+            if allow_partial:
+                # A target can die *mid-resume* (a timed crash racing the
+                # resume command). Partial mode treats it like any other
+                # corpse — drop it — rather than waiting out the clock
+                # for a pong that will never come.
+                targets = [n for n in targets if self.alive(n)]
+            if set(targets) <= resumed:
+                break
             pings: Dict[ProcessId, int] = {}
             remaining = [n for n in targets if n not in resumed]
 
@@ -413,7 +456,7 @@ class DistributedDebugSession:
                 pong = self.agent.pongs.get(ping_id)
                 if pong is not None and not pong.halted:
                     resumed.add(name)
-        success = resumed == set(targets)
+        success = set(targets) <= resumed
         if success:
             self._resumed_generations.add(generation)
         return success

@@ -94,6 +94,12 @@ class ClusterSpec:
     fault_plan: Optional[Dict[str, Any]] = None
     #: Seconds a host keeps redialing peers before giving up on startup.
     connect_timeout: float = 15.0
+    #: Path to a checkpoint artifact (see
+    #: :class:`repro.recovery.checkpoint.CheckpointStore`). When set, every
+    #: child preloads its own snapshot from the checkpoint before starting
+    #: and re-sends the checkpoint's pending messages on its outgoing
+    #: channels — the restoration half of Theorem 2, distributed.
+    restore_checkpoint: Optional[str] = None
 
     @classmethod
     def plan(
@@ -174,6 +180,7 @@ class ClusterSpec:
             "ports": dict(self.ports),
             "fault_plan": self.fault_plan,
             "connect_timeout": self.connect_timeout,
+            "restore_checkpoint": self.restore_checkpoint,
         }
 
     @classmethod
@@ -191,6 +198,7 @@ class ClusterSpec:
                 ports={str(k): int(v) for k, v in dict(data["ports"]).items()},
                 fault_plan=data.get("fault_plan"),
                 connect_timeout=float(data.get("connect_timeout", 15.0)),
+                restore_checkpoint=data.get("restore_checkpoint"),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ConfigurationError(f"malformed cluster spec: {exc}") from exc

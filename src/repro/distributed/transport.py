@@ -23,6 +23,7 @@ partial-halt machinery expects.
 
 from __future__ import annotations
 
+import random
 import socket
 import threading
 import time
@@ -33,7 +34,7 @@ from repro.distributed.protocol import envelope_to_wire
 from repro.faults.injection import ChannelFaultInjector
 from repro.network.channel import ChannelStats
 from repro.network.message import Envelope, MessageKind
-from repro.util.errors import WireError
+from repro.util.errors import RetryBudgetExceeded, WireError
 from repro.util.ids import ChannelId
 
 
@@ -81,7 +82,12 @@ class SocketChannel:
         frame = envelope_to_wire(envelope)
         survivors = 0
         for _ in range(copies):
-            if self._injector is not None and self._injector.drop_frame(is_user):
+            # drop_frame first, unconditionally: it consumes the loss RNG
+            # stream, so partitions do not perturb probabilistic loss.
+            if self._injector is not None and (
+                self._injector.drop_frame(is_user)
+                or self._injector.partitioned(self._virtual_now())
+            ):
                 # The wire ate this copy before it ever hit the socket.
                 with self._lock:
                     self.stats.frames_dropped += 1
@@ -100,6 +106,11 @@ class SocketChannel:
             with self._lock:
                 self.stats.record_drop(kind)
         return envelope
+
+    def _virtual_now(self) -> float:
+        """Host wall time mapped back to FaultPlan virtual units."""
+        scale = getattr(self._runtime, "time_scale", 1.0) or 1.0
+        return self._runtime.now / scale
 
     def send_raw(self, frame: Dict[str, Any]) -> bool:
         """Write one non-envelope frame (``hello``/``ctl``) on this
@@ -152,18 +163,78 @@ class InboundLink:
         self.stats.total_latency += max(0.0, now - envelope.send_time)
 
 
+class Backoff:
+    """Deterministic seeded exponential backoff with a retry budget.
+
+    The k-th delay is ``min(cap, base * factor**k)`` scaled by a jitter
+    factor drawn from a *seeded* stream — so concurrent dialers spread out
+    (no reconnection stampede after a recovery restart) yet the same seed
+    reproduces the same retry schedule byte for byte, keeping recovery
+    inside the repo's determinism contract.
+
+    ``retries`` bounds the number of delays handed out; ``None`` means the
+    caller bounds the loop some other way (a deadline). ``exhausted`` turns
+    true once the budget is spent, and :meth:`next_delay` past that raises
+    :class:`~repro.util.errors.RetryBudgetExceeded`.
+    """
+
+    __slots__ = ("base", "factor", "cap", "jitter", "retries", "attempt", "_rng")
+
+    def __init__(self, seed: object = "backoff", base: float = 0.05,
+                 factor: float = 2.0, cap: float = 2.0, jitter: float = 0.5,
+                 retries: Optional[int] = None) -> None:
+        if base <= 0 or factor < 1.0 or cap < base or not 0.0 <= jitter < 1.0:
+            raise ValueError(
+                f"backoff needs base > 0 <= cap, factor >= 1, 0 <= jitter < 1; "
+                f"got base={base!r} factor={factor!r} cap={cap!r} jitter={jitter!r}"
+            )
+        self.base = base
+        self.factor = factor
+        self.cap = cap
+        self.jitter = jitter
+        self.retries = retries
+        self.attempt = 0
+        self._rng = random.Random(f"{seed}|backoff")
+
+    @property
+    def exhausted(self) -> bool:
+        return self.retries is not None and self.attempt >= self.retries
+
+    def next_delay(self) -> float:
+        """The next sleep, advancing the attempt counter."""
+        if self.exhausted:
+            raise RetryBudgetExceeded(
+                f"retry budget of {self.retries} attempts exhausted"
+            )
+        raw = min(self.cap, self.base * self.factor ** self.attempt)
+        self.attempt += 1
+        # Jitter only ever *shortens* the delay, so cap stays an upper bound.
+        return raw * (1.0 - self.jitter * self._rng.random())
+
+
 def dial(
     port: int,
     deadline: float,
     host: str = "127.0.0.1",
     retry_interval: float = 0.05,
+    backoff: Optional[Backoff] = None,
+    seed: object = None,
 ) -> socket.socket:
     """Connect to ``host:port``, retrying until ``deadline`` (monotonic).
 
     Peers bind their listeners concurrently, so early connection refusals
-    are expected; anything still refusing at the deadline raises the last
-    ``OSError``.
+    are expected; retries follow a deterministic seeded :class:`Backoff`
+    schedule (pass ``seed`` to pin it, or a preconfigured ``backoff``).
+    Anything still refusing at the deadline — or once the backoff's retry
+    budget is spent — raises the last ``OSError``.
     """
+    if backoff is None:
+        backoff = Backoff(
+            seed=seed if seed is not None else f"dial|{host}:{port}",
+            base=retry_interval,
+            factor=1.7,
+            cap=1.0,
+        )
     last: Optional[OSError] = None
     while True:
         try:
@@ -173,9 +244,10 @@ def dial(
             return sock
         except OSError as exc:
             last = exc
-            if time.monotonic() >= deadline:
+            if time.monotonic() >= deadline or backoff.exhausted:
                 raise last
-            time.sleep(retry_interval)
+            remaining = deadline - time.monotonic()
+            time.sleep(min(backoff.next_delay(), max(0.0, remaining)))
 
 
-__all__ = ["SocketChannel", "InboundLink", "dial"]
+__all__ = ["Backoff", "SocketChannel", "InboundLink", "dial"]

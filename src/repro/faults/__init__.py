@@ -13,7 +13,13 @@ unchanged over unreliable infrastructure.
 """
 
 from repro.faults.injection import ChannelFaultInjector, CrashAfterEvents, injector_for
-from repro.faults.plan import ChannelFaultSpec, CrashSpec, FaultPlan, StallSpec
+from repro.faults.plan import (
+    ChannelFaultSpec,
+    CrashSpec,
+    FaultPlan,
+    PartitionSpec,
+    StallSpec,
+)
 
 __all__ = [
     "ChannelFaultInjector",
@@ -21,6 +27,7 @@ __all__ = [
     "CrashAfterEvents",
     "CrashSpec",
     "FaultPlan",
+    "PartitionSpec",
     "StallSpec",
     "injector_for",
 ]

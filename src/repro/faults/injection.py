@@ -35,15 +35,20 @@ class ChannelFaultInjector:
     __slots__ = (
         "channel",
         "spec",
+        "partition_windows",
         "_loss_rng",
         "_dup_rng",
         "_reorder_rng",
         "_ack_rng",
     )
 
-    def __init__(self, channel_id: ChannelId, spec: ChannelFaultSpec, seed: int) -> None:
+    def __init__(self, channel_id: ChannelId, spec: ChannelFaultSpec, seed: int,
+                 partition_windows: tuple = ()) -> None:
         self.channel = channel_id
         self.spec = spec
+        #: (start, end) windows of virtual time during which the link is
+        #: severed — every frame offered is dropped, no RNG involved.
+        self.partition_windows = tuple(partition_windows)
         # One independent stream per (decision, traffic class). Streams are
         # keyed by strings so the same plan yields the same faults on both
         # backends regardless of construction order.
@@ -102,14 +107,32 @@ class ChannelFaultInjector:
         low, high = self.spec.reorder_delay
         return rng.uniform(low, high)
 
+    def partitioned(self, virtual_now: float) -> bool:
+        """Is the link severed at this virtual time?
+
+        A partitioned link drops *everything* — user frames, markers,
+        debugger control — because the fault cuts the wire, not a traffic
+        class. Deterministic: no RNG stream is consumed, so enabling a
+        partition does not perturb which frames probabilistic loss eats.
+        """
+        for start, end in self.partition_windows:
+            if start <= virtual_now < end:
+                return True
+        return False
+
     @property
     def is_noop(self) -> bool:
-        return self.spec.is_noop
+        return self.spec.is_noop and not self.partition_windows
 
 
 def injector_for(plan: FaultPlan, channel_id: ChannelId) -> ChannelFaultInjector:
     """The injector one channel should use under ``plan``."""
-    return ChannelFaultInjector(channel_id, plan.spec_for(channel_id), plan.seed)
+    return ChannelFaultInjector(
+        channel_id,
+        plan.spec_for(channel_id),
+        plan.seed,
+        partition_windows=plan.partition_windows(channel_id),
+    )
 
 
 class CrashAfterEvents:

@@ -118,6 +118,49 @@ class StallSpec:
 
 
 @dataclass(frozen=True)
+class PartitionSpec:
+    """Sever a set of directed links for a window of (virtual) time.
+
+    During ``[at_time, at_time + duration)`` every frame offered to a
+    listed channel is dropped — data and debugger control alike, because a
+    partition cuts the wire, not a traffic class. Channels are named like
+    ``FaultPlan.channels`` keys (``"p0->p1"``). A partition is directional:
+    sever both directions of a link by listing both channel ids.
+    """
+
+    channels: Tuple[str, ...]
+    at_time: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "channels", tuple(self.channels))
+        if not self.channels:
+            raise FaultError("partition must name at least one channel")
+        for name in self.channels:
+            try:
+                ChannelId.parse(name)
+            except ValueError as exc:
+                raise FaultError(
+                    f"partition names a malformed channel {name!r}: {exc}"
+                ) from exc
+        if self.at_time < 0:
+            raise FaultError(
+                f"partition at_time must be >= 0, got {self.at_time!r}"
+            )
+        if self.duration <= 0:
+            raise FaultError(
+                f"partition duration must be > 0, got {self.duration!r}"
+            )
+
+    @property
+    def end_time(self) -> float:
+        return self.at_time + self.duration
+
+    def covers(self, channel_id: ChannelId) -> bool:
+        return str(channel_id) in self.channels
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """Everything that goes wrong in one execution, as data.
 
@@ -132,6 +175,7 @@ class FaultPlan:
     channels: Mapping[str, ChannelFaultSpec] = field(default_factory=dict)
     crashes: Tuple[CrashSpec, ...] = ()
     stalls: Tuple[StallSpec, ...] = ()
+    partitions: Tuple[PartitionSpec, ...] = ()
 
     def __post_init__(self) -> None:
         # Normalise containers so equal plans compare equal after a
@@ -139,6 +183,7 @@ class FaultPlan:
         object.__setattr__(self, "channels", dict(self.channels))
         object.__setattr__(self, "crashes", tuple(self.crashes))
         object.__setattr__(self, "stalls", tuple(self.stalls))
+        object.__setattr__(self, "partitions", tuple(self.partitions))
         crashed = [c.process for c in self.crashes]
         if len(set(crashed)) != len(crashed):
             raise FaultError(f"duplicate crash specs for {crashed!r}")
@@ -163,8 +208,23 @@ class FaultPlan:
         spec = StallSpec(process=process, at_time=at_time, duration=duration)
         return replace(self, stalls=self.stalls + (spec,))
 
+    def with_partition(self, channels, at_time: float,
+                       duration: float) -> "FaultPlan":
+        spec = PartitionSpec(
+            channels=tuple(channels), at_time=at_time, duration=duration
+        )
+        return replace(self, partitions=self.partitions + (spec,))
+
     def spec_for(self, channel_id: ChannelId) -> ChannelFaultSpec:
         return self.channels.get(str(channel_id), self.channel_defaults)
+
+    def partition_windows(self, channel_id: ChannelId) -> Tuple[Tuple[float, float], ...]:
+        """The (start, end) windows during which ``channel_id`` is severed."""
+        return tuple(
+            (p.at_time, p.end_time)
+            for p in self.partitions
+            if p.covers(channel_id)
+        )
 
     def crashed_processes(self) -> Tuple[ProcessId, ...]:
         return tuple(c.process for c in self.crashes)
@@ -180,6 +240,14 @@ class FaultPlan:
             },
             "crashes": [asdict(c) for c in self.crashes],
             "stalls": [asdict(s) for s in self.stalls],
+            "partitions": [
+                {
+                    "channels": list(p.channels),
+                    "at_time": p.at_time,
+                    "duration": p.duration,
+                }
+                for p in self.partitions
+            ],
         }
 
     @classmethod
@@ -197,6 +265,14 @@ class FaultPlan:
                 ),
                 stalls=tuple(
                     StallSpec(**dict(s)) for s in data.get("stalls", ())  # type: ignore[union-attr]
+                ),
+                partitions=tuple(
+                    PartitionSpec(
+                        channels=tuple(dict(p)["channels"]),
+                        at_time=dict(p)["at_time"],
+                        duration=dict(p)["duration"],
+                    )
+                    for p in data.get("partitions", ())  # type: ignore[union-attr]
                 ),
             )
         except (TypeError, KeyError, ValueError) as exc:
@@ -244,5 +320,6 @@ __all__ = [
     "ChannelFaultSpec",
     "CrashSpec",
     "StallSpec",
+    "PartitionSpec",
     "FaultPlan",
 ]

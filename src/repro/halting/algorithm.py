@@ -124,10 +124,20 @@ class HaltingAgent(ControlPlugin):
         self.halted_via = marker
         self._forward_markers(marker)
         if not self.controller.never_halts:
-            self.controller.halt(
+            meta = dict(
                 halt_id=self.last_halt_id,
                 halt_path=list(marker.extended_by(self.controller.name).path),
             )
+            if self.controller.halted:
+                # A newer-generation marker reached a process still frozen
+                # at an older one: its notification or its resume was lost
+                # (a partition ate it) and the survivors moved on. Its
+                # frozen state IS its state for the new cut — it has run
+                # nothing since — so adopt the generation and re-notify
+                # instead of halting twice.
+                self.controller.rehalt(**meta)
+            else:
+                self.controller.halt(**meta)
             if self._notify_halted is not None:
                 self._notify_halted(self)
 

@@ -216,7 +216,14 @@ class Channel:
             and self._loss_rng.random() < self._loss_probability
         ):
             return True
-        return self._injector is not None and self._injector.drop_frame(kind.is_user)
+        if self._injector is None:
+            return False
+        # drop_frame first, unconditionally: it consumes the loss RNG
+        # stream, so a partition window does not perturb which frames
+        # probabilistic loss eats outside the window.
+        if self._injector.drop_frame(kind.is_user):
+            return True
+        return self._injector.partitioned(self._kernel.now)
 
     def _schedule_arrival(
         self, envelope: Envelope, kind: MessageKind, extra_delay: float

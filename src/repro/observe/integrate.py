@@ -50,6 +50,8 @@ class Observability:
         self._open_rtx: Dict[Tuple[str, int], Dict[str, object]] = {}
         self._snapshot_started: Dict[int, float] = {}
         self._snapshots_reported: set = set()
+        #: Supervisor recoveries (see :meth:`note_recovery`).
+        self._recoveries: List[Dict[str, object]] = []
 
     # -- system attachment -----------------------------------------------------
 
@@ -180,6 +182,32 @@ class Observability:
                 vector=vector,
                 vector_index=vector_index,
             ))
+
+    def note_recovery(self, event) -> None:
+        """Record one supervisor recovery (a
+        :class:`repro.recovery.supervisor.RecoveryEvent`): counts and
+        latencies surface through the metrics registry, and the restart
+        becomes a wall-clock span."""
+        with self._lock:
+            self._recoveries.append({
+                "victims": tuple(getattr(event, "victims", ())),
+                "checkpoint_seq": getattr(event, "checkpoint_seq", None),
+                "incarnation": getattr(event, "incarnation", None),
+                "teardown_s": float(getattr(event, "teardown_s", 0.0)),
+                "restart_s": float(getattr(event, "restart_s", 0.0)),
+                "total_s": float(getattr(event, "total_s", 0.0)),
+            })
+        self.tracer.add(Span(
+            name="recovery.restart",
+            category="recovery",
+            start=0.0,
+            end=float(getattr(event, "total_s", 0.0)),
+            attrs={
+                "victims": list(getattr(event, "victims", ())),
+                "checkpoint_seq": getattr(event, "checkpoint_seq", None),
+                "incarnation": getattr(event, "incarnation", None),
+            },
+        ))
 
     # -- derived: session sync ----------------------------------------------------
 
@@ -370,3 +398,29 @@ class Observability:
             float(span.attrs.get("attempts", 0))
             for span in tracer.spans("retransmission")
         )
+
+        with self._lock:
+            recoveries = list(self._recoveries)
+        if recoveries:
+            metrics.counter(
+                "recoveries_total",
+                "Supervisor rollback recoveries from checkpoints.",
+            ).set_total(len(recoveries))
+            victims = metrics.counter(
+                "recovered_processes_total",
+                "Victim processes restored, per process.",
+            )
+            per_process: Dict[str, int] = {}
+            for record in recoveries:
+                for name in record["victims"]:  # type: ignore[union-attr]
+                    per_process[name] = per_process.get(name, 0) + 1
+            for name, count in sorted(per_process.items()):
+                victims.set_total(count, process=name)
+            metrics.histogram(
+                "recovery_latency",
+                "Death detection to cluster restored, wall seconds.",
+            ).set_from(float(r["total_s"]) for r in recoveries)  # type: ignore[arg-type]
+            metrics.histogram(
+                "recovery_restart_latency",
+                "Relaunch + re-rendezvous + restore portion, wall seconds.",
+            ).set_from(float(r["restart_s"]) for r in recoveries)  # type: ignore[arg-type]

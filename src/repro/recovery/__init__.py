@@ -1,0 +1,42 @@
+"""Crash recovery from consistent cuts (Theorem 2, made operational).
+
+``S_h == S_r`` means every consistent cut the halting machinery produces
+is a valid recovery point. This package turns that into a supervision
+stack for the distributed backend:
+
+* :mod:`repro.recovery.checkpoint` — consistent global states as durable,
+  versioned artifacts (the wire codec, not pickle).
+* :mod:`repro.recovery.supervisor` — the :class:`ClusterSupervisor`:
+  periodic checkpoints, death detection, coordinated rollback restarts.
+* :mod:`repro.recovery.invariants` — workload conservation laws that gate
+  checkpoints and judge campaigns.
+* :mod:`repro.recovery.chaos` — seeded crash+partition campaigns
+  (``python -m repro chaos``).
+"""
+
+from repro.recovery.checkpoint import (
+    CHECKPOINT_FORMAT,
+    CheckpointStore,
+    load_checkpoint,
+)
+from repro.recovery.chaos import ChaosReport, default_campaign, run_campaign
+from repro.recovery.invariants import (
+    completion,
+    conservation_violation,
+    validator,
+)
+from repro.recovery.supervisor import ClusterSupervisor, RecoveryEvent
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "ChaosReport",
+    "CheckpointStore",
+    "ClusterSupervisor",
+    "RecoveryEvent",
+    "completion",
+    "conservation_violation",
+    "default_campaign",
+    "load_checkpoint",
+    "run_campaign",
+    "validator",
+]

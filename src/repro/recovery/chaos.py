@@ -1,0 +1,309 @@
+"""Seeded chaos campaigns: crash it, partition it, prove it still adds up.
+
+A campaign runs one workload on the distributed backend under a
+:class:`~repro.faults.plan.FaultPlan` that contains at least one crash
+and one partition, with the :class:`~repro.recovery.supervisor.
+ClusterSupervisor` taking periodic checkpoints and rolling the cluster
+back whenever a child dies. The campaign's claims are falsifiable:
+
+* every victim is recovered (from the newest checkpoint, or the initial
+  state when it died before the first one),
+* every persisted checkpoint satisfies the workload's conservation law
+  (:mod:`repro.recovery.invariants` gates the save),
+* the workload still *finishes its job* — the token completes its hops,
+  the pipeline drains — despite the mayhem.
+
+Reports split into a deterministic core and timing. Which faults fire
+and who dies is fixed by the plan and seed, so :meth:`ChaosReport.
+core_json` is byte-identical across runs of the same campaign; wall-
+clock latencies (checkpoint cadence, recovery times) are real time and
+live outside the core.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.faults.plan import FaultPlan
+from repro.recovery.invariants import completion, conservation_violation, validator
+from repro.recovery.supervisor import ClusterSupervisor, RecoveryEvent
+from repro.util.errors import RecoveryError
+
+if False:  # pragma: no cover - typing only
+    from repro.observe.integrate import Observability
+
+#: The canonical campaign scenario: small, fast, and with a conserved
+#: quantity (exactly one token) that faults would love to violate.
+DEFAULT_WORKLOAD = "token_ring"
+DEFAULT_PARAMS: Dict[str, Any] = {"n": 3, "max_hops": 150, "hold_time": 0.2}
+
+
+def default_campaign(seed: int = 0) -> FaultPlan:
+    """One crash plus one partition for the canonical token ring.
+
+    The partition severs both debugger links of ``p1`` early in the run
+    (virtual window ``[2, 5)``) — control traffic is dropped, so halts
+    initiated inside the window cannot converge and the supervisor must
+    retry after it lifts. The crash kills ``p1`` after its 400th local
+    event, far enough in that a checkpoint normally precedes it (so the
+    recovery restores a persisted cut, not the initial state). User
+    channels are left connected: a partitioned *data* link would drop
+    the token itself, which is a different experiment (message loss
+    needs the reliable-channel layer, not recovery).
+    """
+    return (
+        FaultPlan(seed=seed)
+        .with_partition(("d->p1", "p1->d"), at_time=2.0, duration=3.0)
+        .with_crash("p1", after_events=400)
+    )
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one campaign: a deterministic core plus timing."""
+
+    workload: str
+    params: Dict[str, Any]
+    seed: int
+    plan: Dict[str, Any]
+    #: Did the workload finish its whole job?
+    completed: bool
+    #: Final conservation-law violation ("" = the law held).
+    violation: str
+    #: Victim tuples in recovery order — fixed by the plan and seed.
+    recovery_victims: List[Tuple[str, ...]] = field(default_factory=list)
+    #: Full recovery events, including wall-clock latencies.
+    recoveries: List[RecoveryEvent] = field(default_factory=list)
+    #: Checkpoints successfully persisted (timing-dependent).
+    checkpoints: int = 0
+    #: Checkpoint each recovery restored (None = initial state).
+    restored_from: List[Optional[int]] = field(default_factory=list)
+    wall_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.completed and not self.violation
+
+    def core(self) -> Dict[str, Any]:
+        """The seed-determined part of the report."""
+        return {
+            "workload": self.workload,
+            "params": dict(self.params),
+            "seed": self.seed,
+            "plan": self.plan,
+            "completed": self.completed,
+            "violation": self.violation,
+            "recovery_victims": [list(v) for v in self.recovery_victims],
+        }
+
+    def core_json(self) -> str:
+        """Byte-identical across runs of the same campaign."""
+        return json.dumps(self.core(), sort_keys=True, separators=(",", ":"))
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = self.core()
+        data.update({
+            "checkpoints": self.checkpoints,
+            "restored_from": self.restored_from,
+            "wall_s": self.wall_s,
+            "recoveries": [
+                {
+                    "victims": list(e.victims),
+                    "checkpoint_seq": e.checkpoint_seq,
+                    "incarnation": e.incarnation,
+                    "teardown_s": e.teardown_s,
+                    "restart_s": e.restart_s,
+                    "total_s": e.total_s,
+                }
+                for e in self.recoveries
+            ],
+        })
+        return data
+
+
+def run_campaign(
+    workload: str = DEFAULT_WORKLOAD,
+    params: Optional[Mapping[str, Any]] = None,
+    seed: int = 0,
+    plan: Optional[FaultPlan] = None,
+    store_dir: Optional[str] = None,
+    time_scale: float = 0.02,
+    checkpoint_every: float = 0.25,
+    max_wall: float = 60.0,
+    max_recoveries: int = 5,
+    observe: Optional["Observability"] = None,
+) -> ChaosReport:
+    """Run one seeded chaos campaign to completion (or the wall deadline).
+
+    The loop is the whole supervision policy: watch for corpses, recover
+    them; every ``checkpoint_every`` wall seconds take a checkpoint; use
+    the checkpoint's own artifact to judge completion. Raises
+    :class:`RecoveryError` only when the recovery *budget* is exhausted —
+    an unfinished workload at the deadline is reported, not raised, so
+    callers can assert on the report.
+    """
+    params = dict(DEFAULT_PARAMS if params is None and
+                  workload == DEFAULT_WORKLOAD else (params or {}))
+    if plan is None:
+        plan = default_campaign(seed)
+    if store_dir is None:
+        import tempfile
+
+        store_dir = tempfile.mkdtemp(prefix="repro-chaos-")
+    supervisor = ClusterSupervisor(
+        workload,
+        params,
+        seed=seed,
+        time_scale=time_scale,
+        fault_plan=plan,
+        store=store_dir,
+        observe=observe,
+        validate=validator(workload, params),
+        max_recoveries=max_recoveries,
+    )
+    report = ChaosReport(
+        workload=workload,
+        params=params,
+        seed=seed,
+        plan=plan.to_dict(),
+        completed=False,
+        violation="",
+    )
+    final_state = None
+    with supervisor:
+        # Clock from *after* start(): spawning and the rendezvous take
+        # real time, and a checkpoint at cluster age ~0 would halt the
+        # workload before it has done anything worth saving.
+        started = time.monotonic()
+        last_checkpoint = started
+        while time.monotonic() - started < max_wall:
+            dead = supervisor.poll()
+            if dead:
+                event = supervisor.recover(dead)
+                report.recoveries.append(event)
+                report.recovery_victims.append(event.victims)
+                report.restored_from.append(event.checkpoint_seq)
+                last_checkpoint = time.monotonic()
+                continue
+            if time.monotonic() - last_checkpoint >= checkpoint_every:
+                saved = supervisor.checkpoint(timeout=8.0, probe_grace=1.5)
+                last_checkpoint = time.monotonic()
+                if saved is None:
+                    continue  # mid-halt death or partitioned control plane
+                seq, _path = saved
+                report.checkpoints += 1
+                state = supervisor.store.load(seq)
+                final_state = state
+                if completion(workload, params, state):
+                    report.completed = True
+                    break
+            time.sleep(0.02)
+        else:
+            # Deadline: take one last look so the report has a verdict.
+            saved = supervisor.checkpoint(timeout=8.0, probe_grace=1.5)
+            if saved is not None:
+                report.checkpoints += 1
+                final_state = supervisor.store.load(saved[0])
+                report.completed = completion(workload, params, final_state)
+    if final_state is not None:
+        report.violation = conservation_violation(
+            workload, final_state, params
+        )
+    else:
+        report.violation = "campaign produced no consistent cut to check"
+    report.wall_s = time.monotonic() - started
+    return report
+
+
+# -- CLI ----------------------------------------------------------------------
+
+CHAOS_USAGE = """\
+usage: python -m repro chaos [key=value ...]
+
+Run a seeded chaos campaign on the distributed backend: real OS
+processes, a fault plan with crashes and partitions, checkpoint/restart
+supervision, conservation invariants checked at every checkpoint.
+
+options (key=value):
+  workload=NAME        registry workload (default: token_ring)
+  seed=N               campaign seed (default: 0)
+  max_wall=S           wall-clock budget in seconds (default: 60)
+  checkpoint_every=S   checkpoint cadence, wall seconds (default: 0.25)
+  store=DIR            checkpoint directory (default: temp dir)
+  json=PATH            write the full report as JSON to PATH
+  any other key        forwarded to the workload build (e.g. n=4)
+"""
+
+
+def chaos_main(argv: List[str]) -> int:
+    if "--help" in argv or "-h" in argv:
+        print(CHAOS_USAGE)
+        return 0
+    options: Dict[str, Any] = {}
+    params: Dict[str, Any] = {}
+    from repro.__main__ import parse_value
+
+    for arg in argv:
+        key, sep, value = arg.partition("=")
+        if not sep:
+            print(CHAOS_USAGE)
+            return 2
+        if key in ("workload", "store", "json"):
+            options[key] = value
+        elif key in ("seed",):
+            options[key] = int(value)
+        elif key in ("max_wall", "checkpoint_every"):
+            options[key] = float(value)
+        else:
+            params[key] = parse_value(value)
+    workload = options.get("workload", DEFAULT_WORKLOAD)
+    try:
+        report = run_campaign(
+            workload,
+            params or None,
+            seed=int(options.get("seed", 0)),
+            store_dir=options.get("store"),
+            checkpoint_every=float(options.get("checkpoint_every", 0.25)),
+            max_wall=float(options.get("max_wall", 60.0)),
+        )
+    except RecoveryError as exc:
+        print(f"chaos: recovery failed: {exc}")
+        return 1
+    verdict = "OK" if report.ok else "FAIL"
+    print(
+        f"chaos {verdict}: workload={report.workload} seed={report.seed} "
+        f"recoveries={len(report.recoveries)} "
+        f"checkpoints={report.checkpoints} wall={report.wall_s:.1f}s"
+    )
+    for event in report.recoveries:
+        origin = (
+            f"checkpoint {event.checkpoint_seq}"
+            if event.checkpoint_seq is not None else "initial state"
+        )
+        print(
+            f"  recovered {list(event.victims)} from {origin} "
+            f"in {event.total_s:.2f}s"
+        )
+    if report.violation:
+        print(f"  conservation violated: {report.violation}")
+    if not report.completed:
+        print("  workload did not complete within the wall budget")
+    out = options.get("json")
+    if out:
+        with open(out, "w", encoding="utf-8") as fp:
+            json.dump(report.to_dict(), fp, indent=2, sort_keys=True)
+        print(f"  report written to {out}")
+    return 0 if report.ok else 1
+
+
+__all__ = [
+    "ChaosReport",
+    "DEFAULT_PARAMS",
+    "DEFAULT_WORKLOAD",
+    "chaos_main",
+    "default_campaign",
+    "run_campaign",
+]

@@ -1,0 +1,205 @@
+"""Durable checkpoints: consistent global states as recovery artifacts.
+
+Theorem 2 says the halted state ``S_h`` equals the recorded snapshot state
+``S_r`` — so every consistent cut the halting machinery can already
+produce is a *valid recovery point*: process states plus in-flight channel
+contents, nothing invented, nothing lost. This module makes those cuts
+durable: a :class:`CheckpointStore` serializes each
+:class:`~repro.snapshot.state.GlobalState` through the same wire codec the
+cluster already trusts (:mod:`repro.distributed.protocol` — a registry,
+not pickle) into versioned JSON artifacts, and loads them back for the
+supervisor's rollback restarts.
+
+Only *complete* cuts are storable: a channel state without its closing
+marker is not restorable (re-sending it could duplicate or lose traffic),
+so :meth:`CheckpointStore.save` refuses it — the same rule
+:mod:`repro.halting.restore` enforces for the DES backend.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.distributed.protocol import decode_payload, encode_payload
+from repro.snapshot.state import ChannelState, GlobalState
+from repro.util.errors import CheckpointError
+from repro.util.ids import ChannelId
+
+#: Bump when the artifact layout changes incompatibly.
+CHECKPOINT_FORMAT = 1
+
+_ARTIFACT_RE = re.compile(r"^checkpoint-(\d{6})\.json$")
+
+
+def state_to_jsonable(state: GlobalState) -> Dict[str, Any]:
+    """One consistent global state as plain JSON-safe data."""
+    incomplete = sorted(
+        str(cid) for cid, cs in state.channels.items() if not cs.complete
+    )
+    if incomplete:
+        raise CheckpointError(
+            f"refusing to checkpoint an incomplete cut: channels {incomplete} "
+            "have no closing marker, so their contents are not restorable"
+        )
+    return {
+        "format": CHECKPOINT_FORMAT,
+        "origin": state.origin,
+        "generation": state.generation,
+        "meta": encode_payload(dict(state.meta)),
+        "processes": {
+            str(name): encode_payload(snapshot)
+            for name, snapshot in sorted(state.processes.items())
+        },
+        "channels": [
+            {
+                "channel": str(cid),
+                "messages": [encode_payload(m) for m in cs.messages],
+            }
+            for cid, cs in sorted(state.channels.items())
+        ],
+    }
+
+
+def state_from_jsonable(data: Dict[str, Any]) -> GlobalState:
+    """Inverse of :func:`state_to_jsonable`."""
+    try:
+        fmt = int(data.get("format", -1))
+        if fmt != CHECKPOINT_FORMAT:
+            raise CheckpointError(
+                f"checkpoint format {fmt} unsupported "
+                f"(this build reads format {CHECKPOINT_FORMAT})"
+            )
+        processes = {
+            str(name): decode_payload(snapshot)
+            for name, snapshot in dict(data["processes"]).items()
+        }
+        channels = {}
+        for record in data["channels"]:
+            cid = ChannelId.parse(record["channel"])
+            channels[cid] = ChannelState(
+                channel=cid,
+                messages=tuple(
+                    decode_payload(m) for m in record["messages"]
+                ),
+                complete=True,
+            )
+        return GlobalState(
+            origin=str(data.get("origin", "checkpoint")),
+            processes=processes,
+            channels=channels,
+            generation=int(data.get("generation", 0)),
+            meta=dict(decode_payload(data.get("meta", {}))),
+        )
+    except CheckpointError:
+        raise
+    except Exception as exc:
+        raise CheckpointError(f"malformed checkpoint data: {exc}") from exc
+
+
+class CheckpointStore:
+    """Versioned recovery artifacts in one directory.
+
+    Artifacts are named ``checkpoint-NNNNNN.json`` with a monotonically
+    increasing sequence number; writes are atomic (temp file +
+    ``os.replace``), so a crash mid-save never leaves a half-written
+    recovery point where :meth:`latest` would find it.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    # -- write ---------------------------------------------------------------
+
+    def save(self, state: GlobalState, extra_meta: Optional[Dict[str, Any]] = None) -> str:
+        """Persist one consistent cut; returns the artifact path."""
+        payload = state_to_jsonable(state)
+        if extra_meta:
+            payload["checkpoint_meta"] = encode_payload(dict(extra_meta))
+        seq = self._next_seq()
+        payload["seq"] = seq
+        path = os.path.join(self.directory, f"checkpoint-{seq:06d}.json")
+        fd, tmp = tempfile.mkstemp(
+            prefix=".checkpoint-", suffix=".tmp", dir=self.directory
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fp:
+                json.dump(payload, fp, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # -- read ----------------------------------------------------------------
+
+    def sequence_numbers(self) -> List[int]:
+        """All stored checkpoint sequence numbers, ascending."""
+        seqs = []
+        for name in os.listdir(self.directory):
+            match = _ARTIFACT_RE.match(name)
+            if match:
+                seqs.append(int(match.group(1)))
+        return sorted(seqs)
+
+    def path_for(self, seq: int) -> str:
+        return os.path.join(self.directory, f"checkpoint-{seq:06d}.json")
+
+    def latest(self) -> Optional[Tuple[int, str]]:
+        """``(seq, path)`` of the newest checkpoint, or None if empty."""
+        seqs = self.sequence_numbers()
+        if not seqs:
+            return None
+        seq = seqs[-1]
+        return seq, self.path_for(seq)
+
+    def load(self, target: Any) -> GlobalState:
+        """Load one checkpoint by sequence number or by path."""
+        path = self.path_for(target) if isinstance(target, int) else str(target)
+        return load_checkpoint(path)
+
+    # -- hygiene -------------------------------------------------------------
+
+    def prune(self, keep: int = 3) -> List[str]:
+        """Delete all but the newest ``keep`` artifacts; returns removals."""
+        if keep < 1:
+            raise CheckpointError(f"keep must be >= 1, got {keep!r}")
+        removed = []
+        for seq in self.sequence_numbers()[:-keep]:
+            path = self.path_for(seq)
+            try:
+                os.unlink(path)
+                removed.append(path)
+            except OSError:
+                pass
+        return removed
+
+    def _next_seq(self) -> int:
+        seqs = self.sequence_numbers()
+        return (seqs[-1] + 1) if seqs else 1
+
+
+def load_checkpoint(path: str) -> GlobalState:
+    """Read one checkpoint artifact from disk."""
+    try:
+        with open(path, "r", encoding="utf-8") as fp:
+            data = json.load(fp)
+    except (OSError, ValueError) as exc:
+        raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
+    return state_from_jsonable(data)
+
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "CheckpointStore",
+    "load_checkpoint",
+    "state_from_jsonable",
+    "state_to_jsonable",
+]

@@ -1,0 +1,153 @@
+"""Workload conservation laws, checked against consistent global states.
+
+A chaos campaign is only meaningful if something falsifiable survives it.
+For every registry workload with a conserved quantity, this module states
+the law as a function of one :class:`~repro.snapshot.state.GlobalState`:
+a *consistent* cut must satisfy it exactly — no message is invented, none
+is lost — whether the cut came from a live halt, a checkpoint artifact,
+or a post-recovery halt. The recovery supervisor uses these as checkpoint
+gates, and :mod:`repro.recovery.chaos` asserts them at every checkpoint
+and at campaign end.
+
+``completion`` answers the campaign's other question: did the workload
+actually *finish* its job, despite crashes and partitions, rather than
+merely not corrupting state?
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from repro.snapshot.state import GlobalState
+from repro.util.errors import ConfigurationError
+
+#: law(state, params) -> violation message, or "" when the law holds.
+Law = Callable[[GlobalState, Mapping[str, Any]], str]
+
+
+def _states(state: GlobalState) -> Dict[str, Mapping[str, Any]]:
+    return {name: snap.state for name, snap in state.processes.items()}
+
+
+def _token_ring_law(state: GlobalState, params: Mapping[str, Any]) -> str:
+    """Exactly one token — until the ring retires it at ``max_hops``.
+
+    The last receiver of a value ``>= max_hops`` keeps the token out of
+    circulation by design, so a *finished* ring legitimately holds zero:
+    the law distinguishes that from a lost token via the highest value
+    seen, which only the params can calibrate.
+    """
+    states = _states(state)
+    held = sum(1 for s in states.values() if s.get("holding"))
+    pending = state.total_pending_messages()
+    total = held + pending
+    if total == 1:
+        return ""
+    max_hops = params.get("max_hops")
+    last = max(
+        (int(s.get("last_value", -1)) for s in states.values()), default=-1
+    )
+    if total == 0 and max_hops is not None and last >= int(max_hops):
+        return ""  # the ring finished; the token was retired, not lost
+    if total == 0 and any(
+        s.get("injected") is False for s in states.values()
+    ):
+        return ""  # cut taken before the injector ever released the token
+    return f"{total} tokens (held {held} + {pending} in flight), expected 1"
+
+
+def _pipeline_law(state: GlobalState, params: Mapping[str, Any]) -> str:
+    states = _states(state)
+    produced = int(states["producer"].get("produced", 0))
+    consumed = int(states["consumer"].get("consumed", 0))
+    pending = state.total_pending_messages()
+    if produced == consumed + pending:
+        return ""
+    return (
+        f"produced {produced} != consumed {consumed} + {pending} in flight"
+    )
+
+
+def _chatter_law(state: GlobalState, params: Mapping[str, Any]) -> str:
+    states = _states(state)
+    sent = sum(int(s.get("sent", 0)) for s in states.values())
+    received = sum(int(s.get("received", 0)) for s in states.values())
+    pending = state.total_pending_messages()
+    if sent == received + pending:
+        return ""
+    return f"sent {sent} != received {received} + {pending} in flight"
+
+
+#: Conservation law per workload registry key.
+LAWS: Dict[str, Law] = {
+    "token_ring": _token_ring_law,
+    "pipeline": _pipeline_law,
+    "chatter": _chatter_law,
+    "infrequent": _chatter_law,  # two clusters of chatter processes
+}
+
+
+def conservation_violation(
+    workload: str,
+    state: GlobalState,
+    params: Optional[Mapping[str, Any]] = None,
+) -> str:
+    """Empty string iff ``workload``'s conservation law holds in ``state``.
+
+    ``params`` (the workload build parameters) calibrate completion-aware
+    laws — without them a finished token ring reads as a lost token.
+    """
+    law = LAWS.get(workload)
+    if law is None:
+        raise ConfigurationError(
+            f"no conservation law for workload {workload!r}; "
+            f"known: {sorted(LAWS)}"
+        )
+    return law(state, dict(params or {}))
+
+
+def validator(workload: str, params: Optional[Mapping[str, Any]] = None):
+    """The law as a supervisor ``validate`` callback, bound to one workload."""
+    if workload not in LAWS:
+        raise ConfigurationError(
+            f"no conservation law for workload {workload!r}; "
+            f"known: {sorted(LAWS)}"
+        )
+    return lambda state: conservation_violation(workload, state, params)
+
+
+def completion(
+    workload: str, params: Mapping[str, Any], state: GlobalState
+) -> bool:
+    """Has the workload finished its whole job in ``state``?
+
+    Completion is judged on the cut alone, so a campaign can halt,
+    check, and (if unfinished) resume and keep running.
+    """
+    states = _states(state)
+    pending = state.total_pending_messages()
+    if workload == "token_ring":
+        max_hops = int(params.get("max_hops", 40))
+        last = max(
+            (int(s.get("last_value", -1)) for s in states.values()),
+            default=-1,
+        )
+        return last >= max_hops and pending == 0
+    if workload == "pipeline":
+        items = int(params.get("items", 0))
+        return int(states["consumer"].get("consumed", 0)) >= items
+    if workload in ("chatter", "infrequent"):
+        budget = int(params.get("budget", 0))
+        sent = sum(int(s.get("sent", 0)) for s in states.values())
+        return sent >= budget * len(states) and pending == 0
+    raise ConfigurationError(
+        f"no completion criterion for workload {workload!r}"
+    )
+
+
+__all__ = [
+    "LAWS",
+    "completion",
+    "conservation_violation",
+    "validator",
+]

@@ -1,0 +1,372 @@
+"""The cluster supervisor: crash recovery by rollback to a consistent cut.
+
+Theorem 2's equality ``S_h == S_r`` makes every consistent cut a valid
+recovery point, and the distributed backend can already *produce* those
+cuts (halt → collect) and *restore* them (``ClusterSpec.restore_checkpoint``
+→ each child preloads its snapshot and re-sends pending channel traffic).
+The :class:`ClusterSupervisor` closes the loop: it runs the cluster as a
+sequence of *incarnations*, periodically turning halts into durable
+checkpoints, and when a child dies — SIGKILL, a :class:`FaultPlan` crash,
+or any fail-stop — it tears the whole incarnation down and relaunches
+every process from the last checkpoint.
+
+Recovery is deliberately *coordinated* (Koo–Toueg style): restoring only
+the victim would need message logging to stay consistent with survivors
+that have already moved past the cut, whereas rolling everyone back to
+one consistent cut is correct by the same argument that makes the cut a
+snapshot. The cost is lost progress since the last checkpoint, which is
+why the checkpoint cadence is the supervisor's main tuning knob.
+
+Fault plans carry over across incarnations with *one-shot-per-campaign*
+semantics: a crash that already fired is removed (otherwise recovery
+would loop forever), and time-windowed faults (stalls, partitions) are
+rewritten relative to the checkpoint's virtual time, so a partition that
+was scheduled for the future still happens after the rollback.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.distributed.session import DistributedDebugSession
+from repro.distributed.spec import ClusterSpec
+from repro.faults.plan import FaultPlan
+from repro.recovery.checkpoint import CheckpointStore
+from repro.snapshot.state import GlobalState
+from repro.util.errors import CheckpointError, HaltingError, RecoveryError
+from repro.util.ids import ProcessId
+
+if False:  # pragma: no cover - typing only
+    from repro.observe.integrate import Observability
+
+#: ``validate`` callback: returns a violation message, or None if the cut
+#: satisfies the workload's conservation law and is safe to checkpoint.
+Validator = Callable[[GlobalState], Optional[str]]
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One completed recovery: who died, what we rolled back to, how long."""
+
+    #: Processes whose OS process was found dead.
+    victims: Tuple[ProcessId, ...]
+    #: Sequence number of the checkpoint restored, or None when no
+    #: checkpoint existed yet and the cluster restarted from its initial
+    #: state (the empty cut is also consistent).
+    checkpoint_seq: Optional[int]
+    #: Incarnation index *after* this recovery (the first launch is 0).
+    incarnation: int
+    #: Wall-clock time (``time.time()``) the deaths were acted upon.
+    detected_at: float
+    #: Seconds tearing down the old incarnation (survivor shutdown,
+    #: corpse reaping, socket close).
+    teardown_s: float
+    #: Seconds relaunching: spawn, port rendezvous, checkpoint restore,
+    #: channel replay, go.
+    restart_s: float
+
+    @property
+    def total_s(self) -> float:
+        """Detection-to-restored recovery latency, wall seconds."""
+        return self.teardown_s + self.restart_s
+
+
+class ClusterSupervisor:
+    """Run a distributed cluster under checkpoint/restart supervision.
+
+    The supervisor owns the session lifecycle: ``start()`` launches
+    incarnation 0, :meth:`checkpoint` turns a whole-cluster halt into a
+    durable artifact, :meth:`poll` reports children whose OS process has
+    died, and :meth:`recover` rolls the cluster back to the last
+    checkpoint. The driving loop (a test, or :mod:`repro.recovery.chaos`)
+    decides *when* to do each.
+    """
+
+    def __init__(
+        self,
+        workload: str,
+        params: Optional[dict] = None,
+        seed: int = 0,
+        time_scale: float = 0.02,
+        fault_plan: Optional[FaultPlan] = None,
+        store: Union[str, CheckpointStore, None] = None,
+        observe: Optional["Observability"] = None,
+        validate: Optional[Validator] = None,
+        max_recoveries: int = 5,
+        keep_checkpoints: int = 3,
+    ) -> None:
+        if store is None:
+            raise RecoveryError(
+                "a checkpoint store (directory path or CheckpointStore) "
+                "is required"
+            )
+        self.workload = workload
+        self.params = dict(params or {})
+        self.seed = seed
+        self.time_scale = time_scale
+        self.store = store if isinstance(store, CheckpointStore) else (
+            CheckpointStore(store)
+        )
+        self.observe = observe
+        self.validate = validate
+        self.max_recoveries = max_recoveries
+        self.keep_checkpoints = keep_checkpoints
+        #: The fault plan for the *current* incarnation (rewritten at
+        #: every recovery; see :meth:`_remaining_plan`).
+        self.plan: Optional[FaultPlan] = fault_plan
+        self.session: Optional[DistributedDebugSession] = None
+        self.incarnation = 0
+        self.recoveries: List[RecoveryEvent] = []
+        #: seq -> incarnation-relative virtual time the checkpoint froze.
+        self._checkpoint_virtual: Dict[int, float] = {}
+        self._wall0 = 0.0
+        self._paused_wall = 0.0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        """Launch incarnation 0 from the initial state."""
+        if self.session is not None:
+            return
+        self._launch(restore=None)
+
+    def shutdown(self) -> None:
+        if self.session is not None:
+            self.session.shutdown()
+            self.session = None
+
+    def __enter__(self) -> "ClusterSupervisor":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    def _launch(self, restore: Optional[str]) -> None:
+        spec = ClusterSpec.plan(
+            self.workload,
+            self.params,
+            seed=self.seed,
+            time_scale=self.time_scale,
+            fault_plan=self.plan,
+        )
+        if restore is not None:
+            spec = replace(spec, restore_checkpoint=restore)
+        session = DistributedDebugSession(
+            spec.workload, spec=spec, observe=self.observe
+        )
+        session.start()
+        self.session = session
+        self._wall0 = time.monotonic()
+        self._paused_wall = 0.0
+
+    def _require_session(self) -> DistributedDebugSession:
+        if self.session is None:
+            raise RecoveryError("supervisor is not running; call start()")
+        return self.session
+
+    def _virtual_now(self) -> float:
+        """Virtual time elapsed in the current incarnation.
+
+        Wall time since launch, minus time the cluster spent halted for
+        checkpoints, over ``time_scale`` — an estimate (scheduling skew is
+        real), but fault windows are coarse enough for it.
+        """
+        if self.session is None:
+            return 0.0
+        elapsed = time.monotonic() - self._wall0 - self._paused_wall
+        return max(0.0, elapsed) / (self.time_scale or 1.0)
+
+    # -- supervision -----------------------------------------------------------
+
+    def poll(self) -> Tuple[ProcessId, ...]:
+        """Children whose OS process is dead right now, sorted."""
+        session = self._require_session()
+        return tuple(sorted(
+            name for name in session.spec.user_names
+            if not session.alive(name)
+        ))
+
+    def checkpoint(
+        self, timeout: float = 10.0, probe_grace: float = 2.0
+    ) -> Optional[Tuple[int, str]]:
+        """Halt the whole cluster, persist the cut, resume.
+
+        Returns ``(seq, path)`` of the new artifact, or None when no
+        whole-cluster cut was available: a member died mid-halt, the halt
+        never converged, or the watchdog reported dead/unresolved members.
+        Survivors are resumed either way, so a failed checkpoint leaves
+        the campaign running — recovery is :meth:`poll`'s job.
+
+        When a ``validate`` callback is installed, a cut that violates the
+        workload's conservation law raises :class:`CheckpointError`
+        (after resuming): persisting a corrupt cut would turn one bug into
+        a permanently wrong recovery point.
+        """
+        session = self._require_session()
+        pause0 = time.monotonic()
+        try:
+            report = session.halt_with_watchdog(
+                timeout=timeout, probe_grace=probe_grace
+            )
+            if not report.complete:
+                session.resume(allow_partial=True)
+                return None
+            state = session.collect_global_state(timeout=timeout)
+            if self.validate is not None:
+                violation = self.validate(state)
+                if violation:
+                    session.resume(allow_partial=True)
+                    raise CheckpointError(
+                        f"refusing to persist a violating cut: {violation}"
+                    )
+            virtual = self._virtual_now()
+            path = self.store.save(state, extra_meta={
+                "incarnation": self.incarnation,
+                "virtual_elapsed": virtual,
+            })
+            latest = self.store.latest()
+            assert latest is not None
+            seq = latest[0]
+            self._checkpoint_virtual[seq] = virtual
+            if not session.resume(allow_partial=True) and not self.poll():
+                # Everyone is alive yet nobody confirmed the resume: the
+                # cluster is wedged, and saving more identical cuts of it
+                # would loop forever. Surface it. (When the failure is a
+                # member dying mid-resume, poll() is non-empty and the
+                # caller's recovery loop handles the corpse instead.)
+                raise RecoveryError(
+                    "cluster failed to confirm resume after checkpoint "
+                    f"{seq}; it may be partitioned or wedged"
+                )
+            self.store.prune(keep=self.keep_checkpoints)
+            return seq, path
+        except HaltingError:
+            # Convergence or collection failed — typically a crash racing
+            # the halt. Best-effort resume; the caller's poll() will see
+            # the corpse.
+            try:
+                session.resume(allow_partial=True)
+            except HaltingError:  # pragma: no cover - resume is lenient
+                pass
+            return None
+        finally:
+            self._paused_wall += time.monotonic() - pause0
+
+    def recover(
+        self, victims: Optional[Tuple[ProcessId, ...]] = None
+    ) -> RecoveryEvent:
+        """Roll the whole cluster back to the last checkpoint.
+
+        Tears down the current incarnation (survivors get an orderly
+        shutdown; corpses are reaped), rewrites the fault plan so spent
+        faults cannot re-fire, and relaunches every process with
+        ``restore_checkpoint`` pointing at the newest artifact — or from
+        the initial state when none exists yet.
+        """
+        session = self._require_session()
+        victims = tuple(sorted(
+            victims if victims is not None else self.poll()
+        ))
+        if not victims:
+            raise RecoveryError("recover() called with no dead processes")
+        if len(self.recoveries) >= self.max_recoveries:
+            raise RecoveryError(
+                f"recovery budget exhausted ({self.max_recoveries}); "
+                f"latest victims: {list(victims)}"
+            )
+        detected_at = time.time()
+        t0 = time.monotonic()
+        session.shutdown()
+        self.session = None
+        t1 = time.monotonic()
+        latest = self.store.latest()
+        if latest is not None:
+            checkpoint_seq, restore_path = latest
+            rollback_virtual = self._checkpoint_virtual.get(
+                checkpoint_seq, 0.0
+            )
+        else:
+            checkpoint_seq, restore_path = None, None
+            rollback_virtual = 0.0
+        self.plan = self._remaining_plan(victims, rollback_virtual)
+        self._launch(restore=restore_path)
+        t2 = time.monotonic()
+        self.incarnation += 1
+        # The restored incarnation's clock restarts at the checkpoint's
+        # cut, and the rewritten plan is relative to that — so is the
+        # recorded virtual time of any checkpoint it will take.
+        self._checkpoint_virtual = {}
+        event = RecoveryEvent(
+            victims=victims,
+            checkpoint_seq=checkpoint_seq,
+            incarnation=self.incarnation,
+            detected_at=detected_at,
+            teardown_s=t1 - t0,
+            restart_s=t2 - t1,
+        )
+        self.recoveries.append(event)
+        if self.observe is not None:
+            self.observe.note_recovery(event)
+        return event
+
+    def _remaining_plan(
+        self, victims: Tuple[ProcessId, ...], rollback_virtual: float
+    ) -> Optional[FaultPlan]:
+        """The fault plan for the next incarnation.
+
+        One-shot-per-campaign: crashes of the victims are removed (they
+        fired — keeping them would crash-loop the cluster), as is any
+        timed crash whose moment is already behind the rollback point.
+        Stall and partition windows are shifted to the new incarnation's
+        clock (which restarts at the checkpoint): finished windows drop
+        out, in-progress ones keep their remainder, future ones keep
+        their full width.
+        """
+        plan = self.plan
+        if plan is None:
+            return None
+        dead = set(victims)
+        v = rollback_virtual
+        crashes = []
+        for crash in plan.crashes:
+            if crash.process in dead:
+                continue
+            if crash.at_time is not None:
+                if crash.at_time <= v:
+                    continue  # already behind the rollback point
+                crashes.append(replace(crash, at_time=crash.at_time - v))
+            else:
+                # after_events counts local events; the restored
+                # controller continues from the snapshot's sequence, so
+                # the spec carries over unchanged.
+                crashes.append(crash)
+        stalls = []
+        for stall in plan.stalls:
+            end = stall.at_time + stall.duration - v
+            if end <= 0:
+                continue
+            start = max(0.0, stall.at_time - v)
+            stalls.append(replace(
+                stall, at_time=start, duration=end - start
+            ))
+        partitions = []
+        for partition in plan.partitions:
+            end = partition.end_time - v
+            if end <= 0:
+                continue
+            start = max(0.0, partition.at_time - v)
+            partitions.append(replace(
+                partition, at_time=start, duration=end - start
+            ))
+        return replace(
+            plan,
+            crashes=tuple(crashes),
+            stalls=tuple(stalls),
+            partitions=tuple(partitions),
+        )
+
+
+__all__ = ["ClusterSupervisor", "RecoveryEvent"]

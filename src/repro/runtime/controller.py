@@ -440,6 +440,31 @@ class ProcessController:
             self._muted = False
         return snapshot
 
+    def rehalt(self, **meta: Any) -> ProcessStateSnapshot:
+        """Adopt a newer halt generation while already frozen.
+
+        A process halted at generation M can legitimately see a marker
+        for generation N > M: its halt notification (or its resume
+        command) was lost — e.g. a partition ate it — and the rest of
+        the system moved on. The frozen snapshot is *exactly* this
+        process's state for the new cut, because it has executed no
+        user event since halting; only the generation metadata changes.
+        Channel closures are reset — survivors resumed and may have
+        sent since, so each channel re-closes when its new-generation
+        marker arrives behind any such traffic (FIFO).
+        """
+        if not self.halted:
+            raise RuntimeStateError(
+                f"{self.name} is not halted; rehalt is only for adopting "
+                "a newer generation while frozen"
+            )
+        assert self.halted_snapshot is not None
+        self.halted_snapshot.meta.update(meta)
+        self.closed_channels = set()
+        for plugin in self._plugins:
+            plugin.on_halted()
+        return self.halted_snapshot
+
     def resume(self) -> None:
         """Un-freeze: replay buffered arrivals (per-channel FIFO preserved,
         cross-channel arrival order preserved) and deferred timers."""

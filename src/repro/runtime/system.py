@@ -212,6 +212,13 @@ class System:
                 priority=PRIORITY_INTERNAL,
                 tiebreak=("stall", stall.process),
             )
+        known = {str(c) for c in self.topology.channels}
+        for partition in plan.partitions:
+            unknown = sorted(set(partition.channels) - known)
+            if unknown:
+                raise FaultError(
+                    f"partition names unknown channels {unknown!r}"
+                )
 
     def create_channel(self, src: ProcessId, dst: ProcessId) -> ChannelId:
         """Open a new directed channel at runtime."""

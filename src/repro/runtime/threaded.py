@@ -178,7 +178,14 @@ class ThreadedChannel:
                 copies += self._injector.duplicates(is_user)
             arrived = 0
             for _ in range(copies):
-                if self._injector is not None and self._injector.drop_frame(is_user):
+                # drop_frame first, unconditionally: it consumes the loss
+                # RNG stream, so partitions don't perturb probabilistic loss.
+                if self._injector is not None and (
+                    self._injector.drop_frame(is_user)
+                    or self._injector.partitioned(
+                        self._system.now / (self._system.time_scale or 1.0)
+                    )
+                ):
                     with self._lock:
                         self.stats.frames_dropped += 1
                     self._system.note_drop(envelope)
@@ -352,6 +359,7 @@ class ThreadedController:
         self._timer_gen: Dict[str, int] = {}
         self._local_seq = 0
         self._muted = False
+        self._restored = False
         self._plugins: List[ControlPlugin] = []
         self.inbox: "queue.Queue" = queue.Queue()
         self._thread = threading.Thread(
@@ -400,6 +408,26 @@ class ThreadedController:
 
     # -- lifecycle ----------------------------------------------------------------
 
+    def preload(self, snapshot: ProcessStateSnapshot) -> None:
+        """Load a previously captured state before the thread starts — the
+        restoration half of halting, mirroring the DES controller's
+        ``preload``. State, clocks, and counters resume where the capture
+        left them; the new incarnation continues the old causal history."""
+        if self._local_seq or self.ctx.state:
+            raise RuntimeStateError(
+                f"{self.name} already has history; preload before start"
+            )
+        self._muted = True
+        try:
+            self.ctx.state.update(snapshot.state)
+        finally:
+            self._muted = False
+        self.lamport.load(snapshot.lamport)
+        self.vector.load(snapshot.vector)
+        self._local_seq = snapshot.local_seq
+        self.terminated = snapshot.terminated
+        self._restored = True
+
     def start(self) -> None:
         self._thread.start()
 
@@ -407,8 +435,12 @@ class ThreadedController:
         self._thread.join(timeout)
 
     def _main_loop(self) -> None:
-        self._record(EventKind.PROCESS_CREATED)
-        self.process.on_start(self.ctx)
+        if self._restored:
+            # A resurrected process continues, it is not created anew.
+            self.process.on_restore(self.ctx)
+        else:
+            self._record(EventKind.PROCESS_CREATED)
+            self.process.on_start(self.ctx)
         self.system.note_activity(-1)  # balances the start credit
         while True:
             item = self.inbox.get()
@@ -661,6 +693,23 @@ class ThreadedController:
             self._muted = False
         return snapshot
 
+    def rehalt(self, **meta: object) -> ProcessStateSnapshot:
+        # See the DES controller's rehalt: a frozen process adopting a
+        # newer halt generation after a partition ate its notification
+        # or resume. State is untouched (nothing ran since the halt);
+        # generation metadata updates and channels re-drain.
+        if not self.halted:
+            raise RuntimeStateError(
+                f"{self.name} is not halted; rehalt is only for adopting "
+                "a newer generation while frozen"
+            )
+        assert self.halted_snapshot is not None
+        self.halted_snapshot.meta.update(meta)
+        self.closed_channels = set()
+        for plugin in self._plugins:
+            plugin.on_halted()
+        return self.halted_snapshot
+
     def resume(self) -> None:
         if not self.halted:
             raise RuntimeStateError(f"{self.name} is not halted")
@@ -779,6 +828,10 @@ class _Lamport:
     def merge(self, received: int) -> int:
         self.value = max(self.value, received) + 1
         return self.value
+
+    def load(self, value: int) -> None:
+        """Adopt a restored clock value (see ``preload``)."""
+        self.value = value
 
 
 class ThreadedSystem:
@@ -952,6 +1005,13 @@ class ThreadedSystem:
                 (stall.at_time, stall.process,
                  lambda c, d=stall.duration: c.stall(d))
             )
+        known = {str(c) for c in self.topology.channels}
+        for partition in plan.partitions:
+            unknown = sorted(set(partition.channels) - known)
+            if unknown:
+                raise FaultError(
+                    f"partition names unknown channels {unknown!r}"
+                )
 
     def _start_fault_timers(self) -> None:
         for at_time, process, action in getattr(self, "_staged_faults", []):

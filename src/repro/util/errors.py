@@ -81,3 +81,29 @@ class WireError(ReproError):
 
 class WireClosed(WireError):
     """The peer closed the connection (clean EOF between frames)."""
+
+
+class RetryBudgetExceeded(WireError):
+    """A reconnecting transport ran out of retries before the peer
+    answered (see :class:`repro.distributed.transport.Backoff`)."""
+
+
+class SurvivorsOnlyError(HaltingError):
+    """A whole-cluster operation (resume) was asked of a cluster with dead
+    members. Carries the dead-process list so callers can decide between
+    recovery (:mod:`repro.recovery`) and a survivors-only continuation."""
+
+    def __init__(self, message: str, dead: tuple) -> None:
+        super().__init__(message)
+        #: Names of the processes that are no longer alive.
+        self.dead = tuple(dead)
+
+
+class RecoveryError(ReproError):
+    """The crash-recovery machinery (checkpoints, supervisor, chaos
+    campaigns) was driven incorrectly or reached a bad state."""
+
+
+class CheckpointError(RecoveryError):
+    """A checkpoint artifact is malformed, incomplete, or unusable as a
+    recovery point."""

@@ -29,7 +29,9 @@ class TokenRingProcess(Process):
         ctx.state["last_value"] = -1
         ctx.state["holding"] = False
         if ctx.name.endswith("0"):
-            # The ring's first station injects the token.
+            # The ring's first station injects the token. The flag lets a
+            # restore distinguish "not yet injected" from "in flight".
+            ctx.state["injected"] = False
             ctx.set_timer("inject", self.hold_time, payload=0)
 
     def on_restore(self, ctx: ProcessContext) -> None:
@@ -39,6 +41,11 @@ class TokenRingProcess(Process):
         if ctx.state["holding"]:
             ctx.set_timer("forward", self.hold_time,
                           payload=ctx.state["last_value"] + 1)
+        elif ctx.state.get("injected") is False:
+            # Restored from a cut taken before the token ever existed:
+            # the inject timer is not part of anyone's state, so the
+            # injector must re-arm it or the ring stays empty forever.
+            ctx.set_timer("inject", self.hold_time, payload=0)
 
     def on_message(self, ctx: ProcessContext, src: ProcessId, payload: object) -> None:
         with ctx.procedure("receive_token"):
@@ -54,6 +61,8 @@ class TokenRingProcess(Process):
     def on_timer(self, ctx: ProcessContext, name: str, payload: object) -> None:
         with ctx.procedure("forward_token"):
             ctx.state["holding"] = False
+            if name == "inject":
+                ctx.state["injected"] = True
             ctx.send(ctx.neighbors_out()[0], payload, tag="token")
 
 

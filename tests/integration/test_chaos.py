@@ -1,0 +1,132 @@
+"""Integration tests for seeded chaos campaigns (repro.recovery.chaos).
+
+The claims under test are the campaign's own: every victim recovered
+from the last consistent checkpoint, conservation intact at every
+persisted cut, workload completed despite the faults, and a byte-
+identical deterministic report core for the same seed.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+pytestmark = pytest.mark.filterwarnings("error::ResourceWarning")
+
+import repro
+from repro.faults.plan import FaultPlan
+from repro.observe import Observability
+from repro.recovery.chaos import (
+    DEFAULT_PARAMS,
+    ChaosReport,
+    default_campaign,
+    run_campaign,
+)
+
+SRC = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def test_default_campaign_recovers_and_completes(tmp_path):
+    report = run_campaign(seed=0, store_dir=str(tmp_path), max_wall=45.0)
+    assert report.ok, (report.violation, report.completed)
+    assert report.completed
+    assert not report.violation
+    # At least one crash fired and was recovered — from a persisted
+    # checkpoint, not the initial state.
+    assert report.recovery_victims == [("p1",)]
+    assert len(report.restored_from) == 1
+    assert report.restored_from[0] is not None
+    assert report.checkpoints >= 1
+    assert all(e.total_s > 0 for e in report.recoveries)
+
+
+def test_same_seed_gives_byte_identical_core(tmp_path):
+    a = run_campaign(seed=1, store_dir=str(tmp_path / "a"), max_wall=45.0)
+    b = run_campaign(seed=1, store_dir=str(tmp_path / "b"), max_wall=45.0)
+    assert a.ok and b.ok
+    assert a.core_json() == b.core_json()
+    # The core is the seed-determined part only; timing fields live in
+    # to_dict() but never in the core.
+    core = json.loads(a.core_json())
+    assert set(core) == {
+        "workload", "params", "seed", "plan", "completed", "violation",
+        "recovery_victims",
+    }
+
+
+def test_partition_overlapping_a_checkpoint_halt(tmp_path):
+    """The hard case: the partition eats halt traffic between d and p1
+    while a checkpoint is in flight, then the crash fires. The frozen
+    victim must adopt the next halt generation (rehalt) instead of
+    wedging, and the campaign still completes with conservation intact."""
+    plan = (
+        FaultPlan(seed=0)
+        .with_partition(("d->p1", "p1->d"), at_time=10.0, duration=15.0)
+        .with_crash("p1", after_events=400)
+    )
+    report = run_campaign(seed=0, plan=plan, store_dir=str(tmp_path),
+                          max_wall=45.0)
+    assert report.ok, (report.violation, report.completed)
+    assert report.recovery_victims == [("p1",)]
+    assert report.restored_from[0] is not None
+
+
+def test_campaign_metrics_flow_into_observability(tmp_path):
+    observe = Observability()
+    report = run_campaign(seed=2, store_dir=str(tmp_path), max_wall=45.0,
+                          observe=observe)
+    assert report.ok
+    assert report.recoveries
+    snapshot = observe.metrics.snapshot()
+    assert sum(snapshot["recoveries_total"].values()) == len(report.recoveries)
+    assert sum(snapshot["recovered_processes_total"].values()) >= 1
+    latency = next(iter(snapshot["recovery_latency"].values()))
+    assert latency.count == len(report.recoveries)
+    spans = observe.tracer.spans("recovery")
+    assert len(spans) == len(report.recoveries)
+    assert spans[0].name == "recovery.restart"
+
+
+def test_default_campaign_contains_crash_and_partition():
+    plan = default_campaign(seed=9)
+    assert plan.seed == 9
+    assert plan.crashed_processes() == ("p1",)
+    assert len(plan.partitions) == 1
+    assert DEFAULT_PARAMS["n"] >= 3
+
+
+def test_report_ok_property():
+    base = dict(workload="token_ring", params={}, seed=0, plan={})
+    assert ChaosReport(completed=True, violation="", **base).ok
+    assert not ChaosReport(completed=False, violation="", **base).ok
+    assert not ChaosReport(completed=True, violation="lost", **base).ok
+
+
+def test_chaos_cli_end_to_end(tmp_path):
+    out = tmp_path / "report.json"
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "chaos", "seed=0",
+         f"store={tmp_path / 'store'}", f"json={out}", "max_wall=45.0"],
+        capture_output=True, text=True, timeout=90,
+        env={**os.environ, "PYTHONPATH": SRC},
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "chaos OK" in proc.stdout
+    assert "recovered ['p1'] from checkpoint" in proc.stdout
+    data = json.loads(out.read_text(encoding="utf-8"))
+    assert data["completed"] is True
+    assert data["violation"] == ""
+    assert data["recovery_victims"] == [["p1"]]
+    assert data["recoveries"][0]["total_s"] > 0
+
+
+def test_chaos_cli_usage():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "chaos", "--help"],
+        capture_output=True, text=True, timeout=30,
+        env={**os.environ, "PYTHONPATH": SRC},
+    )
+    assert proc.returncode == 0
+    assert "usage: python -m repro chaos" in proc.stdout

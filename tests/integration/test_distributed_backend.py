@@ -18,6 +18,10 @@ import time
 
 import pytest
 
+# The real-sockets suite must not leak: every socket and child pipe is
+# closed even on SIGKILL paths, enforced by failing on ResourceWarning.
+pytestmark = pytest.mark.filterwarnings("error::ResourceWarning")
+
 import repro
 from repro.distributed.session import DistributedDebugSession
 from repro.faults.plan import ChannelFaultSpec, FaultPlan

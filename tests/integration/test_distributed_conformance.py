@@ -20,6 +20,8 @@ import time
 
 import pytest
 
+pytestmark = pytest.mark.filterwarnings("error::ResourceWarning")
+
 from repro.analysis.metrics import message_overhead
 from repro.debugger.session import DebugSession
 from repro.distributed.session import DistributedDebugSession
@@ -126,3 +128,51 @@ def test_des_backend_agrees_on_marker_count_and_conservation(workload):
         assert path[0] == "d" and path[-1] == process
         for src, dst in zip(path, path[1:]):
             assert ChannelId(src, dst) in edges
+
+
+def test_crash_fault_conformance_conservation_after_recovery(tmp_path):
+    """The same event-counted crash names the same victim on both
+    substrates (local event counts are substrate-independent), and on the
+    distributed backend the recovery supervisor then rolls the cluster
+    back to a consistent cut where the conservation law holds again."""
+    import time as _time
+
+    from repro.debugger.session import DebugSession as _DES
+    from repro.faults.plan import FaultPlan
+    from repro.recovery.invariants import (
+        conservation_violation as law_violation,
+        validator,
+    )
+    from repro.recovery.supervisor import ClusterSupervisor
+
+    params = {"n": 3, "max_hops": 100_000, "hold_time": 0.2}
+    plan = FaultPlan(seed=21).with_crash("p1", after_events=60)
+
+    # DES reference run: the plan deterministically kills p1 and only p1.
+    topology, processes = build_user_program("token_ring", params)
+    des = _DES(topology, processes, seed=21, fault_plan=plan)
+    des.system.run(until=120.0)
+    assert des.system.crashed_process_names() == ("p1",)
+
+    # Distributed run under supervision: same victim, then recovery, and
+    # the post-recovery cut satisfies the same conservation law the DES
+    # states are held to.
+    sup = ClusterSupervisor(
+        "token_ring", params, seed=21, fault_plan=plan,
+        store=str(tmp_path), validate=validator("token_ring", params),
+    )
+    with sup:
+        deadline = _time.time() + 20.0
+        while not sup.poll() and _time.time() < deadline:
+            _time.sleep(0.05)
+        assert sup.poll() == ("p1",), "fault plan victim differs across backends"
+
+        event = sup.recover()
+        assert event.victims == ("p1",)
+        _time.sleep(0.4)
+        saved = sup.checkpoint(timeout=10.0, probe_grace=2.0)
+        assert saved is not None
+        state = sup.store.load(saved[0])
+        assert set(state.processes) == {"p0", "p1", "p2"}
+        assert not law_violation("token_ring", state, params)
+        assert all(cs.complete for cs in state.channels.values())

@@ -1,0 +1,171 @@
+"""Integration tests for checkpoint/restart supervision (repro.recovery).
+
+Real OS processes die here — SIGKILL and FaultPlan crashes — and the
+:class:`~repro.recovery.supervisor.ClusterSupervisor` rolls the whole
+cluster back to the last consistent cut, Theorem-2 style: every
+checkpoint is a halted global state, so restoring it is exactly
+restoring ``S_h``.
+"""
+
+import time
+
+import pytest
+
+# Recovery tears sessions down constantly; leaks would surface here first.
+pytestmark = pytest.mark.filterwarnings("error::ResourceWarning")
+
+from repro.distributed.session import DistributedDebugSession
+from repro.faults.plan import FaultPlan
+from repro.recovery.invariants import conservation_violation, validator
+from repro.recovery.supervisor import ClusterSupervisor
+from repro.util.errors import RecoveryError, SurvivorsOnlyError
+
+PARAMS = {"n": 3, "max_hops": 100_000, "hold_time": 0.2}
+
+
+def ring_progress(state) -> int:
+    return max(s.state.get("last_value", -1) for s in state.processes.values())
+
+
+# -- the full loop: checkpoint -> kill -> recover -> verify --------------------
+
+
+def test_recover_restores_the_last_checkpoint(tmp_path):
+    sup = ClusterSupervisor(
+        "token_ring", PARAMS, seed=11, store=str(tmp_path),
+        validate=validator("token_ring", PARAMS),
+    )
+    with sup:
+        session = sup.session
+        time.sleep(0.5)
+        saved = sup.checkpoint(timeout=10.0, probe_grace=2.0)
+        assert saved is not None
+        seq, path = saved
+        restored_progress = ring_progress(sup.store.load(seq))
+        assert restored_progress >= 0
+
+        session.kill("p1")
+        deadline = time.time() + 5.0
+        while session.alive("p1") and time.time() < deadline:
+            time.sleep(0.05)
+        assert sup.poll() == ("p1",)
+
+        event = sup.recover()
+        assert event.victims == ("p1",)
+        assert event.checkpoint_seq == seq
+        assert event.incarnation == 1
+        assert event.total_s == event.teardown_s + event.restart_s > 0
+        assert sup.poll() == ()  # everyone is back
+
+        # The restored incarnation still satisfies the conservation law
+        # and makes progress past the restored cut.
+        time.sleep(0.5)
+        saved2 = sup.checkpoint(timeout=10.0, probe_grace=2.0)
+        assert saved2 is not None
+        state2 = sup.store.load(saved2[0])
+        assert not conservation_violation("token_ring", state2, PARAMS)
+        assert ring_progress(state2) > restored_progress
+
+
+def test_recover_before_any_checkpoint_restarts_initial_state(tmp_path):
+    sup = ClusterSupervisor("token_ring", PARAMS, seed=5, store=str(tmp_path))
+    with sup:
+        sup.session.kill("p2")
+        deadline = time.time() + 5.0
+        while sup.session.alive("p2") and time.time() < deadline:
+            time.sleep(0.05)
+        event = sup.recover()
+        assert event.checkpoint_seq is None  # the empty cut is consistent too
+        assert sup.poll() == ()
+
+
+def test_recover_guards(tmp_path):
+    sup = ClusterSupervisor("token_ring", PARAMS, seed=5, store=str(tmp_path),
+                            max_recoveries=0)
+    with sup:
+        with pytest.raises(RecoveryError, match="no dead processes"):
+            sup.recover()
+        sup.session.kill("p0")
+        deadline = time.time() + 5.0
+        while sup.session.alive("p0") and time.time() < deadline:
+            time.sleep(0.05)
+        with pytest.raises(RecoveryError, match="budget exhausted"):
+            sup.recover()
+
+
+def test_supervisor_requires_a_store():
+    with pytest.raises(RecoveryError, match="store"):
+        ClusterSupervisor("token_ring", PARAMS)
+
+
+# -- resume after partial halt -------------------------------------------------
+
+
+def test_resume_after_partial_halt_raises_survivors_only():
+    with DistributedDebugSession("token_ring", PARAMS, seed=9) as session:
+        time.sleep(0.4)
+        session.kill("p1")
+        deadline = time.time() + 5.0
+        while session.alive("p1") and time.time() < deadline:
+            time.sleep(0.05)
+        report = session.halt_with_watchdog(timeout=8.0, probe_grace=2.0)
+        assert report.is_partial and report.dead == ("p1",)
+
+        with pytest.raises(SurvivorsOnlyError) as excinfo:
+            session.resume(timeout=5.0)
+        assert excinfo.value.dead == ("p1",)
+        assert "p1" in str(excinfo.value)
+
+        # Partial mode resumes the survivors the exception pointed at.
+        assert session.resume(timeout=10.0, allow_partial=True)
+
+
+# -- fault-plan rewriting across incarnations ----------------------------------
+
+
+def test_remaining_plan_one_shot_semantics(tmp_path):
+    plan = (
+        FaultPlan(seed=3)
+        .with_crash("p1", after_events=40)
+        .with_crash("p2", at_time=6.0)
+        .with_crash("p0", at_time=1.0)
+        .with_stall("p0", at_time=2.0, duration=5.0)
+        .with_stall("p2", at_time=0.5, duration=1.0)
+        .with_partition(("p0->p1",), at_time=8.0, duration=2.0)
+        .with_partition(("p1->p2",), at_time=1.0, duration=2.0)
+    )
+    sup = ClusterSupervisor("token_ring", PARAMS, seed=3,
+                            fault_plan=plan, store=str(tmp_path))
+    rewritten = sup._remaining_plan(("p1",), rollback_virtual=4.0)
+
+    # p1's crash fired (it is the victim) — gone. p0's timed crash is
+    # behind the rollback point — gone. p2's is shifted to the new clock.
+    assert {c.process for c in rewritten.crashes} == {"p2"}
+    assert rewritten.crashes[0].at_time == pytest.approx(2.0)
+
+    # The in-progress stall keeps its remainder; the finished one drops.
+    assert len(rewritten.stalls) == 1
+    stall = rewritten.stalls[0]
+    assert (stall.process, stall.at_time, stall.duration) == ("p0", 0.0, 3.0)
+
+    # The future partition keeps its full width; the finished one drops.
+    assert len(rewritten.partitions) == 1
+    part = rewritten.partitions[0]
+    assert (part.channels, part.at_time, part.duration) == (
+        ("p0->p1",), 4.0, 2.0
+    )
+
+
+def test_remaining_plan_keeps_event_counted_crashes_of_survivors(tmp_path):
+    plan = FaultPlan(seed=0).with_crash("p2", after_events=500)
+    sup = ClusterSupervisor("token_ring", PARAMS, seed=0,
+                            fault_plan=plan, store=str(tmp_path))
+    rewritten = sup._remaining_plan(("p1",), rollback_virtual=3.0)
+    # The restored controller continues the snapshot's local_seq, so an
+    # unfired after_events crash carries over verbatim.
+    assert rewritten.crashes == plan.crashes
+
+
+def test_remaining_plan_without_a_plan_is_none(tmp_path):
+    sup = ClusterSupervisor("token_ring", PARAMS, store=str(tmp_path))
+    assert sup._remaining_plan(("p0",), 1.0) is None

@@ -173,3 +173,58 @@ def test_reorder_delay_within_bounds():
     injector = ChannelFaultInjector(ChannelId("a", "b"), spec, seed=0)
     for _ in range(100):
         assert 0.5 <= injector.extra_delay(True) <= 3.0
+
+
+# -- plan composition edge cases ------------------------------------------------
+
+
+def test_crash_and_stall_compose_on_the_same_process():
+    """A process may stall *and* later crash — distinct fault kinds are
+    not mutually exclusive, only duplicate crashes are."""
+    plan = (FaultPlan(seed=4)
+            .with_stall("p1", at_time=1.0, duration=2.0)
+            .with_crash("p1", after_events=10))
+    assert plan.crashed_processes() == ("p1",)
+    assert [s.process for s in plan.stalls] == ["p1"]
+    # The composed plan still round-trips.
+    assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+
+def test_overlapping_partition_windows_are_all_reported():
+    plan = (FaultPlan(seed=0)
+            .with_partition(("a->b",), at_time=1.0, duration=4.0)
+            .with_partition(("a->b", "b->a"), at_time=3.0, duration=4.0))
+    from repro.util.ids import ChannelId as _Cid
+    assert plan.partition_windows(_Cid("a", "b")) == ((1.0, 5.0), (3.0, 7.0))
+    assert plan.partition_windows(_Cid("b", "a")) == ((3.0, 7.0),)
+    assert plan.partition_windows(_Cid("b", "c")) == ()
+
+
+def test_partition_spec_validation():
+    with pytest.raises(FaultError):
+        FaultPlan().with_partition((), at_time=1.0, duration=1.0)
+    with pytest.raises(FaultError):
+        FaultPlan().with_partition(("a->b",), at_time=-0.5, duration=1.0)
+    with pytest.raises(FaultError):
+        FaultPlan().with_partition(("a->b",), at_time=1.0, duration=0.0)
+    with pytest.raises(FaultError):
+        FaultPlan().with_partition(("not a channel",), at_time=0.0,
+                                   duration=1.0)
+
+
+def test_identically_built_plans_serialize_identically():
+    """Same builder calls + same seed => byte-identical to_dict, the
+    property chaos campaigns lean on for reproducible reports."""
+    import json as _json
+
+    def build(seed):
+        return (FaultPlan(seed=seed)
+                .with_partition(("d->p1", "p1->d"), at_time=2.0, duration=3.0)
+                .with_stall("p0", at_time=1.0, duration=0.5)
+                .with_crash("p1", after_events=40))
+
+    a = _json.dumps(build(7).to_dict(), sort_keys=True)
+    b = _json.dumps(build(7).to_dict(), sort_keys=True)
+    assert a == b
+    assert build(7) == build(7)
+    assert build(7) != build(8)

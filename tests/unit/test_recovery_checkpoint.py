@@ -1,0 +1,137 @@
+"""Unit tests for the checkpoint store (repro.recovery.checkpoint)."""
+
+import json
+import os
+
+import pytest
+
+from repro.recovery.checkpoint import (
+    CHECKPOINT_FORMAT,
+    CheckpointStore,
+    load_checkpoint,
+    state_from_jsonable,
+    state_to_jsonable,
+)
+from repro.runtime.payload import UserMessage
+from repro.runtime.state_capture import capture
+from repro.snapshot.state import ChannelState, GlobalState
+from repro.util.errors import CheckpointError
+from repro.util.ids import ChannelId
+
+
+def make_state(hops: int = 5, complete: bool = True) -> GlobalState:
+    """A tiny but structurally faithful token-ring cut."""
+    processes = {
+        "p0": capture(
+            process="p0",
+            state={"tokens_seen": hops, "last_value": hops, "holding": False},
+            local_seq=3 * hops, lamport=4 * hops, vector=(hops, hops),
+            vector_index=0, time=1.25, halt_id=2,
+        ),
+        "p1": capture(
+            process="p1",
+            state={"tokens_seen": hops, "last_value": hops - 1,
+                   "holding": False},
+            local_seq=3 * hops - 1, lamport=4 * hops - 2, vector=(hops, hops),
+            vector_index=1, time=1.25, halt_id=2,
+        ),
+    }
+    channels = {
+        ChannelId("p0", "p1"): ChannelState(
+            channel=ChannelId("p0", "p1"),
+            messages=(UserMessage(payload=hops, tag="token",
+                                  lamport=4 * hops, vector=(hops, hops)),),
+            complete=complete,
+        ),
+        ChannelId("p1", "p0"): ChannelState(
+            channel=ChannelId("p1", "p0"), messages=(), complete=True,
+        ),
+    }
+    return GlobalState(
+        origin="halting", processes=processes, channels=channels,
+        generation=2, meta={"halt_order": ["p0", "p1"]},
+    )
+
+
+def test_jsonable_round_trip_preserves_the_cut():
+    state = make_state()
+    back = state_from_jsonable(json.loads(json.dumps(state_to_jsonable(state))))
+    assert back.origin == state.origin
+    assert back.generation == state.generation
+    assert back.meta == state.meta
+    assert set(back.processes) == set(state.processes)
+    for name, snap in state.processes.items():
+        assert back.processes[name].comparable() == snap.comparable()
+        assert back.processes[name].meta == snap.meta
+    assert set(back.channels) == set(state.channels)
+    for cid, cs in state.channels.items():
+        assert back.channels[cid].messages == cs.messages
+        assert back.channels[cid].complete
+
+
+def test_incomplete_channels_are_not_storable(tmp_path):
+    state = make_state(complete=False)
+    with pytest.raises(CheckpointError, match="incomplete"):
+        state_to_jsonable(state)
+    with pytest.raises(CheckpointError, match="p0->p1"):
+        CheckpointStore(str(tmp_path)).save(state)
+    assert CheckpointStore(str(tmp_path)).latest() is None
+
+
+def test_store_sequences_latest_and_load(tmp_path):
+    store = CheckpointStore(str(tmp_path))
+    assert store.latest() is None
+    paths = [store.save(make_state(hops=h)) for h in (1, 2, 3)]
+    assert store.sequence_numbers() == [1, 2, 3]
+    latest = store.latest()
+    assert latest is not None
+    seq, path = latest
+    assert seq == 3 and path == paths[-1]
+    by_seq = store.load(2)
+    by_path = store.load(paths[1])
+    assert by_seq.processes["p0"].state["tokens_seen"] == 2
+    assert by_path.processes["p0"].state == by_seq.processes["p0"].state
+
+
+def test_extra_meta_rides_in_the_artifact(tmp_path):
+    store = CheckpointStore(str(tmp_path))
+    path = store.save(make_state(), extra_meta={"incarnation": 2,
+                                                "virtual_elapsed": 7.5})
+    with open(path, encoding="utf-8") as fp:
+        raw = json.load(fp)
+    assert raw["format"] == CHECKPOINT_FORMAT
+    assert raw["checkpoint_meta"]["incarnation"] == 2
+    assert raw["checkpoint_meta"]["virtual_elapsed"] == 7.5
+    # The decoded GlobalState itself is unchanged by extra_meta.
+    assert load_checkpoint(path).meta == make_state().meta
+
+
+def test_prune_keeps_the_newest(tmp_path):
+    store = CheckpointStore(str(tmp_path))
+    for h in range(1, 6):
+        store.save(make_state(hops=h))
+    removed = store.prune(keep=2)
+    assert store.sequence_numbers() == [4, 5]
+    assert len(removed) == 3
+    assert all(not os.path.exists(p) for p in removed)
+    with pytest.raises(CheckpointError):
+        store.prune(keep=0)
+
+
+def test_format_version_is_enforced(tmp_path):
+    store = CheckpointStore(str(tmp_path))
+    path = store.save(make_state())
+    with open(path, encoding="utf-8") as fp:
+        raw = json.load(fp)
+    raw["format"] = CHECKPOINT_FORMAT + 1
+    with open(path, "w", encoding="utf-8") as fp:
+        json.dump(raw, fp)
+    with pytest.raises(CheckpointError, match="format"):
+        load_checkpoint(path)
+
+
+def test_unreadable_artifact_is_a_checkpoint_error(tmp_path):
+    bad = tmp_path / "checkpoint-000001.json"
+    bad.write_text("{not json", encoding="utf-8")
+    with pytest.raises(CheckpointError, match="cannot read"):
+        load_checkpoint(str(bad))

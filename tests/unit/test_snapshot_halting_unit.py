@@ -211,3 +211,55 @@ class TestHaltedChannelContents:
         # Process states carry the §2.2.4 path metadata.
         for snap in state.processes.values():
             assert "halt_path" in snap.meta
+
+
+class TestRehaltAdoptsNewerGeneration:
+    """A frozen process that sees a newer-generation marker (its earlier
+    notification or resume was lost — e.g. a partition ate it) must adopt
+    the generation instead of crashing on a double halt."""
+
+    def test_marker_at_frozen_process_rehalt(self):
+        from repro.network.message import Envelope, MessageKind
+        from repro.util.ids import ChannelId
+
+        system = idle_ring()
+        coordinator = HaltingCoordinator(system)
+        system.start()
+        coordinator.initiate(["p0"], halt_id=1)
+        system.run_to_quiescence()
+        agent = coordinator.agents["p1"]
+        controller = system.controller("p1")
+        assert controller.halted
+        snap_before = controller.halted_snapshot
+        assert snap_before.meta["halt_id"] == 1
+        assert controller.closed_channels
+
+        notified = []
+        agent.notify_on_halt(lambda a: notified.append(a.controller.name))
+        envelope = Envelope(
+            channel=ChannelId("p0", "p1"), kind=MessageKind.HALT_MARKER,
+            payload=HaltMarker(halt_id=2, path=("p0",)),
+            send_time=0.0, seq=999,
+        )
+        agent.on_control(envelope)
+
+        # Still frozen, same snapshot object (it ran nothing in between),
+        # but the generation metadata moved on and it re-notified.
+        assert controller.halted
+        assert agent.last_halt_id == 2
+        assert controller.halted_snapshot is snap_before
+        assert snap_before.meta["halt_id"] == 2
+        assert snap_before.meta["halt_path"] == ["p0", "p1"]
+        assert notified == ["p1"]
+        # Generation-1 channel closures are stale; only the channel that
+        # delivered the new marker is drained for generation 2 so far.
+        assert controller.closed_channels == {ChannelId("p0", "p1")}
+
+    def test_rehalt_requires_a_halted_controller(self):
+        from repro.util.errors import RuntimeStateError
+
+        system = idle_ring()
+        system.start()
+        controller = system.controller("p0")
+        with pytest.raises(RuntimeStateError, match="not halted"):
+            controller.rehalt(halt_id=1)

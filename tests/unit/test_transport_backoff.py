@@ -1,0 +1,123 @@
+"""Unit tests for the transport's seeded retry machinery (Backoff, dial)."""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.distributed.transport import Backoff, dial
+from repro.util.errors import RetryBudgetExceeded
+
+
+# -- Backoff -------------------------------------------------------------------
+
+
+def test_same_seed_reproduces_the_same_schedule():
+    a = Backoff(seed="s1", base=0.05, factor=2.0, cap=1.0)
+    b = Backoff(seed="s1", base=0.05, factor=2.0, cap=1.0)
+    assert [a.next_delay() for _ in range(8)] == [
+        b.next_delay() for _ in range(8)
+    ]
+
+
+def test_different_seeds_diverge():
+    a = Backoff(seed="s1")
+    b = Backoff(seed="s2")
+    assert [a.next_delay() for _ in range(4)] != [
+        b.next_delay() for _ in range(4)
+    ]
+
+
+def test_delays_grow_but_never_exceed_the_cap():
+    backoff = Backoff(seed=7, base=0.05, factor=2.0, cap=0.4, jitter=0.0)
+    delays = [backoff.next_delay() for _ in range(6)]
+    assert delays[0] == pytest.approx(0.05)
+    assert delays == sorted(delays)
+    assert all(d <= 0.4 for d in delays)
+    assert delays[-1] == pytest.approx(0.4)
+
+
+def test_jitter_only_shortens():
+    backoff = Backoff(seed=3, base=0.1, factor=1.0, cap=0.1, jitter=0.5)
+    for _ in range(32):
+        delay = backoff.next_delay()
+        assert 0.05 <= delay <= 0.1
+
+
+def test_retry_budget_exhausts():
+    backoff = Backoff(seed=0, retries=3)
+    assert not backoff.exhausted
+    for _ in range(3):
+        backoff.next_delay()
+    assert backoff.exhausted
+    with pytest.raises(RetryBudgetExceeded):
+        backoff.next_delay()
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"base": 0.0},
+        {"base": -0.1},
+        {"factor": 0.5},
+        {"cap": 0.01, "base": 0.05},
+        {"jitter": 1.0},
+        {"jitter": -0.1},
+    ],
+)
+def test_rejects_nonsense_parameters(kwargs):
+    with pytest.raises(ValueError):
+        Backoff(seed=0, **kwargs)
+
+
+# -- dial ----------------------------------------------------------------------
+
+
+def _free_port() -> int:
+    probe = socket.socket()
+    try:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+    finally:
+        probe.close()
+
+
+def test_dial_raises_the_last_oserror_at_the_deadline():
+    port = _free_port()  # nobody listens here
+    with pytest.raises(OSError):
+        dial(port, deadline=time.monotonic() + 0.3, retry_interval=0.02)
+
+
+def test_dial_raises_once_the_retry_budget_is_spent():
+    port = _free_port()
+    backoff = Backoff(seed=1, base=0.01, cap=0.02, retries=2)
+    with pytest.raises(OSError):
+        dial(port, deadline=time.monotonic() + 30.0, backoff=backoff)
+    assert backoff.exhausted
+
+
+def test_dial_connects_once_a_late_listener_appears():
+    listener = socket.socket()
+    listener.bind(("127.0.0.1", 0))
+    port = listener.getsockname()[1]
+    accepted = []
+
+    def serve() -> None:
+        time.sleep(0.15)  # the peer binds late, as during a recovery restart
+        listener.listen(1)
+        conn, _ = listener.accept()
+        accepted.append(conn)
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    sock = dial(port, deadline=time.monotonic() + 5.0, retry_interval=0.02,
+                seed="late-listener")
+    try:
+        assert sock.getpeername()[1] == port
+    finally:
+        sock.close()
+        thread.join(timeout=5.0)
+        for conn in accepted:
+            conn.close()
+        listener.close()

@@ -3,9 +3,14 @@
 The DES backend is deterministic given a seed — good for reproduction,
 bad for coverage: one seed is one interleaving. This package turns the
 simulator into a bounded model checker. A
-:class:`~repro.check.scheduler.ControlledScheduler` takes over the
-kernel's event ordering so every message delivery, timer, and deferred
-action becomes an explicit decision; :func:`~repro.check.explorer.explore`
+:class:`~repro.check.gate.SchedulingGate` exposes one backend-neutral
+decision surface — enumerate enabled actions, commit one, observe
+quiescence — implemented over the DES kernel's ordering hook
+(:class:`~repro.check.gate.KernelGate`), over real threads via a
+cooperative turnstile (:class:`~repro.check.gate.ThreadedStepGate`), and
+over child-process TCP frames (:class:`~repro.check.gate.FrameGate`), so
+every message delivery, timer, and deferred action becomes an explicit
+decision on any substrate; :func:`~repro.check.explorer.explore`
 searches the decision tree (seeded random walks + sleep-set bounded DFS);
 :func:`~repro.check.parallel.explore_parallel` runs the same search
 sharded across a worker-process pool with deterministic merging and
@@ -22,6 +27,15 @@ Entry point: ``python -m repro check`` (:mod:`repro.check.cli`).
 
 from repro.check.artifact import ScheduleArtifact, load_artifact, save_artifact
 from repro.check.explorer import ExplorationReport, explore
+from repro.check.gate import (
+    DriveResult,
+    FrameGate,
+    GatedChannel,
+    KernelGate,
+    SchedulingGate,
+    ThreadedStepGate,
+    drive,
+)
 from repro.check.fingerprint import (
     FingerprintTable,
     canonicalize,
@@ -42,6 +56,7 @@ from repro.check.scheduler import (
     Strategy,
     TraceReplayStrategy,
     classify,
+    group_heads,
     independent,
     target_process,
 )
@@ -50,9 +65,13 @@ __all__ = [
     "ChoicePoint",
     "ControlledScheduler",
     "DefaultStrategy",
+    "DriveResult",
     "ExplorationReport",
     "FingerprintTable",
+    "FrameGate",
+    "GatedChannel",
     "INVARIANTS",
+    "KernelGate",
     "MUTATIONS",
     "ParallelReport",
     "RandomWalkStrategy",
@@ -61,18 +80,22 @@ __all__ = [
     "Scenario",
     "ScheduleArtifact",
     "ScheduleResult",
+    "SchedulingGate",
     "ScriptedStrategy",
     "Strategy",
+    "ThreadedStepGate",
     "TraceReplayStrategy",
     "Violation",
     "canonicalize",
     "classify",
     "ddmin",
+    "drive",
     "evaluate",
     "explore",
     "explore_parallel",
     "fingerprint_system",
     "fingerprint_value",
+    "group_heads",
     "independent",
     "load_artifact",
     "minimize_schedule",

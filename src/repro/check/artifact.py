@@ -38,14 +38,20 @@ class ScheduleArtifact:
     invariant: str
     details: Tuple[str, ...]
     mutation: Optional[str] = None
+    #: Substrate the violation was found (and must be replayed) on.
+    #: Pre-gate artifacts carry no key and read back as "des".
+    backend: str = "des"
 
     def to_dict(self) -> Dict[str, Any]:
+        """Serialize to the stable-keyed JSON layout ``save_artifact``
+        writes."""
         return {
             "format": FORMAT_VERSION,
             "kind": _KIND,
             "scenario": self.scenario,
             "seed": self.seed,
             "mutation": self.mutation,
+            "backend": self.backend,
             "decisions": to_jsonable(self.decisions),
             "violation": {
                 "invariant": self.invariant,
@@ -55,6 +61,7 @@ class ScheduleArtifact:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ScheduleArtifact":
+        """Decode a ``to_dict`` payload, checking kind and format version."""
         if data.get("kind") != _KIND:
             raise CodecError(
                 f"not a schedule artifact (kind={data.get('kind')!r})"
@@ -69,6 +76,7 @@ class ScheduleArtifact:
             scenario=data["scenario"],
             seed=int(data["seed"]),
             mutation=data.get("mutation"),
+            backend=data.get("backend", "des"),
             decisions=tuple(from_jsonable(data["decisions"])),
             invariant=violation["invariant"],
             details=tuple(from_jsonable(violation["details"])),
@@ -76,11 +84,13 @@ class ScheduleArtifact:
 
 
 def save_artifact(artifact: ScheduleArtifact, path: str) -> None:
+    """Write the artifact to ``path`` as stable, diff-friendly JSON."""
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(artifact.to_dict(), handle, sort_keys=True, indent=2)
         handle.write("\n")
 
 
 def load_artifact(path: str) -> ScheduleArtifact:
+    """Read an artifact written by :func:`save_artifact`."""
     with open(path, "r", encoding="utf-8") as handle:
         return ScheduleArtifact.from_dict(json.load(handle))

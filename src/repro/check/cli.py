@@ -4,6 +4,7 @@ Usage::
 
     python -m repro check                       # all scenarios, default budget
     python -m repro check token_ring --budget 500
+    python -m repro check --backend threaded    # model-check real threads
     python -m repro check --mutate late-halt    # inject a broken agent
     python -m repro check --replay artifact.json
     python -m repro check --list
@@ -14,6 +15,12 @@ Options::
     --seed N        base seed for the random-walk phase (default 0)
     --dfs-depth N   flip choice points with index < N in the DFS phase
                     (default 10)
+    --backend B     substrate to execute schedules on: ``des`` (default),
+                    ``threaded``, or ``distributed``. Non-``des`` backends
+                    run only the scenarios that declare support for them;
+                    the rest are skipped with a note. (No stock scenario
+                    opts into ``distributed`` yet — the frame gate is a
+                    library surface; see docs/CHECKING.md)
     -j N, --jobs N  explore with N worker processes (default 1). Any N
                     yields the same violation set for a fixed seed: results
                     merge deterministically in the parent
@@ -23,7 +30,8 @@ Options::
                     scenarios only); the checker is expected to object
     --artifact P    where to write the minimized counterexample
                     (default repro-check-<scenario>.json)
-    --replay P      re-execute a saved artifact instead of exploring
+    --replay P      re-execute a saved artifact instead of exploring (on
+                    the backend recorded in the artifact)
 
 Exit codes: ``0`` no violation found (or replay reproduced the recorded
 violation), ``1`` a violation was found (artifact written), ``2`` usage
@@ -43,6 +51,7 @@ from repro.check.runner import scenarios
 
 
 def check_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro check``; returns the exit code."""
     argv = list(sys.argv[1:] if argv is None else argv)
     if "--help" in argv or "-h" in argv:
         print(__doc__)
@@ -60,6 +69,7 @@ def check_main(argv: Optional[List[str]] = None) -> int:
 
     budget, seed, dfs_depth, jobs = 200, 0, 10, 1
     dedup = True
+    backend = "des"
     mutate: Optional[str] = None
     artifact_path: Optional[str] = None
     replay_path: Optional[str] = None
@@ -85,6 +95,13 @@ def check_main(argv: Optional[List[str]] = None) -> int:
             jobs = int(value())
             if jobs < 1:
                 return _usage_error(f"--jobs must be >= 1, got {jobs}")
+        elif arg == "--backend":
+            backend = value()
+            if backend not in ("des", "threaded", "distributed"):
+                return _usage_error(
+                    f"unknown backend {backend!r}; "
+                    "known: des, threaded, distributed"
+                )
         elif arg == "--no-dedup":
             dedup = False
         elif arg == "--mutate":
@@ -113,6 +130,7 @@ def check_main(argv: Optional[List[str]] = None) -> int:
         return _replay(replay_path)
 
     agent_factory = MUTATIONS[mutate] if mutate else None
+    explicit_names = bool(names)
     if not names:
         names = sorted(registry)
         if mutate:
@@ -125,6 +143,18 @@ def check_main(argv: Optional[List[str]] = None) -> int:
             return _usage_error(
                 f"--mutate only applies to basic-mode scenarios, not {bad}"
             )
+    if backend != "des":
+        unsupported = [n for n in names
+                       if backend not in registry[n].backends]
+        if unsupported:
+            if explicit_names:
+                return _usage_error(
+                    f"scenario(s) {unsupported} do not support "
+                    f"backend {backend!r}"
+                )
+            for n in unsupported:
+                print(f"{n}: skipped (no {backend} backend support)")
+            names = [n for n in names if n not in unsupported]
 
     exit_code = 0
     for name in names:
@@ -137,6 +167,7 @@ def check_main(argv: Optional[List[str]] = None) -> int:
             jobs=jobs,
             mutation=mutate,
             dedup=dedup,
+            backend=backend,
         )
         print(report.summary())
         if not report.found:
@@ -150,6 +181,7 @@ def check_main(argv: Optional[List[str]] = None) -> int:
             report.violation.record.decisions,
             violation.invariant,
             agent_factory,
+            backend=backend,
         )
         print(
             f"minimized schedule: {len(report.violation.record.decisions)} "
@@ -161,6 +193,7 @@ def check_main(argv: Optional[List[str]] = None) -> int:
                 scenario=name,
                 seed=scenario.seed,
                 mutation=mutate,
+                backend=backend,
                 decisions=tuple(decisions),
                 invariant=violation.invariant,
                 details=violation.details,
@@ -187,10 +220,17 @@ def _replay(path: str) -> int:
             return _usage_error(
                 f"artifact names unknown mutation {artifact.mutation!r}"
             )
+    if artifact.backend not in scenario.backends:
+        return _usage_error(
+            f"artifact wants backend {artifact.backend!r} but scenario "
+            f"{artifact.scenario!r} supports {list(scenario.backends)}"
+        )
     reproduced = schedule_violates(
-        scenario, list(artifact.decisions), artifact.invariant, factory
+        scenario, list(artifact.decisions), artifact.invariant, factory,
+        backend=artifact.backend,
     )
-    label = f"{artifact.scenario} / {artifact.invariant}"
+    label = (f"{artifact.scenario} / {artifact.invariant} "
+             f"[{artifact.backend}]")
     if reproduced:
         print(f"replay of {path}: reproduced {label} "
               f"({len(artifact.decisions)} decision(s))")

@@ -57,9 +57,11 @@ class ExplorationReport:
 
     @property
     def found(self) -> bool:
+        """True when some schedule in the budget violated an invariant."""
         return self.violation is not None
 
     def summary(self) -> str:
+        """One-line human verdict for CLI output and logs."""
         where = f" (found by {self.found_by})" if self.found else ""
         verdict = "VIOLATION" if self.found else "no violation"
         return (
@@ -80,15 +82,22 @@ def explore(
     agent_factory: Optional[Callable[..., HaltingAgent]] = None,
     mutation: Optional[str] = None,
     on_progress: Optional[Callable[[int, int], None]] = None,
+    backend: str = "des",
 ) -> ExplorationReport:
-    """Search up to ``budget`` schedules of ``scenario`` for a violation."""
+    """Search up to ``budget`` schedules of ``scenario`` for a violation.
+
+    ``backend`` selects the substrate every schedule executes on (see
+    :func:`~repro.check.runner.run_schedule`); the search logic is
+    identical on all of them.
+    """
     report = ExplorationReport(
         scenario=scenario.name, mutation=mutation, budget=budget
     )
 
     def run_one(strategy) -> ScheduleResult:
         report.schedules_run += 1
-        result = run_schedule(scenario, strategy, agent_factory)
+        result = run_schedule(scenario, strategy, agent_factory,
+                              backend=backend)
         if result.inconclusive:
             report.inconclusive_runs += 1
         if on_progress is not None:

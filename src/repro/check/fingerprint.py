@@ -74,10 +74,13 @@ def fingerprint_system(system: "System") -> str:
 
     Captures, per process: user state, logical clocks, lifecycle flags and
     local event count; per channel: FIFO in-flight message content keys and
-    traffic counters; plus the kernel's pending work (time/priority/
+    traffic counters; plus the pending scheduled work (time/priority/
     tiebreak only — entry sequence numbers are insertion-order artifacts
     and deliberately excluded, or equivalent states reached by different
-    prefixes would never collide).
+    prefixes would never collide). Pending work and the clock come from the
+    DES kernel when the system has one, otherwise from the system's
+    scheduling gate — so fingerprints work identically on gate-mode
+    threaded runs.
     """
     processes: Dict[str, Any] = {}
     for name in sorted(system.controllers):
@@ -101,12 +104,14 @@ def fingerprint_system(system: "System") -> str:
             "dropped": stats.dropped,
             "frames_dropped": stats.frames_dropped,
         }
-    pending: List[Any] = sorted(system.kernel.pending_metadata())
+    kernel = getattr(system, "kernel", None)
+    source = kernel if kernel is not None else system.gate
+    pending: List[Any] = sorted(source.pending_metadata())
     return fingerprint_value({
         "processes": processes,
         "channels": channels,
         "pending": pending,
-        "now": system.kernel.now,
+        "now": source.now,
     })
 
 

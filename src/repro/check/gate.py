@@ -1,0 +1,514 @@
+"""The scheduling gate: one decision surface over all three backends.
+
+The checker's job is to *choose* interleavings, but each backend realises
+nondeterminism differently — the DES kernel holds a priority queue, the
+threaded backend races real OS threads, the distributed backend races TCP
+frames. A :class:`SchedulingGate` hides that behind three verbs:
+
+``enabled()``
+    The sorted labels of every group that could fire next (same grouping
+    as :func:`repro.check.scheduler.classify` — per-channel FIFO heads,
+    per-process timer deadlines, individual internal actions). An empty
+    set means the system is quiescent.
+``commit(label)``
+    Fire the chosen group's head and run the system until it is idle
+    again (one atomic handler step, the paper's process "instant").
+``close()``
+    Detach from the substrate (uninstall hooks, drop staged work).
+
+:func:`drive` runs any gate under any :class:`~repro.check.scheduler.
+Strategy`, recording the same ``trace`` / ``decisions`` / choice points
+the DES :class:`~repro.check.scheduler.ControlledScheduler` records — so
+the explorer, the ddmin minimizer, and replay artifacts work unchanged on
+every substrate.
+
+Implementations here:
+
+* :class:`KernelGate` — the DES backend. A thin adapter over the kernel
+  ordering hook; byte-identical traces to the pre-gate scheduler.
+* :class:`ThreadedStepGate` — the threaded backend's cooperative step
+  gate. Controllers stage deliveries, timers, and deferred actions with
+  the gate instead of arming wall-clock machinery; committing a step
+  posts exactly one mailbox item and blocks on the system's activity
+  turnstile until the handler finishes. Real threads run the handlers;
+  the gate picks which thread advances.
+* :class:`FrameGate` — the distributed backend's frame gate: a staging
+  buffer above the TCP framing layer, releasing held frames per channel
+  in explorer-chosen order (see :mod:`repro.distributed.framegate`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.check.scheduler import (
+    ChoicePoint,
+    DefaultStrategy,
+    Strategy,
+    group_heads,
+)
+from repro.simulation.kernel import (
+    PRIORITY_DELIVERY,
+    PRIORITY_INTERNAL,
+    PRIORITY_TIMER,
+    ScheduledEvent,
+    SimulationKernel,
+)
+from repro.util.errors import SimulationError
+
+
+class SchedulingGate:
+    """Protocol base: enumerate enabled groups, commit one, observe idle.
+
+    Subclasses override :meth:`enabled` and :meth:`commit`; the base
+    supplies the shared conveniences (quiescence test, no-op close).
+    """
+
+    def enabled(self) -> List[str]:
+        """Sorted labels of every group that could fire next."""
+        raise NotImplementedError
+
+    def commit(self, label: str) -> None:
+        """Fire ``label``'s group head; return once the system is idle."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Detach from the substrate. Idempotent; default is a no-op."""
+
+    @property
+    def now(self) -> float:
+        """The substrate's virtual clock after the last committed step."""
+        raise NotImplementedError
+
+    def quiescent(self) -> bool:
+        """True when nothing is enabled — the run has drained."""
+        return not self.enabled()
+
+
+@dataclass
+class DriveResult:
+    """What :func:`drive` recorded — the scheduler surface of one run."""
+
+    #: Every step's chosen label, in execution order.
+    trace: List[str] = field(default_factory=list)
+    #: The chosen labels at choice points only (the replayable schedule).
+    decisions: List[str] = field(default_factory=list)
+    #: Full choice-point records, for the explorer's branching.
+    choice_points: List[ChoicePoint] = field(default_factory=list)
+    #: Committed steps (== ``len(trace)``; the backend-neutral analogue of
+    #: the DES kernel's ``events_executed``).
+    steps: int = 0
+    #: True when the gate drained before the step budget ran out.
+    quiesced: bool = False
+
+
+def drive(
+    gate: SchedulingGate,
+    strategy: Optional[Strategy] = None,
+    max_steps: int = 20_000,
+) -> DriveResult:
+    """Run ``gate`` to quiescence (or budget) under ``strategy``.
+
+    This is the recording loop previously embedded in the DES
+    :class:`~repro.check.scheduler.ControlledScheduler`, lifted to the
+    gate protocol: identical label math, identical choice-point and
+    decision bookkeeping, so artifacts recorded on one backend replay on
+    any other whose labels line up.
+    """
+    strategy = strategy or DefaultStrategy()
+    result = DriveResult()
+    while result.steps < max_steps:
+        labels = gate.enabled()
+        if not labels:
+            result.quiesced = True
+            return result
+        chosen = strategy.on_step(labels)
+        if chosen not in labels:
+            # Defensive: a buggy strategy must not wedge the run.
+            chosen = labels[0]
+        if len(labels) > 1:
+            result.choice_points.append(
+                ChoicePoint(len(result.trace), tuple(labels), chosen)
+            )
+            result.decisions.append(chosen)
+        result.trace.append(chosen)
+        gate.commit(chosen)
+        result.steps += 1
+    result.quiesced = gate.quiescent()
+    return result
+
+
+class KernelGate(SchedulingGate):
+    """DES adapter: the kernel ordering hook behind the gate verbs.
+
+    :meth:`enabled` folds the kernel's live entries into group heads with
+    the same memoized classification the controlled scheduler used;
+    :meth:`commit` steps the kernel once with the hook primed to return
+    the chosen head. Because both paths share :func:`group_heads` and the
+    kernel's cached views, traces are byte-identical to the pre-gate
+    scheduler's.
+    """
+
+    def __init__(self, kernel: SimulationKernel) -> None:
+        self.kernel = kernel
+        self._label_cache: Dict[int, str] = {}
+        self._heads: Dict[str, ScheduledEvent] = {}
+        self._chosen: Optional[int] = None
+        kernel.set_ordering(self._pick)
+
+    def _pick(self, views: List[ScheduledEvent]) -> int:
+        if self._chosen is None:  # pragma: no cover - defensive
+            raise SimulationError(
+                "KernelGate's kernel stepped outside commit(); drive the "
+                "run through the gate, not kernel.run()"
+            )
+        chosen, self._chosen = self._chosen, None
+        return chosen
+
+    def enabled(self) -> List[str]:
+        """Group heads of the kernel's live entries, as sorted labels."""
+        self._heads = group_heads(self.kernel.pending_events(),
+                                  self._label_cache)
+        return sorted(self._heads)
+
+    def commit(self, label: str) -> None:
+        """Prime the ordering hook with ``label``'s head and step once."""
+        head = self._heads.get(label)
+        if head is None:
+            raise SimulationError(f"cannot commit {label!r}: not enabled")
+        self._chosen = head.sequence
+        self.kernel.step()
+
+    def close(self) -> None:
+        """Uninstall the ordering hook (kernel returns to default order)."""
+        self.kernel.set_ordering(None)
+
+    @property
+    def now(self) -> float:
+        """The kernel's virtual clock."""
+        return self.kernel.now
+
+    def pending_metadata(self) -> List[Tuple[float, int, tuple]]:
+        """Scheduling metadata of staged work (fingerprint fodder)."""
+        return self.kernel.pending_metadata()
+
+
+class _Staged:
+    """One staged unit of work inside a :class:`ThreadedStepGate`."""
+
+    __slots__ = ("view", "kind", "payload")
+
+    def __init__(self, view: ScheduledEvent, kind: str,
+                 payload: tuple) -> None:
+        self.view = view
+        self.kind = kind  # "env" | "timer" | "internal"
+        self.payload = payload
+
+
+class GatedChannel:
+    """A gate-mode channel: staging replaces the forwarder thread.
+
+    Mirrors the DES raw :class:`~repro.network.channel.Channel`'s
+    accounting exactly — ``sent`` at :meth:`send`, ``delivered`` (and
+    latency) when the gate commits the arrival, envelopes visible in
+    ``in_flight`` while staged — so the conservation invariant and the
+    cross-backend equivalence suite read identical counters. Delivery to
+    a crashed receiver still counts ``delivered`` (the frame reaches the
+    dead host's address and falls on the floor there), exactly like the
+    DES raw channel.
+    """
+
+    def __init__(self, channel_id, system, gate: "ThreadedStepGate") -> None:
+        self.id = channel_id
+        self._system = system
+        self._gate = gate
+        from repro.network.channel import ChannelStats  # avoid import cycle
+
+        self.stats = ChannelStats()
+        self.sent_by_kind = self.stats.sent_by_kind
+        self.failed = False
+        # Observability hooks (same surface as ThreadedChannel; the gate
+        # never retransmits, so they stay unfired).
+        self.on_retransmit: Optional[Callable] = None
+        self.on_recovered: Optional[Callable] = None
+        self.on_give_up: Optional[Callable] = None
+        # DES FIFO-clamp mirrors, guarded by the gate's lock.
+        self._last_arrival = 0.0
+        self._message_index = 0
+        self._in_flight: List = []
+
+    @property
+    def in_flight(self) -> List:
+        """Envelopes staged on this channel (oldest first)."""
+        with self._gate._lock:
+            return list(self._in_flight)
+
+    def send(self, kind, payload, clock=None):
+        """Emit one message: build the envelope, stage it with the gate."""
+        from repro.network.message import Envelope
+
+        envelope = Envelope(
+            channel=self.id,
+            kind=kind,
+            payload=payload,
+            send_time=self._system.now,
+            seq=self._system.next_message_seq(),
+            clock=clock,
+        )
+        self._gate.stage_delivery(self, envelope)
+        return envelope
+
+    # Lifecycle no-ops: there is no forwarder thread to manage.
+    def start(self) -> None:
+        """No-op (no forwarder thread in gate mode)."""
+
+    def stop(self) -> None:
+        """No-op (no forwarder thread in gate mode)."""
+
+    def join(self, timeout: float = 1.0) -> None:
+        """No-op (no forwarder thread in gate mode)."""
+
+
+class ThreadedStepGate(SchedulingGate):
+    """Cooperative step gate for the threaded backend.
+
+    Instead of forwarder threads sleeping through latencies and
+    ``threading.Timer`` arming wall-clock expirations, gate-mode
+    controllers *stage* every delivery, timer, and deferred action here,
+    tagged with the same virtual times and tiebreaks the DES backend
+    would have used (``FixedLatency(latency)`` arrivals under the FIFO
+    clamp, ``now + delay`` timer deadlines, zero-delay internals).
+
+    :meth:`commit` releases exactly one staged head into the target
+    process's mailbox — the real thread runs the real handler — then
+    blocks on the system's activity turnstile until every consequence of
+    that handler (it may stage more work, but staging takes no activity
+    credit) has landed. One commit == one atomic handler step, which is
+    what makes real-thread interleavings explorable and replayable.
+
+    Thread safety: handlers on different process threads stage
+    concurrently during a commit, so all staging mutates under one lock.
+    Determinism survives because within-group order never depends on
+    cross-thread arrival order — each group's tiebreaks come from a
+    single process or channel counter.
+    """
+
+    def __init__(self, latency: float = 1.0) -> None:
+        self.latency = latency
+        self.system = None  # bound by ThreadedSystem.__init__
+        self._lock = threading.Lock()
+        self._seq = itertools.count(1)
+        self._staged: Dict[int, _Staged] = {}
+        self._timer_keys: Dict[Tuple[str, str], int] = {}
+        self._label_cache: Dict[int, str] = {}
+        self._heads: Dict[str, ScheduledEvent] = {}
+        self._now = 0.0
+
+    # -- wiring (called by ThreadedSystem) ---------------------------------
+
+    def bind(self, system) -> None:
+        """Attach to the owning system (done in its constructor)."""
+        if self.system is not None:
+            raise SimulationError("gate is already bound to a system")
+        self.system = system
+
+    def make_channel(self, channel_id, system) -> GatedChannel:
+        """Build the gate-mode channel for one topology edge."""
+        return GatedChannel(channel_id, system, self)
+
+    # -- staging (called from process threads and the driver) ---------------
+
+    def stage_delivery(self, channel: GatedChannel, envelope) -> None:
+        """Stage one envelope's arrival, DES FIFO clamp and tiebreaks."""
+        with self._lock:
+            channel.stats.sent += 1
+            channel.stats.sent_by_kind[envelope.kind] += 1
+            arrival = max(self._now + self.latency,
+                          channel._last_arrival + 1e-9)
+            channel._last_arrival = arrival
+            channel._message_index += 1
+            channel._in_flight.append(envelope)
+            seq = next(self._seq)
+            view = ScheduledEvent(
+                seq, arrival, PRIORITY_DELIVERY,
+                (str(channel.id), channel._message_index),
+            )
+            self._staged[seq] = _Staged(view, "env", (channel, envelope))
+
+    def stage_timer(self, controller, name: str, delay: float, payload,
+                    generation: int, timer_seq: int) -> None:
+        """Stage a timer expiration at ``now + delay`` (DES tiebreaks)."""
+        with self._lock:
+            self._drop_timer(controller.name, name)
+            seq = next(self._seq)
+            view = ScheduledEvent(
+                seq, self._now + delay, PRIORITY_TIMER,
+                (controller.name, name, timer_seq),
+            )
+            self._staged[seq] = _Staged(
+                view, "timer", (controller, name, payload, generation)
+            )
+            self._timer_keys[(controller.name, name)] = seq
+
+    def cancel_timer(self, process: str, name: str) -> bool:
+        """Drop a staged timer. True if one was pending (DES semantics)."""
+        with self._lock:
+            return self._drop_timer(process, name)
+
+    def cancel_process_timers(self, process: str) -> None:
+        """Drop every staged timer of one process (crash teardown)."""
+        with self._lock:
+            for key in [k for k in self._timer_keys if k[0] == process]:
+                self._drop_timer(*key)
+
+    def _drop_timer(self, process: str, name: str) -> bool:
+        seq = self._timer_keys.pop((process, name), None)
+        if seq is None:
+            return False
+        self._staged.pop(seq, None)
+        self._label_cache.pop(seq, None)
+        return True
+
+    def stage_internal(self, label: str, controller,
+                       action: Callable[[], None]) -> None:
+        """Stage a deferred action at the current instant (zero delay)."""
+        self._stage_call(self._now, label, controller, action)
+
+    def stage_fault(self, at_time: float, label: str, controller,
+                    action: Callable[[], None]) -> None:
+        """Stage a fault-plan action at an absolute virtual time."""
+        self._stage_call(at_time, label, controller, action)
+
+    def _stage_call(self, time: float, label: str, controller,
+                    action: Callable[[], None]) -> None:
+        with self._lock:
+            seq = next(self._seq)
+            view = ScheduledEvent(
+                seq, time, PRIORITY_INTERNAL, (label, controller.name)
+            )
+            self._staged[seq] = _Staged(view, "internal",
+                                        (controller, action))
+
+    # -- the gate verbs -----------------------------------------------------
+
+    def enabled(self) -> List[str]:
+        """Group heads of all staged work, as sorted labels."""
+        with self._lock:
+            views = [entry.view for entry in self._staged.values()]
+            self._heads = group_heads(views, self._label_cache)
+        return sorted(self._heads)
+
+    def commit(self, label: str) -> None:
+        """Release ``label``'s staged head and wait for the turnstile."""
+        head = self._heads.get(label)
+        if head is None:
+            raise SimulationError(f"cannot commit {label!r}: not enabled")
+        with self._lock:
+            entry = self._staged.pop(head.sequence, None)
+            self._label_cache.pop(head.sequence, None)
+            if entry is None:  # pragma: no cover - defensive
+                raise SimulationError(
+                    f"staged entry for {label!r} vanished before commit"
+                )
+            if entry.view.time > self._now:
+                self._now = entry.view.time
+        self._release(entry)
+        self.system.wait_idle()
+
+    def _release(self, entry: _Staged) -> None:
+        """Post one staged unit into its target mailbox, with credit."""
+        system = self.system
+        if entry.kind == "env":
+            channel, envelope = entry.payload
+            receiver = system.controller(channel.id.dst)
+            with self._lock:
+                for index, pending in enumerate(channel._in_flight):
+                    if pending is envelope:
+                        del channel._in_flight[index]
+                        break
+                channel.stats.delivered += 1
+                channel.stats.total_latency += (
+                    self._now - envelope.send_time
+                )
+            system.note_activity(+1)
+            receiver.inbox.put(("env", envelope))
+        elif entry.kind == "timer":
+            controller, name, payload, generation = entry.payload
+            with self._lock:
+                self._timer_keys.pop((controller.name, name), None)
+            system.note_activity(+1)
+            controller.inbox.put(("timer", name, payload, generation))
+        else:  # "internal"
+            controller, action = entry.payload
+            system.note_activity(+1)
+            controller.inbox.put(("call", action))
+
+    def close(self) -> None:
+        """Drop every staged unit (end of run: nothing else may fire)."""
+        with self._lock:
+            self._staged.clear()
+            self._timer_keys.clear()
+            self._label_cache.clear()
+            self._heads = {}
+
+    @property
+    def now(self) -> float:
+        """Virtual clock: the latest committed entry's scheduled time."""
+        return self._now
+
+    def pending_metadata(self) -> List[Tuple[float, int, tuple]]:
+        """Scheduling metadata of staged work (fingerprint fodder) —
+        the gate-mode analogue of the kernel's method of the same name."""
+        with self._lock:
+            return [
+                (e.view.time, e.view.priority, e.view.tiebreak)
+                for e in self._staged.values()
+            ]
+
+
+class FrameGate(SchedulingGate):
+    """Distributed adapter: a per-channel TCP frame staging buffer.
+
+    The parent-side :class:`~repro.distributed.framegate.FrameStager`
+    proxies every user-process channel, parks arriving frames, and hands
+    the gate one ``chan:src->dst`` group per non-empty buffer. Committing
+    a label forwards that channel's oldest held frame to its real
+    destination and waits for the cluster's reaction to drain (a quiet
+    window on the proxy — real sockets have no activity counter).
+
+    Unlike the other gates this one only *orders deliveries*: timers and
+    internal steps run wall-clock inside the child processes, so the
+    enabled set is the frame buffers, and quiescence means "no held
+    frames and the quiet window elapsed".
+    """
+
+    def __init__(self, stager, settle: float = 0.15) -> None:
+        self.stager = stager
+        self.settle = settle
+        self._steps = 0
+
+    def enabled(self) -> List[str]:
+        """One ``chan:`` label per held buffer, after a quiet window."""
+        self.stager.wait_quiet(self.settle)
+        return sorted(
+            f"chan:{channel}" for channel in self.stager.held_channels()
+        )
+
+    def commit(self, label: str) -> None:
+        """Forward the named channel's oldest held frame."""
+        if not label.startswith("chan:"):
+            raise SimulationError(f"cannot commit {label!r}: not a channel")
+        self.stager.release(label[len("chan:"):])
+        self._steps += 1
+
+    def close(self) -> None:
+        """Flush every held frame and hand the wire back (pass-through)."""
+        self.stager.release_all()
+
+    @property
+    def now(self) -> float:
+        """Committed-release count (the frame gate has no virtual clock)."""
+        return float(self._steps)

@@ -54,6 +54,7 @@ class Violation:
     details: Tuple[str, ...]
 
     def describe(self) -> str:
+        """Multi-line human rendering: invariant name plus each detail."""
         lines = [f"invariant {self.invariant} violated:"]
         lines += [f"  - {detail}" for detail in self.details]
         return "\n".join(lines)
@@ -65,6 +66,9 @@ class RunRecord:
 
     scenario: str
     mode: str
+    #: The quiesced system — DES :class:`System` or a gate-mode
+    #: :class:`~repro.runtime.threaded.ThreadedSystem`; invariants read
+    #: only the surface the two share (log, channels, controllers).
     system: System
     quiesced: bool
     all_halted: bool
@@ -81,12 +85,19 @@ class RunRecord:
     trace: List[str] = field(default_factory=list)
     decisions: List[str] = field(default_factory=list)
     choice_points: List[ChoicePoint] = field(default_factory=list)
+    #: Committed scheduler steps (== DES ``kernel.events_executed``; on
+    #: other backends, the gate's step count) — reports must not reach
+    #: into backend-specific kernels for this.
+    events_executed: int = 0
+    #: Which substrate ran this schedule ("des" | "threaded").
+    backend: str = "des"
 
 
 InvariantFn = Callable[[RunRecord], List[Violation]]
 
 
 def halt_convergence(record: RunRecord) -> List[Violation]:
+    """Liveness at quiescence: every user process must have halted."""
     if record.all_halted:
         return []
     unhalted = tuple(
@@ -101,6 +112,7 @@ def halt_convergence(record: RunRecord) -> List[Violation]:
 
 
 def theorem1_consistency(record: RunRecord) -> List[Violation]:
+    """Theorem 1: ``S_h`` is a consistent cut (ground-truth oracle)."""
     if record.halt_state is None:
         return []
     report = check_cut_consistency(record.system.log, record.halt_state)
@@ -110,6 +122,7 @@ def theorem1_consistency(record: RunRecord) -> List[Violation]:
 
 
 def theorem2_equivalence(record: RunRecord) -> List[Violation]:
+    """Theorem 2: ``S_h == S_r`` against the trace-replayed C&L twin."""
     if record.halt_state is None:
         return []
     details: List[str] = []
@@ -131,6 +144,7 @@ def theorem2_equivalence(record: RunRecord) -> List[Violation]:
 
 
 def fifo_per_channel(record: RunRecord) -> List[Violation]:
+    """§2.1: each receiver's payload sequence prefixes the sender's."""
     sends: Dict[object, List[object]] = {}
     receives: Dict[object, List[object]] = {}
     user = set(record.system.user_process_names)
@@ -157,6 +171,7 @@ def fifo_per_channel(record: RunRecord) -> List[Violation]:
 
 
 def exactly_once_conservation(record: RunRecord) -> List[Violation]:
+    """Conservation at quiescence: ``sent == delivered + dropped``."""
     details = []
     user = set(record.system.user_process_names)
     for channel in record.system.channels():
@@ -179,6 +194,7 @@ def exactly_once_conservation(record: RunRecord) -> List[Violation]:
 
 
 def halting_order_prefix(record: RunRecord) -> List[Violation]:
+    """§2.2.4: received marker paths name already-halted processes."""
     position = {name: i for i, name in enumerate(record.halt_order)}
     user = set(record.system.user_process_names)
     details = []

@@ -28,9 +28,12 @@ def schedule_violates(
     decisions: Sequence[str],
     invariant: str,
     agent_factory: Optional[Callable[..., HaltingAgent]] = None,
+    backend: str = "des",
 ) -> bool:
-    """Does replaying ``decisions`` still violate ``invariant``?"""
-    result = run_schedule(scenario, ScriptedStrategy(decisions), agent_factory)
+    """Does replaying ``decisions`` on ``backend`` still violate
+    ``invariant``?"""
+    result = run_schedule(scenario, ScriptedStrategy(decisions), agent_factory,
+                          backend=backend)
     return any(v.invariant == invariant for v in result.violations)
 
 
@@ -39,14 +42,18 @@ def minimize_schedule(
     decisions: Sequence[str],
     invariant: str,
     agent_factory: Optional[Callable[..., HaltingAgent]] = None,
+    backend: str = "des",
 ) -> List[str]:
     """Shrink ``decisions`` to a 1-minimal subsequence violating ``invariant``.
 
     ``decisions`` must itself violate (the caller found it by exploring).
+    The oracle replays on the same ``backend`` the violation was found on,
+    so 1-minimality is judged against the substrate that exhibits the bug.
     """
 
     def violates(candidate: Sequence[str]) -> bool:
-        return schedule_violates(scenario, candidate, invariant, agent_factory)
+        return schedule_violates(scenario, candidate, invariant,
+                                 agent_factory, backend=backend)
 
     return ddmin(list(decisions), violates)
 

@@ -117,6 +117,7 @@ class ParallelReport(ExplorationReport):
         return self.schedules_run / self.elapsed_seconds
 
     def summary(self) -> str:
+        """The base verdict line plus parallelism and dedup counters."""
         base = super().summary()
         return (
             f"{base}; jobs={self.jobs}, "
@@ -130,17 +131,21 @@ class ParallelReport(ExplorationReport):
 
 _WORKER_SCENARIO: Optional[str] = None
 _WORKER_MUTATION: Optional[str] = None
+_WORKER_BACKEND: str = "des"
 
 
-def _init_worker(scenario_name: str, mutation: Optional[str]) -> None:
-    """Pool initializer: record which scenario/mutation this worker runs.
+def _init_worker(scenario_name: str, mutation: Optional[str],
+                 backend: str = "des") -> None:
+    """Pool initializer: record which scenario/mutation/backend this
+    worker runs.
 
     Names, not objects — the worker rebuilds both from the registries, so
     nothing unpicklable ever crosses the process boundary.
     """
-    global _WORKER_SCENARIO, _WORKER_MUTATION
+    global _WORKER_SCENARIO, _WORKER_MUTATION, _WORKER_BACKEND
     _WORKER_SCENARIO = scenario_name
     _WORKER_MUTATION = mutation
+    _WORKER_BACKEND = backend
 
 
 def _run_task(task: ExploreTask) -> RunSummary:
@@ -150,13 +155,15 @@ def _run_task(task: ExploreTask) -> RunSummary:
     digest: List[str] = []
     if task.kind == "walk":
         strategy = RandomWalkStrategy(random.Random(task.seed))
-        result = run_schedule(scenario, strategy, agent_factory)
+        result = run_schedule(scenario, strategy, agent_factory,
+                              backend=_WORKER_BACKEND)
     else:
         strategy = ScriptedStrategy(list(task.prefix))
         result = run_schedule(
             scenario, strategy, agent_factory,
             on_branch_point=lambda system: digest.append(
                 fingerprint_system(system)),
+            backend=_WORKER_BACKEND,
         )
     record = result.record
     return RunSummary(
@@ -239,6 +246,7 @@ def explore_parallel(
     mutation: Optional[str] = None,
     dedup: bool = True,
     on_progress=None,
+    backend: str = "des",
 ) -> ParallelReport:
     """Search up to ``budget`` schedules of ``scenario`` across ``jobs``
     worker processes; same contract as :func:`repro.check.explorer.explore`.
@@ -247,7 +255,9 @@ def explore_parallel(
     is what makes "``-j N`` equals ``-j 1``" checkable: both paths share
     every line of merge logic. ``scenario`` must come from the registry
     (workers rebuild it by name); ``mutation`` likewise names an entry of
-    :data:`~repro.check.mutations.MUTATIONS` or is ``None``.
+    :data:`~repro.check.mutations.MUTATIONS` or is ``None``. ``backend``
+    names the substrate every worker drives (``scenario.backends`` must
+    include it).
     """
     report = ParallelReport(
         scenario=scenario.name, mutation=mutation, budget=budget, jobs=jobs,
@@ -273,10 +283,11 @@ def explore_parallel(
         import multiprocessing
 
         pool = multiprocessing.Pool(
-            jobs, initializer=_init_worker, initargs=(scenario.name, mutation)
+            jobs, initializer=_init_worker,
+            initargs=(scenario.name, mutation, backend),
         )
     else:
-        _init_worker(scenario.name, mutation)
+        _init_worker(scenario.name, mutation, backend)
 
     created = 0
     pending: Deque[Tuple[ExploreTask, object]] = deque()
@@ -331,7 +342,7 @@ def explore_parallel(
                 # the worker's decision list IS the worker's run.
                 report.violation = run_schedule(
                     scenario, ScriptedStrategy(list(summary.decisions)),
-                    agent_factory,
+                    agent_factory, backend=backend,
                 )
                 report.found_by = (
                     "walk" if task.kind == "walk"

@@ -33,9 +33,9 @@ import json
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.check.gate import KernelGate, ThreadedStepGate, drive
 from repro.check.invariants import RunRecord, Violation, evaluate
 from repro.check.scheduler import (
-    ControlledScheduler,
     ScriptedStrategy,
     Strategy,
     TraceReplayStrategy,
@@ -47,6 +47,7 @@ from repro.halting.algorithm import HaltingAgent, HaltingCoordinator
 from repro.network.latency import FixedLatency
 from repro.runtime.state_capture import ProcessStateSnapshot
 from repro.runtime.system import System
+from repro.runtime.threaded import ThreadedSystem
 from repro.snapshot.chandy_lamport import SnapshotCoordinator
 from repro.snapshot.state import ChannelState, GlobalState
 from repro.trace.serialize import state_to_dict
@@ -70,7 +71,12 @@ class Scenario:
     max_steps: int = 20_000
     seed: int = 0
     #: Run the Theorem-2 snapshot twin (basic, fault-free scenarios only).
+    #: The twin always replays on the DES, whatever backend ran the
+    #: halting run — the shared label space makes the trace portable.
     twin: bool = False
+    #: Substrates this scenario explores on. Session mode needs the DES
+    #: debugger; the reliable ring's retransmission clock is wall time.
+    backends: Tuple[str, ...] = ("des",)
 
 
 @dataclass
@@ -85,6 +91,7 @@ class ScheduleResult:
 
     @property
     def violated(self) -> bool:
+        """True when at least one invariant was falsified."""
         return bool(self.violations)
 
     def report_dict(self) -> Dict[str, object]:
@@ -93,6 +100,7 @@ class ScheduleResult:
         return {
             "scenario": record.scenario,
             "mode": record.mode,
+            "backend": record.backend,
             "quiesced": record.quiesced,
             "inconclusive": self.inconclusive,
             "all_halted": record.all_halted,
@@ -103,7 +111,7 @@ class ScheduleResult:
             },
             "decisions": list(record.decisions),
             "trace_length": len(record.trace),
-            "events_executed": record.system.kernel.events_executed,
+            "events_executed": record.events_executed,
             "message_totals": record.system.message_totals(),
             "halt_state": (
                 state_to_dict(record.halt_state)
@@ -116,6 +124,7 @@ class ScheduleResult:
         }
 
     def report_json(self) -> str:
+        """``report_dict`` serialized with stable key order."""
         return json.dumps(self.report_dict(), sort_keys=True)
 
 
@@ -124,16 +133,30 @@ def run_schedule(
     strategy: Optional[Strategy] = None,
     agent_factory: Optional[Callable[..., HaltingAgent]] = None,
     on_branch_point: Optional[Callable[[System], None]] = None,
+    backend: str = "des",
 ) -> ScheduleResult:
     """Execute one interleaving of ``scenario`` and evaluate its invariants.
+
+    ``backend`` picks the substrate: ``"des"`` drives the simulation
+    kernel through a :class:`~repro.check.gate.KernelGate`;
+    ``"threaded"`` runs real OS threads behind a
+    :class:`~repro.check.gate.ThreadedStepGate`. The strategy, recorded
+    decisions, invariant verdicts, and replay artifacts are
+    backend-neutral.
 
     ``on_branch_point`` (scripted strategies only) is called with the live
     system at the first choice point after the script is exhausted — the
     state a DFS node's unexplored subtree grows from. The parallel
     explorer fingerprints it there for equivalence-class dedup.
     """
+    if backend not in scenario.backends:
+        raise ValueError(
+            f"scenario {scenario.name!r} does not support backend "
+            f"{backend!r} (supported: {scenario.backends})"
+        )
     if scenario.mode == "basic":
-        record = _run_basic(scenario, strategy, agent_factory, on_branch_point)
+        record = _run_basic(scenario, strategy, agent_factory,
+                            on_branch_point, backend)
     elif scenario.mode == "session":
         record = _run_session(scenario, strategy, agent_factory,
                               on_branch_point)
@@ -161,6 +184,39 @@ def _build_system(scenario: Scenario) -> System:
     )
 
 
+def _build_gated(scenario: Scenario, backend: str):
+    """Build ``(system, gate)`` for one backend.
+
+    Both substrates get the same unit latency: under a controlled
+    scheduler, latency only shapes the *virtual timestamps* that order
+    group heads, so equal constants give the two backends identical
+    enabled sets step for step.
+    """
+    if backend == "des":
+        system = _build_system(scenario)
+        return system, KernelGate(system.kernel)
+    if backend == "threaded":
+        topology, processes = scenario.builder()
+        gate = ThreadedStepGate(latency=1.0)
+        system = ThreadedSystem(
+            topology,
+            processes,
+            seed=scenario.seed,
+            fault_plan=scenario.fault_plan,
+            gate=gate,
+        )
+        return system, gate
+    raise ValueError(f"unknown backend {backend!r}")
+
+
+def _start_gated(system, backend: str) -> None:
+    """Start the system and wait until every ``on_start`` has landed."""
+    if not getattr(system, "_started", False):
+        system.start()
+    if backend == "threaded":
+        system.wait_idle()
+
+
 def _wire_branch_hook(
     strategy: Optional[Strategy],
     system: System,
@@ -176,34 +232,40 @@ def _run_basic(
     strategy: Optional[Strategy],
     agent_factory: Optional[Callable[..., HaltingAgent]],
     on_branch_point: Optional[Callable[[System], None]] = None,
+    backend: str = "des",
 ) -> RunRecord:
-    system = _build_system(scenario)
+    system, gate = _build_gated(scenario, backend)
     _wire_branch_hook(strategy, system, on_branch_point)
-    scheduler = ControlledScheduler(strategy)
-    scheduler.install(system.kernel)
     coordinator = HaltingCoordinator(system, agent_factory=agent_factory)
     install_trigger(
         system, scenario.trigger_process, scenario.trigger_event,
         lambda: coordinator.initiate([scenario.trigger_process]),
     )
-    system.run(max_events=scenario.max_steps)
-    quiesced = system.kernel.pending == 0
+    try:
+        _start_gated(system, backend)
+        result = drive(gate, strategy, max_steps=scenario.max_steps)
+    finally:
+        gate.close()
+        if backend == "threaded":
+            system.shutdown()
     all_halted = system.all_user_processes_halted()
     halt_state = None
-    if quiesced and all_halted:
+    if result.quiesced and all_halted:
         halt_state = coordinator.collect()
     record = RunRecord(
         scenario=scenario.name,
         mode=scenario.mode,
         system=system,
-        quiesced=quiesced,
+        quiesced=result.quiesced,
         all_halted=all_halted,
         halt_state=halt_state,
         halt_order=list(coordinator.halt_order),
         halt_paths=dict(coordinator.halting_order_report()),
-        trace=list(scheduler.trace),
-        decisions=list(scheduler.decisions),
-        choice_points=list(scheduler.choice_points),
+        trace=result.trace,
+        decisions=result.decisions,
+        choice_points=result.choice_points,
+        events_executed=result.steps,
+        backend=backend,
     )
     if scenario.twin and halt_state is not None:
         record.snapshot_state, record.twin_divergences = _run_snapshot_twin(
@@ -218,11 +280,12 @@ def _run_snapshot_twin(
     """The Theorem-2 half: same build, same seed, same interleaving (by
     trace replay), but the trigger records a C&L snapshot instead of
     halting. Up to each process's record point the two runs are the same
-    execution, which is precisely the premise of ``S_h == S_r``."""
+    execution, which is precisely the premise of ``S_h == S_r``. The twin
+    always replays on the DES: the label space is backend-neutral, so a
+    trace recorded behind the threaded step gate aligns here too."""
     system = _build_system(scenario)
     replay = TraceReplayStrategy(trace)
-    scheduler = ControlledScheduler(replay)
-    scheduler.install(system.kernel)
+    gate = KernelGate(system.kernel)
     coordinator = SnapshotCoordinator(system)
     install_trigger(
         system, scenario.trigger_process, scenario.trigger_event,
@@ -230,7 +293,9 @@ def _run_snapshot_twin(
     )
     # The snapshot run keeps executing after the cut (nothing halts), so
     # give it headroom beyond the halting run's budget.
-    system.run(max_events=scenario.max_steps * 2)
+    _start_gated(system, "des")
+    drive(gate, replay, max_steps=scenario.max_steps * 2)
+    gate.close()
     state = coordinator.collect() if coordinator.is_complete() else None
     return state, replay.divergences
 
@@ -255,8 +320,7 @@ def _run_session(
     )
     system = session.system
     _wire_branch_hook(strategy, system, on_branch_point)
-    scheduler = ControlledScheduler(strategy)
-    scheduler.install(system.kernel)
+    gate = KernelGate(system.kernel)
 
     halt_order: List[ProcessId] = []
     agents = session._halting_agents
@@ -275,11 +339,12 @@ def _run_session(
     install_trigger(
         system, scenario.trigger_process, scenario.trigger_event, initiate
     )
-    system.run(max_events=scenario.max_steps)
-    quiesced = system.kernel.pending == 0
+    _start_gated(system, "des")
+    result = drive(gate, strategy, max_steps=scenario.max_steps)
+    gate.close()
     all_halted = system.all_user_processes_halted()
     halt_state = None
-    if quiesced and all_halted:
+    if result.quiesced and all_halted:
         halt_state = _collect_session_halt(system, agents, halt_order)
     halt_paths = {
         name: agents[name].halted_via.path
@@ -290,14 +355,16 @@ def _run_session(
         scenario=scenario.name,
         mode=scenario.mode,
         system=system,
-        quiesced=quiesced,
+        quiesced=result.quiesced,
         all_halted=all_halted,
         halt_state=halt_state,
         halt_order=halt_order,
         halt_paths=halt_paths,
-        trace=list(scheduler.trace),
-        decisions=list(scheduler.decisions),
-        choice_points=list(scheduler.choice_points),
+        trace=result.trace,
+        decisions=result.decisions,
+        choice_points=result.choice_points,
+        events_executed=result.steps,
+        backend="des",
     )
 
 
@@ -356,6 +423,7 @@ def _token_ring_scenario() -> Scenario:
             "halting_order_prefix",
         ),
         twin=True,
+        backends=("des", "threaded"),
     )
 
 

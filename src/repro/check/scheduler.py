@@ -96,6 +96,37 @@ def independent(label_a: str, label_b: str) -> bool:
     return target_process(label_a) != target_process(label_b)
 
 
+def group_heads(
+    events: Sequence[ScheduledEvent],
+    cache: Optional[Dict[int, str]] = None,
+) -> Dict[str, ScheduledEvent]:
+    """Fold pending events into per-group FIFO heads, keyed by label.
+
+    The head of each group is its earliest ``(time, tiebreak, sequence)``
+    entry — per-channel message order for deliveries, deadline order for
+    timers. ``cache`` memoizes :func:`classify` per sequence across calls
+    (an entry is re-offered every step until it fires, and its label never
+    changes). This is the shared decision-surface math behind both the
+    DES :class:`ControlledScheduler` hook and every
+    :class:`repro.check.gate.SchedulingGate`.
+    """
+    if cache is None:
+        cache = {}
+    heads: Dict[str, ScheduledEvent] = {}
+    for event in events:
+        label = cache.get(event.sequence)
+        if label is None:
+            label = classify(event)
+            cache[event.sequence] = label
+        head = heads.get(label)
+        if head is None or (
+            (event.time, event.tiebreak, event.sequence)
+            < (head.time, head.tiebreak, head.sequence)
+        ):
+            heads[label] = event
+    return heads
+
+
 @dataclass(frozen=True)
 class ChoicePoint:
     """One point where more than one group was enabled."""
@@ -118,6 +149,7 @@ class Strategy:
         return self.choose(labels)
 
     def choose(self, labels: Sequence[str]) -> str:
+        """Pick one of ``labels`` (two or more, sorted). Subclass hook."""
         raise NotImplementedError
 
 
@@ -125,6 +157,7 @@ class DefaultStrategy(Strategy):
     """Always the first label in sorted order — the canonical schedule."""
 
     def choose(self, labels: Sequence[str]) -> str:
+        """First label in sorted order."""
         return labels[0]
 
 
@@ -135,6 +168,7 @@ class RandomWalkStrategy(Strategy):
         self._rng = rng
 
     def choose(self, labels: Sequence[str]) -> str:
+        """Uniformly random label."""
         return labels[self._rng.choice(range(len(labels)))]
 
 
@@ -159,6 +193,7 @@ class ScriptedStrategy(Strategy):
         self._exhaust_seen = False
 
     def choose(self, labels: Sequence[str]) -> str:
+        """Next scripted label if enabled; else default, counting a divergence."""
         if self._cursor < len(self._script):
             wanted = self._script[self._cursor]
             self._cursor += 1
@@ -190,6 +225,7 @@ class TraceReplayStrategy(Strategy):
         self.divergences = 0
 
     def on_step(self, labels: Sequence[str]) -> str:
+        """Consume one trace label per step, forced steps included."""
         if self._cursor < len(self._trace):
             wanted = self._trace[self._cursor]
             self._cursor += 1
@@ -199,6 +235,7 @@ class TraceReplayStrategy(Strategy):
         return labels[0]
 
     def choose(self, labels: Sequence[str]) -> str:  # pragma: no cover
+        """Unreachable — ``on_step`` is overridden wholesale."""
         return labels[0]
 
 
@@ -218,25 +255,11 @@ class ControlledScheduler:
         self._label_cache: Dict[int, str] = {}
 
     def install(self, kernel: SimulationKernel) -> None:
+        """Register this scheduler as the kernel's ordering hook."""
         kernel.set_ordering(self.__call__)
 
     def __call__(self, events: List[ScheduledEvent]) -> int:
-        cache = self._label_cache
-        heads: Dict[str, ScheduledEvent] = {}
-        for event in events:
-            label = cache.get(event.sequence)
-            if label is None:
-                label = classify(event)
-                cache[event.sequence] = label
-            head = heads.get(label)
-            # FIFO within a group: earliest (time, tiebreak, sequence)
-            # fires first, which is per-channel message order for
-            # deliveries and deadline order for timers.
-            if head is None or (
-                (event.time, event.tiebreak, event.sequence)
-                < (head.time, head.tiebreak, head.sequence)
-            ):
-                heads[label] = event
+        heads = group_heads(events, self._label_cache)
         labels = sorted(heads)
         chosen = self.strategy.on_step(labels)
         if chosen not in heads:

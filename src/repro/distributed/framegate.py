@@ -1,0 +1,274 @@
+"""Parent-side TCP frame staging: the distributed scheduling gate's hands.
+
+The distributed backend has no kernel to hook and no turnstile to insert —
+children are real OS processes exchanging frames over real sockets. What
+the parent *can* control is the wire itself. A :class:`FrameStager` is a
+man-in-the-middle proxy for every user-process channel:
+
+* At the port rendezvous the parent doctors the ports map it sends back
+  (:meth:`doctor`), so every child dials the stager's single listening
+  port instead of its real peer. The first frame on each connection is the
+  ``hello`` naming the channel, which tells the stager which real
+  destination to dial for the pass-through side.
+* Envelope (``env``) frames arriving from the source are *held* in a
+  per-channel FIFO buffer instead of being forwarded. Control-plane
+  frames (``ctl``) pass through immediately — they are cluster plumbing,
+  not the computation being scheduled.
+* :class:`~repro.check.gate.FrameGate` turns the held buffers into the
+  gate's enabled set (one ``chan:src->dst`` label per non-empty buffer)
+  and :meth:`release` forwards a channel's oldest frame on commit.
+
+Because TCP is FIFO and each channel has exactly one staging thread,
+per-channel order is preserved structurally; the stager only reorders
+deliveries *across* channels — exactly the decision surface the other two
+gates expose. Timers and internal steps still run wall-clock inside the
+children, so the distributed gate orders deliveries only; quiescence is a
+quiet window (:meth:`wait_quiet`), not an activity counter.
+
+Fail-stop rules match :class:`~repro.distributed.transport.SocketChannel`:
+a dead destination eats released frames silently, and a source that closes
+its side simply stops producing — its held frames stay until released or
+flushed by :meth:`release_all`.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional
+
+from repro.distributed import wire
+from repro.distributed.transport import dial
+from repro.util.errors import ReproError, WireError
+from repro.util.ids import ChannelId
+
+
+class _ProxyLink:
+    """One proxied channel: the source's connection and the real
+    destination's, plus the frames held between them."""
+
+    __slots__ = ("channel", "inbound", "outbound", "held", "dead")
+
+    def __init__(self, channel: str, inbound: socket.socket,
+                 outbound: socket.socket) -> None:
+        self.channel = channel
+        self.inbound = inbound
+        self.outbound = outbound
+        self.held: Deque[Dict[str, object]] = deque()
+        #: True once either side is gone (fail-stop: releases are no-ops).
+        self.dead = False
+
+
+class FrameStager:
+    """Hold every user-channel ``env`` frame until the gate releases it."""
+
+    def __init__(self, dial_timeout: float = 10.0) -> None:
+        self._dial_timeout = dial_timeout
+        self._lock = threading.Lock()
+        self._links: Dict[str, _ProxyLink] = {}
+        self._real_ports: Dict[str, int] = {}
+        self._passthrough = False
+        self._closed = False
+        self._last_activity = time.monotonic()
+        self._listener: Optional[socket.socket] = None
+        self._threads: List[threading.Thread] = []
+
+    # -- rendezvous hook -----------------------------------------------------
+
+    def doctor(self, ports: Dict[str, int],
+               keep: Iterable[str] = ()) -> Dict[str, int]:
+        """Rewrite a real ports map so dialers reach the stager instead.
+
+        ``keep`` names processes whose entries stay real (the debugger:
+        its channels are control plane, not scheduled computation). The
+        real map is remembered so :meth:`_handle` can dial actual
+        destinations; one listener serves every proxied channel because
+        the ``hello`` frame disambiguates.
+        """
+        keep_set = set(keep)
+        with self._lock:
+            self._real_ports.update(ports)
+            port = self._ensure_listener()
+        return {
+            name: (real if name in keep_set else port)
+            for name, real in ports.items()
+        }
+
+    def _ensure_listener(self) -> int:
+        if self._listener is None:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind(("127.0.0.1", 0))
+            listener.listen(64)
+            self._listener = listener
+            thread = threading.Thread(
+                target=self._accept_loop, name="framegate-accept", daemon=True
+            )
+            self._threads.append(thread)
+            thread.start()
+        return self._listener.getsockname()[1]
+
+    # -- proxy side ----------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed: shutdown
+            thread = threading.Thread(
+                target=self._handle, args=(conn,),
+                name="framegate-link", daemon=True,
+            )
+            with self._lock:
+                if self._closed:
+                    conn.close()
+                    return
+                self._threads.append(thread)
+            thread.start()
+
+    def _handle(self, conn: socket.socket) -> None:
+        """Serve one proxied connection: hello, dial-through, then stage."""
+        try:
+            conn.settimeout(10.0)
+            hello = wire.recv_frame(conn)
+            conn.settimeout(None)
+            if hello.get("frame") != "hello" or "channel" not in hello:
+                raise WireError(f"expected hello frame, got {hello!r}")
+            channel = str(hello["channel"])
+            dst = str(ChannelId.parse(channel).dst)
+            with self._lock:
+                real_port = self._real_ports[dst]
+            outbound = dial(
+                real_port, time.monotonic() + self._dial_timeout,
+                seed=f"framegate|{channel}",
+            )
+            wire.send_frame(outbound, hello)
+        except (WireError, OSError, KeyError):
+            conn.close()
+            return
+        link = _ProxyLink(channel, conn, outbound)
+        with self._lock:
+            self._links[channel] = link
+            self._touch()
+        try:
+            while True:
+                frame = wire.recv_frame(conn)
+                with self._lock:
+                    self._touch()
+                    hold = (
+                        frame.get("frame") == "env"
+                        and not self._passthrough
+                        and not self._closed
+                    )
+                    if hold:
+                        link.held.append(frame)
+                if not hold:
+                    wire.send_frame(outbound, frame)
+        except (WireError, OSError):
+            # Clean EOF included: the source is done (or dead). Held
+            # frames stay releasable; the outbound side stays open until
+            # they drain or the stager closes.
+            pass
+        finally:
+            with self._lock:
+                link.dead = True
+                self._touch()
+            conn.close()
+
+    def _touch(self) -> None:
+        self._last_activity = time.monotonic()
+
+    # -- gate surface --------------------------------------------------------
+
+    def wait_quiet(self, settle: float, timeout: float = 10.0) -> None:
+        """Block until no frame has arrived for ``settle`` seconds.
+
+        This is the distributed substitute for an activity counter: after
+        a release, the cluster's reaction (handler runs, resulting sends)
+        shows up as fresh staged frames, each of which restarts the
+        window. ``timeout`` bounds the total wait so a chatty cluster
+        cannot wedge the checker.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            with self._lock:
+                quiet_for = time.monotonic() - self._last_activity
+            if quiet_for >= settle or time.monotonic() >= deadline:
+                return
+            time.sleep(min(max(settle - quiet_for, 0.005), 0.05))
+
+    def held_channels(self) -> List[str]:
+        """Channels with at least one held frame, sorted for determinism."""
+        with self._lock:
+            return sorted(c for c, l in self._links.items() if l.held)
+
+    def held_count(self) -> int:
+        """Total frames currently parked across every channel."""
+        with self._lock:
+            return sum(len(l.held) for l in self._links.values())
+
+    def release(self, channel: str) -> None:
+        """Forward ``channel``'s oldest held frame to its destination."""
+        with self._lock:
+            link = self._links.get(channel)
+            if link is None or not link.held:
+                raise ReproError(
+                    f"no held frame on channel {channel!r}; "
+                    f"held: {sorted(c for c, l in self._links.items() if l.held)}"
+                )
+            frame = link.held.popleft()
+            self._touch()
+        try:
+            wire.send_frame(link.outbound, frame)
+        except (WireError, OSError):
+            link.dead = True  # fail-stop: the destination ate the frame
+
+    def release_all(self) -> None:
+        """Flush every held frame in FIFO order and go pass-through.
+
+        Called when the gate closes: from here on the proxy is a plain
+        forwarder, so an orderly cluster shutdown is not starved of the
+        frames it is waiting for.
+        """
+        with self._lock:
+            self._passthrough = True
+            links = list(self._links.values())
+        for link in links:
+            while True:
+                with self._lock:
+                    if not link.held:
+                        break
+                    frame = link.held.popleft()
+                try:
+                    wire.send_frame(link.outbound, frame)
+                except (WireError, OSError):
+                    link.dead = True
+                    break
+
+    def close(self) -> None:
+        """Tear the proxy down: listener, every link, both directions."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            listener = self._listener
+            links = list(self._links.values())
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:
+                pass
+        for link in links:
+            for sock in (link.inbound, link.outbound):
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+        for thread in self._threads:
+            thread.join(timeout=1.0)
+
+
+__all__ = ["FrameStager"]

@@ -81,6 +81,7 @@ class DistributedDebugSession:
         fault_plan: Optional[FaultPlan] = None,
         observe: Optional["Observability"] = None,
         spec: Optional[ClusterSpec] = None,
+        frame_stager: Optional[Any] = None,
     ) -> None:
         self.spec = spec if spec is not None else ClusterSpec.plan(
             workload,
@@ -92,6 +93,12 @@ class DistributedDebugSession:
         )
         self.debugger_name = self.spec.debugger
         self.observe = observe
+        #: Optional :class:`~repro.distributed.framegate.FrameStager` —
+        #: when set, the ports map sent back at the rendezvous is doctored
+        #: so every user-process channel runs through the stager's proxy
+        #: and a :class:`~repro.check.gate.FrameGate` can order deliveries.
+        #: ``d``'s own port stays real: control traffic is never staged.
+        self.frame_stager = frame_stager
         self._lock = threading.Lock()
         self._ready: set = set()
         #: Children that still owe a port announcement, their parked
@@ -162,7 +169,14 @@ class DistributedDebugSession:
             self._port_conns.append(conn)
             if not all(self.spec.ports.get(n) for n in self._expect_ports):
                 return
-            reply = {"frame": "ports", "ports": dict(self.spec.ports)}
+            announced = dict(self.spec.ports)
+            if self.frame_stager is not None:
+                # Children learn proxied ports; the parent's own dials
+                # (connect_all) keep using the real spec.ports map.
+                announced = self.frame_stager.doctor(
+                    announced, keep={str(self.debugger_name)}
+                )
+            reply = {"frame": "ports", "ports": announced}
             for parked in self._port_conns:
                 try:
                     wire.send_frame(parked, reply)
@@ -254,6 +268,8 @@ class DistributedDebugSession:
         if self._started:
             self._host.stop_controller(timeout)
         self._host.close()
+        if self.frame_stager is not None:
+            self.frame_stager.close()
         if self._spec_path is not None and os.path.exists(self._spec_path):
             os.unlink(self._spec_path)
 

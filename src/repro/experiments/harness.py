@@ -46,7 +46,17 @@ class LocalTrigger(ControlPlugin):
         if self.fired or event.local_seq < self.nth_event:
             return
         self.fired = True
-        kernel = self.controller.system.kernel
+        system = self.controller.system
+        kernel = getattr(system, "kernel", None)
+        if kernel is None:
+            # Threaded backend: defer through the controller, which posts
+            # to the mailbox (or stages with the scheduling gate) under
+            # the same ``internal:trigger:<process>`` label the DES path
+            # produces below — schedules recorded on either backend
+            # replay on the other.
+            self.fired_at = system.now
+            self.controller.defer(self.action, label="trigger")
+            return
         self.fired_at = kernel.now
         kernel.schedule(
             0.0,

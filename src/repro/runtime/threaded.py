@@ -357,6 +357,9 @@ class ThreadedController:
         self._deferred_timers: List[Tuple[str, object]] = []
         self._timers: Dict[str, threading.Timer] = {}
         self._timer_gen: Dict[str, int] = {}
+        # Gate mode only: mirrors the DES controller's per-set_timer
+        # counter so staged-timer tiebreaks match across backends.
+        self._timer_seq = 0
         self._local_seq = 0
         self._muted = False
         self._restored = False
@@ -403,6 +406,14 @@ class ThreadedController:
         return self.system.incoming_channels(self.name)
 
     def defer(self, action: Callable[[], None], label: str = "defer") -> None:
+        # getattr: the distributed HostRuntime reuses this controller and
+        # has no gate attribute (gating there happens at the frame layer).
+        gate = getattr(self.system, "gate", None)
+        if gate is not None:
+            # Gate mode: the action becomes an explorable internal step
+            # with the DES backend's label, instead of an immediate post.
+            gate.stage_internal(label, self, action)
+            return
         self.system.note_activity(+1)
         self.inbox.put(("call", action))
 
@@ -547,9 +558,18 @@ class ThreadedController:
     def user_set_timer(self, name: str, delay: float, payload: object) -> None:
         self._require_live("set a timer")
         self.user_cancel_timer(name)
-        scaled = delay * self.system.time_scale
         generation = self._timer_gen.get(name, 0) + 1
         self._timer_gen[name] = generation
+        gate = getattr(self.system, "gate", None)
+        if gate is not None:
+            # Gate mode: the expiration is staged at virtual ``now +
+            # delay`` (unscaled — there is no wall clock to stretch) with
+            # the DES controller's tiebreak, making it an explorable step.
+            self._timer_seq += 1
+            gate.stage_timer(self, name, delay, payload, generation,
+                             self._timer_seq)
+            return
+        scaled = delay * self.system.time_scale
         timer = threading.Timer(
             scaled, self._timer_post, args=(name, payload, generation)
         )
@@ -564,6 +584,9 @@ class ThreadedController:
         self.inbox.put(("timer", name, payload, generation))
 
     def user_cancel_timer(self, name: str) -> bool:
+        gate = getattr(self.system, "gate", None)
+        if gate is not None:
+            return gate.cancel_timer(self.name, name)
         timer = self._timers.pop(name, None)
         if timer is None:
             return False
@@ -596,6 +619,11 @@ class ThreadedController:
             return
         self._record(EventKind.PROCESS_CRASHED)
         self.crashed = True
+        gate = getattr(self.system, "gate", None)
+        if gate is not None:
+            # Staged timers die with the host, matching the DES
+            # controller's handle cancellation.
+            gate.cancel_process_timers(self.name)
         for name in list(self._timers):
             self.user_cancel_timer(name)
         self._deferred_timers = []
@@ -849,10 +877,25 @@ class ThreadedSystem:
         reliability: Optional[ReliabilityConfig] = None,
         reliable: bool = False,
         observe: Optional["Observability"] = None,
+        gate: Optional[object] = None,
     ) -> None:
         missing = set(topology.processes) - set(processes)
         if missing:
             raise ConfigurationError(f"no Process supplied for {sorted(missing)}")
+        #: Optional cooperative step gate (:class:`repro.check.gate.
+        #: ThreadedStepGate`). When set, channels stage deliveries with the
+        #: gate instead of running forwarder threads, timers stage instead
+        #: of arming wall clocks, and ``now`` is the gate's virtual clock —
+        #: the schedule checker picks which thread advances.
+        self.gate = gate
+        if gate is not None:
+            if reliability is not None or reliable:
+                raise ConfigurationError(
+                    "gate mode drives raw channels only (the reliable "
+                    "layer's retransmission clock is wall time)"
+                )
+            self._validate_gated_plan(fault_plan)
+            gate.bind(self)
         #: Optional live-observability hub (metrics + spans), shared with
         #: the DES backend's ``System.observe``.
         self.observe = observe
@@ -869,6 +912,7 @@ class ThreadedSystem:
         self._message_seqs = SequenceGenerator(start=1)
         self._activity = 0
         self._activity_lock = threading.Lock()
+        self._idle = threading.Condition(self._activity_lock)
         self._epoch = time.monotonic()
 
         never_halt = set(never_halt)
@@ -879,13 +923,17 @@ class ThreadedSystem:
             for name in topology.processes
         }
         self._channels: Dict[ChannelId, ThreadedChannel] = {
-            channel_id: ThreadedChannel(
-                channel_id, self, latency_range, f"{seed}|chan|{channel_id}",
-                injector=(
-                    injector_for(fault_plan, channel_id)
-                    if fault_plan is not None else None
-                ),
-                reliability=self._reliability,
+            channel_id: (
+                gate.make_channel(channel_id, self) if gate is not None
+                else ThreadedChannel(
+                    channel_id, self, latency_range,
+                    f"{seed}|chan|{channel_id}",
+                    injector=(
+                        injector_for(fault_plan, channel_id)
+                        if fault_plan is not None else None
+                    ),
+                    reliability=self._reliability,
+                )
             )
             for channel_id in topology.channels
         }
@@ -907,7 +955,33 @@ class ThreadedSystem:
 
     @property
     def now(self) -> float:
+        if self.gate is not None:
+            # Virtual time: the clock follows committed gate steps, so
+            # timestamps are deterministic and DES-comparable.
+            return self.gate.now
         return time.monotonic() - self._epoch
+
+    def _validate_gated_plan(self, plan: Optional[FaultPlan]) -> None:
+        """Gate mode supports crash faults only.
+
+        Loss/duplication/reorder and partitions act on the *wire*, which
+        gate mode replaces with a staging buffer; stalls are wall-clock
+        windows. Rejecting them here beats silently not injecting them.
+        """
+        if plan is None:
+            return
+        noisy = [
+            name for name, spec in dict(plan.channels).items()
+            if not spec.is_noop
+        ]
+        if not plan.channel_defaults.is_noop:
+            noisy.append("<defaults>")
+        if noisy or plan.stalls or plan.partitions:
+            raise ConfigurationError(
+                "gate mode supports crash faults only; this plan has "
+                f"channel faults on {noisy!r}, {len(plan.stalls)} stalls, "
+                f"{len(plan.partitions)} partitions"
+            )
 
     def controller(self, name: ProcessId) -> ThreadedController:
         return self.controllers[name]
@@ -982,7 +1056,7 @@ class ThreadedSystem:
         """Validate the plan and stage its crash/stall schedule. Wall-clock
         timers start in :meth:`start` (plan times are virtual units, scaled
         by ``time_scale`` like everything else on this backend)."""
-        self._staged_faults: List[Tuple[float, ProcessId, Callable[["ThreadedController"], None]]] = []
+        self._staged_faults: List[Tuple[float, ProcessId, str, Callable[["ThreadedController"], None]]] = []
         for crash in plan.crashes:
             controller = self.controllers.get(crash.process)
             if controller is None:
@@ -994,7 +1068,8 @@ class ThreadedSystem:
                 )
             if crash.at_time is not None:
                 self._staged_faults.append(
-                    (crash.at_time, crash.process, lambda c: c.crash())
+                    (crash.at_time, crash.process, "crash",
+                     lambda c: c.crash())
                 )
             else:
                 controller.install(CrashAfterEvents(crash.after_events))
@@ -1002,7 +1077,7 @@ class ThreadedSystem:
             if stall.process not in self.controllers:
                 raise FaultError(f"stall spec names unknown process {stall.process!r}")
             self._staged_faults.append(
-                (stall.at_time, stall.process,
+                (stall.at_time, stall.process, "stall",
                  lambda c, d=stall.duration: c.stall(d))
             )
         known = {str(c) for c in self.topology.channels}
@@ -1014,8 +1089,17 @@ class ThreadedSystem:
                 )
 
     def _start_fault_timers(self) -> None:
-        for at_time, process, action in getattr(self, "_staged_faults", []):
+        for at_time, process, label, action in getattr(self, "_staged_faults", []):
             controller = self.controllers[process]
+            if self.gate is not None:
+                # Gate mode: the fault is a staged internal step at its
+                # virtual time (the DES tiebreak), explorable like any
+                # other — no wall clock involved.
+                self.gate.stage_fault(
+                    at_time, label, controller,
+                    lambda c=controller, act=action: act(c),
+                )
+                continue
 
             def fire(c: "ThreadedController" = controller,
                      act: Callable = action) -> None:
@@ -1061,11 +1145,29 @@ class ThreadedSystem:
     def note_activity(self, delta: int) -> None:
         with self._activity_lock:
             self._activity += delta
+            if self._activity <= 0:
+                self._idle.notify_all()
 
     @property
     def pending_activity(self) -> int:
         with self._activity_lock:
             return self._activity
+
+    def wait_idle(self, timeout: float = 30.0) -> None:
+        """Block until the activity count drains to zero.
+
+        The gate's turnstile: a committed step posts one mailbox item
+        (+1 credit); the handler may stage further work with the gate
+        (no credit), so once the count returns to zero nothing can raise
+        it again until the next commit. A timeout means a handler is
+        wedged in user code — surfaced, never swallowed.
+        """
+        with self._activity_lock:
+            if not self._idle.wait_for(lambda: self._activity <= 0, timeout):
+                raise RuntimeStateError(
+                    f"system did not go idle within {timeout}s "
+                    f"(activity={self._activity})"
+                )
 
     # -- execution ----------------------------------------------------------------------
 
@@ -1139,8 +1241,10 @@ class ThreadedSystem:
                 stuck.append(controller._thread.name)
         for channel in self._channels.values():
             channel.join(max(0.01, deadline - time.monotonic()))
-            if channel._thread.is_alive():
-                stuck.append(channel._thread.name)
+            # Gate-mode channels have no forwarder thread to wait on.
+            thread = getattr(channel, "_thread", None)
+            if thread is not None and thread.is_alive():
+                stuck.append(thread.name)
         if stuck:
             raise RuntimeStateError(
                 f"shutdown did not converge within {timeout}s; "

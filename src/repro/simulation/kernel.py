@@ -314,6 +314,24 @@ class SimulationKernel:
             for entry in self._live.values()
         ]
 
+    def pending_events(self) -> List[ScheduledEvent]:
+        """Read-only :class:`ScheduledEvent` views of every live entry.
+
+        The same cached views :meth:`_step_controlled` hands to an ordering
+        hook, exposed so a :class:`repro.check.gate.KernelGate` can
+        enumerate the enabled set *before* committing a step. Views are
+        cached per entry, so repeated enumeration allocates nothing.
+        """
+        views: List[ScheduledEvent] = []
+        for e in self._live.values():
+            view = e.view
+            if view is None:
+                view = ScheduledEvent(e.sequence, e.time, e.priority,
+                                      e.tiebreak)
+                e.view = view
+            views.append(view)
+        return views
+
     def drain_cancelled(self) -> None:
         """Physically remove cancelled entries (housekeeping for long runs)."""
         live = list(self._live.values())

@@ -1,0 +1,217 @@
+"""Cross-backend equivalence: one schedule, two substrates, one verdict.
+
+The tentpole claim of the scheduling gate is that a schedule is
+backend-neutral: the same decision list drives the DES kernel and a live
+``ThreadedSystem`` (real OS threads behind the cooperative step gate)
+through the *same* execution — same trace, same halt order, same message
+ledger, same invariant verdicts. These tests check that claim directly,
+plus the threaded gate's edge cases: timer-vs-delivery races at the
+turnstile, crash-fault teardown, and socket/thread hygiene (the module
+fails on ResourceWarning).
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.check.explorer import explore
+from repro.check.minimize import minimize_schedule, schedule_violates
+from repro.check.mutations import MUTATIONS
+from repro.check.runner import run_schedule, scenarios
+from repro.check.scheduler import RandomWalkStrategy, ScriptedStrategy
+from repro.faults.plan import FaultPlan
+
+pytestmark = pytest.mark.filterwarnings("error::ResourceWarning")
+
+
+def _channel_ledger(system):
+    """Per-channel conserved-message counters, backend-neutral."""
+    return {
+        str(channel.id): (channel.stats.sent, channel.stats.delivered)
+        for channel in system.channels()
+    }
+
+
+def _run_both(decisions, mutation=None):
+    scenario = scenarios()["token_ring"]
+    factory = MUTATIONS[mutation] if mutation else None
+    des = run_schedule(scenario, ScriptedStrategy(decisions), factory,
+                       backend="des")
+    threaded = run_schedule(scenario, ScriptedStrategy(decisions), factory,
+                            backend="threaded")
+    return des, threaded
+
+
+# -- the equivalence suite -----------------------------------------------------
+
+
+def test_canonical_schedule_is_the_same_execution_on_both_backends():
+    des, threaded = _run_both([])
+    assert des.record.quiesced and threaded.record.quiesced
+    assert threaded.record.trace == des.record.trace
+    assert threaded.record.decisions == des.record.decisions
+    assert threaded.record.halt_order == des.record.halt_order
+    assert threaded.record.halt_paths == des.record.halt_paths
+    assert threaded.record.system.message_totals() == \
+        des.record.system.message_totals()
+    assert _channel_ledger(threaded.record.system) == \
+        _channel_ledger(des.record.system)
+    assert [v.invariant for v in des.violations] == []
+    assert [v.invariant for v in threaded.violations] == []
+
+
+@pytest.mark.parametrize("walk", [0, 1, 2])
+def test_scripted_walks_agree_across_backends(walk):
+    # Let a random walk on the DES discover a schedule, then replay its
+    # decision list — the portable artifact form — on both substrates.
+    scenario = scenarios()["token_ring"]
+    probe = run_schedule(
+        scenario, RandomWalkStrategy(random.Random(f"equiv|{walk}"))
+    )
+    assert probe.record.quiesced
+    des, threaded = _run_both(list(probe.record.decisions))
+    assert threaded.record.trace == des.record.trace == probe.record.trace
+    assert threaded.record.halt_order == des.record.halt_order
+    assert threaded.record.system.message_totals() == \
+        des.record.system.message_totals()
+    assert _channel_ledger(threaded.record.system) == \
+        _channel_ledger(des.record.system)
+    assert [v.invariant for v in threaded.violations] == \
+        [v.invariant for v in des.violations] == []
+
+
+def test_mutation_verdicts_agree_across_backends():
+    # A deliberately broken agent must be convicted identically: the bug
+    # is in the algorithm, not the substrate.
+    des, threaded = _run_both([], mutation="late-halt")
+    assert {v.invariant for v in des.violations} == \
+        {v.invariant for v in threaded.violations}
+    assert des.violations  # the mutation is actually caught
+
+
+def test_choice_points_enumerate_identically():
+    des, threaded = _run_both([])
+    assert [(cp.trace_index, cp.enabled, cp.chosen)
+            for cp in threaded.record.choice_points] == \
+        [(cp.trace_index, cp.enabled, cp.chosen)
+         for cp in des.record.choice_points]
+
+
+# -- exploration and the artifact loop on the threaded backend -----------------
+
+
+def test_threaded_backend_explores_a_green_scenario():
+    report = explore(scenarios()["token_ring"], budget=50, seed=0,
+                     backend="threaded")
+    assert not report.found
+    assert report.schedules_run == 50
+    assert report.inconclusive_runs == 0
+
+
+def test_threaded_violation_minimizes_and_replays():
+    scenario = scenarios()["token_ring"]
+    factory = MUTATIONS["late-halt"]
+    result = run_schedule(scenario, ScriptedStrategy([]), factory,
+                          backend="threaded")
+    assert result.violated
+    invariant = result.violations[0].invariant
+    minimized = minimize_schedule(
+        scenario, result.record.decisions, invariant, factory,
+        backend="threaded",
+    )
+    assert len(minimized) <= len(result.record.decisions)
+    assert schedule_violates(scenario, minimized, invariant, factory,
+                             backend="threaded")
+
+
+# -- threaded-gate edge cases --------------------------------------------------
+
+
+def test_timer_vs_delivery_race_commits_both_ways():
+    # At the turnstile a pending hold-timer races an in-flight token: the
+    # gate must expose both, and either commit order must run to clean
+    # quiescence with the ledger conserved.
+    scenario = scenarios()["token_ring"]
+    root = run_schedule(scenario, ScriptedStrategy([]), backend="threaded")
+    mixed = [
+        (k, cp) for k, cp in enumerate(root.record.choice_points)
+        if any(l.startswith("timer:") for l in cp.enabled)
+        and any(l.startswith("chan:") for l in cp.enabled)
+    ]
+    assert mixed, "expected a timer/delivery race in the canonical run"
+    k, cp = mixed[0]
+    for label in cp.enabled:
+        prefix = list(root.record.decisions[:k]) + [label]
+        result = run_schedule(scenario, ScriptedStrategy(prefix),
+                              backend="threaded")
+        assert result.record.quiesced
+        assert not result.violated
+        for sent, delivered in _channel_ledger(result.record.system).values():
+            assert sent == delivered
+
+
+def test_crash_fault_teardown_matches_the_des():
+    # A crash fires through the gate as an internal step; the dead
+    # process's staged timers must vanish (no wedged gate, no zombie
+    # label), mirroring the DES controller cancelling kernel entries.
+    base = scenarios()["token_ring"]
+    scenario = dataclasses.replace(
+        base,
+        name="token_ring_crash",
+        twin=False,
+        fault_plan=FaultPlan().with_crash("p3", after_events=3),
+        invariants=("fifo_per_channel",),
+    )
+    des = run_schedule(scenario, ScriptedStrategy([]), backend="des")
+    threaded = run_schedule(scenario, ScriptedStrategy([]),
+                            backend="threaded")
+    assert des.record.quiesced and threaded.record.quiesced
+    assert "internal:crash:p3" in threaded.record.trace
+    assert threaded.record.trace == des.record.trace
+    assert not des.violated and not threaded.violated
+    assert threaded.record.system.controller("p3").crashed
+    assert not any(label.startswith("timer:p3")
+                   for label in threaded.record.trace)
+
+
+def test_timed_crash_fault_is_stageable_too():
+    base = scenarios()["token_ring"]
+    scenario = dataclasses.replace(
+        base,
+        name="token_ring_timed_crash",
+        twin=False,
+        fault_plan=FaultPlan().with_crash("p2", at_time=3.0),
+        invariants=("fifo_per_channel",),
+    )
+    des = run_schedule(scenario, ScriptedStrategy([]), backend="des")
+    threaded = run_schedule(scenario, ScriptedStrategy([]),
+                            backend="threaded")
+    assert threaded.record.trace == des.record.trace
+    assert threaded.record.system.controller("p2").crashed
+
+
+def test_gate_mode_rejects_wall_clock_fault_machinery():
+    # Stalls, partitions, and lossy channels run on wall time; the gate
+    # cannot stage them, so construction must fail loudly, not silently
+    # change semantics.
+    from repro.util.errors import ConfigurationError
+
+    base = scenarios()["token_ring"]
+    for plan in (
+        FaultPlan().with_stall("p1", at_time=1.0, duration=2.0),
+        FaultPlan().with_partition(["p0->p1"], at_time=1.0, duration=2.0),
+        FaultPlan.lossy(0.5),
+    ):
+        scenario = dataclasses.replace(
+            base, name="bad", twin=False, fault_plan=plan
+        )
+        with pytest.raises(ConfigurationError):
+            run_schedule(scenario, ScriptedStrategy([]), backend="threaded")
+
+
+def test_reliable_scenario_declares_no_threaded_backend():
+    scenario = scenarios()["token_ring_reliable"]
+    assert "threaded" not in scenario.backends
+    with pytest.raises(ValueError):
+        run_schedule(scenario, ScriptedStrategy([]), backend="threaded")

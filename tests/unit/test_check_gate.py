@@ -1,0 +1,327 @@
+"""Unit tests for the scheduling-gate abstraction.
+
+The gate is the checker's one decision surface over all three backends,
+so these tests pin the math everything else leans on: ``group_heads``
+head selection, the ``drive`` loop's recording bookkeeping (it must stay
+byte-identical to the pre-gate controlled scheduler), the KernelGate's
+equivalence with that scheduler on a real kernel, and the
+ThreadedStepGate's staging semantics (FIFO clamps, timer replacement,
+crash teardown) checked in isolation with stub controllers.
+"""
+
+import itertools
+
+import pytest
+
+from repro.check.gate import (
+    DriveResult,
+    FrameGate,
+    KernelGate,
+    SchedulingGate,
+    ThreadedStepGate,
+    drive,
+)
+from repro.check.scheduler import (
+    ControlledScheduler,
+    ScriptedStrategy,
+    group_heads,
+)
+from repro.network.message import MessageKind
+from repro.simulation.kernel import (
+    PRIORITY_DELIVERY,
+    PRIORITY_INTERNAL,
+    PRIORITY_TIMER,
+    ScheduledEvent,
+    SimulationKernel,
+)
+from repro.util.errors import SimulationError
+from repro.util.ids import ChannelId
+
+
+def _event(seq, time, priority, tiebreak):
+    return ScheduledEvent(sequence=seq, time=time, priority=priority,
+                          tiebreak=tiebreak)
+
+
+# -- group_heads ---------------------------------------------------------------
+
+
+def test_group_heads_picks_the_earliest_entry_per_label():
+    events = [
+        _event(1, 2.0, PRIORITY_DELIVERY, ("p0->p1", 1)),
+        _event(2, 1.0, PRIORITY_DELIVERY, ("p0->p1", 0)),  # earlier: head
+        _event(3, 1.0, PRIORITY_TIMER, ("p2", "hold", 0)),
+    ]
+    heads = group_heads(events)
+    assert set(heads) == {"chan:p0->p1", "timer:p2"}
+    assert heads["chan:p0->p1"].sequence == 2
+
+
+def test_group_heads_breaks_time_ties_by_tiebreak_then_sequence():
+    a = _event(5, 1.0, PRIORITY_DELIVERY, ("p0->p1", 3))
+    b = _event(4, 1.0, PRIORITY_DELIVERY, ("p0->p1", 3))
+    assert group_heads([a, b])["chan:p0->p1"].sequence == 4
+
+
+def test_group_heads_reuses_the_label_cache():
+    cache = {}
+    events = [_event(1, 0.0, PRIORITY_INTERNAL, ("trigger", "p1"))]
+    group_heads(events, cache)
+    assert cache == {1: "internal:trigger:p1"}
+    # A poisoned cache entry proves the memo is consulted, not recomputed.
+    cache[1] = "poisoned"
+    assert "poisoned" in group_heads(events, cache)
+
+
+# -- drive ---------------------------------------------------------------------
+
+
+class _ScriptGate(SchedulingGate):
+    """A gate whose enabled sets are a canned script (no substrate)."""
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.committed = []
+
+    def enabled(self):
+        return list(self.script[0]) if self.script else []
+
+    def commit(self, label):
+        step = self.script.pop(0)
+        assert label in step
+        self.committed.append(label)
+
+    @property
+    def now(self):
+        return float(len(self.committed))
+
+
+def test_drive_records_choice_points_only_at_real_choices():
+    gate = _ScriptGate([["a"], ["b", "c"], ["d"]])
+    result = drive(gate, ScriptedStrategy(["c"]))
+    assert result.trace == ["a", "c", "d"]
+    assert result.decisions == ["c"]
+    assert len(result.choice_points) == 1
+    assert result.choice_points[0].trace_index == 1
+    assert result.choice_points[0].enabled == ("b", "c")
+    assert result.quiesced and result.steps == 3
+
+
+def test_drive_falls_back_to_first_label_on_a_bogus_strategy():
+    class Bogus:
+        def on_step(self, labels):
+            return "nonsense"
+
+    gate = _ScriptGate([["x", "y"]])
+    result = drive(gate, Bogus())
+    assert result.trace == ["x"]
+    assert result.decisions == ["x"]
+
+
+def test_drive_budget_exhaustion_is_not_quiescence():
+    gate = _ScriptGate([["a"]] * 10)
+    result = drive(gate, max_steps=4)
+    assert result.steps == 4
+    assert not result.quiesced
+    # ... unless the gate happens to drain exactly at the budget.
+    gate = _ScriptGate([["a"]] * 4)
+    assert drive(gate, max_steps=4).quiesced
+
+
+# -- KernelGate ----------------------------------------------------------------
+
+
+def _loaded_kernel(fired):
+    kernel = SimulationKernel()
+    kernel.schedule(1.0, lambda: fired.append("m0"),
+                    priority=PRIORITY_DELIVERY, tiebreak=("p0->p1", 0))
+    kernel.schedule(1.0, lambda: fired.append("m1"),
+                    priority=PRIORITY_DELIVERY, tiebreak=("p0->p1", 1))
+    kernel.schedule(1.0, lambda: fired.append("t"),
+                    priority=PRIORITY_TIMER, tiebreak=("p9", "x", 0))
+    return kernel
+
+
+def test_kernel_gate_matches_the_controlled_scheduler_byte_for_byte():
+    fired_a, fired_b = [], []
+    kernel_a = _loaded_kernel(fired_a)
+    scheduler = ControlledScheduler(ScriptedStrategy(["timer:p9"]))
+    scheduler.install(kernel_a)
+    kernel_a.run()
+
+    kernel_b = _loaded_kernel(fired_b)
+    gate = KernelGate(kernel_b)
+    result = drive(gate, ScriptedStrategy(["timer:p9"]))
+    gate.close()
+
+    assert fired_a == fired_b == ["t", "m0", "m1"]
+    assert result.trace == scheduler.trace
+    assert result.decisions == scheduler.decisions
+    assert [(cp.trace_index, cp.enabled, cp.chosen)
+            for cp in result.choice_points] == \
+        [(cp.trace_index, cp.enabled, cp.chosen)
+         for cp in scheduler.choice_points]
+    assert result.steps == kernel_b.events_executed
+
+
+def test_kernel_gate_rejects_a_label_that_is_not_enabled():
+    kernel = _loaded_kernel([])
+    gate = KernelGate(kernel)
+    assert gate.enabled() == ["chan:p0->p1", "timer:p9"]
+    with pytest.raises(SimulationError):
+        gate.commit("timer:nobody")
+    gate.close()
+
+
+def test_kernel_gate_close_restores_default_ordering():
+    fired = []
+    kernel = _loaded_kernel(fired)
+    gate = KernelGate(kernel)
+    gate.close()
+    kernel.run()  # would raise inside the gate's _pick if still installed
+    assert fired == ["m0", "m1", "t"]
+
+
+# -- ThreadedStepGate (staging math, stubbed substrate) ------------------------
+
+
+class _StubSystem:
+    """Just enough system surface for GatedChannel.send and binding."""
+
+    def __init__(self, gate):
+        self.gate = gate
+        self._seq = itertools.count(1)
+
+    @property
+    def now(self):
+        return self.gate.now
+
+    def next_message_seq(self):
+        return next(self._seq)
+
+
+class _StubController:
+    def __init__(self, name):
+        self.name = name
+
+
+def _gated_pair():
+    gate = ThreadedStepGate(latency=1.0)
+    system = _StubSystem(gate)
+    gate.bind(system)
+    return gate, system
+
+
+def test_gate_binds_exactly_once():
+    gate, system = _gated_pair()
+    with pytest.raises(SimulationError):
+        gate.bind(system)
+
+
+def test_staged_deliveries_group_per_channel_fifo():
+    gate, system = _gated_pair()
+    ab = gate.make_channel(ChannelId.parse("p0->p1"), system)
+    cd = gate.make_channel(ChannelId.parse("p2->p3"), system)
+    ab.send(MessageKind.USER, "first")
+    ab.send(MessageKind.USER, "second")
+    cd.send(MessageKind.USER, "other")
+    # Two messages on one channel are ONE group (its FIFO head), so the
+    # enabled set has exactly one label per channel.
+    assert gate.enabled() == ["chan:p0->p1", "chan:p2->p3"]
+    assert [env.payload for env in ab.in_flight] == ["first", "second"]
+    assert ab.stats.sent == 2 and ab.stats.delivered == 0
+
+
+def test_staged_arrivals_respect_the_des_fifo_clamp():
+    gate, system = _gated_pair()
+    channel = gate.make_channel(ChannelId.parse("p0->p1"), system)
+    channel.send(MessageKind.USER, "a")
+    channel.send(MessageKind.USER, "b")
+    times = sorted(t for t, _, _ in gate.pending_metadata())
+    assert times[0] == pytest.approx(1.0)       # now + latency
+    assert times[1] > times[0]                  # clamp: strictly later
+
+
+def test_timer_restage_replaces_and_cancel_reports_presence():
+    gate, _ = _gated_pair()
+    proc = _StubController("p1")
+    gate.stage_timer(proc, "hold", 5.0, None, generation=1, timer_seq=1)
+    gate.stage_timer(proc, "hold", 2.0, None, generation=1, timer_seq=2)
+    assert len(gate.pending_metadata()) == 1    # second set replaced the first
+    assert gate.enabled() == ["timer:p1"]
+    assert gate.cancel_timer("p1", "hold") is True
+    assert gate.cancel_timer("p1", "hold") is False
+    assert gate.enabled() == []
+
+
+def test_crash_teardown_drops_every_timer_of_that_process_only():
+    gate, _ = _gated_pair()
+    p1, p2 = _StubController("p1"), _StubController("p2")
+    gate.stage_timer(p1, "hold", 1.0, None, generation=1, timer_seq=1)
+    gate.stage_timer(p1, "lease", 2.0, None, generation=1, timer_seq=2)
+    gate.stage_timer(p2, "hold", 1.0, None, generation=1, timer_seq=1)
+    gate.cancel_process_timers("p1")
+    assert gate.enabled() == ["timer:p2"]
+
+
+def test_gate_commit_rejects_labels_that_are_not_enabled():
+    gate, _ = _gated_pair()
+    gate.stage_internal("trigger", _StubController("p1"), lambda: None)
+    assert gate.enabled() == ["internal:trigger:p1"]
+    with pytest.raises(SimulationError):
+        gate.commit("chan:p0->p1")
+
+
+def test_gate_close_drops_all_staged_work():
+    gate, system = _gated_pair()
+    channel = gate.make_channel(ChannelId.parse("p0->p1"), system)
+    channel.send(MessageKind.USER, "x")
+    gate.stage_timer(_StubController("p1"), "hold", 1.0, None, 1, 1)
+    gate.close()
+    assert gate.enabled() == []
+    assert gate.quiescent()
+
+
+# -- FrameGate (stubbed stager) ------------------------------------------------
+
+
+class _StubStager:
+    def __init__(self, held):
+        self.held = list(held)
+        self.released = []
+        self.flushed = False
+
+    def wait_quiet(self, settle):
+        pass
+
+    def held_channels(self):
+        return list(self.held)
+
+    def release(self, channel):
+        self.released.append(channel)
+        self.held.remove(channel)
+
+    def release_all(self):
+        self.flushed = True
+
+
+def test_frame_gate_wraps_held_buffers_as_channel_labels():
+    stager = _StubStager(["p1->p2", "p0->p1"])
+    gate = FrameGate(stager, settle=0.0)
+    assert gate.enabled() == ["chan:p0->p1", "chan:p1->p2"]
+    gate.commit("chan:p1->p2")
+    assert stager.released == ["p1->p2"]
+    assert gate.now == 1.0
+    with pytest.raises(SimulationError):
+        gate.commit("timer:p1")  # the frame gate only orders deliveries
+    gate.close()
+    assert stager.flushed
+
+
+# -- DriveResult shape ---------------------------------------------------------
+
+
+def test_drive_result_defaults_are_empty():
+    result = DriveResult()
+    assert result.trace == [] and result.decisions == []
+    assert result.steps == 0 and not result.quiesced

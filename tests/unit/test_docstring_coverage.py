@@ -1,7 +1,11 @@
 """CI gate: every public module and public class in ``src/repro`` carries a
 docstring. The repo's documentation strategy leans on docstrings (the docs
 link into them, the tutorial quotes them), so missing ones are regressions,
-not style nits."""
+not style nits.
+
+The ``repro.check`` package — the checker handbook's subject — is held to
+a stricter bar: every public *function and method* documents itself too,
+since docs/CHECKING.md points readers straight at those signatures."""
 
 import ast
 import pathlib
@@ -13,6 +17,24 @@ def _public_classes(tree):
     for node in ast.walk(tree):
         if isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
             yield node
+
+
+def _public_functions(tree):
+    """Public module-level functions plus methods of public classes.
+
+    Closures and underscore-private names are exempt — they are local
+    implementation detail, not the surface the handbook points at.
+    """
+    def defs_in(body):
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and not node.name.startswith("_"):
+                yield node
+
+    yield from defs_in(tree.body)
+    for cls in tree.body:
+        if isinstance(cls, ast.ClassDef) and not cls.name.startswith("_"):
+            yield from defs_in(cls.body)
 
 
 def test_every_public_module_and_class_has_a_docstring():
@@ -29,5 +51,19 @@ def test_every_public_module_and_class_has_a_docstring():
                 missing.append(f"{relative}:{node.lineno}: class {node.name}")
     assert not missing, (
         "public modules/classes without docstrings:\n  "
+        + "\n  ".join(missing)
+    )
+
+
+def test_every_public_function_in_the_check_package_has_a_docstring():
+    missing = []
+    for path in sorted((SRC / "check").rglob("*.py")):
+        relative = path.relative_to(SRC.parent)
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        for node in _public_functions(tree):
+            if ast.get_docstring(node) is None:
+                missing.append(f"{relative}:{node.lineno}: def {node.name}")
+    assert not missing, (
+        "public repro.check functions without docstrings:\n  "
         + "\n  ".join(missing)
     )

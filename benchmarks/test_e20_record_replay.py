@@ -1,0 +1,104 @@
+"""E20 (extension) — the cost of recording and the speed of replay.
+
+The record/replay bridge only earns its keep if (a) the observe-mode
+tap is cheap enough to leave on — the cluster must keep its throughput
+while every user frame is copied into the trace — and (b) replaying a
+recording into the DES is fast enough to run after every capture (the
+``repro record`` CLI does exactly that before exiting 0). Two numbers:
+
+* **capture throughput** — user messages per second a live token ring
+  sustains in a fixed wall-clock window, with the recorder proxy on
+  every user channel versus with no proxy at all (the tap adds one
+  loopback hop plus an under-lock append per frame);
+* **replay latency** — wall-clock for the full fidelity pipeline
+  (guided reconstruction, scripted re-run, frame/halt-order/invariant
+  comparison) on one recorded run.
+
+Workload: token_ring(3) with a fast hold time, so the window carries
+hundreds of messages rather than a handful.
+"""
+
+import statistics
+import time
+
+from bench_util import emit, once
+from repro.distributed.session import DistributedDebugSession
+from repro.record import FrameRecorder, record_run, replay_trace
+
+PARAMS = {"n": 3, "max_hops": 1_000_000, "hold_time": 0.005}
+WINDOW = 2.0
+ROUNDS = 2
+
+
+def capture_window(record: bool, seed: int):
+    """One live run for WINDOW seconds; returns (user_msgs, frames, s)."""
+    recorder = FrameRecorder() if record else None
+    session = DistributedDebugSession(
+        "token_ring", dict(PARAMS), seed=seed,
+        frame_stager=recorder.stager if recorder else None,
+    )
+    try:
+        with session:
+            started = time.perf_counter()
+            time.sleep(WINDOW)
+            frames = recorder.frame_count() if recorder else 0
+            elapsed = time.perf_counter() - started
+            report = session.halt_with_watchdog(timeout=20.0,
+                                                probe_grace=5.0)
+            assert report.complete, report.describe()
+        totals = session.cluster_message_totals()
+    finally:
+        if recorder is not None:
+            recorder.close()
+    return totals.get("user", 0), frames, elapsed
+
+
+def test_e20_record_replay(benchmark):
+    rows = []
+    for label, record in (("capture, tap on", True),
+                          ("capture, tap off", False)):
+        msgs, frames, secs = [], [], []
+        for round_ in range(ROUNDS):
+            user, tapped, elapsed = capture_window(record, seed=round_)
+            msgs.append(user)
+            frames.append(tapped)
+            secs.append(elapsed)
+        mean_msgs = statistics.mean(msgs)
+        mean_secs = statistics.mean(secs)
+        mean_frames = statistics.mean(frames)
+        rows.append((
+            label,
+            f"{mean_secs:.2f}",
+            int(mean_msgs),
+            f"{mean_msgs / mean_secs:.1f}",
+            int(mean_frames) if record else "-",
+            f"{mean_frames / mean_secs:.1f}" if record else "-",
+        ))
+
+    trace = record_run("token_ring",
+                       {"n": 3, "max_hops": 1_000_000, "hold_time": 0.02},
+                       seed=7, min_frames=30)
+    started = time.perf_counter()
+    report, result = replay_trace(trace)
+    replay_secs = time.perf_counter() - started
+    once(benchmark, replay_trace, trace)
+    assert report.fidelity_ok, report.summary()
+    assert not result.violated
+    decisions = len(report.decisions)
+    rows.append((
+        "replay, DES (fidelity pipeline)",
+        f"{replay_secs:.3f}",
+        decisions,
+        f"{decisions / replay_secs:.1f}",
+        trace.user_frame_count(),
+        "FAITHFUL",
+    ))
+
+    emit(
+        "E20",
+        "E20 — recorder throughput and replay-fidelity latency "
+        f"(token_ring(3), {WINDOW:.0f}s windows, {ROUNDS} rounds)",
+        ["configuration", "seconds", "user_msgs/decisions", "per_second",
+         "frames", "frames/s or verdict"],
+        rows,
+    )

@@ -21,6 +21,11 @@ Schedule-exploration checker (model-check the theorems over interleavings)::
     python -m repro check --mutate late-halt         # must find a violation
     python -m repro check --replay artifact.json     # re-run a counterexample
 
+Record/replay bridge (capture a live run, re-debug it in the DES)::
+
+    python -m repro record token_ring n=3 --out trace.json
+    python -m repro check --from-trace trace.json --radius 2
+
 Chaos campaigns (crash + partition + checkpoint/restart recovery)::
 
     python -m repro chaos                            # canonical token ring
@@ -96,6 +101,10 @@ def main(argv: List[str] = None) -> int:
         from repro.check.cli import check_main
 
         return check_main(argv[1:])
+    if argv and argv[0] == "record":
+        from repro.record.cli import record_main
+
+        return record_main(argv[1:])
     if argv and argv[0] == "chaos":
         from repro.recovery.chaos import chaos_main
 

@@ -41,6 +41,10 @@ class ScheduleArtifact:
     #: Substrate the violation was found (and must be replayed) on.
     #: Pre-gate artifacts carry no key and read back as "des".
     backend: str = "des"
+    #: Path of the recorded :class:`~repro.record.store.TraceArtifact`
+    #: this schedule perturbs, for trace scenarios (``--from-trace``) —
+    #: replay rebuilds the scenario from the trace file, not the registry.
+    from_trace: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """Serialize to the stable-keyed JSON layout ``save_artifact``
@@ -52,6 +56,7 @@ class ScheduleArtifact:
             "seed": self.seed,
             "mutation": self.mutation,
             "backend": self.backend,
+            "from_trace": self.from_trace,
             "decisions": to_jsonable(self.decisions),
             "violation": {
                 "invariant": self.invariant,
@@ -77,6 +82,7 @@ class ScheduleArtifact:
             seed=int(data["seed"]),
             mutation=data.get("mutation"),
             backend=data.get("backend", "des"),
+            from_trace=data.get("from_trace"),
             decisions=tuple(from_jsonable(data["decisions"])),
             invariant=violation["invariant"],
             details=tuple(from_jsonable(violation["details"])),

@@ -7,7 +7,8 @@ Usage::
     python -m repro check --backend threaded    # model-check real threads
     python -m repro check --mutate late-halt    # inject a broken agent
     python -m repro check --replay artifact.json
-    python -m repro check --list
+    python -m repro check --from-trace trace.json --radius 2
+    python -m repro check --list --backend distributed
 
 Options::
 
@@ -18,9 +19,15 @@ Options::
     --backend B     substrate to execute schedules on: ``des`` (default),
                     ``threaded``, or ``distributed``. Non-``des`` backends
                     run only the scenarios that declare support for them;
-                    the rest are skipped with a note. (No stock scenario
-                    opts into ``distributed`` yet — the frame gate is a
-                    library surface; see docs/CHECKING.md)
+                    the rest are skipped with a note (``token_ring_live``
+                    declares ``distributed``: each schedule drives a real
+                    socket cluster through the frame gate)
+    --from-trace P  seed exploration from a recorded trace artifact
+                    (``python -m repro record``): replay it in the DES,
+                    judge fidelity, then search the schedules within
+                    ``--radius`` adjacent swaps of it plus trace-biased
+                    walks for the remaining budget
+    --radius K      swap distance explored around the trace (default 2)
     -j N, --jobs N  explore with N worker processes (default 1). Any N
                     yields the same violation set for a fixed seed: results
                     merge deterministically in the parent
@@ -31,7 +38,11 @@ Options::
     --artifact P    where to write the minimized counterexample
                     (default repro-check-<scenario>.json)
     --replay P      re-execute a saved artifact instead of exploring (on
-                    the backend recorded in the artifact)
+                    the backend recorded in the artifact; ``--from-trace``
+                    artifacts rebuild their scenario from the trace file)
+    --list          print scenarios (with the backends each supports and,
+                    under ``--backend``, why any would be skipped) and
+                    mutations, then exit
 
 Exit codes: ``0`` no violation found (or replay reproduced the recorded
 violation), ``1`` a violation was found (artifact written), ``2`` usage
@@ -58,21 +69,15 @@ def check_main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     registry = scenarios()
-    if "--list" in argv:
-        print("scenarios:")
-        for name, scenario in sorted(registry.items()):
-            print(f"  {name:20s} [{scenario.mode}] {scenario.description}")
-        print("mutations:")
-        for name in sorted(MUTATIONS):
-            print(f"  {name}")
-        return 0
-
     budget, seed, dfs_depth, jobs = 200, 0, 10, 1
+    radius = 2
     dedup = True
+    list_requested = False
     backend = "des"
     mutate: Optional[str] = None
     artifact_path: Optional[str] = None
     replay_path: Optional[str] = None
+    trace_path: Optional[str] = None
     names: List[str] = []
     i = 0
     while i < len(argv):
@@ -110,11 +115,33 @@ def check_main(argv: Optional[List[str]] = None) -> int:
             artifact_path = value()
         elif arg == "--replay":
             replay_path = value()
+        elif arg == "--from-trace":
+            trace_path = value()
+        elif arg == "--radius":
+            radius = int(value())
+        elif arg == "--list":
+            list_requested = True
         elif arg.startswith("-"):
             return _usage_error(f"unknown option {arg!r}")
         else:
             names.append(arg)
         i += 1
+
+    if list_requested:
+        print("scenarios:")
+        for name, scenario in sorted(registry.items()):
+            print(f"  {name:20s} [{scenario.mode}] {scenario.description}")
+            line = f"  {'':20s} backends: {', '.join(scenario.backends)}"
+            if backend not in scenario.backends:
+                line += (
+                    f" -- skipped under --backend {backend}: "
+                    f"scenario does not declare {backend!r}"
+                )
+            print(line)
+        print("mutations:")
+        for name in sorted(MUTATIONS):
+            print(f"  {name}")
+        return 0
 
     if mutate is not None and mutate not in MUTATIONS:
         return _usage_error(
@@ -128,6 +155,24 @@ def check_main(argv: Optional[List[str]] = None) -> int:
 
     if replay_path is not None:
         return _replay(replay_path)
+    if trace_path is not None:
+        if names:
+            return _usage_error(
+                "--from-trace takes no scenario names (the trace is "
+                "the scenario)"
+            )
+        if backend != "des":
+            return _usage_error(
+                "--from-trace replays in the DES; drop --backend"
+            )
+        return _check_from_trace(
+            trace_path,
+            radius=radius,
+            budget=budget,
+            seed=seed,
+            mutate=mutate,
+            artifact_path=artifact_path,
+        )
 
     agent_factory = MUTATIONS[mutate] if mutate else None
     explicit_names = bool(names)
@@ -205,14 +250,90 @@ def check_main(argv: Optional[List[str]] = None) -> int:
     return exit_code
 
 
+def _check_from_trace(
+    path: str,
+    radius: int,
+    budget: int,
+    seed: int,
+    mutate: Optional[str],
+    artifact_path: Optional[str],
+) -> int:
+    """Replay a recorded trace, then explore its schedule neighborhood."""
+    from repro.record.bridge import replay_trace, trace_scenario
+    from repro.record.perturb import explore_from_trace
+    from repro.record.store import load_trace
+    from repro.util.errors import TraceError
+
+    try:
+        trace = load_trace(path)
+    except TraceError as exc:
+        return _usage_error(f"cannot load trace {path!r}: {exc}")
+    factory = MUTATIONS[mutate] if mutate else None
+    scenario = trace_scenario(trace)
+    report, _ = replay_trace(trace, agent_factory=factory)
+    print(report.summary())
+    perturbation = explore_from_trace(
+        scenario,
+        list(report.decisions),
+        radius=radius,
+        budget=budget,
+        seed=seed,
+        agent_factory=factory,
+    )
+    print(perturbation.summary())
+    if not perturbation.found:
+        return 0
+    assert perturbation.violation is not None
+    violation = perturbation.violation.violations[0]
+    print(violation.describe())
+    decisions = minimize_schedule(
+        scenario, perturbation.decisions, violation.invariant, factory
+    )
+    print(
+        f"minimized schedule: {len(perturbation.decisions)} "
+        f"decision(s) -> {len(decisions)}"
+    )
+    out = artifact_path or (
+        f"repro-check-{scenario.name.replace(':', '-')}.json"
+    )
+    save_artifact(
+        ScheduleArtifact(
+            scenario=scenario.name,
+            seed=scenario.seed,
+            mutation=mutate,
+            backend="des",
+            from_trace=path,
+            decisions=tuple(decisions),
+            invariant=violation.invariant,
+            details=violation.details,
+        ),
+        out,
+    )
+    print(f"replayable artifact written to {out}")
+    return 1
+
+
 def _replay(path: str) -> int:
     artifact = load_artifact(path)
-    registry = scenarios()
-    scenario = registry.get(artifact.scenario)
-    if scenario is None:
-        return _usage_error(
-            f"artifact names unknown scenario {artifact.scenario!r}"
-        )
+    if artifact.from_trace is not None:
+        from repro.record.bridge import trace_scenario
+        from repro.record.store import load_trace
+        from repro.util.errors import TraceError
+
+        try:
+            scenario = trace_scenario(load_trace(artifact.from_trace))
+        except TraceError as exc:
+            return _usage_error(
+                f"artifact references trace {artifact.from_trace!r} "
+                f"which failed to load: {exc}"
+            )
+    else:
+        registry = scenarios()
+        scenario = registry.get(artifact.scenario)
+        if scenario is None:
+            return _usage_error(
+                f"artifact names unknown scenario {artifact.scenario!r}"
+            )
     factory = None
     if artifact.mutation is not None:
         factory = MUTATIONS.get(artifact.mutation)

@@ -33,9 +33,10 @@ import json
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.check.gate import KernelGate, ThreadedStepGate, drive
+from repro.check.gate import DriveResult, KernelGate, ThreadedStepGate, drive
 from repro.check.invariants import RunRecord, Violation, evaluate
 from repro.check.scheduler import (
+    ChoicePoint,
     ScriptedStrategy,
     Strategy,
     TraceReplayStrategy,
@@ -61,7 +62,7 @@ class Scenario:
 
     name: str
     description: str
-    mode: str  # "basic" | "session"
+    mode: str  # "basic" | "session" | "trace"
     builder: Callable[[], BuildResult]
     trigger_process: ProcessId
     trigger_event: int
@@ -77,6 +78,25 @@ class Scenario:
     #: Substrates this scenario explores on. Session mode needs the DES
     #: debugger; the reliable ring's retransmission clock is wall time.
     backends: Tuple[str, ...] = ("des",)
+    #: Distributed-backend identity: the cluster workload registry key
+    #: and its build parameters (required when ``"distributed"`` is in
+    #: ``backends`` — real-socket runs rebuild the program from these).
+    workload: Optional[str] = None
+    workload_params: Optional[Dict[str, object]] = None
+    #: Trace-mode payload: the :class:`~repro.record.store.TraceArtifact`
+    #: this scenario's runs replay around (``mode == "trace"`` only).
+    trace: Optional[object] = None
+
+
+#: Invariants judgeable from debugger-protocol state reports alone — the
+#: distributed backend has no DES event log to consult, so its
+#: :class:`~repro.check.invariants.RunRecord` is assembled from reports
+#: and per-host channel counters and only these invariants apply.
+STATE_REPORT_INVARIANTS: Tuple[str, ...] = (
+    "halt_convergence",
+    "exactly_once_conservation",
+    "halting_order_prefix",
+)
 
 
 @dataclass
@@ -154,12 +174,27 @@ def run_schedule(
             f"scenario {scenario.name!r} does not support backend "
             f"{backend!r} (supported: {scenario.backends})"
         )
+    if backend == "distributed":
+        record = _run_distributed(scenario, strategy, agent_factory)
+        judged = tuple(
+            n for n in scenario.invariants if n in STATE_REPORT_INVARIANTS
+        )
+        if not record.quiesced:
+            return ScheduleResult(record=record, inconclusive=True)
+        return ScheduleResult(
+            record=record, violations=evaluate(record, judged)
+        )
     if scenario.mode == "basic":
         record = _run_basic(scenario, strategy, agent_factory,
                             on_branch_point, backend)
     elif scenario.mode == "session":
         record = _run_session(scenario, strategy, agent_factory,
                               on_branch_point)
+    elif scenario.mode == "trace":
+        from repro.record.bridge import run_trace_record
+
+        record = run_trace_record(scenario, strategy, agent_factory,
+                                  on_branch_point)
     else:
         raise ValueError(f"unknown scenario mode {scenario.mode!r}")
     if not record.quiesced:
@@ -402,6 +437,232 @@ def _collect_session_halt(
     )
 
 
+# -- distributed backend (real OS processes behind the frame gate) -----------
+
+
+class _StubController:
+    """The two controller flags the state-report invariants read."""
+
+    __slots__ = ("halted", "crashed")
+
+    def __init__(self, halted: bool) -> None:
+        self.halted = halted
+        self.crashed = False
+
+
+class _StubChannel:
+    """One user channel's merged cross-host accounting."""
+
+    __slots__ = ("id", "stats", "in_flight")
+
+    def __init__(self, channel_id: ChannelId, stats) -> None:
+        self.id = channel_id
+        self.stats = stats
+        #: Quiescence means the wire drained; the gate flushed every held
+        #: frame before the counters were collected.
+        self.in_flight: List[object] = []
+
+
+class _StubStats:
+    __slots__ = ("sent", "delivered", "dropped")
+
+    def __init__(self, sent: int, delivered: int, dropped: int) -> None:
+        self.sent = sent
+        self.delivered = delivered
+        self.dropped = dropped
+
+
+class _ClusterRunView:
+    """The ``RunRecord.system`` surface, assembled from state reports.
+
+    A distributed run has no single live ``System`` to hand the invariant
+    library — the cluster is gone by the time the record is judged. This
+    view carries exactly what the :data:`STATE_REPORT_INVARIANTS` read:
+    halt flags per process, merged per-channel counters (each endpoint's
+    final ``stats`` frame reports its own side; the merge takes the
+    maximum, since senders count ``sent`` and receivers ``delivered``),
+    and cluster-wide message totals.
+    """
+
+    def __init__(
+        self,
+        user_names: Tuple[ProcessId, ...],
+        halted: set,
+        channel_stats: Dict[str, Dict[str, int]],
+        totals: Dict[str, int],
+    ) -> None:
+        self.user_process_names = tuple(user_names)
+        self._halted = set(halted)
+        self._channels = [
+            _StubChannel(
+                ChannelId.parse(text),
+                _StubStats(
+                    int(stats.get("sent", 0)),
+                    int(stats.get("delivered", 0)),
+                    int(stats.get("dropped", 0)),
+                ),
+            )
+            for text, stats in sorted(channel_stats.items())
+        ]
+        self._totals = dict(totals)
+        #: No DES event log exists; log-reading invariants are filtered
+        #: out before evaluation (see :data:`STATE_REPORT_INVARIANTS`).
+        self.log: Tuple[object, ...] = ()
+
+    def controller(self, name: ProcessId) -> _StubController:
+        return _StubController(name in self._halted)
+
+    def channels(self) -> List[_StubChannel]:
+        return list(self._channels)
+
+    def message_totals(self) -> Dict[str, int]:
+        return dict(self._totals)
+
+
+def _run_distributed(
+    scenario: Scenario,
+    strategy: Optional[Strategy],
+    agent_factory: Optional[Callable[..., HaltingAgent]],
+) -> RunRecord:
+    """One gated schedule of ``scenario`` on a real-socket cluster.
+
+    The cluster runs behind a :class:`~repro.check.gate.FrameGate`; the
+    strategy orders user-channel frame deliveries exactly as it orders
+    DES deliveries (control traffic to/from the debugger rides real,
+    unstaged sockets). The halt is debugger-initiated after
+    ``trigger_event`` committed releases — the frame gate cannot see
+    process-local event counts, so the trigger is expressed in gate steps.
+    Quiescence means the halt converged and every staged frame drained;
+    the record is then assembled from protocol state reports and each
+    host's final channel counters.
+    """
+    if agent_factory is not None:
+        raise ValueError(
+            "mutations run inside child OS processes the parent cannot "
+            "reach — the distributed backend only runs stock agents"
+        )
+    if scenario.workload is None:
+        raise ValueError(
+            f"scenario {scenario.name!r} declares the distributed backend "
+            "but names no workload"
+        )
+    import time as _time
+
+    from repro.check.gate import FrameGate
+    from repro.check.scheduler import DefaultStrategy
+    from repro.distributed.framegate import FrameStager
+    from repro.distributed.session import DistributedDebugSession
+
+    strategy = strategy or DefaultStrategy()
+    stager = FrameStager()
+    gate = FrameGate(stager, settle=0.2)
+    session = DistributedDebugSession(
+        scenario.workload,
+        dict(scenario.workload_params or {}),
+        seed=scenario.seed,
+        frame_stager=stager,
+    )
+    result = DriveResult()
+    halt_started = False
+    halt_state: Optional[GlobalState] = None
+    halt_order: List[ProcessId] = []
+    halt_paths: Dict[ProcessId, Tuple[ProcessId, ...]] = {}
+    converged = False
+    try:
+        session.start()
+        names = set(session.spec.user_names)
+
+        def halt_done() -> bool:
+            generation = session._halting.last_halt_id
+            noted = {
+                n.process
+                for n in session.agent.halt_notifications
+                if n.halt_id == generation
+            }
+            return names <= noted
+
+        deadline = _time.monotonic() + 60.0
+        while result.steps < scenario.max_steps:
+            if _time.monotonic() >= deadline:
+                break
+            if not halt_started and result.steps >= scenario.trigger_event:
+                session.halt()
+                halt_started = True
+            labels = gate.enabled()
+            if not labels:
+                if halt_started and halt_done():
+                    converged = True
+                    result.quiesced = True
+                    break
+                _time.sleep(0.02)
+                continue
+            chosen = strategy.on_step(labels)
+            if chosen not in labels:
+                chosen = labels[0]
+            if len(labels) > 1:
+                result.choice_points.append(
+                    ChoicePoint(len(result.trace), tuple(labels), chosen)
+                )
+                result.decisions.append(chosen)
+            result.trace.append(chosen)
+            gate.commit(chosen)
+            result.steps += 1
+        gate.close()
+        if converged:
+            halt_state = session.collect_global_state(timeout=10.0)
+            generation = session._halting.last_halt_id
+            for note in session.agent.halting_order():
+                if note.halt_id != generation:
+                    continue
+                halt_order.append(note.process)
+                path = tuple(note.path)
+                # Notification paths end with the process's own name;
+                # the invariant expects the as-received marker path.
+                if path and path[-1] == note.process:
+                    path = path[:-1]
+                halt_paths[note.process] = path
+    finally:
+        session.shutdown()
+
+    # Merge each endpoint's final counters: senders report ``sent``,
+    # receivers ``delivered``; max() composes the two half-views.
+    merged: Dict[str, Dict[str, int]] = {}
+    user = set(session.spec.user_names)
+    for text in session.spec.channels:
+        channel_id = ChannelId.parse(text)
+        if channel_id.src in user and channel_id.dst in user:
+            merged[text] = {"sent": 0, "delivered": 0, "dropped": 0}
+    for stats in session.host_stats.values():
+        for text, counters in stats.get("channels", {}).items():
+            if text not in merged:
+                continue
+            for key in ("sent", "delivered", "dropped"):
+                merged[text][key] = max(
+                    merged[text][key], int(counters.get(key, 0))
+                )
+    view = _ClusterRunView(
+        user_names=tuple(session.spec.user_names),
+        halted=set(halt_order),
+        channel_stats=merged,
+        totals=session.cluster_message_totals(),
+    )
+    return RunRecord(
+        scenario=scenario.name,
+        mode=scenario.mode,
+        system=view,
+        quiesced=result.quiesced,
+        all_halted=converged and set(halt_order) >= set(view.user_process_names),
+        halt_state=halt_state,
+        halt_order=halt_order,
+        halt_paths=halt_paths,
+        trace=result.trace,
+        decisions=result.decisions,
+        choice_points=result.choice_points,
+        events_executed=result.steps,
+        backend="distributed",
+    )
+
+
 # -- the scenario registry ---------------------------------------------------
 
 
@@ -469,6 +730,35 @@ def _token_ring_reliable_scenario() -> Scenario:
     )
 
 
+def _token_ring_live_scenario() -> Scenario:
+    return Scenario(
+        name="token_ring_live",
+        description="token_ring(3) on the distributed backend: a real-"
+                    "socket cluster behind the frame gate, judged from "
+                    "protocol state reports (DES runs use the same build)",
+        mode="session",
+        builder=lambda: token_ring.build(
+            n=3, max_hops=100_000, hold_time=0.05
+        ),
+        trigger_process="p1",
+        trigger_event=6,
+        invariants=(
+            "halt_convergence",
+            "theorem1_consistency",
+            "fifo_per_channel",
+            "exactly_once_conservation",
+            "halting_order_prefix",
+        ),
+        # A distributed schedule is slow (every commit waits out a real
+        # quiet window on the proxy); bound the run by releases, not by
+        # the DES-scale default.
+        max_steps=400,
+        backends=("des", "distributed"),
+        workload="token_ring",
+        workload_params={"n": 3, "max_hops": 100_000, "hold_time": 0.05},
+    )
+
+
 def scenarios() -> Dict[str, Scenario]:
     """Name → scenario, rebuilt fresh on every call (scenarios are cheap
     and immutable; rebuilding avoids shared-registry mutation hazards)."""
@@ -477,6 +767,7 @@ def scenarios() -> Dict[str, Scenario]:
         _token_ring_scenario,
         _pipeline_scenario,
         _token_ring_reliable_scenario,
+        _token_ring_live_scenario,
     ):
         scenario = factory()
         registry[scenario.name] = scenario

@@ -208,6 +208,40 @@ class ScriptedStrategy(Strategy):
         return labels[0]
 
 
+class BiasedWalkStrategy(Strategy):
+    """A random walk that leans toward a base schedule.
+
+    At each choice point the strategy advances a cursor over ``base``;
+    with probability ``follow`` (when the base label is enabled) it takes
+    the base decision, otherwise it picks uniformly at random. This is
+    the seeded-neighborhood search the record/replay perturber uses: most
+    of the run stays on the recorded schedule, a few choice points wander
+    off it — interleavings *near* the trace, not arbitrary ones.
+    """
+
+    def __init__(self, base: Sequence[str], rng: random.Random,
+                 follow: float = 0.85) -> None:
+        self._base = list(base)
+        self._rng = rng
+        self._follow = follow
+        self._cursor = 0
+
+    def choose(self, labels: Sequence[str]) -> str:
+        """Base decision with probability ``follow``, else uniform."""
+        wanted = (
+            self._base[self._cursor] if self._cursor < len(self._base)
+            else None
+        )
+        self._cursor += 1
+        if (
+            wanted is not None
+            and wanted in labels
+            and self._rng.random() < self._follow
+        ):
+            return wanted
+        return labels[self._rng.choice(range(len(labels)))]
+
+
 class TraceReplayStrategy(Strategy):
     """Follow a full per-step label trace from a previous run.
 

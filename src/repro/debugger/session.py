@@ -29,7 +29,16 @@ Typical use::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from repro.breakpoints.detector import PredicateAgent
 from repro.breakpoints.parser import parse_conjunctive, parse_predicate
@@ -96,6 +105,7 @@ class DebugSession:
         reliability: Optional[ReliabilityConfig] = None,
         reliable: bool = False,
         observe: Optional["Observability"] = None,
+        halting_factory: Optional[Callable[..., HaltingAgent]] = None,
     ) -> None:
         if debugger_name in topology.processes:
             raise ReproError(
@@ -130,7 +140,13 @@ class DebugSession:
         self._cancelled_lp_ids: set = set()
         for name in extended.processes:
             controller = self.system.controller(name)
-            halting = HaltingAgent(controller)
+            # ``halting_factory`` swaps the Halting Algorithm agent on user
+            # processes (the checker injects mutated agents this way); the
+            # debugger always runs the stock agent — it only initiates.
+            maker = HaltingAgent
+            if halting_factory is not None and name != debugger_name:
+                maker = halting_factory
+            halting = maker(controller)
             controller.install(halting)
             self._halting_agents[name] = halting
             if name == debugger_name:

@@ -37,12 +37,15 @@ import socket
 import threading
 import time
 from collections import deque
-from typing import Deque, Dict, Iterable, List, Optional
+from typing import Callable, Deque, Dict, Iterable, List, Optional
 
 from repro.distributed import wire
 from repro.distributed.transport import dial
 from repro.util.errors import ReproError, WireError
 from repro.util.ids import ChannelId
+
+#: Signature of the observe-mode tap: ``(channel, frame, arrival_index)``.
+FrameTap = Callable[[str, Dict[str, object], int], None]
 
 
 class _ProxyLink:
@@ -62,10 +65,25 @@ class _ProxyLink:
 
 
 class FrameStager:
-    """Hold every user-channel ``env`` frame until the gate releases it."""
+    """Hold every user-channel ``env`` frame until the gate releases it.
 
-    def __init__(self, dial_timeout: float = 10.0) -> None:
+    ``observe=True`` turns the stager into a pure tap: ``env`` frames are
+    never held, every frame passes straight through, and — when
+    ``on_frame`` is set — each user-channel ``env`` frame is reported to
+    the callback with a globally increasing arrival index. The callback
+    runs under the stager's lock, so the ``(channel, frame, index)``
+    stream is a strict total order over all proxied channels: exactly the
+    interleaving the record/replay bridge reconstructs in the DES.
+    Control (``ctl``) frames are plumbing and are neither held nor
+    reported in either mode.
+    """
+
+    def __init__(self, dial_timeout: float = 10.0, observe: bool = False,
+                 on_frame: Optional[FrameTap] = None) -> None:
         self._dial_timeout = dial_timeout
+        self._observe = observe
+        self._on_frame = on_frame
+        self._frame_index = 0
         self._lock = threading.Lock()
         self._links: Dict[str, _ProxyLink] = {}
         self._real_ports: Dict[str, int] = {}
@@ -158,8 +176,16 @@ class FrameStager:
                 frame = wire.recv_frame(conn)
                 with self._lock:
                     self._touch()
+                    is_env = frame.get("frame") == "env"
+                    if is_env and self._on_frame is not None:
+                        index = self._frame_index
+                        self._frame_index += 1
+                        # Under the lock on purpose: arrival indices must
+                        # be a strict total order across channel threads.
+                        self._on_frame(channel, frame, index)
                     hold = (
-                        frame.get("frame") == "env"
+                        is_env
+                        and not self._observe
                         and not self._passthrough
                         and not self._closed
                     )
@@ -271,4 +297,4 @@ class FrameStager:
             thread.join(timeout=1.0)
 
 
-__all__ = ["FrameStager"]
+__all__ = ["FrameStager", "FrameTap"]

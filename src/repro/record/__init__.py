@@ -1,0 +1,67 @@
+"""Record/replay: live cluster runs made debuggable after the fact.
+
+Breakpoints and halting act on a *run* — but a run on the real-socket
+backend is gone the moment it happens. This package closes that gap with
+three layers:
+
+* :mod:`repro.record.store` — the durable artifact: every user-channel
+  frame a live run produced, with causal (vector-clock) metadata, in the
+  registry-gated wire codec; a :class:`TraceStore` with the checkpoint
+  store's format-gating discipline.
+* :mod:`repro.record.recorder` — capture: a :class:`FrameRecorder` puts
+  the PR 7 :class:`~repro.distributed.framegate.FrameStager` proxy into
+  always-pass-through observe mode, so the cluster runs at full speed
+  while every frame is reported in one strict total arrival order.
+  :func:`record_run` is the whole lifecycle in one call.
+* :mod:`repro.record.bridge` — replay: the recorded interleaving is
+  reconstructed as a portable gate decision list and re-executed in the
+  DES (:func:`replay_trace`), where breakpoints, halting order, and the
+  invariant library apply to the run that already happened.
+* :mod:`repro.record.perturb` — exploration: seed the checker from the
+  recorded schedule and search bounded neighborhoods (swap-distance DFS
+  plus trace-biased walks) for near-miss violations
+  (:func:`explore_from_trace`); ddmin shrinks any hit.
+
+Entry points: ``python -m repro record`` (:mod:`repro.record.cli`) and
+``python -m repro check --from-trace TRACE [--radius K]``.
+"""
+
+from repro.record.bridge import (
+    ReplayPlan,
+    ReplayReport,
+    TraceGuidedStrategy,
+    replay_trace,
+    run_trace_record,
+    trace_scenario,
+)
+from repro.record.perturb import PerturbationReport, explore_from_trace
+from repro.record.recorder import FrameRecorder, record_run
+from repro.record.store import (
+    TRACE_FORMAT,
+    RecordedFrame,
+    TraceArtifact,
+    TraceStore,
+    load_trace,
+    payload_key,
+    save_trace,
+)
+
+__all__ = [
+    "FrameRecorder",
+    "PerturbationReport",
+    "RecordedFrame",
+    "ReplayPlan",
+    "ReplayReport",
+    "TRACE_FORMAT",
+    "TraceArtifact",
+    "TraceGuidedStrategy",
+    "TraceStore",
+    "explore_from_trace",
+    "load_trace",
+    "payload_key",
+    "record_run",
+    "replay_trace",
+    "run_trace_record",
+    "save_trace",
+    "trace_scenario",
+]

@@ -1,0 +1,593 @@
+"""The record→replay bridge: a recorded live run, re-executed in the DES.
+
+A :class:`~repro.record.store.TraceArtifact` fixes three things about the
+live run: the global arrival order of user-channel frames, each channel's
+FIFO frame sequence, and the halt metadata (§2.2.4 halting order and
+marker paths). The bridge rebuilds the same user program inside the DES
+— the live debugger ``d`` becomes the DES :class:`DebugSession`'s
+debugger — and reconstructs the recorded interleaving in PR 7's portable
+label space:
+
+* :class:`ReplayPlan` digests the artifact into per-channel cursors, the
+  pre-marker send counts (how much each process produced before its halt
+  froze it), and the halting order with each process's halt *cause*.
+* :class:`TraceGuidedStrategy` drives any scheduling gate so recorded
+  deliveries fire in recorded order, the debugger's halt markers are
+  withheld until the recorded halting order makes them due, and
+  everything the recording cannot see (timers, internal steps, control
+  traffic to ``d``) fires eagerly so the computation can produce the
+  sends the cursor is waiting to deliver.
+* The guided run's choice-point decisions are an ordinary portable
+  schedule: :func:`replay_trace` re-runs them through a stock
+  :class:`~repro.check.scheduler.ScriptedStrategy` (the authoritative
+  replay — the exact artifact ``repro check`` explores and ddmin
+  shrinks) and judges fidelity: per-channel user-frame sequences, marker
+  coverage, halting order, and the invariant library's verdicts.
+
+Once a trace is a decision list, everything downstream of the checker
+works on it unchanged: breakpoints via the session, invariants via
+:func:`~repro.check.runner.run_schedule`, perturbation via
+:mod:`repro.record.perturb`, minimization via ddmin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.check.gate import KernelGate, drive
+from repro.check.invariants import RunRecord
+from repro.check.runner import Scenario, ScheduleResult, run_schedule
+from repro.check.scheduler import ScriptedStrategy, Strategy
+from repro.debugger.session import DebugSession
+from repro.distributed.protocol import decode_payload, encode_payload
+from repro.distributed.spec import build_user_program
+from repro.events.event import EventKind
+from repro.halting.algorithm import HaltingAgent
+from repro.network.latency import FixedLatency
+from repro.record.store import RecordedFrame, TraceArtifact, payload_key
+from repro.runtime.state_capture import ProcessStateSnapshot
+from repro.runtime.system import System
+from repro.snapshot.state import ChannelState, GlobalState
+from repro.util.errors import TraceError
+from repro.util.ids import ChannelId, ProcessId
+
+#: Invariants every trace replay is judged under (the session-mode set —
+#: the recorded run has a debugger, so the extended §2.2.3 model applies).
+TRACE_INVARIANTS: Tuple[str, ...] = (
+    "halt_convergence",
+    "theorem1_consistency",
+    "fifo_per_channel",
+    "exactly_once_conservation",
+    "halting_order_prefix",
+)
+
+
+@dataclass(frozen=True)
+class ReplayPlan:
+    """The artifact digested into what the guided strategy consults."""
+
+    #: Recorded channels in global arrival order, one entry per frame.
+    arrival_order: Tuple[str, ...]
+    #: Per channel, its frames in FIFO order.
+    sequences: Dict[str, Tuple[RecordedFrame, ...]]
+    #: Per channel, how many *user* frames precede its first halt marker
+    #: (== everything the source sent there before halting froze it).
+    pre_marker_sends: Dict[str, int]
+    #: Live halting order (meta), padded with any missing user processes.
+    halt_sequence: Tuple[ProcessId, ...]
+    #: Per process, who delivered the marker it halted via (the last hop
+    #: before itself on its notification path; the debugger if the path
+    #: is empty — a marker straight from ``d``).
+    halt_cause: Dict[ProcessId, ProcessId]
+    #: The debugger process name the live run used.
+    debugger: ProcessId
+
+    @classmethod
+    def from_artifact(cls, artifact: TraceArtifact) -> "ReplayPlan":
+        """Digest one artifact; TraceError when the meta is unusable."""
+        meta = artifact.meta
+        debugger = str(meta.get("debugger", "d"))
+        sequences = {
+            channel: tuple(frames)
+            for channel, frames in artifact.channel_sequences().items()
+        }
+        pre_marker: Dict[str, int] = {}
+        for channel, frames in sequences.items():
+            count = 0
+            for frame in frames:
+                if frame.kind != "user":
+                    break
+                count += 1
+            pre_marker[channel] = count
+        halt_order = [str(p) for p in meta.get("halt_order", ())]
+        if not halt_order:
+            raise TraceError(
+                "trace meta carries no halt_order — was the recording "
+                "halted before the artifact was assembled?"
+            )
+        users = [
+            str(p) for p in meta.get("process_order", ()) if p != debugger
+        ]
+        halt_sequence = tuple(
+            halt_order + sorted(p for p in users if p not in halt_order)
+        )
+        cause: Dict[ProcessId, ProcessId] = {}
+        for process, path in dict(meta.get("halt_paths", {})).items():
+            # Notification paths carry the process's own name last; the
+            # hop before it is whoever forwarded the marker it halted via.
+            hops = [str(h) for h in path]
+            cause[str(process)] = hops[-2] if len(hops) >= 2 else debugger
+        ordered = tuple(
+            frame.channel
+            for frame in sorted(artifact.frames, key=lambda f: f.index)
+        )
+        return cls(
+            arrival_order=ordered,
+            sequences=sequences,
+            pre_marker_sends=pre_marker,
+            halt_sequence=halt_sequence,
+            halt_cause=cause,
+            debugger=debugger,
+        )
+
+
+class TraceGuidedStrategy(Strategy):
+    """Drive a gate so the recorded interleaving re-emerges in the DES.
+
+    Works on the raw label stream (``on_step`` is overridden wholesale,
+    forced steps included) with four rules, in priority order:
+
+    1. **Due halt markers.** ``chan:d->p`` deliveries are withheld — the
+       DES debugger initiates the halt at virtual time zero, but the
+       recorded run halted each process at a specific point. A marker is
+       due when ``p`` already halted (a stale duplicate that only closes
+       the channel), or when ``p`` is the next unhalted process in the
+       recorded halting order, halted *directly* by ``d`` in the live
+       run, and has produced every pre-halt send the recording shows.
+    2. **Eager plumbing.** Everything the recording cannot see fires as
+       soon as it is enabled: control deliveries into ``d``, internal
+       steps, ack/retransmission work, and timers — except timers of a
+       live process that already produced all its recorded sends (firing
+       those could push it past the recording).
+    3. **Recorded deliveries.** Among enabled recorded channels with
+       frames left, deliver the one whose next frame is globally
+       earliest. Per-channel FIFO is structural; this rule recreates the
+       cross-channel arrival order.
+    4. **Fallback.** First enabled label, counted as a divergence.
+    """
+
+    def __init__(self, plan: ReplayPlan) -> None:
+        self.plan = plan
+        self.divergences = 0
+        self._consumed: Dict[str, int] = {c: 0 for c in plan.sequences}
+        self._remaining = sum(len(s) for s in plan.sequences.values())
+        self._system: Optional[System] = None
+        self._out_channels: Dict[ProcessId, List[object]] = {}
+        self._users: Tuple[ProcessId, ...] = ()
+
+    # -- wiring --------------------------------------------------------------
+
+    def bind(self, system: System, debugger: ProcessId) -> None:
+        """Attach to the live replay system (called by the trace runner)."""
+        self._system = system
+        self._users = tuple(system.user_process_names)
+        user = set(self._users)
+        self._out_channels = {name: [] for name in self._users}
+        for channel in system.channels():
+            if channel.id.src in user and channel.id.dst in user:
+                self._out_channels[channel.id.src].append(channel)
+
+    # -- the rules -----------------------------------------------------------
+
+    def _done(self, process: ProcessId) -> bool:
+        """True once ``process`` sent everything the recording shows it
+        sending before it halted (per outgoing channel)."""
+        for channel in self._out_channels.get(process, ()):
+            wanted = self.plan.pre_marker_sends.get(str(channel.id), 0)
+            if channel.stats.sent < wanted:
+                return False
+        return True
+
+    def _halted(self, process: ProcessId) -> bool:
+        assert self._system is not None
+        return bool(self._system.controller(process).halted)
+
+    def _first_unhalted(self) -> Optional[ProcessId]:
+        for process in self.plan.halt_sequence:
+            if not self._halted(process):
+                return process
+        return None
+
+    def _marker_due(self, target: ProcessId) -> bool:
+        if self._halted(target):
+            return True  # stale duplicate: it only closes the channel
+        if self._first_unhalted() != target:
+            return False
+        if self._remaining == 0:
+            # Cursor exhausted: nothing recorded can halt anyone anymore,
+            # so the debugger's markers finish the flood in order.
+            return True
+        return (
+            self.plan.halt_cause.get(target) == self.plan.debugger
+            and self._done(target)
+        )
+
+    def _eager(self, label: str) -> bool:
+        kind, _, rest = label.partition(":")
+        if kind == "chan":
+            return rest.endswith(f"->{self.plan.debugger}")
+        if kind == "timer":
+            process = rest
+            if process in set(self._users):
+                return self._halted(process) or not self._done(process)
+            return True
+        return kind in ("ack", "rtx", "internal", "entry")
+
+    def on_step(self, labels: Sequence[str]) -> str:
+        """Pick per the four rules (forced steps included — the cursor
+        must advance even when only one label is enabled)."""
+        enabled = list(labels)
+        prefix = f"chan:{self.plan.debugger}->"
+        for label in enabled:
+            if label.startswith(prefix) and self._marker_due(
+                label[len("chan:"):].split("->", 1)[1]
+            ):
+                return label
+        for label in enabled:
+            if label.startswith(prefix):
+                continue
+            if self._eager(label):
+                return label
+        best: Optional[str] = None
+        best_index: Optional[int] = None
+        for label in enabled:
+            if not label.startswith("chan:") or label.startswith(prefix):
+                continue
+            channel = label[len("chan:"):]
+            frames = self.plan.sequences.get(channel)
+            if frames is None:
+                continue
+            cursor = self._consumed[channel]
+            if cursor >= len(frames):
+                continue
+            index = frames[cursor].index
+            if best_index is None or index < best_index:
+                best, best_index = label, index
+        if best is not None:
+            channel = best[len("chan:"):]
+            self._consumed[channel] += 1
+            self._remaining -= 1
+            return best
+        self.divergences += 1
+        return enabled[0]
+
+    def choose(self, labels: Sequence[str]) -> str:  # pragma: no cover
+        """Unreachable — ``on_step`` is overridden wholesale."""
+        return labels[0]
+
+
+# -- the trace runner (runner.py's ``mode == "trace"`` backend) ---------------
+
+
+def trace_scenario(
+    artifact: TraceArtifact, name: Optional[str] = None
+) -> Scenario:
+    """A checker :class:`Scenario` whose runs replay inside ``artifact``'s
+    recorded world: same workload, same seed, same debugger. The trigger
+    fields are unused — the debugger initiates the halt and the strategy
+    times the marker deliveries."""
+    plan = ReplayPlan.from_artifact(artifact)
+    workload, params = artifact.workload, dict(artifact.params)
+    first = plan.halt_sequence[0]
+    return Scenario(
+        name=name or f"trace:{workload}",
+        description=(
+            f"recorded {workload} run "
+            f"({artifact.user_frame_count()} user frame(s), "
+            f"{len(artifact.channels())} channel(s)) replayed in the DES"
+        ),
+        mode="trace",
+        builder=lambda: build_user_program(workload, params),
+        trigger_process=first,
+        trigger_event=10 ** 9,
+        invariants=TRACE_INVARIANTS,
+        seed=artifact.seed,
+        backends=("des",),
+        trace=artifact,
+    )
+
+
+def run_trace_record(
+    scenario: Scenario,
+    strategy: Optional[Strategy] = None,
+    agent_factory: Optional[Callable[..., HaltingAgent]] = None,
+    on_branch_point: Optional[Callable[[System], None]] = None,
+) -> RunRecord:
+    """Execute one schedule of a trace scenario on the DES.
+
+    The session mirrors :func:`repro.check.runner._run_session` — same
+    unit latency, same halt bookkeeping — except the halt is initiated by
+    the debugger up front (matching the recorded run, where ``d`` started
+    the flood) and mutated halting agents may be injected on the user
+    processes via ``agent_factory``. Trace-guided strategies are bound to
+    the live system before driving so their rules can read halt flags and
+    channel counters.
+    """
+    artifact = scenario.trace
+    if not isinstance(artifact, TraceArtifact):
+        raise TraceError(
+            f"scenario {scenario.name!r} carries no trace artifact"
+        )
+    debugger = str(artifact.meta.get("debugger", "d"))
+    topology, processes = scenario.builder()
+    session = DebugSession(
+        topology,
+        processes,
+        seed=scenario.seed,
+        latency=FixedLatency(1.0),
+        debugger_name=debugger,
+        halting_factory=agent_factory,
+    )
+    system = session.system
+    gate = KernelGate(system.kernel)
+    if isinstance(strategy, ScriptedStrategy) and on_branch_point is not None:
+        strategy.on_exhausted = lambda: on_branch_point(system)
+    if hasattr(strategy, "bind"):
+        strategy.bind(system, debugger)
+
+    halt_order: List[ProcessId] = []
+    agents = session._halting_agents
+    for name in system.user_process_names:
+        agents[name].notify_on_halt(
+            lambda agent: halt_order.append(agent.controller.name)
+        )
+    _start_system(system)
+    session.halt()  # markers enter the network; the strategy times them
+    result = drive(gate, strategy, max_steps=scenario.max_steps)
+    gate.close()
+    all_halted = system.all_user_processes_halted()
+    halt_state = None
+    if result.quiesced and all_halted:
+        halt_state = _collect_halt(system, agents, halt_order)
+    halt_paths = {
+        name: agents[name].halted_via.path
+        for name in system.user_process_names
+        if agents[name].halted_via is not None
+    }
+    return RunRecord(
+        scenario=scenario.name,
+        mode=scenario.mode,
+        system=system,
+        quiesced=result.quiesced,
+        all_halted=all_halted,
+        halt_state=halt_state,
+        halt_order=halt_order,
+        halt_paths=halt_paths,
+        trace=result.trace,
+        decisions=result.decisions,
+        choice_points=result.choice_points,
+        events_executed=result.steps,
+        backend="des",
+    )
+
+
+def _start_system(system: System) -> None:
+    if not getattr(system, "_started", False):
+        system.start()
+
+
+def _collect_halt(
+    system: System,
+    agents: Dict[ProcessId, HaltingAgent],
+    halt_order: List[ProcessId],
+) -> GlobalState:
+    """``S_h`` from the frozen controllers (halt buffers are the channel
+    states, Lemma 2.2) — the session-mode assembly, shared shape."""
+    processes: Dict[ProcessId, ProcessStateSnapshot] = {}
+    channels: Dict[ChannelId, ChannelState] = {}
+    generation = 0
+    for name in system.user_process_names:
+        controller = system.controller(name)
+        assert controller.halted_snapshot is not None
+        processes[name] = controller.halted_snapshot
+        generation = max(generation, agents[name].last_halt_id)
+        for channel_id, envelopes in controller.halt_buffers.items():
+            channels[channel_id] = ChannelState(
+                channel=channel_id,
+                messages=tuple(env.payload for env in envelopes),
+                complete=channel_id in controller.closed_channels,
+            )
+    return GlobalState(
+        origin="halting",
+        processes=processes,
+        channels=channels,
+        generation=generation,
+        meta={
+            "halt_order": list(halt_order),
+            "clock_frame": list(system.clock_frame.order),
+        },
+    )
+
+
+# -- fidelity ------------------------------------------------------------------
+
+
+@dataclass
+class ReplayReport:
+    """How faithfully one artifact replayed, and what the checker said."""
+
+    #: The portable schedule the guided run produced — seed this into
+    #: :class:`~repro.check.scheduler.ScriptedStrategy` or the perturber.
+    decisions: List[str] = field(default_factory=list)
+    #: Times the guided strategy fell off its rules (0 == clean).
+    guided_divergences: int = 0
+    #: Divergences of the authoritative scripted re-run of ``decisions``.
+    scripted_divergences: int = 0
+    #: True when the scripted re-run walked the guided run's exact trace.
+    scripted_identical: bool = False
+    quiesced: bool = False
+    #: Per channel, a description of any user-frame sequence mismatch.
+    channel_mismatches: List[str] = field(default_factory=list)
+    #: Recorded marker-carrying channels the replay never closed.
+    missing_markers: List[str] = field(default_factory=list)
+    halt_order_recorded: List[str] = field(default_factory=list)
+    halt_order_replayed: List[str] = field(default_factory=list)
+    #: Invariant name → True when it held on the replay.
+    verdicts: Dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def halt_order_ok(self) -> bool:
+        """Recorded and replayed §2.2.4 halting orders agree exactly."""
+        return self.halt_order_recorded == self.halt_order_replayed
+
+    @property
+    def fidelity_ok(self) -> bool:
+        """The acceptance bar: identical per-channel frame sequences,
+        marker coverage, halting order, and all-green verdicts, via a
+        schedule the stock scripted strategy reproduces exactly."""
+        return (
+            self.quiesced
+            and self.scripted_identical
+            and not self.channel_mismatches
+            and not self.missing_markers
+            and self.halt_order_ok
+            and all(self.verdicts.values())
+        )
+
+    def summary(self) -> str:
+        """One human-readable block, stable line order."""
+        verdict = "FAITHFUL" if self.fidelity_ok else "DIVERGED"
+        lines = [
+            f"replay: {verdict} ({len(self.decisions)} decision(s), "
+            f"guided divergences={self.guided_divergences}, "
+            f"scripted divergences={self.scripted_divergences})",
+            f"  halt order recorded={self.halt_order_recorded} "
+            f"replayed={self.halt_order_replayed}",
+        ]
+        for name, ok in sorted(self.verdicts.items()):
+            lines.append(f"  invariant {name}: {'ok' if ok else 'VIOLATED'}")
+        lines.extend(f"  {detail}" for detail in self.channel_mismatches)
+        lines.extend(
+            f"  marker never closed {channel}"
+            for channel in self.missing_markers
+        )
+        return "\n".join(lines)
+
+
+def _recorded_user_keys(frames: Sequence[RecordedFrame]) -> List[str]:
+    """Comparison keys of a channel's recorded user frames, FIFO order.
+
+    Clocks are deliberately excluded: the replay reaches the same sends
+    via a different control-traffic schedule, so piggybacked clock values
+    legitimately differ while the computation is the same.
+    """
+    keys = []
+    for frame in frames:
+        if frame.kind != "user":
+            continue
+        message = decode_payload(frame.payload)
+        keys.append(payload_key(
+            "user",
+            encode_payload({
+                "payload": message.payload, "tag": message.tag,
+            }),
+        ))
+    return keys
+
+
+def _replayed_user_keys(record: RunRecord) -> Dict[str, List[str]]:
+    """Per user-channel, the replay's SEND sequence as comparison keys."""
+    user = set(record.system.user_process_names)
+    sends: Dict[str, List[str]] = {}
+    for event in record.system.log:
+        if event.kind is not EventKind.SEND or event.channel is None:
+            continue
+        if event.channel.src not in user or event.channel.dst not in user:
+            continue
+        sends.setdefault(str(event.channel), []).append(payload_key(
+            "user",
+            encode_payload({
+                "payload": event.message, "tag": event.detail,
+            }),
+        ))
+    return sends
+
+
+def replay_trace(
+    artifact: TraceArtifact,
+    agent_factory: Optional[Callable[..., HaltingAgent]] = None,
+) -> Tuple[ReplayReport, ScheduleResult]:
+    """Replay one artifact in the DES and judge fidelity.
+
+    Two runs: the :class:`TraceGuidedStrategy` reconstructs the recorded
+    interleaving and yields a portable decision list; then a stock
+    :class:`ScriptedStrategy` re-executes that list through the ordinary
+    checker path (:func:`~repro.check.runner.run_schedule`) — the
+    authoritative run every judgement is made on, proving the schedule
+    stands alone without the guided rules.
+    """
+    scenario = trace_scenario(artifact)
+    plan = ReplayPlan.from_artifact(artifact)
+    guided = TraceGuidedStrategy(plan)
+    guided_record = run_trace_record(scenario, guided, agent_factory)
+    scripted = ScriptedStrategy(list(guided_record.decisions))
+    result = run_schedule(scenario, scripted, agent_factory)
+    record = result.record
+
+    report = ReplayReport(
+        decisions=list(guided_record.decisions),
+        guided_divergences=guided.divergences,
+        scripted_divergences=scripted.divergences,
+        scripted_identical=(
+            scripted.divergences == 0
+            and list(record.trace) == list(guided_record.trace)
+        ),
+        quiesced=record.quiesced,
+        halt_order_recorded=[
+            str(p) for p in artifact.meta.get("halt_order", ())
+        ],
+        halt_order_replayed=[str(p) for p in record.halt_order],
+    )
+
+    replayed = _replayed_user_keys(record)
+    for channel, frames in sorted(plan.sequences.items()):
+        wanted = _recorded_user_keys(frames)
+        got = replayed.get(channel, [])
+        if wanted != got:
+            report.channel_mismatches.append(
+                f"{channel}: recorded {len(wanted)} user frame(s), "
+                f"replayed {len(got)}; first difference at position "
+                f"{_first_difference(wanted, got)}"
+            )
+    for channel, frames in sorted(plan.sequences.items()):
+        if not any(frame.kind == "halt_marker" for frame in frames):
+            continue
+        channel_id = ChannelId.parse(channel)
+        controller = record.system.controller(channel_id.dst)
+        if channel_id not in controller.closed_channels:
+            report.missing_markers.append(channel)
+
+    violated = {violation.invariant for violation in result.violations}
+    report.verdicts = {
+        name: name not in violated for name in scenario.invariants
+    }
+    return report, result
+
+
+def _first_difference(wanted: List[str], got: List[str]) -> int:
+    for index, (a, b) in enumerate(zip(wanted, got)):
+        if a != b:
+            return index
+    return min(len(wanted), len(got))
+
+
+__all__ = [
+    "ReplayPlan",
+    "ReplayReport",
+    "TRACE_INVARIANTS",
+    "TraceGuidedStrategy",
+    "replay_trace",
+    "run_trace_record",
+    "trace_scenario",
+]

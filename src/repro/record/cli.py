@@ -1,0 +1,145 @@
+"""``python -m repro record`` — capture a live cluster run as a trace.
+
+Usage::
+
+    python -m repro record token_ring n=3 max_hops=100000 hold_time=0.05
+    python -m repro record token_ring n=3 --frames 20 --out trace.json
+    python -m repro record pipeline stages=2 items=12 --store traces/
+    python -m repro record --list
+
+Options::
+
+    --frames N    keep recording until at least N user-channel frames
+                  crossed the tap before halting (default 12)
+    --seed N      cluster seed (default 0); also the replay's DES seed
+    --out FILE    write the artifact to exactly this path
+    --store DIR   save into a TraceStore directory (trace-NNNNNN.json);
+                  default: ./repro-traces
+    --no-verify   skip the replay-fidelity check after recording
+
+After recording, the artifact is replayed into the DES and judged for
+fidelity (identical per-channel frame sequences, halting order, invariant
+verdicts) unless ``--no-verify`` is given. Explore around a saved trace
+with ``python -m repro check --from-trace FILE [--radius K]``.
+
+Exit codes: ``0`` recorded (and the replay was faithful), ``1`` the
+replay diverged from the recording, ``2`` usage error.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.distributed.spec import DISTRIBUTED_WORKLOADS
+from repro.record.recorder import record_run
+from repro.record.store import TraceStore, save_trace
+from repro.util.errors import TraceError
+
+
+def _parse_value(text: str) -> Any:
+    for parser in (int, float):
+        try:
+            return parser(text)
+        except ValueError:
+            continue
+    if text in ("true", "True"):
+        return True
+    if text in ("false", "False"):
+        return False
+    return text
+
+
+def record_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro record``; returns the exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if "--help" in argv or "-h" in argv:
+        print(__doc__)
+        return 0
+    if "--list" in argv:
+        print("recordable workloads:")
+        for name in sorted(DISTRIBUTED_WORKLOADS):
+            print(f"  {name}")
+        return 0
+
+    frames, seed = 12, 0
+    out: Optional[str] = None
+    store_dir: Optional[str] = None
+    verify = True
+    workload: Optional[str] = None
+    params: Dict[str, Any] = {}
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+
+        def value(flag: str = arg) -> str:
+            nonlocal i
+            i += 1
+            if i >= len(argv):
+                raise SystemExit(_usage_error(f"{flag} needs a value"))
+            return argv[i]
+
+        if arg == "--frames":
+            frames = int(value())
+        elif arg == "--seed":
+            seed = int(value())
+        elif arg == "--out":
+            out = value()
+        elif arg == "--store":
+            store_dir = value()
+        elif arg == "--no-verify":
+            verify = False
+        elif arg.startswith("-"):
+            return _usage_error(f"unknown option {arg!r}")
+        elif workload is None:
+            workload = arg
+        else:
+            key, sep, text = arg.partition("=")
+            if not sep:
+                return _usage_error(
+                    f"arguments must be key=value, got {arg!r}"
+                )
+            params[key] = _parse_value(text)
+        i += 1
+
+    if workload is None:
+        return _usage_error("a workload name is required; try --list")
+    if workload not in DISTRIBUTED_WORKLOADS:
+        return _usage_error(
+            f"unknown workload {workload!r}; try --list"
+        )
+    if out is not None and store_dir is not None:
+        return _usage_error("--out and --store are mutually exclusive")
+
+    try:
+        artifact = record_run(
+            workload, params, seed=seed, min_frames=frames
+        )
+    except TraceError as exc:
+        print(f"repro record: {exc}", file=sys.stderr)
+        return 1
+    if out is not None:
+        path = save_trace(artifact, out)
+    else:
+        path = TraceStore(store_dir or "repro-traces").save(artifact)
+    print(
+        f"recorded {len(artifact.frames)} frame(s) "
+        f"({artifact.user_frame_count()} user) on "
+        f"{len(artifact.channels())} channel(s) -> {path}"
+    )
+    if not verify:
+        return 0
+    from repro.record.bridge import replay_trace
+
+    report, _ = replay_trace(artifact)
+    print(report.summary())
+    return 0 if report.fidelity_ok else 1
+
+
+def _usage_error(message: str) -> int:
+    print(f"repro record: {message}", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - console entry
+    raise SystemExit(record_main())

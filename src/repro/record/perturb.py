@@ -1,0 +1,186 @@
+"""Explore the neighborhood of a recorded schedule for near-miss bugs.
+
+A faithful replay proves the recorded run held its invariants; the more
+interesting question is whether runs *near* it do. The recorded decision
+list is a point in schedule space, and this module searches a bounded
+neighborhood around it:
+
+* **Swap-distance DFS**: breadth-first over adjacent-transposition
+  variants of the base schedule, up to ``radius`` swaps away. Each swap
+  exchanges two neighbouring decisions — delivering this frame *before*
+  that one — which is exactly the reordering freedom the live network
+  had but did not exercise.
+* **Seeded biased walks**: :class:`~repro.check.scheduler.
+  BiasedWalkStrategy` runs that follow the base schedule with high
+  probability and wander uniformly otherwise, covering variations a
+  fixed swap distance misses (different enabled sets open different
+  branches once a swap lands).
+
+Every variant runs through the ordinary checker path
+(:func:`~repro.check.runner.run_schedule` on the trace scenario), so a
+hit is an ordinary violation: ddmin-minimizable, artifact-serializable,
+replayable. The deviation from the trace *is* the counterexample.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.check.runner import Scenario, ScheduleResult, run_schedule
+from repro.check.scheduler import BiasedWalkStrategy, ScriptedStrategy
+from repro.halting.algorithm import HaltingAgent
+
+
+@dataclass
+class PerturbationReport:
+    """What one bounded neighborhood campaign found."""
+
+    scenario: str
+    base_decisions: Tuple[str, ...]
+    #: Schedules executed (base replay included).
+    schedules_run: int = 0
+    #: Runs that exhausted the step budget (unjudgeable, not failures).
+    inconclusive: int = 0
+    #: The first violating run, or None.
+    violation: Optional[ScheduleResult] = None
+    #: Which phase found it: ``"base"`` | ``"swap"`` | ``"walk"``.
+    found_by: Optional[str] = None
+    #: Swap distance from the base schedule (swap phase only).
+    distance: int = 0
+    #: The violating decision list (minimize with
+    #: :func:`~repro.check.minimize.minimize_schedule`).
+    decisions: List[str] = field(default_factory=list)
+
+    @property
+    def found(self) -> bool:
+        """True when some neighbour of the trace violated an invariant."""
+        return self.violation is not None
+
+    def summary(self) -> str:
+        """One line for the CLI."""
+        if self.found:
+            assert self.violation is not None
+            names = sorted(
+                v.invariant for v in self.violation.violations
+            )
+            return (
+                f"{self.scenario}: VIOLATION via {self.found_by} "
+                f"(distance {self.distance}) after {self.schedules_run} "
+                f"schedule(s): {', '.join(names)}"
+            )
+        return (
+            f"{self.scenario}: no violation within the explored "
+            f"neighborhood ({self.schedules_run} schedule(s), "
+            f"{self.inconclusive} inconclusive)"
+        )
+
+
+def _swap_neighbors(
+    decisions: Tuple[str, ...]
+) -> List[Tuple[str, ...]]:
+    """Every adjacent-transposition variant (skipping no-op swaps)."""
+    variants = []
+    for i in range(len(decisions) - 1):
+        if decisions[i] == decisions[i + 1]:
+            continue
+        swapped = list(decisions)
+        swapped[i], swapped[i + 1] = swapped[i + 1], swapped[i]
+        variants.append(tuple(swapped))
+    return variants
+
+
+def explore_from_trace(
+    scenario: Scenario,
+    base_decisions: List[str],
+    radius: int = 2,
+    budget: int = 100,
+    seed: int = 0,
+    agent_factory: Optional[Callable[..., HaltingAgent]] = None,
+    walk_bias: float = 0.85,
+) -> PerturbationReport:
+    """Search up to ``budget`` schedules around ``base_decisions``.
+
+    Phases, in order, sharing the budget: (1) replay the base schedule
+    itself (with a mutated agent the recorded interleaving may already
+    fail); (2) breadth-first swap-distance search out to ``radius``
+    adjacent transpositions, deduplicated and capped at half the budget
+    (the distance-2 frontier alone is quadratic in the schedule length
+    and must not starve the walks); (3) seeded biased walks for the
+    remaining budget — these reach reorderings many swaps away, e.g.
+    delivering a forwarded marker before the victim's deferred halt.
+    Returns at the first violation — exploration is sequential and
+    deterministic for a fixed seed, so the counterexample is
+    reproducible.
+    """
+    base = tuple(base_decisions)
+    report = PerturbationReport(
+        scenario=scenario.name, base_decisions=base
+    )
+
+    def run_one(decisions, phase: str, distance: int) -> bool:
+        result = run_schedule(
+            scenario, ScriptedStrategy(list(decisions)), agent_factory
+        )
+        report.schedules_run += 1
+        if result.inconclusive:
+            report.inconclusive += 1
+            return False
+        if result.violated:
+            report.violation = result
+            report.found_by = phase
+            report.distance = distance
+            report.decisions = list(result.record.decisions)
+            return True
+        return False
+
+    if run_one(base, "base", 0):
+        return report
+
+    # The swap phase gets at most half the budget: the distance-2
+    # frontier is ~len(base)^2 schedules, and the walks (which reach far
+    # reorderings a bounded swap distance cannot) must still run.
+    swap_budget = max(1, budget // 2)
+    seen = {base}
+    frontier: List[Tuple[str, ...]] = [base]
+    exhausted = False
+    for distance in range(1, radius + 1):
+        if exhausted:
+            break
+        next_frontier: List[Tuple[str, ...]] = []
+        for schedule in frontier:
+            if exhausted:
+                break
+            for variant in _swap_neighbors(schedule):
+                if variant in seen:
+                    continue
+                seen.add(variant)
+                if report.schedules_run >= swap_budget:
+                    exhausted = True
+                    break
+                if run_one(variant, "swap", distance):
+                    return report
+                next_frontier.append(variant)
+        frontier = next_frontier
+
+    walk = 0
+    while report.schedules_run < budget:
+        rng = random.Random(f"{seed}|trace-walk|{walk}")
+        walk += 1
+        strategy = BiasedWalkStrategy(list(base), rng, follow=walk_bias)
+        result = run_schedule(scenario, strategy, agent_factory)
+        report.schedules_run += 1
+        if result.inconclusive:
+            report.inconclusive += 1
+            continue
+        if result.violated:
+            report.violation = result
+            report.found_by = "walk"
+            report.distance = walk
+            report.decisions = list(result.record.decisions)
+            return report
+    return report
+
+
+__all__ = ["PerturbationReport", "explore_from_trace"]

@@ -1,0 +1,182 @@
+"""FrameRecorder: capture a live cluster's user-channel traffic.
+
+The recorder reuses the :class:`~repro.distributed.framegate.FrameStager`
+proxy position from the frame gate, but in *observe* mode: every frame
+passes straight through (the cluster runs at full speed, unscheduled)
+while the stager's tap reports each user-channel ``env`` frame with a
+globally ordered arrival index. Those frames — wire encoding untouched —
+plus the halt metadata the live debugger collects at the end of the run
+become a :class:`~repro.record.store.TraceArtifact`.
+
+:func:`record_run` is the one-call lifecycle: start a cluster, let it
+produce at least ``min_frames`` of traffic, halt it with the watchdog,
+collect the consistent global state (which drains every halt marker
+through the tap, so the recording contains the complete marker flood),
+and assemble the artifact.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.distributed.framegate import FrameStager
+from repro.distributed.protocol import decode_payload
+from repro.distributed.session import DistributedDebugSession
+from repro.record.store import RecordedFrame, TraceArtifact
+from repro.util.errors import TraceError
+
+
+class FrameRecorder:
+    """An observe-mode :class:`FrameStager` that keeps what it sees.
+
+    Pass :attr:`stager` as ``frame_stager=`` to a
+    :class:`~repro.distributed.session.DistributedDebugSession`; the
+    session doctors the port rendezvous so every user channel crosses the
+    proxy, and the tap appends one :class:`RecordedFrame` per ``env``
+    frame. The tap runs under the stager's lock, so :meth:`frames` is a
+    strict total order over all channels.
+    """
+
+    def __init__(self, dial_timeout: float = 10.0) -> None:
+        self._frames: List[RecordedFrame] = []
+        self.stager = FrameStager(
+            dial_timeout=dial_timeout, observe=True, on_frame=self._on_frame
+        )
+
+    def _on_frame(self, channel: str, frame: Dict[str, Any],
+                  index: int) -> None:
+        """Stager tap (runs under the stager lock): keep one frame."""
+        clock: Optional[Tuple[int, Tuple[int, ...]]] = None
+        if frame.get("clock") is not None:
+            lamport, vector = frame["clock"]
+            clock = (int(lamport), tuple(int(v) for v in vector))
+        elif frame.get("kind") == "user":
+            # User messages piggyback their causal clocks inside the
+            # message body rather than on the envelope — lift them onto
+            # the frame so the artifact is causally annotated either way.
+            clock = _user_payload_clock(frame.get("payload"))
+        self._frames.append(
+            RecordedFrame(
+                index=index,
+                channel=channel,
+                kind=str(frame.get("kind")),
+                seq=int(frame.get("seq", 0)),
+                send_time=float(frame.get("send_time", 0.0)),
+                clock=clock,
+                payload=frame.get("payload"),
+            )
+        )
+
+    def frame_count(self) -> int:
+        """Frames observed so far (safe to poll from the parent thread)."""
+        return len(self._frames)
+
+    def frames(self) -> Tuple[RecordedFrame, ...]:
+        """Everything recorded so far, ascending arrival index."""
+        return tuple(sorted(self._frames, key=lambda f: f.index))
+
+    def close(self) -> None:
+        """Tear the proxy down (idempotent)."""
+        self.stager.close()
+
+
+def _user_payload_clock(
+    payload: Any,
+) -> Optional[Tuple[int, Tuple[int, ...]]]:
+    """Extract ``(lamport, vector)`` from a wire-encoded UserMessage."""
+    try:
+        message = decode_payload(payload)
+        lamport = getattr(message, "lamport", None)
+        vector = getattr(message, "vector", None)
+        if lamport is None or vector is None:
+            return None
+        return (int(lamport), tuple(int(v) for v in vector))
+    except Exception:
+        return None
+
+
+def halt_meta(session: DistributedDebugSession) -> Dict[str, Any]:
+    """The live debugger's halt view, as trace-artifact metadata.
+
+    ``halt_paths`` keep the *notification* form — the §2.2.4 path the
+    process reported, its own name last — exactly as the live session
+    exposes them; the bridge strips the trailing own-name when it needs
+    the as-received marker path.
+    """
+    notes = list(session.agent.halting_order())
+    generation = max((n.halt_id for n in notes), default=0)
+    current = [n for n in notes if n.halt_id == generation]
+    return {
+        "halt_order": [str(n.process) for n in current],
+        "halt_paths": {
+            str(n.process): [str(hop) for hop in n.path] for n in current
+        },
+        "generation": generation,
+        "process_order": [str(p) for p in session.spec.process_order],
+        "debugger": str(session.spec.debugger),
+    }
+
+
+def record_run(
+    workload: str,
+    params: Optional[Dict[str, Any]] = None,
+    seed: int = 0,
+    min_frames: int = 12,
+    frames_timeout: float = 30.0,
+    halt_timeout: float = 20.0,
+    probe_grace: float = 3.0,
+    collect_timeout: float = 15.0,
+) -> TraceArtifact:
+    """Record one live cluster run end to end and return its artifact.
+
+    The run is: spawn the cluster with the recorder's observe-mode proxy
+    on every user channel, wait until at least ``min_frames`` user-channel
+    frames crossed the tap, halt via the watchdog, and collect the global
+    state — collection polls until every inter-halted channel has seen its
+    closing marker, which guarantees the marker flood is *in* the
+    recording before the artifact is assembled. Raises
+    :class:`~repro.util.errors.TraceError` if the cluster produces too
+    little traffic or the halt does not complete.
+    """
+    recorder = FrameRecorder()
+    session = DistributedDebugSession(
+        workload, dict(params or {}), seed=seed,
+        frame_stager=recorder.stager,
+    )
+    try:
+        session.start()
+        deadline = time.monotonic() + frames_timeout
+        while (recorder.frame_count() < min_frames
+               and time.monotonic() < deadline):
+            time.sleep(0.02)
+        if recorder.frame_count() < min_frames:
+            raise TraceError(
+                f"cluster produced {recorder.frame_count()} frames in "
+                f"{frames_timeout:.1f}s (wanted >= {min_frames}); "
+                "nothing worth recording"
+            )
+        report = session.halt_with_watchdog(
+            timeout=halt_timeout, probe_grace=probe_grace
+        )
+        if not report.complete:
+            raise TraceError(
+                f"halt did not complete cleanly: {report.describe()}"
+            )
+        # Drives the remaining marker duplicates through the tap (every
+        # inter-halted channel must close before this returns).
+        session.collect_global_state(timeout=collect_timeout)
+        meta = halt_meta(session)
+        return TraceArtifact(
+            workload=workload,
+            params=dict(params or {}),
+            seed=seed,
+            frames=recorder.frames(),
+            meta=meta,
+        )
+    finally:
+        session.shutdown()
+        recorder.close()
+
+
+__all__ = ["FrameRecorder", "halt_meta", "record_run"]

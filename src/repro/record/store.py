@@ -1,0 +1,302 @@
+"""Trace artifacts: a live cluster's frame stream made durable.
+
+A recording is the totally ordered stream of user-channel ``env`` frames
+the :class:`~repro.distributed.framegate.FrameStager` observed in
+pass-through mode, plus the halt metadata the debugger collected at the
+end of the run. Frames keep their *wire* encoding — the registry-gated
+JSON the cluster itself trusted (:mod:`repro.distributed.protocol`) — so
+a trace artifact round-trips exactly and never instantiates classes
+outside the wire registry.
+
+The store follows :class:`~repro.recovery.checkpoint.CheckpointStore`'s
+discipline: versioned format-gated JSON artifacts named
+``trace-NNNNNN.json``, atomic writes, and
+:class:`~repro.util.errors.TraceError` on anything corrupt, truncated, or
+from an incompatible format.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.distributed.protocol import decode_payload, encode_payload
+from repro.util.errors import TraceError
+
+#: Bump when the artifact layout changes incompatibly.
+TRACE_FORMAT = 1
+
+_KIND = "repro-trace"
+
+_ARTIFACT_RE = re.compile(r"^trace-(\d{6})\.json$")
+
+
+@dataclass(frozen=True)
+class RecordedFrame:
+    """One user-channel ``env`` frame, in global arrival order.
+
+    ``payload`` stays in its wire encoding (JSON-safe, registry-tagged);
+    decode it with :func:`repro.distributed.protocol.decode_payload` when
+    the live object is needed.
+    """
+
+    #: Global arrival index across all recorded channels (strict total
+    #: order — the tap assigns it under the stager's lock).
+    index: int
+    #: Channel the frame travelled on, ``src->dst``.
+    channel: str
+    #: :class:`~repro.network.message.MessageKind` value ("user",
+    #: "halt_marker", ...).
+    kind: str
+    #: System-wide message sequence number at the sender.
+    seq: int
+    #: Sender-side virtual send time.
+    send_time: float
+    #: Piggybacked ``(lamport, vector)`` clocks, or None.
+    clock: Optional[Tuple[int, Tuple[int, ...]]] = None
+    #: Wire-encoded payload, exactly as it crossed the socket.
+    payload: Any = None
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        """This frame as plain JSON-safe data (payload already is)."""
+        clock: Any = None
+        if self.clock is not None:
+            lamport, vector = self.clock
+            clock = [int(lamport), [int(v) for v in vector]]
+        return {
+            "index": self.index,
+            "channel": self.channel,
+            "kind": self.kind,
+            "seq": self.seq,
+            "send_time": self.send_time,
+            "clock": clock,
+            "payload": self.payload,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Dict[str, Any]) -> "RecordedFrame":
+        """Inverse of :meth:`to_jsonable`; raises TraceError when malformed."""
+        try:
+            clock: Optional[Tuple[int, Tuple[int, ...]]] = None
+            if data.get("clock") is not None:
+                lamport, vector = data["clock"]
+                clock = (int(lamport), tuple(int(v) for v in vector))
+            return cls(
+                index=int(data["index"]),
+                channel=str(data["channel"]),
+                kind=str(data["kind"]),
+                seq=int(data["seq"]),
+                send_time=float(data["send_time"]),
+                clock=clock,
+                payload=data.get("payload"),
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise TraceError(f"malformed recorded frame: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class TraceArtifact:
+    """One recorded run: enough to rebuild and replay it in the DES.
+
+    ``meta`` carries the halt metadata observed live (halting order,
+    per-process halt paths as notified, process order, debugger name,
+    halt generation) — the fidelity baseline the bridge replay is judged
+    against.
+    """
+
+    #: Workload name (a :data:`repro.distributed.spec.DISTRIBUTED_WORKLOADS`
+    #: key) — replays rebuild the same user program from it.
+    workload: str
+    #: Workload build parameters.
+    params: Dict[str, Any] = field(default_factory=dict)
+    #: Cluster seed (also the replay's DES seed).
+    seed: int = 0
+    #: Every observed user-channel frame, ascending ``index``.
+    frames: Tuple[RecordedFrame, ...] = ()
+    #: Halt metadata from the live debugger (see class docstring).
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        """Serialize to the stable-keyed JSON layout :func:`save_trace`
+        writes."""
+        return {
+            "format": TRACE_FORMAT,
+            "kind": _KIND,
+            "workload": self.workload,
+            "params": encode_payload(dict(self.params)),
+            "seed": self.seed,
+            "frames": [frame.to_jsonable() for frame in self.frames],
+            "meta": encode_payload(dict(self.meta)),
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Dict[str, Any]) -> "TraceArtifact":
+        """Decode a :meth:`to_jsonable` payload, gating kind and format."""
+        if not isinstance(data, dict):
+            raise TraceError(f"not a trace artifact: {type(data).__name__}")
+        if data.get("kind") != _KIND:
+            raise TraceError(
+                f"not a trace artifact (kind={data.get('kind')!r})"
+            )
+        fmt = data.get("format")
+        if fmt != TRACE_FORMAT:
+            raise TraceError(
+                f"unsupported trace format {fmt!r} "
+                f"(this build reads {TRACE_FORMAT})"
+            )
+        try:
+            frames = tuple(
+                RecordedFrame.from_jsonable(f) for f in data["frames"]
+            )
+            return cls(
+                workload=str(data["workload"]),
+                params=dict(decode_payload(data.get("params", {}))),
+                seed=int(data["seed"]),
+                frames=frames,
+                meta=dict(decode_payload(data.get("meta", {}))),
+            )
+        except TraceError:
+            raise
+        except Exception as exc:
+            raise TraceError(f"malformed trace data: {exc}") from exc
+
+    # -- derived views -------------------------------------------------------
+
+    def channels(self) -> List[str]:
+        """Every channel that carried at least one frame, sorted."""
+        return sorted({frame.channel for frame in self.frames})
+
+    def channel_sequences(self) -> Dict[str, List[RecordedFrame]]:
+        """Per channel, its frames in arrival (== FIFO send) order."""
+        sequences: Dict[str, List[RecordedFrame]] = {}
+        for frame in sorted(self.frames, key=lambda f: f.index):
+            sequences.setdefault(frame.channel, []).append(frame)
+        return sequences
+
+    def user_frame_count(self) -> int:
+        """How many recorded frames are user messages (not markers)."""
+        return sum(1 for frame in self.frames if frame.kind == "user")
+
+
+def payload_key(kind: str, payload: Any) -> str:
+    """Canonical comparison key for one frame's content.
+
+    ``payload`` must already be wire-encoded (frames store it that way;
+    encode live objects with ``encode_payload`` first). Canonical JSON
+    makes the key stable across dict orderings.
+    """
+    return json.dumps([kind, payload], sort_keys=True)
+
+
+def save_trace(artifact: TraceArtifact, path: str) -> str:
+    """Write one trace artifact atomically; returns ``path``."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(prefix=".trace-", suffix=".tmp", dir=directory)
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fp:
+            json.dump(artifact.to_jsonable(), fp, sort_keys=True)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_trace(path: str) -> TraceArtifact:
+    """Read one trace artifact; TraceError on unreadable/corrupt files."""
+    try:
+        with open(path, "r", encoding="utf-8") as fp:
+            data = json.load(fp)
+    except (OSError, ValueError) as exc:
+        raise TraceError(f"cannot read trace {path!r}: {exc}") from exc
+    return TraceArtifact.from_jsonable(data)
+
+
+class TraceStore:
+    """Versioned trace artifacts in one directory.
+
+    Artifacts are named ``trace-NNNNNN.json`` with a monotonically
+    increasing sequence number; writes are atomic (temp file +
+    ``os.replace``), so a crash mid-save never leaves a half-written
+    trace where :meth:`latest` would find it — the
+    :class:`~repro.recovery.checkpoint.CheckpointStore` discipline.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    # -- write ---------------------------------------------------------------
+
+    def save(self, artifact: TraceArtifact) -> str:
+        """Persist one recording; returns the artifact path."""
+        seq = self._next_seq()
+        path = os.path.join(self.directory, f"trace-{seq:06d}.json")
+        return save_trace(artifact, path)
+
+    # -- read ----------------------------------------------------------------
+
+    def sequence_numbers(self) -> List[int]:
+        """All stored trace sequence numbers, ascending."""
+        seqs = []
+        for name in os.listdir(self.directory):
+            match = _ARTIFACT_RE.match(name)
+            if match:
+                seqs.append(int(match.group(1)))
+        return sorted(seqs)
+
+    def path_for(self, seq: int) -> str:
+        """Artifact path for one sequence number."""
+        return os.path.join(self.directory, f"trace-{seq:06d}.json")
+
+    def latest(self) -> Optional[Tuple[int, str]]:
+        """``(seq, path)`` of the newest trace, or None if empty."""
+        seqs = self.sequence_numbers()
+        if not seqs:
+            return None
+        seq = seqs[-1]
+        return seq, self.path_for(seq)
+
+    def load(self, target: Any) -> TraceArtifact:
+        """Load one trace by sequence number or by path."""
+        path = self.path_for(target) if isinstance(target, int) else str(target)
+        return load_trace(path)
+
+    # -- hygiene -------------------------------------------------------------
+
+    def prune(self, keep: int = 3) -> List[str]:
+        """Delete all but the newest ``keep`` artifacts; returns removals."""
+        if keep < 1:
+            raise TraceError(f"keep must be >= 1, got {keep!r}")
+        removed = []
+        for seq in self.sequence_numbers()[:-keep]:
+            path = self.path_for(seq)
+            try:
+                os.unlink(path)
+                removed.append(path)
+            except OSError:
+                pass
+        return removed
+
+    def _next_seq(self) -> int:
+        seqs = self.sequence_numbers()
+        return (seqs[-1] + 1) if seqs else 1
+
+
+__all__ = [
+    "TRACE_FORMAT",
+    "RecordedFrame",
+    "TraceArtifact",
+    "TraceStore",
+    "load_trace",
+    "payload_key",
+    "save_trace",
+]

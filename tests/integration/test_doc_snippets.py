@@ -34,7 +34,7 @@ def python_snippets(path: Path):
 def test_docs_exist():
     names = {doc.name for doc in DOCS}
     assert {"TUTORIAL.md", "FAULTS.md", "ARCHITECTURE.md",
-            "OBSERVABILITY.md", "CHECKING.md"} <= names
+            "OBSERVABILITY.md", "CHECKING.md", "RECORDING.md"} <= names
 
 
 @pytest.mark.parametrize("doc", DOCS, ids=[d.name for d in DOCS])

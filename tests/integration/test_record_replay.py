@@ -1,0 +1,209 @@
+"""The record/replay bridge, end to end on a real cluster.
+
+One live token-ring run is recorded once (module-scoped fixture — the
+cluster spawns real OS processes) and then examined from every angle:
+the artifact's shape, the DES replay's fidelity (identical per-channel
+frame sequences, halting order, and invariant verdicts), perturbation
+around the recorded schedule (clean for the stock agent; the injected
+late-halt bug must be found and minimized), and the CLI surfaces
+(``repro record``, ``repro check --from-trace``, ``--replay`` of a
+trace-seeded artifact, the backend-aware ``--list``, and
+``--backend distributed`` driving a real-socket cluster per schedule).
+
+Everything runs under hard timeouts, and the module fails on
+ResourceWarning: recorders own sockets and threads and must not leak.
+"""
+
+import json
+
+import pytest
+
+pytestmark = pytest.mark.filterwarnings("error::ResourceWarning")
+
+from repro.check.cli import check_main
+from repro.check.minimize import minimize_schedule, schedule_violates
+from repro.check.mutations import MUTATIONS
+from repro.check.runner import run_schedule, scenarios
+from repro.check.scheduler import ScriptedStrategy
+from repro.record import (
+    TraceArtifact,
+    explore_from_trace,
+    record_run,
+    replay_trace,
+    trace_scenario,
+)
+
+WORKLOAD = "token_ring"
+PARAMS = {"n": 3, "max_hops": 100_000, "hold_time": 0.05}
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    """One live recording, shared by every test in the module."""
+    return record_run(WORKLOAD, PARAMS, seed=11, min_frames=10)
+
+
+# -- the artifact --------------------------------------------------------------
+
+
+def test_recording_captures_ring_traffic_with_causal_metadata(recorded):
+    assert isinstance(recorded, TraceArtifact)
+    assert recorded.workload == WORKLOAD
+    assert recorded.user_frame_count() >= 10
+    ring_edges = {"p0->p1", "p1->p2", "p2->p0"}
+    assert set(recorded.channels()) <= ring_edges
+    # Every user frame carries its piggybacked (lamport, vector) clocks.
+    users = [f for f in recorded.frames if f.kind == "user"]
+    assert users and all(f.clock is not None for f in users)
+    lamports = [f.clock[0] for f in users]
+    assert all(l >= 0 for l in lamports)
+    # Halt metadata: the live run converged and reported its order.
+    assert sorted(recorded.meta["halt_order"]) == ["p0", "p1", "p2"]
+    assert recorded.meta["debugger"] == "d"
+    # Per-channel frame indices ascend: the tap's total order is strict.
+    for frames in recorded.channel_sequences().values():
+        indices = [f.index for f in frames]
+        assert indices == sorted(indices)
+
+
+# -- replay fidelity -----------------------------------------------------------
+
+
+def test_replay_is_faithful_frame_for_frame(recorded):
+    report, result = replay_trace(recorded)
+    assert report.fidelity_ok, report.summary()
+    # Identical per-channel frame sequences...
+    assert report.channel_mismatches == []
+    assert report.missing_markers == []
+    # ...identical halting order...
+    assert report.halt_order_replayed == report.halt_order_recorded
+    # ...and every invariant holds on the recorded interleaving.
+    assert report.verdicts and all(report.verdicts.values())
+    # The reconstructed decision list is scripted-replayable: same trace,
+    # zero divergences.
+    assert report.scripted_identical and report.scripted_divergences == 0
+    assert not result.violated
+
+
+def test_replayed_schedule_is_an_ordinary_checker_schedule(recorded):
+    report, _ = replay_trace(recorded)
+    scenario = trace_scenario(recorded)
+    again = run_schedule(scenario, ScriptedStrategy(list(report.decisions)))
+    assert again.record.quiesced
+    assert not again.violated
+    assert list(again.record.halt_order) == report.halt_order_recorded
+
+
+# -- perturbation --------------------------------------------------------------
+
+
+def test_stock_agent_survives_the_trace_neighborhood(recorded):
+    scenario = trace_scenario(recorded)
+    report, _ = replay_trace(recorded)
+    sweep = explore_from_trace(scenario, list(report.decisions),
+                               radius=1, budget=15, seed=0)
+    assert not sweep.found, sweep.summary()
+    assert sweep.schedules_run == 15
+
+
+def test_seeded_sweep_finds_and_minimizes_injected_late_halt(recorded):
+    factory = MUTATIONS["late-halt"]
+    scenario = trace_scenario(recorded)
+    report, _ = replay_trace(recorded, agent_factory=factory)
+    sweep = explore_from_trace(scenario, list(report.decisions),
+                               radius=2, budget=80, seed=0,
+                               agent_factory=factory)
+    assert sweep.found, sweep.summary()
+    violation = sweep.violation.violations[0]
+    assert violation.invariant == "halting_order_prefix"
+    minimal = minimize_schedule(scenario, sweep.decisions,
+                                violation.invariant, factory)
+    assert len(minimal) <= len(sweep.decisions)
+    assert schedule_violates(scenario, minimal, violation.invariant, factory)
+    # The deviation damns the mutant, not the trace: the stock agent
+    # passes the very same schedule.
+    assert not schedule_violates(scenario, minimal, violation.invariant, None)
+
+
+# -- the CLI surfaces ----------------------------------------------------------
+
+
+def test_record_cli_writes_artifact_and_from_trace_sweep_runs(
+        recorded, tmp_path, capsys):
+    from repro.record.store import save_trace
+
+    trace_path = str(tmp_path / "trace.json")
+    save_trace(recorded, trace_path)
+
+    # Clean sweep: exit 0, replay summary printed.
+    assert check_main(["--from-trace", trace_path,
+                       "--radius", "1", "--budget", "10"]) == 0
+    out = capsys.readouterr().out
+    assert "FAITHFUL" in out and "no violation" in out
+
+    # Mutated sweep: exit 1, trace-seeded artifact written and replayable.
+    artifact_path = str(tmp_path / "counterexample.json")
+    code = check_main(["--from-trace", trace_path, "--radius", "2",
+                       "--budget", "80", "--mutate", "late-halt",
+                       "--artifact", artifact_path])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "VIOLATION" in out and "minimized schedule" in out
+    with open(artifact_path) as handle:
+        data = json.load(handle)
+    assert data["from_trace"] == trace_path
+    assert data["mutation"] == "late-halt"
+    assert check_main(["--replay", artifact_path]) == 0
+    assert "reproduced" in capsys.readouterr().out
+
+
+def test_record_cli_records_a_live_run(tmp_path, capsys):
+    from repro.record.cli import record_main
+    from repro.record.store import load_trace
+
+    path = str(tmp_path / "live.json")
+    code = record_main([WORKLOAD, "n=3", "max_hops=100000",
+                        "hold_time=0.05", "--frames", "8", "--seed", "3",
+                        "--out", path, "--no-verify"])
+    assert code == 0
+    assert "recorded" in capsys.readouterr().out
+    back = load_trace(path)
+    assert back.workload == WORKLOAD and back.seed == 3
+    assert back.user_frame_count() >= 8
+
+
+def test_list_prints_backends_and_skip_reasons(capsys):
+    assert check_main(["--list", "--backend", "distributed"]) == 0
+    out = capsys.readouterr().out
+    assert "backends: des, distributed" in out
+    assert "skipped under --backend distributed" in out
+
+
+def test_cli_usage_errors(tmp_path, capsys):
+    assert check_main(["--from-trace", str(tmp_path / "missing.json")]) == 2
+    assert check_main(["--from-trace", "x.json", "token_ring"]) == 2
+    assert check_main(["--from-trace", "x.json",
+                       "--backend", "threaded"]) == 2
+    from repro.record.cli import record_main
+    assert record_main([]) == 2
+    assert record_main(["not_a_workload"]) == 2
+    assert record_main([WORKLOAD, "--out", "a", "--store", "b"]) == 2
+
+
+# -- the distributed checker backend -------------------------------------------
+
+
+def test_distributed_backend_explores_live_scenario_end_to_end(capsys):
+    assert check_main(["token_ring_live", "--backend", "distributed",
+                       "--budget", "2"]) == 0
+    assert "no violation" in capsys.readouterr().out
+
+
+def test_distributed_run_record_reports_cluster_state():
+    scenario = scenarios()["token_ring_live"]
+    result = run_schedule(scenario, backend="distributed")
+    record = result.record
+    assert record.backend == "distributed"
+    assert record.all_halted
+    assert sorted(record.halt_order) == ["p0", "p1", "p2"]
+    assert not result.violated

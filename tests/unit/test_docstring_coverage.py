@@ -3,9 +3,11 @@ docstring. The repo's documentation strategy leans on docstrings (the docs
 link into them, the tutorial quotes them), so missing ones are regressions,
 not style nits.
 
-The ``repro.check`` package — the checker handbook's subject — is held to
-a stricter bar: every public *function and method* documents itself too,
-since docs/CHECKING.md points readers straight at those signatures."""
+The ``repro.check`` and ``repro.record`` packages — the checker
+handbook's and the recording guide's subjects — are held to a stricter
+bar: every public *function and method* documents itself too, since
+docs/CHECKING.md and docs/RECORDING.md point readers straight at those
+signatures."""
 
 import ast
 import pathlib
@@ -55,15 +57,20 @@ def test_every_public_module_and_class_has_a_docstring():
     )
 
 
-def test_every_public_function_in_the_check_package_has_a_docstring():
+def test_every_public_function_in_the_documented_packages_has_a_docstring():
     missing = []
-    for path in sorted((SRC / "check").rglob("*.py")):
-        relative = path.relative_to(SRC.parent)
-        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
-        for node in _public_functions(tree):
-            if ast.get_docstring(node) is None:
-                missing.append(f"{relative}:{node.lineno}: def {node.name}")
+    for package in ("check", "record"):
+        for path in sorted((SRC / package).rglob("*.py")):
+            relative = path.relative_to(SRC.parent)
+            tree = ast.parse(
+                path.read_text(encoding="utf-8"), filename=str(path)
+            )
+            for node in _public_functions(tree):
+                if ast.get_docstring(node) is None:
+                    missing.append(
+                        f"{relative}:{node.lineno}: def {node.name}"
+                    )
     assert not missing, (
-        "public repro.check functions without docstrings:\n  "
+        "public repro.check/repro.record functions without docstrings:\n  "
         + "\n  ".join(missing)
     )

@@ -1,0 +1,233 @@
+"""Trace artifacts must round-trip exactly and refuse anything corrupt.
+
+Property-based: arbitrary frame streams (channels, kinds, clocks,
+payloads) survive ``to_jsonable``/``from_jsonable`` and a full
+save/load through the filesystem unchanged. Deterministic: the store's
+format/kind gates reject wrong-kind, wrong-format, truncated, and
+non-JSON files with :class:`~repro.util.errors.TraceError` — never a
+bare ``KeyError`` out of half-parsed data — and the ``TraceStore``
+sequence/prune lifecycle matches the checkpoint store's discipline.
+"""
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.record.store import (
+    TRACE_FORMAT,
+    RecordedFrame,
+    TraceArtifact,
+    TraceStore,
+    load_trace,
+    payload_key,
+    save_trace,
+)
+from repro.util.errors import TraceError
+
+# -- strategies ----------------------------------------------------------------
+
+_channels = st.sampled_from(["p0->p1", "p1->p2", "p2->p0", "d->p0", "p0->d"])
+_kinds = st.sampled_from(["user", "halt_marker", "halt_ack", "state_report"])
+_clocks = st.one_of(
+    st.none(),
+    st.tuples(
+        st.integers(min_value=0, max_value=2**31),
+        st.lists(st.integers(min_value=0, max_value=2**31),
+                 min_size=1, max_size=5).map(tuple),
+    ),
+)
+# Wire payloads are JSON-safe by construction; model that directly.
+_payloads = st.recursive(
+    st.one_of(st.none(), st.booleans(), st.integers(),
+              st.floats(allow_nan=False, allow_infinity=False),
+              st.text(max_size=20)),
+    lambda inner: st.one_of(
+        st.lists(inner, max_size=4),
+        st.dictionaries(st.text(max_size=8), inner, max_size=4),
+    ),
+    max_leaves=8,
+)
+
+_frames = st.builds(
+    RecordedFrame,
+    index=st.integers(min_value=0, max_value=10_000),
+    channel=_channels,
+    kind=_kinds,
+    seq=st.integers(min_value=0, max_value=10_000),
+    send_time=st.floats(min_value=0, max_value=1e6,
+                        allow_nan=False, allow_infinity=False),
+    clock=_clocks,
+    payload=_payloads,
+)
+
+_artifacts = st.builds(
+    TraceArtifact,
+    workload=st.sampled_from(["token_ring", "pipeline"]),
+    params=st.dictionaries(
+        st.sampled_from(["n", "max_hops", "hold_time"]),
+        st.one_of(st.integers(min_value=0, max_value=100),
+                  st.floats(min_value=0, max_value=10,
+                            allow_nan=False, allow_infinity=False)),
+        max_size=3,
+    ),
+    seed=st.integers(min_value=0, max_value=2**31),
+    frames=st.lists(_frames, max_size=12).map(tuple),
+    meta=st.fixed_dictionaries(
+        {},
+        optional={
+            "halt_order": st.lists(st.sampled_from(["p0", "p1", "p2"]),
+                                   max_size=3),
+            "debugger": st.just("d"),
+            "generation": st.integers(min_value=1, max_value=5),
+        },
+    ),
+)
+
+
+# -- round-trip properties -----------------------------------------------------
+
+
+@given(frame=_frames)
+@settings(max_examples=80, deadline=None)
+def test_recorded_frame_roundtrips_jsonable(frame):
+    data = frame.to_jsonable()
+    # The jsonable form must itself survive a JSON encode/decode cycle.
+    back = RecordedFrame.from_jsonable(json.loads(json.dumps(data)))
+    assert back == frame
+
+
+@given(artifact=_artifacts)
+@settings(max_examples=40, deadline=None)
+def test_trace_artifact_roundtrips_through_disk(artifact, tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("traces") / "trace.json")
+    save_trace(artifact, path)
+    back = load_trace(path)
+    assert back == artifact
+    assert back.channels() == artifact.channels()
+    assert back.user_frame_count() == artifact.user_frame_count()
+
+
+@given(artifact=_artifacts)
+@settings(max_examples=40, deadline=None)
+def test_channel_sequences_preserve_per_channel_arrival_order(artifact):
+    sequences = artifact.channel_sequences()
+    assert sorted(sequences) == artifact.channels()
+    for channel, frames in sequences.items():
+        assert all(f.channel == channel for f in frames)
+        indices = [f.index for f in frames]
+        assert indices == sorted(indices)
+    assert sum(len(f) for f in sequences.values()) == len(artifact.frames)
+
+
+def test_payload_key_is_order_insensitive_and_kind_sensitive():
+    a = payload_key("user", {"x": 1, "y": [2, 3]})
+    b = payload_key("user", {"y": [2, 3], "x": 1})
+    assert a == b
+    assert payload_key("halt_marker", {"x": 1, "y": [2, 3]}) != a
+
+
+# -- refusal paths -------------------------------------------------------------
+
+
+def _valid_jsonable():
+    artifact = TraceArtifact(
+        workload="token_ring",
+        params={"n": 3},
+        seed=7,
+        frames=(RecordedFrame(index=0, channel="p0->p1", kind="user",
+                              seq=1, send_time=0.5, clock=(3, (1, 1, 0)),
+                              payload={"t": "int", "v": 9}),),
+        meta={"halt_order": ["p0"]},
+    )
+    return artifact.to_jsonable()
+
+
+def test_wrong_kind_is_refused(tmp_path):
+    data = _valid_jsonable()
+    data["kind"] = "repro-checkpoint"
+    with pytest.raises(TraceError, match="kind"):
+        TraceArtifact.from_jsonable(data)
+
+
+def test_future_format_is_refused(tmp_path):
+    data = _valid_jsonable()
+    data["format"] = TRACE_FORMAT + 1
+    with pytest.raises(TraceError, match="format"):
+        TraceArtifact.from_jsonable(data)
+
+
+def test_non_dict_payload_is_refused():
+    with pytest.raises(TraceError):
+        TraceArtifact.from_jsonable(["not", "a", "trace"])
+
+
+def test_malformed_frame_is_refused():
+    data = _valid_jsonable()
+    del data["frames"][0]["channel"]
+    with pytest.raises(TraceError, match="frame"):
+        TraceArtifact.from_jsonable(data)
+
+
+def test_truncated_file_is_refused(tmp_path):
+    path = str(tmp_path / "trace.json")
+    save_trace(TraceArtifact.from_jsonable(_valid_jsonable()), path)
+    with open(path, "r+", encoding="utf-8") as fp:
+        fp.truncate(os.path.getsize(path) // 2)
+    with pytest.raises(TraceError, match="cannot read"):
+        load_trace(path)
+
+
+def test_missing_file_is_refused(tmp_path):
+    with pytest.raises(TraceError, match="cannot read"):
+        load_trace(str(tmp_path / "nope.json"))
+
+
+def test_non_json_file_is_refused(tmp_path):
+    path = tmp_path / "garbage.json"
+    path.write_bytes(b"\x00\x01 not json")
+    with pytest.raises(TraceError, match="cannot read"):
+        load_trace(str(path))
+
+
+# -- the store lifecycle -------------------------------------------------------
+
+
+def test_store_saves_sequences_loads_and_prunes(tmp_path):
+    store = TraceStore(str(tmp_path / "traces"))
+    assert store.latest() is None
+    base = TraceArtifact.from_jsonable(_valid_jsonable())
+    paths = []
+    for seed in (1, 2, 3, 4):
+        artifact = TraceArtifact(workload=base.workload, params=base.params,
+                                 seed=seed, frames=base.frames,
+                                 meta=base.meta)
+        paths.append(store.save(artifact))
+    assert store.sequence_numbers() == [1, 2, 3, 4]
+    seq, latest_path = store.latest()
+    assert seq == 4 and latest_path == paths[-1]
+    assert store.load(4).seed == 4
+    assert store.load(paths[0]).seed == 1
+
+    removed = store.prune(keep=2)
+    assert removed == paths[:2]
+    assert store.sequence_numbers() == [3, 4]
+    # Sequence numbering continues past pruned history.
+    store.save(base)
+    assert store.sequence_numbers() == [3, 4, 5]
+
+
+def test_store_prune_refuses_keep_zero(tmp_path):
+    store = TraceStore(str(tmp_path / "traces"))
+    with pytest.raises(TraceError, match="keep"):
+        store.prune(keep=0)
+
+
+def test_store_ignores_foreign_files(tmp_path):
+    directory = tmp_path / "traces"
+    store = TraceStore(str(directory))
+    (directory / "README.txt").write_text("not a trace")
+    (directory / "trace-abc.json").write_text("{}")
+    assert store.sequence_numbers() == []
+    assert store.latest() is None

@@ -1,0 +1,145 @@
+"""E21 — control-plane latency as concurrent debug sessions pile up.
+
+The debugger service (``repro.debugger.service``) promises that many
+attached sessions share one cluster without getting in each other's way.
+This experiment puts a number on "without getting in each other's way":
+against a real TCP :class:`DebugServer` fronting a threaded bank cluster,
+it measures
+
+* **attach latency** — wall-clock for one full ``connect → attach reply``
+  handshake while K sessions are already attached and idle (the new
+  arrival pays for the session-table insert under the table lock);
+* **fire-to-halt latency** — wall-clock from ``break-set`` on a live
+  cluster to ``wait-halt`` reporting the halt converged, with the same K
+  bystander sessions attached (each polling ``status``, so the cluster
+  lock is contended the whole time).
+
+The workload and predicate are fixed across K, so the spread between
+rows is control-plane overhead, not workload noise. Results land in
+``benchmarks/out/BENCH_E21.json``.
+"""
+
+import statistics
+import threading
+import time
+
+from bench_util import emit, once
+from repro.debugger import (
+    DebugClient,
+    DebugServer,
+    DebuggerService,
+    HeldTarget,
+    ThreadedSurface,
+)
+from repro.debugger.threaded_session import ThreadedDebugSession
+from repro.workloads import bank
+
+PARAMS = {"n": 3, "transfers": 100_000, "tick": 0.05}
+PREDICATE = "state(transfers_made>=8)@branch0"
+SESSION_COUNTS = (1, 8, 32)
+ATTACH_SAMPLES = 20
+
+
+def make_server() -> DebugServer:
+    """A TCP debug server over a held (not yet spawned) threaded bank."""
+
+    def factory() -> ThreadedSurface:
+        topo, processes = bank.build(**PARAMS)
+        session = ThreadedDebugSession(topo, processes, seed=3)
+        session.start()
+        return ThreadedSurface(session)
+
+    return DebugServer(DebuggerService(HeldTarget(factory)), port=0)
+
+
+def attach_latencies(port: int, samples: int):
+    """Mean/p95 seconds for a fresh connect+attach, repeated ``samples``×."""
+    seen = []
+    for index in range(samples):
+        client = DebugClient(port, label=f"probe-{index}")
+        started = time.perf_counter()
+        client.connect()
+        seen.append(time.perf_counter() - started)
+        client.close()
+    seen.sort()
+    return statistics.mean(seen), seen[int(len(seen) * 0.95) - 1]
+
+
+def fire_to_halt(port: int) -> float:
+    """Seconds from break-set on the live cluster to halt convergence."""
+    with DebugClient(port, label="driver") as driver:
+        started = time.perf_counter()
+        armed = driver.request("break-set", predicate=PREDICATE)
+        assert armed["state"] == "armed", armed
+        halted = driver.request("wait-halt", timeout=60)
+        elapsed = time.perf_counter() - started
+        assert halted["stopped"], halted
+        assert driver.request("status")["halted"], "halt did not converge"
+    return elapsed
+
+
+def scenario(k: int):
+    """One full measurement at K concurrent sessions; returns metrics."""
+    bystanders = []
+    with make_server() as server:
+        try:
+            for index in range(k):
+                client = DebugClient(server.port, label=f"idle-{index}")
+                client.connect()
+                bystanders.append(client)
+
+            attach_mean, attach_p95 = attach_latencies(
+                server.port, ATTACH_SAMPLES
+            )
+
+            # Spawn the cluster, then measure with the bystanders polling
+            # status the whole time (contending for the cluster lock).
+            assert bystanders[0].request("spawn")["spawned"]
+            stop_polling = []
+
+            def poll(client):
+                while not stop_polling:
+                    client.request("status")
+
+            pollers = [
+                threading.Thread(target=poll, args=(c,), daemon=True)
+                for c in bystanders
+            ]
+            for thread in pollers:
+                thread.start()
+            try:
+                halt_secs = fire_to_halt(server.port)
+            finally:
+                stop_polling.append(True)
+                for thread in pollers:
+                    thread.join(timeout=10.0)
+            assert server.service.session_count() == k
+        finally:
+            for client in bystanders:
+                client.close()
+            surface = server.service.target.surface()
+            if surface is not None:
+                surface.shutdown()
+    return attach_mean, attach_p95, halt_secs
+
+
+def test_e21_debug_service(benchmark):
+    rows = []
+    for k in SESSION_COUNTS:
+        attach_mean, attach_p95, halt_secs = scenario(k)
+        rows.append((
+            k,
+            f"{attach_mean * 1000:.2f}",
+            f"{attach_p95 * 1000:.2f}",
+            f"{halt_secs:.3f}",
+        ))
+    once(benchmark, scenario, SESSION_COUNTS[0])
+    emit(
+        "E21",
+        "E21 — debug control plane under concurrent sessions "
+        f"(threaded bank(3), tick {PARAMS['tick']}s, "
+        f"{ATTACH_SAMPLES} attach samples per row)",
+        ["sessions", "attach_mean_ms", "attach_p95_ms",
+         "break_set_to_halt_s"],
+        rows,
+    )

@@ -14,6 +14,14 @@ Distributed backend (real OS processes over TCP sockets)::
     python -m repro attach 7070 halt
     python -m repro attach 7070 shutdown
 
+Interactive debug control plane (long-lived sessions, deferred breakpoints)::
+
+    python -m repro serve token_ring n=4 port=0 debug_port=0   # + debug server
+    python -m repro serve token_ring n=4 port=0 debug_port=0 hold=true
+    python -m repro debug 7071 status                # one session, one command
+    python -m repro debug 7071 break-set predicate='enter(recv)@p1' -- wait-halt
+    python -m repro debug 7071 --script session.txt  # scripted session
+
 Schedule-exploration checker (model-check the theorems over interleavings)::
 
     python -m repro check --budget 500               # explore all scenarios
@@ -97,6 +105,10 @@ def main(argv: List[str] = None) -> int:
         from repro.distributed.control import attach_main
 
         return attach_main(argv[1:])
+    if argv and argv[0] == "debug":
+        from repro.debugger.remote import debug_main
+
+        return debug_main(argv[1:])
     if argv and argv[0] == "check":
         from repro.check.cli import check_main
 

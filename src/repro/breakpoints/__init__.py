@@ -8,6 +8,11 @@ from repro.breakpoints.detector import (
 )
 from repro.breakpoints.parser import parse_conjunctive, parse_predicate
 from repro.breakpoints.pathexpr import arm_path_expression, compile_path_expression
+from repro.breakpoints.registry import (
+    BreakpointRecord,
+    BreakpointRegistry,
+    BreakpointState,
+)
 from repro.breakpoints.predicates import (
     ConjunctivePredicate,
     DisjunctivePredicate,
@@ -30,6 +35,9 @@ from repro.breakpoints.scp import (
 
 __all__ = [
     "BreakpointCoordinator",
+    "BreakpointRecord",
+    "BreakpointRegistry",
+    "BreakpointState",
     "ConjunctivePredicate",
     "DisjunctivePredicate",
     "LinkedPredicate",

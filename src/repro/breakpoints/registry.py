@@ -1,0 +1,248 @@
+"""Deferred linked-predicate breakpoints: the pending → bound → armed →
+fired lifecycle.
+
+The paper arms a Linked Predicate against processes that already exist.
+An interactive debugger cannot assume that: the user sets a breakpoint,
+*then* spawns the cluster (or the cluster dies and a recovery incarnation
+replaces it). This registry keeps every breakpoint as a
+:class:`BreakpointRecord` walking a small state machine:
+
+``PENDING``
+    Parsed and validated syntactically, but not armed — the target
+    processes do not exist yet (no live session, or the session does not
+    know those names).
+``BOUND``
+    A live session exists and every process the predicate names is a
+    member. Binding is instantaneous — the record moves straight on to
+    arming — but it is a real transition: this is where a name typo
+    surfaces ("predicate names unknown processes").
+``ARMED``
+    Predicate markers have been issued (§3.6 Predicate-Marker-Sending
+    Rule); the session-level ``lp_id`` is recorded for clearing.
+``FIRED``
+    A :class:`~repro.debugger.commands.BreakpointHit` for our ``lp_id``
+    arrived — the predicate completed at some process.
+``CLEARED``
+    Explicitly removed. Legal from *any* live state, including
+    ``PENDING`` (clear-while-pending never touches a session) — a
+    cleared record is inert forever.
+
+Duplicate registration is idempotent: registering the same canonical
+predicate text with the same halt flag while a live (non-cleared,
+non-fired) record exists returns that record instead of arming twice.
+
+Re-arming (:meth:`BreakpointRegistry.rearm`) replays every armed record
+and retries every pending one against a *new* session surface — this is
+how breakpoints survive a recovery incarnation: the supervisor replaces
+the cluster, the registry re-issues the markers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Union
+
+from repro.breakpoints.parser import parse_predicate
+from repro.breakpoints.predicates import LinkedPredicate, SimplePredicate, as_linked
+from repro.util.errors import PredicateError
+
+
+class BreakpointState(str, Enum):
+    """Where one deferred breakpoint is in its lifecycle."""
+
+    PENDING = "pending"
+    BOUND = "bound"
+    ARMED = "armed"
+    FIRED = "fired"
+    CLEARED = "cleared"
+
+
+@dataclass
+class BreakpointRecord:
+    """One registered breakpoint and its lifecycle so far."""
+
+    bp_id: int
+    #: Canonical predicate text (``str(lp)``) — the idempotency key.
+    text: str
+    lp: LinkedPredicate
+    halt: bool
+    state: BreakpointState = BreakpointState.PENDING
+    #: Session-level linked-predicate id once armed (None while pending).
+    lp_id: Optional[int] = None
+    #: Every state this record has passed through, in order.
+    history: List[str] = field(default_factory=list)
+
+    def _move(self, state: BreakpointState) -> None:
+        self.state = state
+        self.history.append(state.value)
+
+    @property
+    def live(self) -> bool:
+        """True while the breakpoint can still fire or be re-armed."""
+        return self.state not in (BreakpointState.CLEARED, BreakpointState.FIRED)
+
+    def to_wire(self) -> Dict[str, object]:
+        """JSON-safe summary for ``break-list`` replies."""
+        return {
+            "bp_id": self.bp_id,
+            "predicate": self.text,
+            "halt": self.halt,
+            "state": self.state.value,
+            "lp_id": self.lp_id,
+            "history": list(self.history),
+        }
+
+
+class BreakpointRegistry:
+    """All breakpoints of one debug target, deferred or armed.
+
+    The registry never talks to the network itself — arming delegates to
+    a :class:`~repro.debugger.surface.SessionSurface` (or anything with
+    ``process_names`` / ``set_breakpoint`` / ``clear_breakpoint``), so the
+    same registry drives all three backends and survives the session it
+    armed on being replaced.
+    """
+
+    def __init__(self) -> None:
+        self._records: Dict[int, BreakpointRecord] = {}
+        self._next_id = 1
+
+    # -- registration -------------------------------------------------------
+
+    def register(
+        self,
+        predicate: Union[str, LinkedPredicate, SimplePredicate],
+        halt: bool = True,
+        surface: Optional[object] = None,
+    ) -> BreakpointRecord:
+        """Register a breakpoint, arming immediately when possible.
+
+        The predicate is parsed *eagerly* — a syntax error is the caller's
+        bug and surfaces now, even for a breakpoint that will stay pending
+        for an hour. With a live ``surface`` whose membership covers the
+        predicate's processes, the record binds and arms in one motion;
+        otherwise it parks as ``PENDING`` until :meth:`bind_pending`.
+        """
+        lp = (
+            parse_predicate(predicate)
+            if isinstance(predicate, str)
+            else as_linked(predicate)
+        )
+        text = str(lp)
+        for record in self._records.values():
+            if record.live and record.text == text and record.halt == halt:
+                return record  # idempotent duplicate
+        record = BreakpointRecord(
+            bp_id=self._next_id, text=text, lp=lp, halt=halt
+        )
+        record.history.append(BreakpointState.PENDING.value)
+        self._next_id += 1
+        self._records[record.bp_id] = record
+        if surface is not None:
+            self._try_bind(record, surface)
+        return record
+
+    def _try_bind(self, record: BreakpointRecord, surface: object) -> bool:
+        """Bind+arm one pending record if the surface knows its processes."""
+        known = set(surface.process_names())  # type: ignore[attr-defined]
+        if not record.lp.processes() <= known:
+            return False
+        record._move(BreakpointState.BOUND)
+        record.lp_id = surface.set_breakpoint(  # type: ignore[attr-defined]
+            record.lp, halt=record.halt
+        )
+        record._move(BreakpointState.ARMED)
+        return True
+
+    def bind_pending(self, surface: object) -> List[BreakpointRecord]:
+        """Arm every pending record the (newly spawned) surface can host.
+
+        Called right after a cluster spawns: this is the moment a deferred
+        breakpoint set *before its target process existed* becomes real
+        predicate markers on the wire. Records naming processes the
+        surface still does not know stay pending — not an error, they may
+        be meant for a different target."""
+        newly_armed = []
+        for record in self._records.values():
+            if record.state is BreakpointState.PENDING:
+                if self._try_bind(record, surface):
+                    newly_armed.append(record)
+        return newly_armed
+
+    def rearm(self, surface: object) -> List[BreakpointRecord]:
+        """Re-issue every armed breakpoint on a replacement surface.
+
+        A recovery incarnation is a new cluster: the markers armed on the
+        dead one died with it. Re-arming walks ``ARMED`` records through
+        a fresh bind/arm on the new surface (new ``lp_id``), and gives
+        ``PENDING`` records another chance to bind. Fired and cleared
+        records stay where they are — a completed predicate does not
+        resurrect."""
+        touched = []
+        for record in self._records.values():
+            if record.state is BreakpointState.ARMED:
+                record._move(BreakpointState.PENDING)
+            if record.state is BreakpointState.PENDING:
+                if self._try_bind(record, surface):
+                    touched.append(record)
+        return touched
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def clear(self, bp_id: int, surface: Optional[object] = None) -> BreakpointRecord:
+        """Clear one breakpoint in any live state.
+
+        Clearing a ``PENDING`` record is pure bookkeeping (nothing was
+        armed, nothing to disarm); clearing an ``ARMED`` one also disarms
+        the linked predicate on the surface so residual markers die."""
+        record = self._records.get(bp_id)
+        if record is None:
+            raise PredicateError(f"no breakpoint with id {bp_id}")
+        if record.state is BreakpointState.CLEARED:
+            return record  # idempotent
+        if record.state is BreakpointState.ARMED and surface is not None:
+            surface.clear_breakpoint(record.lp_id)  # type: ignore[attr-defined]
+        record._move(BreakpointState.CLEARED)
+        return record
+
+    def mark_fired(self, hits: List[object]) -> List[BreakpointRecord]:
+        """Fold observed BreakpointHits into the records: an armed record
+        whose ``lp_id`` matches a hit's marker moves to ``FIRED``."""
+        fired_ids = {
+            getattr(getattr(hit, "marker", None), "lp_id", None) for hit in hits
+        }
+        fired = []
+        for record in self._records.values():
+            if (
+                record.state is BreakpointState.ARMED
+                and record.lp_id in fired_ids
+            ):
+                record._move(BreakpointState.FIRED)
+                fired.append(record)
+        return fired
+
+    # -- views --------------------------------------------------------------
+
+    def get(self, bp_id: int) -> Optional[BreakpointRecord]:
+        """The record with ``bp_id``, or None."""
+        return self._records.get(bp_id)
+
+    def records(self) -> List[BreakpointRecord]:
+        """Every record, in registration order."""
+        return [self._records[k] for k in sorted(self._records)]
+
+    def pending(self) -> List[BreakpointRecord]:
+        """Records still waiting for their processes to exist."""
+        return [r for r in self.records() if r.state is BreakpointState.PENDING]
+
+    def armed(self) -> List[BreakpointRecord]:
+        """Records with live predicate markers out in the system."""
+        return [r for r in self.records() if r.state is BreakpointState.ARMED]
+
+    def to_wire(self) -> List[Dict[str, object]]:
+        """JSON-safe summaries of every record (``break-list``)."""
+        return [record.to_wire() for record in self.records()]
+
+
+__all__ = ["BreakpointState", "BreakpointRecord", "BreakpointRegistry"]

@@ -15,6 +15,8 @@ from repro.debugger.commands import (
     SatisfactionNotice,
     StateReport,
     StateRequest,
+    StepCommand,
+    StepReport,
     UnwatchCommand,
     WatchCommand,
 )
@@ -22,34 +24,60 @@ from repro.debugger.cli import DebuggerCLI
 from repro.debugger.edl import AbstractEvent, EDLRecognizer
 from repro.debugger.failure import HeartbeatMonitor, PartialHaltReport
 from repro.debugger.gather import GatherDetector, UnorderedDetection
+from repro.debugger.remote import DebugClient
 from repro.debugger.report import post_mortem
+from repro.debugger.service import (
+    DebugServer,
+    DebuggerService,
+    HeldTarget,
+    LiveTarget,
+)
 from repro.debugger.session import DebugSession, RunOutcome
+from repro.debugger.surface import (
+    DESSurface,
+    DistributedSurface,
+    SessionSurface,
+    ThreadedSurface,
+    surface_for,
+)
 from repro.debugger.threaded_session import ThreadedDebugSession
 
 __all__ = [
     "AbstractEvent",
     "BreakpointHit",
     "DEFAULT_DEBUGGER_NAME",
+    "DESSurface",
+    "DebugClient",
     "DebugClientAgent",
+    "DebugServer",
     "DebugSession",
     "DebuggerAgent",
     "DebuggerCLI",
     "DebuggerProcess",
+    "DebuggerService",
+    "DistributedSurface",
     "EDLRecognizer",
     "GatherDetector",
     "HaltNotification",
     "HeartbeatMonitor",
+    "HeldTarget",
+    "LiveTarget",
     "PartialHaltReport",
     "PingCommand",
     "PongNotice",
     "ResumeCommand",
     "RunOutcome",
     "SatisfactionNotice",
+    "SessionSurface",
     "StateReport",
     "StateRequest",
+    "StepCommand",
+    "StepReport",
     "ThreadedDebugSession",
+    "ThreadedSurface",
     "UnorderedDetection",
     "UnwatchCommand",
     "WatchCommand",
     "post_mortem",
+    "surface_for",
 ]

@@ -27,6 +27,8 @@ from repro.debugger.commands import (
     SatisfactionNotice,
     StateReport,
     StateRequest,
+    StepCommand,
+    StepReport,
     UnwatchCommand,
     WatchCommand,
 )
@@ -52,6 +54,8 @@ class DebuggerProcess(Process):
         self.timer_hooks: Dict[str, object] = {}
 
     def on_timer(self, ctx: object, name: str, payload: object) -> None:
+        """Dispatch a named timer to its registered hook (heartbeats,
+        watchdogs); unknown timers are ignored."""
         hook = self.timer_hooks.get(name)
         if hook is not None:
             hook(payload)  # type: ignore[operator]
@@ -68,6 +72,8 @@ class DebuggerAgent(ControlPlugin):
         self.halt_notifications: List[HaltNotification] = []
         self.breakpoint_hits: List[BreakpointHit] = []
         self.state_reports: Dict[int, StateReport] = {}
+        #: step_id -> StepReport for every answered single-step.
+        self.step_reports: Dict[int, StepReport] = {}
         self.unordered_detections: List[UnorderedDetection] = []
         #: ping_id -> PongNotice for every answered liveness probe.
         self.pongs: Dict[int, PongNotice] = {}
@@ -77,10 +83,13 @@ class DebuggerAgent(ControlPlugin):
         self._next_request_id = 1
         self._next_watch_id = 1
         self._next_ping_id = 1
+        self._next_step_id = 1
 
     # -- notification intake -------------------------------------------------
 
     def on_control(self, envelope: Envelope) -> None:
+        """File one incoming notification into the matching append-only
+        intake (halts, hits, state/step reports, pongs, satisfactions)."""
         notice = envelope.payload
         if isinstance(notice, HaltNotification):
             self.halt_notifications.append(notice)
@@ -88,6 +97,8 @@ class DebuggerAgent(ControlPlugin):
             self.breakpoint_hits.append(notice)
         elif isinstance(notice, StateReport):
             self.state_reports[notice.request_id] = notice
+        elif isinstance(notice, StepReport):
+            self.step_reports[notice.step_id] = notice
         elif isinstance(notice, PongNotice):
             self.pongs[notice.ping_id] = notice
             self.last_pong[notice.process] = self.controller.now
@@ -103,6 +114,7 @@ class DebuggerAgent(ControlPlugin):
     # -- commands -----------------------------------------------------------------
 
     def send_command(self, process: ProcessId, command: object) -> None:
+        """Send one debugger command on the direct d->process channel."""
         self.controller.send_control(
             ChannelId(self.controller.name, process),
             MessageKind.DEBUG_CONTROL,
@@ -110,12 +122,24 @@ class DebuggerAgent(ControlPlugin):
         )
 
     def request_state(self, process: ProcessId, include_channels: bool = True) -> int:
+        """Ask one process for a state report; returns the request id the
+        eventual :class:`StateReport` will carry."""
         request_id = self._next_request_id
         self._next_request_id += 1
         self.send_command(
             process, StateRequest(request_id=request_id, include_channels=include_channels)
         )
         return request_id
+
+    def send_step(self, process: ProcessId, channel: Optional[str] = None) -> int:
+        """Ask one halted process to deliver exactly one buffered message
+        (optionally restricted to ``channel``). Returns the step_id; the
+        answer lands in :attr:`step_reports` — always, even when there was
+        nothing to step."""
+        step_id = self._next_step_id
+        self._next_step_id += 1
+        self.send_command(process, StepCommand(step_id=step_id, channel=channel))
+        return step_id
 
     def send_ping(self, process: ProcessId) -> int:
         """Probe one process's liveness. Returns the ping_id; the answer
@@ -126,6 +150,7 @@ class DebuggerAgent(ControlPlugin):
         return ping_id
 
     def answered(self, ping_id: int) -> bool:
+        """True once the pong for ``ping_id`` arrived."""
         return ping_id in self.pongs
 
     # -- breakpoints (Predicate-Marker-Sending Rule, §3.6) ----------------------------
@@ -160,6 +185,7 @@ class DebuggerAgent(ControlPlugin):
         return watch_id
 
     def unwatch(self, watch_id: int) -> None:
+        """Tear down one conjunction watch at every involved process."""
         gatherer = self._gatherers.pop(watch_id, None)
         if gatherer is None:
             return
@@ -167,11 +193,13 @@ class DebuggerAgent(ControlPlugin):
             self.send_command(term.process, UnwatchCommand(watch_id=watch_id))
 
     def detections_for(self, watch_id: int) -> List[UnorderedDetection]:
+        """Every concurrent co-satisfaction one watch has gathered."""
         return [d for d in self.unordered_detections if d.watch_id == watch_id]
 
     # -- views ---------------------------------------------------------------------------
 
     def halted_processes(self) -> List[ProcessId]:
+        """Processes that have reported halting, in arrival order."""
         return [n.process for n in self.halt_notifications]
 
     def halting_order(self) -> List[HaltNotification]:
@@ -180,6 +208,7 @@ class DebuggerAgent(ControlPlugin):
         return list(self.halt_notifications)
 
     def latest_report(self, process: ProcessId) -> Optional[StateReport]:
+        """The most recent state report from ``process``, if any."""
         for report in reversed(list(self.state_reports.values())):
             if report.process == process:
                 return report

@@ -43,6 +43,7 @@ class DebuggerCLI:
             "halt": self._cmd_halt,
             "continue": self._cmd_continue,
             "resume": self._cmd_resume,
+            "step": self._cmd_step,
             "inspect": self._cmd_inspect,
             "processes": self._cmd_processes,
             "order": self._cmd_order,
@@ -113,6 +114,7 @@ class DebuggerCLI:
             "run [t]             run until everything halts (or until time t)",
             "halt                initiate the Halting Algorithm from the debugger",
             "resume              un-freeze all halted processes",
+            "step <proc> [chan]  deliver one buffered message, stay halted",
             "continue            resume, then run",
             "inspect <proc>      fetch one process's state via the protocol",
             "processes           status of every process",
@@ -207,6 +209,21 @@ class DebuggerCLI:
     def _cmd_resume(self, args: List[str]) -> str:
         self.session.resume()
         return "resumed"
+
+    def _cmd_step(self, args: List[str]) -> str:
+        if not args or len(args) > 2:
+            return "usage: step <process> [channel]"
+        name = args[0]
+        if name not in self.session.system.controllers:
+            return f"unknown process {name!r}"
+        channel = args[1] if len(args) > 1 else None
+        report = self.session.step(name, channel=channel)
+        if not report.delivered:
+            return f"{name}: no buffered message to step"
+        return (
+            f"stepped {name}: delivered on {report.channel} "
+            f"({report.detail}); {report.remaining} message(s) still buffered"
+        )
 
     def _cmd_continue(self, args: List[str]) -> str:
         self.session.resume()

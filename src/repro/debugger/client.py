@@ -24,6 +24,8 @@ from repro.debugger.commands import (
     SatisfactionNotice,
     StateReport,
     StateRequest,
+    StepCommand,
+    StepReport,
     UnwatchCommand,
     WatchCommand,
 )
@@ -49,6 +51,7 @@ class DebugClientAgent(ControlPlugin):
     # -- command dispatch ------------------------------------------------------
 
     def on_control(self, envelope: Envelope) -> None:
+        """Execute one debugger command (works even while halted)."""
         command = envelope.payload
         if isinstance(command, ResumeCommand):
             if self.controller.halted:
@@ -64,6 +67,8 @@ class DebugClientAgent(ControlPlugin):
             )
         elif isinstance(command, UnwatchCommand):
             self.watches.pop(command.watch_id, None)
+        elif isinstance(command, StepCommand):
+            self._step(command)
         elif isinstance(command, PingCommand):
             # Answered even while halted (control traffic bypasses halt);
             # a crashed host never gets here — its silence is the signal.
@@ -79,6 +84,35 @@ class DebugClientAgent(ControlPlugin):
             raise ReproError(
                 f"{self.controller.name}: unknown debugger command {command!r}"
             )
+
+    def _step(self, command: StepCommand) -> None:
+        """Execute one :class:`StepCommand` and always answer with a
+        :class:`StepReport` — a running (non-halted) process or an empty
+        halt buffer reports ``delivered=False`` rather than staying mute,
+        so the debugger never blocks on a step that cannot happen."""
+        delivered = None
+        if self.controller.halted:
+            delivered = self.controller.step_one(channel=command.channel)
+        remaining = sum(
+            len(bucket) for bucket in self.controller.halt_buffers.values()
+        )
+        detail = ""
+        if delivered is not None:
+            message = delivered.payload
+            tag = getattr(message, "tag", None)
+            payload = getattr(message, "payload", message)
+            detail = f"{tag or type(payload).__name__}: {payload!r}"[:200]
+        self.notify(
+            StepReport(
+                step_id=command.step_id,
+                process=self.controller.name,
+                delivered=delivered is not None,
+                channel="" if delivered is None else str(delivered.channel),
+                detail=detail,
+                remaining=remaining,
+                time=self.controller.now,
+            )
+        )
 
     def _report_state(self, request: StateRequest) -> None:
         snapshot = (
@@ -117,6 +151,7 @@ class DebugClientAgent(ControlPlugin):
         )
 
     def notify_breakpoint(self, marker: PredicateMarker) -> None:
+        """Report a completed linked predicate to the debugger."""
         self.notify(
             BreakpointHit(
                 process=self.controller.name,
@@ -128,6 +163,8 @@ class DebugClientAgent(ControlPlugin):
     # -- plugin hooks --------------------------------------------------------------
 
     def on_halted(self) -> None:
+        """Announce this process's halt, carrying the §2.2.4 marker path
+        recorded in the halted snapshot."""
         snapshot = self.controller.halted_snapshot
         assert snapshot is not None
         self.notify(
@@ -140,6 +177,8 @@ class DebugClientAgent(ControlPlugin):
         )
 
     def on_local_event(self, event: Event) -> None:
+        """Test every installed watch term against one local event and
+        notify the debugger of matches (gather detector, §3.5)."""
         if not self.watches:
             return
         for watch_id, terms in self.watches.items():

@@ -53,6 +53,23 @@ class UnwatchCommand:
 
 
 @dataclass(frozen=True)
+class StepCommand:
+    """Deliver exactly one buffered user message while staying halted.
+
+    Single-stepping a frozen distributed program means releasing one
+    controlled delivery: the process consumes the head of one halt buffer
+    (the oldest buffered arrival, or the oldest on ``channel`` when named),
+    executes its handler, and freezes again with a re-captured snapshot.
+    The reply is a :class:`StepReport` either way — a process with nothing
+    to step reports ``delivered=False`` rather than staying silent."""
+
+    step_id: int
+    #: ``str(ChannelId)`` restricting the step to one incoming channel;
+    #: ``None`` steps the oldest buffered arrival across all channels.
+    channel: Any = None
+
+
+@dataclass(frozen=True)
 class PingCommand:
     """Liveness probe. Clients answer with :class:`PongNotice` immediately,
     even while halted — control traffic bypasses the halt (§2.2.3: "user
@@ -109,6 +126,24 @@ class PongNotice:
     ping_id: int
     process: ProcessId
     halted: bool
+    time: float
+
+
+@dataclass(frozen=True)
+class StepReport:
+    """Reply to a :class:`StepCommand` — what the single step delivered."""
+
+    step_id: int
+    process: ProcessId
+    #: False when there was nothing to step (no buffered message matched,
+    #: or the process was not halted at all).
+    delivered: bool
+    #: str(channel) of the delivered envelope, "" when nothing stepped.
+    channel: str
+    #: Human-oriented payload summary ("" when nothing stepped).
+    detail: str
+    #: Messages still buffered across all halt buffers after the step.
+    remaining: int
     time: float
 
 

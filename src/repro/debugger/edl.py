@@ -31,6 +31,7 @@ class AbstractEvent:
 
     @property
     def completed_at(self) -> float:
+        """Virtual time of the final stage hit."""
         return self.trail[-1].time if self.trail else 0.0
 
     def __str__(self) -> str:
@@ -95,14 +96,18 @@ class EDLRecognizer:
         return fresh
 
     def occurrences_of(self, name: str) -> List[AbstractEvent]:
+        """Every recorded occurrence of one abstract event, in order."""
         return [o for o in self.occurrences if o.name == name]
 
     def count(self, name: str) -> int:
+        """How many times the named abstract event has occurred."""
         return self._counts.get(name, 0)
 
     def definitions(self) -> Dict[str, str]:
+        """name -> predicate text for every defined abstract event."""
         return {name: str(lp) for name, lp in self._definitions.items()}
 
     def last_occurrence(self, name: str) -> Optional[AbstractEvent]:
+        """The most recent occurrence of one abstract event, if any."""
         found = self.occurrences_of(name)
         return found[-1] if found else None

@@ -60,9 +60,11 @@ class PartialHaltReport:
 
     @property
     def is_partial(self) -> bool:
+        """True when at least one process never halted (it was dead)."""
         return not self.complete
 
     def describe(self) -> str:
+        """One-paragraph human summary of the halt outcome."""
         if self.complete:
             return (
                 f"halt complete at t={self.time:.3f} "
@@ -104,6 +106,7 @@ class HeartbeatMonitor:
         self.pings_sent = 0
 
     def start(self, now: float) -> None:
+        """Begin the watch: every process counts as seen right now."""
         self.started_at = now
         for process in self.processes:
             self.last_seen.setdefault(process, now)
@@ -127,6 +130,7 @@ class HeartbeatMonitor:
         ]
 
     def alive(self, now: float) -> List[ProcessId]:
+        """Complement of :meth:`suspected`."""
         suspects = set(self.suspected(now))
         return [p for p in self.processes if p not in suspects]
 

@@ -40,6 +40,7 @@ class UnorderedDetection:
 
     @property
     def last_event_time(self) -> float:
+        """Virtual time of the latest satisfying event."""
         return max(hit.time for hit in self.hits)
 
     @property

@@ -1,0 +1,271 @@
+"""Client side of the debugger service: library and ``repro debug`` CLI.
+
+:class:`DebugClient` is deliberately thin and obedient: it dials, sends
+``attach``, and from then on does exactly what the attach reply dictated —
+uses the session id the server assigned, refuses commands outside the
+server's vocabulary, and knows the idle timeout it must ping within. The
+server owns the protocol; the client owns nothing but a socket.
+
+``repro debug <port> <command> [key=value ...]`` is the scripted face of
+the same client: one attach, the listed commands in order, one JSON reply
+per line, detach, exit nonzero if any reply had ``ok: false``. With
+``--script FILE`` the commands come one per line from a file — which is
+how the CI smoke drives two concurrent sessions deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import shlex
+import socket
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.distributed import wire
+from repro.util.errors import ReproError, WireError
+
+DEBUG_USAGE = """\
+usage: python -m repro debug <port> [command [key=value ...]] ...
+       python -m repro debug <port> --script FILE
+
+Attaches one session to a debugger service (repro serve ... debug_port=N)
+and runs commands against it. Each command is an op name followed by
+key=value fields; commands are separated by '--'. Examples:
+
+  python -m repro debug 7071 status
+  python -m repro debug 7071 break-set predicate='enter(recv)@p1' -- wait-halt
+  python -m repro debug 7071 --script steps.txt
+
+Options (before the first command):
+  retries=N   connection attempts (default 5, seeded backoff)
+  timeout=S   per-request socket timeout in seconds (default 60)
+  seed=N      pins the backoff jitter schedule (default 0)
+
+Run 'python -m repro debug <port> help' for the server's command table.
+"""
+
+
+class DebugClient:
+    """One attach session against a :class:`~repro.debugger.service.DebugServer`."""
+
+    def __init__(
+        self,
+        port: int,
+        host: str = "127.0.0.1",
+        label: str = "",
+        retries: int = 5,
+        timeout: float = 60.0,
+        seed: int = 0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.label = label
+        self.retries = retries
+        self.timeout = timeout
+        self.seed = seed
+        self._sock: Optional[socket.socket] = None
+        #: Assigned by the server at attach; everything below is dictated.
+        self.session: Optional[str] = None
+        self.server: Dict[str, Any] = {}
+        self.commands: List[str] = []
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def connect(self) -> Dict[str, Any]:
+        """Dial (seeded backoff), attach, and obey the reply. Returns the
+        raw attach reply."""
+        from repro.distributed.transport import Backoff
+
+        backoff = Backoff(
+            seed=f"{self.seed}|debug|{self.port}",
+            base=0.1,
+            cap=2.0,
+            retries=max(0, self.retries - 1),
+        )
+        sock: Optional[socket.socket] = None
+        while sock is None:
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=5.0
+                )
+            except OSError as exc:
+                if backoff.exhausted:
+                    raise ReproError(
+                        f"cannot connect to {self.host}:{self.port} "
+                        f"after {self.retries} attempts: {exc}"
+                    ) from exc
+                time.sleep(backoff.next_delay())
+        sock.settimeout(self.timeout)
+        self._sock = sock
+        reply = self._roundtrip({"op": "attach", "label": self.label})
+        if not reply.get("ok"):
+            self.close()
+            raise ReproError(f"attach refused: {reply.get('error')}")
+        self.session = reply["session"]
+        self.server = dict(reply.get("server", {}))
+        self.commands = list(reply.get("commands", []))
+        return reply
+
+    def close(self) -> None:
+        """Detach (best-effort) and drop the connection."""
+        if self._sock is None:
+            return
+        if self.session is not None:
+            try:
+                self._roundtrip({"op": "detach", "session": self.session})
+            except (ReproError, WireError, OSError):
+                pass  # the server reaps on disconnect anyway
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._sock = None
+        self.session = None
+
+    def __enter__(self) -> "DebugClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- requests -----------------------------------------------------------
+
+    def _roundtrip(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        if self._sock is None:
+            raise ReproError("not connected; call connect() first")
+        wire.send_frame(self._sock, frame)
+        return wire.recv_frame(self._sock)
+
+    def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Send one command under this client's session id."""
+        if self.session is None:
+            raise ReproError("not attached; call connect() first")
+        if self.commands and op not in self.commands:
+            # Server-dictated behavior: the vocabulary came from attach.
+            raise ReproError(
+                f"server did not offer command {op!r}; it offered "
+                f"{', '.join(self.commands)}"
+            )
+        frame = {"op": op, "session": self.session, **fields}
+        return self._roundtrip(frame)
+
+    def ping(self) -> Dict[str, Any]:
+        """Keep-alive within the server-dictated idle timeout."""
+        return self.request("ping")
+
+
+# -- the `repro debug` CLI -----------------------------------------------------
+
+
+def _parse_command(words: List[str]) -> Dict[str, Any]:
+    """``["break-set", "predicate=...", "halt=true"]`` -> request fields."""
+    from repro.__main__ import parse_value
+
+    if not words:
+        raise ValueError("empty command")
+    fields: Dict[str, Any] = {"op": words[0]}
+    for word in words[1:]:
+        key, sep, value = word.partition("=")
+        if not sep:
+            raise ValueError(
+                f"command fields must be key=value, got {word!r}"
+            )
+        fields[key] = parse_value(value)
+    return fields
+
+
+def _split_commands(args: List[str]) -> List[List[str]]:
+    """Split argv on standalone ``--`` separators into command word lists."""
+    commands: List[List[str]] = [[]]
+    for arg in args:
+        if arg == "--":
+            commands.append([])
+        else:
+            commands[-1].append(arg)
+    return [command for command in commands if command]
+
+
+def debug_main(argv: List[str]) -> int:
+    """Entry point of ``python -m repro debug``."""
+    if not argv or argv[0] in ("-h", "--help"):
+        print(DEBUG_USAGE)
+        return 0 if argv and argv[0] in ("-h", "--help") else 2
+    try:
+        port = int(argv[0])
+    except ValueError:
+        print(f"repro debug: not a port number: {argv[0]!r}", file=sys.stderr)
+        return 2
+    rest = argv[1:]
+    options: Dict[str, str] = {}
+    while rest and "=" in rest[0] and rest[0].split("=", 1)[0] in (
+        "retries", "timeout", "seed", "label"
+    ):
+        key, value = rest.pop(0).split("=", 1)
+        options[key] = value
+    script: Optional[str] = None
+    if rest[:1] == ["--script"]:
+        if len(rest) < 2:
+            print("repro debug: --script requires a file", file=sys.stderr)
+            return 2
+        script = rest[1]
+        rest = rest[2:]
+    try:
+        retries = int(options.get("retries", 5))
+        timeout = float(options.get("timeout", 60.0))
+        seed = int(options.get("seed", 0))
+    except ValueError as exc:
+        print(f"repro debug: bad option value: {exc}", file=sys.stderr)
+        return 2
+
+    commands: List[Dict[str, Any]] = []
+    try:
+        if script is not None:
+            with open(script, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    words = shlex.split(line, comments=True)
+                    if words:
+                        commands.append(_parse_command(words))
+        for words in _split_commands(rest):
+            commands.append(_parse_command(words))
+    except (OSError, ValueError) as exc:
+        print(f"repro debug: {exc}", file=sys.stderr)
+        return 2
+    if not commands:
+        commands = [{"op": "status"}]
+
+    client = DebugClient(
+        port,
+        label=str(options.get("label", "cli")),
+        retries=retries,
+        timeout=timeout,
+        seed=seed,
+    )
+    try:
+        client.connect()
+    except ReproError as exc:
+        print(f"repro debug: {exc}", file=sys.stderr)
+        return 2
+    all_ok = True
+    try:
+        for fields in commands:
+            op = fields.pop("op")
+            try:
+                reply = client.request(op, **fields)
+            except (ReproError, WireError, OSError) as exc:
+                print(f"repro debug: {op} failed: {exc}", file=sys.stderr)
+                return 2
+            print(json.dumps(reply, sort_keys=True, default=str))
+            sys.stdout.flush()
+            all_ok = all_ok and bool(reply.get("ok"))
+            if op == "shutdown":
+                # The server ends the conversation after this reply.
+                client.session = None
+                break
+    finally:
+        client.close()
+    return 0 if all_ok else 1
+
+
+__all__ = ["DebugClient", "debug_main", "DEBUG_USAGE"]

@@ -1,0 +1,713 @@
+"""The interactive debugger service: many sessions, one cluster.
+
+This is ``repro attach`` grown into a control *plane*. One
+:class:`DebuggerService` owns one debug target (a live session behind a
+:class:`~repro.debugger.surface.SessionSurface`, or a held one that spawns
+on command) and serves any number of concurrent attach sessions over a
+request/response JSON protocol — length-prefixed frames via
+:mod:`repro.distributed.wire`, the exact framing the cluster itself uses.
+
+Protocol shape (server-dictated client behavior): every request is one
+JSON object with an ``op``; every reply is one JSON object with ``ok``.
+The ``attach`` reply tells the client everything it must obey — its
+session id, the protocol version, the idle timeout it must ping within,
+and the command vocabulary. Clients never guess; they do what the attach
+frame says (the cideldill/morgul lifecycle).
+
+Contracts the conformance suite pins down:
+
+* :meth:`DebuggerService.handle` **never raises** — malformed frames,
+  unknown commands, and stale session ids all get one-line error replies.
+* Sessions are cheap views: two sessions share every observation (a
+  resume by A is visible to B), and detaching one never affects another.
+* One halt generation resumes **once** — the second session to try gets a
+  stale-generation error instead of racing the first.
+* Abandoned sessions are reaped: on client disconnect (the server calls
+  :meth:`drop_connection`) and by idle TTL as a backstop, so the session
+  table cannot grow without bound.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.breakpoints.registry import BreakpointRegistry
+from repro.debugger.surface import SessionSurface
+from repro.distributed import wire
+from repro.util.errors import (
+    PredicateError,
+    ReproError,
+    SurvivorsOnlyError,
+    WireClosed,
+    WireError,
+)
+
+PROTOCOL_VERSION = 1
+
+#: op -> one-line help. This is the command table — it is also the
+#: vocabulary the ``attach`` reply dictates to clients, and the table
+#: docs/DEBUGGER.md renders.
+COMMANDS: Dict[str, str] = {
+    "attach": "open a session; reply dictates session id, timeout, commands",
+    "ping": "keep a session alive (clients ping within the idle timeout)",
+    "detach": "close this session (never touches other sessions)",
+    "sessions": "list every attached session",
+    "spawn": "start a held cluster (binds pending breakpoints)",
+    "status": "backend, membership, liveness, halted set, generation",
+    "break-set": "register a breakpoint; defers if the target is not up",
+    "break-clear": "clear a breakpoint in any state, pending included",
+    "break-list": "every breakpoint record with its lifecycle state",
+    "halt": "initiate the Halting Algorithm (watchdog-bounded)",
+    "wait-halt": "block until a breakpoint halt converges",
+    "resume": "resume the halted generation (each generation resumes once)",
+    "step": "deliver exactly one buffered message at a halted process",
+    "inspect": "one process's state via the control protocol",
+    "state": "the consistent global state S_h",
+    "order": "the §2.2.4 halting order and marker paths",
+    "hits": "breakpoint completions observed so far",
+    "kill": "SIGKILL one member (distributed backend only)",
+    "shutdown": "stop the cluster and the server",
+    "help": "this table",
+}
+
+
+def _one_line(exc: BaseException) -> str:
+    """Collapse any exception message to a single line for error replies."""
+    return " ".join(f"{type(exc).__name__}: {exc}".split())
+
+
+# -- debug targets -------------------------------------------------------------
+
+
+class DebugTarget:
+    """What the service debugs: a surface, possibly not spawned yet."""
+
+    def surface(self) -> Optional[SessionSurface]:
+        """The live surface, or None before spawn."""
+        raise NotImplementedError
+
+    @property
+    def spawned(self) -> bool:
+        """True once the debugged program is running."""
+        return self.surface() is not None
+
+    def spawn(self) -> SessionSurface:
+        """Start the program (idempotent); returns the live surface."""
+        raise NotImplementedError
+
+
+class LiveTarget(DebugTarget):
+    """A target that is already running when the service starts."""
+
+    def __init__(self, surface: SessionSurface) -> None:
+        self._surface = surface
+
+    def surface(self) -> Optional[SessionSurface]:
+        return self._surface
+
+    def spawn(self) -> SessionSurface:
+        return self._surface
+
+
+class HeldTarget(DebugTarget):
+    """A target built on demand — the deferred-breakpoint configuration.
+
+    ``factory`` must return a *started* surface. Until ``spawn`` runs,
+    the target has no processes, so breakpoints registered against it
+    park as PENDING; spawn is the moment they bind and arm.
+    """
+
+    def __init__(self, factory: Callable[[], SessionSurface]) -> None:
+        self._factory = factory
+        self._surface: Optional[SessionSurface] = None
+
+    def surface(self) -> Optional[SessionSurface]:
+        return self._surface
+
+    def spawn(self) -> SessionSurface:
+        if self._surface is None:
+            self._surface = self._factory()
+        return self._surface
+
+
+# -- the service ---------------------------------------------------------------
+
+
+@dataclass
+class SessionHandle:
+    """One attached debug session (a row in the session table)."""
+
+    session_id: str
+    label: str
+    created: float
+    last_seen: float
+    #: Server-connection id that owns this session (None for in-process
+    #: callers); disconnecting that connection reaps the session.
+    conn_id: Optional[int] = None
+    commands: int = 0
+
+    def to_wire(self, now: float) -> Dict[str, object]:
+        """JSON-safe row for ``sessions`` replies."""
+        return {
+            "session": self.session_id,
+            "label": self.label,
+            "age": round(now - self.created, 3),
+            "idle": round(now - self.last_seen, 3),
+            "commands": self.commands,
+        }
+
+
+class DebuggerService:
+    """Dispatches debug-protocol frames against one target (see module
+    docstring for the protocol contracts)."""
+
+    def __init__(
+        self,
+        target: DebugTarget,
+        idle_timeout: float = 60.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.target = target
+        self.idle_timeout = idle_timeout
+        self._clock = clock
+        #: Guards the session table and breakpoint registry (fast ops).
+        self._table_lock = threading.RLock()
+        #: Serializes cluster-touching commands (halt/resume/step/...).
+        self._cluster_lock = threading.RLock()
+        self._sessions: Dict[str, SessionHandle] = {}
+        self._next_session = 1
+        self.registry = BreakpointRegistry()
+        #: generation -> session id that resumed it (the double-resume guard).
+        self._resumed: Dict[int, str] = {}
+        #: Sessions reaped so far, by reason (regression-test observable).
+        self.reaped: Dict[str, int] = {"disconnect": 0, "idle": 0}
+        self.shutdown_requested = threading.Event()
+
+    # -- session table ------------------------------------------------------
+
+    def _attach(self, frame: Dict[str, Any], conn_id: Optional[int]) -> Dict[str, Any]:
+        now = self._clock()
+        with self._table_lock:
+            session_id = f"s{self._next_session}"
+            self._next_session += 1
+            handle = SessionHandle(
+                session_id=session_id,
+                label=str(frame.get("label", "")),
+                created=now,
+                last_seen=now,
+                conn_id=conn_id,
+            )
+            self._sessions[session_id] = handle
+        surface = self.target.surface()
+        return {
+            "ok": True,
+            "session": session_id,
+            "protocol": PROTOCOL_VERSION,
+            # Server-dictated client behavior: everything the client must
+            # obey is in this object, nothing is left to convention.
+            "server": {
+                "idle_timeout": self.idle_timeout,
+                "backend": surface.backend if surface else "held",
+                "spawned": self.target.spawned,
+                "processes": (
+                    sorted(surface.process_names()) if surface else []
+                ),
+            },
+            "commands": sorted(COMMANDS),
+        }
+
+    def _session(self, frame: Dict[str, Any]) -> SessionHandle:
+        session_id = frame.get("session")
+        if not isinstance(session_id, str) or not session_id:
+            raise ReproError("missing session id; attach first")
+        with self._table_lock:
+            handle = self._sessions.get(session_id)
+            if handle is None:
+                raise ReproError(
+                    f"unknown or expired session {session_id!r}; attach again"
+                )
+            handle.last_seen = self._clock()
+            handle.commands += 1
+            return handle
+
+    def drop_connection(self, conn_id: int) -> List[str]:
+        """Reap every session owned by a disconnected server connection.
+
+        This is the stale-session fix: a client that vanishes mid-protocol
+        (crash, Ctrl-C, network cut) does not leave its session rows
+        behind — the server calls this as the connection closes."""
+        with self._table_lock:
+            stale = [
+                sid for sid, handle in self._sessions.items()
+                if handle.conn_id == conn_id
+            ]
+            for sid in stale:
+                del self._sessions[sid]
+            self.reaped["disconnect"] += len(stale)
+            return stale
+
+    def reap_idle(self) -> List[str]:
+        """TTL backstop: drop sessions silent past the idle timeout.
+
+        Covers clients that keep their TCP connection open but stop
+        talking (wedged script, suspended laptop) — without this the
+        table grows monotonically under session churn."""
+        now = self._clock()
+        with self._table_lock:
+            stale = [
+                sid for sid, handle in self._sessions.items()
+                if now - handle.last_seen > self.idle_timeout
+            ]
+            for sid in stale:
+                del self._sessions[sid]
+            self.reaped["idle"] += len(stale)
+            return stale
+
+    def session_count(self) -> int:
+        """Live sessions right now."""
+        with self._table_lock:
+            return len(self._sessions)
+
+    # -- dispatch -----------------------------------------------------------
+
+    def handle(
+        self, frame: Any, conn_id: Optional[int] = None
+    ) -> Dict[str, Any]:
+        """Execute one request frame. Never raises; always returns one
+        reply object, errors as ``{"ok": false, "error": "<one line>"}``."""
+        self.reap_idle()
+        try:
+            if not isinstance(frame, dict):
+                raise ReproError(
+                    f"request must be a JSON object, got {type(frame).__name__}"
+                )
+            op = frame.get("op")
+            if not isinstance(op, str):
+                raise ReproError("request has no 'op' field")
+            return self._dispatch(op, frame, conn_id)
+        except ReproError as exc:
+            return {"ok": False, "error": _one_line(exc)}
+        except Exception as exc:  # defensive: the server must keep serving
+            return {"ok": False, "error": _one_line(exc)}
+
+    def _require_surface(self) -> SessionSurface:
+        surface = self.target.surface()
+        if surface is None:
+            raise ReproError("cluster not spawned; run the spawn command first")
+        return surface
+
+    def _dispatch(
+        self, op: str, frame: Dict[str, Any], conn_id: Optional[int]
+    ) -> Dict[str, Any]:
+        if op == "help":
+            return {"ok": True, "commands": dict(COMMANDS)}
+        if op == "attach":
+            return self._attach(frame, conn_id)
+        if op == "sessions":
+            now = self._clock()
+            with self._table_lock:
+                rows = [h.to_wire(now) for h in self._sessions.values()]
+            return {"ok": True, "sessions": rows}
+        if op not in COMMANDS:
+            raise ReproError(f"unknown command {op!r}; see the help command")
+
+        handle = self._session(frame)
+        if op == "ping":
+            return {"ok": True, "session": handle.session_id, "pong": True}
+        if op == "detach":
+            with self._table_lock:
+                self._sessions.pop(handle.session_id, None)
+            return {"ok": True, "detached": handle.session_id}
+        if op == "spawn":
+            return self._spawn()
+        if op == "status":
+            return self._status()
+        if op == "break-set":
+            return self._break_set(frame)
+        if op == "break-clear":
+            return self._break_clear(frame)
+        if op == "break-list":
+            return self._break_list()
+        if op == "halt":
+            surface = self._require_surface()
+            with self._cluster_lock:
+                report = surface.halt(timeout=float(frame.get("timeout", 10.0)))
+            return {
+                "ok": True,
+                "generation": report.generation,
+                "halted": list(report.halted),
+                "dead": list(report.dead),
+                "complete": report.complete,
+            }
+        if op == "wait-halt":
+            return self._wait_halt(frame)
+        if op == "resume":
+            return self._resume(frame, handle)
+        if op == "step":
+            return self._step(frame)
+        if op == "inspect":
+            surface = self._require_surface()
+            process = frame.get("process")
+            if not process:
+                raise ReproError("inspect requires a process name")
+            with self._cluster_lock:
+                state = surface.inspect(process)
+            return {"ok": True, "process": process, "state": state}
+        if op == "state":
+            surface = self._require_surface()
+            with self._cluster_lock:
+                state = surface.global_state(
+                    allow_partial=bool(frame.get("allow_partial", False))
+                )
+            return {
+                "ok": True,
+                "generation": state.generation,
+                "processes": sorted(state.processes),
+                "pending_messages": state.total_pending_messages(),
+                "halt_order": list(state.meta.get("halt_order", [])),
+                "summary": state.describe(),
+            }
+        if op == "order":
+            surface = self._require_surface()
+            return {
+                "ok": True,
+                "order": surface.halting_order(),
+                "paths": {
+                    process: list(path)
+                    for process, path in surface.halt_paths().items()
+                },
+            }
+        if op == "hits":
+            return self._hits()
+        if op == "kill":
+            surface = self._require_surface()
+            process = frame.get("process")
+            if not process:
+                raise ReproError("kill requires a process name")
+            with self._cluster_lock:
+                surface.kill(process)
+            return {"ok": True, "killed": process}
+        if op == "shutdown":
+            self.shutdown_requested.set()
+            surface = self.target.surface()
+            if surface is not None:
+                with self._cluster_lock:
+                    surface.shutdown()
+            return {"ok": True, "stopping": True}
+        raise ReproError(f"unknown command {op!r}; see the help command")
+
+    # -- command bodies -----------------------------------------------------
+
+    def _spawn(self) -> Dict[str, Any]:
+        already = self.target.spawned
+        with self._cluster_lock:
+            surface = self.target.spawn()
+            with self._table_lock:
+                armed = self.registry.bind_pending(surface)
+        return {
+            "ok": True,
+            "spawned": True,
+            "already": already,
+            "backend": surface.backend,
+            "processes": sorted(surface.process_names()),
+            "armed": [record.to_wire() for record in armed],
+        }
+
+    def _status(self) -> Dict[str, Any]:
+        surface = self.target.surface()
+        with self._table_lock:
+            breakpoints = len(self.registry.records())
+            sessions = len(self._sessions)
+        if surface is None:
+            return {
+                "ok": True,
+                "backend": "held",
+                "spawned": False,
+                "breakpoints": breakpoints,
+                "sessions": sessions,
+            }
+        return {
+            "ok": True,
+            "backend": surface.backend,
+            "spawned": True,
+            "processes": sorted(surface.process_names()),
+            "alive": sorted(surface.alive()),
+            "halted": sorted(surface.halted_names()),
+            "generation": surface.current_generation(),
+            "breakpoints": breakpoints,
+            "sessions": sessions,
+        }
+
+    def _break_set(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        predicate = frame.get("predicate")
+        if not isinstance(predicate, str) or not predicate:
+            raise ReproError("break-set requires a predicate string")
+        halt = bool(frame.get("halt", True))
+        surface = self.target.surface()
+        try:
+            # Lock order is always cluster -> table (matches spawn/resume).
+            with self._cluster_lock, self._table_lock:
+                record = self.registry.register(
+                    predicate, halt=halt, surface=surface
+                )
+        except PredicateError as exc:
+            raise ReproError(str(exc)) from exc
+        return {"ok": True, **record.to_wire()}
+
+    def _break_clear(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        bp_id = frame.get("bp_id")
+        if not isinstance(bp_id, int):
+            raise ReproError("break-clear requires an integer bp_id")
+        with self._cluster_lock, self._table_lock:
+            record = self.registry.clear(bp_id, surface=self.target.surface())
+        return {"ok": True, **record.to_wire()}
+
+    def _break_list(self) -> Dict[str, Any]:
+        surface = self.target.surface()
+        with self._table_lock:
+            if surface is not None:
+                self.registry.mark_fired(surface.breakpoint_hits())
+            return {"ok": True, "breakpoints": self.registry.to_wire()}
+
+    def _wait_halt(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        surface = self._require_surface()
+        timeout = float(frame.get("timeout", 30.0))
+        if surface.drives_clock:
+            # The DES advances only when driven; driving must be exclusive.
+            with self._cluster_lock:
+                stopped = surface.wait_halt(timeout=timeout)
+        else:
+            # Threaded/distributed waits only poll append-only notification
+            # state — other sessions' commands proceed meanwhile (a resume
+            # from session B can be what session A is waiting through).
+            stopped = surface.wait_halt(timeout=timeout)
+        with self._table_lock:
+            fired = self.registry.mark_fired(surface.breakpoint_hits())
+        return {
+            "ok": True,
+            "stopped": stopped,
+            "generation": surface.current_generation(),
+            "halted": sorted(surface.halted_names()),
+            "fired": [record.to_wire() for record in fired],
+        }
+
+    def _resume(
+        self, frame: Dict[str, Any], handle: SessionHandle
+    ) -> Dict[str, Any]:
+        surface = self._require_surface()
+        with self._cluster_lock:
+            generation = surface.current_generation()
+            requested = frame.get("generation", generation)
+            if requested != generation:
+                raise ReproError(
+                    f"stale generation {requested}; current is {generation}"
+                )
+            with self._table_lock:
+                owner = self._resumed.get(generation)
+                if owner is not None:
+                    raise ReproError(
+                        f"generation {generation} was already resumed by "
+                        f"session {owner}; halt again for a new generation"
+                    )
+            if not surface.halted_names():
+                raise ReproError("nothing is halted; nothing to resume")
+            try:
+                resumed = surface.resume(
+                    timeout=float(frame.get("timeout", 10.0)),
+                    allow_partial=bool(frame.get("allow_partial", False)),
+                )
+            except SurvivorsOnlyError as exc:
+                raise ReproError(str(exc)) from exc
+            if resumed:
+                with self._table_lock:
+                    self._resumed[generation] = handle.session_id
+        return {
+            "ok": True,
+            "resumed": bool(resumed),
+            "generation": generation,
+            "by": handle.session_id,
+        }
+
+    def _step(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        surface = self._require_surface()
+        process = frame.get("process")
+        if not process:
+            raise ReproError("step requires a process name")
+        channel = frame.get("channel")
+        with self._cluster_lock:
+            report = surface.step(process, channel=channel)
+        return {
+            "ok": True,
+            "process": report.process,
+            "delivered": report.delivered,
+            "channel": report.channel,
+            "detail": report.detail,
+            "remaining": report.remaining,
+            "time": report.time,
+        }
+
+    def _hits(self) -> Dict[str, Any]:
+        surface = self._require_surface()
+        hits = surface.breakpoint_hits()
+        with self._table_lock:
+            self.registry.mark_fired(hits)
+        return {
+            "ok": True,
+            "hits": [
+                {
+                    "process": hit.process,
+                    "lp_id": hit.marker.lp_id,
+                    "time": hit.time,
+                }
+                for hit in hits
+            ],
+        }
+
+
+# -- the TCP server ------------------------------------------------------------
+
+
+class DebugServer:
+    """Serves one :class:`DebuggerService` over TCP, one thread per client.
+
+    Framing is :mod:`repro.distributed.wire` — the same length-prefixed
+    JSON the cluster speaks. A corrupt frame gets one error reply and
+    closes *that* connection; the server keeps serving everyone else.
+    Client disconnects reap their sessions via
+    :meth:`DebuggerService.drop_connection`.
+    """
+
+    def __init__(
+        self,
+        service: DebuggerService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        on_shutdown: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self.on_shutdown = on_shutdown
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._client_threads: List[threading.Thread] = []
+        self._conns: Dict[int, socket.socket] = {}
+        self._next_conn = 1
+        self._lock = threading.Lock()
+        self._stopped = threading.Event()
+
+    def start(self) -> int:
+        """Bind, listen, and accept in the background; returns the port."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(16)
+        self._listener = listener
+        self.port = listener.getsockname()[1]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="debug-server-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self.port
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stopped.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                break  # listener closed: clean stop
+            with self._lock:
+                conn_id = self._next_conn
+                self._next_conn += 1
+                self._conns[conn_id] = conn
+                thread = threading.Thread(
+                    target=self._serve_client,
+                    args=(conn, conn_id),
+                    name=f"debug-client-{conn_id}",
+                    daemon=True,
+                )
+                self._client_threads.append(thread)
+            thread.start()
+
+    def _serve_client(self, conn: socket.socket, conn_id: int) -> None:
+        conn.settimeout(300.0)
+        try:
+            while not self._stopped.is_set():
+                try:
+                    frame = wire.recv_frame(conn)
+                except (WireClosed, OSError):
+                    return  # client done or gone; finally reaps its sessions
+                except WireError as exc:
+                    # Corrupt framing: one error reply, then drop only this
+                    # connection — the stream can no longer be trusted.
+                    try:
+                        wire.send_frame(
+                            conn, {"ok": False, "error": _one_line(exc)}
+                        )
+                    except (WireError, OSError):
+                        pass
+                    return
+                reply = self.service.handle(frame, conn_id=conn_id)
+                try:
+                    wire.send_frame(conn, reply)
+                except (WireError, OSError):
+                    return
+                if self.service.shutdown_requested.is_set():
+                    return
+        finally:
+            self.service.drop_connection(conn_id)
+            with self._lock:
+                self._conns.pop(conn_id, None)
+            try:
+                conn.close()
+            except OSError:
+                pass
+            if self.service.shutdown_requested.is_set():
+                self.stop()
+
+    def stop(self) -> None:
+        """Close the listener and signal every client loop to end."""
+        if self._stopped.is_set():
+            return
+        self._stopped.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._lock:
+            leftovers = list(self._conns.values())
+            self._conns.clear()
+        for conn in leftovers:
+            # Unblocks client threads parked in recv_frame so their
+            # sessions reap promptly and no socket outlives the server.
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if self.on_shutdown is not None:
+            self.on_shutdown()
+
+    def __enter__(self) -> "DebugServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+__all__ = [
+    "COMMANDS",
+    "PROTOCOL_VERSION",
+    "DebugTarget",
+    "LiveTarget",
+    "HeldTarget",
+    "SessionHandle",
+    "DebuggerService",
+    "DebugServer",
+]

@@ -296,6 +296,35 @@ class DebugSession:
             stopped=False, time=self.system.kernel.now, events_executed=executed
         )
 
+    def step(self, process: ProcessId, channel: Optional[str] = None):
+        """Single-step one halted process: deliver exactly one buffered
+        message (optionally restricted to ``str(channel)``) and freeze
+        again. The command and its reply travel the control channels like
+        everything else; returns the :class:`StepReport`."""
+        if process not in self.system.user_process_names:
+            raise ReproError(f"unknown process {process!r}")
+        step_id = self.agent.send_step(process, channel=channel)
+        self.system.kernel.run(
+            max_events=100_000,
+            stop_when=lambda: step_id in self.agent.step_reports,
+        )
+        if step_id not in self.agent.step_reports:
+            raise HaltingError(
+                f"no step report from {process} — is the system wedged?"
+            )
+        return self.agent.step_reports[step_id]
+
+    def alive(self) -> List[ProcessId]:
+        """User processes that have not crashed (all of them, fault-free)."""
+        return [
+            n for n in self.system.user_process_names
+            if not self.system.controller(n).crashed
+        ]
+
+    def breakpoint_hits(self) -> List[BreakpointHit]:
+        """Every breakpoint completion the debugger has learned about."""
+        return list(self.agent.breakpoint_hits)
+
     def current_generation(self) -> int:
         """The highest halt_id any process has seen."""
         return max(agent.last_halt_id for agent in self._halting_agents.values())
@@ -333,6 +362,7 @@ class DebugSession:
         return monitor
 
     def disable_heartbeats(self) -> None:
+        """Stop pinging; the failure detector forgets everything."""
         self.heartbeats = None
         self.system.controller(self.debugger_name).user_cancel_timer("heartbeat")
 

@@ -1,0 +1,318 @@
+"""One command surface over all three debug-session backends.
+
+The debugger service (:mod:`repro.debugger.service`) speaks to exactly one
+shape of session — this one. A :class:`SessionSurface` normalizes the small
+API differences between :class:`~repro.debugger.session.DebugSession`
+(virtual time: "waiting" means driving the kernel),
+:class:`~repro.debugger.threaded_session.ThreadedDebugSession`, and
+:class:`~repro.distributed.session.DistributedDebugSession` (both wall
+clock: "waiting" means polling append-only notification state) into one
+vocabulary: names, liveness, halted set, generation, halt / wait_halt /
+resume / step / inspect / global state / breakpoints.
+
+The surfaces hold no state of their own beyond the wrapped session — every
+query is answered by the session, so two surfaces over one session always
+agree (which is what lets many debug-service sessions share one cluster).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.snapshot.state import GlobalState
+from repro.util.errors import ReproError
+from repro.util.ids import ProcessId
+
+
+class SessionSurface:
+    """Abstract backend-neutral debug-session API (see module docstring)."""
+
+    #: Backend tag reported to attach clients.
+    backend = "abstract"
+    #: True when waiting requires driving a virtual clock under the service
+    #: cluster lock (the DES); False when waits only poll notification
+    #: state and may run unlocked alongside other sessions' commands.
+    drives_clock = False
+
+    def process_names(self) -> List[ProcessId]:
+        """Every user process of the debugged program."""
+        raise NotImplementedError
+
+    def alive(self) -> List[ProcessId]:
+        """User processes whose host is not crashed/dead."""
+        raise NotImplementedError
+
+    def halted_names(self) -> List[ProcessId]:
+        """User processes currently frozen."""
+        raise NotImplementedError
+
+    def current_generation(self) -> int:
+        """The highest halt generation observed."""
+        raise NotImplementedError
+
+    def halt(self, timeout: float = 10.0) -> Any:
+        """Initiate a watchdog-bounded halt; returns the PartialHaltReport."""
+        raise NotImplementedError
+
+    def wait_halt(self, timeout: float = 30.0) -> bool:
+        """Block until every user process halted (breakpoint convergence)."""
+        raise NotImplementedError
+
+    def resume(self, timeout: float = 10.0, allow_partial: bool = False) -> bool:
+        """Resume the halted generation; True when everyone is running."""
+        raise NotImplementedError
+
+    def step(self, process: ProcessId, channel: Optional[str] = None) -> Any:
+        """Deliver one buffered message at ``process``; returns StepReport."""
+        raise NotImplementedError
+
+    def inspect(self, process: ProcessId) -> Dict[str, object]:
+        """One process's current state via the control protocol."""
+        raise NotImplementedError
+
+    def global_state(self, allow_partial: bool = False) -> GlobalState:
+        """The consistent cut ``S_h`` assembled from state reports."""
+        raise NotImplementedError
+
+    def set_breakpoint(self, predicate: Any, halt: bool = True) -> int:
+        """Arm a linked predicate; returns the session-level lp_id."""
+        raise NotImplementedError
+
+    def clear_breakpoint(self, lp_id: int) -> None:
+        """Disarm one linked predicate wherever its stages are."""
+        raise NotImplementedError
+
+    def halting_order(self) -> List[ProcessId]:
+        """§2.2.4 order in which processes reported halting."""
+        raise NotImplementedError
+
+    def halt_paths(self) -> Dict[ProcessId, tuple]:
+        """Per process, the already-halted path its halt marker carried."""
+        raise NotImplementedError
+
+    def breakpoint_hits(self) -> List[Any]:
+        """Every BreakpointHit the debugger has learned about."""
+        raise NotImplementedError
+
+    def kill(self, process: ProcessId) -> None:
+        """SIGKILL one member — real process death, distributed only."""
+        raise ReproError(f"kill is distributed-backend-only, not {self.backend}")
+
+    def shutdown(self) -> None:
+        """Tear the debugged program down."""
+        raise NotImplementedError
+
+
+class DESSurface(SessionSurface):
+    """Surface over the virtual-time :class:`DebugSession`.
+
+    Timeouts are advisory here — the DES "waits" by running the kernel,
+    which is always bounded by an event budget, so a wedged program shows
+    up as a run that returns without halting rather than a blocked call.
+    """
+
+    backend = "des"
+    drives_clock = True
+
+    def __init__(self, session: Any) -> None:
+        self.session = session
+
+    def process_names(self) -> List[ProcessId]:
+        return list(self.session.system.user_process_names)
+
+    def alive(self) -> List[ProcessId]:
+        return self.session.alive()
+
+    def halted_names(self) -> List[ProcessId]:
+        return [
+            n for n in self.session.system.user_process_names
+            if self.session.system.controller(n).halted
+        ]
+
+    def current_generation(self) -> int:
+        return self.session.current_generation()
+
+    def halt(self, timeout: float = 10.0) -> Any:
+        # Virtual time: the stock watchdog budget is generous and cheap.
+        return self.session.halt_with_watchdog()
+
+    def wait_halt(self, timeout: float = 30.0) -> bool:
+        return self.session.run().stopped
+
+    def resume(self, timeout: float = 10.0, allow_partial: bool = False) -> bool:
+        self.session.resume()
+        return True
+
+    def step(self, process: ProcessId, channel: Optional[str] = None) -> Any:
+        return self.session.step(process, channel=channel)
+
+    def inspect(self, process: ProcessId) -> Dict[str, object]:
+        return self.session.inspect(process)
+
+    def global_state(self, allow_partial: bool = False) -> GlobalState:
+        return self.session.global_state(allow_partial=allow_partial)
+
+    def set_breakpoint(self, predicate: Any, halt: bool = True) -> int:
+        return self.session.set_breakpoint(predicate, halt=halt)
+
+    def clear_breakpoint(self, lp_id: int) -> None:
+        self.session.clear_breakpoint(lp_id)
+
+    def halting_order(self) -> List[ProcessId]:
+        return self.session.halting_order()
+
+    def halt_paths(self) -> Dict[ProcessId, tuple]:
+        return self.session.halt_paths()
+
+    def breakpoint_hits(self) -> List[Any]:
+        return self.session.breakpoint_hits()
+
+    def shutdown(self) -> None:
+        pass  # the DES owns no threads, sockets, or children
+
+
+class ThreadedSurface(SessionSurface):
+    """Surface over :class:`ThreadedDebugSession` (thread per process)."""
+
+    backend = "threaded"
+
+    def __init__(self, session: Any) -> None:
+        self.session = session
+
+    def process_names(self) -> List[ProcessId]:
+        return list(self.session.system.user_process_names)
+
+    def alive(self) -> List[ProcessId]:
+        return self.session.alive()
+
+    def halted_names(self) -> List[ProcessId]:
+        return [
+            n for n in self.session.system.user_process_names
+            if self.session.system.controller(n).halted
+        ]
+
+    def current_generation(self) -> int:
+        return self.session.current_generation()
+
+    def halt(self, timeout: float = 10.0) -> Any:
+        return self.session.halt_with_watchdog(timeout=timeout)
+
+    def wait_halt(self, timeout: float = 30.0) -> bool:
+        return self.session.run_until_stopped(timeout=timeout)
+
+    def resume(self, timeout: float = 10.0, allow_partial: bool = False) -> bool:
+        return self.session.resume(timeout=timeout)
+
+    def step(self, process: ProcessId, channel: Optional[str] = None) -> Any:
+        return self.session.step(process, channel=channel)
+
+    def inspect(self, process: ProcessId) -> Dict[str, object]:
+        return self.session.inspect(process)
+
+    def global_state(self, allow_partial: bool = False) -> GlobalState:
+        return self.session.global_state(allow_partial=allow_partial)
+
+    def set_breakpoint(self, predicate: Any, halt: bool = True) -> int:
+        return self.session.set_breakpoint(predicate, halt=halt)
+
+    def clear_breakpoint(self, lp_id: int) -> None:
+        self.session.clear_breakpoint(lp_id)
+
+    def halting_order(self) -> List[ProcessId]:
+        return self.session.halting_order()
+
+    def halt_paths(self) -> Dict[ProcessId, tuple]:
+        return self.session.halt_paths()
+
+    def breakpoint_hits(self) -> List[Any]:
+        return self.session.breakpoint_hits()
+
+    def shutdown(self) -> None:
+        self.session.shutdown()
+
+
+class DistributedSurface(SessionSurface):
+    """Surface over :class:`DistributedDebugSession` (one OS process per
+    user process, everything over real sockets)."""
+
+    backend = "distributed"
+
+    def __init__(self, session: Any) -> None:
+        self.session = session
+
+    def process_names(self) -> List[ProcessId]:
+        return list(self.session.spec.user_names)
+
+    def alive(self) -> List[ProcessId]:
+        return [
+            n for n in self.session.spec.user_names if self.session.alive(n)
+        ]
+
+    def halted_names(self) -> List[ProcessId]:
+        return self.session.halted_names()
+
+    def current_generation(self) -> int:
+        return self.session.current_generation()
+
+    def halt(self, timeout: float = 10.0) -> Any:
+        return self.session.halt_with_watchdog(timeout=timeout)
+
+    def wait_halt(self, timeout: float = 30.0) -> bool:
+        return self.session.run_until_stopped(timeout=timeout)
+
+    def resume(self, timeout: float = 10.0, allow_partial: bool = False) -> bool:
+        return self.session.resume(timeout=timeout, allow_partial=allow_partial)
+
+    def step(self, process: ProcessId, channel: Optional[str] = None) -> Any:
+        return self.session.step(process, channel=channel)
+
+    def inspect(self, process: ProcessId) -> Dict[str, object]:
+        return self.session.inspect(process)
+
+    def global_state(self, allow_partial: bool = False) -> GlobalState:
+        return self.session.collect_global_state()
+
+    def set_breakpoint(self, predicate: Any, halt: bool = True) -> int:
+        return self.session.set_breakpoint(predicate, halt=halt)
+
+    def clear_breakpoint(self, lp_id: int) -> None:
+        self.session.clear_breakpoint(lp_id)
+
+    def halting_order(self) -> List[ProcessId]:
+        return self.session.halting_order()
+
+    def halt_paths(self) -> Dict[ProcessId, tuple]:
+        return self.session.halt_paths()
+
+    def breakpoint_hits(self) -> List[Any]:
+        return self.session.breakpoint_hits()
+
+    def kill(self, process: ProcessId) -> None:
+        self.session.kill(process)
+
+    def shutdown(self) -> None:
+        self.session.shutdown()
+
+
+def surface_for(session: Any) -> SessionSurface:
+    """Wrap any of the three session classes in its surface."""
+    from repro.debugger.session import DebugSession
+    from repro.debugger.threaded_session import ThreadedDebugSession
+    from repro.distributed.session import DistributedDebugSession
+
+    if isinstance(session, DebugSession):
+        return DESSurface(session)
+    if isinstance(session, ThreadedDebugSession):
+        return ThreadedSurface(session)
+    if isinstance(session, DistributedDebugSession):
+        return DistributedSurface(session)
+    raise ReproError(f"no surface for {type(session).__name__}")
+
+
+__all__ = [
+    "SessionSurface",
+    "DESSurface",
+    "ThreadedSurface",
+    "DistributedSurface",
+    "surface_for",
+]

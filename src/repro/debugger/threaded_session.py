@@ -107,11 +107,13 @@ class ThreadedDebugSession:
     # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> None:
+        """Launch every process thread (idempotent)."""
         if not self._started:
             self._started = True
             self.system.start()
 
     def shutdown(self) -> None:
+        """Stop and join every process thread."""
         self.system.shutdown()
 
     def __enter__(self) -> "ThreadedDebugSession":
@@ -127,6 +129,8 @@ class ThreadedDebugSession:
         self, predicate: Union[str, LinkedPredicate, SimplePredicate],
         halt: bool = True,
     ) -> int:
+        """Arm a linked predicate (§3.6); returns its lp_id. The markers
+        are issued on the debugger's own thread via its mailbox."""
         lp = parse_predicate(predicate) if isinstance(predicate, str) else as_linked(predicate)
         unknown = lp.processes() - set(self.system.topology.processes)
         if unknown:
@@ -141,6 +145,7 @@ class ThreadedDebugSession:
         return lp_id
 
     def clear_breakpoint(self, lp_id: int) -> None:
+        """Disarm one linked predicate: later completions are ignored."""
         self._cancelled.add(lp_id)
 
     # -- execution control -----------------------------------------------------------
@@ -264,6 +269,40 @@ class ThreadedDebugSession:
             timeout=timeout,
         )
 
+    def step(self, process: ProcessId, channel: Optional[str] = None,
+             timeout: float = 10.0):
+        """Single-step one halted process: deliver exactly one buffered
+        message and re-freeze. Returns the :class:`StepReport` (which says
+        ``delivered=False`` when there was nothing to step)."""
+        if process not in self.system.user_process_names:
+            raise ReproError(f"unknown process {process!r}")
+        holder: List[int] = []
+        debugger = self.system.controller(self.debugger_name)
+
+        def request() -> None:
+            holder.append(self.agent.send_step(process, channel=channel))
+
+        debugger.defer(request, label="step")
+        if not self.system.run_until(lambda: bool(holder), timeout=timeout):
+            raise HaltingError("debugger thread did not issue the step")
+        step_id = holder[0]
+        if not self.system.run_until(
+            lambda: step_id in self.agent.step_reports, timeout=timeout
+        ):
+            raise HaltingError(f"no step report from {process}")
+        return self.agent.step_reports[step_id]
+
+    def current_generation(self) -> int:
+        """The highest halt_id any process has seen."""
+        return max(a.last_halt_id for a in self._halting_agents.values())
+
+    def alive(self) -> List[ProcessId]:
+        """User processes whose controllers have not crashed."""
+        return [
+            n for n in self.system.user_process_names
+            if not self.system.controller(n).crashed
+        ]
+
     # -- inspection -------------------------------------------------------------------------
 
     def inspect(self, process: ProcessId, timeout: float = 10.0) -> Dict[str, object]:
@@ -284,13 +323,71 @@ class ThreadedDebugSession:
             raise HaltingError(f"no state report from {process}")
         return dict(self.agent.state_reports[request_id].snapshot.state)
 
+    def global_state(self, timeout: float = 10.0,
+                     allow_partial: bool = False):
+        """Assemble the halted global state ``S_h`` from protocol state
+        reports, exactly like the DES session does: one report per halted
+        process, pending channel contents included. ``allow_partial``
+        accepts a cut over only the currently-halted processes."""
+        from repro.snapshot.state import ChannelState, GlobalState
+        from repro.util.ids import ChannelId
+
+        names = self.system.user_process_names
+        halted = [n for n in names if self.system.controller(n).halted]
+        missing = [n for n in names if n not in halted]
+        if missing and not allow_partial:
+            raise HaltingError("global_state() requires all processes halted")
+        debugger = self.system.controller(self.debugger_name)
+        ids: Dict[ProcessId, int] = {}
+
+        def request() -> None:
+            for name in halted:
+                ids[name] = self.agent.request_state(name)
+
+        debugger.defer(request, label="global_state")
+        if not self.system.run_until(
+            lambda: len(ids) == len(halted)
+            and all(rid in self.agent.state_reports for rid in ids.values()),
+            timeout=timeout,
+        ):
+            raise HaltingError("state reports did not all arrive")
+        processes = {}
+        channels: Dict[ChannelId, ChannelState] = {}
+        for name in halted:
+            report = self.agent.state_reports[ids[name]]
+            processes[name] = report.snapshot
+            closed = set(report.closed_channels)
+            for channel_text, messages in report.pending.items():
+                channel = ChannelId.parse(channel_text)
+                channels[channel] = ChannelState(
+                    channel=channel,
+                    messages=tuple(messages),
+                    complete=channel_text in closed,
+                )
+        meta: Dict[str, object] = {
+            "halt_order": [n.process for n in self.agent.halting_order()],
+        }
+        if missing:
+            meta["partial"] = True
+            meta["missing"] = sorted(missing)
+        return GlobalState(
+            origin="halting",
+            processes=processes,
+            channels=channels,
+            generation=self.current_generation(),
+            meta=meta,
+        )
+
     def halting_order(self) -> List[ProcessId]:
+        """§2.2.4 order in which halt notifications arrived."""
         return [n.process for n in self.agent.halting_order()]
 
     def halt_paths(self) -> Dict[ProcessId, Tuple[ProcessId, ...]]:
+        """Per process, the already-halted path its marker carried."""
         return {n.process: n.path for n in self.agent.halting_order()}
 
     def breakpoint_hits(self):
+        """Every BreakpointHit the debugger has learned about."""
         return list(self.agent.breakpoint_hits)
 
     # -- observability exports (require observe=Observability()) ----------------

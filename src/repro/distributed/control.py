@@ -30,11 +30,18 @@ DEFAULT_CONTROL_PORT = 7070
 
 SERVE_USAGE = """\
 usage: python -m repro serve <workload> [key=value ...] [port=N] [seed=N]
+                             [debug_port=N] [hold=true]
 
 Starts the workload as real OS processes connected by TCP sockets, with
 the debugger process d in this process, and listens for attach clients on
 the control port (default 7070; port=0 picks a free port and announces it
 on stdout).
+
+debug_port=N additionally serves the long-lived debug protocol (sessions,
+deferred breakpoints, step/resume — see docs/DEBUGGER.md) on that port
+(0 = OS-assigned, announced as "debug port" on stdout). hold=true defers
+the cluster spawn until a debug session sends the spawn command, so
+breakpoints can be registered before their target processes exist.
 """
 
 ATTACH_USAGE = """\
@@ -216,6 +223,15 @@ def serve_main(argv: List[str]) -> int:
         return 2
     port = int(options.pop("port", DEFAULT_CONTROL_PORT))
     seed = int(options.pop("seed", 0))
+    debug_port = options.pop("debug_port", None)
+    hold = bool(options.pop("hold", False))
+    if hold and debug_port is None:
+        print(
+            "repro serve: hold=true needs debug_port=N (only the debug "
+            "protocol's spawn command can start a held cluster)",
+            file=sys.stderr,
+        )
+        return 2
 
     # Bind the control port BEFORE spawning anything: if the port is taken
     # we fail here, cleanly, with zero child processes to clean up.
@@ -240,20 +256,87 @@ def serve_main(argv: List[str]) -> int:
     session = DistributedDebugSession(
         workload, options, seed=seed, observe=Observability()
     )
-    try:
-        session.start()
-    except Exception as exc:
-        print(f"repro serve: cluster failed to start: {exc}", file=sys.stderr)
-        listener.close()
-        session.shutdown()
-        return 1
-    print(
-        f"serving {workload} as {len(session.spec.user_names)} OS processes; "
-        f"control port 127.0.0.1:{port}"
-    )
+    control = ControlServer(listener, session)
+
+    debug_server = None
+    if debug_port is not None:
+        # The debug listener also binds before anything spawns, for the
+        # same reason as the control port: a doomed serve leaves nothing
+        # behind. The debug protocol's shutdown command must stop the
+        # control loop too — it parks in accept(), so closing the listener
+        # is the wakeup.
+        from repro.debugger.service import (
+            DebuggerService,
+            DebugServer,
+            HeldTarget,
+            LiveTarget,
+        )
+        from repro.debugger.surface import DistributedSurface
+
+        def stop_control() -> None:
+            control._stopping = True
+            # shutdown() before close(): closing alone does not wake an
+            # accept() blocked on another thread, shutting the socket
+            # down does.
+            try:
+                listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                listener.close()
+            except OSError:
+                pass
+
+        if hold:
+            def spawn_cluster():
+                session.start()
+                return DistributedSurface(session)
+
+            target = HeldTarget(spawn_cluster)
+        else:
+            target = LiveTarget(DistributedSurface(session))
+        service = DebuggerService(target)
+        debug_server = DebugServer(
+            service, port=int(debug_port), on_shutdown=stop_control
+        )
+        try:
+            bound = debug_server.start()
+        except OSError as exc:
+            print(
+                f"repro serve: cannot listen on debug port {debug_port}: {exc}",
+                file=sys.stderr,
+            )
+            listener.close()
+            return 2
+
+    if not hold:
+        try:
+            session.start()
+        except Exception as exc:
+            print(f"repro serve: cluster failed to start: {exc}", file=sys.stderr)
+            listener.close()
+            if debug_server is not None:
+                debug_server.stop()
+            session.shutdown()
+            return 1
+        print(
+            f"serving {workload} as {len(session.spec.user_names)} OS "
+            f"processes; control port 127.0.0.1:{port}"
+        )
+    else:
+        print(
+            f"holding {workload} ({len(session.spec.user_names)} processes, "
+            f"unspawned); control port 127.0.0.1:{port}"
+        )
+    if debug_server is not None:
+        print(f"debug port 127.0.0.1:{bound}")
     print(f"attach with: python -m repro attach {port} status")
     sys.stdout.flush()
-    return ControlServer(listener, session).serve()
+    try:
+        return control.serve()
+    finally:
+        if debug_server is not None:
+            debug_server.stop()
 
 
 def attach_main(argv: List[str]) -> int:

@@ -39,6 +39,8 @@ from repro.debugger.commands import (
     SatisfactionNotice,
     StateReport,
     StateRequest,
+    StepCommand,
+    StepReport,
     UnwatchCommand,
     WatchCommand,
 )
@@ -70,6 +72,8 @@ WIRE_DATACLASSES: Dict[str, Type[Any]] = {
         ProcessStateSnapshot,
         ResumeCommand,
         StateRequest,
+        StepCommand,
+        StepReport,
         WatchCommand,
         UnwatchCommand,
         PingCommand,

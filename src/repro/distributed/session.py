@@ -477,6 +477,41 @@ class DistributedDebugSession:
             self._resumed_generations.add(generation)
         return success
 
+    def current_generation(self) -> int:
+        """The highest halt generation ``d`` has initiated or observed."""
+        return self._halting.last_halt_id
+
+    def halted_names(self) -> List[ProcessId]:
+        """Processes frozen at the current generation (empty once it has
+        been fully resumed — their old notifications are stale)."""
+        generation = self._halting.last_halt_id
+        if generation in self._resumed_generations:
+            return []
+        return sorted(self._halted_of(generation))
+
+    def step(self, process: ProcessId, channel: Optional[str] = None,
+             timeout: float = 10.0):
+        """Single-step one halted child: exactly one buffered delivery,
+        then frozen again. The :class:`StepCommand` and its
+        :class:`StepReport` ride the real control sockets; a child with
+        nothing to step still answers (``delivered=False``)."""
+        if process not in self.spec.user_names:
+            raise ReproError(f"unknown process {process!r}")
+        holder: List[int] = []
+
+        def request() -> None:
+            holder.append(self.agent.send_step(process, channel=channel))
+
+        self._host.controller.defer(request, label="step")
+        if not self._wait(lambda: bool(holder), timeout=timeout):
+            raise HaltingError("debugger thread did not issue the step")
+        step_id = holder[0]
+        if not self._wait(
+            lambda: step_id in self.agent.step_reports, timeout=timeout
+        ):
+            raise HaltingError(f"no step report from {process}")
+        return self.agent.step_reports[step_id]
+
     # -- inspection ----------------------------------------------------------
 
     def inspect(

@@ -96,6 +96,7 @@ class ClusterSupervisor:
         validate: Optional[Validator] = None,
         max_recoveries: int = 5,
         keep_checkpoints: int = 3,
+        on_incarnation: Optional[Callable[[DistributedDebugSession], None]] = None,
     ) -> None:
         if store is None:
             raise RecoveryError(
@@ -116,6 +117,11 @@ class ClusterSupervisor:
         #: The fault plan for the *current* incarnation (rewritten at
         #: every recovery; see :meth:`_remaining_plan`).
         self.plan: Optional[FaultPlan] = fault_plan
+        #: Called with each incarnation's freshly started session — the
+        #: debugger service re-arms its breakpoint registry here, which is
+        #: how pending/armed breakpoints survive a recovery (the markers
+        #: armed on the dead cluster died with it).
+        self.on_incarnation = on_incarnation
         self.session: Optional[DistributedDebugSession] = None
         self.incarnation = 0
         self.recoveries: List[RecoveryEvent] = []
@@ -161,6 +167,8 @@ class ClusterSupervisor:
         self.session = session
         self._wall0 = time.monotonic()
         self._paused_wall = 0.0
+        if self.on_incarnation is not None:
+            self.on_incarnation(session)
 
     def _require_session(self) -> DistributedDebugSession:
         if self.session is None:

@@ -504,6 +504,50 @@ class ProcessController:
             self._record(EventKind.TIMER, detail=name)
             self.process.on_timer(self.ctx, name, payload)
 
+    def step_one(self, channel: Optional[str] = None) -> Optional[Envelope]:
+        """Deliver exactly one buffered arrival while remaining halted.
+
+        Single-step semantics for a frozen process: pop the oldest
+        buffered envelope (the oldest on ``channel`` when one is named,
+        by ``str(channel_id)``), briefly un-freeze to run its handler so
+        sends and timer arming work normally, then freeze again with a
+        freshly captured snapshot carrying the same halt generation
+        metadata. Returns the delivered envelope, or ``None`` when no
+        buffered message matched. If the delivery itself trips a halt
+        (a breakpoint firing mid-step), that newer snapshot wins.
+        """
+        if not self.halted:
+            raise RuntimeStateError(f"{self.name} is not halted; nothing to step")
+        pick: Optional[Envelope] = None
+        for envelope in self._halt_buffer_order:
+            if channel is None or str(envelope.channel) == str(channel):
+                pick = envelope
+                break
+        if pick is None:
+            return None
+        self._halt_buffer_order.remove(pick)
+        bucket = self.halt_buffers.get(pick.channel, [])
+        if pick in bucket:
+            bucket.remove(pick)
+            if not bucket:
+                del self.halt_buffers[pick.channel]
+        assert self.halted_snapshot is not None
+        meta = {
+            key: self.halted_snapshot.meta[key]
+            for key in ("halt_id", "halt_path")
+            if key in self.halted_snapshot.meta
+        }
+        self.halted = False
+        try:
+            event = self._process_user_envelope(pick)
+            for plugin in self._plugins:
+                plugin.on_user_delivered(pick, event)
+        finally:
+            if not self.halted:
+                self.halted = True
+                self.halted_snapshot = self.capture_state(**meta)
+        return pick
+
     def capture_state(self, **meta: Any) -> ProcessStateSnapshot:
         """Deep-copy the process's current state (C&L "record its state").
 

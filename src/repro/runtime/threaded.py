@@ -771,6 +771,48 @@ class ThreadedController:
             self._record(EventKind.TIMER, detail=name)
             self.process.on_timer(self.ctx, name, payload)
 
+    def step_one(self, channel: Optional[str] = None) -> Optional[Envelope]:
+        """Deliver exactly one buffered arrival while remaining halted.
+
+        Mirrors the DES controller's ``step_one`` — pop the oldest
+        buffered envelope (optionally restricted to ``str(channel)``),
+        briefly un-freeze for the handler, then re-freeze with a fresh
+        snapshot carrying the same halt generation metadata. Runs on
+        this controller's own thread (the debugger defers it into the
+        mailbox), so no extra locking is needed.
+        """
+        if not self.halted:
+            raise RuntimeStateError(f"{self.name} is not halted; nothing to step")
+        pick: Optional[Envelope] = None
+        for envelope in self._halt_buffer_order:
+            if channel is None or str(envelope.channel) == str(channel):
+                pick = envelope
+                break
+        if pick is None:
+            return None
+        self._halt_buffer_order.remove(pick)
+        bucket = self.halt_buffers.get(pick.channel, [])
+        if pick in bucket:
+            bucket.remove(pick)
+            if not bucket:
+                del self.halt_buffers[pick.channel]
+        assert self.halted_snapshot is not None
+        meta = {
+            key: self.halted_snapshot.meta[key]
+            for key in ("halt_id", "halt_path")
+            if key in self.halted_snapshot.meta
+        }
+        self.halted = False
+        try:
+            event = self._process_user_envelope(pick)
+            for plugin in self._plugins:
+                plugin.on_user_delivered(pick, event)
+        finally:
+            if not self.halted:
+                self.halted = True
+                self.halted_snapshot = self.capture_state(**meta)
+        return pick
+
     def capture_state(self, **meta: object) -> ProcessStateSnapshot:
         return capture(
             process=self.name,

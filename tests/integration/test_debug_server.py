@@ -1,0 +1,261 @@
+"""The debug control plane over real TCP: conformance and concurrency.
+
+Everything the protocol promises, exercised the way a remote client sees
+it — length-prefixed frames through actual sockets against a running
+:class:`DebugServer`. The conformance half mirrors the cluster wire tests
+(malformed frames, unknown ops, stale sessions, mid-command disconnects:
+one-line error replies, server survives). The concurrency half runs many
+simultaneous attach sessions against one cluster and checks the shared
+observations the protocol guarantees: halt generations agree, a resume by
+one session is seen by all, detaching or dropping one session never
+affects another.
+"""
+
+import json
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.debugger import (
+    DebugClient,
+    DebugServer,
+    DebuggerService,
+    DebugSession,
+    DESSurface,
+    LiveTarget,
+)
+from repro.distributed import wire
+from repro.network.latency import UniformLatency
+from repro.util.errors import ReproError, WireClosed
+from repro.workloads import token_ring
+
+
+def make_service(n=3, max_hops=60, seed=2):
+    topo, processes = token_ring.build(n=n, max_hops=max_hops)
+    session = DebugSession(topo, processes, seed=seed,
+                          latency=UniformLatency(0.4, 1.6))
+    return DebuggerService(LiveTarget(DESSurface(session)))
+
+
+@pytest.fixture
+def server():
+    with DebugServer(make_service(), port=0) as srv:
+        yield srv
+
+
+def raw_connection(server):
+    return socket.create_connection(("127.0.0.1", server.port), timeout=10.0)
+
+
+# -- conformance over the wire ------------------------------------------------
+
+
+def test_every_command_round_trips_over_tcp(server):
+    """One session walks the whole vocabulary; every reply is one frame
+    with a boolean ok, exactly as the in-process suite promises."""
+    with DebugClient(server.port, label="conformance") as client:
+        assert client.server["backend"] == "des"
+        walk = [
+            ("help", {}),
+            ("ping", {}),
+            ("sessions", {}),
+            ("status", {}),
+            ("break-set", {"predicate": "enter(receive_token)@p1 ^2"}),
+            ("break-list", {}),
+            ("wait-halt", {"timeout": 5}),
+            ("order", {}),
+            ("hits", {}),
+            ("inspect", {"process": "p1"}),
+            ("state", {}),
+            ("step", {"process": "p1"}),
+            ("resume", {}),
+            ("break-clear", {"bp_id": 1}),
+            ("spawn", {}),
+        ]
+        for op, fields in walk:
+            reply = client.request(op, **fields)
+            assert isinstance(reply, dict), op
+            assert reply.get("ok") is True, (op, reply)
+
+
+def test_unknown_command_and_stale_session_over_tcp(server):
+    conn = raw_connection(server)
+    try:
+        wire.send_frame(conn, {"op": "frobnicate"})
+        reply = wire.recv_frame(conn)
+        assert reply["ok"] is False and "unknown command" in reply["error"]
+
+        wire.send_frame(conn, {"op": "status", "session": "s999"})
+        reply = wire.recv_frame(conn)
+        assert reply["ok"] is False and "s999" in reply["error"]
+        assert "\n" not in reply["error"]
+    finally:
+        conn.close()
+
+
+def test_non_object_frames_get_error_replies(server):
+    """The wire codec itself enforces frames-are-objects, so a non-object
+    frame is framing corruption: one error reply, then the server drops
+    that connection (and only that connection)."""
+    for frame in (None, 17, "attach", ["op", "attach"]):
+        conn = raw_connection(server)
+        try:
+            payload = json.dumps(frame).encode("utf-8")
+            conn.sendall(struct.pack(">I", len(payload)) + payload)
+            reply = wire.recv_frame(conn)
+            assert reply["ok"] is False
+            assert "JSON object" in reply["error"]
+            with pytest.raises((WireClosed, OSError)):
+                wire.recv_frame(conn)
+        finally:
+            conn.close()
+    with DebugClient(server.port) as client:
+        assert client.request("status")["ok"]
+
+
+def test_corrupt_frame_kills_only_that_connection(server):
+    bad = raw_connection(server)
+    try:
+        # A length prefix promising more than MAX_FRAME_BYTES: unambiguous
+        # framing corruption, the stream cannot be resynchronized.
+        bad.sendall(struct.pack(">I", wire.MAX_FRAME_BYTES + 1) + b"xxxx")
+        reply = wire.recv_frame(bad)
+        assert reply["ok"] is False
+        with pytest.raises((WireClosed, OSError)):
+            wire.recv_frame(bad)  # server closed the poisoned stream
+    finally:
+        bad.close()
+    # The server keeps serving everyone else.
+    with DebugClient(server.port) as client:
+        assert client.request("status")["ok"]
+
+
+def test_mid_command_disconnect_reaps_the_session(server):
+    conn = raw_connection(server)
+    wire.send_frame(conn, {"op": "attach", "label": "doomed"})
+    sid = wire.recv_frame(conn)["session"]
+    assert server.service.session_count() == 1
+
+    # Vanish mid-protocol: half a length prefix, then hard close.
+    conn.sendall(b"\x00\x00")
+    conn.close()
+
+    done = threading.Event()
+
+    def until_reaped():
+        import time
+        while server.service.session_count() > 0:
+            time.sleep(0.01)
+        done.set()
+
+    threading.Thread(target=until_reaped, daemon=True).start()
+    assert done.wait(5.0), "disconnect did not reap the session"
+    assert server.service.reaped["disconnect"] == 1
+
+    # The reaped id is stale for any later client.
+    with DebugClient(server.port) as client:
+        reply = client._roundtrip({"op": "ping", "session": sid})
+        assert reply["ok"] is False
+
+
+def test_client_refuses_ops_the_server_did_not_offer(server):
+    with DebugClient(server.port) as client:
+        with pytest.raises(ReproError, match="did not offer"):
+            client.request("made-up-op")
+
+
+# -- concurrency: many sessions, one cluster ----------------------------------
+
+
+def test_concurrent_sessions_share_every_observation(server):
+    """Session A arms and halts; B and C (attached the whole time) observe
+    the same generation and halted set; B resumes; A and C see it."""
+    with DebugClient(server.port, label="a") as a, \
+         DebugClient(server.port, label="b") as b, \
+         DebugClient(server.port, label="c") as c:
+        a.request("break-set", predicate="enter(receive_token)@p1 ^2")
+        halted = a.request("wait-halt", timeout=5)
+        assert halted["stopped"] and halted["generation"] == 1
+
+        for observer in (b, c):
+            status = observer.request("status")
+            assert status["generation"] == 1
+            assert status["halted"] == ["p0", "p1", "p2"]
+
+        resumed = b.request("resume")
+        assert resumed["resumed"] and resumed["by"] == b.session
+
+        for observer in (a, c):
+            assert observer.request("status")["halted"] == []
+
+        # A's attempt to resume the same generation is refused, by name.
+        stale = a.request("resume")
+        assert stale["ok"] is False
+        assert b.session in stale["error"]
+
+
+def test_many_simultaneous_attaches(server):
+    """A burst of threads attach and command concurrently; every session
+    gets a distinct id and a working conversation."""
+    results = {}
+    errors = []
+
+    def one_session(index):
+        try:
+            with DebugClient(server.port, label=f"burst-{index}") as client:
+                for _ in range(5):
+                    assert client.ping()["pong"]
+                results[index] = client.session
+        except Exception as exc:  # noqa: BLE001 - collected for the assert
+            errors.append((index, exc))
+
+    threads = [threading.Thread(target=one_session, args=(i,))
+               for i in range(12)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30.0)
+    assert not errors, errors
+    assert len(set(results.values())) == 12
+    assert server.service.session_count() == 0  # all detached cleanly
+
+
+def test_detach_of_one_session_never_tears_down_another(server):
+    survivor = DebugClient(server.port, label="survivor")
+    survivor.connect()
+    try:
+        for _ in range(3):
+            doomed = DebugClient(server.port, label="doomed")
+            doomed.connect()
+            doomed.close()
+            assert survivor.ping()["pong"]
+        sessions = survivor.request("sessions")["sessions"]
+        assert [row["label"] for row in sessions] == ["survivor"]
+    finally:
+        survivor.close()
+
+
+def test_shutdown_stops_the_server(server):
+    with DebugClient(server.port) as client:
+        reply = client.request("shutdown")
+        assert reply["ok"] and reply["stopping"]
+        client.session = None  # conversation is over; skip detach
+    done = threading.Event()
+
+    def until_refused():
+        import time
+        while True:
+            try:
+                probe = socket.create_connection(
+                    ("127.0.0.1", server.port), timeout=0.2
+                )
+            except OSError:
+                done.set()
+                return
+            probe.close()
+            time.sleep(0.02)
+
+    threading.Thread(target=until_refused, daemon=True).start()
+    assert done.wait(5.0), "listener still accepting after shutdown"

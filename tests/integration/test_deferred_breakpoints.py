@@ -1,0 +1,179 @@
+"""Deferred breakpoints end to end: set before the target exists.
+
+The interactive lifecycle the ISSUE names, driven through the real
+service: a breakpoint registered against a held (unspawned) cluster parks
+PENDING, arms the instant ``spawn`` runs, and fires/halts exactly as a
+breakpoint set after spawn would (§3.6 markers do not care when they were
+requested). Plus the edges: clear-while-pending sticks across spawn,
+duplicates collapse, and — via the recovery supervisor's incarnation hook
+— breakpoints survive the cluster that armed them being killed and
+replaced.
+"""
+
+import time
+
+import pytest
+
+from repro.breakpoints import BreakpointRegistry, BreakpointState
+from repro.debugger import (
+    DebugSession,
+    DebuggerService,
+    DESSurface,
+    DistributedSurface,
+    HeldTarget,
+)
+from repro.network.latency import UniformLatency
+from repro.recovery.supervisor import ClusterSupervisor
+from repro.workloads import token_ring
+
+
+def des_factory():
+    topo, processes = token_ring.build(n=3, max_hops=60)
+    session = DebugSession(topo, processes, seed=2,
+                          latency=UniformLatency(0.4, 1.6))
+    return DESSurface(session)
+
+
+def attach(service):
+    return service.handle({"op": "attach"})["session"]
+
+
+# -- pre-spawn set, post-spawn fire -------------------------------------------
+
+
+def test_breakpoint_set_before_spawn_fires_after_spawn():
+    service = DebuggerService(HeldTarget(des_factory))
+    sid = attach(service)
+
+    reply = service.handle({"op": "break-set", "session": sid,
+                            "predicate": "enter(receive_token)@p1 ^2"})
+    assert reply["state"] == "pending"
+    bp_id = reply["bp_id"]
+
+    spawned = service.handle({"op": "spawn", "session": sid})
+    assert [r["bp_id"] for r in spawned["armed"]] == [bp_id]
+
+    halted = service.handle({"op": "wait-halt", "session": sid, "timeout": 5})
+    assert halted["stopped"]
+    assert halted["halted"] == ["p0", "p1", "p2"]
+    fired = [r for r in halted["fired"] if r["bp_id"] == bp_id]
+    assert fired and fired[0]["state"] == "fired"
+    assert fired[0]["history"] == ["pending", "bound", "armed", "fired"]
+
+    # The fired halt is a real §2.2 halt: inspectable, ordered, resumable.
+    inspect = service.handle({"op": "inspect", "session": sid,
+                              "process": "p1"})
+    assert inspect["ok"] and inspect["state"]["tokens_seen"] == 2
+    order = service.handle({"op": "order", "session": sid})
+    assert set(order["order"]) == {"p0", "p1", "p2"}
+
+
+def test_deferred_equals_immediate():
+    """The same predicate set pre-spawn and post-spawn halts at the same
+    virtual state — deferral changes when markers are issued, not what
+    they detect (both are issued before the first user event runs)."""
+
+    def halt_state(defer):
+        service = DebuggerService(HeldTarget(des_factory))
+        sid = attach(service)
+        frame = {"op": "break-set", "session": sid,
+                 "predicate": "enter(receive_token)@p2 ^3"}
+        if defer:
+            service.handle(frame)
+            service.handle({"op": "spawn", "session": sid})
+        else:
+            service.handle({"op": "spawn", "session": sid})
+            service.handle(frame)
+        reply = service.handle({"op": "wait-halt", "session": sid,
+                                "timeout": 5})
+        assert reply["stopped"]
+        return service.handle({"op": "inspect", "session": sid,
+                               "process": "p2"})["state"]
+
+    assert halt_state(defer=True) == halt_state(defer=False)
+
+
+def test_clear_while_pending_sticks_across_spawn():
+    service = DebuggerService(HeldTarget(des_factory))
+    sid = attach(service)
+    reply = service.handle({"op": "break-set", "session": sid,
+                            "predicate": "enter(receive_token)@p1"})
+    service.handle({"op": "break-clear", "session": sid,
+                    "bp_id": reply["bp_id"]})
+
+    spawned = service.handle({"op": "spawn", "session": sid})
+    assert spawned["armed"] == []
+    halted = service.handle({"op": "wait-halt", "session": sid, "timeout": 5})
+    # Nothing armed, so the ring just runs out of hops without stopping.
+    assert halted["ok"] and halted["stopped"] is False
+    listing = service.handle({"op": "break-list", "session": sid})
+    assert listing["breakpoints"][0]["history"] == ["pending", "cleared"]
+
+
+def test_duplicate_pending_registrations_arm_once():
+    service = DebuggerService(HeldTarget(des_factory))
+    sid = attach(service)
+    first = service.handle({"op": "break-set", "session": sid,
+                            "predicate": "enter(receive_token)@p1 ^2"})
+    second = service.handle({"op": "break-set", "session": sid,
+                             "predicate": "enter(receive_token)@p1 ^2"})
+    assert first["bp_id"] == second["bp_id"]
+
+    spawned = service.handle({"op": "spawn", "session": sid})
+    assert len(spawned["armed"]) == 1
+    # Exactly one linked predicate was armed on the session underneath.
+    surface = service.target.surface()
+    assert len(surface.session._breakpoints) == 1
+
+
+# -- surviving a recovery incarnation -----------------------------------------
+
+
+def test_pending_and_armed_breakpoints_survive_recovery(tmp_path):
+    """Kill a member, let the supervisor replace the cluster, and check
+    the registry re-armed on the new incarnation: the armed record gets a
+    fresh lp_id, the pending one (naming a process that never exists)
+    stays pending, and the cleared one stays cleared."""
+    registry = BreakpointRegistry()
+    incarnations = []
+
+    def rearm(session):
+        incarnations.append(session)
+        registry.rearm(DistributedSurface(session))
+
+    params = {"n": 3, "max_hops": 100_000, "hold_time": 0.2}
+    sup = ClusterSupervisor("token_ring", params, seed=11,
+                            store=str(tmp_path), on_incarnation=rearm)
+    with sup:
+        armed = registry.register("enter(receive_token)@p1",
+                                  surface=DistributedSurface(sup.session))
+        pending = registry.register("enter(receive_token)@p9")
+        cleared = registry.register("state(last_value>3)@p0",
+                                    surface=DistributedSurface(sup.session))
+        registry.clear(cleared.bp_id,
+                       surface=DistributedSurface(sup.session))
+        first_lp = armed.lp_id
+        assert armed.state is BreakpointState.ARMED
+
+        sup.session.kill("p1")
+        deadline = time.time() + 5.0
+        while sup.session.alive("p1") and time.time() < deadline:
+            time.sleep(0.05)
+        event = sup.recover()
+        assert event.incarnation == 1
+
+        # The hook ran at initial launch (registry still empty — a no-op)
+        # and again on the replacement session, where it re-armed.
+        assert len(incarnations) == 2
+        assert armed.state is BreakpointState.ARMED
+        assert armed.lp_id is not None and armed.history.count("armed") == 2
+        assert pending.state is BreakpointState.PENDING
+        assert cleared.state is BreakpointState.CLEARED
+
+        # The re-armed predicate is live on the new cluster: it fires.
+        session = sup.session
+        stopped = session.run_until_stopped(timeout=15.0)
+        assert stopped, "re-armed breakpoint never halted the new cluster"
+        hits = {hit.marker.lp_id for hit in session.breakpoint_hits()}
+        assert armed.lp_id in hits
+        assert first_lp == 1  # old id belonged to the dead incarnation

@@ -34,7 +34,8 @@ def python_snippets(path: Path):
 def test_docs_exist():
     names = {doc.name for doc in DOCS}
     assert {"TUTORIAL.md", "FAULTS.md", "ARCHITECTURE.md",
-            "OBSERVABILITY.md", "CHECKING.md", "RECORDING.md"} <= names
+            "OBSERVABILITY.md", "CHECKING.md", "RECORDING.md",
+            "DEBUGGER.md"} <= names
 
 
 @pytest.mark.parametrize("doc", DOCS, ids=[d.name for d in DOCS])

@@ -1,0 +1,145 @@
+"""Protocol conformance for the debug control plane, property-tested.
+
+The server promise under test (mirroring ``test_wire_protocol.py`` for the
+cluster protocol): for *any* frame a client can deliver — arbitrary JSON,
+arbitrary ops, arbitrary field soup — :meth:`DebuggerService.handle`
+returns exactly one JSON-serializable reply object with a boolean ``ok``,
+errors collapsed to one line, and never raises. A shared live service also
+proves the session table stays coherent under adversarial traffic.
+"""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.debugger import DebuggerService, DESSurface, DebugSession, LiveTarget
+from repro.debugger.service import COMMANDS
+from repro.workloads import token_ring
+
+
+def make_service():
+    topo, processes = token_ring.build(n=3, max_hops=40)
+    session = DebugSession(topo, processes, seed=0)
+    return DebuggerService(LiveTarget(DESSurface(session)))
+
+
+#: One service shared across examples — closer to reality (one server,
+#: adversarial frame soup from many clients) and much faster than a
+#: cluster per example. Nothing here halts the DES, so examples are
+#: independent.
+SERVICE = make_service()
+
+json_scalars = st.one_of(
+    st.none(), st.booleans(), st.integers(), st.floats(allow_nan=False),
+    st.text(max_size=20),
+)
+
+json_values = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=3),
+        st.dictionaries(st.text(max_size=8), children, max_size=3),
+    ),
+    max_leaves=8,
+)
+
+ops = st.one_of(
+    st.sampled_from(sorted(COMMANDS)),
+    st.text(max_size=12),
+    json_scalars,
+)
+
+#: Field names a real client would send, plus arbitrary junk.
+field_names = st.one_of(
+    st.sampled_from([
+        "session", "label", "predicate", "bp_id", "process", "channel",
+        "timeout", "generation", "halt", "allow_partial",
+    ]),
+    st.text(max_size=8),
+)
+
+request_frames = st.one_of(
+    json_values,
+    st.fixed_dictionaries(
+        {"op": ops},
+        optional={name: json_values for name in
+                  ["session", "predicate", "bp_id", "process", "timeout",
+                   "generation", "label"]},
+    ),
+    st.dictionaries(field_names, json_values, max_size=5),
+)
+
+
+def assert_valid_reply(reply):
+    assert isinstance(reply, dict)
+    assert isinstance(reply.get("ok"), bool)
+    json.dumps(reply)  # the reply must survive the wire codec
+    if not reply["ok"]:
+        assert isinstance(reply["error"], str) and reply["error"]
+        assert "\n" not in reply["error"] and "\r" not in reply["error"]
+
+
+@settings(max_examples=300, deadline=None)
+@given(request_frames)
+def test_any_frame_gets_exactly_one_wellformed_reply(frame):
+    assert_valid_reply(SERVICE.handle(frame))
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.text(max_size=20), json_values)
+def test_unknown_ops_never_crash_or_attach(op, session):
+    before = SERVICE.session_count()
+    reply = SERVICE.handle({"op": op, "session": session})
+    assert_valid_reply(reply)
+    if op not in ("attach",):
+        assert SERVICE.session_count() == before
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(request_frames, min_size=1, max_size=6))
+def test_frame_sequences_leave_the_table_coherent(frames):
+    """Interleaved garbage and real commands: every attach is answerable,
+    every reply well-formed, and the table only holds sessions that were
+    actually attached."""
+    service = make_service()
+    attached = []
+    for frame in frames:
+        reply = service.handle(frame)
+        assert_valid_reply(reply)
+        if (
+            isinstance(frame, dict)
+            and frame.get("op") == "attach"
+            and reply["ok"]
+        ):
+            attached.append(reply["session"])
+    assert service.session_count() <= len(attached)
+    for sid in attached:
+        reply = service.handle({"op": "ping", "session": sid})
+        assert_valid_reply(reply)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.text(max_size=40))
+def test_arbitrary_predicates_never_crash_break_set(predicate):
+    service = SERVICE
+    sid = service.handle({"op": "attach"})["session"]
+    reply = service.handle(
+        {"op": "break-set", "session": sid, "predicate": predicate}
+    )
+    assert_valid_reply(reply)
+    service.handle({"op": "detach", "session": sid})
+    if reply["ok"]:
+        # Parsed predicates land in the registry; clean up for other runs.
+        service.registry.clear(reply["bp_id"])
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.sampled_from(sorted(COMMANDS)), json_values)
+def test_real_ops_with_garbage_sessions_reply_stale(op, session):
+    """Every session-scoped op rejects a bogus session id with ok=false
+    (attach/help/sessions are table-level and exempt)."""
+    if op in ("attach", "help", "sessions"):
+        return
+    reply = SERVICE.handle({"op": op, "session": session})
+    assert_valid_reply(reply)
+    assert reply["ok"] is False

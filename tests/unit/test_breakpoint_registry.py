@@ -1,0 +1,265 @@
+"""The deferred-breakpoint state machine (pending → bound → armed → fired).
+
+These tests drive :class:`BreakpointRegistry` against a scripted fake
+surface — no kernel, no sockets — so every transition in the lifecycle is
+pinned independently of any backend: deferral before spawn, bind-on-spawn,
+clear-while-pending, idempotent duplicates, fire matching, and re-arming
+on a replacement surface (the recovery-incarnation path).
+"""
+
+import pytest
+
+from repro.breakpoints import (
+    BreakpointRecord,
+    BreakpointRegistry,
+    BreakpointState,
+)
+from repro.util.errors import PredicateError
+
+
+class FakeSurface:
+    """The minimal surface contract the registry relies on."""
+
+    def __init__(self, names, start_lp=1):
+        self.names = list(names)
+        self._next_lp = start_lp
+        self.set_calls = []
+        self.cleared = []
+
+    def process_names(self):
+        return list(self.names)
+
+    def set_breakpoint(self, lp, halt=True):
+        lp_id = self._next_lp
+        self._next_lp += 1
+        self.set_calls.append((lp_id, str(lp), halt))
+        return lp_id
+
+    def clear_breakpoint(self, lp_id):
+        self.cleared.append(lp_id)
+
+
+class FakeHit:
+    """Shape-compatible stand-in for a BreakpointHit."""
+
+    def __init__(self, lp_id):
+        self.marker = type("M", (), {"lp_id": lp_id})()
+
+
+# -- registration -------------------------------------------------------------
+
+
+def test_register_without_surface_parks_pending():
+    registry = BreakpointRegistry()
+    record = registry.register("enter(recv)@p1")
+    assert record.state is BreakpointState.PENDING
+    assert record.lp_id is None
+    assert record.history == ["pending"]
+    assert registry.pending() == [record]
+
+
+def test_register_parses_eagerly():
+    """A syntax error surfaces at registration time, not an hour later when
+    the cluster finally spawns."""
+    registry = BreakpointRegistry()
+    with pytest.raises(PredicateError):
+        registry.register("this is (not a predicate")
+    assert registry.records() == []
+
+
+def test_register_with_covering_surface_arms_immediately():
+    registry = BreakpointRegistry()
+    surface = FakeSurface(["p0", "p1"])
+    record = registry.register("enter(recv)@p1", surface=surface)
+    assert record.state is BreakpointState.ARMED
+    assert record.history == ["pending", "bound", "armed"]
+    assert record.lp_id == 1
+    assert surface.set_calls and surface.set_calls[0][2] is True
+
+
+def test_register_against_surface_missing_process_stays_pending():
+    registry = BreakpointRegistry()
+    surface = FakeSurface(["p0"])  # predicate names p9
+    record = registry.register("enter(recv)@p9", surface=surface)
+    assert record.state is BreakpointState.PENDING
+    assert surface.set_calls == []
+
+
+def test_duplicate_registration_is_idempotent():
+    registry = BreakpointRegistry()
+    first = registry.register("enter(recv)@p1")
+    again = registry.register("enter(recv)@p1")
+    assert again is first
+    assert len(registry.records()) == 1
+    # Different halt flag is a different breakpoint.
+    other = registry.register("enter(recv)@p1", halt=False)
+    assert other is not first
+    assert len(registry.records()) == 2
+
+
+def test_duplicate_after_clear_registers_fresh():
+    registry = BreakpointRegistry()
+    first = registry.register("enter(recv)@p1")
+    registry.clear(first.bp_id)
+    second = registry.register("enter(recv)@p1")
+    assert second is not first
+    assert second.state is BreakpointState.PENDING
+
+
+# -- deferral: bind on spawn --------------------------------------------------
+
+
+def test_bind_pending_arms_on_spawn():
+    """The headline deferred case: set before the target exists, armed the
+    moment the cluster spawns."""
+    registry = BreakpointRegistry()
+    record = registry.register("enter(recv)@p1 ^2")
+    assert record.state is BreakpointState.PENDING
+
+    surface = FakeSurface(["p0", "p1", "p2"])
+    armed = registry.bind_pending(surface)
+    assert armed == [record]
+    assert record.state is BreakpointState.ARMED
+    assert record.lp_id == 1
+
+
+def test_bind_pending_skips_unknown_processes():
+    registry = BreakpointRegistry()
+    known = registry.register("enter(recv)@p0")
+    unknown = registry.register("enter(recv)@p9")
+    armed = registry.bind_pending(FakeSurface(["p0", "p1"]))
+    assert armed == [known]
+    assert unknown.state is BreakpointState.PENDING
+
+
+def test_bind_pending_never_rebinds_armed_or_cleared():
+    registry = BreakpointRegistry()
+    surface = FakeSurface(["p0"])
+    armed = registry.register("enter(recv)@p0", surface=surface)
+    cleared = registry.register("state(x>1)@p0")
+    registry.clear(cleared.bp_id)
+    assert registry.bind_pending(surface) == []
+    assert armed.lp_id == 1  # not re-armed with a new id
+
+
+# -- clearing -----------------------------------------------------------------
+
+
+def test_clear_while_pending_is_pure_bookkeeping():
+    registry = BreakpointRegistry()
+    surface = FakeSurface(["p0"])
+    record = registry.register("enter(recv)@p9")  # pending: p9 unknown
+    registry.clear(record.bp_id, surface=surface)
+    assert record.state is BreakpointState.CLEARED
+    assert surface.cleared == []  # nothing was armed, nothing disarmed
+    # A later spawn must not resurrect it.
+    assert registry.bind_pending(FakeSurface(["p9"])) == []
+
+
+def test_clear_armed_disarms_on_surface():
+    registry = BreakpointRegistry()
+    surface = FakeSurface(["p0"])
+    record = registry.register("enter(recv)@p0", surface=surface)
+    registry.clear(record.bp_id, surface=surface)
+    assert surface.cleared == [record.lp_id]
+    assert record.state is BreakpointState.CLEARED
+
+
+def test_clear_is_idempotent_and_unknown_id_raises():
+    registry = BreakpointRegistry()
+    record = registry.register("enter(recv)@p0")
+    registry.clear(record.bp_id)
+    again = registry.clear(record.bp_id)  # second clear: no error
+    assert again.state is BreakpointState.CLEARED
+    assert again.history.count("cleared") == 1
+    with pytest.raises(PredicateError):
+        registry.clear(999)
+
+
+# -- firing -------------------------------------------------------------------
+
+
+def test_mark_fired_matches_lp_id():
+    registry = BreakpointRegistry()
+    surface = FakeSurface(["p0", "p1"])
+    a = registry.register("enter(recv)@p0", surface=surface)
+    b = registry.register("enter(recv)@p1", surface=surface)
+    fired = registry.mark_fired([FakeHit(a.lp_id)])
+    assert fired == [a]
+    assert a.state is BreakpointState.FIRED
+    assert b.state is BreakpointState.ARMED
+    # Fire is sticky and not repeated.
+    assert registry.mark_fired([FakeHit(a.lp_id)]) == []
+
+
+def test_fired_record_is_not_live_and_can_be_duplicated():
+    registry = BreakpointRegistry()
+    surface = FakeSurface(["p0"])
+    record = registry.register("enter(recv)@p0", surface=surface)
+    registry.mark_fired([FakeHit(record.lp_id)])
+    assert not record.live
+    # Registering the same text again creates a new live record — the old
+    # completion does not swallow the new request.
+    fresh = registry.register("enter(recv)@p0", surface=surface)
+    assert fresh is not record
+
+
+# -- rearm: surviving a recovery incarnation ----------------------------------
+
+
+def test_rearm_reissues_armed_records_on_new_surface():
+    registry = BreakpointRegistry()
+    old = FakeSurface(["p0", "p1"])
+    record = registry.register("enter(recv)@p1", surface=old)
+    first_lp = record.lp_id
+
+    replacement = FakeSurface(["p0", "p1"], start_lp=7)
+    touched = registry.rearm(replacement)
+    assert touched == [record]
+    assert record.state is BreakpointState.ARMED
+    assert record.lp_id == 7 and record.lp_id != first_lp
+    assert replacement.set_calls[0][1] == record.text
+    # Full history tells the story: armed twice across incarnations.
+    assert record.history == [
+        "pending", "bound", "armed", "pending", "bound", "armed",
+    ]
+
+
+def test_rearm_gives_pending_records_another_chance():
+    registry = BreakpointRegistry()
+    record = registry.register("enter(recv)@p3")
+    registry.rearm(FakeSurface(["p0"]))
+    assert record.state is BreakpointState.PENDING
+    registry.rearm(FakeSurface(["p0", "p3"]))
+    assert record.state is BreakpointState.ARMED
+
+
+def test_rearm_leaves_fired_and_cleared_alone():
+    registry = BreakpointRegistry()
+    surface = FakeSurface(["p0", "p1"])
+    fired = registry.register("enter(recv)@p0", surface=surface)
+    cleared = registry.register("enter(recv)@p1", surface=surface)
+    registry.mark_fired([FakeHit(fired.lp_id)])
+    registry.clear(cleared.bp_id, surface=surface)
+
+    replacement = FakeSurface(["p0", "p1"], start_lp=50)
+    assert registry.rearm(replacement) == []
+    assert fired.state is BreakpointState.FIRED
+    assert cleared.state is BreakpointState.CLEARED
+    assert replacement.set_calls == []
+
+
+# -- wire views ---------------------------------------------------------------
+
+
+def test_to_wire_is_json_safe_and_ordered():
+    import json
+
+    registry = BreakpointRegistry()
+    surface = FakeSurface(["p0"])
+    registry.register("enter(recv)@p0", surface=surface)
+    registry.register("enter(recv)@p9")
+    rows = registry.to_wire()
+    assert [row["bp_id"] for row in rows] == [1, 2]
+    assert rows[0]["state"] == "armed" and rows[1]["state"] == "pending"
+    json.dumps(rows)  # must not raise

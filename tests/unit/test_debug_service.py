@@ -1,0 +1,299 @@
+"""The debugger service, in process: dispatch, sessions, reaping, guards.
+
+Everything here runs :meth:`DebuggerService.handle` directly — no sockets
+— over a held DES target, so the protocol's semantics (never-raise error
+replies, server-dictated attach, deferred break binding on spawn, the
+double-resume guard, disconnect/idle reaping) are pinned independently of
+the TCP server.
+"""
+
+import pytest
+
+from repro.debugger import DebugSession, DebuggerService, DESSurface, HeldTarget, LiveTarget
+from repro.debugger.service import COMMANDS, PROTOCOL_VERSION
+from repro.network.latency import UniformLatency
+from repro.workloads import token_ring
+
+
+def make_surface():
+    topo, processes = token_ring.build(n=3, max_hops=60)
+    session = DebugSession(topo, processes, seed=2,
+                          latency=UniformLatency(0.4, 1.6))
+    return DESSurface(session)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def held():
+    return DebuggerService(HeldTarget(make_surface), idle_timeout=60.0)
+
+
+@pytest.fixture
+def live():
+    return DebuggerService(LiveTarget(make_surface()), idle_timeout=60.0)
+
+
+def attach(service, label=""):
+    reply = service.handle({"op": "attach", "label": label})
+    assert reply["ok"]
+    return reply["session"]
+
+
+# -- attach dictates client behavior ------------------------------------------
+
+
+def test_attach_reply_is_the_whole_contract(live):
+    reply = live.handle({"op": "attach", "label": "t"})
+    assert reply["ok"]
+    assert reply["protocol"] == PROTOCOL_VERSION
+    assert reply["server"]["backend"] == "des"
+    assert reply["server"]["spawned"] is True
+    assert reply["server"]["idle_timeout"] == 60.0
+    assert reply["server"]["processes"] == ["p0", "p1", "p2"]
+    assert reply["commands"] == sorted(COMMANDS)
+
+
+def test_attach_to_held_target_reports_unspawned(held):
+    reply = held.handle({"op": "attach"})
+    assert reply["server"]["backend"] == "held"
+    assert reply["server"]["spawned"] is False
+    assert reply["server"]["processes"] == []
+
+
+# -- handle never raises ------------------------------------------------------
+
+
+@pytest.mark.parametrize("frame", [
+    None,
+    42,
+    "status",
+    ["op", "status"],
+    {},
+    {"op": None},
+    {"op": 7},
+    {"op": "no-such-op", "session": "s1"},
+    {"op": "status"},                      # no session
+    {"op": "status", "session": ""},
+    {"op": "status", "session": "s999"},   # stale session
+    {"op": "resume", "session": "s999"},
+])
+def test_bad_frames_get_one_line_errors(live, frame):
+    reply = live.handle(frame)
+    assert reply["ok"] is False
+    assert "\n" not in reply["error"]
+    assert reply["error"]
+
+
+def test_command_bodies_never_leak_exceptions(live):
+    sid = attach(live)
+    for frame in (
+        {"op": "inspect", "session": sid},                      # no process
+        {"op": "inspect", "session": sid, "process": "p9"},     # unknown
+        {"op": "step", "session": sid},                          # no process
+        {"op": "break-set", "session": sid},                     # no predicate
+        {"op": "break-set", "session": sid, "predicate": "(((("},
+        {"op": "break-clear", "session": sid},                   # no bp_id
+        {"op": "break-clear", "session": sid, "bp_id": 99},
+        {"op": "resume", "session": sid},                        # none halted
+        {"op": "kill", "session": sid, "process": "p0"},         # DES has no kill
+        {"op": "state", "session": sid},                         # nothing halted
+    ):
+        reply = live.handle(frame)
+        assert reply["ok"] is False, frame
+        assert "\n" not in reply["error"]
+
+
+def test_commands_against_unspawned_target_say_spawn_first(held):
+    sid = attach(held)
+    reply = held.handle({"op": "wait-halt", "session": sid})
+    assert not reply["ok"] and "spawn" in reply["error"]
+
+
+# -- deferred breakpoints through the service ---------------------------------
+
+
+def test_break_set_before_spawn_defers_then_spawn_arms(held):
+    sid = attach(held)
+    reply = held.handle({"op": "break-set", "session": sid,
+                         "predicate": "enter(receive_token)@p1 ^2"})
+    assert reply["ok"] and reply["state"] == "pending"
+    bp_id = reply["bp_id"]
+
+    spawned = held.handle({"op": "spawn", "session": sid})
+    assert spawned["ok"]
+    assert [r["bp_id"] for r in spawned["armed"]] == [bp_id]
+    assert spawned["armed"][0]["state"] == "armed"
+
+    listing = held.handle({"op": "break-list", "session": sid})
+    assert listing["breakpoints"][0]["history"] == [
+        "pending", "bound", "armed",
+    ]
+
+
+def test_spawn_is_idempotent(held):
+    sid = attach(held)
+    first = held.handle({"op": "spawn", "session": sid})
+    second = held.handle({"op": "spawn", "session": sid})
+    assert first["already"] is False
+    assert second["already"] is True
+
+
+def test_break_set_duplicate_returns_same_record(live):
+    sid = attach(live)
+    a = live.handle({"op": "break-set", "session": sid,
+                     "predicate": "enter(receive_token)@p1"})
+    b = live.handle({"op": "break-set", "session": sid,
+                     "predicate": "enter(receive_token)@p1"})
+    assert a["bp_id"] == b["bp_id"]
+
+
+def test_break_clear_while_pending(held):
+    sid = attach(held)
+    reply = held.handle({"op": "break-set", "session": sid,
+                         "predicate": "enter(receive_token)@p1"})
+    cleared = held.handle({"op": "break-clear", "session": sid,
+                           "bp_id": reply["bp_id"]})
+    assert cleared["ok"] and cleared["state"] == "cleared"
+    # Spawn must not arm the cleared record.
+    spawned = held.handle({"op": "spawn", "session": sid})
+    assert spawned["armed"] == []
+
+
+# -- halt / resume generation guards ------------------------------------------
+
+
+def halted_service():
+    service = DebuggerService(LiveTarget(make_surface()))
+    sid = attach(service)
+    service.handle({"op": "break-set", "session": sid,
+                    "predicate": "enter(receive_token)@p1 ^2"})
+    reply = service.handle({"op": "wait-halt", "session": sid, "timeout": 5})
+    assert reply["stopped"] and reply["generation"] == 1
+    assert reply["fired"], "the armed breakpoint must be marked fired"
+    return service, sid
+
+
+def test_each_generation_resumes_exactly_once():
+    service, sid_a = halted_service()
+    sid_b = attach(service)
+
+    resumed = service.handle({"op": "resume", "session": sid_b})
+    assert resumed["ok"] and resumed["resumed"] and resumed["by"] == sid_b
+
+    again = service.handle({"op": "resume", "session": sid_a})
+    assert not again["ok"]
+    assert "already resumed" in again["error"] and sid_b in again["error"]
+
+
+def test_resume_rejects_stale_generation():
+    service, sid = halted_service()
+    reply = service.handle({"op": "resume", "session": sid, "generation": 99})
+    assert not reply["ok"] and "stale generation" in reply["error"]
+
+
+def test_resume_is_observed_across_sessions():
+    service, sid_a = halted_service()
+    sid_b = attach(service)
+    service.handle({"op": "resume", "session": sid_b})
+    status = service.handle({"op": "status", "session": sid_a})
+    assert status["halted"] == []
+
+
+def test_step_over_the_service():
+    service, sid = halted_service()
+    reply = service.handle({"op": "step", "session": sid, "process": "p1"})
+    assert reply["ok"]
+    assert reply["process"] == "p1"
+    assert isinstance(reply["delivered"], bool)
+    assert isinstance(reply["remaining"], int)
+    status = service.handle({"op": "status", "session": sid})
+    assert "p1" in status["halted"], "stepping never un-halts"
+
+
+# -- session reaping (the stale-session fix) ----------------------------------
+
+
+def test_drop_connection_reaps_only_that_connections_sessions(live):
+    a = live.handle({"op": "attach"}, conn_id=1)["session"]
+    b = live.handle({"op": "attach"}, conn_id=1)["session"]
+    c = live.handle({"op": "attach"}, conn_id=2)["session"]
+
+    reaped = live.drop_connection(1)
+    assert sorted(reaped) == sorted([a, b])
+    assert live.reaped["disconnect"] == 2
+    assert live.session_count() == 1
+
+    # The survivor keeps working; the reaped ones are stale.
+    assert live.handle({"op": "ping", "session": c})["ok"]
+    assert not live.handle({"op": "ping", "session": a})["ok"]
+
+
+def test_idle_sessions_reaped_by_ttl_backstop():
+    clock = FakeClock()
+    service = DebuggerService(LiveTarget(make_surface()),
+                              idle_timeout=30.0, clock=clock)
+    stale = attach(service, label="stale")
+    clock.now += 10
+    fresh = attach(service, label="fresh")
+    clock.now += 25  # stale is 35s idle, fresh 25s
+
+    # Any command triggers the sweep.
+    reply = service.handle({"op": "sessions", "session": fresh})
+    assert service.reaped["idle"] == 1
+    assert [row["session"] for row in reply["sessions"]] == [fresh]
+    assert not service.handle({"op": "ping", "session": stale})["ok"]
+
+
+def test_ping_refreshes_the_idle_clock():
+    clock = FakeClock()
+    service = DebuggerService(LiveTarget(make_surface()),
+                              idle_timeout=30.0, clock=clock)
+    sid = attach(service)
+    for _ in range(4):
+        clock.now += 20
+        assert service.handle({"op": "ping", "session": sid})["ok"]
+    assert service.session_count() == 1
+    assert service.reaped["idle"] == 0
+
+
+def test_detach_never_touches_other_sessions(live):
+    a = attach(live)
+    b = attach(live)
+    reply = live.handle({"op": "detach", "session": a})
+    assert reply["ok"] and reply["detached"] == a
+    assert live.handle({"op": "ping", "session": b})["ok"]
+    assert not live.handle({"op": "ping", "session": a})["ok"]
+
+
+# -- misc ---------------------------------------------------------------------
+
+
+def test_sessions_lists_command_counts(live):
+    sid = attach(live, label="ci")
+    live.handle({"op": "ping", "session": sid})
+    live.handle({"op": "status", "session": sid})
+    # attach/sessions/help are table-level ops and do not count against a
+    # session; the ping and the status do.
+    rows = live.handle({"op": "sessions", "session": sid})["sessions"]
+    assert len(rows) == 1
+    assert rows[0]["label"] == "ci"
+    assert rows[0]["commands"] == 2
+
+
+def test_help_lists_every_command(live):
+    reply = live.handle({"op": "help"})
+    assert reply["ok"] and set(reply["commands"]) == set(COMMANDS)
+
+
+def test_shutdown_sets_the_event(live):
+    sid = attach(live)
+    reply = live.handle({"op": "shutdown", "session": sid})
+    assert reply["ok"] and reply["stopping"]
+    assert live.shutdown_requested.is_set()

@@ -3,11 +3,15 @@ docstring. The repo's documentation strategy leans on docstrings (the docs
 link into them, the tutorial quotes them), so missing ones are regressions,
 not style nits.
 
-The ``repro.check`` and ``repro.record`` packages — the checker
-handbook's and the recording guide's subjects — are held to a stricter
-bar: every public *function and method* documents itself too, since
-docs/CHECKING.md and docs/RECORDING.md point readers straight at those
-signatures."""
+The ``repro.check``, ``repro.record``, and ``repro.debugger`` packages —
+the checker handbook's, the recording guide's, and the debugger
+handbook's subjects — are held to a stricter bar: every public *function
+and method* documents itself too, since docs/CHECKING.md,
+docs/RECORDING.md, and docs/DEBUGGER.md point readers straight at those
+signatures. A method overriding a documented method of a base class in
+the same module inherits that docstring (the surface classes implement
+one documented abstract API three times; repeating the text would drown
+the real documentation)."""
 
 import ast
 import pathlib
@@ -25,7 +29,9 @@ def _public_functions(tree):
     """Public module-level functions plus methods of public classes.
 
     Closures and underscore-private names are exempt — they are local
-    implementation detail, not the surface the handbook points at.
+    implementation detail, not the surface the handbook points at. A
+    method overriding a *documented* method of a base class defined in
+    the same module is exempt too: it inherits that docstring.
     """
     def defs_in(body):
         for node in body:
@@ -33,10 +39,29 @@ def _public_functions(tree):
                     and not node.name.startswith("_"):
                 yield node
 
+    # class name -> names of its documented methods (same module only).
+    documented = {
+        cls.name: {
+            fn.name for fn in defs_in(cls.body)
+            if ast.get_docstring(fn) is not None
+        }
+        for cls in tree.body if isinstance(cls, ast.ClassDef)
+    }
+
+    def inherited(cls):
+        names = set()
+        for base in cls.bases:
+            if isinstance(base, ast.Name):
+                names |= documented.get(base.id, set())
+        return names
+
     yield from defs_in(tree.body)
     for cls in tree.body:
         if isinstance(cls, ast.ClassDef) and not cls.name.startswith("_"):
-            yield from defs_in(cls.body)
+            base_docs = inherited(cls)
+            for fn in defs_in(cls.body):
+                if fn.name not in base_docs:
+                    yield fn
 
 
 def test_every_public_module_and_class_has_a_docstring():
@@ -59,7 +84,7 @@ def test_every_public_module_and_class_has_a_docstring():
 
 def test_every_public_function_in_the_documented_packages_has_a_docstring():
     missing = []
-    for package in ("check", "record"):
+    for package in ("check", "record", "debugger"):
         for path in sorted((SRC / package).rglob("*.py")):
             relative = path.relative_to(SRC.parent)
             tree = ast.parse(
@@ -71,6 +96,6 @@ def test_every_public_function_in_the_documented_packages_has_a_docstring():
                         f"{relative}:{node.lineno}: def {node.name}"
                     )
     assert not missing, (
-        "public repro.check/repro.record functions without docstrings:\n  "
-        + "\n  ".join(missing)
+        "public repro.check/record/debugger functions without "
+        "docstrings:\n  " + "\n  ".join(missing)
     )

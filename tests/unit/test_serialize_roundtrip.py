@@ -33,6 +33,8 @@ from repro.debugger.commands import (
     SatisfactionNotice,
     StateReport,
     StateRequest,
+    StepCommand,
+    StepReport,
     UnwatchCommand,
     WatchCommand,
 )
@@ -92,6 +94,7 @@ WIRE_SAMPLES = {
     "StateRequest": StateRequest(request_id=9, include_channels=False),
     "WatchCommand": WatchCommand(watch_id=1, term_index=0, term=_SP),
     "UnwatchCommand": UnwatchCommand(watch_id=1),
+    "StepCommand": StepCommand(step_id=5, channel="p0->p1"),
     "PingCommand": PingCommand(ping_id=31),
     "StateReport": StateReport(
         request_id=9, process="p1", snapshot=_SNAPSHOT, halted=True,
@@ -103,6 +106,9 @@ WIRE_SAMPLES = {
                                          path=("d", "p2"), time=8.5),
     "PongNotice": PongNotice(ping_id=31, process="p0", halted=False,
                              time=2.0),
+    "StepReport": StepReport(step_id=5, process="p1", delivered=True,
+                             channel="p0->p1", detail="wire(+7)",
+                             remaining=2, time=9.25),
     "SatisfactionNotice": SatisfactionNotice(watch_id=1, term_index=0,
                                              hit=_HIT, vector=(4, 1, 0),
                                              vector_index=0),

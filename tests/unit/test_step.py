@@ -1,0 +1,154 @@
+"""Single-step delivery: exactly one buffered message, still halted.
+
+``step`` is the control-plane verb between "frozen" and "resumed": it pops
+the oldest message out of a halted process's halt buffer, delivers it, and
+re-freezes with a fresh snapshot — the debugger watches causality advance
+one edge at a time. These tests pin the controller-level semantics
+(:meth:`ProcessController.step_one`) and the session-level round trip
+(:meth:`DebugSession.step` → StepCommand → StepReport).
+"""
+
+import pytest
+
+from repro.debugger import DebugSession
+from repro.network.latency import UniformLatency
+from repro.util.errors import RuntimeStateError
+from repro.workloads import bank
+
+
+def halted_bank_session(seed=0):
+    """A fully halted bank run with messages left in halt buffers.
+
+    Seed 0 deterministically leaves several pending transfers buffered at
+    branch2 (and at least one at every other branch) when the breakpoint
+    halt converges.
+    """
+    topo, processes = bank.build(n=4, transfers=40)
+    session = DebugSession(topo, processes, seed=seed,
+                          latency=UniformLatency(0.4, 1.6))
+    session.set_breakpoint("state(transfers_made>=6)@branch2")
+    outcome = session.run()
+    assert outcome.stopped
+    return session
+
+
+def buffered(session, name):
+    controller = session.system.controller(name)
+    return sum(len(bucket) for bucket in controller.halt_buffers.values())
+
+
+# -- controller level ---------------------------------------------------------
+
+
+def test_step_one_requires_halted():
+    topo, processes = bank.build(n=3, transfers=10)
+    session = DebugSession(topo, processes, seed=1)
+    controller = session.system.controller("branch0")
+    with pytest.raises(RuntimeStateError):
+        controller.step_one()
+
+
+def test_step_one_pops_exactly_one_and_stays_halted():
+    session = halted_bank_session()
+    controller = session.system.controller("branch2")
+    before = buffered(session, "branch2")
+    assert before >= 2, "scenario must leave multiple buffered messages"
+
+    envelope = controller.step_one()
+    assert envelope is not None
+    assert controller.halted, "stepping must re-freeze the process"
+    assert buffered(session, "branch2") == before - 1
+    # The delivered envelope is really gone, not merely dequeued from the
+    # order index.
+    for bucket in controller.halt_buffers.values():
+        assert envelope not in bucket
+
+
+def test_step_one_refreshes_snapshot_but_keeps_halt_meta():
+    session = halted_bank_session()
+    controller = session.system.controller("branch2")
+    old = controller.halted_snapshot
+    assert old is not None
+
+    controller.step_one()
+    new = controller.halted_snapshot
+    assert new is not None and new is not old
+    # §2.2.4 bookkeeping survives the step: same generation, same path.
+    assert new.meta.get("halt_id") == old.meta.get("halt_id")
+    assert new.meta.get("halt_path") == old.meta.get("halt_path")
+
+
+def test_step_one_channel_filter_misses_return_none():
+    session = halted_bank_session()
+    controller = session.system.controller("branch2")
+    before = buffered(session, "branch2")
+    assert controller.step_one(channel="no-such-channel") is None
+    assert buffered(session, "branch2") == before
+    assert controller.halted
+
+
+def test_step_one_drains_in_arrival_order():
+    session = halted_bank_session()
+    controller = session.system.controller("branch2")
+    expected = list(controller._halt_buffer_order)
+    drained = []
+    while True:
+        envelope = controller.step_one()
+        if envelope is None:
+            break
+        drained.append(envelope)
+    assert drained == expected
+    assert buffered(session, "branch2") == 0
+    assert controller.halted
+
+
+# -- session level (command + report over the protocol) -----------------------
+
+
+def test_session_step_round_trip():
+    session = halted_bank_session()
+    before = buffered(session, "branch2")
+    report = session.step("branch2")
+    assert report.delivered
+    assert report.process == "branch2"
+    assert report.remaining == before - 1
+    assert report.channel  # names the channel it was delivered on
+    assert "Transfer" in report.detail or report.detail
+
+
+def test_session_step_applies_the_message():
+    """A step visibly advances the process: delivered transfers change its
+    balance/state where a plain inspect of a frozen process would not."""
+    session = halted_bank_session()
+    state_before = session.inspect("branch2")
+    stepped_any = False
+    while session.step("branch2").delivered:
+        stepped_any = True
+    assert stepped_any
+    state_after = session.inspect("branch2")
+    assert state_after != state_before
+
+
+def test_session_step_empty_buffer_reports_not_delivered():
+    session = halted_bank_session()
+    while session.step("branch2").delivered:
+        pass
+    report = session.step("branch2")
+    assert not report.delivered
+    assert report.remaining == 0
+    assert session.system.controller("branch2").halted
+
+
+def test_session_step_then_resume_still_works():
+    session = halted_bank_session()
+    session.step("branch2")
+    session.resume()
+    outcome = session.run()
+    # Nothing left to stop the program: it runs to completion with
+    # conservation intact.
+    total = sum(
+        session.inspect(name)["balance"]
+        for name in session.system.user_process_names
+    )
+    assert total == 4 * bank.INITIAL_BALANCE
+    assert not outcome.stopped or session.current_generation() >= 1

@@ -16,13 +16,19 @@ quantifies the two levers the parallel explorer pulls:
 
 Determinism is asserted along the way: a fixed seed must produce the same
 schedule count, distinct-state count, and violation set at every worker
-count.
+count. Engine accounting (leases, snapshot restores vs root replays,
+captures/evictions) is recorded per row but deliberately *excluded* from
+the determinism check — which worker executes which lease is timing-
+dependent; only the merged verdict is contractual.
 
-Caveat recorded in the JSON: multi-process wall-clock speedup requires
-multiple cores. On a single-CPU host (such as a constrained CI container)
-``-j 4`` cannot beat sequential — the ``j4_vs_sequential`` criterion is
-then recorded as measured but marked "skipped (single-cpu host)" instead
-of asserted.
+Speedup criteria detect the host at runtime and refuse to dodge: on a
+host with >= 4 cores, ``j4_vs_sequential`` must clear
+:data:`J4_SPEEDUP_FLOOR` or the benchmark *fails*; with >= 2 cores,
+``j2_vs_sequential`` must clear :data:`J2_SPEEDUP_FLOOR`. The only
+documented skip is a single-core host, where a multi-process explorer
+cannot beat sequential wall-clock by physics, not by implementation.
+Every JSON row records the ``cpu_count`` it was measured on so a reader
+can tell a single-core artifact from a real regression.
 """
 
 import heapq
@@ -35,7 +41,7 @@ from typing import Callable, List
 from bench_util import emit, emit_json, once
 from repro.check.parallel import explore_parallel
 from repro.check.runner import scenarios
-from repro.check.scheduler import ChoicePoint, DefaultStrategy, classify
+from repro.check.scheduler import classify
 from repro.simulation.kernel import ScheduledEvent, SimulationKernel
 from repro.util.errors import SimulationError
 
@@ -43,7 +49,11 @@ BUDGET = 150
 MICRO_STEPS = 5000
 MICRO_WIDTHS = (8, 48)
 KERNEL_SPEEDUP_FLOOR = 1.3
-PARALLEL_SPEEDUP_TARGET = 2.5
+#: Floors for schedules/sec vs sequential on token_ring. Asserted — not
+#: skipped — whenever the host has enough cores to make them physically
+#: attainable (>= 2 cores for j2, >= 4 for j4).
+J2_SPEEDUP_FLOOR = 1.4
+J4_SPEEDUP_FLOOR = 2.0
 
 
 # -- faithful replicas of the pre-PR hot path --------------------------------
@@ -187,35 +197,54 @@ class LegacyKernel:
         self._queue = live
 
 
-class LegacyControlledScheduler:
-    """Pre-PR ``ControlledScheduler``: classify() re-run on every step."""
+class LegacyKernelGate:
+    """Pre-PR per-step cost model behind the modern gate protocol.
 
-    def __init__(self, strategy=None) -> None:
-        self.strategy = strategy or DefaultStrategy()
-        self.trace: List[str] = []
-        self.decisions: List[str] = []
-        self.choice_points: List[ChoicePoint] = []
+    The old ``ControlledScheduler`` path paid, on *every* step: one rescan
+    of the pending queue for live entries, one fresh view object per live
+    entry, one uncached ``classify()`` per view, and one sequence-indexed
+    dict to map the choice back to its entry. This gate reproduces that
+    exact per-step work over a :class:`LegacyKernel` so ``drive()`` can
+    run it through the unchanged judging path.
+    """
 
-    def install(self, kernel) -> None:
-        kernel.set_ordering(self.__call__)
+    def __init__(self, kernel) -> None:
+        self.kernel = kernel
+        self._heads = {}
 
-    def __call__(self, events) -> int:
+    def enabled(self) -> List[str]:
+        views = [ScheduledEvent(e.sequence, e.time, e.priority, e.tiebreak)
+                 for e in self.kernel._queue if not e.cancelled]
         heads = {}
-        for event in events:
-            label = classify(event)
+        for view in views:
+            label = classify(view)
             head = heads.get(label)
-            if head is None or self._key(event) < self._key(head):
-                heads[label] = event
-        labels = sorted(heads)
-        chosen = self.strategy.on_step(labels)
-        if chosen not in heads:
-            chosen = labels[0]
-        if len(labels) > 1:
-            self.choice_points.append(
-                ChoicePoint(len(self.trace), tuple(labels), chosen))
-            self.decisions.append(chosen)
-        self.trace.append(chosen)
-        return heads[chosen].sequence
+            if head is None or self._key(view) < self._key(head):
+                heads[label] = view
+        self._heads = heads
+        return sorted(heads)
+
+    def commit(self, label: str) -> None:
+        head = self._heads[label]
+        by_sequence = {e.sequence: e
+                       for e in self.kernel._queue if not e.cancelled}
+        entry = by_sequence[head.sequence]
+        entry.cancelled = True
+        self.kernel._now = max(self.kernel._now, entry.time)
+        self.kernel._events_executed += 1
+        if self.kernel._events_executed % 256 == 0:
+            self.kernel.drain_cancelled()
+        entry.callback()
+
+    def close(self) -> None:
+        pass
+
+    def quiescent(self) -> bool:
+        return not any(not e.cancelled for e in self.kernel._queue)
+
+    @property
+    def now(self) -> float:
+        return self.kernel._now
 
     @staticmethod
     def _key(event):
@@ -260,21 +289,42 @@ def explore_rate(scenario, jobs: int, budget: int = BUDGET):
 
 
 def legacy_sequential_rate(scenario, budget: int = BUDGET):
-    """Sequential exploration with the pre-PR kernel + scheduler patched in."""
+    """Sequential exploration with the pre-PR kernel + step costs patched in."""
+    import repro.check.engine as engine_mod
     import repro.check.runner as runner_mod
     import repro.runtime.system as system_mod
 
-    saved = (system_mod.SimulationKernel, runner_mod.ControlledScheduler)
+    saved = (system_mod.SimulationKernel, runner_mod.KernelGate,
+             engine_mod.KernelGate)
     system_mod.SimulationKernel = LegacyKernel
-    runner_mod.ControlledScheduler = LegacyControlledScheduler
+    runner_mod.KernelGate = LegacyKernelGate
+    engine_mod.KernelGate = LegacyKernelGate
     try:
         return explore_rate(scenario, jobs=1, budget=budget)
     finally:
-        system_mod.SimulationKernel, runner_mod.ControlledScheduler = saved
+        (system_mod.SimulationKernel, runner_mod.KernelGate,
+         engine_mod.KernelGate) = saved
+
+
+def _engine_accounting(report):
+    """The per-run engine counters worth archiving with a throughput row."""
+    eng = report.engine
+    return {
+        "leases": report.leases,
+        "avg_lease_tasks": round(
+            report.lease_tasks / report.leases, 2) if report.leases else 0.0,
+        "snapshot_restores": eng.get("snapshot_restores", 0),
+        "root_restores": eng.get("root_restores", 0),
+        "oneshot_runs": eng.get("oneshot_runs", 0),
+        "snapshot_captures": eng.get("snapshot_captures", 0),
+        "snapshot_evictions": eng.get("snapshot_evictions", 0),
+        "replayed_decisions": eng.get("replayed_decisions", 0),
+    }
 
 
 def run_sweep():
     registry = scenarios()
+    cores = os.cpu_count() or 1
     rows = []
     json_rows = []
 
@@ -318,12 +368,19 @@ def run_sweep():
                      f"{per_jobs[4][1] / per_jobs[1][1]:.2f}x"))
         json_rows.append({
             "what": f"explore_{name}",
+            "cpu_count": cores,
             "schedules": r1.schedules_run,
             "deduped_nodes": r1.deduped_nodes,
             "distinct_states": r1.distinct_states,
             "j1_schedules_per_sec": round(per_jobs[1][1], 1),
             "j2_schedules_per_sec": round(per_jobs[2][1], 1),
             "j4_schedules_per_sec": round(per_jobs[4][1], 1),
+            "j2_speedup": round(per_jobs[2][1] / per_jobs[1][1], 3),
+            "j4_speedup": round(per_jobs[4][1] / per_jobs[1][1], 3),
+            "engine": {
+                f"j{jobs}": _engine_accounting(per_jobs[jobs][0])
+                for jobs in (1, 2, 4)
+            },
         })
 
     # Pre-PR end-to-end baseline (token_ring): same explorer driving the
@@ -340,10 +397,21 @@ def run_sweep():
         "speedup": round(current_rate / legacy_rate, 3),
     })
 
+    j2_rate = reports["token_ring"][2][1]
     j4_rate = reports["token_ring"][4][1]
     seq_rate = reports["token_ring"][1][1]
-    cores = os.cpu_count() or 1
-    multi_core = cores >= 4
+    j2_speedup = j2_rate / seq_rate
+    j4_speedup = j4_rate / seq_rate
+
+    def speedup_status(measured, floor, cores_needed):
+        if cores >= cores_needed:
+            return "pass" if measured >= floor else "fail"
+        if cores == 1:
+            return ("skipped (single-core host: a multi-process explorer "
+                    "cannot beat sequential wall-clock here)")
+        return (f"skipped (host has {cores} cores; criterion asserted on "
+                f">={cores_needed}-core hosts)")
+
     criteria = {
         "kernel_events_per_sec": {
             "target": KERNEL_SPEEDUP_FLOOR,
@@ -351,22 +419,24 @@ def run_sweep():
             "status": "pass" if min(kernel_ratios.values())
             >= KERNEL_SPEEDUP_FLOOR else "fail",
         },
-        "j4_vs_sequential_token_ring": {
-            "target": PARALLEL_SPEEDUP_TARGET,
-            "measured": round(j4_rate / seq_rate, 3),
+        "j2_vs_sequential_token_ring": {
+            "target": J2_SPEEDUP_FLOOR,
+            "measured": round(j2_speedup, 3),
             "cpu_count": cores,
-            "status": (
-                ("pass" if j4_rate / seq_rate >= PARALLEL_SPEEDUP_TARGET
-                 else "fail") if multi_core
-                else "skipped (single-cpu host: multi-process wall-clock "
-                     "speedup requires multiple cores)"
-            ),
+            "status": speedup_status(j2_speedup, J2_SPEEDUP_FLOOR, 2),
+        },
+        "j4_vs_sequential_token_ring": {
+            "target": J4_SPEEDUP_FLOOR,
+            "measured": round(j4_speedup, 3),
+            "cpu_count": cores,
+            "status": speedup_status(j4_speedup, J4_SPEEDUP_FLOOR, 4),
         },
     }
     assert min(kernel_ratios.values()) >= KERNEL_SPEEDUP_FLOOR, kernel_ratios
-    if multi_core:
-        assert j4_rate / seq_rate >= PARALLEL_SPEEDUP_TARGET, (
-            j4_rate, seq_rate)
+    # A "fail" status above must fail the benchmark — a capable host that
+    # misses the floor is a perf regression, not an environment artifact.
+    for key, crit in criteria.items():
+        assert crit["status"] != "fail", (key, crit)
     return rows, json_rows, criteria
 
 

@@ -26,11 +26,23 @@ Options::
                     (``python -m repro record``): replay it in the DES,
                     judge fidelity, then search the schedules within
                     ``--radius`` adjacent swaps of it plus trace-biased
-                    walks for the remaining budget
+                    walks for the remaining budget (``-j N`` shards the
+                    sweep; workers rebuild the scenario from the trace
+                    file)
     --radius K      swap distance explored around the trace (default 2)
-    -j N, --jobs N  explore with N worker processes (default 1). Any N
-                    yields the same violation set for a fixed seed: results
-                    merge deterministically in the parent
+    -j N, --jobs N  explore with N worker processes (default 1). Work
+                    ships as batched leases to worker-resident engines
+                    that rewind one built world per schedule instead of
+                    rebuilding it. Any N yields the same violation set
+                    for a fixed seed: results merge deterministically in
+                    the parent
+    --order O       frontier traversal: ``dfs`` (default; canonical
+                    arrival order) or ``level`` (Chauhan–Garg level-by-
+                    level traversal under bounded frontier memory)
+    --frontier-limit N
+                    max queued frontier nodes under ``--order level``
+                    (default 1024); overflow nodes are dropped and
+                    counted in the report
     --no-dedup      disable state-fingerprint subtree dedup (parallel
                     engine only; mainly for measuring its effect)
     --mutate NAME   run with a deliberately broken HaltingAgent (basic-mode
@@ -72,6 +84,8 @@ def check_main(argv: Optional[List[str]] = None) -> int:
     budget, seed, dfs_depth, jobs = 200, 0, 10, 1
     radius = 2
     dedup = True
+    order = "dfs"
+    frontier_limit: Optional[int] = None
     list_requested = False
     backend = "des"
     mutate: Optional[str] = None
@@ -106,6 +120,18 @@ def check_main(argv: Optional[List[str]] = None) -> int:
                 return _usage_error(
                     f"unknown backend {backend!r}; "
                     "known: des, threaded, distributed"
+                )
+        elif arg == "--order":
+            order = value()
+            if order not in ("dfs", "level"):
+                return _usage_error(
+                    f"unknown order {order!r}; known: dfs, level"
+                )
+        elif arg == "--frontier-limit":
+            frontier_limit = int(value())
+            if frontier_limit < 1:
+                return _usage_error(
+                    f"--frontier-limit must be >= 1, got {frontier_limit}"
                 )
         elif arg == "--no-dedup":
             dedup = False
@@ -172,6 +198,7 @@ def check_main(argv: Optional[List[str]] = None) -> int:
             seed=seed,
             mutate=mutate,
             artifact_path=artifact_path,
+            jobs=jobs,
         )
 
     agent_factory = MUTATIONS[mutate] if mutate else None
@@ -213,6 +240,8 @@ def check_main(argv: Optional[List[str]] = None) -> int:
             mutation=mutate,
             dedup=dedup,
             backend=backend,
+            order=order,
+            frontier_limit=frontier_limit,
         )
         print(report.summary())
         if not report.found:
@@ -257,6 +286,7 @@ def _check_from_trace(
     seed: int,
     mutate: Optional[str],
     artifact_path: Optional[str],
+    jobs: int = 1,
 ) -> int:
     """Replay a recorded trace, then explore its schedule neighborhood."""
     from repro.record.bridge import replay_trace, trace_scenario
@@ -278,7 +308,9 @@ def _check_from_trace(
         radius=radius,
         budget=budget,
         seed=seed,
-        agent_factory=factory,
+        mutation=mutate,
+        jobs=jobs,
+        trace_path=path,
     )
     print(perturbation.summary())
     if not perturbation.found:

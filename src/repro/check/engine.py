@@ -1,0 +1,482 @@
+"""The worker-resident incremental exploration engine.
+
+One explored schedule used to cost a full scenario build (topology,
+processes, channels, RNG streams, trigger, coordinator), a full replay of
+the DFS node's decision prefix, and — for twin scenarios — a *second*
+build plus a full trace replay for the Theorem-2 snapshot run. Profiling
+the stock scenarios puts ~85% of a schedule's wall time in those rebuilds
+and replays, which is why ``repro check -j N`` historically lost to
+``-j 1``: every worker paid the full cost per task and then shipped the
+result through a pickle round-trip.
+
+This module keeps one *resident world* per worker instead:
+
+* **Build once per epoch.** The first task of a ``(scenario, mutation,
+  backend)`` epoch builds the world — system, gate, coordinator, trigger
+  — and captures its started-but-unrun state as an in-place
+  :class:`~repro.runtime.memento.Memento` (the *root*). Every subsequent
+  run rewinds the same objects instead of rebuilding them.
+* **Backtrack incrementally.** A prefix run captures a second memento at
+  its *branch point* (the state ``fingerprint_system`` hashes — the exact
+  choice point the node's children diverge from). A child task restores
+  the deepest cached ancestor snapshot and replays only the decisions
+  between that snapshot and its own branch point, instead of the whole
+  prefix from step zero. Snapshots live in a bounded LRU; when a needed
+  snapshot has been evicted the run falls back to replay-from-the-root
+  and re-captures en route. The drive loop is pre-seeded with the
+  snapshot's recorded trace/decision/choice-point stitch, so a restored
+  run's :class:`~repro.check.invariants.RunRecord` is byte-identical to a
+  from-scratch run's.
+* **Resident twin.** Twin scenarios keep a second resident world wearing
+  a :class:`SnapshotCoordinator`; the Theorem-2 replay rewinds it rather
+  than rebuilding, and stops as soon as the trace is consumed and the
+  snapshot is complete (the verdict is final from that step on).
+* **Sharded fingerprint pre-dedup.** With dedup on, the engine keeps a
+  worker-local :class:`FingerprintTable` shard. The shard never decides
+  anything — the parent's canonical-order table stays authoritative for
+  the ``-j N == -j 1`` contract — but a shard hit proves the parent will
+  dedup this node too (the shard's earlier sighting has a smaller task id
+  and the parent merges in task order), so the engine skips capturing a
+  snapshot no child will ever ask for.
+
+Worlds that cannot be captured in place (threaded and distributed
+backends race real threads and sockets; see
+:class:`~repro.runtime.memento.MementoError`) fall back to the classic
+one-run-one-build :func:`~repro.check.runner.run_schedule` path, counted
+in the stats so the accounting shows which engine actually ran.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.check.fingerprint import FingerprintTable, fingerprint_system
+from repro.check.gate import DriveResult, KernelGate, drive
+from repro.check.mutations import MUTATIONS
+from repro.check.runner import (
+    Scenario,
+    ScheduleResult,
+    _assemble_basic_record,
+    _assemble_session_record,
+    _build_system,
+    _judge,
+    _twin_verdict,
+    run_schedule,
+)
+from repro.check.scheduler import (
+    BiasedWalkStrategy,
+    RandomWalkStrategy,
+    ScriptedStrategy,
+    Strategy,
+)
+from repro.experiments.harness import install_trigger
+from repro.halting.algorithm import HaltingCoordinator
+from repro.runtime.memento import Memento, MementoError, capture
+from repro.snapshot.chandy_lamport import SnapshotCoordinator
+
+import random
+
+#: Branch-point snapshots kept per resident world. Each holds the mutable
+#: frontier of one world state (a few hundred ops); the cap bounds worker
+#: memory while keeping every actively-explored subtree's restore point
+#: warm at stock budgets.
+SNAPSHOT_CAP = 64
+
+#: Counter names every stats dict carries (zero-filled), so parent-side
+#: merges can sum without key checks.
+STAT_KEYS = (
+    "builds",
+    "resident_runs",
+    "oneshot_runs",
+    "root_restores",
+    "snapshot_restores",
+    "snapshot_captures",
+    "snapshot_evictions",
+    "replayed_decisions",
+    "shard_hits",
+    "twin_runs",
+)
+
+
+def blank_stats() -> Dict[str, int]:
+    """A zeroed accounting dict with every :data:`STAT_KEYS` entry."""
+    return {key: 0 for key in STAT_KEYS}
+
+
+@dataclass
+class EngineRun:
+    """One executed schedule: the judged result plus engine bookkeeping."""
+
+    result: ScheduleResult
+    #: Branch-point state digest (prefix runs only — the dedup key).
+    fingerprint: Optional[str] = None
+    #: Shard verdict for the fingerprint: False when this worker has
+    #: already seen the state (the parent will dedup it too). None when
+    #: no shard was consulted.
+    shard_fresh: Optional[bool] = None
+
+
+@dataclass
+class _Snapshot:
+    """A branch-point memento plus the record stitch replaying into it."""
+
+    memento: Memento
+    trace: Tuple[str, ...]
+    decisions: Tuple[str, ...]
+    choice_points: tuple
+    steps: int
+
+
+class _BranchHookStrategy(Strategy):
+    """Wrap a run strategy; call ``hook(labels)`` at real choice points.
+
+    The hook observes the world *before* the inner strategy consumes a
+    decision — exactly the state ``ScriptedStrategy.on_exhausted`` sees in
+    the one-shot path — which is where fingerprints and snapshots are
+    taken.
+    """
+
+    def __init__(self, inner: Strategy, hook) -> None:
+        self._inner = inner
+        self._hook = hook
+
+    def on_step(self, labels):
+        if len(labels) > 1:
+            self._hook(labels)
+        return self._inner.on_step(labels)
+
+    def choose(self, labels):  # pragma: no cover - on_step overridden
+        return self._inner.choose(labels)
+
+
+class _ResidentWorld:
+    """One built scenario world and the mementos that rewind it."""
+
+    def __init__(self, scenario: Scenario, agent_factory) -> None:
+        self.scenario = scenario
+        self.assemble = None  # set by _build_*
+        if scenario.mode == "basic":
+            self._build_basic(scenario, agent_factory)
+        elif scenario.mode == "session":
+            self._build_session(scenario, agent_factory)
+        elif scenario.mode == "trace":
+            self._build_trace(scenario, agent_factory)
+        else:
+            raise MementoError(
+                f"mode {scenario.mode!r} has no resident world"
+            )
+        self.root = capture(*self.roots)
+        self.snapshots: "OrderedDict[Tuple[str, ...], _Snapshot]" = (
+            OrderedDict()
+        )
+        # Twin world built lazily: only twin scenarios that actually halt
+        # ever need it.
+        self._twin = None
+
+    # -- construction (mirrors the one-shot builders step for step, so a
+    # -- rewound run re-issues identical event sequence numbers) --------------
+
+    def _build_basic(self, scenario: Scenario, agent_factory) -> None:
+        system = _build_system(scenario)
+        gate = KernelGate(system.kernel)
+        coordinator = HaltingCoordinator(system, agent_factory=agent_factory)
+        install_trigger(
+            system, scenario.trigger_process, scenario.trigger_event,
+            lambda: coordinator.initiate([scenario.trigger_process]),
+        )
+        system.start()
+        self.system, self.gate = system, gate
+        self.roots = (system, gate, coordinator)
+        self.assemble = lambda result: _assemble_basic_record(
+            scenario, system, coordinator, result, "des"
+        )
+
+    def _build_session(self, scenario: Scenario, agent_factory) -> None:
+        if agent_factory is not None:
+            raise ValueError(
+                "mutations are injected via HaltingCoordinator and only "
+                "apply to basic-mode scenarios"
+            )
+        from repro.debugger.session import DebugSession
+        from repro.network.latency import FixedLatency
+
+        topology, processes = scenario.builder()
+        session = DebugSession(
+            topology, processes, seed=scenario.seed, latency=FixedLatency(1.0)
+        )
+        system = session.system
+        gate = KernelGate(system.kernel)
+        halt_order: List[str] = []
+        agents = session._halting_agents
+        for name in system.user_process_names:
+            agents[name].notify_on_halt(
+                lambda agent: halt_order.append(agent.controller.name)
+            )
+        trigger_agent = agents[scenario.trigger_process]
+
+        def initiate() -> None:
+            if not trigger_agent.controller.halted:
+                trigger_agent.initiate()
+
+        install_trigger(
+            system, scenario.trigger_process, scenario.trigger_event, initiate
+        )
+        system.start()
+        self.system, self.gate = system, gate
+        self.roots = (session, gate, halt_order)
+        self.assemble = lambda result: _assemble_session_record(
+            scenario, system, agents, halt_order, result
+        )
+
+    def _build_trace(self, scenario: Scenario, agent_factory) -> None:
+        from repro.debugger.session import DebugSession
+        from repro.network.latency import FixedLatency
+        from repro.record.bridge import _assemble_trace_record
+        from repro.record.store import TraceArtifact
+        from repro.util.errors import TraceError
+
+        artifact = scenario.trace
+        if not isinstance(artifact, TraceArtifact):
+            raise TraceError(
+                f"scenario {scenario.name!r} carries no trace artifact"
+            )
+        debugger = str(artifact.meta.get("debugger", "d"))
+        topology, processes = scenario.builder()
+        session = DebugSession(
+            topology,
+            processes,
+            seed=scenario.seed,
+            latency=FixedLatency(1.0),
+            debugger_name=debugger,
+            halting_factory=agent_factory,
+        )
+        system = session.system
+        gate = KernelGate(system.kernel)
+        halt_order: List[str] = []
+        agents = session._halting_agents
+        for name in system.user_process_names:
+            agents[name].notify_on_halt(
+                lambda agent: halt_order.append(agent.controller.name)
+            )
+        system.start()
+        session.halt()  # markers enter the network before the root capture
+        self.system, self.gate = system, gate
+        self.roots = (session, gate, halt_order)
+        self.assemble = lambda result: _assemble_trace_record(
+            scenario, system, agents, halt_order, result
+        )
+
+    # -- twin ------------------------------------------------------------------
+
+    def twin_verdict(self, trace, stats: Dict[str, int]):
+        """Run the resident Theorem-2 twin over ``trace``."""
+        if self._twin is None:
+            scenario = self.scenario
+            system = _build_system(scenario)
+            gate = KernelGate(system.kernel)
+            coordinator = SnapshotCoordinator(system)
+            install_trigger(
+                system, scenario.trigger_process, scenario.trigger_event,
+                lambda: coordinator.initiate([scenario.trigger_process]),
+            )
+            system.start()
+            memento = capture(system, gate, coordinator)
+            self._twin = (gate, coordinator, memento)
+            stats["builds"] += 1
+        gate, coordinator, memento = self._twin
+        memento.restore()
+        stats["twin_runs"] += 1
+        return _twin_verdict(gate, coordinator, list(trace),
+                             max_steps=self.scenario.max_steps * 2)
+
+
+class ExplorationEngine:
+    """Executes schedules for one ``(scenario, mutation, backend)`` epoch.
+
+    The entry points mirror the explorer's task kinds — :meth:`run_prefix`
+    (replay a decision prefix, then default order, fingerprinting the
+    branch point), :meth:`run_walk`, :meth:`run_script` (an exact
+    schedule), :meth:`run_biased` — and every one returns an
+    :class:`EngineRun` judged exactly as
+    :func:`~repro.check.runner.run_schedule` would judge the same
+    schedule.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        mutation: Optional[str] = None,
+        backend: str = "des",
+        dfs_depth: int = 10,
+        shard_dedup: bool = True,
+        snapshot_cap: int = SNAPSHOT_CAP,
+        agent_factory=None,
+    ) -> None:
+        self.scenario = scenario
+        self.mutation = mutation
+        self.backend = backend
+        self.dfs_depth = dfs_depth
+        self.snapshot_cap = snapshot_cap
+        # An explicit factory (in-process callers only — factories don't
+        # cross the worker boundary) wins over the mutation-name lookup.
+        self.agent_factory = agent_factory or (
+            MUTATIONS[mutation] if mutation else None
+        )
+        self.stats = blank_stats()
+        self.shard: Optional[FingerprintTable] = (
+            FingerprintTable() if shard_dedup else None
+        )
+        self._world: Optional[_ResidentWorld] = None
+        self._resident_failed = backend != "des"
+        if not self._resident_failed:
+            try:
+                self._world = _ResidentWorld(scenario, self.agent_factory)
+                self.stats["builds"] += 1
+            except MementoError:
+                self._resident_failed = True
+
+    def drain_stats(self) -> Dict[str, int]:
+        """Return counters accumulated since the last drain, and reset."""
+        drained = self.stats
+        self.stats = blank_stats()
+        return drained
+
+    # -- task kinds ------------------------------------------------------------
+
+    def run_walk(self, seed: str) -> EngineRun:
+        """Run one seeded random walk on the resident world."""
+        strategy = RandomWalkStrategy(random.Random(seed))
+        return self._run(strategy)
+
+    def run_script(self, decisions) -> EngineRun:
+        """Replay an explicit decision list on the resident world."""
+        return self._run(ScriptedStrategy(list(decisions)))
+
+    def run_biased(self, base, seed: str, follow: float) -> EngineRun:
+        """Run a trace-biased walk that follows ``base`` with probability
+        ``follow`` and wanders elsewhere."""
+        strategy = BiasedWalkStrategy(base=list(base),
+                                      rng=random.Random(seed),
+                                      follow=follow)
+        return self._run(strategy)
+
+    def run_prefix(self, prefix: Tuple[str, ...]) -> EngineRun:
+        """Replay ``prefix``, continue in default order, fingerprint (and
+        maybe snapshot) the branch point."""
+        if self._world is None:
+            return self._run_oneshot_prefix(prefix)
+        world = self._world
+        seeded, script = self._restore_for(prefix)
+        inner = ScriptedStrategy(script)
+        captured: List[Tuple[str, Optional[bool]]] = []
+
+        def hook(labels) -> None:
+            # Mirrors ScriptedStrategy.on_exhausted: the first choice
+            # point after the script ran out is the branch point.
+            if captured or inner._cursor < len(script):
+                return
+            digest = fingerprint_system(world.system)
+            fresh: Optional[bool] = None
+            if self.shard is not None:
+                fresh = self.shard.record(digest)
+                if not fresh:
+                    self.stats["shard_hits"] += 1
+            captured.append((digest, fresh))
+            key = tuple(seeded.decisions)
+            if (
+                len(key) < self.dfs_depth
+                and fresh is not False
+                and key not in world.snapshots
+            ):
+                world.snapshots[key] = _Snapshot(
+                    memento=capture(*world.roots),
+                    trace=tuple(seeded.trace),
+                    decisions=key,
+                    choice_points=tuple(seeded.choice_points),
+                    steps=seeded.steps,
+                )
+                self.stats["snapshot_captures"] += 1
+                while len(world.snapshots) > self.snapshot_cap:
+                    world.snapshots.popitem(last=False)
+                    self.stats["snapshot_evictions"] += 1
+
+        result = self._drive(_BranchHookStrategy(inner, hook), seeded)
+        digest, fresh = captured[0] if captured else (None, None)
+        return EngineRun(result=result, fingerprint=digest,
+                         shard_fresh=fresh)
+
+    # -- internals -------------------------------------------------------------
+
+    def _restore_for(
+        self, prefix: Tuple[str, ...]
+    ) -> Tuple[DriveResult, List[str]]:
+        """Rewind to the deepest cached ancestor of ``prefix``; return the
+        pre-seeded drive result and the decisions still to replay."""
+        world = self._world
+        for cut in range(len(prefix), -1, -1):
+            snapshot = world.snapshots.get(prefix[:cut])
+            if snapshot is not None:
+                world.snapshots.move_to_end(prefix[:cut])
+                snapshot.memento.restore()
+                self.stats["snapshot_restores"] += 1
+                self.stats["replayed_decisions"] += len(prefix) - cut
+                seeded = DriveResult(
+                    trace=list(snapshot.trace),
+                    decisions=list(snapshot.decisions),
+                    choice_points=list(snapshot.choice_points),
+                    steps=snapshot.steps,
+                )
+                return seeded, list(prefix[cut:])
+        world.root.restore()
+        self.stats["root_restores"] += 1
+        self.stats["replayed_decisions"] += len(prefix)
+        return DriveResult(), list(prefix)
+
+    def _run(self, strategy: Strategy) -> EngineRun:
+        """Execute one full schedule from the root state."""
+        if self._world is None:
+            self.stats["oneshot_runs"] += 1
+            return EngineRun(result=run_schedule(
+                self.scenario, strategy, self.agent_factory,
+                backend=self.backend,
+            ))
+        self._world.root.restore()
+        self.stats["root_restores"] += 1
+        return EngineRun(result=self._drive(strategy, DriveResult()))
+
+    def _drive(self, strategy: Strategy, seeded: DriveResult
+               ) -> ScheduleResult:
+        world = self._world
+        scenario = self.scenario
+        result = drive(world.gate, strategy, max_steps=scenario.max_steps,
+                       result=seeded)
+        record = world.assemble(result)
+        if scenario.twin and record.halt_state is not None:
+            record.snapshot_state, record.twin_divergences = (
+                world.twin_verdict(record.trace, self.stats)
+            )
+        self.stats["resident_runs"] += 1
+        # Judge against the live world *now* — the next restore rewinds
+        # the very objects the invariants read.
+        return _judge(record, scenario.invariants)
+
+    def _run_oneshot_prefix(self, prefix: Tuple[str, ...]) -> EngineRun:
+        self.stats["oneshot_runs"] += 1
+        digests: List[str] = []
+        result = run_schedule(
+            self.scenario, ScriptedStrategy(list(prefix)),
+            self.agent_factory,
+            on_branch_point=lambda system: digests.append(
+                fingerprint_system(system)),
+            backend=self.backend,
+        )
+        digest = digests[0] if digests else None
+        fresh: Optional[bool] = None
+        if digest is not None and self.shard is not None:
+            fresh = self.shard.record(digest)
+            if not fresh:
+                self.stats["shard_hits"] += 1
+        return EngineRun(result=result, fingerprint=digest,
+                         shard_fresh=fresh)

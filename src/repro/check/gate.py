@@ -109,6 +109,9 @@ def drive(
     gate: SchedulingGate,
     strategy: Optional[Strategy] = None,
     max_steps: int = 20_000,
+    *,
+    result: Optional[DriveResult] = None,
+    stop_when: Optional[Callable[[], bool]] = None,
 ) -> DriveResult:
     """Run ``gate`` to quiescence (or budget) under ``strategy``.
 
@@ -117,9 +120,20 @@ def drive(
     gate protocol: identical label math, identical choice-point and
     decision bookkeeping, so artifacts recorded on one backend replay on
     any other whose labels line up.
+
+    ``result`` pre-seeds the recording — the worker-resident explorer
+    restores a branch-point snapshot and hands in the trace/decision
+    prefix that snapshot already executed, so the stitched record is
+    byte-identical to a from-scratch run (``max_steps`` is the *total*
+    budget, prefix steps included). ``stop_when`` is checked after each
+    committed step: once it reports true the loop exits early with the
+    gate's current quiescence. The Theorem-2 twin uses it to stop as soon
+    as the replayed trace is consumed and the snapshot is complete — the
+    recorded state can no longer change, so the verdict cannot either.
     """
     strategy = strategy or DefaultStrategy()
-    result = DriveResult()
+    if result is None:
+        result = DriveResult()
     while result.steps < max_steps:
         labels = gate.enabled()
         if not labels:
@@ -137,6 +151,9 @@ def drive(
         result.trace.append(chosen)
         gate.commit(chosen)
         result.steps += 1
+        if stop_when is not None and stop_when():
+            result.quiesced = gate.quiescent()
+            return result
     result.quiesced = gate.quiescent()
     return result
 

@@ -3,79 +3,107 @@
 The sequential explorer (:mod:`repro.check.explorer`) is embarrassingly
 parallel in structure — every schedule is an independent re-execution —
 but strictly serial in implementation. This module shards the same search
-across a ``multiprocessing`` pool:
+across a ``multiprocessing`` pool built around *worker-resident
+incremental kernels* (:mod:`repro.check.engine`):
 
 * **Task stream.** Tasks are numbered in *canonical order*: task 0 is the
   canonical (default-order) run, tasks 1..W are the seeded random walks,
-  and every later task replays one DFS frontier node's decision prefix.
-  The frontier is a FIFO queue seeded by the canonical run and grown by
-  each processed prefix run, exactly as the sequential sleep-set expansion
-  would grow it (:func:`repro.check.explorer._push_children` is reused
-  verbatim).
-* **Work distribution.** Tasks go to a shared pool queue; idle workers
-  steal the next task regardless of which result the parent is waiting
-  on, so a slow schedule never idles the other workers. The parent keeps
-  at most ``jobs * PIPELINE_DEPTH`` tasks in flight.
+  and every later task replays one frontier node's decision prefix. The
+  frontier is seeded by the canonical run and grown by each processed
+  prefix run, exactly as the sequential sleep-set expansion would grow it
+  (:func:`repro.check.explorer._push_children` is reused verbatim).
+  ``order="dfs"`` (default) consumes nodes in arrival order;
+  ``order="level"`` is a Chauhan–Garg-style level traversal — all nodes
+  of prefix length *d* before any of length *d+1*, under a bounded
+  frontier that drops (and counts) overflow instead of growing without
+  bound.
+* **Batched frontier leases.** Work ships as *leases* — contiguous blocks
+  of up to :data:`LEASE_SIZE` tasks — so one pickle round-trip amortizes
+  over many schedules. Each worker keeps one
+  :class:`~repro.check.engine.ExplorationEngine` resident across leases:
+  the scenario world is built once per ``(scenario, mutation, backend)``
+  epoch, rewound in place between runs, and branch-point snapshots let a
+  child prefix restore-and-diverge instead of replaying from step zero.
+  The parent keeps at most ``jobs * PIPELINE_DEPTH`` leases in flight and
+  cuts a partial lease only when nothing else is pending, so workers
+  never starve behind a full-lease threshold.
 * **Deterministic merge.** The parent consumes results strictly in task
   order, and *every* decision — frontier expansion, fingerprint dedup,
   stopping at a violation — is made by the parent in that order. Worker
   count and timing therefore cannot change the outcome: a fixed
   ``(seed, budget)`` yields the same violation set at ``-j 1`` and
   ``-j 8``, which is the contract the CLI's ``--jobs`` flag advertises.
-* **Fingerprint dedup.** Each prefix run reports the SHA-256 fingerprint
-  of its branch-point state (:mod:`repro.check.fingerprint`). The parent
-  keeps the single dedup table; a node whose branch point matches an
-  already-expanded state contributes its own run but none of its children
-  — its subtree is the equivalence class's subtree, already queued.
+* **Sharded fingerprint dedup.** Each prefix run reports the SHA-256
+  fingerprint of its branch-point state (:mod:`repro.check.fingerprint`).
+  Workers pre-dedup against a local shard — a shard hit proves the parent
+  will dedup the node too, so the engine skips snapshotting it — but the
+  shard never decides anything: the parent keeps the single authoritative
+  table and performs the canonical-order merge. A node whose branch point
+  matches an already-expanded state contributes its own run but none of
+  its children; when the first sighting lived on a *different* worker's
+  shard the parent counts a cross-shard reconciliation
+  (:attr:`ParallelReport.cross_shard_dupes`).
 
 Workers cannot be handed :class:`~repro.check.runner.Scenario` objects
 (builders are lambdas, and a live ``System`` is full of closures), so the
 worker protocol ships *names*: each worker rebuilds the scenario from
-:func:`repro.check.runner.scenarios` and the mutation from
-:data:`repro.check.mutations.MUTATIONS`, and returns a plain-data
-:class:`RunSummary`. When the parent needs the full violating run (for
-minimization and artifacts) it replays the decision list locally —
+:func:`repro.check.runner.scenarios` — or, for trace scenarios, from the
+trace file named by ``trace_path`` — and the mutation from
+:data:`repro.check.mutations.MUTATIONS`, and returns plain-data
+:class:`RunSummary` tuples. When the parent needs the full violating run
+(for minimization and artifacts) it replays the decision list locally —
 schedules are deterministic, so the replay is the run.
 """
 
 from __future__ import annotations
 
-import random
 import time
 from collections import deque
-from dataclasses import dataclass
-from typing import Deque, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
 
+from repro.check.engine import ExplorationEngine, blank_stats
 from repro.check.explorer import ExplorationReport, _Node, _push_children
-from repro.check.fingerprint import FingerprintTable, fingerprint_system
-from repro.check.mutations import MUTATIONS
+from repro.check.fingerprint import FingerprintTable
 from repro.check.runner import Scenario, run_schedule, scenarios
-from repro.check.scheduler import (
-    ChoicePoint,
-    RandomWalkStrategy,
-    ScriptedStrategy,
-)
+from repro.check.scheduler import ChoicePoint, ScriptedStrategy
 
-#: In-flight tasks per worker. Deep enough to hide result-ordering stalls
-#: (the parent waits on the oldest task while workers run ahead), shallow
-#: enough that a violation does not leave a long tail of wasted runs.
-PIPELINE_DEPTH = 4
+#: Leases in flight per worker. Two is enough to hide the pickle
+#: round-trip behind execution (the worker starts lease k+1 while the
+#: parent merges lease k) without leaving a long tail of wasted runs
+#: after a violation.
+PIPELINE_DEPTH = 2
+
+#: Tasks per lease. One worker round-trip amortizes over this many
+#: schedules; sibling prefix nodes travel in the same block, so the
+#: worker that captured their parent's branch-point snapshot usually
+#: restores it instead of replaying from the root.
+LEASE_SIZE = 8
+
+#: Default frontier bound for ``order="level"`` — the Chauhan–Garg
+#: traversal's memory knob. Overflow nodes are dropped and counted, never
+#: silently explored out of order.
+LEVEL_FRONTIER_LIMIT = 1024
 
 
 @dataclass(frozen=True)
 class ExploreTask:
     """One unit of work: execute a single schedule of the scenario.
 
-    ``kind`` is ``"walk"`` (payload: RNG seed string) or ``"prefix"``
-    (payload: decision prefix to replay, then default order). The canonical
-    run is the empty prefix. Plain strings and tuples only — tasks cross
-    the process boundary.
+    ``kind`` is ``"walk"`` (payload: RNG seed string), ``"prefix"``
+    (payload: decision prefix to replay, then default order — the
+    canonical run is the empty prefix), ``"script"`` (payload: exact
+    decision list, no branch-point fingerprint), or ``"biased"``
+    (payload: base schedule in ``prefix`` plus RNG seed; follows the base
+    with probability ``follow``). Plain strings and tuples only — tasks
+    cross the process boundary.
     """
 
     task_id: int
     kind: str
     seed: Optional[str] = None
     prefix: Tuple[str, ...] = ()
+    follow: float = 0.85
 
 
 @dataclass(frozen=True)
@@ -84,8 +112,9 @@ class RunSummary:
 
     Carries everything the parent needs to merge: the verdict, the full
     decision list (enough to replay the run exactly), the trace and choice
-    points (enough to expand DFS children), and the branch-point
-    fingerprint (enough to dedup).
+    points (enough to expand frontier children), the branch-point
+    fingerprint (enough to dedup), and the worker shard's verdict on that
+    fingerprint (enough to attribute cross-shard duplicates).
     """
 
     task_id: int
@@ -95,6 +124,9 @@ class RunSummary:
     violations: Tuple[str, ...]
     inconclusive: bool
     fingerprint: Optional[str] = None
+    #: Worker-shard verdict for ``fingerprint``: ``False`` when this
+    #: worker had already seen the state, ``None`` when no shard ran.
+    shard_fresh: Optional[bool] = None
 
 
 @dataclass
@@ -102,11 +134,27 @@ class ParallelReport(ExplorationReport):
     """An :class:`ExplorationReport` plus the parallel engine's accounting."""
 
     jobs: int = 1
+    #: Frontier traversal: ``"dfs"`` (arrival order) or ``"level"``.
+    order: str = "dfs"
     #: Frontier nodes whose branch-point state matched an already-expanded
     #: equivalence class — their subtrees were skipped.
     deduped_nodes: int = 0
     #: Distinct branch-point states seen (the dedup table's size).
     distinct_states: int = 0
+    #: Deduped nodes whose first sighting lived on a *different* worker's
+    #: shard — the cross-shard reconciliations the parent's canonical
+    #: merge performed. Timing-dependent accounting (which worker saw a
+    #: state first varies), never part of the determinism contract.
+    cross_shard_dupes: int = 0
+    #: Nodes discarded by the level frontier's memory bound.
+    dropped_nodes: int = 0
+    #: Lease accounting: blocks dispatched and tasks they carried.
+    leases: int = 0
+    lease_tasks: int = 0
+    #: Summed worker-engine counters (see
+    #: :data:`repro.check.engine.STAT_KEYS`): builds, restores vs
+    #: replays, snapshot captures/evictions, shard hits, twin runs.
+    engine: Dict[str, int] = field(default_factory=blank_stats)
     elapsed_seconds: float = 0.0
 
     @property
@@ -117,67 +165,142 @@ class ParallelReport(ExplorationReport):
         return self.schedules_run / self.elapsed_seconds
 
     def summary(self) -> str:
-        """The base verdict line plus parallelism and dedup counters."""
+        """The base verdict line plus parallelism and engine counters."""
         base = super().summary()
-        return (
+        eng = self.engine
+        avg = self.lease_tasks / self.leases if self.leases else 0.0
+        line = (
             f"{base}; jobs={self.jobs}, "
             f"{self.deduped_nodes} subtrees deduped "
             f"({self.distinct_states} distinct states), "
-            f"{self.schedules_per_second:.1f} schedules/s"
+            f"{self.schedules_per_second:.1f} schedules/s; "
+            f"{self.leases} leases (avg {avg:.1f} tasks), "
+            f"{eng['snapshot_restores']} snapshot restores / "
+            f"{eng['root_restores']} root replays, "
+            f"{eng['snapshot_captures']} captured "
+            f"({eng['snapshot_evictions']} evicted)"
         )
+        if self.order != "dfs":
+            line += f"; order={self.order}, {self.dropped_nodes} dropped"
+        return line
 
 
 # -- worker side ----------------------------------------------------------------
 
-_WORKER_SCENARIO: Optional[str] = None
-_WORKER_MUTATION: Optional[str] = None
-_WORKER_BACKEND: str = "des"
+#: Epoch descriptor set by the pool initializer; the engine is built
+#: lazily on the first lease and kept resident until the epoch changes.
+_WORKER_EPOCH: Optional[tuple] = None
+_WORKER_ENGINE: Optional[ExplorationEngine] = None
+#: In-process fallback for scenarios that cannot be rebuilt by name or
+#: path (a trace scenario handed directly to ``explore_parallel`` with
+#: ``jobs == 1``) and for raw agent factories (in-process only — they
+#: don't pickle). Never set in a pooled worker. The token bumps on every
+#: assignment so a stale resident engine can never be mistaken for the
+#: current epoch's.
+_LOCAL_SCENARIO: Optional[Scenario] = None
+_LOCAL_FACTORY = None
+_LOCAL_TOKEN = 0
 
 
-def _init_worker(scenario_name: str, mutation: Optional[str],
-                 backend: str = "des") -> None:
-    """Pool initializer: record which scenario/mutation/backend this
-    worker runs.
+def _set_local(scenario: Optional[Scenario], factory=None) -> None:
+    global _LOCAL_SCENARIO, _LOCAL_FACTORY, _LOCAL_TOKEN
+    _LOCAL_SCENARIO = scenario
+    _LOCAL_FACTORY = factory
+    _LOCAL_TOKEN += 1
 
-    Names, not objects — the worker rebuilds both from the registries, so
-    nothing unpicklable ever crosses the process boundary.
+
+def _init_worker(
+    scenario_name: str,
+    mutation: Optional[str],
+    backend: str = "des",
+    trace_path: Optional[str] = None,
+    dfs_depth: int = 10,
+    shard_dedup: bool = True,
+) -> None:
+    """Pool initializer: record this worker's epoch.
+
+    Names and paths, not objects — the worker rebuilds the scenario from
+    the registry (or the trace file) and the mutation from
+    :data:`~repro.check.mutations.MUTATIONS`, so nothing unpicklable ever
+    crosses the process boundary. The resident engine is built lazily by
+    the first lease and torn down only when the epoch changes (which in a
+    pooled worker is never — pools are per-exploration — but the
+    in-process ``jobs == 1`` path reuses this module's globals across
+    calls).
     """
-    global _WORKER_SCENARIO, _WORKER_MUTATION, _WORKER_BACKEND
-    _WORKER_SCENARIO = scenario_name
-    _WORKER_MUTATION = mutation
-    _WORKER_BACKEND = backend
-
-
-def _run_task(task: ExploreTask) -> RunSummary:
-    """Execute one schedule in this worker and summarise it."""
-    scenario = scenarios()[_WORKER_SCENARIO]
-    agent_factory = MUTATIONS[_WORKER_MUTATION] if _WORKER_MUTATION else None
-    digest: List[str] = []
-    if task.kind == "walk":
-        strategy = RandomWalkStrategy(random.Random(task.seed))
-        result = run_schedule(scenario, strategy, agent_factory,
-                              backend=_WORKER_BACKEND)
-    else:
-        strategy = ScriptedStrategy(list(task.prefix))
-        result = run_schedule(
-            scenario, strategy, agent_factory,
-            on_branch_point=lambda system: digest.append(
-                fingerprint_system(system)),
-            backend=_WORKER_BACKEND,
-        )
-    record = result.record
-    return RunSummary(
-        task_id=task.task_id,
-        decisions=tuple(record.decisions),
-        trace=tuple(record.trace),
-        choice_points=tuple(
-            (cp.trace_index, tuple(cp.enabled), cp.chosen)
-            for cp in record.choice_points
-        ),
-        violations=tuple(v.invariant for v in result.violations),
-        inconclusive=result.inconclusive,
-        fingerprint=digest[0] if digest else None,
+    global _WORKER_EPOCH
+    _WORKER_EPOCH = (
+        scenario_name, mutation, backend, trace_path, dfs_depth,
+        shard_dedup, _LOCAL_TOKEN,
     )
+
+
+def _ensure_engine() -> ExplorationEngine:
+    """The worker's resident engine for the current epoch (build once)."""
+    global _WORKER_ENGINE
+    if (
+        _WORKER_ENGINE is not None
+        and _WORKER_ENGINE._epoch == _WORKER_EPOCH
+    ):
+        return _WORKER_ENGINE
+    (name, mutation, backend, trace_path, dfs_depth, shard_dedup,
+     _local) = _WORKER_EPOCH
+    if trace_path is not None:
+        from repro.record.bridge import trace_scenario
+        from repro.record.store import load_trace
+
+        scenario = trace_scenario(load_trace(trace_path), name=name)
+    elif _LOCAL_SCENARIO is not None and _LOCAL_SCENARIO.name == name:
+        scenario = _LOCAL_SCENARIO
+    else:
+        scenario = scenarios()[name]
+    engine = ExplorationEngine(
+        scenario, mutation=mutation, backend=backend, dfs_depth=dfs_depth,
+        shard_dedup=shard_dedup, agent_factory=_LOCAL_FACTORY,
+    )
+    engine._epoch = _WORKER_EPOCH
+    _WORKER_ENGINE = engine
+    return engine
+
+
+def _run_lease(
+    tasks: Tuple[ExploreTask, ...],
+) -> Tuple[Tuple[RunSummary, ...], Dict[str, int]]:
+    """Execute one block of tasks on this worker's resident engine.
+
+    Returns the per-task summaries (in task order) plus the engine
+    counters accumulated over the block — one pickle round-trip for the
+    whole lease.
+    """
+    engine = _ensure_engine()
+    summaries = []
+    for task in tasks:
+        if task.kind == "walk":
+            run = engine.run_walk(task.seed)
+        elif task.kind == "prefix":
+            run = engine.run_prefix(task.prefix)
+        elif task.kind == "script":
+            run = engine.run_script(list(task.prefix))
+        elif task.kind == "biased":
+            run = engine.run_biased(task.prefix, task.seed, task.follow)
+        else:  # pragma: no cover - parent never builds other kinds
+            raise ValueError(f"unknown task kind {task.kind!r}")
+        result = run.result
+        record = result.record
+        summaries.append(RunSummary(
+            task_id=task.task_id,
+            decisions=tuple(record.decisions),
+            trace=tuple(record.trace),
+            choice_points=tuple(
+                (cp.trace_index, tuple(cp.enabled), cp.chosen)
+                for cp in record.choice_points
+            ),
+            violations=tuple(v.invariant for v in result.violations),
+            inconclusive=result.inconclusive,
+            fingerprint=run.fingerprint,
+            shard_fresh=run.shard_fresh,
+        ))
+    return tuple(summaries), engine.drain_stats()
 
 
 # -- parent side ----------------------------------------------------------------
@@ -212,7 +335,12 @@ def _as_result_view(summary: RunSummary) -> _ResultView:
 
 
 class _Frontier:
-    """FIFO queue of unexplored DFS nodes, grown in canonical order."""
+    """FIFO queue of unexplored frontier nodes, grown in canonical order.
+
+    The k-th pop is the k-th arrival, and arrivals happen at merge time
+    in task order — so the pop sequence is independent of worker count
+    and timing even though *when* pops happen is not.
+    """
 
     def __init__(self, dfs_depth: int, report: ParallelReport) -> None:
         self._nodes: Deque[_Node] = deque()
@@ -222,8 +350,8 @@ class _Frontier:
     def __len__(self) -> int:
         return len(self._nodes)
 
-    def pop(self) -> _Node:
-        return self._nodes.popleft()
+    def pop(self) -> Optional[_Node]:
+        return self._nodes.popleft() if self._nodes else None
 
     def expand(self, summary: RunSummary, prefix_len: int,
                sleep: frozenset) -> None:
@@ -234,6 +362,71 @@ class _Frontier:
         # _push_children emits LIFO (reversed) for the sequential stack;
         # reverse back so the FIFO frontier sees canonical sibling order.
         self._nodes.extend(reversed(stack))
+
+
+class _LevelFrontier:
+    """Level-order frontier (Chauhan & Garg): one FIFO queue per prefix
+    depth, popped shallowest-first under a *level barrier*.
+
+    A node of depth ``d`` may only be popped when no shallower node is
+    queued **or still outstanding** (dispatched or staged but not yet
+    merged): an outstanding depth-``d'`` task (``d' < d``) can still
+    enqueue children at depths down to ``d' + 1``, so releasing depth
+    ``d`` early would let worker timing reorder the traversal. Once the
+    barrier clears, no future arrival can land below ``d`` (children are
+    strictly deeper than their parents), so levels close permanently in
+    order and the pop sequence is identical at every ``-j N``.
+
+    Total queued nodes are bounded by ``limit``; overflow children are
+    dropped at enqueue time — a merge-order (hence deterministic)
+    decision — and counted in :attr:`ParallelReport.dropped_nodes`.
+    """
+
+    def __init__(self, dfs_depth: int, report: ParallelReport,
+                 limit: int) -> None:
+        self._levels: Dict[int, Deque[_Node]] = {}
+        self._dfs_depth = dfs_depth
+        self._report = report
+        self._limit = limit
+        self._size = 0
+        #: Prefix tasks dispatched or staged but not yet merged, by depth.
+        self.outstanding: Dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return self._size
+
+    def note_dispatch(self, depth: int) -> None:
+        self.outstanding[depth] = self.outstanding.get(depth, 0) + 1
+
+    def note_merge(self, depth: int) -> None:
+        left = self.outstanding.get(depth, 0) - 1
+        if left <= 0:
+            self.outstanding.pop(depth, None)
+        else:
+            self.outstanding[depth] = left
+
+    def pop(self) -> Optional[_Node]:
+        depths = [d for d, q in self._levels.items() if q]
+        if not depths:
+            return None
+        depth = min(depths)
+        if self.outstanding and min(self.outstanding) < depth:
+            return None  # level barrier: shallower work still in flight
+        self._size -= 1
+        return self._levels[depth].popleft()
+
+    def expand(self, summary: RunSummary, prefix_len: int,
+               sleep: frozenset) -> None:
+        stack: List[_Node] = []
+        _push_children(stack, _as_result_view(summary), prefix_len, sleep,
+                       self._dfs_depth, self._report)
+        for node in reversed(stack):
+            if self._size >= self._limit:
+                self._report.dropped_nodes += 1
+                continue
+            depth = len(node.prefix)
+            self._levels.setdefault(depth, deque()).append(node)
+            self._size += 1
 
 
 def explore_parallel(
@@ -247,6 +440,9 @@ def explore_parallel(
     dedup: bool = True,
     on_progress=None,
     backend: str = "des",
+    order: str = "dfs",
+    frontier_limit: Optional[int] = None,
+    trace_path: Optional[str] = None,
 ) -> ParallelReport:
     """Search up to ``budget`` schedules of ``scenario`` across ``jobs``
     worker processes; same contract as :func:`repro.check.explorer.explore`.
@@ -254,17 +450,34 @@ def explore_parallel(
     ``jobs <= 1`` runs the identical algorithm in-process (no pool), which
     is what makes "``-j N`` equals ``-j 1``" checkable: both paths share
     every line of merge logic. ``scenario`` must come from the registry
-    (workers rebuild it by name); ``mutation`` likewise names an entry of
-    :data:`~repro.check.mutations.MUTATIONS` or is ``None``. ``backend``
-    names the substrate every worker drives (``scenario.backends`` must
-    include it).
+    (workers rebuild it by name) — or, for trace scenarios, ``trace_path``
+    must name the trace file workers rebuild it from. ``mutation``
+    likewise names an entry of :data:`~repro.check.mutations.MUTATIONS` or
+    is ``None``. ``backend`` names the substrate every worker drives
+    (``scenario.backends`` must include it). ``order`` picks the frontier
+    traversal: ``"dfs"`` (canonical arrival order) or ``"level"``
+    (strict level-by-level under ``frontier_limit`` bounded memory).
     """
+    if order not in ("dfs", "level"):
+        raise ValueError(f"unknown order {order!r}; known: dfs, level")
+    if jobs > 1 and scenario.mode == "trace" and trace_path is None:
+        raise ValueError(
+            "trace scenarios cross the worker boundary by path: pass "
+            "trace_path= (the recorded artifact file) to explore with "
+            "jobs > 1"
+        )
     report = ParallelReport(
         scenario=scenario.name, mutation=mutation, budget=budget, jobs=jobs,
+        order=order,
     )
-    agent_factory = MUTATIONS[mutation] if mutation else None
     table = FingerprintTable()
-    frontier = _Frontier(dfs_depth, report)
+    if order == "level":
+        frontier = _LevelFrontier(
+            dfs_depth, report,
+            LEVEL_FRONTIER_LIMIT if frontier_limit is None else frontier_limit,
+        )
+    else:
+        frontier = _Frontier(dfs_depth, report)
     # Same budget split as the sequential explorer: one canonical run, then
     # walks, then the DFS share — the frontier may consume less if it
     # drains, never more.
@@ -278,20 +491,24 @@ def explore_parallel(
     node_meta = {0: (0, frozenset())}
 
     started = time.perf_counter()
+    init_args = (scenario.name, mutation, backend, trace_path, dfs_depth,
+                 dedup)
     pool = None
     if jobs > 1:
         import multiprocessing
 
         pool = multiprocessing.Pool(
-            jobs, initializer=_init_worker,
-            initargs=(scenario.name, mutation, backend),
+            jobs, initializer=_init_worker, initargs=init_args,
         )
     else:
-        _init_worker(scenario.name, mutation, backend)
+        _set_local(scenario if trace_path is None else None)
+        _init_worker(*init_args)
 
     created = 0
-    pending: Deque[Tuple[ExploreTask, object]] = deque()
-    max_inflight = max(1, jobs) * PIPELINE_DEPTH
+    staged: List[ExploreTask] = []
+    pending: Deque[object] = deque()
+    max_leases = max(1, jobs) * PIPELINE_DEPTH
+    level = frontier if order == "level" else None
 
     def next_task() -> Optional[ExploreTask]:
         nonlocal created
@@ -302,67 +519,111 @@ def explore_parallel(
         elif walk_seeds:
             task = ExploreTask(task_id=created, kind="walk",
                                seed=walk_seeds.popleft())
-        elif len(frontier):
+        else:
             node = frontier.pop()
+            if node is None:
+                return None
             task = ExploreTask(task_id=created, kind="prefix",
                                prefix=node.prefix)
             node_meta[task.task_id] = (len(node.prefix), node.sleep)
-        else:
-            return None
+        if task.kind == "prefix" and level is not None:
+            level.note_dispatch(len(task.prefix))
         created += 1
         return task
 
     def dispatch() -> None:
-        while len(pending) < max_inflight:
-            task = next_task()
-            if task is None:
+        while len(pending) < max_leases:
+            while len(staged) < LEASE_SIZE:
+                task = next_task()
+                if task is None:
+                    break
+                staged.append(task)
+            if not staged:
                 return
+            if len(staged) < LEASE_SIZE and pending:
+                return  # wait for merges to grow the frontier
+            lease = tuple(staged[:LEASE_SIZE])
+            del staged[:LEASE_SIZE]
+            report.leases += 1
+            report.lease_tasks += len(lease)
             if pool is not None:
-                pending.append((task, pool.apply_async(_run_task, (task,))))
+                pending.append(
+                    (lease, pool.apply_async(_run_lease, (lease,)))
+                )
             else:
-                pending.append((task, _run_task(task)))
+                pending.append((lease, _run_lease(lease)))
+
+    def merge_one(task: ExploreTask, summary: RunSummary) -> bool:
+        """Fold one summary into the report; True when a violation stops
+        the search."""
+        report.schedules_run += 1
+        if summary.inconclusive:
+            report.inconclusive_runs += 1
+        if on_progress is not None:
+            on_progress(report.schedules_run, budget)
+        node_info = None
+        if task.kind == "prefix":
+            node_info = node_meta.pop(task.task_id)
+            if level is not None:
+                level.note_merge(len(task.prefix))
+            if task.task_id > 0:
+                report.dfs_nodes += 1
+        if summary.violations:
+            # Rebuild the full result locally: deterministic replay of
+            # the worker's decision list IS the worker's run.
+            report.violation = run_schedule(
+                scenario, ScriptedStrategy(list(summary.decisions)),
+                _local_factory(mutation), backend=backend,
+            )
+            report.found_by = (
+                "walk" if task.kind == "walk"
+                else ("default" if task.task_id == 0 else "dfs")
+            )
+            return True
+        if node_info is not None and not summary.inconclusive:
+            prefix_len, sleep = node_info
+            fresh = True
+            if dedup and summary.fingerprint is not None:
+                fresh = table.record(summary.fingerprint, task.task_id)
+                if not fresh:
+                    report.deduped_nodes += 1
+                    if summary.shard_fresh:
+                        report.cross_shard_dupes += 1
+            if fresh:
+                frontier.expand(summary, prefix_len, sleep)
+        return False
 
     try:
         dispatch()
         while pending:
-            task, handle = pending.popleft()
-            summary = handle.get() if pool is not None else handle
-            report.schedules_run += 1
-            if summary.inconclusive:
-                report.inconclusive_runs += 1
-            if on_progress is not None:
-                on_progress(report.schedules_run, budget)
-            node_info = None
-            if task.kind == "prefix":
-                node_info = node_meta.pop(task.task_id)
-                if task.task_id > 0:
-                    report.dfs_nodes += 1
-            if summary.violations:
-                # Rebuild the full result locally: deterministic replay of
-                # the worker's decision list IS the worker's run.
-                report.violation = run_schedule(
-                    scenario, ScriptedStrategy(list(summary.decisions)),
-                    agent_factory, backend=backend,
-                )
-                report.found_by = (
-                    "walk" if task.kind == "walk"
-                    else ("default" if task.task_id == 0 else "dfs")
-                )
+            lease, handle = pending.popleft()
+            summaries, stats = (
+                handle.get() if pool is not None else handle
+            )
+            for key, value in stats.items():
+                report.engine[key] += value
+            stop = False
+            for task, summary in zip(lease, summaries):
+                if merge_one(task, summary):
+                    stop = True
+                    break
+            if stop:
                 break
-            if node_info is not None and not summary.inconclusive:
-                prefix_len, sleep = node_info
-                fresh = True
-                if dedup and summary.fingerprint is not None:
-                    fresh = table.record(summary.fingerprint, task.task_id)
-                    if not fresh:
-                        report.deduped_nodes += 1
-                if fresh:
-                    frontier.expand(summary, prefix_len, sleep)
             dispatch()
     finally:
         if pool is not None:
             pool.terminate()
             pool.join()
+        elif _LOCAL_SCENARIO is not None:
+            _set_local(None)
     report.distinct_states = len(table)
     report.elapsed_seconds = time.perf_counter() - started
     return report
+
+
+def _local_factory(mutation: Optional[str]):
+    from repro.check.mutations import MUTATIONS
+
+    if mutation:
+        return MUTATIONS[mutation]
+    return _LOCAL_FACTORY

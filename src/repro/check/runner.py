@@ -179,11 +179,7 @@ def run_schedule(
         judged = tuple(
             n for n in scenario.invariants if n in STATE_REPORT_INVARIANTS
         )
-        if not record.quiesced:
-            return ScheduleResult(record=record, inconclusive=True)
-        return ScheduleResult(
-            record=record, violations=evaluate(record, judged)
-        )
+        return _judge(record, judged)
     if scenario.mode == "basic":
         record = _run_basic(scenario, strategy, agent_factory,
                             on_branch_point, backend)
@@ -197,10 +193,17 @@ def run_schedule(
                                   on_branch_point)
     else:
         raise ValueError(f"unknown scenario mode {scenario.mode!r}")
+    return _judge(record, scenario.invariants)
+
+
+def _judge(record: RunRecord, invariants: Tuple[str, ...]) -> ScheduleResult:
+    """Verdict for one completed run: inconclusive if it never drained,
+    else the invariant evaluation. Shared by :func:`run_schedule` and the
+    worker-resident engine so both paths judge identically."""
     if not record.quiesced:
         return ScheduleResult(record=record, inconclusive=True)
     return ScheduleResult(
-        record=record, violations=evaluate(record, scenario.invariants)
+        record=record, violations=evaluate(record, invariants)
     )
 
 
@@ -283,11 +286,32 @@ def _run_basic(
         gate.close()
         if backend == "threaded":
             system.shutdown()
+    record = _assemble_basic_record(scenario, system, coordinator, result,
+                                    backend)
+    if scenario.twin and record.halt_state is not None:
+        record.snapshot_state, record.twin_divergences = _run_snapshot_twin(
+            scenario, record.trace
+        )
+    return record
+
+
+def _assemble_basic_record(
+    scenario: Scenario,
+    system: System,
+    coordinator: HaltingCoordinator,
+    result,
+    backend: str,
+) -> RunRecord:
+    """Fold one driven run into a :class:`RunRecord` (twin not yet run).
+
+    Shared by the one-shot path above and the worker-resident engine,
+    which drives the same world many times and assembles each run here.
+    """
     all_halted = system.all_user_processes_halted()
     halt_state = None
     if result.quiesced and all_halted:
         halt_state = coordinator.collect()
-    record = RunRecord(
+    return RunRecord(
         scenario=scenario.name,
         mode=scenario.mode,
         system=system,
@@ -302,11 +326,6 @@ def _run_basic(
         events_executed=result.steps,
         backend=backend,
     )
-    if scenario.twin and halt_state is not None:
-        record.snapshot_state, record.twin_divergences = _run_snapshot_twin(
-            scenario, record.trace
-        )
-    return record
 
 
 def _run_snapshot_twin(
@@ -319,18 +338,40 @@ def _run_snapshot_twin(
     always replays on the DES: the label space is backend-neutral, so a
     trace recorded behind the threaded step gate aligns here too."""
     system = _build_system(scenario)
-    replay = TraceReplayStrategy(trace)
     gate = KernelGate(system.kernel)
     coordinator = SnapshotCoordinator(system)
     install_trigger(
         system, scenario.trigger_process, scenario.trigger_event,
         lambda: coordinator.initiate([scenario.trigger_process]),
     )
-    # The snapshot run keeps executing after the cut (nothing halts), so
-    # give it headroom beyond the halting run's budget.
     _start_gated(system, "des")
-    drive(gate, replay, max_steps=scenario.max_steps * 2)
+    verdict = _twin_verdict(gate, coordinator, trace,
+                            max_steps=scenario.max_steps * 2)
     gate.close()
+    return verdict
+
+
+def _twin_verdict(
+    gate: KernelGate,
+    coordinator: SnapshotCoordinator,
+    trace: List[str],
+    max_steps: int,
+) -> Tuple[Optional[GlobalState], int]:
+    """Replay ``trace`` against a snapshot-coordinated world and report
+    ``(S_r, divergences)``.
+
+    The run stops as soon as the trace is consumed *and* the snapshot is
+    complete: recorded process/channel states are frozen at their record
+    points and divergences only accrue while trace labels remain, so
+    nothing after that step can change the verdict. (The snapshot run
+    keeps executing after the cut — nothing halts — hence the headroom
+    budget callers pass.)
+    """
+    replay = TraceReplayStrategy(trace)
+    drive(
+        gate, replay, max_steps=max_steps,
+        stop_when=lambda: replay.exhausted and coordinator.is_complete(),
+    )
     state = coordinator.collect() if coordinator.is_complete() else None
     return state, replay.divergences
 
@@ -377,6 +418,19 @@ def _run_session(
     _start_gated(system, "des")
     result = drive(gate, strategy, max_steps=scenario.max_steps)
     gate.close()
+    return _assemble_session_record(scenario, system, agents, halt_order,
+                                    result)
+
+
+def _assemble_session_record(
+    scenario: Scenario,
+    system: System,
+    agents: Dict[ProcessId, HaltingAgent],
+    halt_order: List[ProcessId],
+    result,
+) -> RunRecord:
+    """Fold one driven session run into a :class:`RunRecord`. Shared by
+    the one-shot path and the worker-resident engine."""
     all_halted = system.all_user_processes_halted()
     halt_state = None
     if result.quiesced and all_halted:
@@ -393,7 +447,7 @@ def _run_session(
         quiesced=result.quiesced,
         all_halted=all_halted,
         halt_state=halt_state,
-        halt_order=halt_order,
+        halt_order=list(halt_order),
         halt_paths=halt_paths,
         trace=result.trace,
         decisions=result.decisions,

@@ -258,6 +258,12 @@ class TraceReplayStrategy(Strategy):
         self._cursor = 0
         self.divergences = 0
 
+    @property
+    def exhausted(self) -> bool:
+        """True once every trace label has been consumed — no further step
+        can add a divergence, so trace-fidelity verdicts are final."""
+        return self._cursor >= len(self._trace)
+
     def on_step(self, labels: Sequence[str]) -> str:
         """Consume one trace label per step, forced steps included."""
         if self._cursor < len(self._trace):

@@ -346,6 +346,23 @@ def run_trace_record(
     session.halt()  # markers enter the network; the strategy times them
     result = drive(gate, strategy, max_steps=scenario.max_steps)
     gate.close()
+    return _assemble_trace_record(scenario, system, agents, halt_order,
+                                  result)
+
+
+def _assemble_trace_record(
+    scenario: Scenario,
+    system: System,
+    agents: Dict[ProcessId, "HaltingAgent"],
+    halt_order: List[ProcessId],
+    result,
+) -> RunRecord:
+    """Fold one driven trace-session run into a :class:`RunRecord`.
+
+    Shared by :func:`run_trace_record` and the worker-resident engine,
+    which keeps the session world alive and assembles each rewound run
+    here.
+    """
     all_halted = system.all_user_processes_halted()
     halt_state = None
     if result.quiesced and all_halted:
@@ -362,7 +379,7 @@ def run_trace_record(
         quiesced=result.quiesced,
         all_halted=all_halted,
         halt_state=halt_state,
-        halt_order=halt_order,
+        halt_order=list(halt_order),
         halt_paths=halt_paths,
         trace=result.trace,
         decisions=result.decisions,

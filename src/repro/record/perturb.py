@@ -16,20 +16,29 @@ neighborhood around it:
   fixed swap distance misses (different enabled sets open different
   branches once a swap lands).
 
-Every variant runs through the ordinary checker path
-(:func:`~repro.check.runner.run_schedule` on the trace scenario), so a
-hit is an ordinary violation: ddmin-minimizable, artifact-serializable,
-replayable. The deviation from the trace *is* the counterexample.
+Every variant runs through the ordinary checker path (the resident
+:class:`~repro.check.engine.ExplorationEngine`, judged exactly as
+:func:`~repro.check.runner.run_schedule` judges), so a hit is an ordinary
+violation: ddmin-minimizable, artifact-serializable, replayable. The
+deviation from the trace *is* the counterexample.
+
+The candidate list — base replay, swap variants, walk seeds — is a pure
+function of ``(base, radius, budget, seed)``: no execution result changes
+*which* schedules are tried, only where the sweep stops. That is what
+makes the sweep shardable: ``jobs > 1`` computes the same list up front,
+leases contiguous blocks to worker processes (each worker rebuilds the
+trace scenario from ``trace_path`` and keeps its world resident across
+the lease stream), and truncates the merged results at the first
+violating candidate — the same stop the sequential sweep makes.
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
 from repro.check.runner import Scenario, ScheduleResult, run_schedule
-from repro.check.scheduler import BiasedWalkStrategy, ScriptedStrategy
+from repro.check.scheduler import ScriptedStrategy
 from repro.halting.algorithm import HaltingAgent
 
 
@@ -39,6 +48,8 @@ class PerturbationReport:
 
     scenario: str
     base_decisions: Tuple[str, ...]
+    #: Worker processes the sweep ran on.
+    jobs: int = 1
     #: Schedules executed (base replay included).
     schedules_run: int = 0
     #: Runs that exhausted the step budget (unjudgeable, not failures).
@@ -91,56 +102,35 @@ def _swap_neighbors(
     return variants
 
 
-def explore_from_trace(
-    scenario: Scenario,
-    base_decisions: List[str],
-    radius: int = 2,
-    budget: int = 100,
-    seed: int = 0,
-    agent_factory: Optional[Callable[..., HaltingAgent]] = None,
-    walk_bias: float = 0.85,
-) -> PerturbationReport:
-    """Search up to ``budget`` schedules around ``base_decisions``.
+@dataclass(frozen=True)
+class _Candidate:
+    """One planned schedule: what to run and how to attribute a hit."""
 
-    Phases, in order, sharing the budget: (1) replay the base schedule
-    itself (with a mutated agent the recorded interleaving may already
-    fail); (2) breadth-first swap-distance search out to ``radius``
-    adjacent transpositions, deduplicated and capped at half the budget
-    (the distance-2 frontier alone is quadratic in the schedule length
-    and must not starve the walks); (3) seeded biased walks for the
-    remaining budget — these reach reorderings many swaps away, e.g.
-    delivering a forwarded marker before the victim's deferred halt.
-    Returns at the first violation — exploration is sequential and
-    deterministic for a fixed seed, so the counterexample is
-    reproducible.
+    #: ``"script"`` (exact decision list in ``payload``) or ``"biased"``
+    #: (walk seed string in ``payload``, base schedule followed with
+    #: ``walk_bias``).
+    kind: str
+    payload: object
+    phase: str
+    distance: int
+
+
+def _candidate_plan(
+    base: Tuple[str, ...], radius: int, budget: int, seed: int
+) -> List[_Candidate]:
+    """The sweep's full schedule list, in canonical order.
+
+    Purely syntactic — no schedule is executed — so the plan is identical
+    however the sweep is later sharded. Phases mirror the sequential
+    search exactly: (1) the base replay; (2) breadth-first swap-distance
+    variants out to ``radius``, deduplicated and capped at half the
+    budget (the distance-2 frontier alone is quadratic in the schedule
+    length and must not starve the walks — note the variant that trips
+    the cap is recorded as seen but neither run nor expanded, matching
+    the sequential loop's break); (3) seeded biased-walk seeds for the
+    remaining budget.
     """
-    base = tuple(base_decisions)
-    report = PerturbationReport(
-        scenario=scenario.name, base_decisions=base
-    )
-
-    def run_one(decisions, phase: str, distance: int) -> bool:
-        result = run_schedule(
-            scenario, ScriptedStrategy(list(decisions)), agent_factory
-        )
-        report.schedules_run += 1
-        if result.inconclusive:
-            report.inconclusive += 1
-            return False
-        if result.violated:
-            report.violation = result
-            report.found_by = phase
-            report.distance = distance
-            report.decisions = list(result.record.decisions)
-            return True
-        return False
-
-    if run_one(base, "base", 0):
-        return report
-
-    # The swap phase gets at most half the budget: the distance-2
-    # frontier is ~len(base)^2 schedules, and the walks (which reach far
-    # reorderings a bounded swap distance cannot) must still run.
+    candidates = [_Candidate("script", base, "base", 0)]
     swap_budget = max(1, budget // 2)
     seen = {base}
     frontier: List[Tuple[str, ...]] = [base]
@@ -156,30 +146,144 @@ def explore_from_trace(
                 if variant in seen:
                     continue
                 seen.add(variant)
-                if report.schedules_run >= swap_budget:
+                if len(candidates) >= swap_budget:
                     exhausted = True
                     break
-                if run_one(variant, "swap", distance):
-                    return report
+                candidates.append(
+                    _Candidate("script", variant, "swap", distance)
+                )
                 next_frontier.append(variant)
         frontier = next_frontier
-
     walk = 0
-    while report.schedules_run < budget:
-        rng = random.Random(f"{seed}|trace-walk|{walk}")
+    while len(candidates) < budget:
+        candidates.append(_Candidate(
+            "biased", f"{seed}|trace-walk|{walk}", "walk", walk + 1
+        ))
         walk += 1
-        strategy = BiasedWalkStrategy(list(base), rng, follow=walk_bias)
-        result = run_schedule(scenario, strategy, agent_factory)
-        report.schedules_run += 1
-        if result.inconclusive:
-            report.inconclusive += 1
-            continue
-        if result.violated:
-            report.violation = result
-            report.found_by = "walk"
-            report.distance = walk
-            report.decisions = list(result.record.decisions)
-            return report
+    return candidates
+
+
+def explore_from_trace(
+    scenario: Scenario,
+    base_decisions: List[str],
+    radius: int = 2,
+    budget: int = 100,
+    seed: int = 0,
+    agent_factory: Optional[Callable[..., HaltingAgent]] = None,
+    walk_bias: float = 0.85,
+    jobs: int = 1,
+    trace_path: Optional[str] = None,
+    mutation: Optional[str] = None,
+) -> PerturbationReport:
+    """Search up to ``budget`` schedules around ``base_decisions``.
+
+    The candidate plan (see :func:`_candidate_plan`) runs in order on
+    resident engine workers — ``jobs`` processes, each rebuilding the
+    trace scenario from ``trace_path`` (required when ``jobs > 1``; the
+    live ``scenario`` object cannot cross a process boundary) — and the
+    merged results are truncated at the first violation, so any worker
+    count yields the sequential sweep's exact report for a fixed seed.
+    ``mutation`` names a :data:`~repro.check.mutations.MUTATIONS` entry
+    for workers to rebuild; ``agent_factory`` is the in-process
+    equivalent (``jobs == 1`` only).
+    """
+    from repro.check.mutations import MUTATIONS
+    from repro.check import parallel as par
+
+    if mutation is not None and agent_factory is None:
+        agent_factory = MUTATIONS[mutation]
+    if jobs > 1:
+        if trace_path is None:
+            raise ValueError(
+                "jobs > 1 needs trace_path= (workers rebuild the trace "
+                "scenario from the recorded artifact file)"
+            )
+        if agent_factory is not None and mutation is None:
+            raise ValueError(
+                "a raw agent_factory cannot cross the worker boundary; "
+                "pass mutation=<name> instead for jobs > 1"
+            )
+    base = tuple(base_decisions)
+    report = PerturbationReport(
+        scenario=scenario.name, base_decisions=base, jobs=jobs,
+    )
+    plan = _candidate_plan(base, radius, budget, seed)
+    tasks = []
+    for i, cand in enumerate(plan):
+        if cand.kind == "script":
+            tasks.append(par.ExploreTask(
+                task_id=i, kind="script", prefix=tuple(cand.payload)
+            ))
+        else:
+            tasks.append(par.ExploreTask(
+                task_id=i, kind="biased", prefix=base, seed=cand.payload,
+                follow=walk_bias,
+            ))
+
+    init_args = (scenario.name, mutation, "des", trace_path, 10, False)
+    pool = None
+    if jobs > 1:
+        import multiprocessing
+
+        pool = multiprocessing.Pool(
+            jobs, initializer=par._init_worker, initargs=init_args,
+        )
+    else:
+        par._set_local(
+            scenario if trace_path is None else None, agent_factory
+        )
+        par._init_worker(*init_args)
+
+    try:
+        pending = []
+        cursor = 0
+        max_leases = max(1, jobs) * par.PIPELINE_DEPTH
+
+        def dispatch() -> None:
+            nonlocal cursor
+            while cursor < len(tasks) and len(pending) < max_leases:
+                lease = tuple(tasks[cursor:cursor + par.LEASE_SIZE])
+                cursor += len(lease)
+                if pool is not None:
+                    pending.append(pool.apply_async(par._run_lease, (lease,)))
+                else:
+                    pending.append(par._run_lease(lease))
+
+        dispatch()
+        while pending:
+            handle = pending.pop(0)
+            summaries, _stats = (
+                handle.get() if pool is not None else handle
+            )
+            stop = False
+            for summary in summaries:
+                cand = plan[summary.task_id]
+                report.schedules_run += 1
+                if summary.inconclusive:
+                    report.inconclusive += 1
+                    continue
+                if summary.violations:
+                    # Rebuild the full result locally — the decision list
+                    # replays the worker's run exactly.
+                    report.violation = run_schedule(
+                        scenario,
+                        ScriptedStrategy(list(summary.decisions)),
+                        agent_factory,
+                    )
+                    report.found_by = cand.phase
+                    report.distance = cand.distance
+                    report.decisions = list(summary.decisions)
+                    stop = True
+                    break
+            if stop:
+                break
+            dispatch()
+    finally:
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+        elif par._LOCAL_SCENARIO is not None or par._LOCAL_FACTORY is not None:
+            par._set_local(None)
     return report
 
 

@@ -1,0 +1,417 @@
+"""In-place mementos of a live object graph: capture once, rewind many.
+
+The worker-resident explorer (:mod:`repro.check.engine`) keeps one built
+``System`` alive per worker and *backtracks* it: instead of rebuilding the
+scenario and replaying a decision prefix from scratch, it captures the
+world at a branch point and later restores that capture in place, then
+diverges. That only works if restore reproduces the captured state
+**exactly**, aliasing included — channel handlers assert identity on the
+envelopes they delivered (``_in_flight[0] is envelope``), closures capture
+container references, the kernel's label cache is keyed by sequence
+numbers the restored counter must re-issue. ``copy.deepcopy`` snapshots
+break all of that (every restore would mint a parallel universe of new
+objects), so this module takes the opposite route:
+
+* **Capture** walks the graph once, recording for every *mutable* object
+  the values it holds right now — dict items, list slots, set members,
+  instance ``__dict__``/``__slots__`` attributes, RNG states, closure
+  cell contents. References are recorded as-is, never copied.
+* **Restore** writes those values back into the *same* objects: dicts are
+  cleared and refilled, lists spliced, attributes reassigned. Objects
+  created after the capture simply become unreachable again; objects
+  mutated after it get their fields rewound. Identity is preserved by
+  construction because no object is ever replaced.
+
+Two graph citizens need special handling:
+
+* ``random.Random`` is captured via ``getstate`` and rewound via
+  ``setstate`` — in place, so every closure holding the RNG sees the
+  rewound stream.
+* ``itertools.count`` cannot be rewound, so the capture parses its value
+  out of ``repr()`` and restore swaps a *fresh* count into the parent
+  slot. Counts stay counts (``repro.util.ids.SequenceGenerator`` relies
+  on C-level atomicity for the threaded backend); only the slot that
+  names one is rebound.
+
+Frozen dataclasses (``Envelope``, log events, ids, …) are traversed — a
+frozen shell can still hold a mutable payload — but produce no restore
+ops: their fields are never rebound after ``__post_init__``, which keeps
+capture cost proportional to the *mutable* frontier of the graph, not to
+the event log's length.
+
+Graphs containing live execution state that cannot be rewound (generator
+frames, threads, locks, open files) are rejected with
+:class:`MementoError`; callers treat that as "this world is not
+resident-capable" and fall back to rebuild-per-run.
+"""
+
+from __future__ import annotations
+
+import ast
+import itertools
+import random
+import types
+from collections import deque
+from enum import Enum
+from typing import Any, Dict, List, Tuple
+
+from repro.util.errors import ReproError
+
+__all__ = ["Memento", "MementoError", "capture"]
+
+
+class MementoError(ReproError):
+    """The object graph holds state that cannot be captured in place."""
+
+
+class _Count:
+    """Stored stand-in for an ``itertools.count`` value: restore rebinds
+    the parent slot to a fresh count starting where the capture saw it."""
+
+    __slots__ = ("args",)
+
+    def __init__(self, args: Tuple[Any, ...]) -> None:
+        self.args = args
+
+    def thaw(self) -> "itertools.count":
+        return itertools.count(*self.args)
+
+
+class _Missing:
+    """Sentinel for a declared-but-unset ``__slots__`` attribute."""
+
+    __slots__ = ()
+
+
+_MISSING = _Missing()
+
+# Restore op codes (first element of every recorded op).
+_OP_DICT = 0       # (op, dict, items tuple)          clear + refill
+_OP_LIST = 1       # (op, list, values tuple)         splice
+_OP_SET = 2        # (op, set, members frozenset)     clear + refill
+_OP_DEQUE = 3      # (op, deque, values tuple)        clear + refill
+_OP_ATTRS = 4      # (op, obj, __dict__ items tuple)  clear + refill
+_OP_SLOTS = 5      # (op, obj, (name, value) tuple)   object.__setattr__
+_OP_RNG = 6        # (op, rng, state)                 setstate
+_OP_CELL = 7       # (op, cell, contents)             cell_contents = v
+_OP_BYTEARRAY = 8  # (op, bytearray, bytes)           splice
+
+#: Exact types that hold no references and never change: skip entirely.
+_ATOMIC = frozenset({
+    str, bytes, int, float, bool, complex, type(None), range, slice,
+    type(Ellipsis), type(NotImplemented),
+})
+
+#: Live execution state a memento cannot rewind — fail loud, callers
+#: fall back to rebuild-per-run.
+_UNSUPPORTED = (
+    types.GeneratorType,
+    types.CoroutineType,
+    types.AsyncGeneratorType,
+    types.FrameType,
+)
+
+
+def _parse_count(counter: "itertools.count") -> _Count:
+    """Read a count's current value out of its ``repr``.
+
+    ``repr(itertools.count(5))`` is ``"count(5)"`` (``"count(2, 3)"``
+    with a step); the arguments are literals by construction.
+    """
+    text = repr(counter)
+    inner = text[text.index("(") + 1:text.rindex(")")]
+    args = ast.literal_eval(f"({inner},)") if inner else ()
+    return _Count(args)
+
+
+def _freeze(value: Any) -> Any:
+    """Transform a to-be-stored value; identity for everything except
+    counts, which are recorded by value (they cannot be rewound)."""
+    if type(value) is itertools.count:
+        return _parse_count(value)
+    return value
+
+
+def _thaw(value: Any) -> Any:
+    if type(value) is _Count:
+        return value.thaw()
+    return value
+
+
+class _ClassInfo:
+    """Cached per-type capture plan for generic instances."""
+
+    __slots__ = ("slot_names", "frozen")
+
+    def __init__(self, tp: type) -> None:
+        names: List[str] = []
+        for klass in tp.__mro__:
+            declared = klass.__dict__.get("__slots__", ())
+            if isinstance(declared, str):
+                declared = (declared,)
+            for name in declared:
+                if name in ("__dict__", "__weakref__"):
+                    continue
+                # Honor name mangling for private slots.
+                if name.startswith("__") and not name.endswith("__"):
+                    name = f"_{klass.__name__.lstrip('_')}{name}"
+                names.append(name)
+        self.slot_names: Tuple[str, ...] = tuple(names)
+        params = getattr(tp, "__dataclass_params__", None)
+        self.frozen: bool = bool(params is not None and params.frozen)
+
+
+class Memento:
+    """One captured graph state; :meth:`restore` rewinds it in place.
+
+    The memento keeps strong references to every captured object, both so
+    restore targets stay alive and so ``id()``-based bookkeeping in the
+    walker can never collide with a recycled address.
+    """
+
+    __slots__ = ("_ops", "objects")
+
+    def __init__(self, ops: List[tuple], objects: int) -> None:
+        self._ops = ops
+        #: Objects visited by the capture walk (accounting/tests).
+        self.objects = objects
+
+    @property
+    def ops(self) -> int:
+        """Number of restore operations this memento will apply."""
+        return len(self._ops)
+
+    def restore(self) -> None:
+        """Write every captured value back into its original object.
+
+        Container writes go through the *base-class* methods
+        (``dict.__setitem__`` et al.), never the instance's own: subclass
+        hooks like ``TrackedState.__setitem__`` emit local events, and a
+        rewind must not re-execute the world it is rewinding.
+        """
+        for op in self._ops:
+            code = op[0]
+            target = op[1]
+            saved = op[2]
+            if code == _OP_DICT or code == _OP_ATTRS:
+                if code == _OP_ATTRS:
+                    target = target.__dict__
+                dict.clear(target)
+                for key, value in saved:
+                    dict.__setitem__(
+                        target, key,
+                        value if type(value) is not _Count else value.thaw(),
+                    )
+            elif code == _OP_LIST:
+                list.__setitem__(
+                    target, slice(None), [_thaw(v) for v in saved]
+                )
+            elif code == _OP_SET:
+                set.clear(target)
+                set.update(target, saved)
+            elif code == _OP_DEQUE:
+                deque.clear(target)
+                deque.extend(target, tuple(_thaw(v) for v in saved))
+            elif code == _OP_SLOTS:
+                for name, value in saved:
+                    if value is _MISSING:
+                        try:
+                            object.__delattr__(target, name)
+                        except AttributeError:
+                            pass
+                    else:
+                        object.__setattr__(target, name, _thaw(value))
+            elif code == _OP_RNG:
+                target.setstate(saved)
+            elif code == _OP_CELL:
+                if saved is _MISSING:
+                    try:
+                        del target.cell_contents
+                    except (AttributeError, ValueError):
+                        pass
+                else:
+                    target.cell_contents = saved
+            elif code == _OP_BYTEARRAY:
+                target[:] = saved
+
+
+def capture(*roots: Any) -> Memento:
+    """Walk the graph reachable from ``roots`` and record every mutable
+    object's current state.
+
+    Traversal covers containers, instance attributes (``__dict__`` and
+    ``__slots__``), bound methods, and function closures/defaults —
+    everything a scenario world reaches — but deliberately *not* function
+    ``__globals__``: module globals are shared program state, not world
+    state, and walking them would drag the whole interpreter in.
+    """
+    ops: List[tuple] = []
+    visited: Dict[int, Any] = {}
+    stack: List[Any] = [r for r in roots if r is not None]
+    # This loop touches every reachable value in the world once per
+    # snapshot, so it is written for speed: helpers are hoisted into
+    # locals, ``_freeze`` is inlined as a ``count``-type check, and
+    # atomic values are filtered *before* they hit the stack (most dict
+    # values are strings/ints — pushing them just to pop-and-skip
+    # roughly triples the stack traffic).
+    atomic = _ATOMIC
+    push = stack.append
+    push_all = stack.extend
+    emit = ops.append
+    count_type = itertools.count
+    class_info = _CLASS_INFO
+
+    while stack:
+        obj = stack.pop()
+        tp = type(obj)
+        if tp in atomic:
+            continue
+        key = id(obj)
+        if key in visited:
+            continue
+        visited[key] = obj
+
+        if tp is dict:
+            emit((_OP_DICT, obj, tuple(
+                (k, v if type(v) is not count_type else _parse_count(v))
+                for k, v in obj.items()
+            )))
+            for k, v in obj.items():
+                if type(k) not in atomic:
+                    push(k)
+                if type(v) not in atomic:
+                    push(v)
+        elif tp is list:
+            emit((_OP_LIST, obj, tuple(
+                v if type(v) is not count_type else _parse_count(v)
+                for v in obj
+            )))
+            for v in obj:
+                if type(v) not in atomic:
+                    push(v)
+        elif tp is tuple:
+            for v in obj:
+                if type(v) not in atomic:
+                    push(v)
+        elif tp is set:
+            emit((_OP_SET, obj, frozenset(obj)))
+            for v in obj:
+                if type(v) not in atomic:
+                    push(v)
+        elif tp is frozenset:
+            for v in obj:
+                if type(v) not in atomic:
+                    push(v)
+        elif tp is deque:
+            emit((_OP_DEQUE, obj, tuple(
+                v if type(v) is not count_type else _parse_count(v)
+                for v in obj
+            )))
+            push_all(obj)
+        elif tp is bytearray:
+            emit((_OP_BYTEARRAY, obj, bytes(obj)))
+        elif tp is random.Random:
+            emit((_OP_RNG, obj, obj.getstate()))
+        elif tp is count_type:
+            # Reached directly (e.g. as a list element): nothing to do —
+            # the slot naming it recorded a _Count via _freeze.
+            continue
+        elif tp is types.FunctionType or tp is types.LambdaType:
+            if obj.__closure__:
+                push_all(obj.__closure__)
+            if obj.__defaults__:
+                push_all(obj.__defaults__)
+            if obj.__kwdefaults__:
+                push_all(obj.__kwdefaults__.values())
+        elif tp is types.CellType:
+            try:
+                contents = obj.cell_contents
+            except ValueError:
+                emit((_OP_CELL, obj, _MISSING))
+            else:
+                emit((_OP_CELL, obj, _freeze(contents)))
+                push(contents)
+        elif tp is types.MethodType:
+            push(obj.__self__)
+            push(obj.__func__)
+        elif tp is types.BuiltinFunctionType or tp is types.MethodWrapperType:
+            bound_to = getattr(obj, "__self__", None)
+            if bound_to is not None and not isinstance(
+                bound_to, types.ModuleType
+            ):
+                push(bound_to)
+        elif isinstance(obj, _UNSUPPORTED):
+            raise MementoError(
+                f"cannot capture live execution state: {tp.__name__}"
+            )
+        elif isinstance(obj, (type, types.ModuleType, Enum)):
+            continue
+        elif isinstance(obj, dict):
+            # dict subclass: container contents plus any instance attrs.
+            # Read through the base class too — symmetry with restore.
+            pairs = tuple(dict.items(obj))
+            emit(
+                (_OP_DICT, obj, tuple((k, _freeze(v)) for k, v in pairs))
+            )
+            for k, v in pairs:
+                if type(k) not in atomic:
+                    push(k)
+                if type(v) not in atomic:
+                    push(v)
+            inst = getattr(obj, "__dict__", None)
+            if inst:
+                emit((
+                    _OP_ATTRS, obj,
+                    tuple((k, _freeze(v)) for k, v in inst.items()),
+                ))
+                push_all(inst.values())
+        elif isinstance(obj, (list, deque)):
+            code = _OP_LIST if isinstance(obj, list) else _OP_DEQUE
+            emit((code, obj, tuple(_freeze(v) for v in obj)))
+            push_all(obj)
+        elif isinstance(obj, (set, frozenset)):
+            if isinstance(obj, set):
+                emit((_OP_SET, obj, frozenset(obj)))
+            push_all(obj)
+        elif isinstance(obj, random.Random):
+            emit((_OP_RNG, obj, obj.getstate()))
+        else:
+            info = class_info.get(tp)
+            if info is None:
+                info = _ClassInfo(tp)
+                class_info[tp] = info
+            inst = getattr(obj, "__dict__", None)
+            if inst is not None:
+                if not info.frozen:
+                    emit((_OP_ATTRS, obj, tuple(
+                        (k,
+                         v if type(v) is not count_type else _parse_count(v))
+                        for k, v in inst.items()
+                    )))
+                for v in inst.values():
+                    if type(v) not in atomic:
+                        push(v)
+            if info.slot_names:
+                if info.frozen:
+                    for name in info.slot_names:
+                        value = getattr(obj, name, _MISSING)
+                        if (value is not _MISSING
+                                and type(value) not in atomic):
+                            push(value)
+                else:
+                    saved = []
+                    append_saved = saved.append
+                    for name in info.slot_names:
+                        value = getattr(obj, name, _MISSING)
+                        if value is not _MISSING:
+                            if type(value) not in atomic:
+                                push(value)
+                            if type(value) is count_type:
+                                value = _parse_count(value)
+                        append_saved((name, value))
+                    emit((_OP_SLOTS, obj, tuple(saved)))
+
+    return Memento(ops, len(visited))
+
+
+_CLASS_INFO: Dict[type, _ClassInfo] = {}

@@ -22,10 +22,11 @@ def _explore(name, jobs, budget=60, **kwargs):
     )
 
 
+@pytest.mark.parametrize("jobs", [2, 4])
 @pytest.mark.parametrize("name", sorted(scenarios()))
-def test_jobs_do_not_change_a_clean_exploration(name):
+def test_jobs_do_not_change_a_clean_exploration(name, jobs):
     sequential = _explore(name, jobs=1)
-    parallel = _explore(name, jobs=2)
+    parallel = _explore(name, jobs=jobs)
     assert sequential.violation is None and parallel.violation is None
     assert parallel.schedules_run == sequential.schedules_run
     assert parallel.inconclusive_runs == sequential.inconclusive_runs
@@ -33,10 +34,11 @@ def test_jobs_do_not_change_a_clean_exploration(name):
     assert parallel.distinct_states == sequential.distinct_states
 
 
+@pytest.mark.parametrize("jobs", [2, 4])
 @pytest.mark.parametrize("mutation", ["skip-forward", "late-halt"])
-def test_jobs_find_the_same_violation(mutation):
+def test_jobs_find_the_same_violation(mutation, jobs):
     sequential = _explore("token_ring", jobs=1, mutation=mutation)
-    parallel = _explore("token_ring", jobs=2, mutation=mutation)
+    parallel = _explore("token_ring", jobs=jobs, mutation=mutation)
     assert sequential.violation is not None
     assert parallel.violation is not None
     seq_names = [v.invariant for v in sequential.violation.violations]
@@ -74,28 +76,95 @@ def test_fingerprint_table_counts_cross_worker_hits():
     assert table.hits == 1 and table.origin_of("s1") == 1
 
 
+@pytest.mark.parametrize("mutation", ["skip-forward", "late-halt"])
 def test_cli_parallel_artifact_is_byte_identical_to_sequential(
-    tmp_path, capsys
+    tmp_path, capsys, mutation
 ):
-    seq_path = str(tmp_path / "seq.json")
-    par_path = str(tmp_path / "par.json")
-    assert check_main(["token_ring", "--mutate", "late-halt",
-                       "--budget", "60", "--artifact", seq_path,
-                       "-j", "1"]) == 1
-    assert check_main(["token_ring", "--mutate", "late-halt",
-                       "--budget", "60", "--artifact", par_path,
-                       "-j", "2"]) == 1
+    """The whole CLI path — explore, minimize, serialize — must emit the
+    same bytes at every worker count, for every stock mutation."""
+    artifacts = {}
+    for jobs in (1, 2, 4):
+        path = str(tmp_path / f"j{jobs}.json")
+        assert check_main(["token_ring", "--mutate", mutation,
+                           "--budget", "60", "--artifact", path,
+                           "-j", str(jobs)]) == 1
+        with open(path, "rb") as fp:
+            artifacts[jobs] = fp.read()
     capsys.readouterr()
-    with open(seq_path, "rb") as fp:
-        seq_bytes = fp.read()
-    with open(par_path, "rb") as fp:
-        par_bytes = fp.read()
-    assert par_bytes == seq_bytes
+    assert artifacts[2] == artifacts[1]
+    assert artifacts[4] == artifacts[1]
     # And the parallel run's artifact replays: the recorded violation
     # reproduces under the deterministic scripted scheduler.
-    assert check_main(["--replay", par_path]) == 0
+    assert check_main(["--replay", str(tmp_path / "j4.json")]) == 0
     out = capsys.readouterr().out
     assert "reproduced" in out
+
+
+@pytest.mark.parametrize("jobs", [2, 4])
+def test_level_order_merges_identically_at_any_worker_count(jobs):
+    sequential = _explore("token_ring", jobs=1, budget=80, order="level")
+    parallel = _explore("token_ring", jobs=jobs, budget=80, order="level")
+    assert sequential.violation is None and parallel.violation is None
+    assert parallel.schedules_run == sequential.schedules_run
+    assert parallel.distinct_states == sequential.distinct_states
+    assert parallel.deduped_nodes == sequential.deduped_nodes
+    assert parallel.dropped_nodes == sequential.dropped_nodes
+    assert sequential.order == "level"
+
+
+def test_level_frontier_bound_drops_overflow_deterministically():
+    limited = _explore("token_ring", jobs=1, budget=100, order="level",
+                       frontier_limit=4)
+    parallel = _explore("token_ring", jobs=2, budget=100, order="level",
+                        frontier_limit=4)
+    # The bound bites (overflow children are dropped and counted), and
+    # drop decisions happen at merge time, so they are worker-invariant.
+    assert limited.dropped_nodes > 0
+    assert parallel.dropped_nodes == limited.dropped_nodes
+    assert parallel.schedules_run == limited.schedules_run
+    assert parallel.distinct_states == limited.distinct_states
+    assert "order=level" in limited.summary()
+
+
+def test_level_order_finds_the_same_violation_as_dfs_order_does_not_mask():
+    report = _explore("token_ring", jobs=2, budget=60,
+                      mutation="late-halt", order="level")
+    assert report.violation is not None
+    twin = _explore("token_ring", jobs=1, budget=60,
+                    mutation="late-halt", order="level")
+    assert twin.violation is not None
+    assert report.violation.record.decisions == \
+        twin.violation.record.decisions
+
+
+def test_engine_accounting_shows_the_resident_engine_ran():
+    report = _explore("token_ring", jobs=1, budget=80)
+    eng = report.engine
+    assert eng["builds"] >= 1
+    assert eng["oneshot_runs"] == 0
+    # Every schedule ran on the rewound resident world...
+    assert eng["resident_runs"] == report.schedules_run
+    # ...and child prefixes actually restored branch-point snapshots
+    # instead of replaying every prefix from the root.
+    assert eng["snapshot_captures"] > 0
+    assert eng["snapshot_restores"] > 0
+    # Lease accounting: a clean full-budget run merges every task it
+    # dispatched.
+    assert report.leases > 0
+    assert report.lease_tasks == report.schedules_run
+    assert f"{report.leases} leases" in report.summary()
+
+
+def test_rejects_unknown_order():
+    with pytest.raises(ValueError):
+        _explore("token_ring", jobs=1, order="widest-first")
+
+
+def test_cli_rejects_bad_order_and_frontier_limit(capsys):
+    assert check_main(["token_ring", "--order", "sideways"]) == 2
+    assert "unknown order" in capsys.readouterr().err
+    assert check_main(["token_ring", "--frontier-limit", "0"]) == 2
+    assert "--frontier-limit" in capsys.readouterr().err
 
 
 def test_cli_rejects_bad_jobs(capsys):

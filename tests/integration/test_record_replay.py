@@ -106,6 +106,51 @@ def test_stock_agent_survives_the_trace_neighborhood(recorded):
     assert sweep.schedules_run == 15
 
 
+def test_sharded_sweep_merges_exactly_like_sequential(recorded, tmp_path):
+    """``jobs=2`` workers rebuild the trace scenario from the artifact
+    file and shard the candidate plan; the merged report must be the
+    sequential sweep's, clean and violating alike."""
+    from repro.record.store import save_trace
+
+    trace_path = str(tmp_path / "trace.json")
+    save_trace(recorded, trace_path)
+    scenario = trace_scenario(recorded)
+    report, _ = replay_trace(recorded)
+
+    clean = [
+        explore_from_trace(scenario, list(report.decisions),
+                           radius=1, budget=15, seed=0, jobs=jobs,
+                           trace_path=trace_path)
+        for jobs in (1, 2)
+    ]
+    assert not clean[0].found and not clean[1].found
+    assert clean[1].schedules_run == clean[0].schedules_run == 15
+    assert clean[1].inconclusive == clean[0].inconclusive
+
+    mutated_report, _ = replay_trace(
+        recorded, agent_factory=MUTATIONS["late-halt"])
+    hits = [
+        explore_from_trace(scenario, list(mutated_report.decisions),
+                           radius=2, budget=80, seed=0, jobs=jobs,
+                           trace_path=trace_path, mutation="late-halt")
+        for jobs in (1, 2)
+    ]
+    assert hits[0].found and hits[1].found
+    assert hits[1].schedules_run == hits[0].schedules_run
+    assert hits[1].found_by == hits[0].found_by
+    assert hits[1].distance == hits[0].distance
+    assert hits[1].decisions == hits[0].decisions
+    assert hits[1].violation.report_json() == hits[0].violation.report_json()
+
+
+def test_sharded_sweep_requires_a_trace_path(recorded):
+    scenario = trace_scenario(recorded)
+    report, _ = replay_trace(recorded)
+    with pytest.raises(ValueError):
+        explore_from_trace(scenario, list(report.decisions),
+                           budget=5, jobs=2)
+
+
 def test_seeded_sweep_finds_and_minimizes_injected_late_halt(recorded):
     factory = MUTATIONS["late-halt"]
     scenario = trace_scenario(recorded)

@@ -1,0 +1,52 @@
+"""Property: the parallel merge is worker-count invariant.
+
+The sharded explorer's contract is that worker count is an
+implementation detail: for any ``(seed, budget, order, mutation)``, the
+parent's canonical-order merge produces the same exploration at ``-j 2``
+as the in-process ``-j 1`` path — same schedule count, same dedup
+decisions, same violation (or none), same found-by attribution. The
+worker shards pre-dedup against local fingerprint tables and lease
+boundaries chop the task stream differently run to run, so this property
+is exactly the claim that none of that machinery can leak into results.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.check.parallel import explore_parallel
+from repro.check.runner import scenarios
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    budget=st.integers(min_value=5, max_value=40),
+    order=st.sampled_from(["dfs", "level"]),
+    mutation=st.sampled_from([None, "late-halt", "skip-forward"]),
+)
+def test_two_workers_merge_exactly_like_one(seed, budget, order, mutation):
+    runs = [
+        explore_parallel(
+            scenarios()["token_ring"], budget=budget, seed=seed,
+            jobs=jobs, order=order, mutation=mutation,
+        )
+        for jobs in (1, 2)
+    ]
+    sequential, parallel = runs
+    assert parallel.schedules_run == sequential.schedules_run
+    assert parallel.inconclusive_runs == sequential.inconclusive_runs
+    assert parallel.deduped_nodes == sequential.deduped_nodes
+    assert parallel.distinct_states == sequential.distinct_states
+    assert parallel.dropped_nodes == sequential.dropped_nodes
+    assert parallel.found_by == sequential.found_by
+    if sequential.violation is None:
+        assert parallel.violation is None
+    else:
+        assert parallel.violation is not None
+        assert list(parallel.violation.record.decisions) == \
+            list(sequential.violation.record.decisions)
+        assert [v.invariant for v in parallel.violation.violations] == \
+            [v.invariant for v in sequential.violation.violations]

@@ -1,0 +1,159 @@
+"""The worker-resident exploration engine against the one-shot path.
+
+The engine's whole value proposition is "rewind instead of rebuild,
+restore-and-diverge instead of replay-from-scratch" — which is only
+admissible if every run it produces is byte-identical to the classic
+build-run-judge pipeline. These tests drive the same schedules through
+both and compare the canonical JSON reports, then pin the snapshot
+machinery's observable contract: restores beat root replays when the
+cache is warm, evictions force the replay fallback without changing any
+result, and the worker shard's verdicts never leak into outcomes.
+"""
+
+import pytest
+
+from repro.check.engine import STAT_KEYS, ExplorationEngine, blank_stats
+from repro.check.runner import run_schedule, scenarios
+from repro.check.scheduler import ScriptedStrategy
+
+
+def canonical_prefixes(scenario, depth=3):
+    """A small family of real decision prefixes: the canonical run's
+    branch points, extended one sibling at a time."""
+    base = run_schedule(scenario, ScriptedStrategy([]))
+    prefixes = [()]
+    decisions = list(base.record.decisions)
+    for cut in range(1, min(depth, len(decisions)) + 1):
+        prefixes.append(tuple(decisions[:cut]))
+    for cp in base.record.choice_points[:depth]:
+        for label in cp.enabled:
+            if label != cp.chosen:
+                point = len(
+                    [c for c in base.record.choice_points
+                     if c.trace_index < cp.trace_index]
+                )
+                prefixes.append(tuple(decisions[:point]) + (label,))
+                break
+    return prefixes
+
+
+@pytest.mark.parametrize("name", ["token_ring", "pipeline",
+                                  "token_ring_reliable"])
+def test_resident_prefix_runs_match_oneshot_reports(name):
+    scenario = scenarios()[name]
+    engine = ExplorationEngine(scenario)
+    assert engine._world is not None, "stock scenarios must be resident"
+    for prefix in canonical_prefixes(scenario):
+        resident = engine.run_prefix(prefix)
+        oneshot = run_schedule(scenario, ScriptedStrategy(list(prefix)))
+        assert (resident.result.report_json()
+                == oneshot.report_json()), prefix
+        assert (resident.result.inconclusive
+                == oneshot.inconclusive), prefix
+
+
+def test_snapshot_restore_and_replay_from_scratch_agree():
+    """The same child prefix, run three ways — warm snapshot cache, cold
+    cache (every snapshot evicted immediately), and classic one-shot —
+    must produce identical records."""
+    scenario = scenarios()["token_ring"]
+    warm = ExplorationEngine(scenario)
+    cold = ExplorationEngine(scenario, snapshot_cap=0)
+    for prefix in canonical_prefixes(scenario):
+        want = run_schedule(
+            scenario, ScriptedStrategy(list(prefix))).report_json()
+        assert warm.run_prefix(prefix).result.report_json() == want
+        assert cold.run_prefix(prefix).result.report_json() == want
+    warm_stats = warm.drain_stats()
+    cold_stats = cold.drain_stats()
+    # Warm cache: parents were snapshotted, children restored into them.
+    assert warm_stats["snapshot_restores"] > 0
+    # Cold cache: every capture was evicted, so every run replayed from
+    # the root — same results, different accounting.
+    assert cold_stats["snapshot_restores"] == 0
+    assert cold_stats["snapshot_evictions"] == cold_stats[
+        "snapshot_captures"]
+    assert cold_stats["root_restores"] > warm_stats["root_restores"]
+    assert cold_stats["replayed_decisions"] >= warm_stats[
+        "replayed_decisions"]
+
+
+def test_walks_scripts_and_biased_runs_match_oneshot():
+    from repro.check.scheduler import BiasedWalkStrategy, RandomWalkStrategy
+    import random
+
+    scenario = scenarios()["token_ring"]
+    engine = ExplorationEngine(scenario)
+    base = run_schedule(scenario, ScriptedStrategy([]))
+    decisions = list(base.record.decisions)
+
+    for seed in ("0|walk|0", "0|walk|1"):
+        want = run_schedule(
+            scenario, RandomWalkStrategy(random.Random(seed)))
+        assert engine.run_walk(seed).result.report_json() == \
+            want.report_json()
+
+    want = run_schedule(scenario, ScriptedStrategy(list(decisions)))
+    assert engine.run_script(decisions).result.report_json() == \
+        want.report_json()
+
+    want = run_schedule(scenario, BiasedWalkStrategy(
+        base=decisions, rng=random.Random("b|0"), follow=0.85))
+    assert engine.run_biased(tuple(decisions), "b|0", 0.85).result \
+        .report_json() == want.report_json()
+
+
+def test_mutation_runs_find_the_same_violation():
+    scenario = scenarios()["token_ring"]
+    engine = ExplorationEngine(scenario, mutation="late-halt")
+    from repro.check.mutations import MUTATIONS
+
+    for prefix in canonical_prefixes(scenario, depth=2):
+        resident = engine.run_prefix(prefix)
+        oneshot = run_schedule(
+            scenario, ScriptedStrategy(list(prefix)), MUTATIONS["late-halt"]
+        )
+        assert resident.result.report_json() == oneshot.report_json()
+        assert ([v.invariant for v in resident.result.violations]
+                == [v.invariant for v in oneshot.violations])
+
+
+def test_shard_flags_repeat_states_without_changing_results():
+    scenario = scenarios()["token_ring"]
+    engine = ExplorationEngine(scenario, shard_dedup=True)
+    first = engine.run_prefix(())
+    again = engine.run_prefix(())
+    assert first.fingerprint == again.fingerprint
+    assert first.shard_fresh is True
+    assert again.shard_fresh is False
+    assert first.result.report_json() == again.result.report_json()
+
+    unsharded = ExplorationEngine(scenario, shard_dedup=False)
+    run = unsharded.run_prefix(())
+    assert run.shard_fresh is None
+    assert run.fingerprint == first.fingerprint
+
+
+def test_drain_stats_resets_and_keeps_every_key():
+    scenario = scenarios()["token_ring"]
+    engine = ExplorationEngine(scenario)
+    engine.run_prefix(())
+    drained = engine.drain_stats()
+    assert set(drained) == set(STAT_KEYS)
+    # token_ring is a twin scenario: one root-world build plus the lazy
+    # Theorem-2 twin build on the first halting run.
+    assert drained["builds"] == 2
+    assert drained["resident_runs"] == 1
+    assert drained["twin_runs"] == 1
+    assert engine.drain_stats() == blank_stats()
+
+
+def test_twin_scenarios_keep_their_theorem2_verdict():
+    scenario = scenarios()["token_ring"]
+    assert scenario.twin, "fixture scenario must be a twin"
+    engine = ExplorationEngine(scenario)
+    resident = engine.run_prefix(())
+    oneshot = run_schedule(scenario, ScriptedStrategy([]))
+    assert resident.result.record.twin_divergences == \
+        oneshot.record.twin_divergences
+    assert resident.result.report_json() == oneshot.report_json()
